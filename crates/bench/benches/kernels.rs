@@ -1,0 +1,100 @@
+//! Criterion micro-benchmarks of the core computational kernels:
+//! GPP diag variants (the Table 4 programming-model comparison at micro
+//! scale), the off-diag ZGEMM path, CHI_SUM, the FFT, and the dense
+//! eigensolver behind the static subspace approximation.
+
+use bgw_bench::build_setup;
+use bgw_core::sigma::diag::{gpp_sigma_diag, KernelVariant};
+use bgw_core::sigma::offdiag::gpp_sigma_offdiag;
+use bgw_fft::{Direction, FftPlan};
+use bgw_linalg::{eigh, matmul, CMatrix, GemmBackend, Op};
+use bgw_num::{Complex64, UniformGrid};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_gpp_diag_variants(c: &mut Criterion) {
+    let mut sys = bgw_pwdft::si_bulk(1, 2.6);
+    sys.n_bands = 32;
+    let setup = build_setup(sys, 4);
+    let grids: Vec<Vec<f64>> = setup
+        .ctx
+        .sigma_energies
+        .iter()
+        .map(|&e| vec![e - 0.05, e, e + 0.05])
+        .collect();
+    let mut g = c.benchmark_group("gpp_diag");
+    for (name, v) in [
+        ("reference", KernelVariant::Reference),
+        ("blocked", KernelVariant::Blocked),
+        ("optimized", KernelVariant::Optimized),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(gpp_sigma_diag(&setup.ctx, &grids, v)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_gpp_offdiag(c: &mut Criterion) {
+    let mut sys = bgw_pwdft::si_bulk(1, 2.6);
+    sys.n_bands = 32;
+    let setup = build_setup(sys, 4);
+    let grid = UniformGrid::new(
+        setup.ctx.sigma_energies[0] - 0.2,
+        *setup.ctx.sigma_energies.last().unwrap() + 0.2,
+        4,
+    );
+    c.bench_function("gpp_offdiag_zgemm", |b| {
+        b.iter(|| {
+            black_box(gpp_sigma_offdiag(
+                &setup.ctx,
+                &grid,
+                GemmBackend::Parallel,
+            ))
+        })
+    });
+}
+
+fn bench_zgemm(c: &mut Criterion) {
+    let n = 96;
+    let a = CMatrix::random(n, n, 1);
+    let bm = CMatrix::random(n, n, 2);
+    let mut g = c.benchmark_group("zgemm_96");
+    for (name, be) in [
+        ("naive", GemmBackend::Naive),
+        ("blocked", GemmBackend::Blocked),
+        ("parallel", GemmBackend::Parallel),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(matmul(&a, Op::None, &bm, Op::None, be)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let n = 729; // 3^6, pure mixed-radix
+    let plan = FftPlan::new(n);
+    let data: Vec<Complex64> = (0..n)
+        .map(|i| Complex64::cis(i as f64 * 0.1))
+        .collect();
+    c.bench_function("fft_729", |b| {
+        b.iter(|| {
+            let mut x = data.clone();
+            plan.process(&mut x, Direction::Forward);
+            black_box(x)
+        })
+    });
+}
+
+fn bench_eigh(c: &mut Criterion) {
+    let a = CMatrix::random_hermitian(64, 7);
+    c.bench_function("eigh_64", |b| b.iter(|| black_box(eigh(&a))));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_gpp_diag_variants, bench_gpp_offdiag, bench_zgemm, bench_fft, bench_eigh
+}
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Ablation: size-specific ZGEMM tile tuning — the analogue of the
+//! paper's Tensile exploration on Frontier (Sec. 7.3): "for the large
+//! application case the default ZGEMM already reaches the best-achievable
+//! performance, whereas for moderate problem size the Tensile optimization
+//! can boost the overall kernel performance by ~10%".
+//!
+//! We sweep tile parameters of the blocked ZGEMM at a "moderate" and a
+//! "large" off-diag-kernel shape and compare against the default tiles.
+
+use bgw_bench::timed;
+use bgw_linalg::{matmul, zgemm_flops, CMatrix, GemmBackend, Op, TileParams};
+use bgw_perf::Table;
+
+fn best_of(a: &CMatrix, b: &CMatrix, backend: GemmBackend, reps: usize) -> f64 {
+    (0..reps)
+        .map(|_| timed(|| matmul(a, Op::None, b, Op::None, backend)).1)
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn main() {
+    // Off-diag kernel shapes: (N_Sigma x N_G) * (N_G x N_G).
+    let shapes = [("moderate (N_Sigma=48, N_G=192)", 48usize, 192usize),
+                  ("large (N_Sigma=96, N_G=384)", 96, 384)];
+    let tiles = [
+        TileParams { mc: 16, kc: 32, nc: 64 },
+        TileParams { mc: 32, kc: 64, nc: 128 },
+        TileParams::default(),
+        TileParams { mc: 96, kc: 192, nc: 192 },
+        TileParams { mc: 128, kc: 256, nc: 256 },
+    ];
+    for (name, ns, ng) in shapes {
+        let a = CMatrix::random(ns, ng, 1);
+        let b = CMatrix::random(ng, ng, 2);
+        let flops = zgemm_flops(ns, ng, ng) as f64;
+        let t_default = best_of(&a, &b, GemmBackend::Blocked, 3);
+        let mut t = Table::new(
+            &format!("ZGEMM tile sweep, {name}"),
+            &["tiles (mc,kc,nc)", "seconds", "GFLOP/s", "vs default"],
+        );
+        t.row(&[
+            "default".into(),
+            format!("{t_default:.4}"),
+            format!("{:.2}", flops / t_default / 1e9),
+            "1.00x".into(),
+        ]);
+        let mut best = t_default;
+        for tp in tiles {
+            let secs = best_of(&a, &b, GemmBackend::Tuned(tp), 3);
+            best = best.min(secs);
+            t.row(&[
+                format!("({},{},{})", tp.mc, tp.kc, tp.nc),
+                format!("{secs:.4}"),
+                format!("{:.2}", flops / secs / 1e9),
+                format!("{:.2}x", t_default / secs),
+            ]);
+        }
+        print!("{}", t.render());
+        println!(
+            "best tuned speedup: {:.1}% over default\n",
+            100.0 * (t_default / best - 1.0)
+        );
+    }
+    println!(
+        "Paper observation to compare: Tensile tuning buys ~10% at moderate\n\
+         sizes and nothing at large sizes where the default is already at\n\
+         the ceiling."
+    );
+}

@@ -1,0 +1,102 @@
+//! Ablation: mixed stochastic-deterministic pseudobands (paper Sec. 5.3)
+//! — compression versus accuracy of the band-sum observables.
+//!
+//! Sweeps the per-slice pseudoband count `N_xi` and the slice growth
+//! factor, measuring the band-count compression, the resulting error of
+//! the static polarizability head (a band-sum observable of Eq. 4), and
+//! the GPP diag-kernel time, which scales linearly in `N_b` — the
+//! mechanism behind the paper's claim that pseudobands cut the effective
+//! scaling of GW (to ~O(N^2.4) in ref 14).
+
+use bgw_bench::{build_setup, timed};
+use bgw_core::chi::{ChiConfig, ChiEngine};
+use bgw_core::mtxel::Mtxel;
+use bgw_core::pseudobands::{compress, PseudobandsConfig};
+use bgw_core::sigma::diag::{gpp_sigma_diag, KernelVariant};
+use bgw_core::sigma::SigmaContext;
+use bgw_num::RunningStats;
+use bgw_perf::Table;
+
+fn main() {
+    let mut sys = bgw_pwdft::si_bulk(1, 4.5);
+    sys.ecut_eps_ry = 1.4;
+    sys.n_bands = 140;
+    let setup = build_setup(sys, 4);
+    let ctx = &setup.ctx;
+    let wf = &setup.wf;
+    let mtxel = Mtxel::new(&setup.wfn_sph, &setup.eps_sph);
+    let cfg = ChiConfig { q0: setup.coulomb.q0, ..ChiConfig::default() };
+
+    // exact references
+    let chi_head_exact = {
+        let engine = ChiEngine::new(wf, &mtxel, cfg);
+        engine.chi_static()[(1, 1)].re
+    };
+    let grids: Vec<Vec<f64>> = ctx.sigma_energies.iter().map(|&e| vec![e]).collect();
+    let (sigma_exact, t_exact) =
+        timed(|| gpp_sigma_diag(ctx, &grids, KernelVariant::Optimized));
+    println!(
+        "exact reference: N_b = {}, chi_11 = {chi_head_exact:.5}, Sigma kernel {t_exact:.3} s\n",
+        wf.n_bands()
+    );
+
+    let mut t = Table::new(
+        "Pseudobands sweep: compression vs band-sum accuracy (10-seed averages)",
+        &[
+            "N_xi", "growth", "N_b eff", "compression",
+            "chi_11 err %", "Sigma_HOMO err (mRy)", "kernel s",
+        ],
+    );
+    for (n_xi, growth) in [(1usize, 1.5f64), (2, 1.5), (4, 1.5), (2, 1.0), (2, 2.5)] {
+        let mut chi_err = RunningStats::new();
+        let mut sig_err = RunningStats::new();
+        let mut n_eff = 0usize;
+        let mut t_kernel = 0.0;
+        let n_seeds = 10;
+        for seed in 0..n_seeds {
+            let pcfg = PseudobandsConfig {
+                protection_ry: 0.15,
+                n_xi,
+                first_slice_ry: 0.35,
+                growth,
+                seed,
+            };
+            let pb = compress(wf, &pcfg);
+            n_eff = pb.wf.n_bands();
+            // chi head from the compressed set
+            let engine = ChiEngine::new(&pb.wf, &mtxel, cfg);
+            let chi = engine.chi_static();
+            chi_err.push((chi[(1, 1)].re - chi_head_exact).abs() / chi_head_exact.abs());
+            // Sigma on the compressed bands (same screening/GPP)
+            let pctx = SigmaContext::build(
+                &pb.wf,
+                &mtxel,
+                ctx.gpp.clone(),
+                &setup.vsqrt,
+                &ctx.sigma_bands,
+                setup.coulomb.q0,
+            );
+            let (r, secs) = timed(|| gpp_sigma_diag(&pctx, &grids, KernelVariant::Optimized));
+            t_kernel = secs;
+            let h = ctx.homo_pos();
+            sig_err.push((r.sigma[h][0] - sigma_exact.sigma[h][0]).abs());
+        }
+        t.row(&[
+            n_xi.to_string(),
+            format!("{growth:.1}"),
+            n_eff.to_string(),
+            format!("{:.2}x", wf.n_bands() as f64 / n_eff as f64),
+            format!("{:.2}", 100.0 * chi_err.mean()),
+            format!("{:.2}", 1000.0 * sig_err.mean()),
+            format!("{t_kernel:.3}"),
+        ]);
+    }
+    print!("{}", t.render());
+    println!(
+        "\nShape targets (paper / ref [14]): stochastic errors shrink with\n\
+         N_xi, growing slices give exponential compression with controlled\n\
+         error, and the kernel time drops with the compressed N_b — the\n\
+         effective-scaling reduction of the mixed stochastic-deterministic\n\
+         method. Protected states keep the gap edges exact."
+    );
+}

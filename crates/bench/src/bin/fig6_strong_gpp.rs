@@ -1,0 +1,102 @@
+//! Regenerates paper Fig. 6: strong scaling of the GW-GPP Sigma kernels
+//! (Si998 and Si2742 systems) on Frontier and Aurora, up to the full
+//! machine, with and without I/O.
+//!
+//! Two layers: (i) the paper-size workloads through the calibrated time
+//! model; (ii) a local *executed* validation — the same pool/`G'`
+//! decomposition run for real over simulated ranks on a scaled system,
+//! whose measured critical-path times must follow the 1/ranks shape the
+//! model assumes.
+
+use bgw_bench::{build_setup, timed};
+use bgw_core::sigma::diag::gpp_sigma_diag_partial;
+use bgw_perf::flopmodel::ALPHA_FRONTIER;
+use bgw_perf::timemodel::{strong_scaling, Efficiencies, Kernel, SigmaWorkload};
+use bgw_perf::{fmt_secs, Machine, Table};
+
+fn main() {
+    let eff = Efficiencies::paper_anchored();
+    let nodes = [128usize, 256, 512, 1024, 2048, 4096, 9408];
+
+    // Si998 (Table 2): N_G = 51,627, N_b = 28,000; Si2742: N_G = 141,505,
+    // N_b = 80,695.
+    let systems = [
+        ("Si998", SigmaWorkload { n_sigma: 512, n_b: 28_000, n_g: 51_627, n_e: 200, alpha: ALPHA_FRONTIER }),
+        ("Si2742", SigmaWorkload { n_sigma: 128, n_b: 80_695, n_g: 141_505, n_e: 3, alpha: ALPHA_FRONTIER }),
+    ];
+
+    for machine in [Machine::frontier(), Machine::aurora()] {
+        for (name, w) in &systems {
+            let kernel = if w.n_e > 10 { Kernel::Offdiag } else { Kernel::Diag };
+            let kname = if kernel == Kernel::Offdiag { "off-diag" } else { "diag" };
+            let excl = strong_scaling(&machine, &nodes, w, kernel, &eff, false);
+            let incl = strong_scaling(&machine, &nodes, w, kernel, &eff, true);
+            let mut t = Table::new(
+                &format!(
+                    "Fig. 6 (model): {name} GPP {kname} strong scaling on {}",
+                    machine.name
+                ),
+                &["# nodes", "excl. I/O s", "speedup", "ideal", "incl. I/O s"],
+            );
+            let t0 = excl[0].seconds;
+            for (i, p) in excl.iter().enumerate() {
+                t.row(&[
+                    p.nodes.to_string(),
+                    fmt_secs(p.seconds),
+                    format!("{:.2}", t0 / p.seconds),
+                    format!("{:.2}", p.nodes as f64 / nodes[0] as f64),
+                    fmt_secs(incl[i].seconds),
+                ]);
+            }
+            print!("{}", t.render());
+            println!();
+        }
+    }
+
+    // ---- local executed validation --------------------------------------
+    let mut sys = bgw_pwdft::si_divacancy(1, 4.2);
+    sys.ecut_eps_ry = sys.ecut_wfn_ry / 2.2;
+    sys.n_bands = 60;
+    let setup = build_setup(sys, 4);
+    let ctx = &setup.ctx;
+    let grids: Vec<Vec<f64>> = ctx.sigma_energies.iter().map(|&e| vec![e]).collect();
+    let ng = ctx.n_g();
+    let mut t = Table::new(
+        "Fig. 6 (local, executed): critical-path seconds of the real G' decomposition",
+        &["ranks", "measured s", "speedup", "ideal"],
+    );
+    let ranks_list = [1usize, 2, 4, 8, 16];
+    let mut t1 = 0.0;
+    for &ranks in &ranks_list {
+        let per = ng.div_ceil(ranks);
+        // execute every slice serially; critical path = slowest slice
+        let mut worst = 0.0f64;
+        for r in 0..ranks {
+            let lo = (r * per).min(ng);
+            let hi = (lo + per).min(ng);
+            if lo >= hi {
+                continue;
+            }
+            let secs = (0..3)
+                .map(|_| timed(|| gpp_sigma_diag_partial(ctx, &grids, lo, hi)).1)
+                .fold(f64::INFINITY, f64::min);
+            worst = worst.max(secs);
+        }
+        if ranks == 1 {
+            t1 = worst;
+        }
+        t.row(&[
+            ranks.to_string(),
+            format!("{worst:.4}"),
+            format!("{:.2}", t1 / worst),
+            format!("{ranks}.00"),
+        ]);
+    }
+    print!("{}", t.render());
+    println!(
+        "\nShape check vs paper Fig. 6: near-ideal strong scaling of the\n\
+         kernel excluding I/O up to the full machine; the incl.-I/O curve\n\
+         flattens as the constant read time dominates — the same crossover\n\
+         the paper reports (Si998-b: 303 s kernel vs 605 s incl. I/O)."
+    );
+}

@@ -1,0 +1,183 @@
+//! `bgw-bench`: the benchmark harness.
+//!
+//! One binary per table/figure of the paper's evaluation (see DESIGN.md
+//! Sec. 5 for the index), plus criterion micro-benchmarks of the kernels.
+//! This library holds the shared plumbing: scaled-system construction, GW
+//! setup assembly, local throughput calibration, and timing helpers.
+
+#![warn(missing_docs)]
+
+use bgw_core::chi::{ChiConfig, ChiEngine};
+use bgw_core::coulomb::Coulomb;
+use bgw_core::epsilon::EpsilonInverse;
+use bgw_core::gpp::GppModel;
+use bgw_core::mtxel::Mtxel;
+use bgw_core::sigma::SigmaContext;
+use bgw_linalg::CMatrix;
+use bgw_pwdft::{charge_density_g, solve_bands, GSphere, ModelSystem, Wavefunctions};
+use std::time::Instant;
+
+/// A fully assembled GW setup for benchmarking kernels on a model system.
+pub struct BenchSetup {
+    /// The model system used.
+    pub system: ModelSystem,
+    /// Wavefunction sphere.
+    pub wfn_sph: GSphere,
+    /// Epsilon sphere.
+    pub eps_sph: GSphere,
+    /// Mean-field bands.
+    pub wf: Wavefunctions,
+    /// Static polarizability.
+    pub chi0: CMatrix,
+    /// Coulomb interaction (miniBZ q0).
+    pub coulomb: Coulomb,
+    /// `sqrt(v)` on the epsilon sphere.
+    pub vsqrt: Vec<f64>,
+    /// Static inverse dielectric matrix.
+    pub eps_inv: EpsilonInverse,
+    /// Sigma context with `n_sigma` bands around the gap.
+    pub ctx: SigmaContext,
+}
+
+/// Builds the full pipeline up to a [`SigmaContext`] with `n_sigma` bands
+/// centered on the gap.
+pub fn build_setup(system: ModelSystem, n_sigma: usize) -> BenchSetup {
+    let wfn_sph = system.wfn_sphere();
+    let eps_sph = system.eps_sphere();
+    let n_bands = system.n_bands.min(wfn_sph.len());
+    let wf = solve_bands(&system.crystal, &wfn_sph, n_bands);
+    let coulomb = Coulomb::bulk_for_cell(system.crystal.lattice.volume());
+    let mtxel = Mtxel::new(&wfn_sph, &eps_sph);
+    let cfg = ChiConfig { q0: coulomb.q0, ..ChiConfig::default() };
+    let engine = ChiEngine::new(&wf, &mtxel, cfg);
+    let chi0 = engine.chi_static();
+    let eps_inv = EpsilonInverse::build(
+        &[chi0.clone()],
+        &[0.0],
+        &coulomb,
+        &eps_sph,
+    );
+    let rho = charge_density_g(&wf, &wfn_sph);
+    let gpp = GppModel::new(
+        &eps_inv,
+        &eps_sph,
+        &wfn_sph,
+        &rho,
+        system.crystal.lattice.volume(),
+    );
+    let vsqrt = coulomb.sqrt_on_sphere(&eps_sph);
+    let nv = wf.n_valence;
+    let half = (n_sigma / 2).max(1);
+    let lo = nv.saturating_sub(half);
+    let hi = (lo + n_sigma).min(wf.n_bands());
+    let sigma_bands: Vec<usize> = (lo..hi).collect();
+    let ctx = SigmaContext::build(&wf, &mtxel, gpp, &vsqrt, &sigma_bands, coulomb.q0);
+    BenchSetup {
+        system,
+        wfn_sph,
+        eps_sph,
+        wf,
+        chi0,
+        coulomb,
+        vsqrt,
+        eps_inv,
+        ctx,
+    }
+}
+
+/// Times a closure, returning `(result, seconds)`.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let r = f();
+    (r, t0.elapsed().as_secs_f64())
+}
+
+/// Locally measured sustained throughput (FLOP/s) of the optimized GPP
+/// diag kernel on this host, used to put the "local node" on the same
+/// axis as the modeled machines.
+pub fn calibrate_local_diag(setup: &BenchSetup) -> f64 {
+    let grids: Vec<Vec<f64>> = setup
+        .ctx
+        .sigma_energies
+        .iter()
+        .map(|&e| vec![e])
+        .collect();
+    let r = bgw_core::sigma::diag::gpp_sigma_diag(
+        &setup.ctx,
+        &grids,
+        bgw_core::sigma::diag::KernelVariant::Optimized,
+    );
+    r.flops as f64 / r.seconds.max(1e-9)
+}
+
+/// Locally measured ZGEMM throughput (FLOP/s) at a given square size.
+pub fn calibrate_local_zgemm(n: usize) -> f64 {
+    let a = CMatrix::random(n, n, 1);
+    let b = CMatrix::random(n, n, 2);
+    // warm-up
+    let _ = bgw_linalg::matmul(
+        &a,
+        bgw_linalg::Op::None,
+        &b,
+        bgw_linalg::Op::None,
+        bgw_linalg::GemmBackend::Parallel,
+    );
+    let (_, secs) = timed(|| {
+        bgw_linalg::matmul(
+            &a,
+            bgw_linalg::Op::None,
+            &b,
+            bgw_linalg::Op::None,
+            bgw_linalg::GemmBackend::Parallel,
+        )
+    });
+    bgw_linalg::zgemm_flops(n, n, n) as f64 / secs.max(1e-9)
+}
+
+/// The scaled benchmark roster: `(paper name, scaled system, N_Sigma)`.
+/// Cutoffs are sized for minutes-not-hours runtimes on one node.
+pub fn bench_roster() -> Vec<(&'static str, ModelSystem, usize)> {
+    let mut si510 = bgw_pwdft::si_divacancy(2, 2.6);
+    // cap N_b so full-workflow benches stay in the seconds range
+    si510.n_bands = si510.n_valence() + 76;
+    vec![
+        ("Si214", bgw_pwdft::si_divacancy(1, 4.2), 8),
+        ("Si510", si510, 8),
+        ("LiH998", bgw_pwdft::lih_defect(1, 4.0), 6),
+        ("BN867", bgw_pwdft::bn_defect_sheet(2, 12.0, 5.0), 6),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn setup_builds_on_smallest_system() {
+        let sys = bgw_pwdft::si_bulk(1, 2.2);
+        let mut sys = sys;
+        sys.n_bands = 24;
+        let s = build_setup(sys, 4);
+        assert_eq!(s.ctx.n_sigma(), 4);
+        assert!(s.ctx.n_g() > 4);
+        assert!(s.eps_inv.macroscopic_constant() > 1.0);
+    }
+
+    #[test]
+    fn calibration_returns_positive_rates() {
+        let mut sys = bgw_pwdft::si_bulk(1, 2.0);
+        sys.n_bands = 20;
+        let s = build_setup(sys, 2);
+        assert!(calibrate_local_diag(&s) > 0.0);
+        assert!(calibrate_local_zgemm(32) > 0.0);
+    }
+
+    #[test]
+    fn roster_has_table2_shape() {
+        for (name, sys, n_sigma) in bench_roster() {
+            assert!(!name.is_empty());
+            assert!(sys.n_bands > sys.n_valence(), "{name}");
+            assert!(n_sigma >= 2);
+        }
+    }
+}

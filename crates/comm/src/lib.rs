@@ -1,0 +1,643 @@
+//! `bgw-comm`: a simulated MPI runtime.
+//!
+//! The paper's Sigma module distributes the `G'` summation over the MPI
+//! ranks of a *self-energy pool* and parallelizes pools over self-energy
+//! matrix elements (Sec. 5.5); Epsilon distributes valence bands (the
+//! NV-Block algorithm, Sec. 5.2). This crate executes those decompositions
+//! for real: each rank is an OS thread, and the collectives
+//! (barrier/bcast/reduce/allreduce/gather/allgather/scatter/alltoall,
+//! point-to-point send/recv, and communicator `split`) run over shared
+//! memory with exact per-rank traffic accounting.
+//!
+//! The traffic statistics feed the `bgw-perf` time model, which converts
+//! *executed* communication volume into modeled wall-clock on the paper's
+//! machines — the documented substitution for not owning 9,408 Frontier
+//! nodes (see DESIGN.md Sec. 2).
+
+#![warn(missing_docs)]
+
+use parking_lot::{Condvar, Mutex};
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Payload trait: anything sent through a communicator, with a byte size
+/// used for traffic accounting.
+pub trait CommData: Clone + Send + 'static {
+    /// Approximate wire size in bytes.
+    fn comm_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+    }
+}
+
+impl CommData for u8 {}
+impl CommData for u32 {}
+impl CommData for u64 {}
+impl CommData for usize {}
+impl CommData for i32 {}
+impl CommData for i64 {}
+impl CommData for f32 {}
+impl CommData for f64 {}
+impl CommData for bool {}
+impl CommData for bgw_num::Complex64 {}
+impl<A: CommData, B: CommData> CommData for (A, B) {
+    fn comm_bytes(&self) -> usize {
+        self.0.comm_bytes() + self.1.comm_bytes()
+    }
+}
+impl<T: CommData> CommData for Vec<T> {
+    fn comm_bytes(&self) -> usize {
+        self.iter().map(|x| x.comm_bytes()).sum()
+    }
+}
+impl<T: CommData> CommData for Option<T> {
+    fn comm_bytes(&self) -> usize {
+        self.as_ref().map_or(0, |x| x.comm_bytes())
+    }
+}
+
+/// Per-rank communication counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CommStats {
+    /// Bytes contributed to collectives and point-to-point sends.
+    pub bytes_sent: u64,
+    /// Bytes read from collectives and point-to-point receives.
+    pub bytes_received: u64,
+    /// Number of collective operations entered.
+    pub collectives: u64,
+    /// Number of point-to-point messages sent.
+    pub messages: u64,
+    /// Number of barrier waits.
+    pub barriers: u64,
+}
+
+#[derive(Default)]
+struct StatsCell {
+    bytes_sent: AtomicU64,
+    bytes_received: AtomicU64,
+    collectives: AtomicU64,
+    messages: AtomicU64,
+    barriers: AtomicU64,
+}
+
+impl StatsCell {
+    fn snapshot(&self) -> CommStats {
+        CommStats {
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            bytes_received: self.bytes_received.load(Ordering::Relaxed),
+            collectives: self.collectives.load(Ordering::Relaxed),
+            messages: self.messages.load(Ordering::Relaxed),
+            barriers: self.barriers.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A sense-reversing barrier usable by a fixed group of threads.
+struct Barrier {
+    lock: Mutex<BarrierState>,
+    cvar: Condvar,
+    size: usize,
+}
+
+struct BarrierState {
+    count: usize,
+    generation: u64,
+}
+
+impl Barrier {
+    fn new(size: usize) -> Self {
+        Self {
+            lock: Mutex::new(BarrierState { count: 0, generation: 0 }),
+            cvar: Condvar::new(),
+            size,
+        }
+    }
+
+    fn wait(&self) {
+        let mut st = self.lock.lock();
+        st.count += 1;
+        if st.count == self.size {
+            st.count = 0;
+            st.generation = st.generation.wrapping_add(1);
+            self.cvar.notify_all();
+        } else {
+            let gen = st.generation;
+            while st.generation == gen {
+                self.cvar.wait(&mut st);
+            }
+        }
+    }
+}
+
+type BoxedAny = Box<dyn Any + Send>;
+
+/// State shared by all ranks of one communicator.
+struct WorldShared {
+    size: usize,
+    barrier: Barrier,
+    /// Rendezvous slots for collectives, keyed by collective sequence no.
+    slots: Mutex<HashMap<u64, Vec<Option<BoxedAny>>>>,
+    /// Mailboxes for point-to-point, keyed by (from, to, tag).
+    mailbox: Mutex<HashMap<(usize, usize, u64), BoxedAny>>,
+    mailbox_cv: Condvar,
+    /// Registry for communicator splits, keyed by (split seq, color).
+    splits: Mutex<HashMap<(u64, u64), Arc<WorldShared>>>,
+    stats: Vec<StatsCell>,
+}
+
+impl WorldShared {
+    fn new(size: usize) -> Arc<Self> {
+        Arc::new(Self {
+            size,
+            barrier: Barrier::new(size),
+            slots: Mutex::new(HashMap::new()),
+            mailbox: Mutex::new(HashMap::new()),
+            mailbox_cv: Condvar::new(),
+            splits: Mutex::new(HashMap::new()),
+            stats: (0..size).map(|_| StatsCell::default()).collect(),
+        })
+    }
+}
+
+/// A rank's handle to a communicator (the analogue of an `MPI_Comm` plus
+/// the calling rank).
+pub struct Comm {
+    rank: usize,
+    shared: Arc<WorldShared>,
+    /// Per-rank collective sequence counter; all ranks of a communicator
+    /// must issue collectives in the same order (MPI semantics).
+    seq: std::cell::Cell<u64>,
+}
+
+impl Comm {
+    /// This rank's index in `0..size()`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the communicator.
+    pub fn size(&self) -> usize {
+        self.shared.size
+    }
+
+    /// `true` on rank 0.
+    pub fn is_root(&self) -> bool {
+        self.rank == 0
+    }
+
+    fn stats_cell(&self) -> &StatsCell {
+        &self.shared.stats[self.rank]
+    }
+
+    /// Snapshot of this rank's traffic counters.
+    pub fn stats(&self) -> CommStats {
+        self.stats_cell().snapshot()
+    }
+
+    fn next_seq(&self) -> u64 {
+        let s = self.seq.get();
+        self.seq.set(s + 1);
+        s
+    }
+
+    /// Synchronizes all ranks.
+    pub fn barrier(&self) {
+        self.stats_cell().barriers.fetch_add(1, Ordering::Relaxed);
+        self.shared.barrier.wait();
+    }
+
+    /// The fundamental rendezvous: every rank contributes one value and
+    /// receives everyone's values in rank order.
+    pub fn allgather<T: CommData>(&self, value: T) -> Vec<T> {
+        let seq = self.next_seq();
+        let n = self.size();
+        let bytes = value.comm_bytes() as u64;
+        let cell = self.stats_cell();
+        cell.collectives.fetch_add(1, Ordering::Relaxed);
+        cell.bytes_sent.fetch_add(bytes * (n as u64 - 1), Ordering::Relaxed);
+        {
+            let mut slots = self.shared.slots.lock();
+            let entry = slots.entry(seq).or_insert_with(|| {
+                let mut v = Vec::with_capacity(n);
+                v.resize_with(n, || None);
+                v
+            });
+            entry[self.rank] = Some(Box::new(value));
+        }
+        self.shared.barrier.wait();
+        let out: Vec<T> = {
+            let slots = self.shared.slots.lock();
+            let entry = slots.get(&seq).expect("collective slots vanished");
+            entry
+                .iter()
+                .map(|s| {
+                    s.as_ref()
+                        .expect("rank missing from collective")
+                        .downcast_ref::<T>()
+                        .expect("collective type mismatch across ranks")
+                        .clone()
+                })
+                .collect()
+        };
+        let recv_bytes: u64 = out.iter().map(|x| x.comm_bytes() as u64).sum();
+        cell.bytes_received
+            .fetch_add(recv_bytes.saturating_sub(bytes), Ordering::Relaxed);
+        self.shared.barrier.wait();
+        if self.rank == 0 {
+            self.shared.slots.lock().remove(&seq);
+        }
+        out
+    }
+
+    /// Broadcast from `root`. Only the root's `value` is used; other ranks
+    /// may pass `None`.
+    pub fn bcast<T: CommData>(&self, root: usize, value: Option<T>) -> T {
+        assert!(root < self.size());
+        assert!(
+            self.rank != root || value.is_some(),
+            "bcast root must supply a value"
+        );
+        let contrib = if self.rank == root { value } else { None };
+        let gathered = self.allgather(contrib);
+        gathered[root].clone().expect("bcast root value missing")
+    }
+
+    /// Reduction to all ranks with a caller-supplied associative fold.
+    pub fn allreduce<T: CommData, F: Fn(T, T) -> T>(&self, value: T, op: F) -> T {
+        let gathered = self.allgather(value);
+        let mut it = gathered.into_iter();
+        let first = it.next().expect("empty communicator");
+        it.fold(first, op)
+    }
+
+    /// Elementwise vector sum allreduce for complex payloads — the pattern
+    /// of the two-stage GPP kernel reduction (paper Sec. 5.5.1, item 5).
+    pub fn allreduce_sum_c64(&self, value: Vec<bgw_num::Complex64>) -> Vec<bgw_num::Complex64> {
+        self.allreduce(value, |mut a, b| {
+            assert_eq!(a.len(), b.len(), "allreduce length mismatch");
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += y;
+            }
+            a
+        })
+    }
+
+    /// Gather to `root`; non-roots receive `None`.
+    pub fn gather<T: CommData>(&self, root: usize, value: T) -> Option<Vec<T>> {
+        let all = self.allgather(value);
+        (self.rank == root).then_some(all)
+    }
+
+    /// Scatter from `root`: the root supplies one value per rank.
+    pub fn scatter<T: CommData>(&self, root: usize, values: Option<Vec<T>>) -> T {
+        if let Some(v) = &values {
+            assert!(self.rank != root || v.len() == self.size(), "scatter length");
+        }
+        let all = self.bcast(root, values);
+        all[self.rank].clone()
+    }
+
+    /// Reduce-scatter: every rank contributes `size()` values; value `j`
+    /// from every rank is folded with `op` and delivered to rank `j`.
+    pub fn reduce_scatter<T: CommData, F: Fn(T, T) -> T>(&self, values: Vec<T>, op: F) -> T {
+        assert_eq!(values.len(), self.size(), "reduce_scatter needs size() items");
+        let matrix = self.allgather(values);
+        let mut it = matrix.into_iter().map(|row| row[self.rank].clone());
+        let first = it.next().expect("empty communicator");
+        it.fold(first, op)
+    }
+
+    /// Combined send + receive with one peer (deadlock-safe ordering).
+    pub fn sendrecv<T: CommData>(&self, peer: usize, tag: u64, value: T) -> T {
+        if peer == self.rank {
+            return value;
+        }
+        self.send(peer, tag, value);
+        self.recv(peer, tag)
+    }
+
+    /// All-to-all personalized exchange: element `j` of this rank's input
+    /// goes to rank `j`; the result's element `i` came from rank `i`.
+    pub fn alltoall<T: CommData>(&self, values: Vec<T>) -> Vec<T> {
+        assert_eq!(values.len(), self.size(), "alltoall needs size() items");
+        let matrix = self.allgather(values);
+        (0..self.size()).map(|src| matrix[src][self.rank].clone()).collect()
+    }
+
+    /// Point-to-point send (buffered; matching is by `(from, to, tag)`).
+    pub fn send<T: CommData>(&self, to: usize, tag: u64, value: T) {
+        assert!(to < self.size());
+        let cell = self.stats_cell();
+        cell.messages.fetch_add(1, Ordering::Relaxed);
+        cell.bytes_sent.fetch_add(value.comm_bytes() as u64, Ordering::Relaxed);
+        let mut mb = self.shared.mailbox.lock();
+        let key = (self.rank, to, tag);
+        assert!(
+            !mb.contains_key(&key),
+            "duplicate in-flight message (from {}, to {to}, tag {tag})",
+            self.rank
+        );
+        mb.insert(key, Box::new(value));
+        self.shared.mailbox_cv.notify_all();
+    }
+
+    /// Point-to-point receive; blocks until the matching send arrives.
+    pub fn recv<T: CommData>(&self, from: usize, tag: u64) -> T {
+        assert!(from < self.size());
+        let key = (from, self.rank, tag);
+        let boxed = {
+            let mut mb = self.shared.mailbox.lock();
+            loop {
+                if let Some(b) = mb.remove(&key) {
+                    break b;
+                }
+                self.shared.mailbox_cv.wait(&mut mb);
+            }
+        };
+        let value = *boxed.downcast::<T>().expect("recv type mismatch");
+        self.stats_cell()
+            .bytes_received
+            .fetch_add(T::comm_bytes(&value) as u64, Ordering::Relaxed);
+        value
+    }
+
+    /// Splits the communicator by `color`; ranks sharing a color form a new
+    /// communicator ordered by `(key, old rank)`. This is how self-energy
+    /// pools are carved out of the world communicator.
+    pub fn split(&self, color: u64, key: u64) -> Comm {
+        let split_seq = self.next_seq();
+        let members = self.allgather((color, key));
+        // Deterministic group layout on every rank.
+        let mut group: Vec<(u64, usize)> = members
+            .iter()
+            .enumerate()
+            .filter(|(_, (c, _))| *c == color)
+            .map(|(r, (_, k))| (*k, r))
+            .collect();
+        group.sort();
+        let new_rank = group
+            .iter()
+            .position(|&(_, r)| r == self.rank)
+            .expect("rank missing from its own split group");
+        let shared = {
+            let mut reg = self.shared.splits.lock();
+            reg.entry((split_seq, color))
+                .or_insert_with(|| WorldShared::new(group.len()))
+                .clone()
+        };
+        // Make sure everyone grabbed their Arc before cleanup.
+        self.barrier();
+        if self.rank == 0 {
+            self.shared.splits.lock().retain(|(s, _), _| *s != split_seq);
+        }
+        Comm {
+            rank: new_rank,
+            shared,
+            seq: std::cell::Cell::new(0),
+        }
+    }
+}
+
+/// Spawns `size` rank threads, runs `f` on each with its [`Comm`] handle,
+/// and returns the per-rank results (index = rank) together with the
+/// per-rank traffic statistics.
+pub fn run_world<R, F>(size: usize, f: F) -> (Vec<R>, Vec<CommStats>)
+where
+    R: Send,
+    F: Fn(&Comm) -> R + Send + Sync,
+{
+    assert!(size >= 1, "world needs at least one rank");
+    let shared = WorldShared::new(size);
+    let mut results: Vec<Option<R>> = Vec::with_capacity(size);
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(size);
+        for rank in 0..size {
+            let shared = shared.clone();
+            let f = &f;
+            handles.push(s.spawn(move || {
+                let comm = Comm {
+                    rank,
+                    shared,
+                    seq: std::cell::Cell::new(0),
+                };
+                f(&comm)
+            }));
+        }
+        for h in handles {
+            results.push(Some(h.join().expect("rank thread panicked")));
+        }
+    });
+    let stats = shared.stats.iter().map(|c| c.snapshot()).collect();
+    (results.into_iter().map(|r| r.unwrap()).collect(), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgw_num::c64;
+
+    #[test]
+    fn world_runs_every_rank() {
+        let (out, stats) = run_world(4, |c| c.rank() * 10 + c.size());
+        assert_eq!(out, vec![4, 14, 24, 34]);
+        assert_eq!(stats.len(), 4);
+    }
+
+    #[test]
+    fn allgather_orders_by_rank() {
+        let (out, _) = run_world(5, |c| c.allgather(c.rank() as u64 * 2));
+        for gathered in out {
+            assert_eq!(gathered, vec![0, 2, 4, 6, 8]);
+        }
+    }
+
+    #[test]
+    fn bcast_from_nonzero_root() {
+        let (out, _) = run_world(4, |c| {
+            let v = if c.rank() == 2 { Some(99u64) } else { None };
+            c.bcast(2, v)
+        });
+        assert_eq!(out, vec![99; 4]);
+    }
+
+    #[test]
+    fn allreduce_sums() {
+        let (out, _) = run_world(6, |c| c.allreduce(c.rank() as u64 + 1, |a, b| a + b));
+        assert_eq!(out, vec![21; 6]);
+    }
+
+    #[test]
+    fn allreduce_sum_c64_elementwise() {
+        let (out, _) = run_world(3, |c| {
+            let v = vec![c64(c.rank() as f64, 1.0), c64(0.0, c.rank() as f64)];
+            c.allreduce_sum_c64(v)
+        });
+        for o in out {
+            assert_eq!(o[0], c64(3.0, 3.0));
+            assert_eq!(o[1], c64(0.0, 3.0));
+        }
+    }
+
+    #[test]
+    fn gather_only_root_receives() {
+        let (out, _) = run_world(3, |c| c.gather(1, c.rank() as u64));
+        assert_eq!(out[0], None);
+        assert_eq!(out[1], Some(vec![0, 1, 2]));
+        assert_eq!(out[2], None);
+    }
+
+    #[test]
+    fn scatter_distributes_in_rank_order() {
+        let (out, _) = run_world(4, |c| {
+            let data = c.is_root().then(|| vec![10u64, 20, 30, 40]);
+            c.scatter(0, data)
+        });
+        assert_eq!(out, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn alltoall_transposes() {
+        let n = 4;
+        let (out, _) = run_world(n, |c| {
+            let send: Vec<u64> = (0..n).map(|j| (c.rank() * 100 + j) as u64).collect();
+            c.alltoall(send)
+        });
+        for (me, recv) in out.iter().enumerate() {
+            for (src, &v) in recv.iter().enumerate() {
+                assert_eq!(v, (src * 100 + me) as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_folds_columns() {
+        let n = 4;
+        let (out, _) = run_world(n, |c| {
+            // rank r contributes [r*10 + 0, ..., r*10 + 3]
+            let v: Vec<u64> = (0..n).map(|j| (c.rank() * 10 + j) as u64).collect();
+            c.reduce_scatter(v, |a, b| a + b)
+        });
+        // rank j receives sum_r (10 r + j) = 10*6 + 4j
+        for (j, &v) in out.iter().enumerate() {
+            assert_eq!(v, 60 + 4 * j as u64);
+        }
+    }
+
+    #[test]
+    fn sendrecv_exchanges_pairs() {
+        let (out, _) = run_world(4, |c| {
+            let peer = c.rank() ^ 1; // swap within pairs (0,1) and (2,3)
+            c.sendrecv(peer, 9, c.rank() as u64 * 100)
+        });
+        assert_eq!(out, vec![100, 0, 300, 200]);
+    }
+
+    #[test]
+    fn sendrecv_self_is_identity() {
+        let (out, _) = run_world(2, |c| c.sendrecv(c.rank(), 1, c.rank() as u64));
+        assert_eq!(out, vec![0, 1]);
+    }
+
+    #[test]
+    fn send_recv_point_to_point() {
+        let (out, stats) = run_world(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 7, vec![1.0f64, 2.0, 3.0]);
+                0.0
+            } else {
+                let v: Vec<f64> = c.recv(0, 7);
+                v.iter().sum()
+            }
+        });
+        assert_eq!(out[1], 6.0);
+        assert_eq!(stats[0].messages, 1);
+        assert_eq!(stats[0].bytes_sent, 24);
+        assert_eq!(stats[1].bytes_received, 24);
+    }
+
+    #[test]
+    fn send_recv_out_of_order_tags() {
+        let (out, _) = run_world(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 1, 111u64);
+                c.send(1, 2, 222u64);
+                0
+            } else {
+                // receive in the opposite order
+                let b: u64 = c.recv(0, 2);
+                let a: u64 = c.recv(0, 1);
+                a * 1000 + b
+            }
+        });
+        assert_eq!(out[1], 111_222);
+    }
+
+    #[test]
+    fn split_into_pools() {
+        // 6 ranks -> 2 pools of 3 (pool = rank % 2), like self-energy pools.
+        let (out, _) = run_world(6, |c| {
+            let pool = c.split((c.rank() % 2) as u64, c.rank() as u64);
+            let sum = pool.allreduce(c.rank() as u64, |a, b| a + b);
+            (pool.rank(), pool.size(), sum)
+        });
+        // even ranks 0,2,4 -> pool sums 6; odd 1,3,5 -> 9
+        let expect = |r: usize| {
+            let sum = if r % 2 == 0 { 6 } else { 9 };
+            (r / 2, 3usize, sum as u64)
+        };
+        for (r, got) in out.iter().enumerate() {
+            let (pr, ps, sum) = expect(r);
+            assert_eq!(*got, (pr, ps, sum), "rank {r}");
+        }
+    }
+
+    #[test]
+    fn nested_split_and_parent_still_usable() {
+        let (out, _) = run_world(4, |c| {
+            let pool = c.split((c.rank() / 2) as u64, 0);
+            let local = pool.allreduce(1u64, |a, b| a + b);
+            // parent communicator still works afterwards
+            c.allreduce(local, |a, b| a + b)
+        });
+        assert_eq!(out, vec![8; 4]);
+    }
+
+    #[test]
+    fn traffic_accounting_counts_collectives() {
+        let (_, stats) = run_world(3, |c| {
+            let _ = c.allgather(1.0f64);
+            c.barrier();
+        });
+        for st in &stats {
+            assert_eq!(st.collectives, 1);
+            assert_eq!(st.barriers, 1);
+            assert_eq!(st.bytes_sent, 16); // 8 bytes to each of 2 peers
+            assert_eq!(st.bytes_received, 16);
+        }
+    }
+
+    #[test]
+    fn single_rank_world() {
+        let (out, _) = run_world(1, |c| {
+            let g = c.allgather(5u64);
+            let r = c.allreduce(3u64, |a, b| a + b);
+            c.barrier();
+            (g, r)
+        });
+        assert_eq!(out[0], (vec![5], 3));
+    }
+
+    #[test]
+    fn barrier_synchronizes_phases() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let phase1 = AtomicUsize::new(0);
+        let (out, _) = run_world(4, |c| {
+            phase1.fetch_add(1, Ordering::SeqCst);
+            c.barrier();
+            // after the barrier every rank must observe all 4 increments
+            phase1.load(Ordering::SeqCst)
+        });
+        assert_eq!(out, vec![4; 4]);
+    }
+}

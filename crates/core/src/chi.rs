@@ -1,0 +1,530 @@
+//! CHI_SUM: the RPA polarizability (paper Eq. 4) with the NV-Block
+//! algorithm.
+//!
+//! `chi_GG'(omega) = 2 sum_vc M_vc^{G*} Delta_vc(omega) M_vc^{G'}`.
+//!
+//! The naive implementation stores all `N_v N_c` matrix-element rows at
+//! once — the O(N^3) memory bottleneck of Sec. 5.2. The NV-Block algorithm
+//! processes the valence bands in blocks: each block's `M` panel is built
+//! (MTXEL), contracted into `chi` via ZGEMM (CHI_SUM), and discarded. The
+//! result is exactly independent of the block size, which the tests check.
+//!
+//! Frequencies reuse the same `M` panels: the zero-frequency pass (CHI-0)
+//! and the finite-frequency passes (CHI-Freq) differ only in the energy
+//! denominator `Delta_vc(omega)`.
+
+use crate::mtxel::Mtxel;
+use bgw_linalg::{zgemm, CMatrix, GemmBackend, Op};
+use bgw_num::{c64, Complex64};
+use bgw_pwdft::Wavefunctions;
+use std::time::Instant;
+
+/// Configuration for the polarizability build.
+#[derive(Clone, Copy, Debug)]
+pub struct ChiConfig {
+    /// Valence bands per NV block.
+    pub nv_block: usize,
+    /// Lorentzian broadening (Ry) for finite real frequencies.
+    pub eta_ry: f64,
+    /// GEMM backend for the CHI_SUM contraction.
+    pub backend: GemmBackend,
+    /// Momentum magnitude (bohr^-1) for the k.p head of the `G = 0`
+    /// matrix elements; use the `q0` of the Coulomb interaction so that
+    /// the screening head is consistent. `0` disables the correction.
+    pub q0: f64,
+}
+
+impl Default for ChiConfig {
+    fn default() -> Self {
+        Self {
+            nv_block: 4,
+            eta_ry: 0.05,
+            backend: GemmBackend::Parallel,
+            q0: 0.2,
+        }
+    }
+}
+
+/// Timing/work breakdown of one polarizability build, keyed to the kernel
+/// names of paper Fig. 3.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ChiTimings {
+    /// Seconds in the MTXEL kernel (FFT matrix elements).
+    pub t_mtxel: f64,
+    /// Seconds in the zero-frequency contraction (CHI-0).
+    pub t_chi0: f64,
+    /// Seconds in the finite-frequency contractions (CHI-Freq).
+    pub t_chifreq: f64,
+    /// ZGEMM FLOPs executed.
+    pub flops: u64,
+}
+
+/// The energy factor `Delta_vc(omega)` of Eq. 4 (time-ordered RPA with
+/// broadening `eta`): `1/(E_v - E_c - w - i eta) + 1/(E_v - E_c + w + i eta)`.
+pub fn delta_vc(e_v: f64, e_c: f64, omega: f64, eta: f64) -> Complex64 {
+    let de = e_v - e_c; // negative
+    let a = c64(de - omega, -eta).inv();
+    let b = c64(de + omega, eta).inv();
+    a + b
+}
+
+/// Polarizability engine holding cached conduction-band amplitudes.
+pub struct ChiEngine<'a> {
+    wf: &'a Wavefunctions,
+    mtxel: &'a Mtxel,
+    /// Real-space amplitudes of all conduction bands (index by `c`).
+    cond_real: Vec<Vec<Complex64>>,
+    cfg: ChiConfig,
+}
+
+impl<'a> ChiEngine<'a> {
+    /// Builds the engine, caching all conduction-band FFTs once.
+    pub fn new(wf: &'a Wavefunctions, mtxel: &'a Mtxel, cfg: ChiConfig) -> Self {
+        let nv = wf.n_valence;
+        let nc = wf.n_conduction();
+        assert!(nc > 0, "no conduction bands");
+        let cond_real: Vec<Vec<Complex64>> = (0..nc)
+            .map(|c| mtxel.to_real_space(wf, nv + c))
+            .collect();
+        Self { wf, mtxel, cond_real, cfg }
+    }
+
+    /// Number of output G-vectors.
+    pub fn n_g(&self) -> usize {
+        self.mtxel.n_out()
+    }
+
+    /// Builds the `M` panel for valence bands `v0..v1`: row `(v - v0) * N_c
+    /// + c` holds `M_vc^G` over the output sphere.
+    pub fn m_panel(&self, v0: usize, v1: usize) -> CMatrix {
+        let nc = self.wf.n_conduction();
+        let ng = self.n_g();
+        let mut panel = CMatrix::zeros((v1 - v0) * nc, ng);
+        for v in v0..v1 {
+            let psi_v = self.mtxel.to_real_space(self.wf, v);
+            for c in 0..nc {
+                let mut row = self.mtxel.pair_from_real(&psi_v, &self.cond_real[c]);
+                row[0] = self
+                    .mtxel
+                    .head_kp(self.wf, v, self.wf.n_valence + c, self.cfg.q0);
+                panel.row_mut((v - v0) * nc + c).copy_from_slice(&row);
+            }
+        }
+        panel
+    }
+
+    /// Computes `chi(omega_i)` for every requested frequency (Ry), using
+    /// NV blocks over a subset of valence bands (all bands when
+    /// `valence_subset` is `None`). The zero-frequency entry uses `eta = 0`
+    /// so the static polarizability is exactly Hermitian.
+    pub fn chi_freqs_subset(
+        &self,
+        omegas: &[f64],
+        valence_subset: Option<&[usize]>,
+        timings: &mut ChiTimings,
+    ) -> Vec<CMatrix> {
+        let ng = self.n_g();
+        let nc = self.wf.n_conduction();
+        let all: Vec<usize>;
+        let vs: &[usize] = match valence_subset {
+            Some(v) => v,
+            None => {
+                all = (0..self.wf.n_valence).collect();
+                &all
+            }
+        };
+        let mut chis = vec![CMatrix::zeros(ng, ng); omegas.len()];
+        // NV blocks over the subset.
+        for chunk in vs.chunks(self.cfg.nv_block.max(1)) {
+            let t0 = Instant::now();
+            // Build this block's M panel (rows: (idx within chunk, c)).
+            let mut panel = CMatrix::zeros(chunk.len() * nc, ng);
+            for (i, &v) in chunk.iter().enumerate() {
+                let psi_v = self.mtxel.to_real_space(self.wf, v);
+                for c in 0..nc {
+                    let mut row = self.mtxel.pair_from_real(&psi_v, &self.cond_real[c]);
+                    row[0] = self
+                        .mtxel
+                        .head_kp(self.wf, v, self.wf.n_valence + c, self.cfg.q0);
+                    panel.row_mut(i * nc + c).copy_from_slice(&row);
+                }
+            }
+            timings.t_mtxel += t0.elapsed().as_secs_f64();
+
+            for (wi, &omega) in omegas.iter().enumerate() {
+                let t1 = Instant::now();
+                let eta = if omega == 0.0 { 0.0 } else { self.cfg.eta_ry };
+                // scaled = Delta * M (row scaling)
+                let mut scaled = panel.clone();
+                for (i, &v) in chunk.iter().enumerate() {
+                    for c in 0..nc {
+                        let d = delta_vc(
+                            self.wf.energies[v],
+                            self.wf.energies[self.wf.n_valence + c],
+                            omega,
+                            eta,
+                        );
+                        for z in scaled.row_mut(i * nc + c) {
+                            *z *= d;
+                        }
+                    }
+                }
+                // chi += 2 M^dagger scaled
+                zgemm(
+                    c64(2.0, 0.0),
+                    &panel,
+                    Op::Adj,
+                    &scaled,
+                    Op::None,
+                    Complex64::ONE,
+                    &mut chis[wi],
+                    self.cfg.backend,
+                );
+                timings.flops += bgw_linalg::zgemm_flops(ng, panel.nrows(), ng);
+                let dt = t1.elapsed().as_secs_f64();
+                if omega == 0.0 {
+                    timings.t_chi0 += dt;
+                } else {
+                    timings.t_chifreq += dt;
+                }
+            }
+        }
+        chis
+    }
+
+    /// Finite-frequency polarizability in a subspace basis (paper Eq. 6):
+    /// `chi_BB'(omega) = 2 sum_vc M_vc^{B*} Delta_vc(omega) M_vc^{B'}`
+    /// with `M^B = sum_G M^G C_s^{GB}`. The `basis` columns must be the
+    /// subspace vectors in the *symmetrized* representation, so the `M`
+    /// rows are symmetrized with `vsqrt` before projection; the returned
+    /// matrices are the symmetrized subspace `chi~_BB'`.
+    ///
+    /// This is the CHI-Freq kernel: the full plane-wave basis is only ever
+    /// touched by the projection GEMM, so each frequency costs
+    /// `O(N_v N_c N_Eig^2)` instead of `O(N_v N_c N_G^2)`.
+    pub fn chi_freqs_subspace(
+        &self,
+        omegas: &[f64],
+        basis: &CMatrix,
+        vsqrt: &[f64],
+        timings: &mut ChiTimings,
+    ) -> Vec<CMatrix> {
+        let ng = self.n_g();
+        assert_eq!(basis.nrows(), ng, "basis rows must match N_G");
+        assert_eq!(vsqrt.len(), ng);
+        let n_eig = basis.ncols();
+        let nc = self.wf.n_conduction();
+        let mut chis = vec![CMatrix::zeros(n_eig, n_eig); omegas.len()];
+        for chunk in (0..self.wf.n_valence)
+            .collect::<Vec<_>>()
+            .chunks(self.cfg.nv_block.max(1))
+        {
+            let t0 = Instant::now();
+            let mut panel = CMatrix::zeros(chunk.len() * nc, ng);
+            for (i, &v) in chunk.iter().enumerate() {
+                let psi_v = self.mtxel.to_real_space(self.wf, v);
+                for c in 0..nc {
+                    let mut row = self.mtxel.pair_from_real(&psi_v, &self.cond_real[c]);
+                    row[0] = self
+                        .mtxel
+                        .head_kp(self.wf, v, self.wf.n_valence + c, self.cfg.q0);
+                    for (g, x) in row.iter_mut().enumerate() {
+                        *x = x.scale(vsqrt[g]);
+                    }
+                    panel.row_mut(i * nc + c).copy_from_slice(&row);
+                }
+            }
+            timings.t_mtxel += t0.elapsed().as_secs_f64();
+            // Projection (the Transf-like step folded into CHI-Freq).
+            let t1 = Instant::now();
+            let projected = bgw_linalg::matmul(
+                &panel,
+                Op::None,
+                basis,
+                Op::None,
+                self.cfg.backend,
+            );
+            timings.flops += bgw_linalg::zgemm_flops(panel.nrows(), ng, n_eig);
+            for (wi, &omega) in omegas.iter().enumerate() {
+                let eta = if omega == 0.0 { 0.0 } else { self.cfg.eta_ry };
+                let mut scaled = projected.clone();
+                for (i, &v) in chunk.iter().enumerate() {
+                    for c in 0..nc {
+                        let d = delta_vc(
+                            self.wf.energies[v],
+                            self.wf.energies[self.wf.n_valence + c],
+                            omega,
+                            eta,
+                        );
+                        for z in scaled.row_mut(i * nc + c) {
+                            *z *= d;
+                        }
+                    }
+                }
+                zgemm(
+                    c64(2.0, 0.0),
+                    &projected,
+                    Op::Adj,
+                    &scaled,
+                    Op::None,
+                    Complex64::ONE,
+                    &mut chis[wi],
+                    self.cfg.backend,
+                );
+                timings.flops +=
+                    bgw_linalg::zgemm_flops(n_eig, projected.nrows(), n_eig);
+            }
+            timings.t_chifreq += t1.elapsed().as_secs_f64();
+        }
+        chis
+    }
+
+    /// Static polarizability `chi(0)`.
+    pub fn chi_static(&self) -> CMatrix {
+        let mut t = ChiTimings::default();
+        self.chi_freqs_subset(&[0.0], None, &mut t).pop().unwrap()
+    }
+
+    /// Full-frequency set over all valence bands.
+    pub fn chi_freqs(&self, omegas: &[f64]) -> (Vec<CMatrix>, ChiTimings) {
+        let mut t = ChiTimings::default();
+        let chis = self.chi_freqs_subset(omegas, None, &mut t);
+        (chis, t)
+    }
+}
+
+/// Two-level distributed full-frequency polarizability: the ranks of
+/// `comm` form a `frequency-pools x band-ranks` grid — the paper's
+/// "multi-layer parallelizations (including the additional level over
+/// frequencies)" for GW-FF (Sec. 7.2). Each pool owns a subset of the
+/// frequencies; within a pool the valence bands are split round-robin and
+/// pool-allreduced. Every rank returns the full set of matrices
+/// (all-gathered across pools at the end).
+///
+/// `n_pools` must divide into `comm.size()` sensibly; it is clamped to
+/// `[1, min(n_freq, size)]`.
+pub fn chi_distributed_2d(
+    comm: &bgw_comm::Comm,
+    wf: &Wavefunctions,
+    mtxel: &Mtxel,
+    cfg: ChiConfig,
+    omegas: &[f64],
+    n_pools: usize,
+) -> Vec<CMatrix> {
+    let n_pools = n_pools.clamp(1, omegas.len().min(comm.size()));
+    let pool_id = comm.rank() % n_pools;
+    let pool = comm.split(pool_id as u64, comm.rank() as u64);
+    // frequencies owned by this pool
+    let my_freqs: Vec<(usize, f64)> = omegas
+        .iter()
+        .cloned()
+        .enumerate()
+        .filter(|(i, _)| i % n_pools == pool_id)
+        .collect();
+    let freq_vals: Vec<f64> = my_freqs.iter().map(|&(_, w)| w).collect();
+    // band split inside the pool
+    let engine = ChiEngine::new(wf, mtxel, cfg);
+    let mine: Vec<usize> = (0..wf.n_valence)
+        .filter(|v| v % pool.size() == pool.rank())
+        .collect();
+    let mut t = ChiTimings::default();
+    let partials = engine.chi_freqs_subset(&freq_vals, Some(&mine), &mut t);
+    let ng = engine.n_g();
+    let pool_results: Vec<(u64, Vec<Complex64>)> = my_freqs
+        .iter()
+        .zip(partials)
+        .map(|(&(i, _), chi)| {
+            let reduced = pool.allreduce_sum_c64(chi.as_slice().to_vec());
+            (i as u64, reduced)
+        })
+        .collect();
+    // exchange across pools via the world communicator
+    let gathered = comm.allgather(pool_results);
+    let mut out = vec![CMatrix::zeros(ng, ng); omegas.len()];
+    for rank_items in gathered {
+        for (i, flat) in rank_items {
+            out[i as usize] = CMatrix::from_vec(ng, ng, flat);
+        }
+    }
+    out
+}
+
+/// Distributed polarizability: each rank of `comm` computes the partial sum
+/// over its (round-robin) share of the valence bands and the results are
+/// summed with an allreduce — the parallel decomposition of the Epsilon
+/// module.
+pub fn chi_distributed(
+    comm: &bgw_comm::Comm,
+    wf: &Wavefunctions,
+    mtxel: &Mtxel,
+    cfg: ChiConfig,
+    omegas: &[f64],
+) -> Vec<CMatrix> {
+    let engine = ChiEngine::new(wf, mtxel, cfg);
+    let mine: Vec<usize> = (0..wf.n_valence)
+        .filter(|v| v % comm.size() == comm.rank())
+        .collect();
+    let mut t = ChiTimings::default();
+    let partials = engine.chi_freqs_subset(omegas, Some(&mine), &mut t);
+    partials
+        .into_iter()
+        .map(|chi| {
+            let ng = chi.nrows();
+            let reduced = comm.allreduce_sum_c64(chi.as_slice().to_vec());
+            CMatrix::from_vec(ng, ng, reduced)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgw_pwdft::{solve_bands, Crystal, GSphere, Species};
+
+    fn setup() -> (GSphere, GSphere, Wavefunctions) {
+        let c = Crystal::diamond(Species::Si, bgw_pwdft::pseudo::SI_A0);
+        let wfn = GSphere::new(&c.lattice, 2.2);
+        let eps = GSphere::new(&c.lattice, 1.0);
+        let wf = solve_bands(&c, &wfn, 24);
+        (wfn, eps, wf)
+    }
+
+    #[test]
+    fn delta_static_is_negative_real() {
+        let d = delta_vc(-0.5, 0.3, 0.0, 0.0);
+        assert!(d.im.abs() < 1e-15);
+        assert!((d.re - 2.0 / (-0.8)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chi0_is_hermitian_negative_definite() {
+        let (wfn, eps, wf) = setup();
+        let mtxel = Mtxel::new(&wfn, &eps);
+        let engine = ChiEngine::new(&wf, &mtxel, ChiConfig::default());
+        let chi = engine.chi_static();
+        assert!(chi.is_hermitian(1e-9), "err {}", chi.hermiticity_error());
+        let eig = bgw_linalg::eigvalsh(&chi);
+        assert!(
+            eig.iter().all(|&w| w < 1e-9),
+            "chi(0) must be negative semi-definite; max eig {}",
+            eig.last().unwrap()
+        );
+        // head (G=0,G=0) strictly negative: the system is polarizable
+        assert!(chi[(0, 0)].re < -1e-6);
+    }
+
+    #[test]
+    fn nv_block_size_does_not_change_result() {
+        let (wfn, eps, wf) = setup();
+        let mtxel = Mtxel::new(&wfn, &eps);
+        let reference = ChiEngine::new(
+            &wf,
+            &mtxel,
+            ChiConfig { nv_block: 1, ..Default::default() },
+        )
+        .chi_static();
+        for nv_block in [2usize, 3, 7, 100] {
+            let chi = ChiEngine::new(
+                &wf,
+                &mtxel,
+                ChiConfig { nv_block, ..Default::default() },
+            )
+            .chi_static();
+            assert!(
+                chi.max_abs_diff(&reference) < 1e-10,
+                "nv_block = {nv_block}: {}",
+                chi.max_abs_diff(&reference)
+            );
+        }
+    }
+
+    #[test]
+    fn finite_frequency_weakens_screening() {
+        // |chi(0)| >= |chi(w)| head as w grows beyond the gap.
+        let (wfn, eps, wf) = setup();
+        let mtxel = Mtxel::new(&wfn, &eps);
+        let engine = ChiEngine::new(&wf, &mtxel, ChiConfig::default());
+        let (chis, timings) = engine.chi_freqs(&[0.0, 2.0, 6.0]);
+        let h0 = chis[0][(0, 0)].re.abs();
+        let h2 = chis[1][(0, 0)].abs();
+        let h6 = chis[2][(0, 0)].abs();
+        assert!(h0 > h2 * 0.9, "h0 {h0} vs h2 {h2}");
+        assert!(h2 > h6, "h2 {h2} vs h6 {h6}");
+        assert!(timings.t_chi0 > 0.0 && timings.t_chifreq > 0.0);
+        assert!(timings.flops > 0);
+    }
+
+    #[test]
+    fn subspace_chi_matches_projected_full_chi() {
+        // chi~_BB'(w) from Eq. 6 must equal C^dagger (v^1/2 chi(w) v^1/2) C
+        // computed the long way, exactly, for any basis.
+        let (wfn, eps, wf) = setup();
+        let mtxel = Mtxel::new(&wfn, &eps);
+        let coulomb = crate::coulomb::Coulomb::bulk_for_cell(1080.0);
+        let cfg = ChiConfig { q0: coulomb.q0, ..ChiConfig::default() };
+        let engine = ChiEngine::new(&wf, &mtxel, cfg);
+        let vsqrt = coulomb.sqrt_on_sphere(&eps);
+        let freqs = [0.0, 1.2];
+        let (chis, _) = engine.chi_freqs(&freqs);
+        // subspace from chi(0)
+        let sub = crate::subspace::Subspace::from_chi0(&chis[0], &vsqrt, eps.len() / 2);
+        let mut tm = ChiTimings::default();
+        let fast = engine.chi_freqs_subspace(&freqs, &sub.basis, &vsqrt, &mut tm);
+        for (wi, chi_w) in chis.iter().enumerate() {
+            let sym = crate::subspace::symmetrize(chi_w, &vsqrt);
+            let slow = sub.project(&sym);
+            assert!(
+                fast[wi].max_abs_diff(&slow) < 1e-9,
+                "freq {wi}: {}",
+                fast[wi].max_abs_diff(&slow)
+            );
+        }
+        assert!(tm.t_chifreq > 0.0 && tm.flops > 0);
+    }
+
+    #[test]
+    fn two_level_distribution_matches_serial() {
+        let (wfn, eps, wf) = setup();
+        let mtxel = Mtxel::new(&wfn, &eps);
+        let cfg = ChiConfig::default();
+        let freqs = [0.0, 0.8, 1.6, 2.4];
+        let (serial, _) = ChiEngine::new(&wf, &mtxel, cfg).chi_freqs(&freqs);
+        for (world, pools) in [(4usize, 2usize), (6, 3), (4, 1), (5, 4)] {
+            let (results, _) = bgw_comm::run_world(world, |comm| {
+                let mtxel = Mtxel::new(&wfn, &eps);
+                chi_distributed_2d(comm, &wf, &mtxel, cfg, &freqs, pools)
+                    .into_iter()
+                    .map(|m| m.as_slice().to_vec())
+                    .collect::<Vec<_>>()
+            });
+            for rank_out in results {
+                for (wi, flat) in rank_out.into_iter().enumerate() {
+                    let chi =
+                        CMatrix::from_vec(serial[wi].nrows(), serial[wi].ncols(), flat);
+                    assert!(
+                        chi.max_abs_diff(&serial[wi]) < 1e-10,
+                        "world {world}, pools {pools}, freq {wi}: {}",
+                        chi.max_abs_diff(&serial[wi])
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distributed_matches_serial() {
+        let (wfn, eps, wf) = setup();
+        let mtxel = Mtxel::new(&wfn, &eps);
+        let serial = ChiEngine::new(&wf, &mtxel, ChiConfig::default()).chi_static();
+        let (results, _) = bgw_comm::run_world(3, |comm| {
+            let mtxel = Mtxel::new(&wfn, &eps);
+            let chis =
+                chi_distributed(comm, &wf, &mtxel, ChiConfig::default(), &[0.0]);
+            chis[0].as_slice().to_vec()
+        });
+        for r in results {
+            let chi = CMatrix::from_vec(serial.nrows(), serial.ncols(), r);
+            assert!(chi.max_abs_diff(&serial) < 1e-10);
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Static COHSEX self-energy.
+//!
+//! The static (`omega -> 0`) limit of the GW self-energy splits into the
+//! screened-exchange and Coulomb-hole terms with no frequency dependence:
+//!
+//! `Sigma^SX_ll  = - sum_{n occ} sum_GG' m~_ln^* W~_GG'(0) m~_ln`
+//! `Sigma^COH_ll = (1/2) sum_{n} sum_GG' m~_ln^* (W~ - I)_GG'(0) m~_ln`
+//!
+//! (the COH closure `sum_n |n><n| = 1` is truncated to the computed
+//! bands, the standard sum-over-bands COHSEX). COHSEX is BerkeleyGW's
+//! cheap static option and the natural cross-check of the GPP and
+//! full-frequency kernels: all three must agree on sign and ordering of
+//! the corrections, while COHSEX systematically overbinds.
+
+use crate::epsilon::EpsilonInverse;
+use crate::sigma::SigmaContext;
+use bgw_num::Complex64;
+
+/// COHSEX result per Sigma band.
+#[derive(Clone, Copy, Debug)]
+pub struct CohsexValue {
+    /// Screened exchange (Ry), negative for occupied contributions.
+    pub sx: f64,
+    /// Coulomb hole (Ry), negative.
+    pub coh: f64,
+}
+
+impl CohsexValue {
+    /// Total static self-energy (Ry).
+    pub fn total(&self) -> f64 {
+        self.sx + self.coh
+    }
+}
+
+/// Evaluates the static COHSEX self-energy for every band of the context.
+pub fn cohsex_sigma(ctx: &SigmaContext, eps_inv: &EpsilonInverse) -> Vec<CohsexValue> {
+    let w = eps_inv.static_inv();
+    let ng = ctx.n_g();
+    assert_eq!(w.nrows(), ng);
+    let nb = ctx.n_b();
+    let mut out = Vec::with_capacity(ctx.n_sigma());
+    for m in &ctx.m_tilde {
+        let mut sx = 0.0;
+        let mut coh = 0.0;
+        for n in 0..nb {
+            let row = m.row(n);
+            // bilinear forms row^dagger W row and row^dagger (W - I) row
+            let mut w_full = Complex64::ZERO;
+            let mut norm2 = 0.0;
+            for (g, &mg) in row.iter().enumerate() {
+                let mut inner = Complex64::ZERO;
+                for (gp, &mgp) in row.iter().enumerate() {
+                    inner = inner.mul_add(w[(g, gp)], mgp);
+                }
+                w_full = w_full.conj_mul_add(mg, inner);
+                norm2 += mg.norm_sqr();
+            }
+            if n < ctx.n_occ {
+                sx -= w_full.re;
+            }
+            coh += 0.5 * (w_full.re - norm2);
+        }
+        out.push(CohsexValue { sx, coh });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sigma::diag::{gpp_sigma_diag, KernelVariant};
+    use crate::testkit;
+
+    #[test]
+    fn cohsex_has_gw_structure() {
+        let (ctx, setup) = testkit::small_context();
+        let vals = cohsex_sigma(&ctx, &setup.eps_inv);
+        assert_eq!(vals.len(), ctx.n_sigma());
+        // occupied bands: SX large and negative; COH negative for all
+        let homo = vals[ctx.homo_pos()];
+        let lumo = vals[ctx.lumo_pos()];
+        assert!(homo.sx < 0.0, "SX_HOMO = {}", homo.sx);
+        assert!(homo.coh < 0.0 && lumo.coh < 0.0, "COH must be negative");
+        // empty bands have much weaker SX (only through band mixing)
+        assert!(lumo.sx.abs() < homo.sx.abs());
+        // gap opens: Sigma_HOMO < Sigma_LUMO
+        assert!(homo.total() < lumo.total());
+    }
+
+    #[test]
+    fn cohsex_tracks_gpp_at_static_level() {
+        // COHSEX and GPP agree in sign and are the same order of
+        // magnitude; COHSEX overbinds (|Sigma| at least as large for the
+        // occupied states).
+        let (ctx, setup) = testkit::small_context();
+        let vals = cohsex_sigma(&ctx, &setup.eps_inv);
+        let grids: Vec<Vec<f64>> = ctx.sigma_energies.iter().map(|&e| vec![e]).collect();
+        let gpp = gpp_sigma_diag(&ctx, &grids, KernelVariant::Reference);
+        for s in 0..ctx.n_sigma() {
+            let c = vals[s].total();
+            let g = gpp.sigma[s][0];
+            assert_eq!(c.signum(), g.signum(), "band {s}: {c} vs {g}");
+            let ratio = (c / g).abs();
+            assert!(
+                (0.3..6.0).contains(&ratio),
+                "band {s}: COHSEX {c} vs GPP {g}"
+            );
+        }
+        let h = ctx.homo_pos();
+        assert!(
+            vals[h].total().abs() >= 0.8 * gpp.sigma[h][0].abs(),
+            "static COHSEX should not underbind dramatically"
+        );
+    }
+
+    #[test]
+    fn coh_shrinks_when_screening_is_off() {
+        // With eps^-1 = I (no screening), COH vanishes identically and SX
+        // reduces to bare exchange.
+        let (ctx, setup) = testkit::small_context();
+        let mut bare = setup.eps_inv.clone();
+        bare.inv[0] = bgw_linalg::CMatrix::identity(ctx.n_g());
+        let vals = cohsex_sigma(&ctx, &bare);
+        for v in &vals {
+            assert!(v.coh.abs() < 1e-12, "COH must vanish without screening");
+            assert!(v.sx < 0.0);
+        }
+    }
+}

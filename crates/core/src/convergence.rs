@@ -1,0 +1,185 @@
+//! Convergence studies: the GW production workflow downstream users run.
+//!
+//! GW results converge slowly in the band sum (`N_b`), the dielectric
+//! cutoff (`N_G`), and the subspace rank (`N_Eig`); every production
+//! calculation sweeps these and extrapolates. This module runs the sweeps
+//! and performs the standard `1/N_b` linear extrapolation of
+//! quasiparticle gaps (the band-sum tail falls off as `1/N_b` in 3-D).
+
+use crate::workflow::{run_gpp_gw, GwConfig};
+use bgw_pwdft::ModelSystem;
+
+/// One point of a convergence sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct ConvergencePoint {
+    /// The swept parameter's value.
+    pub parameter: f64,
+    /// QP gap at this value (Ry).
+    pub gap_qp_ry: f64,
+    /// Mean-field gap (constant across band sweeps; varies with cutoffs).
+    pub gap_mf_ry: f64,
+}
+
+/// A completed sweep with an optional extrapolated limit.
+#[derive(Clone, Debug)]
+pub struct ConvergenceStudy {
+    /// Which parameter was swept (`"n_bands"`, `"ecut_eps"`, ...).
+    pub parameter: &'static str,
+    /// The sweep data, in increasing parameter order.
+    pub points: Vec<ConvergencePoint>,
+    /// `1/x -> 0` linear extrapolation of the gap, when the sweep has at
+    /// least two points.
+    pub extrapolated_gap_ry: Option<f64>,
+}
+
+/// Least-squares line `y = a + b * (1/x)`, returning `a` (the `x -> inf`
+/// limit).
+fn extrapolate_inverse(points: &[ConvergencePoint]) -> Option<f64> {
+    if points.len() < 2 {
+        return None;
+    }
+    let n = points.len() as f64;
+    let (mut sx, mut sy, mut sxx, mut sxy) = (0.0, 0.0, 0.0, 0.0);
+    for p in points {
+        let x = 1.0 / p.parameter;
+        sx += x;
+        sy += p.gap_qp_ry;
+        sxx += x * x;
+        sxy += x * p.gap_qp_ry;
+    }
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-300 {
+        return None;
+    }
+    let b = (n * sxy - sx * sy) / denom;
+    let a = (sy - b * sx) / n;
+    Some(a)
+}
+
+/// Sweeps the total band count `N_b` at fixed geometry/cutoffs.
+pub fn sweep_bands(
+    system: &ModelSystem,
+    cfg: &GwConfig,
+    band_counts: &[usize],
+) -> ConvergenceStudy {
+    let mut points = Vec::with_capacity(band_counts.len());
+    for &nb in band_counts {
+        let mut sys = system.clone();
+        sys.n_bands = nb;
+        let r = run_gpp_gw(&sys, cfg);
+        points.push(ConvergencePoint {
+            parameter: nb as f64,
+            gap_qp_ry: r.gap_qp_ry,
+            gap_mf_ry: r.gap_mf_ry,
+        });
+    }
+    let extrapolated_gap_ry = extrapolate_inverse(&points);
+    ConvergenceStudy {
+        parameter: "n_bands",
+        points,
+        extrapolated_gap_ry,
+    }
+}
+
+/// Sweeps the dielectric cutoff (hence `N_G`) at fixed bands.
+pub fn sweep_eps_cutoff(
+    system: &ModelSystem,
+    cfg: &GwConfig,
+    cutoffs_ry: &[f64],
+) -> ConvergenceStudy {
+    let mut points = Vec::with_capacity(cutoffs_ry.len());
+    for &ec in cutoffs_ry {
+        let mut sys = system.clone();
+        sys.ecut_eps_ry = ec;
+        let r = run_gpp_gw(&sys, cfg);
+        points.push(ConvergencePoint {
+            parameter: ec,
+            gap_qp_ry: r.gap_qp_ry,
+            gap_mf_ry: r.gap_mf_ry,
+        });
+    }
+    let extrapolated_gap_ry = extrapolate_inverse(&points);
+    ConvergenceStudy {
+        parameter: "ecut_eps_ry",
+        points,
+        extrapolated_gap_ry,
+    }
+}
+
+impl ConvergenceStudy {
+    /// Largest gap change between consecutive sweep points (Ry) — the
+    /// usual "is it converged" number.
+    pub fn max_step(&self) -> f64 {
+        self.points
+            .windows(2)
+            .map(|w| (w[1].gap_qp_ry - w[0].gap_qp_ry).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Gap change over the last step (Ry).
+    pub fn last_step(&self) -> f64 {
+        let n = self.points.len();
+        if n < 2 {
+            return f64::NAN;
+        }
+        (self.points[n - 1].gap_qp_ry - self.points[n - 2].gap_qp_ry).abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgw_pwdft::si_bulk;
+
+    #[test]
+    fn extrapolation_recovers_linear_model() {
+        // y = 2 + 5/x sampled at several x: the limit must be 2.
+        let pts: Vec<ConvergencePoint> = [10.0, 20.0, 40.0, 80.0]
+            .iter()
+            .map(|&x| ConvergencePoint {
+                parameter: x,
+                gap_qp_ry: 2.0 + 5.0 / x,
+                gap_mf_ry: 0.0,
+            })
+            .collect();
+        let a = extrapolate_inverse(&pts).unwrap();
+        assert!((a - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn band_sweep_converges_and_extrapolates() {
+        let sys = si_bulk(1, 2.4);
+        let cfg = GwConfig::default();
+        let study = sweep_bands(&sys, &cfg, &[22, 28, 36, 44]);
+        assert_eq!(study.points.len(), 4);
+        // the band-sum tail shrinks: later steps smaller than the max step
+        assert!(study.last_step() <= study.max_step() + 1e-12);
+        let extrap = study.extrapolated_gap_ry.unwrap();
+        assert!(extrap.is_finite());
+        // the extrapolated value lies beyond the last computed point in
+        // the direction of convergence (monotone tail) or within the
+        // sweep's spread
+        let last = study.points.last().unwrap().gap_qp_ry;
+        let first = study.points[0].gap_qp_ry;
+        let spread = (first - last).abs();
+        assert!(
+            (extrap - last).abs() <= 2.0 * spread + 5e-3,
+            "extrapolation {extrap} too far from the sweep [{first}, {last}]"
+        );
+        // mean-field gap must not depend on N_b
+        for w in study.points.windows(2) {
+            assert!((w[0].gap_mf_ry - w[1].gap_mf_ry).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cutoff_sweep_runs() {
+        let mut sys = si_bulk(1, 2.4);
+        sys.n_bands = 26;
+        let cfg = GwConfig::default();
+        let study = sweep_eps_cutoff(&sys, &cfg, &[0.5, 0.7, 0.9]);
+        assert_eq!(study.parameter, "ecut_eps_ry");
+        assert_eq!(study.points.len(), 3);
+        assert!(study.points.iter().all(|p| p.gap_qp_ry.is_finite()));
+    }
+}

@@ -1,0 +1,154 @@
+//! The bare Coulomb interaction in reciprocal space.
+//!
+//! `v(G) = 8 pi / (Omega |G + q|^2)` in Rydberg atomic units, normalized
+//! per supercell volume `Omega` — the convention matching unit-normalized
+//! plane-wave coefficients, so that `Sigma_x = -sum_n sum_G v(G) |M|^2`
+//! comes out in Ry directly. Gamma-point supercell calculations regularize
+//! the `G = 0` divergence with the miniBZ-averaged `q -> 0` shift (the
+//! standard BerkeleyGW treatment for the head of the dielectric matrix);
+//! an optional 2-D slab truncation supports the BN-sheet systems.
+
+use bgw_pwdft::GSphere;
+
+/// Coulomb interaction generator.
+#[derive(Clone, Copy, Debug)]
+pub struct Coulomb {
+    /// Small wavevector regularizing the `G = 0` element (bohr^-1).
+    pub q0: f64,
+    /// Supercell volume (bohr^3) normalizing the interaction.
+    pub volume: f64,
+    /// Optional slab truncation length along z (bohr): when set,
+    /// `v(G) *= 1 - exp(-|G_par| z_c) cos(G_z z_c)` (Ismail-Beigi form).
+    pub slab_zc: Option<f64>,
+}
+
+impl Coulomb {
+    /// Unit-volume 3-D Coulomb with a default `q0` (tests and unit checks;
+    /// real calculations should use [`Coulomb::bulk_for_cell`]).
+    pub fn bulk() -> Self {
+        Self { q0: 1e-3, volume: 1.0, slab_zc: None }
+    }
+
+    /// 3-D Coulomb with `q0` chosen so that `v(q0)` equals the spherical
+    /// miniBZ average of `8 pi / q^2` for a Gamma-only supercell of the
+    /// given volume (bohr^3): `q0 = q_BZ / sqrt(3)` with
+    /// `q_BZ = (6 pi^2 / Omega)^{1/3}`. This is the standard regularization
+    /// of the `G = 0` Coulomb divergence and the momentum used by the k.p
+    /// head of the polarizability, keeping the two consistent.
+    pub fn bulk_for_cell(volume: f64) -> Self {
+        assert!(volume > 0.0);
+        let q_bz = (6.0 * std::f64::consts::PI.powi(2) / volume).cbrt();
+        Self {
+            q0: q_bz / 3f64.sqrt(),
+            volume,
+            slab_zc: None,
+        }
+    }
+
+    /// Slab-truncated Coulomb for 2-D sheets with cell height `c` (bohr)
+    /// and supercell volume `volume` (bohr^3).
+    pub fn slab(c: f64, volume: f64) -> Self {
+        let q_bz = (6.0 * std::f64::consts::PI.powi(2) / volume).cbrt();
+        Self {
+            q0: q_bz / 3f64.sqrt(),
+            volume,
+            slab_zc: Some(0.5 * c),
+        }
+    }
+
+    /// `v(G)` (Ry) for one Cartesian G-vector.
+    pub fn v_of(&self, g: [f64; 3]) -> f64 {
+        let g2 = g[0] * g[0] + g[1] * g[1] + g[2] * g[2];
+        let denom = if g2 > 0.0 { g2 } else { self.q0 * self.q0 };
+        let mut v = 8.0 * std::f64::consts::PI / (self.volume * denom);
+        if let Some(zc) = self.slab_zc {
+            let gpar = (g[0] * g[0] + g[1] * g[1]).sqrt();
+            let gz = g[2];
+            if g2 > 0.0 {
+                v *= 1.0 - (-gpar * zc).exp() * (gz * zc).cos();
+            } else {
+                // q -> 0 limit of the truncated interaction is finite and
+                // handled by the same formula with the regularized q0.
+                v *= 1.0 - (-self.q0 * zc).exp();
+            }
+        }
+        v
+    }
+
+    /// `v(G)` for every vector of a sphere, in sphere order.
+    pub fn on_sphere(&self, sph: &GSphere) -> Vec<f64> {
+        (0..sph.len()).map(|i| self.v_of(sph.cart[i])).collect()
+    }
+
+    /// `sqrt(v(G))` for symmetrized dielectric matrices.
+    pub fn sqrt_on_sphere(&self, sph: &GSphere) -> Vec<f64> {
+        self.on_sphere(sph).into_iter().map(f64::sqrt).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgw_pwdft::Lattice;
+
+    #[test]
+    fn plain_coulomb_values() {
+        let c = Coulomb::bulk();
+        let v = c.v_of([1.0, 0.0, 0.0]);
+        assert!((v - 8.0 * std::f64::consts::PI).abs() < 1e-12);
+        let v2 = c.v_of([0.0, 2.0, 0.0]);
+        assert!((v2 - 2.0 * std::f64::consts::PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn head_is_regularized_and_large() {
+        let c = Coulomb::bulk();
+        let head = c.v_of([0.0, 0.0, 0.0]);
+        assert!(head.is_finite());
+        assert!(head > c.v_of([0.1, 0.0, 0.0]));
+    }
+
+    #[test]
+    fn sphere_values_sorted_by_g() {
+        let lat = Lattice::cubic(10.0);
+        let sph = GSphere::new(&lat, 4.0);
+        let v = Coulomb::bulk().on_sphere(&sph);
+        assert_eq!(v.len(), sph.len());
+        // v decreases with |G| (sphere is sorted by |G|^2)
+        for i in 2..v.len() {
+            assert!(v[i] <= v[1] + 1e-12);
+        }
+        let sq = Coulomb::bulk().sqrt_on_sphere(&sph);
+        for (a, b) in v.iter().zip(&sq) {
+            assert!((b * b - a).abs() < 1e-9 * a.max(1.0));
+        }
+    }
+
+    #[test]
+    fn mini_bz_average_scales_with_volume() {
+        let small = Coulomb::bulk_for_cell(1000.0);
+        let large = Coulomb::bulk_for_cell(8000.0);
+        // larger cells have smaller q0 (finer miniBZ)
+        assert!(large.q0 < small.q0);
+        // v(0) = 24 pi / (q_BZ^2 Omega) ~ Omega^{-1/3}: decreases per cell
+        assert!(large.v_of([0.0; 3]) < small.v_of([0.0; 3]));
+        // v(q0) equals the analytic miniBZ average 24 pi / q_BZ^2
+        let q_bz = (6.0 * std::f64::consts::PI.powi(2) / 1000.0f64).cbrt();
+        let avg = 24.0 * std::f64::consts::PI / (q_bz * q_bz) / 1000.0;
+        assert!((small.v_of([0.0; 3]) - avg).abs() / avg < 1e-12);
+    }
+
+    #[test]
+    fn slab_truncation_suppresses_long_range() {
+        let zc = 6.0;
+        let trunc = Coulomb::slab(2.0 * zc, 1.0);
+        let mut full = Coulomb::bulk();
+        full.q0 = trunc.q0;
+        // in-plane G: truncated < full
+        let g = [0.2, 0.0, 0.0];
+        assert!(trunc.v_of(g) < full.v_of(g));
+        // large G: truncation negligible
+        let g = [4.0, 0.0, 0.0];
+        assert!((trunc.v_of(g) - full.v_of(g)).abs() / full.v_of(g) < 1e-6);
+    }
+}

@@ -1,0 +1,184 @@
+//! The Epsilon module: dielectric matrices and their inverses (Eq. 3).
+//!
+//! Works with the *symmetrized* dielectric matrix
+//! `eps~_GG' = delta_GG' - v^{1/2}(G) chi_GG' v^{1/2}(G')`, which is
+//! Hermitian at `omega = 0` and keeps the self-energy contractions in the
+//! clean form `(v^{1/2} M)^dagger eps~^{-1} (v^{1/2} M)`.
+
+use crate::coulomb::Coulomb;
+use bgw_linalg::{invert, CMatrix};
+use bgw_num::Complex64;
+use bgw_pwdft::GSphere;
+
+/// The inverse symmetrized dielectric matrix at a set of frequencies.
+#[derive(Clone, Debug)]
+pub struct EpsilonInverse {
+    /// Frequencies (Ry) at which `eps~^{-1}` is stored; `omegas[0]` must be
+    /// 0 for the static matrix used by GPP and the subspace construction.
+    pub omegas: Vec<f64>,
+    /// `eps~^{-1}(omega_i)`, same order as `omegas`.
+    pub inv: Vec<CMatrix>,
+    /// `sqrt(v(G))` on the sphere (for symmetrizing matrix elements).
+    pub vsqrt: Vec<f64>,
+}
+
+impl EpsilonInverse {
+    /// Builds `eps~(omega) = I - v^{1/2} chi(omega) v^{1/2}` and inverts it
+    /// for every supplied polarizability.
+    pub fn build(
+        chis: &[CMatrix],
+        omegas: &[f64],
+        coulomb: &Coulomb,
+        sph: &GSphere,
+    ) -> Self {
+        assert_eq!(chis.len(), omegas.len());
+        assert!(!chis.is_empty(), "need at least one frequency");
+        let vsqrt = coulomb.sqrt_on_sphere(sph);
+        let inv = chis
+            .iter()
+            .map(|chi| {
+                let n = chi.nrows();
+                assert_eq!(n, sph.len(), "chi dimension mismatch");
+                let mut eps = CMatrix::identity(n);
+                for i in 0..n {
+                    for j in 0..n {
+                        eps[(i, j)] -= chi[(i, j)].scale(vsqrt[i] * vsqrt[j]);
+                    }
+                }
+                invert(&eps).expect("dielectric matrix must be invertible")
+            })
+            .collect();
+        Self {
+            omegas: omegas.to_vec(),
+            inv,
+            vsqrt,
+        }
+    }
+
+    /// The static inverse (`omega = 0`).
+    pub fn static_inv(&self) -> &CMatrix {
+        assert_eq!(self.omegas[0], 0.0, "first frequency must be 0");
+        &self.inv[0]
+    }
+
+    /// Basis size `N_G`.
+    pub fn n_g(&self) -> usize {
+        self.vsqrt.len()
+    }
+
+    /// Number of stored frequencies.
+    pub fn n_freq(&self) -> usize {
+        self.omegas.len()
+    }
+
+    /// The screening part `eps~^{-1}(omega_i) - I` (what enters the
+    /// correlation self-energy).
+    pub fn correlation_part(&self, i: usize) -> CMatrix {
+        let mut w = self.inv[i].clone();
+        for d in 0..w.nrows() {
+            w[(d, d)] -= Complex64::ONE;
+        }
+        w
+    }
+
+    /// Macroscopic screening: `1 / eps~^{-1}_head(0)` (the effective
+    /// dielectric constant of the model system).
+    pub fn macroscopic_constant(&self) -> f64 {
+        1.0 / self.static_inv()[(0, 0)].re
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chi::{ChiConfig, ChiEngine};
+    use crate::mtxel::Mtxel;
+    use bgw_pwdft::{solve_bands, Crystal, Species, Wavefunctions};
+
+    fn setup() -> (GSphere, GSphere, Wavefunctions) {
+        let c = Crystal::diamond(Species::Si, bgw_pwdft::pseudo::SI_A0);
+        let wfn = GSphere::new(&c.lattice, 2.2);
+        let eps = GSphere::new(&c.lattice, 1.0);
+        let wf = solve_bands(&c, &wfn, 24);
+        (wfn, eps, wf)
+    }
+
+    fn cell_coulomb() -> Coulomb {
+        let c = Crystal::diamond(Species::Si, bgw_pwdft::pseudo::SI_A0);
+        Coulomb::bulk_for_cell(c.lattice.volume())
+    }
+
+    fn build_eps(freqs: &[f64]) -> EpsilonInverse {
+        let (wfn, eps_sph, wf) = setup();
+        let coulomb = cell_coulomb();
+        let mtxel = Mtxel::new(&wfn, &eps_sph);
+        let cfg = ChiConfig { q0: coulomb.q0, ..ChiConfig::default() };
+        let engine = ChiEngine::new(&wf, &mtxel, cfg);
+        let (chis, _) = engine.chi_freqs(freqs);
+        EpsilonInverse::build(&chis, freqs, &coulomb, &eps_sph)
+    }
+
+    #[test]
+    fn static_inverse_is_hermitian_and_screens() {
+        let e = build_eps(&[0.0]);
+        let inv0 = e.static_inv();
+        assert!(inv0.is_hermitian(1e-8), "err {}", inv0.hermiticity_error());
+        // Screening: 0 < eps~^{-1}_00 < 1 for an insulator.
+        let head = inv0[(0, 0)].re;
+        assert!(head > 0.0 && head < 1.0, "head = {head}");
+        let eps_macro = e.macroscopic_constant();
+        assert!(eps_macro > 1.0, "macroscopic eps = {eps_macro}");
+    }
+
+    #[test]
+    fn inverse_times_eps_is_identity() {
+        let (wfn, eps_sph, wf) = setup();
+        let coul = cell_coulomb();
+        let mtxel = Mtxel::new(&wfn, &eps_sph);
+        let cfg = ChiConfig { q0: coul.q0, ..ChiConfig::default() };
+        let engine = ChiEngine::new(&wf, &mtxel, cfg);
+        let chi0 = engine.chi_static();
+        let e = EpsilonInverse::build(&[chi0.clone()], &[0.0], &coul, &eps_sph);
+        // rebuild eps~ and check eps~ * inv = I
+        let n = chi0.nrows();
+        let vs = coul.sqrt_on_sphere(&eps_sph);
+        let mut eps_m = CMatrix::identity(n);
+        for i in 0..n {
+            for j in 0..n {
+                eps_m[(i, j)] -= chi0[(i, j)].scale(vs[i] * vs[j]);
+            }
+        }
+        let prod = bgw_linalg::matmul(
+            &eps_m,
+            bgw_linalg::Op::None,
+            e.static_inv(),
+            bgw_linalg::Op::None,
+            bgw_linalg::GemmBackend::Blocked,
+        );
+        assert!(prod.max_abs_diff(&CMatrix::identity(n)) < 1e-8);
+    }
+
+    #[test]
+    fn screening_fades_at_high_frequency() {
+        // omega = 50 Ry is far beyond every transition of the small model,
+        // so the response dies out: eps~^{-1} -> I.
+        let e = build_eps(&[0.0, 50.0]);
+        let head0 = (e.inv[0][(0, 0)] - bgw_num::c64(1.0, 0.0)).abs();
+        let head50 = (e.inv[1][(0, 0)] - bgw_num::c64(1.0, 0.0)).abs();
+        assert!(head50 < 0.2 * head0.max(0.05), "head50 {head50} vs head0 {head0}");
+        let corr = e.correlation_part(1);
+        assert!(corr[(0, 0)].abs() < 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "first frequency must be 0")]
+    fn static_inv_requires_zero_first() {
+        let e = build_eps(&[0.0]);
+        let bad = EpsilonInverse {
+            omegas: vec![1.0],
+            inv: e.inv.clone(),
+            vsqrt: e.vsqrt.clone(),
+        };
+        let _ = bad.static_inv();
+    }
+}

@@ -1,0 +1,58 @@
+//! `bgw-core`: the GW engine — a from-scratch Rust reproduction of the
+//! computational core of BerkeleyGW as described in "Advancing Quantum
+//! Many-Body GW Calculations on Exascale Supercomputing Platforms"
+//! (SC'25).
+//!
+//! Pipeline (paper Fig. 1): mean-field bands (from `bgw-pwdft`) ->
+//! [`mtxel`] plane-wave matrix elements -> [`chi`] polarizability with the
+//! NV-Block algorithm -> [`epsilon`] dielectric inversion -> either the
+//! [`gpp`] plasmon-pole model or the sampled full-frequency path
+//! ([`sigma::fullfreq`], accelerated by the [`subspace`] approximation) ->
+//! [`sigma`] self-energy kernels (diag and ZGEMM-recast off-diag) ->
+//! [`dyson`] quasiparticle energies. [`pseudobands`] compresses the band
+//! sums (Sec. 5.3), [`gwpt`] computes electron-phonon coupling at the
+//! GW level (Sec. 5.1), [`bse`] solves the Bethe-Salpeter equation for
+//! excitons and optical spectra on top of the same screened interaction,
+//! and [`spectral`] turns frequency-resolved self-energies into
+//! photoemission line shapes. [`workflow`] ties it all together.
+
+#![warn(missing_docs)]
+
+pub mod bse;
+pub mod chi;
+pub mod cohsex;
+pub mod convergence;
+pub mod coulomb;
+pub mod dyson;
+pub mod epsilon;
+pub mod gpp;
+pub mod gwpt;
+pub mod mtxel;
+pub mod params;
+pub mod pseudobands;
+pub mod sigma;
+pub mod spectral;
+pub mod subspace;
+pub mod testkit;
+pub mod workflow;
+
+pub use bse::{solve_bse, BseConfig, ExcitonSpectrum};
+pub use chi::{ChiConfig, ChiEngine};
+pub use cohsex::{cohsex_sigma, CohsexValue};
+pub use convergence::{sweep_bands, sweep_eps_cutoff, ConvergenceStudy};
+pub use coulomb::Coulomb;
+pub use dyson::{solve_qp_diag, solve_qp_full, QpState};
+pub use epsilon::EpsilonInverse;
+pub use gpp::{godby_needs, GppModel};
+pub use gwpt::{gwpt_for_perturbation, GwptResult};
+pub use mtxel::Mtxel;
+pub use params::GwParams;
+pub use pseudobands::{chebyshev_pseudoband, compress, Pseudobands, PseudobandsConfig};
+pub use sigma::diag::{gpp_sigma_diag, KernelVariant, SigmaDiagResult};
+pub use sigma::fullfreq::{ff_sigma_diag, ff_sigma_diag_subspace, SigmaFfResult};
+pub use sigma::imagaxis::{imag_axis_sigma_diag, SigmaImagAxisResult};
+pub use sigma::offdiag::{gpp_sigma_offdiag, gpp_sigma_offdiag_distributed, SigmaOffdiagResult};
+pub use sigma::SigmaContext;
+pub use spectral::SpectralFunction;
+pub use subspace::Subspace;
+pub use workflow::{run_evgw, run_full_dyson_gw, run_gpp_gw, EvGwResults, FullDysonResults, GwConfig, GwResults};

@@ -1,0 +1,258 @@
+//! Full-frequency (FF) self-energy by numerical frequency quadrature
+//! (paper Sec. 5.2).
+//!
+//! Instead of the plasmon-pole model, the correlation self-energy is built
+//! from the sampled inverse dielectric matrix on a real-frequency grid via
+//! its spectral (anti-Hermitian) part:
+//!
+//! `Sigma^c_ll(E) = sum_n sum_k (w_k / pi) q_k(n)
+//!      * [occ: 1/(E - E_n + w_k - i eta); emp: 1/(E - E_n - w_k + i eta)]`
+//!
+//! with `q_k(n) = m~_n^dagger B(w_k) m~_n` and `B = (W - W^dagger)/(2i)`
+//! the spectral weight of `W = eps~^{-1} - I`. The bare exchange
+//! `Sigma^x_ll = -sum_{n occ} |m~_n|^2` completes Sigma.
+//!
+//! The static subspace approximation enters exactly as in Eq. 6: both the
+//! spectral weights and the matrix elements are projected onto the
+//! `N_Eig`-dimensional basis, turning each `q_k(n)` from `O(N_G^2)` into
+//! `O(N_Eig^2)` — the measured speedup in the Fig. 3/4 benches.
+
+use super::SigmaContext;
+use crate::epsilon::EpsilonInverse;
+use crate::subspace::Subspace;
+use bgw_num::{c64, Complex64};
+use bgw_linalg::CMatrix;
+use std::time::Instant;
+
+/// Result of a full-frequency Sigma evaluation.
+#[derive(Clone, Debug)]
+pub struct SigmaFfResult {
+    /// `sigma[s][e]` (complex, Ry): correlation + exchange at grid energies.
+    pub sigma: Vec<Vec<Complex64>>,
+    /// Energy grids per band (Ry).
+    pub e_grids: Vec<Vec<f64>>,
+    /// Seconds in the quadrature contraction.
+    pub seconds: f64,
+    /// Basis dimension actually contracted over (`N_G` or `N_Eig`).
+    pub contracted_dim: usize,
+}
+
+/// Full-frequency Sigma on the full `N_G` basis.
+///
+/// `eps_ff` must hold `eps~^{-1}` at strictly positive quadrature
+/// frequencies `omega_k` with weights `weights[k]` (e.g. from
+/// `bgw_num::grid::semi_infinite_quadrature`).
+pub fn ff_sigma_diag(
+    ctx: &SigmaContext,
+    eps_ff: &EpsilonInverse,
+    weights: &[f64],
+    e_grids: &[Vec<f64>],
+    eta: f64,
+) -> SigmaFfResult {
+    let spectral: Vec<CMatrix> = (0..eps_ff.n_freq())
+        .map(|k| anti_hermitian_part(&eps_ff.correlation_part(k)))
+        .collect();
+    ff_sigma_impl(ctx, &spectral, &eps_ff.omegas, weights, e_grids, eta, None)
+}
+
+/// Full-frequency Sigma contracted in the static subspace.
+pub fn ff_sigma_diag_subspace(
+    ctx: &SigmaContext,
+    eps_ff: &EpsilonInverse,
+    weights: &[f64],
+    e_grids: &[Vec<f64>],
+    eta: f64,
+    sub: &Subspace,
+) -> SigmaFfResult {
+    let spectral: Vec<CMatrix> = (0..eps_ff.n_freq())
+        .map(|k| sub.project(&anti_hermitian_part(&eps_ff.correlation_part(k))))
+        .collect();
+    ff_sigma_impl(ctx, &spectral, &eps_ff.omegas, weights, e_grids, eta, Some(sub))
+}
+
+fn ff_sigma_impl(
+    ctx: &SigmaContext,
+    spectral: &[CMatrix],
+    omegas: &[f64],
+    weights: &[f64],
+    e_grids: &[Vec<f64>],
+    eta: f64,
+    sub: Option<&Subspace>,
+) -> SigmaFfResult {
+    assert_eq!(spectral.len(), omegas.len());
+    assert_eq!(weights.len(), omegas.len());
+    assert_eq!(e_grids.len(), ctx.n_sigma());
+    assert!(omegas.iter().all(|&w| w > 0.0), "quadrature nodes must be positive");
+    let t0 = Instant::now();
+    let nb = ctx.n_b();
+    let contracted_dim = sub.map_or(ctx.n_g(), |s| s.n_eig());
+    let inv_pi = 1.0 / std::f64::consts::PI;
+
+    let mut sigma = Vec::with_capacity(ctx.n_sigma());
+    for (s, grid) in e_grids.iter().enumerate() {
+        // Matrix elements for this Sigma band, possibly projected.
+        let m = match sub {
+            Some(su) => su.project_rows(&ctx.m_tilde[s]),
+            None => ctx.m_tilde[s].clone(),
+        };
+        // Precompute q_k(n) = m_n^dagger B_k m_n for all (k, n).
+        let nk = omegas.len();
+        let mut q = vec![0.0f64; nk * nb];
+        for (k, b) in spectral.iter().enumerate() {
+            for n in 0..nb {
+                let row = m.row(n);
+                // bilinear form; B is Hermitian so the result is real.
+                let mut acc = Complex64::ZERO;
+                for (i, &mi) in row.iter().enumerate() {
+                    let mut inner = Complex64::ZERO;
+                    for (j, &mj) in row.iter().enumerate() {
+                        inner = inner.mul_add(b[(i, j)], mj);
+                    }
+                    acc = acc.conj_mul_add(mi, inner);
+                }
+                q[k * nb + n] = acc.re;
+            }
+        }
+        // Bare exchange (occupied bands only): -sum |m~|^2 in the full
+        // basis. Projection would truncate exchange, so always use the
+        // unprojected matrix elements for Sigma^x.
+        let mx = &ctx.m_tilde[s];
+        let mut sigma_x = 0.0;
+        for n in 0..ctx.n_occ {
+            sigma_x -= mx.row(n).iter().map(|z| z.norm_sqr()).sum::<f64>();
+        }
+        // Assemble Sigma(E) on this band's grid.
+        let mut band = Vec::with_capacity(grid.len());
+        for &e in grid {
+            let mut corr = Complex64::ZERO;
+            for n in 0..nb {
+                let occupied = n < ctx.n_occ;
+                let den = e - ctx.energies[n];
+                for k in 0..nk {
+                    let wgt = weights[k] * inv_pi * q[k * nb + n];
+                    let pole = if occupied {
+                        c64(den + omegas[k], -eta).inv()
+                    } else {
+                        c64(den - omegas[k], eta).inv()
+                    };
+                    corr += pole.scale(wgt);
+                }
+            }
+            band.push(corr + Complex64::real(sigma_x));
+        }
+        sigma.push(band);
+    }
+    SigmaFfResult {
+        sigma,
+        e_grids: e_grids.to_vec(),
+        seconds: t0.elapsed().as_secs_f64(),
+        contracted_dim,
+    }
+}
+
+/// Anti-Hermitian (spectral) part `(A - A^dagger) / 2i` of a matrix; the
+/// result is Hermitian.
+pub fn anti_hermitian_part(a: &CMatrix) -> CMatrix {
+    assert!(a.is_square());
+    CMatrix::from_fn(a.nrows(), a.ncols(), |i, j| {
+        let d = a[(i, j)] - a[(j, i)].conj();
+        // d / 2i = -i d / 2
+        c64(d.im * 0.5, -d.re * 0.5)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chi::{ChiConfig, ChiEngine};
+    use crate::coulomb::Coulomb;
+    use crate::mtxel::Mtxel;
+    use crate::sigma::diag::{gpp_sigma_diag, KernelVariant};
+    use crate::testkit;
+    use bgw_num::grid::semi_infinite_quadrature;
+
+    fn build_ff_eps() -> (EpsilonInverse, Vec<f64>) {
+        let (_, setup) = testkit::small_context();
+        let mtxel = Mtxel::new(&setup.wfn_sph, &setup.eps_sph);
+        let engine = ChiEngine::new(&setup.wf, &mtxel, ChiConfig::default());
+        let (nodes, weights) = semi_infinite_quadrature(12, 2.0);
+        let (chis, _) = engine.chi_freqs(&nodes);
+        let eps = EpsilonInverse::build(&chis, &nodes, &Coulomb::bulk(), &setup.eps_sph);
+        (eps, weights)
+    }
+
+    #[test]
+    fn anti_hermitian_part_is_hermitian() {
+        let a = CMatrix::random(6, 6, 3);
+        let b = anti_hermitian_part(&a);
+        assert!(b.is_hermitian(1e-12));
+        // for Hermitian input the spectral part vanishes
+        let h = CMatrix::random_hermitian(6, 4);
+        assert!(anti_hermitian_part(&h).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn ff_sigma_has_gw_structure() {
+        let (ctx, _) = testkit::small_context();
+        let (eps_ff, weights) = build_ff_eps();
+        let grids: Vec<Vec<f64>> = ctx.sigma_energies.iter().map(|&e| vec![e]).collect();
+        let r = ff_sigma_diag(&ctx, &eps_ff, &weights, &grids, 0.05);
+        assert_eq!(r.contracted_dim, ctx.n_g());
+        // valence Sigma below conduction Sigma (gap opens), as in GPP
+        let homo = r.sigma[ctx.homo_pos()][0].re;
+        let lumo = r.sigma[ctx.lumo_pos()][0].re;
+        assert!(homo < lumo, "FF: Sigma_HOMO {homo} !< Sigma_LUMO {lumo}");
+        assert!(homo < 0.0, "occupied FF Sigma must be negative: {homo}");
+    }
+
+    #[test]
+    fn ff_and_gpp_agree_in_sign_and_scale() {
+        let (ctx, _) = testkit::small_context();
+        let (eps_ff, weights) = build_ff_eps();
+        let grids: Vec<Vec<f64>> = ctx.sigma_energies.iter().map(|&e| vec![e]).collect();
+        let ff = ff_sigma_diag(&ctx, &eps_ff, &weights, &grids, 0.05);
+        let gpp = gpp_sigma_diag(&ctx, &grids, KernelVariant::Reference);
+        for s in 0..ctx.n_sigma() {
+            let a = ff.sigma[s][0].re;
+            let b = gpp.sigma[s][0];
+            assert!(
+                a.signum() == b.signum() && (a / b).abs() < 10.0 && (b / a).abs() < 10.0,
+                "band {s}: FF {a} vs GPP {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn subspace_ff_converges_to_full() {
+        let (ctx, setup) = testkit::small_context();
+        let (eps_ff, weights) = build_ff_eps();
+        let grids: Vec<Vec<f64>> = ctx.sigma_energies.iter().map(|&e| vec![e]).collect();
+        let full = ff_sigma_diag(&ctx, &eps_ff, &weights, &grids, 0.05);
+        let n_g = ctx.n_g();
+        let err_at = |n_eig: usize| {
+            let sub = Subspace::from_chi0(&setup.chi0, &setup.vsqrt, n_eig);
+            let r = ff_sigma_diag_subspace(&ctx, &eps_ff, &weights, &grids, 0.05, &sub);
+            (0..ctx.n_sigma())
+                .map(|s| (r.sigma[s][0].re - full.sigma[s][0].re).abs())
+                .fold(0.0, f64::max)
+        };
+        let e_full = err_at(n_g);
+        assert!(e_full < 1e-8, "full subspace must be exact: {e_full}");
+        let e_half = err_at((n_g / 2).max(2));
+        let e_small = err_at((n_g / 6).max(1));
+        assert!(
+            e_half <= e_small + 1e-9,
+            "error must not grow with N_Eig: {e_half} vs {e_small}"
+        );
+    }
+
+    #[test]
+    fn subspace_contraction_is_cheaper() {
+        let (ctx, setup) = testkit::small_context();
+        let (eps_ff, weights) = build_ff_eps();
+        let grids: Vec<Vec<f64>> = ctx.sigma_energies.iter().map(|&e| vec![e]).collect();
+        let sub = Subspace::from_chi0(&setup.chi0, &setup.vsqrt, (ctx.n_g() / 5).max(1));
+        let r = ff_sigma_diag_subspace(&ctx, &eps_ff, &weights, &grids, 0.05, &sub);
+        assert!(r.contracted_dim < ctx.n_g());
+    }
+}

@@ -1,0 +1,294 @@
+//! The GPP *off-diag.* kernel (paper Sec. 5.6): the full self-energy matrix
+//! `Sigma_lm({E_i})` on a uniform energy grid, recast as dense matrix
+//! multiplication.
+//!
+//! For each `(n, E_i)` pair the band/frequency-dependent inner matrix
+//! `P^{(n,E)}_GG'` is precomputed (*prep.* step, reusing the diag-kernel
+//! optimizations), then two ZGEMMs produce the contribution to all
+//! `N_Sigma^2` matrix elements at once:
+//! `Sigma^{(n,E)} = conj(B_n) P B_n^T` with `B_n` the `(N_Sigma x N_G)`
+//! slice of symmetrized matrix elements. FLOPs are counted from the ZGEMMs
+//! only (paper Eq. 8), while the reported runtime includes the prep step —
+//! the same lower-bound convention the paper uses.
+
+use super::{gpp_factor, SigmaContext};
+use bgw_linalg::{zgemm, CMatrix, GemmBackend, Op};
+use bgw_num::{c64, Complex64};
+use bgw_num::UniformGrid;
+use std::time::Instant;
+
+/// Result of an off-diag kernel run.
+#[derive(Clone, Debug)]
+pub struct SigmaOffdiagResult {
+    /// `sigma[e]` is the `(N_Sigma x N_Sigma)` matrix `Sigma_lm(E_e)` (Ry).
+    pub sigma: Vec<CMatrix>,
+    /// The shared uniform energy grid (Ry).
+    pub e_grid: UniformGrid,
+    /// Wall-clock seconds (prep + ZGEMM, the full kernel).
+    pub seconds: f64,
+    /// Seconds spent in the prep step alone.
+    pub prep_seconds: f64,
+    /// ZGEMM-only FLOPs (paper Eq. 8 convention).
+    pub zgemm_flops: u64,
+}
+
+/// Runs the off-diagonal GPP kernel on the uniform grid `e_grid`.
+pub fn gpp_sigma_offdiag(
+    ctx: &SigmaContext,
+    e_grid: &UniformGrid,
+    backend: GemmBackend,
+) -> SigmaOffdiagResult {
+    let ns = ctx.n_sigma();
+    let ng = ctx.n_g();
+    let nb = ctx.n_b();
+    let ne = e_grid.len();
+    let t0 = Instant::now();
+    let mut prep_seconds = 0.0;
+    let mut zgemm_flops = 0u64;
+    let mut sigma = vec![CMatrix::zeros(ns, ns); ne];
+
+    // B_n: (N_Sigma x N_G) slice of m~ for fixed n.
+    let mut b_n = CMatrix::zeros(ns, ng);
+    let mut p = CMatrix::zeros(ng, ng);
+    for n in 0..nb {
+        let occupied = n < ctx.n_occ;
+        let en = ctx.energies[n];
+        for s in 0..ns {
+            b_n.row_mut(s).copy_from_slice(ctx.m_tilde[s].row(n));
+        }
+        // conj(B_n) once per n (P is real, so conj(B) P B^T =
+        // conj(B) * (P B^T) and we fold the conjugation into the operand).
+        let b_conj = b_n.conj();
+        for (ei, &e) in e_grid.points.iter().enumerate() {
+            let tp = Instant::now();
+            let de = e - en;
+            for g in 0..ng {
+                for gp in 0..ng {
+                    p[(g, gp)] = c64(gpp_factor(&ctx.gpp, g, gp, de, occupied), 0.0);
+                }
+            }
+            prep_seconds += tp.elapsed().as_secs_f64();
+            // T = P * B_n^T  (N_G x N_Sigma)
+            let mut t = CMatrix::zeros(ng, ns);
+            zgemm(
+                Complex64::ONE,
+                &p,
+                Op::None,
+                &b_n,
+                Op::Trans,
+                Complex64::ZERO,
+                &mut t,
+                backend,
+            );
+            // Sigma(E) += conj(B_n) * T   (N_Sigma x N_Sigma)
+            zgemm(
+                Complex64::ONE,
+                &b_conj,
+                Op::None,
+                &t,
+                Op::None,
+                Complex64::ONE,
+                &mut sigma[ei],
+                backend,
+            );
+            zgemm_flops += bgw_linalg::zgemm_flops(ng, ng, ns)
+                + bgw_linalg::zgemm_flops(ns, ng, ns);
+        }
+    }
+    SigmaOffdiagResult {
+        sigma,
+        e_grid: e_grid.clone(),
+        seconds: t0.elapsed().as_secs_f64(),
+        prep_seconds,
+        zgemm_flops,
+    }
+}
+
+/// Distributed off-diag kernel: the `(n, E)` ZGEMM pairs are split
+/// round-robin over the ranks of `comm` and the accumulated
+/// `N_Sigma x N_Sigma x N_E` result is summed with one allreduce — the
+/// decomposition behind the paper's full-machine off-diag runs (Sec. 5.6,
+/// Fig. 7). Each rank returns the complete result; per-rank `seconds` and
+/// `zgemm_flops` reflect only its own share (for load-balance accounting).
+pub fn gpp_sigma_offdiag_distributed(
+    comm: &bgw_comm::Comm,
+    ctx: &SigmaContext,
+    e_grid: &UniformGrid,
+    backend: GemmBackend,
+) -> SigmaOffdiagResult {
+    let ns = ctx.n_sigma();
+    let ng = ctx.n_g();
+    let nb = ctx.n_b();
+    let ne = e_grid.len();
+    let t0 = Instant::now();
+    let mut prep_seconds = 0.0;
+    let mut zgemm_flops = 0u64;
+    let mut sigma = vec![CMatrix::zeros(ns, ns); ne];
+
+    let mut b_n = CMatrix::zeros(ns, ng);
+    let mut p = CMatrix::zeros(ng, ng);
+    let mut pair_index = 0usize;
+    for n in 0..nb {
+        let occupied = n < ctx.n_occ;
+        let en = ctx.energies[n];
+        let mut b_loaded = false;
+        let mut b_conj = CMatrix::zeros(0, 0);
+        for (ei, &e) in e_grid.points.iter().enumerate() {
+            let mine = pair_index % comm.size() == comm.rank();
+            pair_index += 1;
+            if !mine {
+                continue;
+            }
+            if !b_loaded {
+                for s in 0..ns {
+                    b_n.row_mut(s).copy_from_slice(ctx.m_tilde[s].row(n));
+                }
+                b_conj = b_n.conj();
+                b_loaded = true;
+            }
+            let tp = Instant::now();
+            let de = e - en;
+            for g in 0..ng {
+                for gp in 0..ng {
+                    p[(g, gp)] = bgw_num::c64(gpp_factor(&ctx.gpp, g, gp, de, occupied), 0.0);
+                }
+            }
+            prep_seconds += tp.elapsed().as_secs_f64();
+            let mut t = CMatrix::zeros(ng, ns);
+            zgemm(Complex64::ONE, &p, Op::None, &b_n, Op::Trans, Complex64::ZERO, &mut t, backend);
+            zgemm(
+                Complex64::ONE,
+                &b_conj,
+                Op::None,
+                &t,
+                Op::None,
+                Complex64::ONE,
+                &mut sigma[ei],
+                backend,
+            );
+            zgemm_flops += bgw_linalg::zgemm_flops(ng, ng, ns)
+                + bgw_linalg::zgemm_flops(ns, ng, ns);
+        }
+    }
+    // Two-stage reduction of the accumulated matrices.
+    let flat: Vec<Complex64> = sigma
+        .iter()
+        .flat_map(|m| m.as_slice().iter().copied())
+        .collect();
+    let reduced = comm.allreduce_sum_c64(flat);
+    for (ei, m) in sigma.iter_mut().enumerate() {
+        m.as_mut_slice()
+            .copy_from_slice(&reduced[ei * ns * ns..(ei + 1) * ns * ns]);
+    }
+    SigmaOffdiagResult {
+        sigma,
+        e_grid: e_grid.clone(),
+        seconds: t0.elapsed().as_secs_f64(),
+        prep_seconds,
+        zgemm_flops,
+    }
+}
+
+/// Paper Eq. 8: the analytic ZGEMM FLOP count for given sizes.
+pub fn offdiag_flops_eq8(n_b: usize, n_e: usize, n_sigma: usize, n_g: usize) -> u64 {
+    2 * n_b as u64 * n_e as u64 * 8 * (n_sigma as u64 * (n_g as u64).pow(2)
+        + n_g as u64 * (n_sigma as u64).pow(2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sigma::diag::{gpp_sigma_diag, KernelVariant};
+    use crate::testkit;
+
+    #[test]
+    fn diagonal_matches_diag_kernel() {
+        let (ctx, _) = testkit::small_context();
+        let grid = UniformGrid::new(
+            ctx.sigma_energies[0] - 0.2,
+            *ctx.sigma_energies.last().unwrap() + 0.2,
+            4,
+        );
+        let off = gpp_sigma_offdiag(&ctx, &grid, GemmBackend::Blocked);
+        // diag kernel on the same grid for every band
+        let grids: Vec<Vec<f64>> = (0..ctx.n_sigma()).map(|_| grid.points.clone()).collect();
+        let diag = gpp_sigma_diag(&ctx, &grids, KernelVariant::Reference);
+        for s in 0..ctx.n_sigma() {
+            for (ei, _) in grid.points.iter().enumerate() {
+                let a = off.sigma[ei][(s, s)].re;
+                let b = diag.sigma[s][ei];
+                assert!(
+                    (a - b).abs() < 1e-8 * (1.0 + b.abs()),
+                    "({s},{ei}): offdiag {a} vs diag {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sigma_matrix_is_hermitian() {
+        let (ctx, _) = testkit::small_context();
+        let grid = UniformGrid::new(-1.0, 1.0, 3);
+        let off = gpp_sigma_offdiag(&ctx, &grid, GemmBackend::Parallel);
+        for (ei, s) in off.sigma.iter().enumerate() {
+            assert!(
+                s.is_hermitian(1e-8),
+                "Sigma(E_{ei}) Hermiticity error {}",
+                s.hermiticity_error()
+            );
+        }
+    }
+
+    #[test]
+    fn zgemm_flop_count_matches_eq8() {
+        let (ctx, _) = testkit::small_context();
+        let grid = UniformGrid::new(-0.5, 0.5, 3);
+        let off = gpp_sigma_offdiag(&ctx, &grid, GemmBackend::Blocked);
+        // Our loop performs exactly 2 ZGEMMs per (n, E); Eq. 8 charges the
+        // same  8(Ns Ng^2 + Ng Ns^2) per pair with a leading factor 2 N_b
+        // N_E. Our counted flops are half of Eq. 8's bound because the
+        // paper's factor 2 counts the *pair* of ZGEMMs whose sizes are
+        // already summed inside the parenthesis; verify the exact relation.
+        let eq8 = offdiag_flops_eq8(ctx.n_b(), grid.len(), ctx.n_sigma(), ctx.n_g());
+        assert_eq!(off.zgemm_flops * 2, eq8);
+    }
+
+    #[test]
+    fn distributed_pairs_match_serial() {
+        let (ctx, _) = testkit::small_context();
+        let grid = UniformGrid::new(-0.6, 0.8, 5);
+        let serial = gpp_sigma_offdiag(&ctx, &grid, GemmBackend::Blocked);
+        for world in [2usize, 3, 5] {
+            let (results, _) = bgw_comm::run_world(world, |comm| {
+                let r = gpp_sigma_offdiag_distributed(
+                    comm, &ctx, &grid, GemmBackend::Blocked,
+                );
+                (
+                    r.sigma.iter().map(|m| m.as_slice().to_vec()).collect::<Vec<_>>(),
+                    r.zgemm_flops,
+                )
+            });
+            let total_flops: u64 = results.iter().map(|(_, f)| f).sum();
+            assert_eq!(total_flops, serial.zgemm_flops, "world {world}");
+            for (mats, _) in results {
+                for (ei, flat) in mats.into_iter().enumerate() {
+                    let m = CMatrix::from_vec(ctx.n_sigma(), ctx.n_sigma(), flat);
+                    assert!(
+                        m.max_abs_diff(&serial.sigma[ei]) < 1e-9,
+                        "world {world}, E {ei}: {}",
+                        m.max_abs_diff(&serial.sigma[ei])
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prep_time_is_included_in_total() {
+        let (ctx, _) = testkit::small_context();
+        let grid = UniformGrid::new(-0.5, 0.5, 2);
+        let off = gpp_sigma_offdiag(&ctx, &grid, GemmBackend::Blocked);
+        assert!(off.prep_seconds <= off.seconds);
+        assert!(off.prep_seconds > 0.0);
+    }
+}

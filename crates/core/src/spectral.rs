@@ -1,0 +1,177 @@
+//! Quasiparticle spectral functions from the frequency-resolved
+//! self-energy.
+//!
+//! `A_l(w) = (1/pi) |Im Sigma_ll(w)| / [(w - E_l^MF - Re Sigma_ll(w))^2 +
+//! (Im Sigma_ll(w))^2]` — the photoemission-observable line shape whose
+//! peak position is the quasiparticle energy and whose width is the
+//! inverse lifetime. Only the full-frequency path resolves this; it is the
+//! physics payoff of the paper's FF machinery (Sec. 5.2).
+
+use crate::sigma::fullfreq::SigmaFfResult;
+use bgw_num::Complex64;
+
+/// A sampled spectral function for one state.
+#[derive(Clone, Debug)]
+pub struct SpectralFunction {
+    /// Frequencies (Ry).
+    pub omegas: Vec<f64>,
+    /// `A(omega)` (1/Ry), non-negative.
+    pub values: Vec<f64>,
+    /// Mean-field energy of the state (Ry).
+    pub e_mf: f64,
+}
+
+impl SpectralFunction {
+    /// Builds `A(omega)` from a frequency-resolved self-energy sample.
+    /// `min_im` (Ry) floors the broadening so the peak stays integrable
+    /// where `Im Sigma` underflows (inside the gap).
+    pub fn from_sigma(omegas: &[f64], sigma: &[Complex64], e_mf: f64, min_im: f64) -> Self {
+        assert_eq!(omegas.len(), sigma.len());
+        assert!(min_im > 0.0);
+        let values = omegas
+            .iter()
+            .zip(sigma)
+            .map(|(&w, s)| {
+                let gamma = s.im.abs().max(min_im);
+                let denom = (w - e_mf - s.re).powi(2) + gamma * gamma;
+                gamma / denom / std::f64::consts::PI
+            })
+            .collect();
+        Self {
+            omegas: omegas.to_vec(),
+            values,
+            e_mf,
+        }
+    }
+
+    /// Builds the spectral functions of every band in an FF result (each
+    /// band's grid must be its frequency window).
+    pub fn from_ff_result(r: &SigmaFfResult, e_mf: &[f64], min_im: f64) -> Vec<Self> {
+        assert_eq!(e_mf.len(), r.sigma.len());
+        r.sigma
+            .iter()
+            .zip(&r.e_grids)
+            .zip(e_mf)
+            .map(|((sig, grid), &e)| Self::from_sigma(grid, sig, e, min_im))
+            .collect()
+    }
+
+    /// Frequency of the maximum (the quasiparticle peak), in Ry.
+    pub fn peak(&self) -> f64 {
+        let mut best = (self.omegas[0], f64::MIN);
+        for (&w, &a) in self.omegas.iter().zip(&self.values) {
+            if a > best.1 {
+                best = (w, a);
+            }
+        }
+        best.0
+    }
+
+    /// Full width at half maximum around the main peak (Ry), by linear
+    /// interpolation; `None` if the window does not contain both
+    /// half-maximum crossings.
+    pub fn fwhm(&self) -> Option<f64> {
+        let (peak_idx, &amax) = self
+            .values
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())?;
+        let half = amax / 2.0;
+        let cross = |range: &mut dyn Iterator<Item = usize>| -> Option<f64> {
+            let mut prev: Option<usize> = None;
+            for i in range {
+                if let Some(p) = prev {
+                    let (a0, a1) = (self.values[p], self.values[i]);
+                    if (a0 - half) * (a1 - half) <= 0.0 && a0 != a1 {
+                        let t = (half - a0) / (a1 - a0);
+                        return Some(self.omegas[p] + t * (self.omegas[i] - self.omegas[p]));
+                    }
+                }
+                prev = Some(i);
+            }
+            None
+        };
+        let left = cross(&mut (0..=peak_idx).rev())?;
+        let right = cross(&mut (peak_idx..self.omegas.len()))?;
+        Some((right - left).abs())
+    }
+
+    /// Trapezoid integral of `A(omega)` over the window (approaches the
+    /// total spectral weight 1 as the window grows).
+    pub fn integrated_weight(&self) -> f64 {
+        let mut acc = 0.0;
+        for i in 1..self.omegas.len() {
+            acc += 0.5 * (self.values[i] + self.values[i - 1])
+                * (self.omegas[i] - self.omegas[i - 1]);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgw_num::c64;
+
+    fn lorentzian_sigma(omegas: &[f64], shift: f64, gamma: f64) -> Vec<Complex64> {
+        // constant self-energy: Re = shift, Im = -gamma
+        omegas.iter().map(|_| c64(shift, -gamma)).collect()
+    }
+
+    #[test]
+    fn constant_sigma_gives_lorentzian_at_shifted_energy() {
+        let omegas: Vec<f64> = (0..4001).map(|i| -2.0 + i as f64 * 1e-3).collect();
+        let e_mf = 0.3;
+        let shift = -0.4;
+        let gamma = 0.05;
+        let sigma = lorentzian_sigma(&omegas, shift, gamma);
+        let a = SpectralFunction::from_sigma(&omegas, &sigma, e_mf, 1e-6);
+        // peak at E_mf + shift
+        assert!((a.peak() - (e_mf + shift)).abs() < 2e-3, "{}", a.peak());
+        // FWHM of a Lorentzian = 2 gamma
+        let w = a.fwhm().expect("window contains the peak");
+        assert!((w - 2.0 * gamma).abs() < 5e-3, "fwhm {w}");
+        // unit weight (window >> gamma)
+        let wgt = a.integrated_weight();
+        assert!((wgt - 1.0).abs() < 0.05, "weight {wgt}");
+        // non-negative everywhere
+        assert!(a.values.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn linear_re_sigma_renormalizes_weight() {
+        // Re Sigma = shift + slope (w - E); Z = 1/(1 - slope) < 1 reduces
+        // the peak weight in a fixed window.
+        let omegas: Vec<f64> = (0..4001).map(|i| -2.0 + i as f64 * 1e-3).collect();
+        let e_mf = 0.0;
+        let gamma = 0.05;
+        let slope = -0.5;
+        let sigma: Vec<Complex64> = omegas
+            .iter()
+            .map(|&w| c64(slope * (w - e_mf), -gamma))
+            .collect();
+        let a = SpectralFunction::from_sigma(&omegas, &sigma, e_mf, 1e-6);
+        let weight = a.integrated_weight();
+        let z = 1.0 / (1.0 - slope);
+        assert!(
+            (weight - z).abs() < 0.05,
+            "weight {weight} should approach Z = {z}"
+        );
+    }
+
+    #[test]
+    fn fwhm_none_when_peak_clipped() {
+        let omegas: Vec<f64> = (0..10).map(|i| i as f64 * 0.01).collect();
+        let sigma = lorentzian_sigma(&omegas, -5.0, 0.01); // peak far outside
+        let a = SpectralFunction::from_sigma(&omegas, &sigma, 0.0, 1e-6);
+        assert!(a.fwhm().is_none());
+    }
+
+    #[test]
+    fn min_im_floor_prevents_singularities() {
+        let omegas = vec![0.0, 0.1, 0.2];
+        let sigma = vec![c64(0.1, 0.0); 3]; // zero Im Sigma
+        let a = SpectralFunction::from_sigma(&omegas, &sigma, 0.0, 1e-3);
+        assert!(a.values.iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,221 @@
+//! Three-dimensional complex FFT over row-major `[nx][ny][nz]` grids.
+//!
+//! This is the transform behind the MTXEL kernel: wavefunctions are scattered
+//! from the plane-wave sphere onto the FFT box, transformed to real space,
+//! multiplied pointwise, and transformed back (paper Sec. 5.2, ref 8).
+
+use crate::plan::{Direction, FftPlan};
+use bgw_num::Complex64;
+
+/// A reusable 3-D FFT plan.
+#[derive(Clone, Debug)]
+pub struct Fft3d {
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    plan_x: FftPlan,
+    plan_y: FftPlan,
+    plan_z: FftPlan,
+}
+
+impl Fft3d {
+    /// Creates a plan for an `nx x ny x nz` grid.
+    pub fn new(nx: usize, ny: usize, nz: usize) -> Self {
+        Self {
+            nx,
+            ny,
+            nz,
+            plan_x: FftPlan::new(nx),
+            plan_y: FftPlan::new(ny),
+            plan_z: FftPlan::new(nz),
+        }
+    }
+
+    /// Grid dimensions `(nx, ny, nz)`.
+    pub fn dims(&self) -> (usize, usize, usize) {
+        (self.nx, self.ny, self.nz)
+    }
+
+    /// Total number of grid points.
+    pub fn len(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// `true` if the grid has no points.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Flat index of grid point `(ix, iy, iz)`.
+    #[inline]
+    pub fn index(&self, ix: usize, iy: usize, iz: usize) -> usize {
+        (ix * self.ny + iy) * self.nz + iz
+    }
+
+    /// Transforms `data` (length `nx*ny*nz`, row-major) in place.
+    pub fn process(&self, data: &mut [Complex64], dir: Direction) {
+        assert_eq!(data.len(), self.len(), "grid buffer length mismatch");
+        let (nx, ny, nz) = (self.nx, self.ny, self.nz);
+        // z lines are contiguous.
+        {
+            let mut scratch = vec![Complex64::ZERO; self.plan_z.scratch_len()];
+            for line in data.chunks_exact_mut(nz) {
+                self.plan_z.process_with(line, &mut scratch, dir);
+            }
+        }
+        // y lines: stride nz within each x-plane.
+        {
+            let mut scratch = vec![Complex64::ZERO; self.plan_y.scratch_len()];
+            let mut line = vec![Complex64::ZERO; ny];
+            for ix in 0..nx {
+                for iz in 0..nz {
+                    let base = ix * ny * nz + iz;
+                    for iy in 0..ny {
+                        line[iy] = data[base + iy * nz];
+                    }
+                    self.plan_y.process_with(&mut line, &mut scratch, dir);
+                    for iy in 0..ny {
+                        data[base + iy * nz] = line[iy];
+                    }
+                }
+            }
+        }
+        // x lines: stride ny*nz.
+        {
+            let mut scratch = vec![Complex64::ZERO; self.plan_x.scratch_len()];
+            let mut line = vec![Complex64::ZERO; nx];
+            let stride = ny * nz;
+            for rem in 0..stride {
+                for ix in 0..nx {
+                    line[ix] = data[rem + ix * stride];
+                }
+                self.plan_x.process_with(&mut line, &mut scratch, dir);
+                for ix in 0..nx {
+                    data[rem + ix * stride] = line[ix];
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::dft_reference;
+    use bgw_num::c64;
+
+    fn rand_grid(n: usize, seed: u64) -> Vec<Complex64> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        (0..n).map(|_| c64(next(), next())).collect()
+    }
+
+    /// Brute-force 3-D DFT by applying the 1-D reference along each axis.
+    fn dft3_reference(
+        x: &[Complex64],
+        (nx, ny, nz): (usize, usize, usize),
+        dir: Direction,
+    ) -> Vec<Complex64> {
+        let mut data = x.to_vec();
+        // z
+        for line in data.chunks_exact_mut(nz) {
+            let t = dft_reference(line, dir);
+            line.copy_from_slice(&t);
+        }
+        // y
+        for ix in 0..nx {
+            for iz in 0..nz {
+                let mut line = Vec::with_capacity(ny);
+                for iy in 0..ny {
+                    line.push(data[(ix * ny + iy) * nz + iz]);
+                }
+                let t = dft_reference(&line, dir);
+                for iy in 0..ny {
+                    data[(ix * ny + iy) * nz + iz] = t[iy];
+                }
+            }
+        }
+        // x
+        for iy in 0..ny {
+            for iz in 0..nz {
+                let mut line = Vec::with_capacity(nx);
+                for ix in 0..nx {
+                    line.push(data[(ix * ny + iy) * nz + iz]);
+                }
+                let t = dft_reference(&line, dir);
+                for ix in 0..nx {
+                    data[(ix * ny + iy) * nz + iz] = t[ix];
+                }
+            }
+        }
+        data
+    }
+
+    #[test]
+    fn matches_reference_small_grids() {
+        for dims in [(2usize, 3usize, 4usize), (4, 4, 4), (3, 5, 7), (6, 5, 4)] {
+            let n = dims.0 * dims.1 * dims.2;
+            let x = rand_grid(n, n as u64);
+            let plan = Fft3d::new(dims.0, dims.1, dims.2);
+            let mut y = x.clone();
+            plan.process(&mut y, Direction::Forward);
+            let r = dft3_reference(&x, dims, Direction::Forward);
+            let err = y.iter().zip(&r).map(|(a, b)| (*a - *b).abs()).fold(0.0, f64::max);
+            assert!(err < 1e-9, "dims {dims:?}: err {err}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_3d() {
+        let plan = Fft3d::new(5, 6, 7);
+        let x = rand_grid(plan.len(), 99);
+        let mut y = x.clone();
+        plan.process(&mut y, Direction::Forward);
+        plan.process(&mut y, Direction::Inverse);
+        let err = y.iter().zip(&x).map(|(a, b)| (*a - *b).abs()).fold(0.0, f64::max);
+        assert!(err < 1e-11, "err {err}");
+    }
+
+    #[test]
+    fn plane_wave_maps_to_single_grid_point() {
+        let (nx, ny, nz) = (4usize, 6usize, 5usize);
+        let plan = Fft3d::new(nx, ny, nz);
+        let (kx, ky, kz) = (1usize, 2usize, 3usize);
+        let mut x = vec![Complex64::ZERO; plan.len()];
+        for ix in 0..nx {
+            for iy in 0..ny {
+                for iz in 0..nz {
+                    let ph = 2.0 * std::f64::consts::PI
+                        * (kx * ix) as f64 / nx as f64
+                        + 2.0 * std::f64::consts::PI * (ky * iy) as f64 / ny as f64
+                        + 2.0 * std::f64::consts::PI * (kz * iz) as f64 / nz as f64;
+                    x[plan.index(ix, iy, iz)] = Complex64::cis(ph);
+                }
+            }
+        }
+        plan.process(&mut x, Direction::Forward);
+        let hot = plan.index(kx, ky, kz);
+        for (i, z) in x.iter().enumerate() {
+            if i == hot {
+                assert!((z.re - plan.len() as f64).abs() < 1e-8);
+            } else {
+                assert!(z.abs() < 1e-8, "leakage at {i}: {z}");
+            }
+        }
+    }
+
+    #[test]
+    fn index_is_row_major() {
+        let plan = Fft3d::new(2, 3, 4);
+        assert_eq!(plan.index(0, 0, 0), 0);
+        assert_eq!(plan.index(0, 0, 3), 3);
+        assert_eq!(plan.index(0, 1, 0), 4);
+        assert_eq!(plan.index(1, 0, 0), 12);
+        assert_eq!(plan.index(1, 2, 3), 23);
+        assert_eq!(plan.dims(), (2, 3, 4));
+        assert!(!plan.is_empty());
+    }
+}

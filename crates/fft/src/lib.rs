@@ -1,0 +1,16 @@
+//! `bgw-fft`: complex fast Fourier transforms.
+//!
+//! The substrate behind the MTXEL kernel of the GW workflow (paper Sec. 5.2):
+//! plane-wave matrix elements `M_mn^G` are produced by scattering
+//! wavefunction coefficients onto an FFT box, transforming to real space,
+//! forming pointwise products, and transforming back. Provides mixed-radix
+//! Cooley-Tukey transforms for smooth sizes, a Bluestein fallback for
+//! arbitrary sizes, and a 3-D plan for row-major grids.
+
+#![warn(missing_docs)]
+
+pub mod fft3;
+pub mod plan;
+
+pub use fft3::Fft3d;
+pub use plan::{dft_reference, good_size, Direction, FftPlan};

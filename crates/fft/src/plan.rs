@@ -1,0 +1,435 @@
+//! One-dimensional complex FFT plans.
+//!
+//! Mixed-radix Cooley-Tukey for sizes factoring into {2, 3, 5, 7, 11, 13},
+//! with a Bluestein (chirp-z) fallback for any other size, so arbitrary FFT
+//! grids are supported. Forward transforms use the physics sign convention
+//! `X_k = sum_j x_j e^{-2 pi i j k / n}`; the inverse applies the `1/n`
+//! normalization, so `inverse(forward(x)) == x`.
+
+use bgw_num::{c64, Complex64};
+
+/// Direction of a transform.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// `e^{-2 pi i j k / n}` with no normalization.
+    Forward,
+    /// `e^{+2 pi i j k / n}` with `1/n` normalization.
+    Inverse,
+}
+
+/// Largest radix handled directly by the mixed-radix butterflies.
+const MAX_RADIX: usize = 13;
+
+/// A reusable FFT plan for a fixed transform length.
+#[derive(Clone, Debug)]
+pub struct FftPlan {
+    n: usize,
+    /// Radix factors of `n`, or empty when Bluestein is used.
+    factors: Vec<usize>,
+    /// Forward twiddle table: `tw[k] = e^{-2 pi i k / n}` for `k in 0..n`.
+    twiddles: Vec<Complex64>,
+    /// Chirp-z machinery for lengths with large prime factors.
+    bluestein: Option<Box<Bluestein>>,
+}
+
+#[derive(Clone, Debug)]
+struct Bluestein {
+    /// Power-of-two convolution length `m >= 2n - 1`.
+    m: usize,
+    /// Plan for the internal power-of-two transforms.
+    inner: FftPlan,
+    /// Chirp `w^{k^2/2}` for `k in 0..n` (forward sign).
+    chirp: Vec<Complex64>,
+    /// Forward FFT of the zero-padded conjugate chirp.
+    chirp_hat: Vec<Complex64>,
+}
+
+/// Factorizes `n` into radices `<= MAX_RADIX`, largest first.
+/// Returns `None` if a larger prime remains.
+fn factorize(mut n: usize) -> Option<Vec<usize>> {
+    let mut factors = Vec::new();
+    for r in [13usize, 11, 7, 5, 4, 3, 2] {
+        while n.is_multiple_of(r) {
+            factors.push(r);
+            n /= r;
+        }
+    }
+    if n == 1 {
+        Some(factors)
+    } else {
+        None
+    }
+}
+
+/// Rounds `n` up to the next 5-smooth size (factors 2, 3, 5 only), the
+/// conventional "good" FFT grid dimensions used by plane-wave codes.
+pub fn good_size(n: usize) -> usize {
+    let mut m = n.max(1);
+    loop {
+        let mut k = m;
+        for r in [2usize, 3, 5] {
+            while k.is_multiple_of(r) {
+                k /= r;
+            }
+        }
+        if k == 1 {
+            return m;
+        }
+        m += 1;
+    }
+}
+
+impl FftPlan {
+    /// Creates a plan for transforms of length `n >= 1`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "FFT length must be positive");
+        let twiddles = forward_twiddles(n);
+        match factorize(n) {
+            Some(factors) => Self {
+                n,
+                factors,
+                twiddles,
+                bluestein: None,
+            },
+            None => {
+                let m = (2 * n - 1).next_power_of_two();
+                let inner = FftPlan::new(m);
+                // chirp[k] = e^{-i pi k^2 / n}; computing k^2 mod 2n keeps
+                // the argument small and the phase exact.
+                let chirp: Vec<Complex64> = (0..n)
+                    .map(|k| {
+                        let q = (k * k) % (2 * n);
+                        Complex64::cis(-std::f64::consts::PI * q as f64 / n as f64)
+                    })
+                    .collect();
+                let mut b = vec![Complex64::ZERO; m];
+                b[0] = chirp[0].conj();
+                for k in 1..n {
+                    b[k] = chirp[k].conj();
+                    b[m - k] = chirp[k].conj();
+                }
+                inner.process(&mut b, Direction::Forward);
+                Self {
+                    n,
+                    factors: Vec::new(),
+                    twiddles,
+                    bluestein: Some(Box::new(Bluestein {
+                        m,
+                        inner,
+                        chirp,
+                        chirp_hat: b,
+                    })),
+                }
+            }
+        }
+    }
+
+    /// Transform length.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` only for the degenerate length-0 case (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Transforms `data` (length `n`) in place.
+    pub fn process(&self, data: &mut [Complex64], dir: Direction) {
+        assert_eq!(data.len(), self.n, "buffer length mismatch");
+        let mut scratch = vec![Complex64::ZERO; self.scratch_len()];
+        self.process_with(data, &mut scratch, dir);
+    }
+
+    /// Scratch length required by [`FftPlan::process_with`].
+    pub fn scratch_len(&self) -> usize {
+        match &self.bluestein {
+            Some(b) => 2 * b.m + b.inner.scratch_len(),
+            None => self.n,
+        }
+    }
+
+    /// Transforms `data` in place using caller-provided scratch (hot path
+    /// for the batched transforms of MTXEL).
+    pub fn process_with(&self, data: &mut [Complex64], scratch: &mut [Complex64], dir: Direction) {
+        assert_eq!(data.len(), self.n, "buffer length mismatch");
+        assert!(scratch.len() >= self.scratch_len(), "scratch too small");
+        if self.n == 1 {
+            return;
+        }
+        // Inverse via conjugation: IFFT(x) = conj(FFT(conj(x))) / n.
+        if dir == Direction::Inverse {
+            for z in data.iter_mut() {
+                *z = z.conj();
+            }
+            self.process_with(data, scratch, Direction::Forward);
+            let s = 1.0 / self.n as f64;
+            for z in data.iter_mut() {
+                *z = z.conj().scale(s);
+            }
+            return;
+        }
+        match &self.bluestein {
+            Some(b) => self.bluestein_forward(b, data, scratch),
+            None => {
+                let (buf, _) = scratch.split_at_mut(self.n);
+                self.mixed_radix(data, buf);
+            }
+        }
+    }
+
+    /// Out-of-place recursive mixed-radix driver; result ends in `data`.
+    fn mixed_radix(&self, data: &mut [Complex64], buf: &mut [Complex64]) {
+        buf.copy_from_slice(data);
+        self.rec(buf, data, self.n, 1, 0);
+    }
+
+    /// Recursive decimation-in-time step.
+    ///
+    /// Reads `src` with stride `stride`, writes the length-`n` transform
+    /// contiguously into `dst`. `depth` indexes into the factor list.
+    fn rec(&self, src: &[Complex64], dst: &mut [Complex64], n: usize, stride: usize, depth: usize) {
+        if n == 1 {
+            dst[0] = src[0];
+            return;
+        }
+        let r = self.factors[depth];
+        let m = n / r;
+        // Transform the r interleaved sub-sequences.
+        for q in 0..r {
+            let sub = &src[q * stride..];
+            let (head, _) = dst.split_at_mut((q + 1) * m);
+            self.rec(sub, &mut head[q * m..], m, stride * r, depth + 1);
+        }
+        // Combine with radix-r butterflies. The twiddle e^{-2pi i k q / n}
+        // is twiddles[(k*q*step) % N] with step = N/n.
+        let step = self.n / n;
+        let mut tmp = [Complex64::ZERO; MAX_RADIX];
+        for k in 0..m {
+            for (q, t) in tmp.iter_mut().enumerate().take(r) {
+                let tw = self.twiddles[(k * q * step) % self.n];
+                *t = dst[q * m + k] * tw;
+            }
+            // out[k + p*m] = sum_q tmp[q] * e^{-2 pi i p q / r}
+            for p in 0..r {
+                let mut acc = tmp[0];
+                for (q, &t) in tmp.iter().enumerate().take(r).skip(1) {
+                    let tw = self.twiddles[(p * q * m * step) % self.n];
+                    acc = acc.mul_add(t, tw);
+                }
+                dst[p * m + k] = acc;
+            }
+        }
+        // In-place safety: for a fixed k, all reads (positions q*m + k) are
+        // gathered into `tmp` before any write (positions p*m + k), and
+        // distinct k values touch disjoint positions.
+    }
+
+    /// Bluestein forward transform.
+    fn bluestein_forward(&self, b: &Bluestein, data: &mut [Complex64], scratch: &mut [Complex64]) {
+        let n = self.n;
+        let m = b.m;
+        let (a, rest) = scratch.split_at_mut(m);
+        let (inner_scratch, _) = rest.split_at_mut(b.inner.scratch_len());
+        // a = x * chirp, zero-padded to m.
+        for k in 0..n {
+            a[k] = data[k] * b.chirp[k];
+        }
+        for z in a.iter_mut().skip(n) {
+            *z = Complex64::ZERO;
+        }
+        b.inner.process_with(a, inner_scratch, Direction::Forward);
+        for (ak, ck) in a.iter_mut().zip(&b.chirp_hat) {
+            *ak *= *ck;
+        }
+        b.inner.process_with(a, inner_scratch, Direction::Inverse);
+        for k in 0..n {
+            data[k] = a[k] * b.chirp[k];
+        }
+    }
+}
+
+/// Builds the forward twiddle table `e^{-2 pi i k / n}`.
+fn forward_twiddles(n: usize) -> Vec<Complex64> {
+    let w = -2.0 * std::f64::consts::PI / n as f64;
+    (0..n).map(|k| Complex64::cis(w * k as f64)).collect()
+}
+
+/// Reference O(n^2) DFT used by tests and as a correctness oracle.
+pub fn dft_reference(x: &[Complex64], dir: Direction) -> Vec<Complex64> {
+    let n = x.len();
+    let sign = match dir {
+        Direction::Forward => -1.0,
+        Direction::Inverse => 1.0,
+    };
+    let norm = match dir {
+        Direction::Forward => 1.0,
+        Direction::Inverse => 1.0 / n as f64,
+    };
+    (0..n)
+        .map(|k| {
+            let mut acc = c64(0.0, 0.0);
+            for (j, &xj) in x.iter().enumerate() {
+                let ph = sign * 2.0 * std::f64::consts::PI * (j * k % n) as f64 / n as f64;
+                acc += xj * Complex64::cis(ph);
+            }
+            acc.scale(norm)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgw_num::c64;
+
+    fn rand_signal(n: usize, seed: u64) -> Vec<Complex64> {
+        // Small deterministic LCG; avoids pulling rand into the hot crate.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        (0..n).map(|_| c64(next(), next())).collect()
+    }
+
+    fn max_err(a: &[Complex64], b: &[Complex64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (*x - *y).abs()).fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn factorize_smooth_and_prime() {
+        assert_eq!(factorize(1), Some(vec![]));
+        assert_eq!(factorize(8), Some(vec![4, 2]));
+        assert!(factorize(360).is_some());
+        assert!(factorize(97).is_none()); // prime > 13
+        assert_eq!(factorize(13), Some(vec![13]));
+    }
+
+    #[test]
+    fn good_size_is_5_smooth_and_geq() {
+        for n in [1usize, 7, 17, 97, 101, 640, 1009] {
+            let g = good_size(n);
+            assert!(g >= n);
+            let mut k = g;
+            for r in [2, 3, 5] {
+                while k % r == 0 {
+                    k /= r;
+                }
+            }
+            assert_eq!(k, 1, "good_size({n}) = {g} not 5-smooth");
+        }
+    }
+
+    #[test]
+    fn matches_reference_dft_smooth_sizes() {
+        for n in [1usize, 2, 3, 4, 5, 6, 8, 12, 15, 16, 20, 36, 60, 64, 100] {
+            let x = rand_signal(n, n as u64);
+            let plan = FftPlan::new(n);
+            let mut y = x.clone();
+            plan.process(&mut y, Direction::Forward);
+            let r = dft_reference(&x, Direction::Forward);
+            assert!(max_err(&y, &r) < 1e-10 * (n as f64), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn matches_reference_dft_bluestein_sizes() {
+        for n in [17usize, 19, 23, 29, 31, 97, 101, 127] {
+            let x = rand_signal(n, n as u64 + 7);
+            let plan = FftPlan::new(n);
+            assert!(plan.bluestein.is_some(), "n = {n} should use Bluestein");
+            let mut y = x.clone();
+            plan.process(&mut y, Direction::Forward);
+            let r = dft_reference(&x, Direction::Forward);
+            assert!(max_err(&y, &r) < 1e-9 * (n as f64), "n = {n}: {}", max_err(&y, &r));
+        }
+    }
+
+    #[test]
+    fn roundtrip_identity() {
+        for n in [4usize, 30, 97, 125, 128, 210] {
+            let x = rand_signal(n, 3 * n as u64 + 1);
+            let plan = FftPlan::new(n);
+            let mut y = x.clone();
+            plan.process(&mut y, Direction::Forward);
+            plan.process(&mut y, Direction::Inverse);
+            assert!(max_err(&y, &x) < 1e-10, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn parseval_theorem() {
+        let n = 180;
+        let x = rand_signal(n, 42);
+        let plan = FftPlan::new(n);
+        let mut y = x.clone();
+        plan.process(&mut y, Direction::Forward);
+        let ex: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        let ey: f64 = y.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((ex - ey).abs() < 1e-10 * ex);
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 48;
+        let a = rand_signal(n, 1);
+        let b = rand_signal(n, 2);
+        let alpha = c64(0.3, -1.2);
+        let plan = FftPlan::new(n);
+        let mut lhs: Vec<Complex64> = a.iter().zip(&b).map(|(x, y)| *x * alpha + *y).collect();
+        plan.process(&mut lhs, Direction::Forward);
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        plan.process(&mut fa, Direction::Forward);
+        plan.process(&mut fb, Direction::Forward);
+        let rhs: Vec<Complex64> = fa.iter().zip(&fb).map(|(x, y)| *x * alpha + *y).collect();
+        assert!(max_err(&lhs, &rhs) < 1e-10);
+    }
+
+    #[test]
+    fn delta_transforms_to_constant() {
+        let n = 64;
+        let mut x = vec![Complex64::ZERO; n];
+        x[0] = Complex64::ONE;
+        FftPlan::new(n).process(&mut x, Direction::Forward);
+        for z in &x {
+            assert!((*z - Complex64::ONE).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn plane_wave_transforms_to_delta() {
+        let n = 60;
+        let k0 = 7usize;
+        let mut x: Vec<Complex64> = (0..n)
+            .map(|j| Complex64::cis(2.0 * std::f64::consts::PI * (k0 * j) as f64 / n as f64))
+            .collect();
+        FftPlan::new(n).process(&mut x, Direction::Forward);
+        for (k, z) in x.iter().enumerate() {
+            let expect = if k == k0 { n as f64 } else { 0.0 };
+            assert!((z.re - expect).abs() < 1e-9 && z.im.abs() < 1e-9, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn process_with_reusable_scratch() {
+        let n = 90;
+        let plan = FftPlan::new(n);
+        let mut scratch = vec![Complex64::ZERO; plan.scratch_len()];
+        let x = rand_signal(n, 5);
+        let mut y1 = x.clone();
+        let mut y2 = x.clone();
+        plan.process(&mut y1, Direction::Forward);
+        plan.process_with(&mut y2, &mut scratch, Direction::Forward);
+        assert!(max_err(&y1, &y2) < 1e-14);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length mismatch")]
+    fn length_mismatch_panics() {
+        let plan = FftPlan::new(8);
+        let mut x = vec![Complex64::ZERO; 7];
+        plan.process(&mut x, Direction::Forward);
+    }
+}

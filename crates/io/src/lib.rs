@@ -1,0 +1,382 @@
+//! `bgw-io`: binary file formats for wavefunctions and dielectric
+//! matrices.
+//!
+//! BerkeleyGW's modules communicate through large binary files (WFN,
+//! epsmat) whose read time dominates the "incl. I/O" rows of paper
+//! Table 5 and flattens the strong-scaling curves of Fig. 6. This crate
+//! is that substrate: a compact little-endian container ("BGWR") for the
+//! workspace's band sets and complex matrices, with checksum validation,
+//! so the I/O experiments measure *real* file traffic instead of modeling
+//! it.
+//!
+//! Format: magic `BGWR`, format version, a record tag, shape header, and
+//! a raw little-endian `f64` payload followed by an FNV-1a checksum of
+//! the payload bytes.
+
+#![warn(missing_docs)]
+
+use bgw_linalg::CMatrix;
+use bgw_num::{c64, Complex64};
+use bgw_pwdft::Wavefunctions;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"BGWR";
+const VERSION: u32 = 1;
+
+/// Record tags identifying what a file holds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecordTag {
+    /// A band set (energies + coefficients + valence count).
+    Wavefunctions = 1,
+    /// A dense complex matrix (chi, eps^-1, Sigma, ...).
+    Matrix = 2,
+}
+
+/// Errors from reading a BGWR file.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying filesystem error.
+    Io(io::Error),
+    /// Not a BGWR file or unsupported version.
+    BadHeader(String),
+    /// The payload checksum did not match (truncation/corruption).
+    ChecksumMismatch {
+        /// Checksum stored in the file.
+        expected: u64,
+        /// Checksum of the bytes actually read.
+        actual: u64,
+    },
+    /// The record tag did not match what the caller asked for.
+    WrongRecord {
+        /// Tag found in the file.
+        found: u32,
+    },
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::BadHeader(m) => write!(f, "bad BGWR header: {m}"),
+            IoError::ChecksumMismatch { expected, actual } => {
+                write!(f, "checksum mismatch: stored {expected:#x}, read {actual:#x}")
+            }
+            IoError::WrongRecord { found } => write!(f, "unexpected record tag {found}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<io::Error> for IoError {
+    fn from(e: io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// FNV-1a over a byte stream.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn write_header<W: Write>(w: &mut W, tag: RecordTag, dims: &[u64]) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(tag as u32).to_le_bytes())?;
+    w.write_all(&(dims.len() as u32).to_le_bytes())?;
+    for &d in dims {
+        w.write_all(&d.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn read_header<R: Read>(r: &mut R, expect: RecordTag) -> Result<Vec<u64>, IoError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(IoError::BadHeader(format!("magic {magic:?}")));
+    }
+    let mut b4 = [0u8; 4];
+    r.read_exact(&mut b4)?;
+    let version = u32::from_le_bytes(b4);
+    if version != VERSION {
+        return Err(IoError::BadHeader(format!("version {version}")));
+    }
+    r.read_exact(&mut b4)?;
+    let tag = u32::from_le_bytes(b4);
+    if tag != expect as u32 {
+        return Err(IoError::WrongRecord { found: tag });
+    }
+    r.read_exact(&mut b4)?;
+    let ndims = u32::from_le_bytes(b4) as usize;
+    if ndims > 8 {
+        return Err(IoError::BadHeader(format!("{ndims} dims")));
+    }
+    let mut dims = Vec::with_capacity(ndims);
+    let mut b8 = [0u8; 8];
+    for _ in 0..ndims {
+        r.read_exact(&mut b8)?;
+        dims.push(u64::from_le_bytes(b8));
+    }
+    Ok(dims)
+}
+
+fn write_payload<W: Write>(w: &mut W, data: &[f64]) -> io::Result<()> {
+    let mut bytes = Vec::with_capacity(data.len() * 8);
+    for &x in data {
+        bytes.extend_from_slice(&x.to_le_bytes());
+    }
+    w.write_all(&bytes)?;
+    w.write_all(&fnv1a(&bytes).to_le_bytes())?;
+    Ok(())
+}
+
+fn read_payload<R: Read>(r: &mut R, n: usize) -> Result<Vec<f64>, IoError> {
+    let mut bytes = vec![0u8; n * 8];
+    r.read_exact(&mut bytes)?;
+    let mut b8 = [0u8; 8];
+    r.read_exact(&mut b8)?;
+    let expected = u64::from_le_bytes(b8);
+    let actual = fnv1a(&bytes);
+    if expected != actual {
+        return Err(IoError::ChecksumMismatch { expected, actual });
+    }
+    Ok(bytes
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+        .collect())
+}
+
+/// Writes a band set to `path` (the WFN-file analogue).
+pub fn write_wavefunctions(path: &Path, wf: &Wavefunctions) -> Result<u64, IoError> {
+    let f = std::fs::File::create(path)?;
+    let mut w = io::BufWriter::new(f);
+    let nb = wf.n_bands() as u64;
+    let ng = wf.n_g() as u64;
+    write_header(&mut w, RecordTag::Wavefunctions, &[nb, ng, wf.n_valence as u64])?;
+    let mut data = Vec::with_capacity(wf.n_bands() + 2 * wf.n_bands() * wf.n_g());
+    data.extend_from_slice(&wf.energies);
+    for z in wf.coeffs.as_slice() {
+        data.push(z.re);
+        data.push(z.im);
+    }
+    write_payload(&mut w, &data)?;
+    w.flush()?;
+    Ok((data.len() * 8 + 4 + 4 + 4 + 4 + 24 + 8) as u64)
+}
+
+/// Reads a band set back.
+pub fn read_wavefunctions(path: &Path) -> Result<Wavefunctions, IoError> {
+    let f = std::fs::File::open(path)?;
+    let mut r = io::BufReader::new(f);
+    let dims = read_header(&mut r, RecordTag::Wavefunctions)?;
+    if dims.len() != 3 {
+        return Err(IoError::BadHeader(format!("{} dims for WFN", dims.len())));
+    }
+    let (nb, ng, nv) = (dims[0] as usize, dims[1] as usize, dims[2] as usize);
+    let data = read_payload(&mut r, nb + 2 * nb * ng)?;
+    let energies = data[..nb].to_vec();
+    let coeffs_flat: Vec<Complex64> = data[nb..]
+        .chunks_exact(2)
+        .map(|p| c64(p[0], p[1]))
+        .collect();
+    Ok(Wavefunctions {
+        energies,
+        coeffs: CMatrix::from_vec(nb, ng, coeffs_flat),
+        n_valence: nv,
+    })
+}
+
+/// Writes a dense complex matrix (the epsmat-file analogue). Returns the
+/// number of bytes written.
+pub fn write_matrix(path: &Path, m: &CMatrix) -> Result<u64, IoError> {
+    let f = std::fs::File::create(path)?;
+    let mut w = io::BufWriter::new(f);
+    write_header(&mut w, RecordTag::Matrix, &[m.nrows() as u64, m.ncols() as u64])?;
+    let mut data = Vec::with_capacity(2 * m.nrows() * m.ncols());
+    for z in m.as_slice() {
+        data.push(z.re);
+        data.push(z.im);
+    }
+    write_payload(&mut w, &data)?;
+    w.flush()?;
+    Ok((data.len() * 8) as u64)
+}
+
+/// Reads a dense complex matrix back.
+pub fn read_matrix(path: &Path) -> Result<CMatrix, IoError> {
+    let f = std::fs::File::open(path)?;
+    let mut r = io::BufReader::new(f);
+    let dims = read_header(&mut r, RecordTag::Matrix)?;
+    if dims.len() != 2 {
+        return Err(IoError::BadHeader(format!("{} dims for matrix", dims.len())));
+    }
+    let (nr, nc) = (dims[0] as usize, dims[1] as usize);
+    let data = read_payload(&mut r, 2 * nr * nc)?;
+    let flat: Vec<Complex64> = data.chunks_exact(2).map(|p| c64(p[0], p[1])).collect();
+    Ok(CMatrix::from_vec(nr, nc, flat))
+}
+
+/// Writes a full dielectric container (frequencies, vsqrt, matrices) as a
+/// directory of BGWR files — the epsmat-directory analogue.
+pub fn write_epsilon(dir: &Path, omegas: &[f64], vsqrt: &[f64], mats: &[CMatrix]) -> Result<u64, IoError> {
+    assert_eq!(omegas.len(), mats.len());
+    std::fs::create_dir_all(dir)?;
+    let mut total = 0u64;
+    // header record: omegas and vsqrt packed as a 2 x max matrix is
+    // wasteful; store as a (2, n) "matrix" with rows (omega pad, vsqrt).
+    let n = vsqrt.len();
+    let mut head = CMatrix::zeros(2, n.max(omegas.len()));
+    for (j, &w) in omegas.iter().enumerate() {
+        head[(0, j)] = c64(w, 0.0);
+    }
+    for (j, &v) in vsqrt.iter().enumerate() {
+        head[(1, j)] = c64(v, 0.0);
+    }
+    total += write_matrix(&dir.join("head.bgwr"), &head)?;
+    for (i, m) in mats.iter().enumerate() {
+        total += write_matrix(&dir.join(format!("eps_{i:04}.bgwr")), m)?;
+    }
+    Ok(total)
+}
+
+/// Reads a dielectric container back: `(omegas, vsqrt, matrices)`.
+#[allow(clippy::type_complexity)]
+pub fn read_epsilon(dir: &Path) -> Result<(Vec<f64>, Vec<f64>, Vec<CMatrix>), IoError> {
+    let head = read_matrix(&dir.join("head.bgwr"))?;
+    let mut mats = Vec::new();
+    let mut i = 0usize;
+    loop {
+        let path = dir.join(format!("eps_{i:04}.bgwr"));
+        if !path.exists() {
+            break;
+        }
+        mats.push(read_matrix(&path)?);
+        i += 1;
+    }
+    let n_g = mats.first().map_or(0, |m| m.nrows());
+    let omegas: Vec<f64> = (0..mats.len()).map(|j| head[(0, j)].re).collect();
+    let vsqrt: Vec<f64> = (0..n_g).map(|j| head[(1, j)].re).collect();
+    Ok((omegas, vsqrt, mats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgw_pwdft::{solve_bands, Crystal, GSphere, Species};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("bgw_io_test_{}_{name}", std::process::id()));
+        p
+    }
+
+    fn sample_wf() -> Wavefunctions {
+        let c = Crystal::diamond(Species::Si, bgw_pwdft::pseudo::SI_A0);
+        let sph = GSphere::new(&c.lattice, 2.0);
+        solve_bands(&c, &sph, 20)
+    }
+
+    #[test]
+    fn wavefunctions_roundtrip() {
+        let wf = sample_wf();
+        let path = tmp("wfn");
+        let bytes = write_wavefunctions(&path, &wf).unwrap();
+        assert!(bytes > 0);
+        let back = read_wavefunctions(&path).unwrap();
+        assert_eq!(back.n_bands(), wf.n_bands());
+        assert_eq!(back.n_valence, wf.n_valence);
+        assert_eq!(back.energies, wf.energies);
+        assert_eq!(back.coeffs.max_abs_diff(&wf.coeffs), 0.0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn matrix_roundtrip() {
+        let m = CMatrix::random(17, 9, 3);
+        let path = tmp("mat");
+        write_matrix(&path, &m).unwrap();
+        let back = read_matrix(&path).unwrap();
+        assert_eq!(back.max_abs_diff(&m), 0.0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let m = CMatrix::random(8, 8, 5);
+        let path = tmp("corrupt");
+        write_matrix(&path, &m).unwrap();
+        // flip one payload byte
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        match read_matrix(&path) {
+            Err(IoError::ChecksumMismatch { .. }) => {}
+            other => panic!("corruption not detected: {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let wf = sample_wf();
+        let path = tmp("trunc");
+        write_wavefunctions(&path, &wf).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(matches!(read_wavefunctions(&path), Err(IoError::Io(_))));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wrong_record_tag_is_detected() {
+        let m = CMatrix::random(4, 4, 1);
+        let path = tmp("tag");
+        write_matrix(&path, &m).unwrap();
+        match read_wavefunctions(&path) {
+            Err(IoError::WrongRecord { found }) => assert_eq!(found, RecordTag::Matrix as u32),
+            other => panic!("tag confusion not detected: {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn epsilon_container_roundtrip() {
+        let dir = tmp("epsdir");
+        let omegas = vec![0.0, 0.5, 1.0];
+        let vsqrt = vec![3.0, 2.0, 1.5, 1.0];
+        let mats: Vec<CMatrix> =
+            (0..3).map(|i| CMatrix::random(4, 4, i as u64 + 50)).collect();
+        write_epsilon(&dir, &omegas, &vsqrt, &mats).unwrap();
+        let (o2, v2, m2) = read_epsilon(&dir).unwrap();
+        assert_eq!(o2, omegas);
+        assert_eq!(v2, vsqrt);
+        for (a, b) in mats.iter().zip(&m2) {
+            assert_eq!(a.max_abs_diff(b), 0.0);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn not_a_bgwr_file() {
+        let path = tmp("garbage");
+        std::fs::write(&path, b"definitely not a BGWR file").unwrap();
+        assert!(matches!(read_matrix(&path), Err(IoError::BadHeader(_))));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = IoError::ChecksumMismatch { expected: 1, actual: 2 };
+        assert!(e.to_string().contains("checksum"));
+        let e = IoError::WrongRecord { found: 7 };
+        assert!(e.to_string().contains("7"));
+    }
+}

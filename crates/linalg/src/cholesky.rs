@@ -1,0 +1,205 @@
+//! Cholesky factorization of Hermitian positive-definite matrices.
+//!
+//! Used where positive definiteness is structural: overlap matrices of
+//! non-orthogonal basis states (pseudobands blocks), and the symmetrized
+//! `eps~` at zero frequency for insulators (where `-chi~` is PSD, making
+//! `I - chi~` HPD) — a cheaper inversion than LU when applicable.
+
+use crate::matrix::CMatrix;
+use bgw_num::Complex64;
+
+/// Error for matrices that are not (numerically) positive definite.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NotPositiveDefinite {
+    /// Pivot index where the factorization broke down.
+    pub index: usize,
+    /// The offending (non-positive) pivot value.
+    pub pivot: f64,
+}
+
+impl std::fmt::Display for NotPositiveDefinite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "matrix is not positive definite (pivot {} at index {})",
+            self.pivot, self.index
+        )
+    }
+}
+
+impl std::error::Error for NotPositiveDefinite {}
+
+/// A lower-triangular Cholesky factor `A = L L^dagger`.
+#[derive(Clone, Debug)]
+pub struct Cholesky {
+    l: CMatrix,
+}
+
+impl Cholesky {
+    /// Factorizes the Hermitian positive-definite `a`.
+    pub fn new(a: &CMatrix) -> Result<Self, NotPositiveDefinite> {
+        assert!(a.is_square(), "Cholesky needs a square matrix");
+        let n = a.nrows();
+        let mut l = CMatrix::zeros(n, n);
+        for j in 0..n {
+            // diagonal: sqrt(a_jj - sum_k |l_jk|^2)
+            let mut d = a[(j, j)].re;
+            for k in 0..j {
+                d -= l[(j, k)].norm_sqr();
+            }
+            if d <= 0.0 || !d.is_finite() {
+                return Err(NotPositiveDefinite { index: j, pivot: d });
+            }
+            let dj = d.sqrt();
+            l[(j, j)] = Complex64::real(dj);
+            let inv = 1.0 / dj;
+            for i in j + 1..n {
+                let mut s = a[(i, j)];
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)].conj();
+                }
+                l[(i, j)] = s.scale(inv);
+            }
+        }
+        Ok(Self { l })
+    }
+
+    /// The lower-triangular factor.
+    pub fn factor(&self) -> &CMatrix {
+        &self.l
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.l.nrows()
+    }
+
+    /// Solves `A x = b` by forward/back substitution.
+    pub fn solve_vec(&self, b: &[Complex64]) -> Vec<Complex64> {
+        let n = self.dim();
+        assert_eq!(b.len(), n);
+        // L y = b
+        let mut y = b.to_vec();
+        for i in 0..n {
+            let mut acc = y[i];
+            for k in 0..i {
+                acc -= self.l[(i, k)] * y[k];
+            }
+            y[i] = acc.scale(1.0 / self.l[(i, i)].re);
+        }
+        // L^dagger x = y
+        for i in (0..n).rev() {
+            let mut acc = y[i];
+            for k in i + 1..n {
+                acc -= self.l[(k, i)].conj() * y[k];
+            }
+            y[i] = acc.scale(1.0 / self.l[(i, i)].re);
+        }
+        y
+    }
+
+    /// Computes `A^{-1}` column by column.
+    pub fn inverse(&self) -> CMatrix {
+        let n = self.dim();
+        let mut out = CMatrix::zeros(n, n);
+        let mut e = vec![Complex64::ZERO; n];
+        for j in 0..n {
+            e[j] = Complex64::ONE;
+            let col = self.solve_vec(&e);
+            for i in 0..n {
+                out[(i, j)] = col[i];
+            }
+            e[j] = Complex64::ZERO;
+        }
+        out
+    }
+
+    /// `log(det A) = 2 sum_j log L_jj` (real, well-defined for HPD).
+    pub fn log_det(&self) -> f64 {
+        (0..self.dim()).map(|j| self.l[(j, j)].re.ln()).sum::<f64>() * 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::{matmul, GemmBackend, Op};
+    use bgw_num::c64;
+
+    fn hpd(n: usize, seed: u64) -> CMatrix {
+        // A = B B^dagger + n I is HPD
+        let b = CMatrix::random(n, n, seed);
+        let mut a = matmul(&b, Op::None, &b, Op::Adj, GemmBackend::Blocked);
+        for d in 0..n {
+            a[(d, d)] += c64(n as f64 * 0.1, 0.0);
+        }
+        a
+    }
+
+    #[test]
+    fn factor_reconstructs() {
+        for n in [1usize, 3, 8, 20] {
+            let a = hpd(n, n as u64);
+            let ch = Cholesky::new(&a).unwrap();
+            let back = matmul(ch.factor(), Op::None, ch.factor(), Op::Adj, GemmBackend::Blocked);
+            assert!(back.max_abs_diff(&a) < 1e-9 * a.max_abs(), "n = {n}");
+            // strictly lower triangular structure
+            for i in 0..n {
+                for j in i + 1..n {
+                    assert_eq!(ch.factor()[(i, j)], Complex64::ZERO);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn solve_and_inverse() {
+        let n = 12;
+        let a = hpd(n, 3);
+        let ch = Cholesky::new(&a).unwrap();
+        let x_true: Vec<Complex64> = (0..n).map(|i| c64(i as f64 * 0.3 - 1.0, 0.5)).collect();
+        let b = a.matvec(&x_true);
+        let x = ch.solve_vec(&b);
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((*xi - *ti).abs() < 1e-8);
+        }
+        let inv = ch.inverse();
+        let prod = matmul(&a, Op::None, &inv, Op::None, GemmBackend::Blocked);
+        assert!(prod.max_abs_diff(&CMatrix::identity(n)) < 1e-8);
+    }
+
+    #[test]
+    fn log_det_matches_lu() {
+        let a = hpd(9, 7);
+        let ch = Cholesky::new(&a).unwrap();
+        let lu = crate::lu::Lu::new(&a).unwrap();
+        let det = lu.det();
+        assert!(det.im.abs() < 1e-8 * det.re.abs());
+        assert!((ch.log_det() - det.re.ln()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let mut a = CMatrix::identity(3);
+        a[(2, 2)] = c64(-1.0, 0.0);
+        let err = Cholesky::new(&a).unwrap_err();
+        assert_eq!(err.index, 2);
+        assert!(err.to_string().contains("not positive definite"));
+    }
+
+    #[test]
+    fn epsilon_structure_is_hpd() {
+        // I - chi~ with chi~ negative semidefinite must factorize.
+        let h = CMatrix::random_hermitian(10, 5);
+        // make chi = -(H H^dagger)-like: negative semidefinite
+        let hh = matmul(&h, Op::None, &h, Op::Adj, GemmBackend::Blocked);
+        let eps = CMatrix::from_fn(10, 10, |i, j| {
+            let mut v = hh[(i, j)].scale(0.1);
+            if i == j {
+                v += Complex64::ONE;
+            }
+            v
+        });
+        assert!(Cholesky::new(&eps).is_ok());
+    }
+}

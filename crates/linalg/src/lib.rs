@@ -1,0 +1,29 @@
+//! `bgw-linalg`: dense complex linear algebra.
+//!
+//! The stand-in for the vendor BLAS/LAPACK stacks (cuBLAS/rocBLAS + Tensile
+//! /oneMKL, ScaLAPACK) the paper's kernels dispatch to:
+//!
+//! - [`gemm`]: ZGEMM with naive / blocked / parallel / tile-tuned backends
+//!   (the off-diagonal GPP kernel of Sec. 5.6 is two ZGEMMs per `(n, E)`).
+//! - [`eig`]: Hermitian eigensolver for the static subspace approximation
+//!   (Sec. 5.2) and full Dyson solutions.
+//! - [`lu`]: pivoted LU for the dielectric-matrix inversion (Eq. 3).
+//! - [`cholesky`]: HPD factorization (overlaps, insulating eps~).
+//! - [`qr`]: Householder QR and least squares (band orthonormalization).
+//! - [`matrix`]: the dense row-major complex container shared by all of it.
+
+#![warn(missing_docs)]
+
+pub mod cholesky;
+pub mod eig;
+pub mod gemm;
+pub mod lu;
+pub mod matrix;
+pub mod qr;
+
+pub use cholesky::{Cholesky, NotPositiveDefinite};
+pub use eig::{eigh, eigvalsh, HermitianEig};
+pub use gemm::{matmul, zgemm, zgemm_flops, GemmBackend, Op, TileParams};
+pub use lu::{invert, Lu, SingularMatrix};
+pub use matrix::CMatrix;
+pub use qr::{qr, Qr};

@@ -1,0 +1,183 @@
+//! Householder QR factorization and least squares.
+//!
+//! Used for orthonormalizing band blocks (the iterative Parabands path)
+//! and for the small least-squares fits of the convergence and
+//! plasmon-pole machinery. `A = Q R` with unitary `Q` (`m x n`, thin) and
+//! upper-triangular `R` (`n x n`), for `m >= n`.
+
+use crate::matrix::CMatrix;
+use bgw_num::Complex64;
+
+/// A thin QR factorization.
+#[derive(Clone, Debug)]
+pub struct Qr {
+    /// Thin unitary factor (`m x n`, orthonormal columns).
+    pub q: CMatrix,
+    /// Upper-triangular factor (`n x n`).
+    pub r: CMatrix,
+}
+
+/// Factorizes `a` (`m x n`, `m >= n`) by Householder reflections.
+pub fn qr(a: &CMatrix) -> Qr {
+    let m = a.nrows();
+    let n = a.ncols();
+    assert!(m >= n, "thin QR needs m >= n");
+    let mut r_full = a.clone();
+    // accumulate Q^dagger implicitly by storing reflectors
+    let mut vs: Vec<Vec<Complex64>> = Vec::with_capacity(n);
+    let mut taus: Vec<f64> = Vec::with_capacity(n);
+    for k in 0..n {
+        // Householder on column k below row k (Hermitian-unitary variant,
+        // same construction as the eigensolver's).
+        let mut xnorm2 = 0.0;
+        for i in k..m {
+            xnorm2 += r_full[(i, k)].norm_sqr();
+        }
+        let head = r_full[(k, k)];
+        let tail2 = xnorm2 - head.norm_sqr();
+        let mut v = vec![Complex64::ZERO; m];
+        if tail2 <= f64::EPSILON * f64::EPSILON * xnorm2.max(1e-300) {
+            // column already triangular; identity reflector
+            vs.push(v);
+            taus.push(0.0);
+            continue;
+        }
+        let xnorm = xnorm2.sqrt();
+        let phase = if head.abs() > 0.0 {
+            head.scale(1.0 / head.abs())
+        } else {
+            Complex64::ONE
+        };
+        for i in k..m {
+            v[i] = r_full[(i, k)];
+        }
+        v[k] += phase.scale(xnorm);
+        let vnorm2: f64 = v.iter().map(|z| z.norm_sqr()).sum();
+        let tau = 2.0 / vnorm2;
+        // apply H = I - tau v v^dagger to the remaining columns
+        for j in k..n {
+            let mut vdc = Complex64::ZERO;
+            for i in k..m {
+                vdc = vdc.conj_mul_add(v[i], r_full[(i, j)]);
+            }
+            let f = vdc.scale(tau);
+            for i in k..m {
+                let vi = v[i];
+                r_full[(i, j)] -= vi * f;
+            }
+        }
+        vs.push(v);
+        taus.push(tau);
+    }
+    // R = top n x n of r_full
+    let r = r_full.submatrix(0, n, 0, n);
+    // Q = H_0 H_1 ... H_{n-1} applied to the thin identity
+    let mut q = CMatrix::from_fn(m, n, |i, j| {
+        if i == j { Complex64::ONE } else { Complex64::ZERO }
+    });
+    for k in (0..n).rev() {
+        let (v, tau) = (&vs[k], taus[k]);
+        if tau == 0.0 {
+            continue;
+        }
+        for j in 0..n {
+            let mut vdc = Complex64::ZERO;
+            for i in k..m {
+                vdc = vdc.conj_mul_add(v[i], q[(i, j)]);
+            }
+            let f = vdc.scale(tau);
+            for i in k..m {
+                let vi = v[i];
+                q[(i, j)] -= vi * f;
+            }
+        }
+    }
+    Qr { q, r }
+}
+
+impl Qr {
+    /// Solves the least-squares problem `min ||A x - b||` via
+    /// `R x = Q^dagger b`. Requires `R` nonsingular.
+    pub fn solve_least_squares(&self, b: &[Complex64]) -> Vec<Complex64> {
+        let m = self.q.nrows();
+        let n = self.q.ncols();
+        assert_eq!(b.len(), m);
+        // y = Q^dagger b
+        let mut y = vec![Complex64::ZERO; n];
+        for j in 0..n {
+            let mut acc = Complex64::ZERO;
+            for i in 0..m {
+                acc = acc.conj_mul_add(self.q[(i, j)], b[i]);
+            }
+            y[j] = acc;
+        }
+        // back substitution R x = y
+        for i in (0..n).rev() {
+            let mut acc = y[i];
+            for k in i + 1..n {
+                acc -= self.r[(i, k)] * y[k];
+            }
+            y[i] = acc / self.r[(i, i)];
+        }
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::{matmul, GemmBackend, Op};
+    use bgw_num::c64;
+
+    #[test]
+    fn qr_reconstructs_and_q_is_orthonormal() {
+        for (m, n) in [(5usize, 5usize), (8, 5), (12, 3), (4, 1)] {
+            let a = CMatrix::random(m, n, (m * 10 + n) as u64);
+            let f = qr(&a);
+            let back = matmul(&f.q, Op::None, &f.r, Op::None, GemmBackend::Blocked);
+            assert!(back.max_abs_diff(&a) < 1e-10, "({m},{n})");
+            let qtq = matmul(&f.q, Op::Adj, &f.q, Op::None, GemmBackend::Blocked);
+            assert!(qtq.max_abs_diff(&CMatrix::identity(n)) < 1e-10, "({m},{n})");
+            // R upper triangular
+            for i in 0..n {
+                for j in 0..i {
+                    assert!(f.r[(i, j)].abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn least_squares_recovers_exact_solution() {
+        // consistent overdetermined system
+        let a = CMatrix::random(10, 4, 3);
+        let x_true: Vec<Complex64> =
+            (0..4).map(|i| c64(i as f64 - 1.5, 0.5 * i as f64)).collect();
+        let b = a.matvec(&x_true);
+        let x = qr(&a).solve_least_squares(&b);
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((*xi - *ti).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn least_squares_minimizes_residual() {
+        // inconsistent system: residual must be orthogonal to range(A)
+        let a = CMatrix::random(8, 3, 7);
+        let b: Vec<Complex64> = (0..8).map(|i| c64((i as f64).sin(), 0.3)).collect();
+        let x = qr(&a).solve_least_squares(&b);
+        let ax = a.matvec(&x);
+        let r: Vec<Complex64> = b.iter().zip(&ax).map(|(u, v)| *u - *v).collect();
+        // A^dagger r = 0
+        let atr = a.matvec_adj(&r);
+        for z in atr {
+            assert!(z.abs() < 1e-9, "residual not orthogonal: {z}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "m >= n")]
+    fn rejects_wide_matrices() {
+        let _ = qr(&CMatrix::zeros(2, 5));
+    }
+}

@@ -1,0 +1,260 @@
+//! Chebyshev expansions with the Jackson damping kernel.
+//!
+//! Used by the pseudobands construction (paper Sec. 5.3): the spectral
+//! projector `f^S(H) = sum_{n in S} |psi_n><psi_n|` onto an energy slice
+//! `S = [a, b]` is approximated by a degree-`l` Chebyshev-Jackson expansion
+//! of the window (indicator) function, so that applying it to a random
+//! vector costs only matrix-vector products.
+//!
+//! Conventions: the operator spectrum must be mapped into `[-1, 1]` before
+//! expansion; [`SpectralMap`] performs that affine transformation.
+
+use std::f64::consts::PI;
+
+/// Affine map taking a spectrum contained in `[e_min, e_max]` to `[-1, 1]`.
+#[derive(Clone, Copy, Debug)]
+pub struct SpectralMap {
+    /// Center of the spectral interval.
+    pub center: f64,
+    /// Half-width of the spectral interval (slightly inflated for safety).
+    pub half_width: f64,
+}
+
+impl SpectralMap {
+    /// Builds the map for a spectrum known to lie in `[e_min, e_max]`.
+    /// The interval is inflated by `margin` (relative) so the mapped spectrum
+    /// stays strictly inside `(-1, 1)`, which Chebyshev recursions require
+    /// for stability.
+    pub fn new(e_min: f64, e_max: f64, margin: f64) -> Self {
+        assert!(e_max > e_min, "empty spectral interval");
+        let center = 0.5 * (e_max + e_min);
+        let half_width = 0.5 * (e_max - e_min) * (1.0 + margin);
+        Self { center, half_width }
+    }
+
+    /// Maps an energy to the canonical interval.
+    #[inline]
+    pub fn to_canonical(&self, e: f64) -> f64 {
+        (e - self.center) / self.half_width
+    }
+
+    /// Maps a canonical coordinate back to energy.
+    #[inline]
+    pub fn from_canonical(&self, x: f64) -> f64 {
+        x * self.half_width + self.center
+    }
+}
+
+/// Jackson damping coefficients `g_k` for a degree-`n` expansion.
+///
+/// Damping suppresses the Gibbs oscillations of the raw Chebyshev series of
+/// a discontinuous target (here, the slice indicator function); see Weisse
+/// et al., Rev. Mod. Phys. 78, 275 (2006), Eq. (71).
+pub fn jackson_coefficients(n: usize) -> Vec<f64> {
+    let np = (n + 1) as f64;
+    (0..=n)
+        .map(|k| {
+            let kf = k as f64;
+            let a = (np - kf) * (PI * kf / np).cos();
+            let b = (PI / np).sin().recip() * (PI * kf / np).sin();
+            (a + b) / np
+        })
+        .collect()
+}
+
+/// Chebyshev coefficients of the indicator function of `[a, b] ⊂ [-1, 1]`.
+///
+/// Closed form: `c_0 = (acos(a) - acos(b)) / pi` and for `k >= 1`
+/// `c_k = 2 (sin(k acos(a)) - sin(k acos(b))) / (k pi)`.
+pub fn window_coefficients(a: f64, b: f64, degree: usize) -> Vec<f64> {
+    assert!((-1.0..=1.0).contains(&a) && (-1.0..=1.0).contains(&b) && a < b);
+    let ta = a.acos();
+    let tb = b.acos();
+    let mut c = Vec::with_capacity(degree + 1);
+    c.push((ta - tb) / PI);
+    for k in 1..=degree {
+        let kf = k as f64;
+        c.push(2.0 * ((kf * ta).sin() - (kf * tb).sin()) / (kf * PI));
+    }
+    c
+}
+
+/// A damped Chebyshev expansion `f(x) ≈ sum_k g_k c_k T_k(x)`.
+#[derive(Clone, Debug)]
+pub struct ChebyshevJackson {
+    /// Damped coefficients `g_k * c_k`.
+    pub coeffs: Vec<f64>,
+}
+
+impl ChebyshevJackson {
+    /// Expansion of the indicator of the canonical window `[a, b]` at the
+    /// given polynomial degree, with Jackson damping applied.
+    pub fn window(a: f64, b: f64, degree: usize) -> Self {
+        let c = window_coefficients(a, b, degree);
+        let g = jackson_coefficients(degree);
+        Self {
+            coeffs: c.iter().zip(&g).map(|(ci, gi)| ci * gi).collect(),
+        }
+    }
+
+    /// Same expansion without damping (exhibits Gibbs ringing; kept for
+    /// ablation tests).
+    pub fn window_undamped(a: f64, b: f64, degree: usize) -> Self {
+        Self {
+            coeffs: window_coefficients(a, b, degree),
+        }
+    }
+
+    /// Polynomial degree of the expansion.
+    pub fn degree(&self) -> usize {
+        self.coeffs.len() - 1
+    }
+
+    /// Evaluates the expansion at a scalar `x in [-1, 1]` via the
+    /// three-term recurrence.
+    pub fn eval(&self, x: f64) -> f64 {
+        let mut t_prev = 1.0; // T_0
+        let mut t = x; // T_1
+        let mut acc = self.coeffs[0];
+        if self.coeffs.len() > 1 {
+            acc += self.coeffs[1] * x;
+        }
+        for &c in &self.coeffs[2..] {
+            let t_next = 2.0 * x * t - t_prev;
+            acc += c * t_next;
+            t_prev = t;
+            t = t_next;
+        }
+        acc
+    }
+}
+
+/// Evaluates the Chebyshev polynomial `T_k(x)` directly (test helper and
+/// reference for operator recursions).
+pub fn chebyshev_t(k: usize, x: f64) -> f64 {
+    match k {
+        0 => 1.0,
+        1 => x,
+        _ => {
+            let mut a = 1.0;
+            let mut b = x;
+            for _ in 2..=k {
+                let c = 2.0 * x * b - a;
+                a = b;
+                b = c;
+            }
+            b
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spectral_map_roundtrip() {
+        let m = SpectralMap::new(-3.0, 17.0, 0.01);
+        for &e in &[-3.0, 0.0, 5.5, 17.0] {
+            let x = m.to_canonical(e);
+            assert!(x.abs() <= 1.0, "mapped point outside canonical interval");
+            assert!((m.from_canonical(x) - e).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty spectral interval")]
+    fn spectral_map_rejects_empty() {
+        let _ = SpectralMap::new(1.0, 1.0, 0.0);
+    }
+
+    #[test]
+    fn jackson_coefficients_basics() {
+        let g = jackson_coefficients(16);
+        assert_eq!(g.len(), 17);
+        assert!((g[0] - 1.0).abs() < 1e-12, "g_0 must be 1, got {}", g[0]);
+        // monotone decay to ~0 at k = n
+        for w in g.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12);
+        }
+        assert!(g[16].abs() < 0.05);
+    }
+
+    #[test]
+    fn window_converges_to_indicator() {
+        let (a, b) = (-0.3, 0.45);
+        let exp = ChebyshevJackson::window(a, b, 400);
+        // inside the window, away from edges
+        for &x in &[-0.2, 0.0, 0.3] {
+            assert!((exp.eval(x) - 1.0).abs() < 0.02, "inside x={x}: {}", exp.eval(x));
+        }
+        // outside, away from edges
+        for &x in &[-0.8, 0.8, -0.6] {
+            assert!(exp.eval(x).abs() < 0.02, "outside x={x}: {}", exp.eval(x));
+        }
+    }
+
+    #[test]
+    fn damped_expansion_is_nonnegative_ish() {
+        // Jackson damping keeps the approximation within [~-1e-3, 1+1e-3];
+        // the undamped one rings well below zero.
+        let exp = ChebyshevJackson::window(-0.5, 0.5, 100);
+        let undamped = ChebyshevJackson::window_undamped(-0.5, 0.5, 100);
+        let mut min_damped: f64 = 0.0;
+        let mut min_undamped: f64 = 0.0;
+        for i in 0..2001 {
+            let x = -1.0 + i as f64 * 1e-3;
+            min_damped = min_damped.min(exp.eval(x));
+            min_undamped = min_undamped.min(undamped.eval(x));
+        }
+        assert!(min_damped > -5e-3, "Jackson damping failed: {min_damped}");
+        assert!(min_undamped < -0.02, "expected Gibbs ringing without damping");
+    }
+
+    #[test]
+    fn higher_degree_reduces_error() {
+        let err = |deg: usize| {
+            let exp = ChebyshevJackson::window(-0.4, 0.4, deg);
+            let mut e: f64 = 0.0;
+            for i in 0..=396 {
+                let x = -0.99 + i as f64 * 0.005; // stays within [-0.99, 0.99]
+                let target = if (-0.4..=0.4).contains(&x) { 1.0 } else { 0.0 };
+                // skip points near the discontinuities
+                if (x + 0.4).abs() > 0.08 && (x - 0.4).abs() > 0.08 {
+                    e = e.max((exp.eval(x) - target).abs());
+                }
+            }
+            e
+        };
+        let e50 = err(50);
+        let e200 = err(200);
+        assert!(e200 < e50 * 0.5, "e50={e50}, e200={e200}");
+    }
+
+    #[test]
+    fn chebyshev_t_identities() {
+        for k in 0..20 {
+            for &x in &[-0.9, -0.4, 0.0, 0.33, 0.77] {
+                let theta = (x as f64).acos();
+                assert!(
+                    (chebyshev_t(k, x) - (k as f64 * theta).cos()).abs() < 1e-10,
+                    "T_{k}({x})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eval_matches_direct_series() {
+        let exp = ChebyshevJackson::window(-0.3, 0.6, 30);
+        for &x in &[-0.7, 0.1, 0.5, 0.95] {
+            let direct: f64 = exp
+                .coeffs
+                .iter()
+                .enumerate()
+                .map(|(k, c)| c * chebyshev_t(k, x))
+                .sum();
+            assert!((exp.eval(x) - direct).abs() < 1e-12);
+        }
+    }
+}

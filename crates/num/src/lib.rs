@@ -1,0 +1,33 @@
+//! `bgw-num`: numerical foundations for the BerkeleyGW reproduction.
+//!
+//! Provides the scalar complex type every GW kernel is built on, accurate
+//! summation for the large reduction sums in the self-energy (Eq. 2 of the
+//! paper), Chebyshev-Jackson expansions for the pseudobands spectral
+//! projectors (Sec. 5.3), frequency/energy grids (Secs. 5.2 and 5.6), and
+//! small statistics utilities for the stochastic-error analysis and the
+//! benchmark harness.
+
+#![warn(missing_docs)]
+
+pub mod chebyshev;
+pub mod complex;
+pub mod grid;
+pub mod pade;
+pub mod stats;
+pub mod sum;
+
+pub use chebyshev::{ChebyshevJackson, SpectralMap};
+pub use complex::{c64, Complex64};
+pub use grid::UniformGrid;
+pub use pade::{continue_to_real, PadeApproximant};
+pub use stats::RunningStats;
+pub use sum::{KahanC64, KahanF64};
+
+/// Hartree atomic unit of energy expressed in electron-volts.
+pub const HARTREE_EV: f64 = 27.211386245988;
+
+/// Rydberg expressed in electron-volts.
+pub const RYDBERG_EV: f64 = HARTREE_EV / 2.0;
+
+/// Bohr radius expressed in angstroms.
+pub const BOHR_ANGSTROM: f64 = 0.529177210903;

@@ -1,0 +1,170 @@
+//! Accurate summation.
+//!
+//! The self-energy sums of Eq. 2 accumulate O(N_b * N_G^2) terms; naive
+//! left-to-right accumulation loses digits at the sizes the benchmarks run.
+//! These helpers provide compensated (Kahan-Babuska-Neumaier) and pairwise
+//! summation for both real and complex streams.
+
+use crate::complex::Complex64;
+
+/// Kahan-Babuska-Neumaier compensated accumulator for `f64`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct KahanF64 {
+    sum: f64,
+    comp: f64,
+}
+
+impl KahanF64 {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one term.
+    #[inline]
+    pub fn add(&mut self, x: f64) {
+        let t = self.sum + x;
+        if self.sum.abs() >= x.abs() {
+            self.comp += (self.sum - t) + x;
+        } else {
+            self.comp += (x - t) + self.sum;
+        }
+        self.sum = t;
+    }
+
+    /// Returns the compensated total.
+    #[inline]
+    pub fn total(&self) -> f64 {
+        self.sum + self.comp
+    }
+}
+
+/// Compensated accumulator for [`Complex64`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct KahanC64 {
+    re: KahanF64,
+    im: KahanF64,
+}
+
+impl KahanC64 {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one term.
+    #[inline]
+    pub fn add(&mut self, z: Complex64) {
+        self.re.add(z.re);
+        self.im.add(z.im);
+    }
+
+    /// Returns the compensated total.
+    #[inline]
+    pub fn total(&self) -> Complex64 {
+        Complex64::new(self.re.total(), self.im.total())
+    }
+}
+
+/// Compensated sum of a real slice.
+pub fn kahan_sum(xs: &[f64]) -> f64 {
+    let mut acc = KahanF64::new();
+    for &x in xs {
+        acc.add(x);
+    }
+    acc.total()
+}
+
+/// Compensated sum of a complex slice.
+pub fn kahan_sum_c64(zs: &[Complex64]) -> Complex64 {
+    let mut acc = KahanC64::new();
+    for &z in zs {
+        acc.add(z);
+    }
+    acc.total()
+}
+
+/// Pairwise (cascade) summation of a real slice: O(log n) error growth with
+/// plain hardware adds, the standard trick inside blocked reduction kernels.
+pub fn pairwise_sum(xs: &[f64]) -> f64 {
+    const BASE: usize = 32;
+    if xs.len() <= BASE {
+        return xs.iter().sum();
+    }
+    let mid = xs.len() / 2;
+    pairwise_sum(&xs[..mid]) + pairwise_sum(&xs[mid..])
+}
+
+/// Pairwise summation of a complex slice.
+pub fn pairwise_sum_c64(zs: &[Complex64]) -> Complex64 {
+    const BASE: usize = 32;
+    if zs.len() <= BASE {
+        return zs.iter().copied().sum();
+    }
+    let mid = zs.len() / 2;
+    pairwise_sum_c64(&zs[..mid]) + pairwise_sum_c64(&zs[mid..])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::c64;
+
+    #[test]
+    fn kahan_beats_naive_on_ill_conditioned_input() {
+        // 1 followed by many tiny values that naive summation drops entirely.
+        let n = 100_000;
+        let tiny = 1e-17;
+        let mut xs = vec![tiny; n];
+        xs.insert(0, 1.0);
+        let naive: f64 = xs.iter().sum();
+        let kahan = kahan_sum(&xs);
+        let exact = 1.0 + tiny * n as f64;
+        assert_eq!(naive, 1.0, "naive should lose the tail entirely");
+        assert!((kahan - exact).abs() < 1e-15);
+    }
+
+    #[test]
+    fn kahan_handles_cancellation() {
+        let xs = [1e16, 1.0, -1e16];
+        assert_eq!(kahan_sum(&xs), 1.0);
+    }
+
+    #[test]
+    fn complex_kahan_matches_componentwise() {
+        let zs: Vec<_> = (0..1000)
+            .map(|i| c64((i as f64).sin() * 1e-8, (i as f64).cos()))
+            .collect();
+        let s = kahan_sum_c64(&zs);
+        let re = kahan_sum(&zs.iter().map(|z| z.re).collect::<Vec<_>>());
+        let im = kahan_sum(&zs.iter().map(|z| z.im).collect::<Vec<_>>());
+        assert!((s.re - re).abs() < 1e-18);
+        assert!((s.im - im).abs() < 1e-18);
+    }
+
+    #[test]
+    fn pairwise_matches_kahan_closely() {
+        let xs: Vec<f64> = (0..4097).map(|i| ((i * 37) % 101) as f64 * 0.1 - 5.0).collect();
+        let p = pairwise_sum(&xs);
+        let k = kahan_sum(&xs);
+        assert!((p - k).abs() < 1e-9 * k.abs().max(1.0));
+    }
+
+    #[test]
+    fn pairwise_complex_small_and_large() {
+        let zs: Vec<_> = (0..7).map(|i| c64(i as f64, -(i as f64))).collect();
+        let s = pairwise_sum_c64(&zs);
+        assert_eq!(s, c64(21.0, -21.0));
+        let zs: Vec<_> = (0..1000).map(|i| c64(1.0, i as f64 * 1e-3)).collect();
+        let s = pairwise_sum_c64(&zs);
+        assert!((s.re - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(kahan_sum(&[]), 0.0);
+        assert_eq!(pairwise_sum(&[]), 0.0);
+        assert_eq!(kahan_sum(&[42.0]), 42.0);
+        assert_eq!(pairwise_sum_c64(&[c64(1.0, 2.0)]), c64(1.0, 2.0));
+    }
+}

@@ -1,0 +1,331 @@
+//! `bgw-par`: node-level data parallelism.
+//!
+//! On the machines in the paper each MPI rank drives a GPU with thousands of
+//! threads; in this reproduction a rank is a thread and the *node-level*
+//! parallelism inside a rank is provided by this crate: dynamically
+//! scheduled `parallel_for` / `parallel_reduce` over index ranges, built on
+//! `std::thread::scope` with an atomic work counter (the software analogue
+//! of the two-level work-group decomposition of paper Sec. 5.5).
+//!
+//! The worker count defaults to the machine's available parallelism and can
+//! be overridden with the `BGW_THREADS` environment variable or
+//! [`set_num_threads`].
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static NUM_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the number of worker threads used by subsequent parallel calls.
+/// A value of 0 restores the automatic default.
+pub fn set_num_threads(n: usize) {
+    NUM_THREADS.store(n, Ordering::Relaxed);
+}
+
+/// Returns the number of worker threads parallel calls will use.
+pub fn num_threads() -> usize {
+    let n = NUM_THREADS.load(Ordering::Relaxed);
+    if n != 0 {
+        return n;
+    }
+    if let Ok(s) = std::env::var("BGW_THREADS") {
+        if let Ok(v) = s.parse::<usize>() {
+            if v > 0 {
+                return v;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Picks a chunk size that yields a few chunks per worker for dynamic load
+/// balance, with a floor of `min_chunk` to bound scheduling overhead.
+pub fn auto_chunk(n: usize, workers: usize, min_chunk: usize) -> usize {
+    if n == 0 {
+        return 1;
+    }
+    let target = workers.max(1) * 4;
+    (n / target).max(min_chunk).max(1)
+}
+
+/// Runs `body(i)` for every `i in 0..n`, distributing chunks of indices over
+/// worker threads with dynamic (atomic counter) scheduling.
+///
+/// `body` must be safe to call concurrently from several threads.
+pub fn parallel_for<F>(n: usize, body: F)
+where
+    F: Fn(usize) + Sync,
+{
+    parallel_for_chunked(n, auto_chunk(n, num_threads(), 16), |lo, hi| {
+        for i in lo..hi {
+            body(i);
+        }
+    });
+}
+
+/// Runs `body(lo, hi)` over disjoint chunks `[lo, hi)` covering `0..n`.
+///
+/// This is the primitive the GW kernels use directly: a chunk corresponds to
+/// a tile of the `(G', n)` loop nest and the body runs its own inner loops.
+pub fn parallel_for_chunked<F>(n: usize, chunk: usize, body: F)
+where
+    F: Fn(usize, usize) + Sync,
+{
+    if n == 0 {
+        return;
+    }
+    let chunk = chunk.max(1);
+    let workers = num_threads().min(n.div_ceil(chunk));
+    if workers <= 1 {
+        let mut lo = 0;
+        while lo < n {
+            let hi = (lo + chunk).min(n);
+            body(lo, hi);
+            lo = hi;
+        }
+        return;
+    }
+    let counter = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let start = counter.fetch_add(chunk, Ordering::Relaxed);
+                if start >= n {
+                    break;
+                }
+                let end = (start + chunk).min(n);
+                body(start, end);
+            });
+        }
+    });
+}
+
+/// Parallel reduction: each worker folds its chunks into a local accumulator
+/// created by `identity`, then the accumulators are merged with `merge`.
+///
+/// The merge order is deterministic (worker index order), so results are
+/// reproducible for associative-enough `merge` operations.
+pub fn parallel_reduce<T, Fid, Fbody, Fmerge>(
+    n: usize,
+    chunk: usize,
+    identity: Fid,
+    body: Fbody,
+    merge: Fmerge,
+) -> T
+where
+    T: Send,
+    Fid: Fn() -> T + Sync,
+    Fbody: Fn(&mut T, usize, usize) + Sync,
+    Fmerge: Fn(T, T) -> T,
+{
+    if n == 0 {
+        return identity();
+    }
+    let chunk = chunk.max(1);
+    let workers = num_threads().min(n.div_ceil(chunk));
+    if workers <= 1 {
+        let mut acc = identity();
+        let mut lo = 0;
+        while lo < n {
+            let hi = (lo + chunk).min(n);
+            body(&mut acc, lo, hi);
+            lo = hi;
+        }
+        return acc;
+    }
+    let counter = AtomicUsize::new(0);
+    let mut partials: Vec<T> = Vec::with_capacity(workers);
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            handles.push(s.spawn(|| {
+                let mut acc = identity();
+                loop {
+                    let start = counter.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    let end = (start + chunk).min(n);
+                    body(&mut acc, start, end);
+                }
+                acc
+            }));
+        }
+        for h in handles {
+            partials.push(h.join().expect("parallel_reduce worker panicked"));
+        }
+    });
+    let mut it = partials.into_iter();
+    let first = it.next().expect("at least one worker");
+    it.fold(first, merge)
+}
+
+/// Applies `body(i, &mut slot)` to each element of `out` in parallel, where
+/// `i` is the element index. This is the safe "one writer per element"
+/// pattern used to fill rows of distributed matrices.
+pub fn parallel_fill<T, F>(out: &mut [T], body: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let n = out.len();
+    if n == 0 {
+        return;
+    }
+    let chunk = auto_chunk(n, num_threads(), 1);
+    let workers = num_threads().min(n.div_ceil(chunk));
+    if workers <= 1 {
+        for (i, slot) in out.iter_mut().enumerate() {
+            body(i, slot);
+        }
+        return;
+    }
+    // Hand out disjoint chunks of the slice to workers through a shared
+    // queue of (offset, sub-slice) pairs; disjointness makes this race free.
+    let mut chunks: Vec<(usize, &mut [T])> = Vec::new();
+    let mut rest = out;
+    let mut off = 0;
+    while !rest.is_empty() {
+        let take = chunk.min(rest.len());
+        let (head, tail) = rest.split_at_mut(take);
+        chunks.push((off, head));
+        off += take;
+        rest = tail;
+    }
+    let queue = parking_lot::Mutex::new(chunks);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let item = queue.lock().pop();
+                match item {
+                    Some((off, slice)) => {
+                        for (j, slot) in slice.iter_mut().enumerate() {
+                            body(off + j, slot);
+                        }
+                    }
+                    None => break,
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    // Tests mutate the global thread count; serialize them.
+    static TEST_LOCK: parking_lot::Mutex<()> = parking_lot::Mutex::new(());
+
+    #[test]
+    fn thread_count_override() {
+        let _g = TEST_LOCK.lock();
+        set_num_threads(3);
+        assert_eq!(num_threads(), 3);
+        set_num_threads(0);
+        assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn auto_chunk_bounds() {
+        assert_eq!(auto_chunk(0, 8, 16), 1);
+        assert_eq!(auto_chunk(10, 8, 16), 16);
+        assert!(auto_chunk(10_000, 4, 16) >= 16);
+        assert_eq!(auto_chunk(5, 1, 1), 1);
+    }
+
+    #[test]
+    fn parallel_for_visits_every_index_once() {
+        let _g = TEST_LOCK.lock();
+        for &threads in &[1usize, 2, 5] {
+            set_num_threads(threads);
+            let n = 1000;
+            let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+            parallel_for(n, |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            for (i, h) in hits.iter().enumerate() {
+                assert_eq!(h.load(Ordering::Relaxed), 1, "index {i}, threads {threads}");
+            }
+        }
+        set_num_threads(0);
+    }
+
+    #[test]
+    fn chunked_covers_range_with_disjoint_chunks() {
+        let _g = TEST_LOCK.lock();
+        set_num_threads(4);
+        let n = 103;
+        let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        parallel_for_chunked(n, 10, |lo, hi| {
+            assert!(lo < hi && hi <= n);
+            for i in lo..hi {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        set_num_threads(0);
+    }
+
+    #[test]
+    fn reduce_sums_match_serial() {
+        let _g = TEST_LOCK.lock();
+        for &threads in &[1usize, 2, 7] {
+            set_num_threads(threads);
+            let n = 12_345usize;
+            let total = parallel_reduce(
+                n,
+                64,
+                || 0u64,
+                |acc, lo, hi| {
+                    for i in lo..hi {
+                        *acc += i as u64;
+                    }
+                },
+                |a, b| a + b,
+            );
+            assert_eq!(total, (n as u64 - 1) * n as u64 / 2, "threads {threads}");
+        }
+        set_num_threads(0);
+    }
+
+    #[test]
+    fn reduce_empty_returns_identity() {
+        let v = parallel_reduce(0, 8, || 42i32, |_, _, _| unreachable!(), |a, _| a);
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn parallel_fill_writes_each_slot() {
+        let _g = TEST_LOCK.lock();
+        set_num_threads(4);
+        let mut out = vec![0usize; 517];
+        parallel_fill(&mut out, |i, slot| *slot = i * i);
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, i * i);
+        }
+        set_num_threads(0);
+    }
+
+    #[test]
+    fn parallel_fill_empty_is_noop() {
+        let mut out: Vec<u8> = vec![];
+        parallel_fill(&mut out, |_, _| panic!("must not run"));
+    }
+
+    #[test]
+    fn nested_parallelism_does_not_deadlock() {
+        let _g = TEST_LOCK.lock();
+        set_num_threads(2);
+        let acc = AtomicU64::new(0);
+        parallel_for(4, |_| {
+            parallel_for(8, |_| {
+                acc.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(acc.load(Ordering::Relaxed), 32);
+        set_num_threads(0);
+    }
+}

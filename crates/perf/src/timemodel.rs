@@ -1,0 +1,399 @@
+//! Time and scaling model for the Sigma kernels on the modeled machines.
+//!
+//! This is the documented substitution for not owning Frontier/Aurora
+//! (DESIGN.md Sec. 2): the *decomposition* is the paper's — self-energy
+//! pools over `N_Sigma`, the `G'` sum split across the ranks of a pool
+//! (Sec. 5.5), `(n, E)` ZGEMM pairs across ranks for the off-diag kernel
+//! (Sec. 5.6) — and the model charges
+//!
+//! `T = max_rank_flops / (efficiency * per_gpu_peak)
+//!      + allreduce(bytes) + latency * log2(P) [+ io_bytes / io_bw]`.
+//!
+//! Load imbalance comes from the integer `ceil` splits of the real
+//! decomposition, communication volume from the actual reduction sizes;
+//! only the per-unit rates (sustained fraction of peak, network, I/O) are
+//! calibrated constants, anchored to the paper's own measured full-machine
+//! numbers in [`Efficiencies::paper_anchored`].
+
+use crate::flopmodel::{gpp_diag_flops, gpp_offdiag_flops};
+use crate::machine::Machine;
+
+/// A GPP Sigma workload (sizes in paper Table 1 notation).
+#[derive(Clone, Copy, Debug)]
+pub struct SigmaWorkload {
+    /// `N_Sigma`.
+    pub n_sigma: usize,
+    /// `N_b`.
+    pub n_b: usize,
+    /// `N_G`.
+    pub n_g: usize,
+    /// `N_E`.
+    pub n_e: usize,
+    /// Diag-kernel FLOP prefactor `alpha` (Eq. 7).
+    pub alpha: f64,
+}
+
+impl SigmaWorkload {
+    /// Total diag-kernel FLOPs (Eq. 7).
+    pub fn diag_flops(&self) -> f64 {
+        gpp_diag_flops(self.alpha, self.n_sigma, self.n_b, self.n_g, self.n_e)
+    }
+
+    /// Total off-diag ZGEMM FLOPs (Eq. 8).
+    pub fn offdiag_flops(&self) -> f64 {
+        gpp_offdiag_flops(self.n_b, self.n_e, self.n_sigma, self.n_g)
+    }
+
+    /// Bytes of wavefunction + dielectric input the Sigma module reads
+    /// (the dominant I/O for the "incl. I/O" rows): `N_b x N_G^psi`
+    /// complex wavefunctions plus the `N_G^2` dielectric matrix. `n_g_psi`
+    /// defaults to `3 * n_g` when unknown (the Table 2 Si-series ratio
+    /// N_G^psi / N_G ~ 2.8).
+    pub fn io_bytes(&self, n_g_psi: Option<usize>) -> f64 {
+        let ngp = n_g_psi.unwrap_or(3 * self.n_g) as f64;
+        16.0 * (self.n_b as f64 * ngp + (self.n_g as f64).powi(2))
+    }
+}
+
+/// Which kernel a prediction is for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kernel {
+    /// The diag. kernel (matrix-vector-like, on-the-fly `P`).
+    Diag,
+    /// The off-diag. kernel (ZGEMM-recast).
+    Offdiag,
+}
+
+/// Sustained fractions of *attainable* per-GPU peak for each machine and
+/// kernel class.
+#[derive(Clone, Copy, Debug)]
+pub struct Efficiencies {
+    /// diag kernel on (Frontier, Aurora, Perlmutter).
+    pub diag: (f64, f64, f64),
+    /// off-diag kernel on (Frontier, Aurora, Perlmutter).
+    pub offdiag: (f64, f64, f64),
+}
+
+impl Efficiencies {
+    /// Single-GPU sustained fractions calibrated so that the modeled
+    /// full-machine throughput (after the model's communication and
+    /// imbalance losses) reproduces the paper's Table 5 percentages:
+    /// diag 31.04% (F) / 39.39% (A), off-diag 59.45% (F) / 48.79% (A);
+    /// Perlmutter diag anchored to the ~34% single-GPU fraction of ref 8.
+    pub fn paper_anchored() -> Self {
+        Efficiencies {
+            diag: (0.313, 0.398, 0.345),
+            offdiag: (0.598, 0.545, 0.600),
+        }
+    }
+
+    /// Fraction for a kernel on a machine.
+    pub fn get(&self, kernel: Kernel, machine: &Machine) -> f64 {
+        let t = match kernel {
+            Kernel::Diag => self.diag,
+            Kernel::Offdiag => self.offdiag,
+        };
+        match machine.name {
+            "Frontier" => t.0,
+            "Aurora" => t.1,
+            _ => t.2,
+        }
+    }
+}
+
+/// Predicted time breakdown of one kernel invocation.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TimeBreakdown {
+    /// Compute seconds on the critical-path rank.
+    pub compute_s: f64,
+    /// Communication seconds (reductions).
+    pub comm_s: f64,
+    /// I/O seconds (0 when excluded).
+    pub io_s: f64,
+}
+
+impl TimeBreakdown {
+    /// Total seconds.
+    pub fn total(&self) -> f64 {
+        self.compute_s + self.comm_s + self.io_s
+    }
+}
+
+/// A point of a scaling/throughput series.
+#[derive(Clone, Copy, Debug)]
+pub struct ScalingPoint {
+    /// Node count.
+    pub nodes: usize,
+    /// Predicted kernel seconds.
+    pub seconds: f64,
+    /// Achieved PFLOP/s.
+    pub pflops: f64,
+    /// Percent of the machine's peak (attainable for Aurora, theoretical
+    /// otherwise — the paper's convention).
+    pub pct_peak: f64,
+}
+
+fn div_ceil_f(a: usize, b: usize) -> f64 {
+    a.div_ceil(b.max(1)) as f64
+}
+
+/// Allreduce cost model: ring allreduce of `bytes` over `p` ranks.
+fn allreduce_s(machine: &Machine, p: usize, bytes: f64) -> f64 {
+    if p <= 1 {
+        return 0.0;
+    }
+    let bw = machine.net_gb_per_gpu * 1e9;
+    2.0 * bytes * (p as f64 - 1.0) / p as f64 / bw
+        + (p as f64).log2().ceil() * machine.latency_us * 1e-6
+}
+
+/// Predicts the GPP kernel time on `nodes` nodes of `machine`.
+///
+/// `pools`: number of self-energy pools (`None` picks `min(N_Sigma,
+/// gpus)`). `include_io`: adds the input-read time for "incl. I/O" rows.
+pub fn sigma_time(
+    machine: &Machine,
+    nodes: usize,
+    w: &SigmaWorkload,
+    kernel: Kernel,
+    eff: &Efficiencies,
+    pools: Option<usize>,
+    include_io: bool,
+) -> TimeBreakdown {
+    let gpus = machine.gpus(nodes).max(1);
+    let sustained =
+        eff.get(kernel, machine) * machine.attainable_tflops_per_gpu * 1e12;
+    let mut t = TimeBreakdown::default();
+    match kernel {
+        Kernel::Diag => {
+            // pools over N_Sigma; ranks of a pool split the G' sum.
+            let pools = pools.unwrap_or_else(|| w.n_sigma.min(gpus)).clamp(1, gpus);
+            let ranks_per_pool = (gpus / pools).max(1);
+            let per_rank_flops = w.alpha
+                * div_ceil_f(w.n_sigma, pools)
+                * w.n_b as f64
+                * w.n_g as f64
+                * div_ceil_f(w.n_g, ranks_per_pool)
+                * w.n_e as f64;
+            t.compute_s = per_rank_flops / sustained;
+            // Two-stage reduction of this pool's Sigma values, once per
+            // band loop chunk; the dominant reduction is the final one of
+            // N_Sigma/pools * N_E complex numbers over the pool.
+            let bytes = 16.0 * div_ceil_f(w.n_sigma, pools) * w.n_e as f64;
+            t.comm_s = allreduce_s(machine, ranks_per_pool, bytes);
+        }
+        Kernel::Offdiag => {
+            // (n, E) ZGEMM pairs distributed over all GPUs.
+            let pairs = w.n_b * w.n_e;
+            let per_pair = w.offdiag_flops() / pairs as f64;
+            let per_rank_flops = div_ceil_f(pairs, gpus) * per_pair;
+            t.compute_s = per_rank_flops / sustained;
+            // allreduce of the accumulated N_Sigma^2 x N_E matrices.
+            let bytes = 16.0 * (w.n_sigma as f64).powi(2) * w.n_e as f64;
+            t.comm_s = allreduce_s(machine, gpus, bytes);
+        }
+    }
+    if include_io {
+        t.io_s = w.io_bytes(None) / (machine.io_gb_per_s * 1e9);
+    }
+    t
+}
+
+/// Builds a strong-scaling series over `node_counts`.
+pub fn strong_scaling(
+    machine: &Machine,
+    node_counts: &[usize],
+    w: &SigmaWorkload,
+    kernel: Kernel,
+    eff: &Efficiencies,
+    include_io: bool,
+) -> Vec<ScalingPoint> {
+    let flops = match kernel {
+        Kernel::Diag => w.diag_flops(),
+        Kernel::Offdiag => w.offdiag_flops(),
+    };
+    node_counts
+        .iter()
+        .map(|&nodes| {
+            let t = sigma_time(machine, nodes, w, kernel, eff, None, include_io);
+            let secs = t.total();
+            let pflops = flops / secs / 1e15;
+            let peak = machine.attainable_flops(nodes);
+            ScalingPoint {
+                nodes,
+                seconds: secs,
+                pflops,
+                pct_peak: 100.0 * flops / secs / peak,
+            }
+        })
+        .collect()
+}
+
+/// Builds a weak-scaling series: the workload is scaled with the node
+/// count by `scale(base, nodes) -> workload`.
+pub fn weak_scaling<F: Fn(usize) -> SigmaWorkload>(
+    machine: &Machine,
+    node_counts: &[usize],
+    scale: F,
+    kernel: Kernel,
+    eff: &Efficiencies,
+) -> Vec<ScalingPoint> {
+    node_counts
+        .iter()
+        .map(|&nodes| {
+            let w = scale(nodes);
+            let flops = match kernel {
+                Kernel::Diag => w.diag_flops(),
+                Kernel::Offdiag => w.offdiag_flops(),
+            };
+            let t = sigma_time(machine, nodes, &w, kernel, eff, None, false);
+            let secs = t.total();
+            ScalingPoint {
+                nodes,
+                seconds: secs,
+                pflops: flops / secs / 1e15,
+                pct_peak: 100.0 * flops / secs / machine.attainable_flops(nodes),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Si998-a configuration (Fig. 7 caption):
+    /// N_E = 200, N_b = 28,224, N_G = 51,627, N_Sigma = 512.
+    fn si998a() -> SigmaWorkload {
+        SigmaWorkload {
+            n_sigma: 512,
+            n_b: 28_224,
+            n_g: 51_627,
+            n_e: 200,
+            alpha: crate::flopmodel::ALPHA_FRONTIER,
+        }
+    }
+
+    #[test]
+    fn offdiag_full_frontier_reproduces_table5_throughput() {
+        // Table 5: Si998-a off-diag, 9,408 nodes, 116.4 s, 1069.36 PF/s,
+        // 59.45% of peak.
+        let m = Machine::frontier();
+        let eff = Efficiencies::paper_anchored();
+        let w = si998a();
+        let t = sigma_time(&m, 9_408, &w, Kernel::Offdiag, &eff, None, false);
+        let pf = w.offdiag_flops() / t.total() / 1e15;
+        let pct = 100.0 * pf * 1e15 / m.peak_flops(9_408);
+        assert!(
+            (pct - 59.45).abs() < 6.0,
+            "modeled {pct}% vs paper 59.45% ({} s, {pf} PF/s)",
+            t.total()
+        );
+        // and the runtime lands in the right ballpark (paper: 116.4 s)
+        assert!(t.total() > 60.0 && t.total() < 240.0, "{} s", t.total());
+    }
+
+    #[test]
+    fn diag_full_frontier_lands_near_31_pct() {
+        // BN867: N_Sigma such that the diag kernel hits ~558 PF (31%).
+        // Use Si2742-like sizes: N_Sigma = 128, N_b = 80,695, N_G =
+        // 141,505, N_E = 3 (Table 2 + typical sampling).
+        let m = Machine::frontier();
+        let eff = Efficiencies::paper_anchored();
+        let w = SigmaWorkload {
+            n_sigma: 128,
+            n_b: 80_695,
+            n_g: 141_505,
+            n_e: 3,
+            alpha: crate::flopmodel::ALPHA_FRONTIER,
+        };
+        let t = sigma_time(&m, 9_408, &w, Kernel::Diag, &eff, None, false);
+        let pct = 100.0 * w.diag_flops() / t.total() / m.peak_flops(9_408);
+        assert!((pct - 31.0).abs() < 4.0, "modeled {pct}%");
+    }
+
+    #[test]
+    fn strong_scaling_is_monotone_with_saturation() {
+        let m = Machine::frontier();
+        let eff = Efficiencies::paper_anchored();
+        let w = si998a();
+        let nodes = [128usize, 256, 512, 1024, 2048, 4096, 9408];
+        let series = strong_scaling(&m, &nodes, &w, Kernel::Offdiag, &eff, false);
+        for win in series.windows(2) {
+            assert!(win[1].seconds < win[0].seconds, "time must drop");
+            let speedup = win[0].seconds / win[1].seconds;
+            let ideal = win[1].nodes as f64 / win[0].nodes as f64;
+            // integer ceil splits allow marginally superlinear steps
+            assert!(speedup <= ideal * 1.02, "superlinear? {speedup} vs {ideal}");
+        }
+        // efficiency declines with scale
+        assert!(series.last().unwrap().pct_peak <= series[0].pct_peak + 1e-9);
+    }
+
+    #[test]
+    fn weak_scaling_time_is_flat() {
+        let m = Machine::aurora();
+        let eff = Efficiencies::paper_anchored();
+        let nodes = [64usize, 128, 256, 512, 1024];
+        let series = weak_scaling(
+            &m,
+            &nodes,
+            |n| SigmaWorkload {
+                // scale N_Sigma with nodes: per Eq. 7, flops ~ nodes
+                n_sigma: 8 * n,
+                n_b: 15_000,
+                n_g: 26_529,
+                n_e: 3,
+                alpha: crate::flopmodel::ALPHA_AURORA,
+            },
+            Kernel::Diag,
+            &eff,
+        );
+        let t0 = series[0].seconds;
+        for p in &series {
+            assert!(
+                (p.seconds - t0).abs() / t0 < 0.15,
+                "weak scaling not flat: {} vs {t0}",
+                p.seconds
+            );
+        }
+    }
+
+    #[test]
+    fn io_adds_cost_like_table5() {
+        // Si998-b: kernel 303 s, incl. I/O 605 s -> I/O roughly doubles.
+        let m = Machine::frontier();
+        let eff = Efficiencies::paper_anchored();
+        let w = SigmaWorkload { n_e: 512, ..si998a() };
+        let no_io = sigma_time(&m, 9_408, &w, Kernel::Offdiag, &eff, None, false);
+        let with_io = sigma_time(&m, 9_408, &w, Kernel::Offdiag, &eff, None, true);
+        assert!(with_io.io_s > 0.0);
+        let ratio = with_io.total() / no_io.total();
+        // paper: 605 s / 391 s ~ 1.55 for the whole app; the kernel-only
+        // ratio here just needs to show a substantial I/O cost
+        assert!(ratio > 1.3, "I/O must cost something: {ratio}");
+        // absolute I/O time lands near the paper's ~214 s delta
+        assert!(
+            with_io.io_s > 100.0 && with_io.io_s < 400.0,
+            "io_s {}",
+            with_io.io_s
+        );
+    }
+
+    #[test]
+    fn single_node_has_no_comm() {
+        let m = Machine::perlmutter();
+        let eff = Efficiencies::paper_anchored();
+        let w = SigmaWorkload {
+            n_sigma: 4,
+            n_b: 100,
+            n_g: 200,
+            n_e: 3,
+            alpha: 20.0,
+        };
+        // pools = gpus -> ranks_per_pool = 1 -> zero comm
+        let t = sigma_time(&m, 1, &w, Kernel::Diag, &eff, Some(4), false);
+        assert_eq!(t.comm_s, 0.0);
+        assert!(t.compute_s > 0.0);
+    }
+}

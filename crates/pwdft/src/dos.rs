@@ -1,0 +1,157 @@
+//! Density of states (DOS) and band-edge analysis.
+//!
+//! Smearing-based DOS from a band set (Gamma-only supercell sampling, the
+//! paper's defect-calculation setting), used by the defect examples to
+//! visualize in-gap states and by convergence checks of the pseudobands
+//! compression (the DOS of the compressed set must track the exact one in
+//! the protected window).
+
+use crate::solver::Wavefunctions;
+
+/// A sampled density of states.
+#[derive(Clone, Debug)]
+pub struct Dos {
+    /// Energy grid (Ry).
+    pub energies: Vec<f64>,
+    /// DOS values (states / Ry / cell), spin factor 2 included.
+    pub values: Vec<f64>,
+}
+
+/// Computes the Gaussian-smeared DOS of a band set on a uniform grid.
+pub fn dos(wf: &Wavefunctions, e_lo: f64, e_hi: f64, n_points: usize, sigma: f64) -> Dos {
+    assert!(n_points >= 2 && e_hi > e_lo && sigma > 0.0);
+    let energies: Vec<f64> = (0..n_points)
+        .map(|i| e_lo + (e_hi - e_lo) * i as f64 / (n_points - 1) as f64)
+        .collect();
+    let norm = 2.0 / (sigma * (2.0 * std::f64::consts::PI).sqrt()); // spin 2
+    let values = energies
+        .iter()
+        .map(|&e| {
+            wf.energies
+                .iter()
+                .map(|&en| {
+                    let x = (e - en) / sigma;
+                    norm * (-0.5 * x * x).exp()
+                })
+                .sum()
+        })
+        .collect();
+    Dos { energies, values }
+}
+
+impl Dos {
+    /// Integrated DOS up to `e` (trapezoid) — the electron count when `e`
+    /// is the Fermi level and the window covers all occupied states.
+    pub fn integrated_up_to(&self, e: f64) -> f64 {
+        let mut acc = 0.0;
+        for i in 1..self.energies.len() {
+            if self.energies[i] > e {
+                break;
+            }
+            acc += 0.5 * (self.values[i] + self.values[i - 1])
+                * (self.energies[i] - self.energies[i - 1]);
+        }
+        acc
+    }
+
+    /// `true` if the DOS is below `threshold` everywhere in `[a, b]` —
+    /// a gap detector.
+    pub fn has_gap(&self, a: f64, b: f64, threshold: f64) -> bool {
+        self.energies
+            .iter()
+            .zip(&self.values)
+            .filter(|(&e, _)| e >= a && e <= b)
+            .all(|(_, &v)| v < threshold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lattice::Crystal;
+    use crate::pseudo::{Species, SI_A0};
+    use crate::solver::solve_bands;
+
+    fn si_wf() -> Wavefunctions {
+        let c = Crystal::diamond(Species::Si, SI_A0);
+        let sph = crate::gvec::GSphere::new(&c.lattice, 2.6);
+        solve_bands(&c, &sph, 30)
+    }
+
+    #[test]
+    fn integrated_dos_counts_electrons() {
+        let wf = si_wf();
+        let fermi = wf.fermi_ry();
+        let d = dos(&wf, wf.energies[0] - 0.5, fermi, 4000, 0.01);
+        let count = d.integrated_up_to(fermi);
+        // 32 electrons in the cell (16 doubly-occupied bands)
+        assert!(
+            (count - 32.0).abs() < 0.5,
+            "integrated DOS {count} vs 32 electrons"
+        );
+    }
+
+    #[test]
+    fn gap_region_is_empty() {
+        let wf = si_wf();
+        let vbm = wf.energies[wf.n_valence - 1];
+        let cbm = wf.energies[wf.n_valence];
+        // smear well below the gap scale
+        let sigma = (cbm - vbm) / 20.0;
+        let d = dos(&wf, vbm - 0.2, cbm + 0.2, 2000, sigma);
+        // middle third of the gap must be DOS-free
+        let third = (cbm - vbm) / 3.0;
+        assert!(d.has_gap(vbm + third, cbm - third, 1e-3));
+        // but the band regions are not
+        assert!(!d.has_gap(vbm - 0.05, vbm, 1e-3));
+    }
+
+    #[test]
+    fn vacancy_fills_the_gap() {
+        // The vacancy pulls a level into the bulk gap: at the energy of
+        // that level (aligned by each system's VBM — removing an atom
+        // shifts the average potential), the vacancy DOS is large while
+        // the bulk DOS is negligible.
+        let bulk = Crystal::diamond(Species::Si, SI_A0);
+        let sph = crate::gvec::GSphere::new(&bulk.lattice, 2.6);
+        let wf_b = solve_bands(&bulk, &sph, 30);
+        let vac = bulk.with_vacancy(0);
+        let sph_v = crate::gvec::GSphere::new(&vac.lattice, 2.6);
+        let wf_v = solve_bands(&vac, &sph_v, 30);
+        let vbm_b = wf_b.energies[wf_b.n_valence - 1];
+        let cbm_b = wf_b.energies[wf_b.n_valence];
+        let gap_b = cbm_b - vbm_b;
+        let vbm_v = wf_v.energies[wf_v.n_valence - 1];
+        // find a vacancy level strictly inside the (VBM-aligned) bulk gap
+        let margin = 0.15 * gap_b;
+        let level_rel = wf_v
+            .energies
+            .iter()
+            .map(|e| e - vbm_v)
+            .find(|&rel| rel > margin && rel < gap_b - margin);
+        let Some(level_rel) = level_rel else {
+            // the tiny cell may push defect levels to the edges; the
+            // narrowed HOMO-LUMO gap is then the observable
+            assert!(wf_v.gap_ry() < wf_b.gap_ry());
+            return;
+        };
+        let sigma = gap_b / 25.0;
+        let at = |wf: &Wavefunctions, e_abs: f64| {
+            let d = dos(wf, e_abs - 1e-6, e_abs + 1e-6, 2, sigma);
+            d.values[0]
+        };
+        let dos_v = at(&wf_v, vbm_v + level_rel);
+        let dos_b = at(&wf_b, vbm_b + level_rel);
+        assert!(
+            dos_v > 10.0 * dos_b.max(1e-6),
+            "in-gap level must dominate: vac {dos_v} vs bulk {dos_b}"
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_bad_grid() {
+        let wf = si_wf();
+        let _ = dos(&wf, 1.0, 0.0, 100, 0.01);
+    }
+}

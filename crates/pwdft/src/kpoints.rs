@@ -1,0 +1,421 @@
+//! k-point sampling and band structures.
+//!
+//! The GW engine in this reproduction works at the Gamma point of (large)
+//! supercells, like the paper's defect calculations — but the mean-field
+//! substrate supports arbitrary Bloch vectors: `H_{GG'}(k) = |k + G|^2
+//! delta_{GG'} + V(G - G')`. This module provides the k-dependent solver
+//! and high-symmetry paths, used to validate the model pseudopotentials
+//! against the known band topology (and for band-structure examples).
+
+use crate::gvec::GSphere;
+use crate::hamiltonian::Hamiltonian;
+use crate::lattice::Crystal;
+use bgw_linalg::{eigh, CMatrix};
+use bgw_num::Complex64;
+
+/// A Bloch vector in Cartesian coordinates (bohr^-1).
+pub type KVector = [f64; 3];
+
+/// Dense k-dependent Hamiltonian built on a Gamma-centered sphere.
+///
+/// The sphere should use a slightly larger cutoff than the target states
+/// need, since the kinetic energies `|k + G|^2` shift by up to
+/// `2 |k| G_max + |k|^2`.
+pub fn hamiltonian_at_k(
+    crystal: &Crystal,
+    sph: &GSphere,
+    h0: &Hamiltonian,
+    k: KVector,
+) -> CMatrix {
+    let n = sph.len();
+    assert_eq!(h0.dim(), n, "Hamiltonian and sphere disagree");
+    assert!(crystal.n_atoms() > 0 || n > 0);
+    let mut h = CMatrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            h[(i, j)] = h0.v_element(i, j);
+        }
+        let g = sph.cart[i];
+        let kin = (k[0] + g[0]).powi(2) + (k[1] + g[1]).powi(2) + (k[2] + g[2]).powi(2);
+        h[(i, i)] += Complex64::real(kin);
+    }
+    h
+}
+
+/// Band energies (Ry, ascending) at one k-point; keeps `n_bands`.
+pub fn bands_at_k(
+    crystal: &Crystal,
+    sph: &GSphere,
+    h0: &Hamiltonian,
+    k: KVector,
+    n_bands: usize,
+) -> Vec<f64> {
+    let h = hamiltonian_at_k(crystal, sph, h0, k);
+    let mut vals = bgw_linalg::eigvalsh(&h);
+    vals.truncate(n_bands.min(sph.len()));
+    vals
+}
+
+/// Full eigenvectors at one k-point (columns), for optical-matrix uses.
+pub fn states_at_k(
+    crystal: &Crystal,
+    sph: &GSphere,
+    h0: &Hamiltonian,
+    k: KVector,
+) -> (Vec<f64>, CMatrix) {
+    let h = hamiltonian_at_k(crystal, sph, h0, k);
+    let e = eigh(&h);
+    (e.values, e.vectors)
+}
+
+/// A labeled high-symmetry point.
+#[derive(Clone, Debug)]
+pub struct KPoint {
+    /// Label, e.g. `"Gamma"`, `"X"`, `"L"`.
+    pub label: String,
+    /// Cartesian coordinates (bohr^-1).
+    pub k: KVector,
+}
+
+/// A sampled path through the Brillouin zone.
+#[derive(Clone, Debug)]
+pub struct KPath {
+    /// The sampled k-points.
+    pub kpoints: Vec<KVector>,
+    /// Cumulative path length at each sample (for plotting).
+    pub distance: Vec<f64>,
+    /// `(sample index, label)` of the high-symmetry vertices.
+    pub labels: Vec<(usize, String)>,
+}
+
+/// Builds a piecewise-linear path through `vertices` with `per_segment`
+/// samples per leg (endpoints included once).
+pub fn kpath(vertices: &[KPoint], per_segment: usize) -> KPath {
+    assert!(vertices.len() >= 2, "need at least two vertices");
+    assert!(per_segment >= 1);
+    let mut kpoints = Vec::new();
+    let mut distance = Vec::new();
+    let mut labels = Vec::new();
+    let mut dist = 0.0;
+    for (v, pair) in vertices.windows(2).enumerate() {
+        let (a, b) = (&pair[0], &pair[1]);
+        labels.push((kpoints.len(), a.label.clone()));
+        let steps = per_segment;
+        let seg_len = ((b.k[0] - a.k[0]).powi(2)
+            + (b.k[1] - a.k[1]).powi(2)
+            + (b.k[2] - a.k[2]).powi(2))
+        .sqrt();
+        let upper = if v == vertices.len() - 2 { steps + 1 } else { steps };
+        for s in 0..upper {
+            let t = s as f64 / steps as f64;
+            kpoints.push([
+                a.k[0] + t * (b.k[0] - a.k[0]),
+                a.k[1] + t * (b.k[1] - a.k[1]),
+                a.k[2] + t * (b.k[2] - a.k[2]),
+            ]);
+            distance.push(dist + t * seg_len);
+        }
+        dist += seg_len;
+    }
+    labels.push((kpoints.len() - 1, vertices.last().unwrap().label.clone()));
+    KPath { kpoints, distance, labels }
+}
+
+/// The standard fcc high-symmetry points for a conventional cubic cell of
+/// edge `a0` (bohr): L, Gamma, X, and the zone-boundary K-ish point U.
+pub fn fcc_path_vertices(a0: f64) -> Vec<KPoint> {
+    let g = 2.0 * std::f64::consts::PI / a0;
+    vec![
+        KPoint { label: "L".into(), k: [0.5 * g, 0.5 * g, 0.5 * g] },
+        KPoint { label: "Gamma".into(), k: [0.0, 0.0, 0.0] },
+        KPoint { label: "X".into(), k: [g, 0.0, 0.0] },
+    ]
+}
+
+/// Computes the band structure along a path.
+pub fn band_structure(
+    crystal: &Crystal,
+    sph: &GSphere,
+    path: &KPath,
+    n_bands: usize,
+) -> Vec<Vec<f64>> {
+    let h0 = Hamiltonian::new(crystal, sph);
+    path.kpoints
+        .iter()
+        .map(|&k| bands_at_k(crystal, sph, &h0, k, n_bands))
+        .collect()
+}
+
+/// A Monkhorst-Pack k-grid: `n1 x n2 x n3` uniform Bloch vectors in the
+/// first Brillouin zone (Cartesian, bohr^-1), with the standard
+/// `(2i - n - 1) / 2n` fractional offsets (Gamma included for odd `n`).
+pub fn monkhorst_pack(lattice: &crate::lattice::Lattice, n: [usize; 3]) -> Vec<KVector> {
+    assert!(n.iter().all(|&x| x >= 1));
+    let b = lattice.reciprocal();
+    let mut ks = Vec::with_capacity(n[0] * n[1] * n[2]);
+    let frac = |i: usize, nn: usize| (2.0 * i as f64 - nn as f64 + 1.0) / (2.0 * nn as f64);
+    for i in 0..n[0] {
+        for j in 0..n[1] {
+            for l in 0..n[2] {
+                let f = [frac(i, n[0]), frac(j, n[1]), frac(l, n[2])];
+                let mut k = [0.0; 3];
+                for (c, kc) in k.iter_mut().enumerate() {
+                    *kc = f[0] * b[0][c] + f[1] * b[1][c] + f[2] * b[2][c];
+                }
+                ks.push(k);
+            }
+        }
+    }
+    ks
+}
+
+/// k-summed density of states over a Monkhorst-Pack grid (Gaussian
+/// smearing `sigma`, spin factor 2, normalized per cell and per k-point).
+#[allow(clippy::too_many_arguments)]
+pub fn kgrid_dos(
+    crystal: &Crystal,
+    sph: &GSphere,
+    kgrid: &[KVector],
+    n_bands: usize,
+    e_lo: f64,
+    e_hi: f64,
+    n_points: usize,
+    sigma: f64,
+) -> (Vec<f64>, Vec<f64>) {
+    assert!(!kgrid.is_empty() && n_points >= 2 && sigma > 0.0);
+    let h0 = Hamiltonian::new(crystal, sph);
+    let energies: Vec<f64> = (0..n_points)
+        .map(|i| e_lo + (e_hi - e_lo) * i as f64 / (n_points - 1) as f64)
+        .collect();
+    let mut values = vec![0.0; n_points];
+    let norm =
+        2.0 / (sigma * (2.0 * std::f64::consts::PI).sqrt()) / kgrid.len() as f64;
+    for &k in kgrid {
+        let bands = bands_at_k(crystal, sph, &h0, k, n_bands);
+        for &en in &bands {
+            for (e, v) in energies.iter().zip(values.iter_mut()) {
+                let x = (e - en) / sigma;
+                *v += norm * (-0.5 * x * x).exp();
+            }
+        }
+    }
+    (energies, values)
+}
+
+/// Effective mass (in electron masses) of band `band` at `k0` along the
+/// unit direction `dir`, from the second difference of `E(k)` with step
+/// `dk` (bohr^-1). In Ry units `E = k^2 / m*`, so
+/// `1/m* = d2E/dk2 / 2 * (1/ Ry-units) = d2E/dk2 / 2`.
+pub fn effective_mass(
+    crystal: &Crystal,
+    sph: &GSphere,
+    h0: &Hamiltonian,
+    band: usize,
+    k0: KVector,
+    dir: [f64; 3],
+    dk: f64,
+) -> f64 {
+    let norm = (dir[0] * dir[0] + dir[1] * dir[1] + dir[2] * dir[2]).sqrt();
+    assert!(norm > 0.0 && dk > 0.0);
+    let d = [dir[0] / norm, dir[1] / norm, dir[2] / norm];
+    let at = |t: f64| {
+        let k = [k0[0] + t * d[0], k0[1] + t * d[1], k0[2] + t * d[2]];
+        bands_at_k(crystal, sph, h0, k, band + 1)[band]
+    };
+    let d2e = (at(dk) - 2.0 * at(0.0) + at(-dk)) / (dk * dk);
+    // E(k) = E0 + (hbar^2/2m*) k^2; in Ry a.u. the free-electron band is
+    // E = k^2, i.e. hbar^2/2m_e = 1 Ry bohr^2 -> m*/m_e = 2 / d2E.
+    2.0 / d2e
+}
+
+/// Indirect gap over a sampled path: `min_k E_{N_v}(k) - max_k E_{N_v-1}(k)`.
+pub fn indirect_gap(bands: &[Vec<f64>], n_valence: usize) -> f64 {
+    let vbm = bands
+        .iter()
+        .map(|b| b[n_valence - 1])
+        .fold(f64::NEG_INFINITY, f64::max);
+    let cbm = bands
+        .iter()
+        .map(|b| b[n_valence])
+        .fold(f64::INFINITY, f64::min);
+    cbm - vbm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pseudo::{Species, SI_A0};
+
+    fn si_setup() -> (Crystal, GSphere) {
+        // primitive 2-atom cell: unfolded band structure
+        let c = Crystal::diamond_primitive(Species::Si, SI_A0);
+        let sph = GSphere::new(&c.lattice, 6.0);
+        (c, sph)
+    }
+
+    #[test]
+    fn gamma_matches_gamma_solver() {
+        let (c, sph) = si_setup();
+        let h0 = Hamiltonian::new(&c, &sph);
+        let at_k = bands_at_k(&c, &sph, &h0, [0.0; 3], 12);
+        let gamma = crate::solver::solve_bands(&c, &sph, 12);
+        for (a, b) in at_k.iter().zip(&gamma.energies) {
+            assert!((a - b).abs() < 1e-10, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn hamiltonian_at_k_is_hermitian() {
+        let (c, sph) = si_setup();
+        let h0 = Hamiltonian::new(&c, &sph);
+        let h = hamiltonian_at_k(&c, &sph, &h0, [0.21, -0.1, 0.33]);
+        assert!(h.is_hermitian(1e-12));
+    }
+
+    #[test]
+    fn kpath_geometry() {
+        let verts = fcc_path_vertices(10.0);
+        let path = kpath(&verts, 4);
+        assert_eq!(path.kpoints.len(), 9); // 4 + 4 + endpoint
+        assert_eq!(path.labels.len(), 3);
+        assert_eq!(path.labels[0].1, "L");
+        assert_eq!(path.labels[2].1, "X");
+        // distances strictly increasing
+        for w in path.distance.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn si_model_band_topology() {
+        // The CB-interpolated Si model must show: (i) an insulating gap
+        // everywhere on L-Gamma-X, (ii) valence-band maximum at Gamma,
+        // (iii) conduction minimum NOT at Gamma (silicon's indirect gap).
+        let (c, sph) = si_setup();
+        let path = kpath(&fcc_path_vertices(SI_A0), 8);
+        let bands = band_structure(&c, &sph, &path, 6);
+        let nv = c.n_valence_bands(); // 4 in the primitive 2-atom cell
+        let gap = indirect_gap(&bands, nv);
+        assert!(gap > 0.0, "model Si must be insulating along the path: {gap}");
+        // VBM at Gamma
+        let gamma_idx = path
+            .kpoints
+            .iter()
+            .position(|k| k.iter().all(|&x| x.abs() < 1e-12))
+            .unwrap();
+        let vbm_k = (0..bands.len())
+            .max_by(|&i, &j| bands[i][nv - 1].partial_cmp(&bands[j][nv - 1]).unwrap())
+            .unwrap();
+        assert_eq!(vbm_k, gamma_idx, "VBM must sit at Gamma");
+        // CBM away from Gamma (indirect)
+        let cbm_k = (0..bands.len())
+            .min_by(|&i, &j| bands[i][nv].partial_cmp(&bands[j][nv]).unwrap())
+            .unwrap();
+        assert_ne!(cbm_k, gamma_idx, "silicon-like model must be indirect");
+    }
+
+    #[test]
+    fn monkhorst_pack_grids() {
+        let lat = crate::lattice::Lattice::cubic(10.0);
+        // odd grid contains Gamma exactly
+        let ks = monkhorst_pack(&lat, [3, 3, 3]);
+        assert_eq!(ks.len(), 27);
+        assert!(ks
+            .iter()
+            .any(|k| k.iter().all(|&x| x.abs() < 1e-12)));
+        // even grid avoids Gamma
+        let ks2 = monkhorst_pack(&lat, [2, 2, 2]);
+        assert_eq!(ks2.len(), 8);
+        assert!(!ks2.iter().any(|k| k.iter().all(|&x| x.abs() < 1e-12)));
+        // grid is inversion symmetric: for every k there is -k
+        for k in &ks2 {
+            assert!(ks2.iter().any(|q| (0..3).all(|c| (q[c] + k[c]).abs() < 1e-10)));
+        }
+    }
+
+    #[test]
+    fn kgrid_dos_integrates_to_band_count() {
+        let c = Crystal::diamond_primitive(Species::Si, SI_A0);
+        let sph = GSphere::new(&c.lattice, 5.0);
+        let ks = monkhorst_pack(&c.lattice, [2, 2, 2]);
+        let n_bands = 6;
+        let e_lo = -1.5;
+        let e_hi = 3.0;
+        let (es, vs) = kgrid_dos(&c, &sph, &ks, n_bands, e_lo, e_hi, 800, 0.02);
+        // trapezoid integral over the whole window = 2 * n_bands
+        let mut integral = 0.0;
+        for i in 1..es.len() {
+            integral += 0.5 * (vs[i] + vs[i - 1]) * (es[i] - es[i - 1]);
+        }
+        assert!(
+            (integral - 2.0 * n_bands as f64).abs() < 0.3,
+            "k-DOS integral {integral} vs {}",
+            2 * n_bands
+        );
+        // the k-summed DOS fills the indirect gap region less than the
+        // bands but is nonzero where Gamma-only DOS would be silent: just
+        // sanity-check positivity
+        assert!(vs.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn effective_masses_have_physical_signs() {
+        let (c, sph) = si_setup();
+        let h0 = Hamiltonian::new(&c, &sph);
+        let nv = c.n_valence_bands();
+        // free-electron check: an empty lattice gives m* = 1 for the
+        // lowest band at Gamma... our crystal has a potential, so instead
+        // check signs: valence-band top curves down (m* < 0), and the
+        // lowest band at Gamma curves up (m* > 0).
+        let m_bottom = effective_mass(&c, &sph, &h0, 0, [0.0; 3], [1.0, 0.0, 0.0], 0.02);
+        assert!(m_bottom > 0.0, "band 0 at Gamma must be electron-like: {m_bottom}");
+        let m_vbm = effective_mass(&c, &sph, &h0, nv - 1, [0.0; 3], [1.0, 0.0, 0.0], 0.02);
+        assert!(m_vbm < 0.0, "VBM must be hole-like: {m_vbm}");
+        // magnitudes within a physical window (0.05 .. 50 m_e)
+        for m in [m_bottom.abs(), m_vbm.abs()] {
+            assert!((0.05..50.0).contains(&m), "unphysical |m*| = {m}");
+        }
+    }
+
+    #[test]
+    fn empty_lattice_mass_is_unity() {
+        // crystal with no atoms: free electrons, m* = 1 exactly.
+        let c = Crystal { lattice: crate::lattice::Lattice::cubic(10.0), atoms: vec![] };
+        let sph = GSphere::new(&c.lattice, 3.0);
+        let h0 = Hamiltonian::new(&c, &sph);
+        let m = effective_mass(&c, &sph, &h0, 0, [0.0; 3], [0.0, 1.0, 0.0], 0.05);
+        assert!((m - 1.0).abs() < 1e-6, "free-electron m* = {m}");
+    }
+
+    #[test]
+    fn bands_are_continuous_along_path() {
+        let (c, sph) = si_setup();
+        let path = kpath(&fcc_path_vertices(SI_A0), 10);
+        let bands = band_structure(&c, &sph, &path, 8);
+        for w in bands.windows(2) {
+            for b in 0..8 {
+                assert!(
+                    (w[1][b] - w[0][b]).abs() < 0.25,
+                    "band {b} jumps: {} -> {}",
+                    w[0][b],
+                    w[1][b]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn states_at_k_are_orthonormal() {
+        let (c, sph) = si_setup();
+        let h0 = Hamiltonian::new(&c, &sph);
+        let (_, v) = states_at_k(&c, &sph, &h0, [0.1, 0.2, 0.0]);
+        let overlap = bgw_linalg::matmul(
+            &v,
+            bgw_linalg::Op::Adj,
+            &v,
+            bgw_linalg::Op::None,
+            bgw_linalg::GemmBackend::Blocked,
+        );
+        assert!(overlap.max_abs_diff(&CMatrix::identity(sph.len())) < 1e-8);
+    }
+}

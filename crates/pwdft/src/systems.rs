@@ -1,0 +1,192 @@
+//! Model application systems mirroring paper Table 2 at laptop scale.
+//!
+//! The paper's systems are `m^3` conventional supercells with point
+//! defects: Si214/Si510/Si998/Si2742 are diamond-Si cells of 216/512/1000/
+//! 2744 sites minus a divacancy; LiH998/LiH17574 are rocksalt cells of
+//! 1000/17576 sites minus defects; BN867 is a twisted moire bilayer with a
+//! carbon substitution next to a nitrogen vacancy. We build the same
+//! construction at smaller `m` (the counting matches the paper exactly for
+//! `m = 3`, i.e. Si214), with cutoffs scaled down so everything runs on one
+//! node. The ratios `N_v : N_c : N_G : N_G^psi` follow Table 2.
+
+use crate::gvec::GSphere;
+use crate::lattice::Crystal;
+use crate::pseudo::{Species, BN_A0, LIH_A0, SI_A0};
+
+/// A named model system: crystal plus the plane-wave cutoffs and band
+/// counts a GW run on it should use.
+#[derive(Clone, Debug)]
+pub struct ModelSystem {
+    /// Human-readable name, e.g. `"Si6"` (6 = atom count, paper style).
+    pub name: String,
+    /// The defective supercell.
+    pub crystal: Crystal,
+    /// Wavefunction cutoff (Ry) — sets `N_G^psi`.
+    pub ecut_wfn_ry: f64,
+    /// Dielectric-matrix cutoff (Ry) — sets `N_G` (typically ~1/3 of the
+    /// wavefunction cutoff, mirroring Table 2's `N_G < N_G^psi`).
+    pub ecut_eps_ry: f64,
+    /// Suggested total number of bands `N_b` for the GW sums.
+    pub n_bands: usize,
+}
+
+impl ModelSystem {
+    /// G-sphere for the wavefunctions (`N_G^psi`).
+    pub fn wfn_sphere(&self) -> GSphere {
+        GSphere::new(&self.crystal.lattice, self.ecut_wfn_ry)
+    }
+
+    /// G-sphere for chi / epsilon (`N_G`).
+    pub fn eps_sphere(&self) -> GSphere {
+        GSphere::new(&self.crystal.lattice, self.ecut_eps_ry)
+    }
+
+    /// Number of valence bands `N_v`.
+    pub fn n_valence(&self) -> usize {
+        self.crystal.n_valence_bands()
+    }
+
+    /// Number of conduction bands `N_c = N_b - N_v`.
+    pub fn n_conduction(&self) -> usize {
+        self.n_bands - self.n_valence()
+    }
+}
+
+/// Diamond-Si supercell of `m^3` conventional cells with a divacancy —
+/// the paper's Si(8 m^3 - 2) defect series (Si214 at `m = 3`).
+///
+/// `ecut_wfn_ry` controls the basis size; the paper's production value for
+/// Si is ~ 12 Ry, the model default here is much smaller.
+pub fn si_divacancy(m: usize, ecut_wfn_ry: f64) -> ModelSystem {
+    let bulk = Crystal::diamond(Species::Si, SI_A0).supercell([m, m, m]);
+    // Remove two nearest-neighbour atoms (a basis pair of site 0).
+    let crystal = bulk.with_vacancy(1).with_vacancy(0);
+    let n_atoms = crystal.n_atoms();
+    let nv = crystal.n_valence_bands();
+    ModelSystem {
+        name: format!("Si{n_atoms}"),
+        crystal,
+        ecut_wfn_ry,
+        ecut_eps_ry: ecut_wfn_ry / 3.0,
+        // Table 2 keeps N_c ~ 10 N_v for the small systems.
+        n_bands: nv + (4 * nv).max(8),
+    }
+}
+
+/// Pristine diamond-Si supercell (no defect), for bulk references.
+pub fn si_bulk(m: usize, ecut_wfn_ry: f64) -> ModelSystem {
+    let crystal = Crystal::diamond(Species::Si, SI_A0).supercell([m, m, m]);
+    let n_atoms = crystal.n_atoms();
+    let nv = crystal.n_valence_bands();
+    ModelSystem {
+        name: format!("Si{n_atoms}-bulk"),
+        crystal,
+        ecut_wfn_ry,
+        ecut_eps_ry: ecut_wfn_ry / 3.0,
+        n_bands: nv + (4 * nv).max(8),
+    }
+}
+
+/// Rocksalt LiH supercell of `m^3` conventional cells with an H vacancy —
+/// the paper's LiH(8 m^3 - 2)-style defect series (LiH998 at `m = 5`,
+/// LiH17574 at `m = 13`).
+pub fn lih_defect(m: usize, ecut_wfn_ry: f64) -> ModelSystem {
+    let bulk = Crystal::rocksalt(Species::Li, Species::H, LIH_A0).supercell([m, m, m]);
+    let crystal = bulk.with_vacancy(1).with_vacancy(0);
+    let n_atoms = crystal.n_atoms();
+    let nv = crystal.n_valence_bands();
+    ModelSystem {
+        name: format!("LiH{n_atoms}"),
+        crystal,
+        ecut_wfn_ry,
+        ecut_eps_ry: ecut_wfn_ry / 2.0,
+        n_bands: nv + (5 * nv).max(8),
+    }
+}
+
+/// BN-like sheet supercell with a carbon substitution at a boron site
+/// adjacent to a nitrogen vacancy — the paper's BN867 defect motif
+/// (untwisted here; the moire twist only changes the supercell geometry).
+pub fn bn_defect_sheet(m: usize, vacuum_bohr: f64, ecut_wfn_ry: f64) -> ModelSystem {
+    let sheet = Crystal::hex_sheet(Species::B, Species::N, BN_A0, vacuum_bohr);
+    let bulk = sheet.supercell([m, m, 1]);
+    // atom 0 is B, atom 1 is N in each cell; substitute the first B with C
+    // and remove the adjacent N.
+    let crystal = bulk.with_substitution(0, Species::C).with_vacancy(1);
+    let n_atoms = crystal.n_atoms();
+    let nv = crystal.n_valence_bands();
+    ModelSystem {
+        name: format!("BN{n_atoms}"),
+        crystal,
+        ecut_wfn_ry,
+        ecut_eps_ry: ecut_wfn_ry / 5.0,
+        n_bands: nv + (8 * nv).max(8),
+    }
+}
+
+/// The scaled-down Table 2 roster used throughout the benches. Cutoffs are
+/// sized so that the largest system stays tractable on one node.
+pub fn table2_roster() -> Vec<ModelSystem> {
+    vec![
+        si_divacancy(1, 4.5),  // Si6   (proxy for Si214)
+        si_divacancy(2, 3.2),  // Si62  (proxy for Si510)
+        si_bulk(1, 4.5),
+        lih_defect(1, 4.0),    // LiH6  (proxy for LiH998)
+        lih_defect(2, 3.0),    // LiH62 (proxy for LiH17574)
+        bn_defect_sheet(2, 12.0, 4.0), // BN7 (proxy for BN867)
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn si_divacancy_counting_matches_paper_series() {
+        // paper: Si214 = 3^3 cells (216 sites) - 2, N_v = 428
+        let s = si_divacancy(1, 3.0);
+        assert_eq!(s.crystal.n_atoms(), 6);
+        assert_eq!(s.n_valence(), 12);
+        assert_eq!(s.name, "Si6");
+        // the paper-scale identity, checked cheaply without building spheres
+        let big = Crystal::diamond(Species::Si, SI_A0).supercell([3, 3, 3]);
+        assert_eq!(big.n_atoms() - 2, 214);
+    }
+
+    #[test]
+    fn lih_defect_counting() {
+        let s = lih_defect(1, 3.0);
+        assert_eq!(s.crystal.n_atoms(), 6);
+        // LiH998 identity at m = 5: 8 * 125 - 2 = 998
+        assert_eq!(8 * 125 - 2, 998);
+        // LiH17574 identity at m = 13: 8 * 2197 - 2 = 17574
+        assert_eq!(8 * 13usize.pow(3) - 2, 17574);
+    }
+
+    #[test]
+    fn bn_sheet_has_substitution_and_vacancy() {
+        let s = bn_defect_sheet(2, 12.0, 3.0);
+        assert_eq!(s.crystal.n_atoms(), 7); // 8 - 1 vacancy
+        assert_eq!(s.crystal.atoms[0].species, Species::C);
+    }
+
+    #[test]
+    fn spheres_have_expected_hierarchy() {
+        let s = si_divacancy(1, 4.0);
+        let wfn = s.wfn_sphere();
+        let eps = s.eps_sphere();
+        assert!(wfn.len() > eps.len(), "N_G^psi must exceed N_G");
+        assert!(s.n_bands > s.n_valence());
+        assert_eq!(s.n_conduction(), s.n_bands - s.n_valence());
+    }
+
+    #[test]
+    fn roster_builds() {
+        let roster = table2_roster();
+        assert!(roster.len() >= 5);
+        for s in &roster {
+            assert!(s.crystal.n_atoms() > 0);
+            assert!(s.n_bands > s.n_valence(), "{}", s.name);
+        }
+    }
+}

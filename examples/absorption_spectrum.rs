@@ -1,0 +1,90 @@
+//! GW + Bethe-Salpeter optical absorption: the flagship application the
+//! paper's introduction motivates ("the first-principles GW plus
+//! Bethe-Salpeter equation approach can comprehensively describe optical
+//! spectra and excitonic properties").
+//!
+//! Runs the full chain on the Si model: screening -> GW scissors ->
+//! BSE exciton Hamiltonian -> absorption spectrum, printed as an ASCII
+//! plot of interacting vs independent-particle spectra.
+//!
+//! Run with: `cargo run --release --example absorption_spectrum`
+
+use berkeleygw_rs::core::bse::{solve_bse, BseConfig};
+use berkeleygw_rs::core::mtxel::Mtxel;
+use berkeleygw_rs::core::testkit;
+use berkeleygw_rs::core::workflow::{run_gpp_gw, GwConfig};
+use berkeleygw_rs::num::RYDBERG_EV;
+
+fn main() {
+    let (_, setup) = testkit::small_context();
+    // GW scissors from a quick GPP run on the same model.
+    let mut sys = berkeleygw_rs::pwdft::si_bulk(1, 2.2);
+    sys.n_bands = 28;
+    let gw = run_gpp_gw(&sys, &GwConfig::default());
+    let scissors = gw.gap_qp_ry - gw.gap_mf_ry;
+    println!(
+        "GW scissors shift: {:.3} eV (mean-field gap {:.3} -> QP gap {:.3} eV)\n",
+        scissors * RYDBERG_EV,
+        gw.gap_mf_ry * RYDBERG_EV,
+        gw.gap_qp_ry * RYDBERG_EV
+    );
+
+    let mtxel = Mtxel::new(&setup.wfn_sph, &setup.eps_sph);
+    let cfg = BseConfig { n_v: 4, n_c: 10, scissors_ry: scissors, interaction: true };
+    let bse = solve_bse(&setup.wf, &mtxel, &setup.eps_inv, &setup.vsqrt, &cfg, setup.coulomb.q0);
+    let free = solve_bse(
+        &setup.wf,
+        &mtxel,
+        &setup.eps_inv,
+        &setup.vsqrt,
+        &BseConfig { interaction: false, ..cfg },
+        setup.coulomb.q0,
+    );
+
+    println!(
+        "lowest excitation: {:.3} eV | QP gap: {:.3} eV | exciton binding: {:.0} meV",
+        bse.energies[0] * RYDBERG_EV,
+        bse.qp_gap * RYDBERG_EV,
+        bse.binding_energy() * RYDBERG_EV * 1000.0
+    );
+
+    // Spectra over the optical window.
+    let n = 64;
+    let (w_lo, w_hi) = (0.1f64, 1.1f64);
+    let omegas: Vec<f64> = (0..n).map(|i| w_lo + (w_hi - w_lo) * i as f64 / (n - 1) as f64).collect();
+    let eta = 0.02;
+    let a_bse = bse.absorption(&omegas, eta);
+    let a_free = free.absorption(&omegas, eta);
+    let peak = a_bse.iter().chain(&a_free).cloned().fold(0.0, f64::max);
+    println!("\nabsorption spectra (X = with e-h interaction, o = independent QP):\n");
+    let rows = 18;
+    for r in 0..rows {
+        let level = peak * (rows - r) as f64 / rows as f64;
+        let line: String = (0..n)
+            .map(|i| {
+                let x = a_bse[i] >= level;
+                let o = a_free[i] >= level;
+                match (x, o) {
+                    (true, true) => '#',
+                    (true, false) => 'X',
+                    (false, true) => 'o',
+                    (false, false) => ' ',
+                }
+            })
+            .collect();
+        println!("{:>7.2} | {line}", level / peak);
+    }
+    println!(
+        "        +{}\n          {:.1} eV{}{:.1} eV",
+        "-".repeat(n),
+        w_lo * RYDBERG_EV,
+        " ".repeat(n - 12),
+        w_hi * RYDBERG_EV
+    );
+    println!(
+        "\nThe interacting spectrum red-shifts and redistributes oscillator\n\
+         strength toward the bound exciton — the hallmark BSE effect that\n\
+         motivates computing W at scale in the first place."
+    );
+    assert!(bse.energies[0] < free.energies[0]);
+}

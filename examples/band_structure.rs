@@ -1,0 +1,66 @@
+//! Band structure of the silicon model along L-Gamma-X, printed as an
+//! ASCII plot — a validation that the Cohen-Bergstresser-interpolated
+//! pseudopotential reproduces silicon's band topology (indirect gap,
+//! valence maximum at Gamma) before it is fed to GW.
+//!
+//! Run with: `cargo run --release --example band_structure`
+
+use berkeleygw_rs::num::RYDBERG_EV;
+use berkeleygw_rs::pwdft::kpoints::{band_structure, fcc_path_vertices, indirect_gap, kpath};
+use berkeleygw_rs::pwdft::{Crystal, GSphere, Species};
+
+fn main() {
+    let a0 = berkeleygw_rs::pwdft::pseudo::SI_A0;
+    let crystal = Crystal::diamond_primitive(Species::Si, a0);
+    let sph = GSphere::new(&crystal.lattice, 6.5);
+    let path = kpath(&fcc_path_vertices(a0), 12);
+    let n_bands = 8;
+    let bands = band_structure(&crystal, &sph, &path, n_bands);
+    let nv = crystal.n_valence_bands();
+
+    // reference zero: valence-band maximum
+    let vbm = bands.iter().map(|b| b[nv - 1]).fold(f64::NEG_INFINITY, f64::max);
+
+    // ASCII plot: energy rows (eV), k columns.
+    let (e_lo, e_hi) = (-13.0f64, 8.0f64);
+    let rows = 36;
+    let mut grid_chars = vec![vec![' '; bands.len()]; rows];
+    for (ik, b) in bands.iter().enumerate() {
+        for (n, &e) in b.iter().enumerate() {
+            let ev = (e - vbm) * RYDBERG_EV;
+            if ev < e_lo || ev > e_hi {
+                continue;
+            }
+            let r = ((e_hi - ev) / (e_hi - e_lo) * (rows - 1) as f64).round() as usize;
+            grid_chars[r][ik] = if n < nv { 'o' } else { '*' };
+        }
+    }
+    println!("Si model bands along L - Gamma - X  (o = valence, * = conduction)");
+    println!("energy zero = VBM; vertical span {e_lo}..{e_hi} eV\n");
+    for (r, row) in grid_chars.iter().enumerate() {
+        let ev = e_hi - (e_hi - e_lo) * r as f64 / (rows - 1) as f64;
+        let line: String = row.iter().collect();
+        println!("{ev:>6.1} | {line}");
+    }
+    let mut marker = vec![' '; bands.len()];
+    for (idx, label) in &path.labels {
+        marker[*idx] = label.chars().next().unwrap();
+    }
+    println!("        {}", marker.iter().collect::<String>());
+
+    let gap = indirect_gap(&bands, nv) * RYDBERG_EV;
+    let gamma_gap = {
+        let g = path
+            .kpoints
+            .iter()
+            .position(|k| k.iter().all(|&x| x.abs() < 1e-12))
+            .unwrap();
+        (bands[g][nv] - bands[g][nv - 1]) * RYDBERG_EV
+    };
+    println!(
+        "\nindirect gap: {gap:.2} eV   direct gap at Gamma: {gamma_gap:.2} eV\n\
+         (experimental silicon: 1.17 eV indirect, 3.4 eV direct —\n\
+          the model reproduces the topology; GW then corrects the sizes)"
+    );
+    assert!(gap > 0.0 && gamma_gap > gap);
+}

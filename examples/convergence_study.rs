@@ -1,0 +1,58 @@
+//! A production-style convergence study: sweep the band sum and the
+//! dielectric cutoff, extrapolate the quasiparticle gap — the workflow
+//! behind every published GW number (and the reason the paper's Table 2
+//! lists tens of thousands of bands).
+//!
+//! Run with: `cargo run --release --example convergence_study`
+
+use berkeleygw_rs::core::convergence::{sweep_bands, sweep_eps_cutoff};
+use berkeleygw_rs::core::GwConfig;
+use berkeleygw_rs::num::RYDBERG_EV;
+use berkeleygw_rs::pwdft::si_bulk;
+
+fn main() {
+    let sys = si_bulk(1, 2.6);
+    let cfg = GwConfig::default();
+
+    println!("band-sum convergence (N_b sweep):");
+    println!("  N_b    QP gap (eV)   step (meV)");
+    let study = sweep_bands(&sys, &cfg, &[22, 28, 36, 44, 52]);
+    let mut prev: Option<f64> = None;
+    for p in &study.points {
+        let step = prev.map_or("     -".to_string(), |q: f64| {
+            format!("{:>6.1}", (p.gap_qp_ry - q).abs() * RYDBERG_EV * 1000.0)
+        });
+        println!(
+            "  {:>3}    {:>10.4}   {step}",
+            p.parameter as usize,
+            p.gap_qp_ry * RYDBERG_EV
+        );
+        prev = Some(p.gap_qp_ry);
+    }
+    println!(
+        "  1/N_b -> 0 extrapolation: {:.4} eV\n",
+        study.extrapolated_gap_ry.unwrap() * RYDBERG_EV
+    );
+
+    println!("dielectric-cutoff convergence (ecut_eps sweep):");
+    println!("  ecut (Ry)   N_G proxy   QP gap (eV)");
+    let mut sys2 = sys.clone();
+    sys2.n_bands = 36;
+    let study2 = sweep_eps_cutoff(&sys2, &cfg, &[0.45, 0.6, 0.8, 1.0]);
+    for p in &study2.points {
+        println!(
+            "  {:>8.2}   {:>9}   {:>10.4}",
+            p.parameter,
+            "-",
+            p.gap_qp_ry * RYDBERG_EV
+        );
+    }
+    println!(
+        "\nconvergence diagnostics: band sweep last step {:.1} meV (max {:.1});\n\
+         the 1/N_b tail is why the paper's Parabands module generates tens\n\
+         of thousands of empty states — and why the pseudobands compression\n\
+         of Sec. 5.3 pays off.",
+        study.last_step() * RYDBERG_EV * 1000.0,
+        study.max_step() * RYDBERG_EV * 1000.0
+    );
+}

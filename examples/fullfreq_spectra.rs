@@ -1,0 +1,79 @@
+//! Full-frequency GW: the frequency-resolved self-energy and spectral
+//! function (paper Sec. 5.2).
+//!
+//! Computes `Sigma(omega)` for the HOMO and LUMO of the Si model over a
+//! wide energy window using the sampled full-frequency dielectric matrix
+//! with the static-subspace acceleration, then prints the quasiparticle
+//! spectral function `A(omega) = |Im Sigma| / ((omega - E - Re Sigma)^2 +
+//! (Im Sigma)^2) / pi` whose peak is the QP energy and whose width is the
+//! lifetime broadening — observables the GPP model cannot resolve.
+//!
+//! Run with: `cargo run --release --example fullfreq_spectra`
+
+use berkeleygw_rs::core::chi::{ChiConfig, ChiEngine};
+use berkeleygw_rs::core::epsilon::EpsilonInverse;
+use berkeleygw_rs::core::mtxel::Mtxel;
+use berkeleygw_rs::core::sigma::fullfreq::ff_sigma_diag_subspace;
+use berkeleygw_rs::core::subspace::Subspace;
+use berkeleygw_rs::core::testkit;
+use berkeleygw_rs::num::grid::semi_infinite_quadrature;
+use berkeleygw_rs::num::RYDBERG_EV;
+
+fn main() {
+    let (ctx, setup) = testkit::small_context();
+    let (nodes, weights) = semi_infinite_quadrature(16, 2.0);
+    let mtxel = Mtxel::new(&setup.wfn_sph, &setup.eps_sph);
+    let cfg = ChiConfig { q0: setup.coulomb.q0, ..ChiConfig::default() };
+    let engine = ChiEngine::new(&setup.wf, &mtxel, cfg);
+    let (chis, _) = engine.chi_freqs(&nodes);
+    let eps_ff = EpsilonInverse::build(&chis, &nodes, &setup.coulomb, &setup.eps_sph);
+    let sub = Subspace::from_chi0(&setup.chi0, &setup.vsqrt, (ctx.n_g() / 3).max(4));
+
+    // Frequency window spanning the bands of interest.
+    let eta = 0.08;
+    let n_omega = 60;
+    let (e_lo, e_hi) = (-1.6, 1.6);
+    let omegas: Vec<f64> = (0..n_omega)
+        .map(|i| e_lo + (e_hi - e_lo) * i as f64 / (n_omega - 1) as f64)
+        .collect();
+    let grids: Vec<Vec<f64>> = (0..ctx.n_sigma()).map(|_| omegas.clone()).collect();
+    let r = ff_sigma_diag_subspace(&ctx, &eps_ff, &weights, &grids, eta, &sub);
+
+    for (label, pos) in [("HOMO", ctx.homo_pos()), ("LUMO", ctx.lumo_pos())] {
+        let e_mf = ctx.sigma_energies[pos];
+        println!(
+            "\n{label} (band {}, E_MF = {:.2} eV): spectral function",
+            ctx.sigma_bands[pos],
+            e_mf * RYDBERG_EV
+        );
+        println!("omega (eV)   Re Sigma (eV)   Im Sigma (eV)   A(omega)");
+        let mut peak = (0.0f64, f64::MIN);
+        for (i, &w) in omegas.iter().enumerate() {
+            let s = r.sigma[pos][i];
+            let denom = (w - e_mf - s.re).powi(2) + (s.im * s.im).max(1e-8);
+            let a = s.im.abs().max(eta * 0.2) / denom / std::f64::consts::PI;
+            if a > peak.1 {
+                peak = (w, a);
+            }
+            if i % 6 == 0 {
+                println!(
+                    "{:>10.2}   {:>13.3}   {:>13.3}   {:>8.3}",
+                    w * RYDBERG_EV,
+                    s.re * RYDBERG_EV,
+                    s.im * RYDBERG_EV,
+                    a
+                );
+            }
+        }
+        println!(
+            "QP peak at {:.2} eV (shift {:+.2} eV from mean field)",
+            peak.0 * RYDBERG_EV,
+            (peak.0 - e_mf) * RYDBERG_EV
+        );
+    }
+    println!(
+        "\nThe full-frequency treatment resolves satellite structure and\n\
+         lifetimes; the GPP model collapses all of this into one pole per\n\
+         (G, G') — the trade the paper's Sec. 5.2 quantifies."
+    );
+}

@@ -1,0 +1,135 @@
+//! Integration tests of the distributed (simulated-MPI) execution paths:
+//! the parallel decompositions must reproduce serial results exactly and
+//! account their communication.
+
+use berkeleygw_rs::comm::run_world;
+use berkeleygw_rs::core::chi::{chi_distributed, ChiConfig, ChiEngine};
+use berkeleygw_rs::core::coulomb::Coulomb;
+use berkeleygw_rs::core::mtxel::Mtxel;
+use berkeleygw_rs::core::sigma::diag::{
+    gpp_sigma_diag, gpp_sigma_diag_distributed, KernelVariant,
+};
+use berkeleygw_rs::core::testkit;
+use berkeleygw_rs::linalg::CMatrix;
+use berkeleygw_rs::pwdft::{si_bulk, solve_bands};
+
+#[test]
+fn distributed_chi_equals_serial_for_any_world_size() {
+    let sys = si_bulk(1, 2.2);
+    let wfn = sys.wfn_sphere();
+    let eps = sys.eps_sphere();
+    let wf = solve_bands(&sys.crystal, &wfn, 24);
+    let coulomb = Coulomb::bulk_for_cell(sys.crystal.lattice.volume());
+    let cfg = ChiConfig { q0: coulomb.q0, ..ChiConfig::default() };
+    let mtxel = Mtxel::new(&wfn, &eps);
+    let serial = ChiEngine::new(&wf, &mtxel, cfg).chi_static();
+    for world in [1usize, 2, 5] {
+        let (results, stats) = run_world(world, |comm| {
+            let mtxel = Mtxel::new(&wfn, &eps);
+            chi_distributed(comm, &wf, &mtxel, cfg, &[0.0])[0]
+                .as_slice()
+                .to_vec()
+        });
+        for r in results {
+            let chi = CMatrix::from_vec(serial.nrows(), serial.ncols(), r);
+            assert!(
+                chi.max_abs_diff(&serial) < 1e-10,
+                "world {world}: {}",
+                chi.max_abs_diff(&serial)
+            );
+        }
+        if world > 1 {
+            assert!(stats.iter().all(|s| s.bytes_sent > 0));
+        }
+    }
+}
+
+#[test]
+fn sigma_pool_decomposition_is_exact_and_balanced() {
+    let (ctx, _) = testkit::small_context();
+    let grids: Vec<Vec<f64>> = ctx.sigma_energies.iter().map(|&e| vec![e]).collect();
+    let serial = gpp_sigma_diag(&ctx, &grids, KernelVariant::Reference);
+    let (results, _) = run_world(4, |comm| {
+        let r = gpp_sigma_diag_distributed(comm, &ctx, &grids);
+        (r.sigma, r.flops)
+    });
+    let total_flops: u64 = results.iter().map(|(_, f)| f).sum();
+    assert_eq!(total_flops, serial.flops, "work must partition exactly");
+    // load balance: no rank does more than ceil-share of the pair work
+    let max_flops = results.iter().map(|(_, f)| *f).max().unwrap();
+    assert!(
+        (max_flops as f64) < serial.flops as f64 / 4.0 * 1.5,
+        "imbalanced: {max_flops} of {}",
+        serial.flops
+    );
+    for (sigma, _) in &results {
+        for s in 0..ctx.n_sigma() {
+            assert!(
+                (sigma[s][0] - serial.sigma[s][0]).abs()
+                    < 1e-9 * (1.0 + serial.sigma[s][0].abs())
+            );
+        }
+    }
+}
+
+#[test]
+fn pools_of_pools_nested_split() {
+    // 8 ranks -> 2 pools x 4 ranks; each pool independently reduces its
+    // own Sigma slice — the paper's pool-over-elements layout.
+    let (ctx, _) = testkit::small_context();
+    let grids: Vec<Vec<f64>> = ctx.sigma_energies.iter().map(|&e| vec![e]).collect();
+    let serial = gpp_sigma_diag(&ctx, &grids, KernelVariant::Reference);
+    let (results, _) = run_world(8, |comm| {
+        let pool_id = comm.rank() % 2;
+        let pool = comm.split(pool_id as u64, comm.rank() as u64);
+        // pool 0 handles Sigma bands {0, 1}, pool 1 handles {2, 3}
+        let my_bands: Vec<usize> = (0..ctx.n_sigma())
+            .filter(|s| s % 2 == pool_id)
+            .collect();
+        let mut sub = ctx.clone();
+        sub.m_tilde = my_bands.iter().map(|&s| ctx.m_tilde[s].clone()).collect();
+        sub.sigma_bands = my_bands.iter().map(|&s| ctx.sigma_bands[s]).collect();
+        sub.sigma_energies = my_bands.iter().map(|&s| ctx.sigma_energies[s]).collect();
+        let sub_grids: Vec<Vec<f64>> =
+            my_bands.iter().map(|&s| grids[s].clone()).collect();
+        let r = gpp_sigma_diag_distributed(&pool, &sub, &sub_grids);
+        (my_bands, r.sigma)
+    });
+    for (bands, sigma) in &results {
+        for (i, &s) in bands.iter().enumerate() {
+            assert!(
+                (sigma[i][0] - serial.sigma[s][0]).abs()
+                    < 1e-9 * (1.0 + serial.sigma[s][0].abs()),
+                "band {s}"
+            );
+        }
+    }
+}
+
+#[test]
+fn communication_volume_scales_with_matrix_size() {
+    // allreduce volume of chi must grow ~ N_G^2.
+    let sys = si_bulk(1, 2.2);
+    let wfn = sys.wfn_sphere();
+    let wf = solve_bands(&sys.crystal, &wfn, 20);
+    let coulomb = Coulomb::bulk_for_cell(sys.crystal.lattice.volume());
+    let cfg = ChiConfig { q0: coulomb.q0, ..ChiConfig::default() };
+    let mut volumes = Vec::new();
+    for ecut in [0.55, 1.1] {
+        let eps = berkeleygw_rs::pwdft::GSphere::new(&sys.crystal.lattice, ecut);
+        let n_g = eps.len();
+        let (_, stats) = run_world(2, |comm| {
+            let mtxel = Mtxel::new(&wfn, &eps);
+            let _ = chi_distributed(comm, &wf, &mtxel, cfg, &[0.0]);
+        });
+        volumes.push((n_g, stats[0].bytes_sent));
+    }
+    let (n0, v0) = volumes[0];
+    let (n1, v1) = volumes[1];
+    let expected = (n1 as f64 / n0 as f64).powi(2);
+    let measured = v1 as f64 / v0 as f64;
+    assert!(
+        (measured / expected - 1.0).abs() < 0.05,
+        "comm volume ratio {measured} vs N_G^2 ratio {expected}"
+    );
+}

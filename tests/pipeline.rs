@@ -1,0 +1,107 @@
+//! Cross-crate integration tests: the full GW pipeline driven through the
+//! public API of the root crate, checking physics invariants end to end.
+
+use berkeleygw_rs::core::chi::{ChiConfig, ChiEngine};
+use berkeleygw_rs::core::coulomb::Coulomb;
+use berkeleygw_rs::core::epsilon::EpsilonInverse;
+use berkeleygw_rs::core::mtxel::Mtxel;
+use berkeleygw_rs::core::{run_gpp_gw, GwConfig, KernelVariant};
+use berkeleygw_rs::num::RYDBERG_EV;
+use berkeleygw_rs::pwdft::{lih_defect, si_bulk, si_divacancy, solve_bands};
+
+#[test]
+fn si_bulk_gw_pipeline_opens_gap() {
+    let mut sys = si_bulk(1, 2.4);
+    sys.n_bands = 30;
+    let r = run_gpp_gw(&sys, &GwConfig::default());
+    assert!(r.gap_mf_ry > 0.0, "model Si must be insulating");
+    assert!(r.gap_qp_ry > r.gap_mf_ry, "GW must open the gap");
+    // silicon-like magnitudes: gap below 6 eV, eps_macro in (1, 60)
+    assert!(r.gap_qp_ry * RYDBERG_EV < 6.0);
+    assert!(r.eps_macro > 1.0 && r.eps_macro < 60.0, "{}", r.eps_macro);
+    for st in &r.states {
+        assert!(st.z > 0.0 && st.z <= 1.0);
+        assert!(st.sigma_mf < 0.5, "Sigma unexpectedly positive: {}", st.sigma_mf);
+    }
+}
+
+#[test]
+fn kernel_variants_agree_through_public_api() {
+    let mut sys = si_bulk(1, 2.2);
+    sys.n_bands = 24;
+    let base = run_gpp_gw(&sys, &GwConfig { variant: KernelVariant::Reference, ..Default::default() });
+    for v in [KernelVariant::Blocked, KernelVariant::Optimized] {
+        let r = run_gpp_gw(&sys, &GwConfig { variant: v, ..Default::default() });
+        assert!(
+            (r.gap_qp_ry - base.gap_qp_ry).abs() < 1e-8,
+            "variant {v:?} changed the physics: {} vs {}",
+            r.gap_qp_ry,
+            base.gap_qp_ry
+        );
+    }
+}
+
+#[test]
+fn defect_reduces_mean_field_gap_and_gw_still_works() {
+    let mut bulk = si_bulk(1, 2.6);
+    bulk.n_bands = 28;
+    let mut defect = si_divacancy(1, 2.6);
+    defect.n_bands = 28;
+    let rb = run_gpp_gw(&bulk, &GwConfig::default());
+    let rd = run_gpp_gw(&defect, &GwConfig::default());
+    assert!(
+        rd.gap_mf_ry < rb.gap_mf_ry,
+        "divacancy must narrow the mean-field gap: {} vs {}",
+        rd.gap_mf_ry,
+        rb.gap_mf_ry
+    );
+    assert!(rd.gap_qp_ry >= rd.gap_mf_ry);
+}
+
+#[test]
+fn lih_model_pipeline_runs() {
+    let mut sys = lih_defect(1, 3.2);
+    sys.n_bands = 24;
+    let r = run_gpp_gw(&sys, &GwConfig::default());
+    assert!(r.gap_qp_ry.is_finite());
+    assert!(r.eps_macro > 1.0);
+    assert!(r.sigma_flops > 0);
+}
+
+#[test]
+fn screening_strengthens_with_more_conduction_bands() {
+    // chi head |chi_00| grows (more screening channels) as N_c grows.
+    let sys = si_bulk(1, 2.4);
+    let wfn = sys.wfn_sphere();
+    let eps = sys.eps_sphere();
+    let coulomb = Coulomb::bulk_for_cell(sys.crystal.lattice.volume());
+    let mut heads = Vec::new();
+    for n_bands in [20usize, 28, 40] {
+        let wf = solve_bands(&sys.crystal, &wfn, n_bands);
+        let mtxel = Mtxel::new(&wfn, &eps);
+        let cfg = ChiConfig { q0: coulomb.q0, ..ChiConfig::default() };
+        let chi = ChiEngine::new(&wf, &mtxel, cfg).chi_static();
+        heads.push(chi[(0, 0)].re.abs());
+    }
+    assert!(heads[1] >= heads[0] && heads[2] >= heads[1], "{heads:?}");
+}
+
+#[test]
+fn epsilon_macroscopic_grows_with_screening() {
+    // more bands -> more screening -> larger macroscopic dielectric const.
+    let sys = si_bulk(1, 2.4);
+    let wfn = sys.wfn_sphere();
+    let eps_sph = sys.eps_sphere();
+    let coulomb = Coulomb::bulk_for_cell(sys.crystal.lattice.volume());
+    let mut eps_m = Vec::new();
+    for n_bands in [20usize, 40] {
+        let wf = solve_bands(&sys.crystal, &wfn, n_bands);
+        let mtxel = Mtxel::new(&wfn, &eps_sph);
+        let cfg = ChiConfig { q0: coulomb.q0, ..ChiConfig::default() };
+        let chi = ChiEngine::new(&wf, &mtxel, cfg).chi_static();
+        let e = EpsilonInverse::build(&[chi], &[0.0], &coulomb, &eps_sph);
+        eps_m.push(e.macroscopic_constant());
+    }
+    assert!(eps_m[1] > eps_m[0], "{eps_m:?}");
+    assert!(eps_m[0] > 1.0);
+}

@@ -1,0 +1,175 @@
+//! Second property-test suite: physics-layer invariants (lattices,
+//! spheres, pseudopotentials, distributed algebra, Pade continuation,
+//! communicator semantics) under randomized inputs.
+
+use berkeleygw_rs::comm::run_world;
+use berkeleygw_rs::dist::{newton_schulz_inverse, row_range, DistMatrix};
+use berkeleygw_rs::linalg::CMatrix;
+use berkeleygw_rs::num::pade::PadeApproximant;
+use berkeleygw_rs::num::{c64, Complex64};
+use berkeleygw_rs::pwdft::{Crystal, GSphere, Lattice, Species};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn lattice_volume_scales_with_supercell(
+        a0 in 5.0f64..15.0,
+        n1 in 1usize..4, n2 in 1usize..4, n3 in 1usize..4,
+    ) {
+        let c = Crystal::diamond(Species::Si, a0);
+        let s = c.supercell([n1, n2, n3]);
+        let expect = c.lattice.volume() * (n1 * n2 * n3) as f64;
+        prop_assert!((s.lattice.volume() - expect).abs() < 1e-6 * expect);
+        prop_assert_eq!(s.n_atoms(), 8 * n1 * n2 * n3);
+        // electron counting is extensive
+        prop_assert_eq!(s.n_electrons(), c.n_electrons() * n1 * n2 * n3);
+    }
+
+    #[test]
+    fn gsphere_invariants(a0 in 6.0f64..14.0, ecut in 1.0f64..5.0) {
+        let lat = Lattice::cubic(a0);
+        let sph = GSphere::new(&lat, ecut);
+        // all inside cutoff, sorted, inversion-symmetric
+        prop_assert!(sph.norm2.iter().all(|&n2| n2 <= ecut + 1e-9));
+        prop_assert!(sph.norm2.windows(2).all(|w| w[0] <= w[1] + 1e-12));
+        for i in 0..sph.len() {
+            let j = sph.minus(i);
+            prop_assert!((sph.norm2[i] - sph.norm2[j]).abs() < 1e-9);
+        }
+        // count grows monotonically with cutoff
+        let bigger = GSphere::new(&lat, ecut * 1.5);
+        prop_assert!(bigger.len() >= sph.len());
+    }
+
+    #[test]
+    fn form_factors_are_bounded_and_decay(q in 0.0f64..30.0) {
+        for sp in [Species::Si, Species::Li, Species::H, Species::B, Species::N, Species::C] {
+            let u = sp.form_factor(q);
+            prop_assert!(u.is_finite());
+            prop_assert!(u.abs() < 500.0, "{sp:?} at q={q}: {u}");
+            // beyond the tabulated range everything is exactly zero
+            if q > 10.0 {
+                prop_assert_eq!(u, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn displacement_roundtrip(dx in -0.2f64..0.2, dy in -0.2f64..0.2, dz in -0.2f64..0.2) {
+        let c = Crystal::diamond(Species::Si, 10.26);
+        let moved = c.with_displacement(3, [dx, dy, dz]);
+        let back = moved.with_displacement(3, [-dx, -dy, -dz]);
+        for (a, b) in c.atoms.iter().zip(&back.atoms) {
+            for k in 0..3 {
+                prop_assert!((a.frac[k] - b.frac[k]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn row_ranges_partition(n in 1usize..200, size in 1usize..12) {
+        let mut covered = vec![false; n];
+        for r in 0..size {
+            let (lo, hi) = row_range(n, size, r);
+            for slot in covered.iter_mut().take(hi).skip(lo) {
+                prop_assert!(!*slot, "overlap");
+                *slot = true;
+            }
+        }
+        prop_assert!(covered.iter().all(|&c| c));
+    }
+
+    #[test]
+    fn pade_exactness_for_moebius(ar in -2.0f64..2.0, ai in -2.0f64..2.0, br in 0.5f64..2.0) {
+        // f(z) = (a z + 1) / (z + b): 4 samples determine it exactly.
+        let a = c64(ar, ai);
+        let b = c64(br, 0.3);
+        let f = |z: Complex64| (a * z + 1.0) / (z + b);
+        let nodes: Vec<Complex64> = (1..=4).map(|k| c64(0.0, k as f64)).collect();
+        let vals: Vec<Complex64> = nodes.iter().map(|&z| f(z)).collect();
+        let p = PadeApproximant::new(&nodes, &vals);
+        let z = c64(0.7, 0.2);
+        prop_assert!((p.eval(z) - f(z)).abs() < 1e-7);
+    }
+}
+
+#[test]
+fn distributed_inverse_randomized() {
+    // deterministic multi-size sweep (proptest and nested threads don't
+    // mix well with shrinkage; use fixed seeds)
+    for (n, world, seed) in [(6usize, 2usize, 1u64), (10, 3, 2), (15, 4, 3)] {
+        let mut a = CMatrix::random(n, n, seed);
+        for d in 0..n {
+            a[(d, d)] += c64(3.0, 0.0);
+        }
+        let reference = berkeleygw_rs::linalg::invert(&a).unwrap();
+        let (out, _) = run_world(world, |comm| {
+            let da = DistMatrix::from_replicated(comm, &a);
+            let (inv, _) = newton_schulz_inverse(comm, &da, 1e-11, 80);
+            inv.to_replicated(comm).as_slice().to_vec()
+        });
+        for flat in out {
+            let inv = CMatrix::from_vec(n, n, flat);
+            assert!(
+                inv.max_abs_diff(&reference) < 1e-8,
+                "n={n}, world={world}"
+            );
+        }
+    }
+}
+
+#[test]
+fn collectives_compose_arbitrarily() {
+    // a randomized (but rank-uniform) sequence of collectives must be
+    // deadlock-free and consistent
+    let ops: Vec<u8> = vec![0, 2, 1, 3, 0, 1, 2, 3, 3, 1];
+    let (out, _) = run_world(4, |comm| {
+        let mut acc = comm.rank() as u64;
+        for (i, &op) in ops.iter().enumerate() {
+            match op {
+                0 => {
+                    acc = comm.allreduce(acc, |a, b| a.wrapping_add(b));
+                }
+                1 => {
+                    let all = comm.allgather(acc);
+                    acc = all.iter().fold(0u64, |a, &b| a.wrapping_mul(31).wrapping_add(b));
+                }
+                2 => {
+                    acc = comm.bcast(i % comm.size(), Some(acc));
+                }
+                _ => comm.barrier(),
+            }
+        }
+        acc
+    });
+    // every rank converges to the same value (all ops end symmetric)
+    assert!(out.windows(2).all(|w| w[0] == w[1]), "{out:?}");
+}
+
+#[test]
+fn mtxel_g0_is_overlap_for_random_band_pairs() {
+    use berkeleygw_rs::core::mtxel::Mtxel;
+    use berkeleygw_rs::pwdft::solve_bands;
+    let c = Crystal::diamond(Species::Si, 10.26);
+    let wfn = GSphere::new(&c.lattice, 2.2);
+    let eps = GSphere::new(&c.lattice, 0.8);
+    let wf = solve_bands(&c, &wfn, 24);
+    let eng = Mtxel::new(&wfn, &eps);
+    // pseudo-random pair sweep
+    let mut state = 12345u64;
+    for _ in 0..12 {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let m = (state >> 33) as usize % 24;
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let n = (state >> 33) as usize % 24;
+        let row = eng.band_pair(&wf, m, n);
+        let expect = if m == n { 1.0 } else { 0.0 };
+        assert!(
+            (row[0] - c64(expect, 0.0)).abs() < 1e-9,
+            "pair ({m},{n}): {}",
+            row[0]
+        );
+    }
+}
