@@ -1,7 +1,11 @@
-//! Criterion micro-benchmarks of the core computational kernels:
-//! GPP diag variants (the Table 4 programming-model comparison at micro
-//! scale), the off-diag ZGEMM path, CHI_SUM, the FFT, and the dense
-//! eigensolver behind the static subspace approximation.
+//! Micro-benchmarks of the core computational kernels: GPP diag variants
+//! (the Table 4 programming-model comparison at micro scale), the off-diag
+//! ZGEMM path, CHI_SUM, the FFT, and the dense eigensolver behind the
+//! static subspace approximation.
+//!
+//! Plain `std::time::Instant` harness (median of repeated timed runs after
+//! a warmup) so the workspace builds with zero external crates; run with
+//! `cargo bench -p bgw-bench`.
 
 use bgw_bench::build_setup;
 use bgw_core::sigma::diag::{gpp_sigma_diag, KernelVariant};
@@ -9,10 +13,32 @@ use bgw_core::sigma::offdiag::gpp_sigma_offdiag;
 use bgw_fft::{Direction, FftPlan};
 use bgw_linalg::{eigh, matmul, CMatrix, GemmBackend, Op};
 use bgw_num::{Complex64, UniformGrid};
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_gpp_diag_variants(c: &mut Criterion) {
+/// Runs `f` once for warmup, then `reps` timed repetitions, and reports the
+/// median repetition time in milliseconds.
+fn bench<R>(name: &str, reps: usize, mut f: impl FnMut() -> R) {
+    black_box(f());
+    let mut times: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            black_box(f());
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.total_cmp(b));
+    let median = times[times.len() / 2];
+    println!(
+        "{name:<28} {:>10.3} ms  (min {:.3}, max {:.3}, n={})",
+        median * 1e3,
+        times[0] * 1e3,
+        times[times.len() - 1] * 1e3,
+        times.len()
+    );
+}
+
+fn bench_gpp_diag_variants() {
     let mut sys = bgw_pwdft::si_bulk(1, 2.6);
     sys.n_bands = 32;
     let setup = build_setup(sys, 4);
@@ -22,20 +48,18 @@ fn bench_gpp_diag_variants(c: &mut Criterion) {
         .iter()
         .map(|&e| vec![e - 0.05, e, e + 0.05])
         .collect();
-    let mut g = c.benchmark_group("gpp_diag");
     for (name, v) in [
         ("reference", KernelVariant::Reference),
         ("blocked", KernelVariant::Blocked),
         ("optimized", KernelVariant::Optimized),
     ] {
-        g.bench_function(name, |b| {
-            b.iter(|| black_box(gpp_sigma_diag(&setup.ctx, &grids, v)))
+        bench(&format!("gpp_diag/{name}"), 10, || {
+            gpp_sigma_diag(&setup.ctx, &grids, v)
         });
     }
-    g.finish();
 }
 
-fn bench_gpp_offdiag(c: &mut Criterion) {
+fn bench_gpp_offdiag() {
     let mut sys = bgw_pwdft::si_bulk(1, 2.6);
     sys.n_bands = 32;
     let setup = build_setup(sys, 4);
@@ -44,57 +68,46 @@ fn bench_gpp_offdiag(c: &mut Criterion) {
         *setup.ctx.sigma_energies.last().unwrap() + 0.2,
         4,
     );
-    c.bench_function("gpp_offdiag_zgemm", |b| {
-        b.iter(|| {
-            black_box(gpp_sigma_offdiag(
-                &setup.ctx,
-                &grid,
-                GemmBackend::Parallel,
-            ))
-        })
+    bench("gpp_offdiag_zgemm", 10, || {
+        gpp_sigma_offdiag(&setup.ctx, &grid, GemmBackend::Parallel)
     });
 }
 
-fn bench_zgemm(c: &mut Criterion) {
+fn bench_zgemm() {
     let n = 96;
     let a = CMatrix::random(n, n, 1);
     let bm = CMatrix::random(n, n, 2);
-    let mut g = c.benchmark_group("zgemm_96");
     for (name, be) in [
         ("naive", GemmBackend::Naive),
         ("blocked", GemmBackend::Blocked),
         ("parallel", GemmBackend::Parallel),
     ] {
-        g.bench_function(name, |b| {
-            b.iter(|| black_box(matmul(&a, Op::None, &bm, Op::None, be)))
+        bench(&format!("zgemm_96/{name}"), 10, || {
+            matmul(&a, Op::None, &bm, Op::None, be)
         });
     }
-    g.finish();
 }
 
-fn bench_fft(c: &mut Criterion) {
+fn bench_fft() {
     let n = 729; // 3^6, pure mixed-radix
     let plan = FftPlan::new(n);
-    let data: Vec<Complex64> = (0..n)
-        .map(|i| Complex64::cis(i as f64 * 0.1))
-        .collect();
-    c.bench_function("fft_729", |b| {
-        b.iter(|| {
-            let mut x = data.clone();
-            plan.process(&mut x, Direction::Forward);
-            black_box(x)
-        })
+    let data: Vec<Complex64> = (0..n).map(|i| Complex64::cis(i as f64 * 0.1)).collect();
+    bench("fft_729", 50, || {
+        let mut x = data.clone();
+        plan.process(&mut x, Direction::Forward);
+        x
     });
 }
 
-fn bench_eigh(c: &mut Criterion) {
+fn bench_eigh() {
     let a = CMatrix::random_hermitian(64, 7);
-    c.bench_function("eigh_64", |b| b.iter(|| black_box(eigh(&a))));
+    bench("eigh_64", 10, || eigh(&a));
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_gpp_diag_variants, bench_gpp_offdiag, bench_zgemm, bench_fft, bench_eigh
+fn main() {
+    bench_gpp_diag_variants();
+    bench_gpp_offdiag();
+    bench_zgemm();
+    bench_fft();
+    bench_eigh();
 }
-criterion_main!(benches);

@@ -19,14 +19,56 @@ fn best_of(a: &CMatrix, b: &CMatrix, backend: GemmBackend, reps: usize) -> f64 {
 
 fn main() {
     // Off-diag kernel shapes: (N_Sigma x N_G) * (N_G x N_G).
-    let shapes = [("moderate (N_Sigma=48, N_G=192)", 48usize, 192usize),
-                  ("large (N_Sigma=96, N_G=384)", 96, 384)];
+    let shapes = [
+        ("moderate (N_Sigma=48, N_G=192)", 48usize, 192usize),
+        ("large (N_Sigma=96, N_G=384)", 96, 384),
+    ];
+    // The sweep covers all three cache loops of the 5-loop kernel: small
+    // L1-bound tiles, the default, deep-kc variants (longer register-tile
+    // dwell), wide-nc variants (bigger shared B strip), and large
+    // LLC-bound blocks.
     let tiles = [
-        TileParams { mc: 16, kc: 32, nc: 64 },
-        TileParams { mc: 32, kc: 64, nc: 128 },
+        TileParams {
+            mc: 16,
+            kc: 32,
+            nc: 64,
+        },
+        TileParams {
+            mc: 32,
+            kc: 64,
+            nc: 128,
+        },
         TileParams::default(),
-        TileParams { mc: 96, kc: 192, nc: 192 },
-        TileParams { mc: 128, kc: 256, nc: 256 },
+        TileParams {
+            mc: 64,
+            kc: 256,
+            nc: 256,
+        },
+        TileParams {
+            mc: 64,
+            kc: 512,
+            nc: 128,
+        },
+        TileParams {
+            mc: 32,
+            kc: 128,
+            nc: 512,
+        },
+        TileParams {
+            mc: 96,
+            kc: 192,
+            nc: 192,
+        },
+        TileParams {
+            mc: 128,
+            kc: 256,
+            nc: 256,
+        },
+        TileParams {
+            mc: 128,
+            kc: 128,
+            nc: 1024,
+        },
     ];
     for (name, ns, ng) in shapes {
         let a = CMatrix::random(ns, ng, 1);

@@ -21,7 +21,14 @@ fn main() {
     // --- raw throughput ladder -------------------------------------------
     let mut t = Table::new(
         "Measured BGWR file throughput (this host)",
-        &["record", "size MiB", "write s", "read s", "write MB/s", "read MB/s"],
+        &[
+            "record",
+            "size MiB",
+            "write s",
+            "read s",
+            "write MB/s",
+            "read MB/s",
+        ],
     );
     for n in [128usize, 256, 512] {
         let m = CMatrix::random(n, n, n as u64);
@@ -78,8 +85,7 @@ fn main() {
         let _ = read_wavefunctions(&wfn_path).unwrap();
         let _ = read_matrix(&eps_path).unwrap();
     });
-    let (_, t_kernel) =
-        timed(|| gpp_sigma_diag(&setup.ctx, &grids, KernelVariant::Optimized));
+    let (_, t_kernel) = timed(|| gpp_sigma_diag(&setup.ctx, &grids, KernelVariant::Optimized));
     println!(
         "\nlocal Sigma run: kernel {t_kernel:.4} s, input read {t_io:.4} s \
          -> incl./excl. ratio {:.2}",

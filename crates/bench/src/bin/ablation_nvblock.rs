@@ -33,7 +33,11 @@ fn main() {
     );
 
     let reference = {
-        let cfg = ChiConfig { nv_block: 1, q0: coulomb.q0, ..ChiConfig::default() };
+        let cfg = ChiConfig {
+            nv_block: 1,
+            q0: coulomb.q0,
+            ..ChiConfig::default()
+        };
         ChiEngine::new(&wf, &mtxel, cfg).chi_static()
     };
     let mut t = Table::new(
@@ -41,13 +45,20 @@ fn main() {
         &["nv_block", "panel MiB", "seconds", "max |dev| vs block=1"],
     );
     for nv_block in [1usize, 2, 4, 8, 16, nv] {
-        let cfg = ChiConfig { nv_block, q0: coulomb.q0, ..ChiConfig::default() };
+        let cfg = ChiConfig {
+            nv_block,
+            q0: coulomb.q0,
+            ..ChiConfig::default()
+        };
         let engine = ChiEngine::new(&wf, &mtxel, cfg);
         let (chi, secs) = timed(|| engine.chi_static());
         let dev = chi.max_abs_diff(&reference);
         t.row(&[
             nv_block.to_string(),
-            format!("{:.2}", (nv_block.min(nv) * nc * ng * 16) as f64 / 1048576.0),
+            format!(
+                "{:.2}",
+                (nv_block.min(nv) * nc * ng * 16) as f64 / 1048576.0
+            ),
             format!("{secs:.3}"),
             format!("{dev:.2e}"),
         ]);

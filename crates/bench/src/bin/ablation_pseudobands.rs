@@ -25,7 +25,10 @@ fn main() {
     let ctx = &setup.ctx;
     let wf = &setup.wf;
     let mtxel = Mtxel::new(&setup.wfn_sph, &setup.eps_sph);
-    let cfg = ChiConfig { q0: setup.coulomb.q0, ..ChiConfig::default() };
+    let cfg = ChiConfig {
+        q0: setup.coulomb.q0,
+        ..ChiConfig::default()
+    };
 
     // exact references
     let chi_head_exact = {
@@ -33,8 +36,7 @@ fn main() {
         engine.chi_static()[(1, 1)].re
     };
     let grids: Vec<Vec<f64>> = ctx.sigma_energies.iter().map(|&e| vec![e]).collect();
-    let (sigma_exact, t_exact) =
-        timed(|| gpp_sigma_diag(ctx, &grids, KernelVariant::Optimized));
+    let (sigma_exact, t_exact) = timed(|| gpp_sigma_diag(ctx, &grids, KernelVariant::Optimized));
     println!(
         "exact reference: N_b = {}, chi_11 = {chi_head_exact:.5}, Sigma kernel {t_exact:.3} s\n",
         wf.n_bands()
@@ -43,8 +45,13 @@ fn main() {
     let mut t = Table::new(
         "Pseudobands sweep: compression vs band-sum accuracy (10-seed averages)",
         &[
-            "N_xi", "growth", "N_b eff", "compression",
-            "chi_11 err %", "Sigma_HOMO err (mRy)", "kernel s",
+            "N_xi",
+            "growth",
+            "N_b eff",
+            "compression",
+            "chi_11 err %",
+            "Sigma_HOMO err (mRy)",
+            "kernel s",
         ],
     );
     for (n_xi, growth) in [(1usize, 1.5f64), (2, 1.5), (4, 1.5), (2, 1.0), (2, 2.5)] {

@@ -25,21 +25,30 @@ fn main() {
     let ng = ctx.n_g();
     let (nodes_q, weights) = semi_infinite_quadrature(10, 2.0);
     let mtxel = Mtxel::new(&setup.wfn_sph, &setup.eps_sph);
-    let cfg = ChiConfig { q0: setup.coulomb.q0, ..ChiConfig::default() };
+    let cfg = ChiConfig {
+        q0: setup.coulomb.q0,
+        ..ChiConfig::default()
+    };
     let engine = ChiEngine::new(&setup.wf, &mtxel, cfg);
 
     // Full-basis finite-frequency chi (the expensive reference path).
     let mut tm_full = ChiTimings::default();
     let chis = engine.chi_freqs_subset(&nodes_q, None, &mut tm_full);
-    let eps_ff =
-        EpsilonInverse::build(&chis, &nodes_q, &setup.coulomb, &setup.eps_sph);
+    let eps_ff = EpsilonInverse::build(&chis, &nodes_q, &setup.coulomb, &setup.eps_sph);
     let grids: Vec<Vec<f64>> = ctx.sigma_energies.iter().map(|&e| vec![e]).collect();
     let (full_sigma, _) = timed(|| ff_sigma_diag(ctx, &eps_ff, &weights, &grids, 0.05));
 
     let mut t = Table::new(
-        &format!("Subspace fraction sweep (N_G = {ng}, {} freqs)", nodes_q.len()),
+        &format!(
+            "Subspace fraction sweep (N_G = {ng}, {} freqs)",
+            nodes_q.len()
+        ),
         &[
-            "N_Eig", "fraction %", "CHI-Freq s", "speedup", "(N_G/N_Eig)^2",
+            "N_Eig",
+            "fraction %",
+            "CHI-Freq s",
+            "speedup",
+            "(N_G/N_Eig)^2",
             "max Sigma err (mRy)",
         ],
     );

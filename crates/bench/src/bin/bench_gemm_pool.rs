@@ -1,0 +1,166 @@
+//! Before/after benchmark of the two node-level substrates this repo's
+//! GW kernels sit on: the persistent-pool threading runtime (`bgw-par`)
+//! and the five-loop packed ZGEMM (`bgw-linalg`).
+//!
+//! "Before" is a faithful inline copy of the previous cache-blocked ZGEMM
+//! (full-width B pack, i-k-j sweep that re-reads the C row on every k
+//! step), so the comparison holds even though the old kernel no longer
+//! exists in the library. The pool side measures the dispatch overhead of
+//! an empty `parallel_for(1024)` — the wake/park cost a GW kernel pays per
+//! parallel region.
+//!
+//! Writes `BENCH_gemm_pool.json` into the current directory.
+
+use bgw_linalg::{matmul, zgemm_flops, CMatrix, GemmBackend, Op, TileParams};
+use bgw_num::Complex64;
+use std::time::Instant;
+
+/// The pre-overhaul blocked kernel: mc x kc row panels, B packed across the
+/// full output width, C rows re-loaded and re-stored for every k step.
+fn seed_blocked(a: &CMatrix, b: &CMatrix) -> CMatrix {
+    let (m, k) = a.shape();
+    let n = b.ncols();
+    let mut c = CMatrix::zeros(m, n);
+    let (mc, kc) = (64usize, 128usize);
+    for i0 in (0..m).step_by(mc) {
+        let i1 = (i0 + mc).min(m);
+        for p0 in (0..k).step_by(kc) {
+            let p1 = (p0 + kc).min(k);
+            let kk = p1 - p0;
+            let mut a_pack = Vec::with_capacity((i1 - i0) * kk);
+            for i in i0..i1 {
+                a_pack.extend_from_slice(&a.row(i)[p0..p1]);
+            }
+            let mut b_pack = Vec::with_capacity(kk * n);
+            for p in p0..p1 {
+                b_pack.extend_from_slice(b.row(p));
+            }
+            for ii in 0..(i1 - i0) {
+                let a_row = &a_pack[ii * kk..(ii + 1) * kk];
+                let c_row = c.row_mut(i0 + ii);
+                for (pp, &aip) in a_row.iter().enumerate() {
+                    let b_row = &b_pack[pp * n..(pp + 1) * n];
+                    for (cj, &bpj) in c_row.iter_mut().zip(b_row) {
+                        *cj = cj.mul_add(aip, bpj);
+                    }
+                }
+            }
+        }
+    }
+    c
+}
+
+fn best_secs(reps: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm
+    (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn main() {
+    let threads = bgw_par::num_threads();
+    let n = 512usize;
+    let flops = zgemm_flops(n, n, n) as f64;
+    println!("bench_gemm_pool: {n}^3 complex GEMM, {threads} thread(s)");
+
+    let a = CMatrix::random(n, n, 1);
+    let b = CMatrix::random(n, n, 2);
+
+    // Correctness gate before timing: every backend against Naive. The
+    // oracle is O(n^3) with scalar fetches, so check at a reduced size too
+    // if this ever gets slow; 512 is fine in release.
+    let reference = matmul(&a, Op::None, &b, Op::None, GemmBackend::Naive);
+    let mut agreement = f64::NEG_INFINITY;
+    for be in [
+        GemmBackend::Blocked,
+        GemmBackend::Parallel,
+        GemmBackend::Tuned(TileParams::default()),
+    ] {
+        let c = matmul(&a, Op::None, &b, Op::None, be);
+        let d = c.max_abs_diff(&reference);
+        agreement = agreement.max(d);
+        assert!(d < 1e-10, "{be:?} disagrees with Naive by {d}");
+    }
+    println!("backend agreement vs Naive: max |diff| = {agreement:.3e}");
+
+    // Before: the seed kernel, inline copy.
+    let t_seed = best_secs(3, || {
+        std::hint::black_box(seed_blocked(&a, &b));
+    });
+    // After: overhauled kernels, with the pack/compute split from the
+    // global counters.
+    let c0 = bgw_perf::counters::snapshot();
+    let t_blocked = best_secs(3, || {
+        std::hint::black_box(matmul(&a, Op::None, &b, Op::None, GemmBackend::Blocked));
+    });
+    let t_parallel = best_secs(3, || {
+        std::hint::black_box(matmul(&a, Op::None, &b, Op::None, GemmBackend::Parallel));
+    });
+    let d = c0.delta(&bgw_perf::counters::snapshot());
+    let pack_frac = d.gemm_pack_seconds() / (d.gemm_pack_seconds() + d.gemm_compute_seconds());
+
+    println!(
+        "seed Blocked   : {t_seed:.4} s  {:8.2} GFLOP/s",
+        flops / t_seed / 1e9
+    );
+    println!(
+        "new  Blocked   : {t_blocked:.4} s  {:8.2} GFLOP/s",
+        flops / t_blocked / 1e9
+    );
+    println!(
+        "new  Parallel  : {t_parallel:.4} s  {:8.2} GFLOP/s",
+        flops / t_parallel / 1e9
+    );
+    println!(
+        "speedup vs seed: Blocked {:.2}x, Parallel {:.2}x; pack share {:.1}%",
+        t_seed / t_blocked,
+        t_seed / t_parallel,
+        100.0 * pack_frac
+    );
+
+    // Pool dispatch overhead: an empty parallel_for(1024) measures the
+    // wake/park round-trip, amortized over many calls.
+    let dispatches = 2000usize;
+    let p0 = bgw_perf::counters::snapshot();
+    let t_pool = best_secs(3, || {
+        for _ in 0..dispatches {
+            bgw_par::parallel_for(1024, |i| {
+                std::hint::black_box(i);
+            });
+        }
+    });
+    let pd = p0.delta(&bgw_perf::counters::snapshot());
+    let per_call_us = t_pool / dispatches as f64 * 1e6;
+    println!(
+        "empty parallel_for(1024): {per_call_us:.2} us/call \
+         ({} pooled, {} inline over the measured reps)",
+        pd.pool_dispatches, pd.pool_inline_runs
+    );
+
+    let json = format!(
+        "{{\n  \"config\": {{\"n\": {n}, \"threads\": {threads}}},\n  \
+         \"gemm_512\": {{\n    \"seed_blocked_s\": {t_seed:.6},\n    \
+         \"blocked_s\": {t_blocked:.6},\n    \"parallel_s\": {t_parallel:.6},\n    \
+         \"seed_blocked_gflops\": {:.3},\n    \"blocked_gflops\": {:.3},\n    \
+         \"parallel_gflops\": {:.3},\n    \"speedup_blocked_vs_seed\": {:.3},\n    \
+         \"speedup_parallel_vs_seed\": {:.3},\n    \
+         \"pack_time_fraction\": {pack_frac:.4},\n    \
+         \"max_abs_diff_vs_naive\": {agreement:.3e}\n  }},\n  \
+         \"pool\": {{\n    \"empty_parallel_for_1024_us_per_call\": {per_call_us:.3},\n    \
+         \"pooled_dispatches\": {},\n    \"inline_runs\": {}\n  }}\n}}\n",
+        flops / t_seed / 1e9,
+        flops / t_blocked / 1e9,
+        flops / t_parallel / 1e9,
+        t_seed / t_blocked,
+        t_seed / t_parallel,
+        pd.pool_dispatches,
+        pd.pool_inline_runs,
+    );
+    std::fs::write("BENCH_gemm_pool.json", &json).expect("write BENCH_gemm_pool.json");
+    println!("wrote BENCH_gemm_pool.json");
+    let _ = Complex64::ZERO;
+}

@@ -15,8 +15,15 @@ fn main() {
     let mut t = Table::new(
         "Fig. 1 workflow: per-module seconds across the scaled roster",
         &[
-            "System", "atoms", "mean-field", "chi", "epsilon", "Sigma mtxel",
-            "GPP kernel", "MF gap eV", "QP gap eV",
+            "System",
+            "atoms",
+            "mean-field",
+            "chi",
+            "epsilon",
+            "Sigma mtxel",
+            "GPP kernel",
+            "MF gap eV",
+            "QP gap eV",
         ],
     );
     for (paper_name, sys, n_sigma) in bgw_bench::bench_roster() {

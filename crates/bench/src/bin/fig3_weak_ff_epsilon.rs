@@ -20,7 +20,11 @@ use bgw_pwdft::solve_bands;
 fn main() {
     // Size ladder: wavefunction cutoff fixed; epsilon cutoff grows so the
     // CHI work (~ N_G^2) grows, and the band count grows the pair count.
-    let rungs = [(2.6f64, 0.70f64, 150usize), (2.6, 0.95, 210), (2.6, 1.25, 300)];
+    let rungs = [
+        (2.6f64, 0.70f64, 150usize),
+        (2.6, 0.95, 210),
+        (2.6, 1.25, 300),
+    ];
     let n_freq = 4; // the paper computes 19 finite frequencies; scaled here
     let subspace_fraction = 0.2;
 
@@ -45,7 +49,10 @@ fn main() {
         let wf = solve_bands(&sys.crystal, &wfn_sph, n_bands.min(wfn_sph.len()));
         let coulomb = Coulomb::bulk_for_cell(sys.crystal.lattice.volume());
         let mtxel = Mtxel::new(&wfn_sph, &eps_sph);
-        let cfg = ChiConfig { q0: coulomb.q0, ..ChiConfig::default() };
+        let cfg = ChiConfig {
+            q0: coulomb.q0,
+            ..ChiConfig::default()
+        };
         let engine = ChiEngine::new(&wf, &mtxel, cfg);
         // CHI-0: zero frequency in the full plane-wave basis.
         let mut tm0 = ChiTimings::default();
@@ -61,8 +68,7 @@ fn main() {
         // CHI-Freq: the finite frequencies in the N_Eig subspace (Eq. 6).
         let freqs: Vec<f64> = (1..=n_freq).map(|k| 0.4 * k as f64).collect();
         let mut tm1 = ChiTimings::default();
-        let chis_w =
-            engine.chi_freqs_subspace(&freqs, &sub.basis, &vsqrt, &mut tm1);
+        let chis_w = engine.chi_freqs_subspace(&freqs, &sub.basis, &vsqrt, &mut tm1);
         // Transf: reconstructing the plane-wave representation.
         let (_, t_transf) = timed(|| {
             for chi_b in &chis_w {
@@ -97,7 +103,9 @@ fn main() {
 
     let mut t = Table::new(
         "Fig. 3 (measured): FF Epsilon per-node kernel seconds vs scaled size",
-        &["nodes", "N_G", "N_b", "MTXEL", "CHI-0", "CHI-Freq", "Transf", "Diag"],
+        &[
+            "nodes", "N_G", "N_b", "MTXEL", "CHI-0", "CHI-Freq", "Transf", "Diag",
+        ],
     );
     for r in &results {
         t.row(&[

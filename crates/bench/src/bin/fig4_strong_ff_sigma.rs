@@ -27,7 +27,10 @@ fn main() {
     let setup = build_setup(sys, 6);
     let (nodes_q, weights) = semi_infinite_quadrature(10, 2.0);
     let mtxel = Mtxel::new(&setup.wfn_sph, &setup.eps_sph);
-    let cfg = ChiConfig { q0: setup.coulomb.q0, ..ChiConfig::default() };
+    let cfg = ChiConfig {
+        q0: setup.coulomb.q0,
+        ..ChiConfig::default()
+    };
     let engine = ChiEngine::new(&setup.wf, &mtxel, cfg);
     let (chis, _) = engine.chi_freqs(&nodes_q);
     let eps_ff = EpsilonInverse::build(&chis, &nodes_q, &setup.coulomb, &setup.eps_sph);
@@ -37,13 +40,11 @@ fn main() {
         .iter()
         .map(|&e| vec![e - 0.05, e, e + 0.05])
         .collect();
-    let (full, t_full) =
-        timed(|| ff_sigma_diag(&setup.ctx, &eps_ff, &weights, &grids, 0.05));
+    let (full, t_full) = timed(|| ff_sigma_diag(&setup.ctx, &eps_ff, &weights, &grids, 0.05));
     let n_eig = (setup.ctx.n_g() / 5).max(2);
     let sub = Subspace::from_chi0(&setup.chi0, &setup.vsqrt, n_eig);
-    let (subr, t_sub) = timed(|| {
-        ff_sigma_diag_subspace(&setup.ctx, &eps_ff, &weights, &grids, 0.05, &sub)
-    });
+    let (subr, t_sub) =
+        timed(|| ff_sigma_diag_subspace(&setup.ctx, &eps_ff, &weights, &grids, 0.05, &sub));
     let max_dev = (0..setup.ctx.n_sigma())
         .map(|s| (full.sigma[s][1].re - subr.sigma[s][1].re).abs())
         .fold(0.0, f64::max);
@@ -72,8 +73,16 @@ fn main() {
         alpha: ALPHA_FRONTIER,
     };
     let eff = Efficiencies::paper_anchored();
-    for machine in [Machine::perlmutter(), Machine::frontier(), Machine::aurora()] {
-        let max_nodes = if machine.name == "Perlmutter" { 1024 } else { 4096 };
+    for machine in [
+        Machine::perlmutter(),
+        Machine::frontier(),
+        Machine::aurora(),
+    ] {
+        let max_nodes = if machine.name == "Perlmutter" {
+            1024
+        } else {
+            4096
+        };
         let mut nodes = vec![];
         let mut n = 16;
         while n <= max_nodes {
@@ -82,8 +91,18 @@ fn main() {
         }
         let series = strong_scaling(&machine, &nodes, &w, Kernel::Diag, &eff, false);
         let mut t = Table::new(
-            &format!("Fig. 4 (model): GW-FF Sigma strong scaling on {}", machine.name),
-            &["# nodes", "GPUs", "seconds", "speedup", "ideal", "efficiency %"],
+            &format!(
+                "Fig. 4 (model): GW-FF Sigma strong scaling on {}",
+                machine.name
+            ),
+            &[
+                "# nodes",
+                "GPUs",
+                "seconds",
+                "speedup",
+                "ideal",
+                "efficiency %",
+            ],
         );
         let t0 = series[0].seconds;
         for p in &series {

@@ -41,7 +41,14 @@ fn main() {
 
         let mut t = Table::new(
             &format!("Fig. 5 (model): GW-GPP weak scaling on {}", machine.name),
-            &["# nodes", "GPUs", "diag s", "diag eff %", "off-diag s", "off-diag eff %"],
+            &[
+                "# nodes",
+                "GPUs",
+                "diag s",
+                "diag eff %",
+                "off-diag s",
+                "off-diag eff %",
+            ],
         );
         let d = weak_scaling(&machine, &nodes, diag_scale, Kernel::Diag, &eff);
         let o = weak_scaling(&machine, &nodes, off_scale, Kernel::Offdiag, &eff);

@@ -21,14 +21,40 @@ fn main() {
     // Si998 (Table 2): N_G = 51,627, N_b = 28,000; Si2742: N_G = 141,505,
     // N_b = 80,695.
     let systems = [
-        ("Si998", SigmaWorkload { n_sigma: 512, n_b: 28_000, n_g: 51_627, n_e: 200, alpha: ALPHA_FRONTIER }),
-        ("Si2742", SigmaWorkload { n_sigma: 128, n_b: 80_695, n_g: 141_505, n_e: 3, alpha: ALPHA_FRONTIER }),
+        (
+            "Si998",
+            SigmaWorkload {
+                n_sigma: 512,
+                n_b: 28_000,
+                n_g: 51_627,
+                n_e: 200,
+                alpha: ALPHA_FRONTIER,
+            },
+        ),
+        (
+            "Si2742",
+            SigmaWorkload {
+                n_sigma: 128,
+                n_b: 80_695,
+                n_g: 141_505,
+                n_e: 3,
+                alpha: ALPHA_FRONTIER,
+            },
+        ),
     ];
 
     for machine in [Machine::frontier(), Machine::aurora()] {
         for (name, w) in &systems {
-            let kernel = if w.n_e > 10 { Kernel::Offdiag } else { Kernel::Diag };
-            let kname = if kernel == Kernel::Offdiag { "off-diag" } else { "diag" };
+            let kernel = if w.n_e > 10 {
+                Kernel::Offdiag
+            } else {
+                Kernel::Diag
+            };
+            let kname = if kernel == Kernel::Offdiag {
+                "off-diag"
+            } else {
+                "diag"
+            };
             let excl = strong_scaling(&machine, &nodes, w, kernel, &eff, false);
             let incl = strong_scaling(&machine, &nodes, w, kernel, &eff, true);
             let mut t = Table::new(

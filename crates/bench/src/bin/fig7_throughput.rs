@@ -22,22 +22,46 @@ fn frontier_configs() -> Vec<Config> {
     vec![
         Config {
             name: "Si998-a (N_E=200, N_b=28224)",
-            w: SigmaWorkload { n_sigma: 512, n_b: 28_224, n_g: 51_627, n_e: 200, alpha: ALPHA_FRONTIER },
+            w: SigmaWorkload {
+                n_sigma: 512,
+                n_b: 28_224,
+                n_g: 51_627,
+                n_e: 200,
+                alpha: ALPHA_FRONTIER,
+            },
             kernel: Kernel::Offdiag,
         },
         Config {
             name: "Si998-b (N_E=512, N_b=28224)",
-            w: SigmaWorkload { n_sigma: 512, n_b: 28_224, n_g: 51_627, n_e: 512, alpha: ALPHA_FRONTIER },
+            w: SigmaWorkload {
+                n_sigma: 512,
+                n_b: 28_224,
+                n_g: 51_627,
+                n_e: 512,
+                alpha: ALPHA_FRONTIER,
+            },
             kernel: Kernel::Offdiag,
         },
         Config {
             name: "Si2742 GW diag",
-            w: SigmaWorkload { n_sigma: 128, n_b: 80_695, n_g: 141_505, n_e: 3, alpha: ALPHA_FRONTIER },
+            w: SigmaWorkload {
+                n_sigma: 128,
+                n_b: 80_695,
+                n_g: 141_505,
+                n_e: 3,
+                alpha: ALPHA_FRONTIER,
+            },
             kernel: Kernel::Diag,
         },
         Config {
             name: "BN867 GW diag",
-            w: SigmaWorkload { n_sigma: 256, n_b: 49_920, n_g: 84_585, n_e: 3, alpha: ALPHA_FRONTIER },
+            w: SigmaWorkload {
+                n_sigma: 256,
+                n_b: 49_920,
+                n_g: 84_585,
+                n_e: 3,
+                alpha: ALPHA_FRONTIER,
+            },
             kernel: Kernel::Diag,
         },
     ]
@@ -47,12 +71,24 @@ fn aurora_configs() -> Vec<Config> {
     vec![
         Config {
             name: "Si998-c (N_E=200, N_b=28800)",
-            w: SigmaWorkload { n_sigma: 512, n_b: 28_800, n_g: 51_627, n_e: 200, alpha: ALPHA_AURORA },
+            w: SigmaWorkload {
+                n_sigma: 512,
+                n_b: 28_800,
+                n_g: 51_627,
+                n_e: 200,
+                alpha: ALPHA_AURORA,
+            },
             kernel: Kernel::Offdiag,
         },
         Config {
             name: "Si2742' GW diag",
-            w: SigmaWorkload { n_sigma: 128, n_b: 15_840, n_g: 141_505, n_e: 3, alpha: ALPHA_AURORA },
+            w: SigmaWorkload {
+                n_sigma: 128,
+                n_b: 15_840,
+                n_g: 141_505,
+                n_e: 3,
+                alpha: ALPHA_AURORA,
+            },
             kernel: Kernel::Diag,
         },
     ]
@@ -62,8 +98,16 @@ fn main() {
     let eff = Efficiencies::paper_anchored();
 
     let cases = [
-        (Machine::frontier(), frontier_configs(), vec![1176usize, 2352, 4704, 9408]),
-        (Machine::aurora(), aurora_configs(), vec![1200usize, 2400, 4800, 9600]),
+        (
+            Machine::frontier(),
+            frontier_configs(),
+            vec![1176usize, 2352, 4704, 9408],
+        ),
+        (
+            Machine::aurora(),
+            aurora_configs(),
+            vec![1200usize, 2400, 4800, 9600],
+        ),
     ];
     for (machine, configs, nodes) in cases {
         for cfg in &configs {

@@ -25,8 +25,7 @@ fn main() {
         4,
     );
     // N_p = 6: two defect-adjacent atoms x three directions
-    let perts: Vec<(usize, usize)> =
-        (0..2).flat_map(|a| (0..3).map(move |ax| (a, ax))).collect();
+    let perts: Vec<(usize, usize)> = (0..2).flat_map(|a| (0..3).map(move |ax| (a, ax))).collect();
     println!(
         "system {}: N_p = {}, N_Sigma = {}, N_b = {}, N_G = {}\n",
         setup.system.name,
@@ -47,7 +46,12 @@ fn main() {
             let p = bgw_pwdft::Perturbation::new(&setup.system.crystal, &setup.wfn_sph, a, ax);
             timed(|| {
                 bgw_core::gwpt_for_perturbation(
-                    ctx, &setup.wf, &mtxel, &p, &setup.vsqrt, &e_grid,
+                    ctx,
+                    &setup.wf,
+                    &mtxel,
+                    &p,
+                    &setup.vsqrt,
+                    &e_grid,
                     GemmBackend::Blocked,
                 )
             })
@@ -58,7 +62,13 @@ fn main() {
     let mut reference: Option<Vec<Vec<bgw_num::Complex64>>> = None;
     let mut t = Table::new(
         "GWPT weak scaling over perturbations (executed on simulated ranks)",
-        &["ranks", "critical path s", "speedup", "ideal", "collectives"],
+        &[
+            "ranks",
+            "critical path s",
+            "speedup",
+            "ideal",
+            "collectives",
+        ],
     );
     let t1: f64 = per_pert.iter().sum();
     for &ranks in &[1usize, 2, 3, 6] {

@@ -12,12 +12,21 @@ fn main() {
     let mut t = Table::new(
         "GPP kernel roofline placement (per GPU)",
         &[
-            "Machine", "ridge AI (F/B)", "kernel", "AI (F/B)", "bound",
-            "attainable TF/s", "achieved (paper)",
+            "Machine",
+            "ridge AI (F/B)",
+            "kernel",
+            "AI (F/B)",
+            "bound",
+            "attainable TF/s",
+            "achieved (paper)",
         ],
     );
     for machine in [Machine::frontier(), Machine::aurora()] {
-        let alpha = if machine.name == "Frontier" { ALPHA_FRONTIER } else { ALPHA_AURORA };
+        let alpha = if machine.name == "Frontier" {
+            ALPHA_FRONTIER
+        } else {
+            ALPHA_AURORA
+        };
         let w = SigmaWorkload {
             n_sigma: 512,
             n_b: 28_224,
@@ -27,8 +36,16 @@ fn main() {
         };
         let peak = machine.attainable_tflops_per_gpu;
         let ridge = peak * 1e12 / (hbm_gb_per_gpu(&machine) * 1e9);
-        let achieved_diag = if machine.name == "Frontier" { 0.3104 } else { 0.3939 };
-        let achieved_off = if machine.name == "Frontier" { 0.5945 } else { 0.4879 };
+        let achieved_diag = if machine.name == "Frontier" {
+            0.3104
+        } else {
+            0.3939
+        };
+        let achieved_off = if machine.name == "Frontier" {
+            0.5945
+        } else {
+            0.4879
+        };
         for (name, ai, achieved) in [
             ("diag", diag_intensity(&w), achieved_diag),
             ("off-diag", offdiag_intensity(&w), achieved_off),

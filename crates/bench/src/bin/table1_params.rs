@@ -13,7 +13,5 @@ fn main() {
         t.row(&[sym.to_string(), syn.to_string()]);
     }
     print!("{}", t.render());
-    println!(
-        "\nAll parameters grow linearly with system size except N_E and N_omega."
-    );
+    println!("\nAll parameters grow linearly with system size except N_E and N_omega.");
 }

@@ -17,13 +17,55 @@ struct PaperRow {
 fn paper_rows() -> Vec<PaperRow> {
     // Table 2 of the paper (minimum N_b variants).
     vec![
-        PaperRow { name: "Si214", n_g_psi: 31_463, n_g: 11_075, n_b: 5_500, n_v: 428 },
-        PaperRow { name: "Si510", n_g_psi: 74_653, n_g: 26_529, n_b: 15_000, n_v: 1_020 },
-        PaperRow { name: "Si998", n_g_psi: 145_837, n_g: 51_627, n_b: 28_000, n_v: 1_996 },
-        PaperRow { name: "Si2742", n_g_psi: 363_477, n_g: 141_505, n_b: 80_695, n_v: 5_484 },
-        PaperRow { name: "LiH998", n_g_psi: 81_313, n_g: 52_923, n_b: 3_100, n_v: 499 },
-        PaperRow { name: "LiH17574", n_g_psi: 506_991, n_g: 362_733, n_b: 49_920, n_v: 8_787 },
-        PaperRow { name: "BN867", n_g_psi: 439_769, n_g: 84_585, n_b: 49_920, n_v: 1_734 },
+        PaperRow {
+            name: "Si214",
+            n_g_psi: 31_463,
+            n_g: 11_075,
+            n_b: 5_500,
+            n_v: 428,
+        },
+        PaperRow {
+            name: "Si510",
+            n_g_psi: 74_653,
+            n_g: 26_529,
+            n_b: 15_000,
+            n_v: 1_020,
+        },
+        PaperRow {
+            name: "Si998",
+            n_g_psi: 145_837,
+            n_g: 51_627,
+            n_b: 28_000,
+            n_v: 1_996,
+        },
+        PaperRow {
+            name: "Si2742",
+            n_g_psi: 363_477,
+            n_g: 141_505,
+            n_b: 80_695,
+            n_v: 5_484,
+        },
+        PaperRow {
+            name: "LiH998",
+            n_g_psi: 81_313,
+            n_g: 52_923,
+            n_b: 3_100,
+            n_v: 499,
+        },
+        PaperRow {
+            name: "LiH17574",
+            n_g_psi: 506_991,
+            n_g: 362_733,
+            n_b: 49_920,
+            n_v: 8_787,
+        },
+        PaperRow {
+            name: "BN867",
+            n_g_psi: 439_769,
+            n_g: 84_585,
+            n_b: 49_920,
+            n_v: 1_734,
+        },
     ]
 }
 
@@ -52,7 +94,9 @@ fn main() {
 
     let mut t = Table::new(
         "Table 2 (this reproduction, scaled)",
-        &["System", "Atoms", "N_G^psi", "N_G", "N_b", "N_v", "N_c", "N_v/atom"],
+        &[
+            "System", "Atoms", "N_G^psi", "N_G", "N_b", "N_v", "N_c", "N_v/atom",
+        ],
     );
     for (paper_name, sys, _) in bgw_bench::bench_roster() {
         let wfn = sys.wfn_sphere();

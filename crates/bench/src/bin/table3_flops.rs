@@ -20,7 +20,16 @@ fn main() {
     // Paper rows first.
     let mut t = Table::new(
         "Table 3 (paper): measured vs estimated FLOPs, Si-214",
-        &["Machine", "N_Sigma", "N_b", "N_G", "N_E", "Est. (TFLOP)", "Meas. (TFLOP)", "Accuracy"],
+        &[
+            "Machine",
+            "N_Sigma",
+            "N_b",
+            "N_G",
+            "N_E",
+            "Est. (TFLOP)",
+            "Meas. (TFLOP)",
+            "Accuracy",
+        ],
     );
     for (m, row) in paper_table3() {
         let machine = if m == 'F' { "Frontier" } else { "Aurora" };
@@ -54,7 +63,16 @@ fn main() {
     let mut alpha_fit: Option<f64> = None;
     let mut t = Table::new(
         "Table 3 (this reproduction): counted vs Eq. 7 estimate",
-        &["N_Sigma", "N_b", "N_G", "N_E", "Est. (GFLOP)", "Meas. (GFLOP)", "Accuracy", "seconds"],
+        &[
+            "N_Sigma",
+            "N_b",
+            "N_G",
+            "N_E",
+            "Est. (GFLOP)",
+            "Meas. (GFLOP)",
+            "Accuracy",
+            "seconds",
+        ],
     );
     for (frac, n_sigma, n_e, n_bands) in configs {
         let mut sys = bgw_pwdft::si_divacancy(1, 4.2);
@@ -71,10 +89,7 @@ fn main() {
         let (r, secs) = timed(|| gpp_sigma_diag(ctx, &grids, KernelVariant::Blocked));
         let meas = r.flops as f64;
         let alpha = *alpha_fit.get_or_insert_with(|| {
-            meas / (ctx.n_sigma() as f64
-                * n_b as f64
-                * (ctx.n_g() as f64).powi(2)
-                * n_e as f64)
+            meas / (ctx.n_sigma() as f64 * n_b as f64 * (ctx.n_g() as f64).powi(2) * n_e as f64)
         });
         let est = gpp_diag_flops(alpha, ctx.n_sigma(), n_b, ctx.n_g(), n_e);
         let acc = 100.0 * (1.0 - (est - meas).abs() / meas);

@@ -48,15 +48,13 @@ pub fn build_setup(system: ModelSystem, n_sigma: usize) -> BenchSetup {
     let wf = solve_bands(&system.crystal, &wfn_sph, n_bands);
     let coulomb = Coulomb::bulk_for_cell(system.crystal.lattice.volume());
     let mtxel = Mtxel::new(&wfn_sph, &eps_sph);
-    let cfg = ChiConfig { q0: coulomb.q0, ..ChiConfig::default() };
+    let cfg = ChiConfig {
+        q0: coulomb.q0,
+        ..ChiConfig::default()
+    };
     let engine = ChiEngine::new(&wf, &mtxel, cfg);
     let chi0 = engine.chi_static();
-    let eps_inv = EpsilonInverse::build(
-        &[chi0.clone()],
-        &[0.0],
-        &coulomb,
-        &eps_sph,
-    );
+    let eps_inv = EpsilonInverse::build(std::slice::from_ref(&chi0), &[0.0], &coulomb, &eps_sph);
     let rho = charge_density_g(&wf, &wfn_sph);
     let gpp = GppModel::new(
         &eps_inv,
@@ -96,12 +94,7 @@ pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
 /// diag kernel on this host, used to put the "local node" on the same
 /// axis as the modeled machines.
 pub fn calibrate_local_diag(setup: &BenchSetup) -> f64 {
-    let grids: Vec<Vec<f64>> = setup
-        .ctx
-        .sigma_energies
-        .iter()
-        .map(|&e| vec![e])
-        .collect();
+    let grids: Vec<Vec<f64>> = setup.ctx.sigma_energies.iter().map(|&e| vec![e]).collect();
     let r = bgw_core::sigma::diag::gpp_sigma_diag(
         &setup.ctx,
         &grids,

@@ -16,11 +16,10 @@
 
 #![warn(missing_docs)]
 
-use parking_lot::{Condvar, Mutex};
 use std::any::Any;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Payload trait: anything sent through a communicator, with a byte size
 /// used for traffic accounting.
@@ -108,14 +107,17 @@ struct BarrierState {
 impl Barrier {
     fn new(size: usize) -> Self {
         Self {
-            lock: Mutex::new(BarrierState { count: 0, generation: 0 }),
+            lock: Mutex::new(BarrierState {
+                count: 0,
+                generation: 0,
+            }),
             cvar: Condvar::new(),
             size,
         }
     }
 
     fn wait(&self) {
-        let mut st = self.lock.lock();
+        let mut st = self.lock.lock().unwrap();
         st.count += 1;
         if st.count == self.size {
             st.count = 0;
@@ -124,7 +126,7 @@ impl Barrier {
         } else {
             let gen = st.generation;
             while st.generation == gen {
-                self.cvar.wait(&mut st);
+                st = self.cvar.wait(st).unwrap();
             }
         }
     }
@@ -215,9 +217,10 @@ impl Comm {
         let bytes = value.comm_bytes() as u64;
         let cell = self.stats_cell();
         cell.collectives.fetch_add(1, Ordering::Relaxed);
-        cell.bytes_sent.fetch_add(bytes * (n as u64 - 1), Ordering::Relaxed);
+        cell.bytes_sent
+            .fetch_add(bytes * (n as u64 - 1), Ordering::Relaxed);
         {
-            let mut slots = self.shared.slots.lock();
+            let mut slots = self.shared.slots.lock().unwrap();
             let entry = slots.entry(seq).or_insert_with(|| {
                 let mut v = Vec::with_capacity(n);
                 v.resize_with(n, || None);
@@ -227,7 +230,7 @@ impl Comm {
         }
         self.shared.barrier.wait();
         let out: Vec<T> = {
-            let slots = self.shared.slots.lock();
+            let slots = self.shared.slots.lock().unwrap();
             let entry = slots.get(&seq).expect("collective slots vanished");
             entry
                 .iter()
@@ -245,7 +248,7 @@ impl Comm {
             .fetch_add(recv_bytes.saturating_sub(bytes), Ordering::Relaxed);
         self.shared.barrier.wait();
         if self.rank == 0 {
-            self.shared.slots.lock().remove(&seq);
+            self.shared.slots.lock().unwrap().remove(&seq);
         }
         out
     }
@@ -292,7 +295,10 @@ impl Comm {
     /// Scatter from `root`: the root supplies one value per rank.
     pub fn scatter<T: CommData>(&self, root: usize, values: Option<Vec<T>>) -> T {
         if let Some(v) = &values {
-            assert!(self.rank != root || v.len() == self.size(), "scatter length");
+            assert!(
+                self.rank != root || v.len() == self.size(),
+                "scatter length"
+            );
         }
         let all = self.bcast(root, values);
         all[self.rank].clone()
@@ -301,7 +307,11 @@ impl Comm {
     /// Reduce-scatter: every rank contributes `size()` values; value `j`
     /// from every rank is folded with `op` and delivered to rank `j`.
     pub fn reduce_scatter<T: CommData, F: Fn(T, T) -> T>(&self, values: Vec<T>, op: F) -> T {
-        assert_eq!(values.len(), self.size(), "reduce_scatter needs size() items");
+        assert_eq!(
+            values.len(),
+            self.size(),
+            "reduce_scatter needs size() items"
+        );
         let matrix = self.allgather(values);
         let mut it = matrix.into_iter().map(|row| row[self.rank].clone());
         let first = it.next().expect("empty communicator");
@@ -322,7 +332,9 @@ impl Comm {
     pub fn alltoall<T: CommData>(&self, values: Vec<T>) -> Vec<T> {
         assert_eq!(values.len(), self.size(), "alltoall needs size() items");
         let matrix = self.allgather(values);
-        (0..self.size()).map(|src| matrix[src][self.rank].clone()).collect()
+        (0..self.size())
+            .map(|src| matrix[src][self.rank].clone())
+            .collect()
     }
 
     /// Point-to-point send (buffered; matching is by `(from, to, tag)`).
@@ -330,8 +342,9 @@ impl Comm {
         assert!(to < self.size());
         let cell = self.stats_cell();
         cell.messages.fetch_add(1, Ordering::Relaxed);
-        cell.bytes_sent.fetch_add(value.comm_bytes() as u64, Ordering::Relaxed);
-        let mut mb = self.shared.mailbox.lock();
+        cell.bytes_sent
+            .fetch_add(value.comm_bytes() as u64, Ordering::Relaxed);
+        let mut mb = self.shared.mailbox.lock().unwrap();
         let key = (self.rank, to, tag);
         assert!(
             !mb.contains_key(&key),
@@ -347,12 +360,12 @@ impl Comm {
         assert!(from < self.size());
         let key = (from, self.rank, tag);
         let boxed = {
-            let mut mb = self.shared.mailbox.lock();
+            let mut mb = self.shared.mailbox.lock().unwrap();
             loop {
                 if let Some(b) = mb.remove(&key) {
                     break b;
                 }
-                self.shared.mailbox_cv.wait(&mut mb);
+                mb = self.shared.mailbox_cv.wait(mb).unwrap();
             }
         };
         let value = *boxed.downcast::<T>().expect("recv type mismatch");
@@ -381,7 +394,7 @@ impl Comm {
             .position(|&(_, r)| r == self.rank)
             .expect("rank missing from its own split group");
         let shared = {
-            let mut reg = self.shared.splits.lock();
+            let mut reg = self.shared.splits.lock().unwrap();
             reg.entry((split_seq, color))
                 .or_insert_with(|| WorldShared::new(group.len()))
                 .clone()
@@ -389,7 +402,11 @@ impl Comm {
         // Make sure everyone grabbed their Arc before cleanup.
         self.barrier();
         if self.rank == 0 {
-            self.shared.splits.lock().retain(|(s, _), _| *s != split_seq);
+            self.shared
+                .splits
+                .lock()
+                .unwrap()
+                .retain(|(s, _), _| *s != split_seq);
         }
         Comm {
             rank: new_rank,
@@ -583,7 +600,7 @@ mod tests {
         });
         // even ranks 0,2,4 -> pool sums 6; odd 1,3,5 -> 9
         let expect = |r: usize| {
-            let sum = if r % 2 == 0 { 6 } else { 9 };
+            let sum = if r.is_multiple_of(2) { 6 } else { 9 };
             (r / 2, 3usize, sum as u64)
         };
         for (r, got) in out.iter().enumerate() {

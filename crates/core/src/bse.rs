@@ -136,10 +136,7 @@ pub fn solve_bse(
 ) -> ExcitonSpectrum {
     let nv_total = wf.n_valence;
     assert!(cfg.n_v >= 1 && cfg.n_v <= nv_total, "bad n_v");
-    assert!(
-        cfg.n_c >= 1 && cfg.n_c <= wf.n_conduction(),
-        "bad n_c"
-    );
+    assert!(cfg.n_c >= 1 && cfg.n_c <= wf.n_conduction(), "bad n_c");
     let ng = mtxel.n_out();
     assert_eq!(vsqrt.len(), ng);
     // pair basis: v runs over the top n_v valence, c over the bottom n_c

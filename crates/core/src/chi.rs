@@ -83,10 +83,14 @@ impl<'a> ChiEngine<'a> {
         let nv = wf.n_valence;
         let nc = wf.n_conduction();
         assert!(nc > 0, "no conduction bands");
-        let cond_real: Vec<Vec<Complex64>> = (0..nc)
-            .map(|c| mtxel.to_real_space(wf, nv + c))
-            .collect();
-        Self { wf, mtxel, cond_real, cfg }
+        let cond_real: Vec<Vec<Complex64>> =
+            (0..nc).map(|c| mtxel.to_real_space(wf, nv + c)).collect();
+        Self {
+            wf,
+            mtxel,
+            cond_real,
+            cfg,
+        }
     }
 
     /// Number of output G-vectors.
@@ -151,24 +155,32 @@ impl<'a> ChiEngine<'a> {
             }
             timings.t_mtxel += t0.elapsed().as_secs_f64();
 
+            // One scratch buffer per NV block, reused by every frequency
+            // (the per-frequency `panel.clone()` used to dominate the
+            // CHI-Freq allocation traffic).
+            let mut scaled = CMatrix::zeros(panel.nrows(), ng);
+            let mut deltas = vec![Complex64::ZERO; panel.nrows()];
             for (wi, &omega) in omegas.iter().enumerate() {
                 let t1 = Instant::now();
                 let eta = if omega == 0.0 { 0.0 } else { self.cfg.eta_ry };
-                // scaled = Delta * M (row scaling)
-                let mut scaled = panel.clone();
                 for (i, &v) in chunk.iter().enumerate() {
                     for c in 0..nc {
-                        let d = delta_vc(
+                        deltas[i * nc + c] = delta_vc(
                             self.wf.energies[v],
                             self.wf.energies[self.wf.n_valence + c],
                             omega,
                             eta,
                         );
-                        for z in scaled.row_mut(i * nc + c) {
-                            *z *= d;
-                        }
                     }
                 }
+                // scaled = Delta * M: fused copy + row scaling on the pool.
+                let src = panel.as_slice();
+                bgw_par::parallel_rows(scaled.as_mut_slice(), ng, |r, row| {
+                    let d = deltas[r];
+                    for (z, &p) in row.iter_mut().zip(&src[r * ng..(r + 1) * ng]) {
+                        *z = p * d;
+                    }
+                });
                 // chi += 2 M^dagger scaled
                 zgemm(
                     c64(2.0, 0.0),
@@ -237,30 +249,31 @@ impl<'a> ChiEngine<'a> {
             timings.t_mtxel += t0.elapsed().as_secs_f64();
             // Projection (the Transf-like step folded into CHI-Freq).
             let t1 = Instant::now();
-            let projected = bgw_linalg::matmul(
-                &panel,
-                Op::None,
-                basis,
-                Op::None,
-                self.cfg.backend,
-            );
+            let projected = bgw_linalg::matmul(&panel, Op::None, basis, Op::None, self.cfg.backend);
             timings.flops += bgw_linalg::zgemm_flops(panel.nrows(), ng, n_eig);
+            // Per-block scratch reused across frequencies (no per-frequency
+            // clone of the projected panel).
+            let mut scaled = CMatrix::zeros(projected.nrows(), n_eig);
+            let mut deltas = vec![Complex64::ZERO; projected.nrows()];
             for (wi, &omega) in omegas.iter().enumerate() {
                 let eta = if omega == 0.0 { 0.0 } else { self.cfg.eta_ry };
-                let mut scaled = projected.clone();
                 for (i, &v) in chunk.iter().enumerate() {
                     for c in 0..nc {
-                        let d = delta_vc(
+                        deltas[i * nc + c] = delta_vc(
                             self.wf.energies[v],
                             self.wf.energies[self.wf.n_valence + c],
                             omega,
                             eta,
                         );
-                        for z in scaled.row_mut(i * nc + c) {
-                            *z *= d;
-                        }
                     }
                 }
+                let src = projected.as_slice();
+                bgw_par::parallel_rows(scaled.as_mut_slice(), n_eig, |r, row| {
+                    let d = deltas[r];
+                    for (z, &p) in row.iter_mut().zip(&src[r * n_eig..(r + 1) * n_eig]) {
+                        *z = p * d;
+                    }
+                });
                 zgemm(
                     c64(2.0, 0.0),
                     &projected,
@@ -271,8 +284,7 @@ impl<'a> ChiEngine<'a> {
                     &mut chis[wi],
                     self.cfg.backend,
                 );
-                timings.flops +=
-                    bgw_linalg::zgemm_flops(n_eig, projected.nrows(), n_eig);
+                timings.flops += bgw_linalg::zgemm_flops(n_eig, projected.nrows(), n_eig);
             }
             timings.t_chifreq += t1.elapsed().as_secs_f64();
         }
@@ -420,14 +432,20 @@ mod tests {
         let reference = ChiEngine::new(
             &wf,
             &mtxel,
-            ChiConfig { nv_block: 1, ..Default::default() },
+            ChiConfig {
+                nv_block: 1,
+                ..Default::default()
+            },
         )
         .chi_static();
         for nv_block in [2usize, 3, 7, 100] {
             let chi = ChiEngine::new(
                 &wf,
                 &mtxel,
-                ChiConfig { nv_block, ..Default::default() },
+                ChiConfig {
+                    nv_block,
+                    ..Default::default()
+                },
             )
             .chi_static();
             assert!(
@@ -461,7 +479,10 @@ mod tests {
         let (wfn, eps, wf) = setup();
         let mtxel = Mtxel::new(&wfn, &eps);
         let coulomb = crate::coulomb::Coulomb::bulk_for_cell(1080.0);
-        let cfg = ChiConfig { q0: coulomb.q0, ..ChiConfig::default() };
+        let cfg = ChiConfig {
+            q0: coulomb.q0,
+            ..ChiConfig::default()
+        };
         let engine = ChiEngine::new(&wf, &mtxel, cfg);
         let vsqrt = coulomb.sqrt_on_sphere(&eps);
         let freqs = [0.0, 1.2];
@@ -499,8 +520,7 @@ mod tests {
             });
             for rank_out in results {
                 for (wi, flat) in rank_out.into_iter().enumerate() {
-                    let chi =
-                        CMatrix::from_vec(serial[wi].nrows(), serial[wi].ncols(), flat);
+                    let chi = CMatrix::from_vec(serial[wi].nrows(), serial[wi].ncols(), flat);
                     assert!(
                         chi.max_abs_diff(&serial[wi]) < 1e-10,
                         "world {world}, pools {pools}, freq {wi}: {}",
@@ -518,8 +538,7 @@ mod tests {
         let serial = ChiEngine::new(&wf, &mtxel, ChiConfig::default()).chi_static();
         let (results, _) = bgw_comm::run_world(3, |comm| {
             let mtxel = Mtxel::new(&wfn, &eps);
-            let chis =
-                chi_distributed(comm, &wf, &mtxel, ChiConfig::default(), &[0.0]);
+            let chis = chi_distributed(comm, &wf, &mtxel, ChiConfig::default(), &[0.0]);
             chis[0].as_slice().to_vec()
         });
         for r in results {

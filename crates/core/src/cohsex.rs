@@ -96,8 +96,8 @@ mod tests {
         let vals = cohsex_sigma(&ctx, &setup.eps_inv);
         let grids: Vec<Vec<f64>> = ctx.sigma_energies.iter().map(|&e| vec![e]).collect();
         let gpp = gpp_sigma_diag(&ctx, &grids, KernelVariant::Reference);
-        for s in 0..ctx.n_sigma() {
-            let c = vals[s].total();
+        for (s, val) in vals.iter().enumerate() {
+            let c = val.total();
             let g = gpp.sigma[s][0];
             assert_eq!(c.signum(), g.signum(), "band {s}: {c} vs {g}");
             let ratio = (c / g).abs();

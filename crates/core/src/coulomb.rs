@@ -26,7 +26,11 @@ impl Coulomb {
     /// Unit-volume 3-D Coulomb with a default `q0` (tests and unit checks;
     /// real calculations should use [`Coulomb::bulk_for_cell`]).
     pub fn bulk() -> Self {
-        Self { q0: 1e-3, volume: 1.0, slab_zc: None }
+        Self {
+            q0: 1e-3,
+            volume: 1.0,
+            slab_zc: None,
+        }
     }
 
     /// 3-D Coulomb with `q0` chosen so that `v(q0)` equals the spherical

@@ -86,9 +86,7 @@ pub fn solve_qp_full(e_mf: &[f64], off: &SigmaOffdiagResult) -> Vec<f64> {
     // lambda[k][i]: k-th eigenvalue at grid energy i.
     let mut lambda = vec![vec![0.0; ne]; ns];
     for (i, sig) in off.sigma.iter().enumerate() {
-        let mut h = CMatrix::from_diag(
-            &e_mf.iter().map(|&e| c64(e, 0.0)).collect::<Vec<_>>(),
-        );
+        let mut h = CMatrix::from_diag(&e_mf.iter().map(|&e| c64(e, 0.0)).collect::<Vec<_>>());
         // Hermitianized Sigma(E_i)
         for a in 0..ns {
             for b in 0..ns {

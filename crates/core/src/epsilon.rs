@@ -25,12 +25,7 @@ pub struct EpsilonInverse {
 impl EpsilonInverse {
     /// Builds `eps~(omega) = I - v^{1/2} chi(omega) v^{1/2}` and inverts it
     /// for every supplied polarizability.
-    pub fn build(
-        chis: &[CMatrix],
-        omegas: &[f64],
-        coulomb: &Coulomb,
-        sph: &GSphere,
-    ) -> Self {
+    pub fn build(chis: &[CMatrix], omegas: &[f64], coulomb: &Coulomb, sph: &GSphere) -> Self {
         assert_eq!(chis.len(), omegas.len());
         assert!(!chis.is_empty(), "need at least one frequency");
         let vsqrt = coulomb.sqrt_on_sphere(sph);
@@ -112,7 +107,10 @@ mod tests {
         let (wfn, eps_sph, wf) = setup();
         let coulomb = cell_coulomb();
         let mtxel = Mtxel::new(&wfn, &eps_sph);
-        let cfg = ChiConfig { q0: coulomb.q0, ..ChiConfig::default() };
+        let cfg = ChiConfig {
+            q0: coulomb.q0,
+            ..ChiConfig::default()
+        };
         let engine = ChiEngine::new(&wf, &mtxel, cfg);
         let (chis, _) = engine.chi_freqs(freqs);
         EpsilonInverse::build(&chis, freqs, &coulomb, &eps_sph)
@@ -135,10 +133,13 @@ mod tests {
         let (wfn, eps_sph, wf) = setup();
         let coul = cell_coulomb();
         let mtxel = Mtxel::new(&wfn, &eps_sph);
-        let cfg = ChiConfig { q0: coul.q0, ..ChiConfig::default() };
+        let cfg = ChiConfig {
+            q0: coul.q0,
+            ..ChiConfig::default()
+        };
         let engine = ChiEngine::new(&wf, &mtxel, cfg);
         let chi0 = engine.chi_static();
-        let e = EpsilonInverse::build(&[chi0.clone()], &[0.0], &coul, &eps_sph);
+        let e = EpsilonInverse::build(std::slice::from_ref(&chi0), &[0.0], &coul, &eps_sph);
         // rebuild eps~ and check eps~ * inv = I
         let n = chi0.nrows();
         let vs = coul.sqrt_on_sphere(&eps_sph);
@@ -165,7 +166,10 @@ mod tests {
         let e = build_eps(&[0.0, 50.0]);
         let head0 = (e.inv[0][(0, 0)] - bgw_num::c64(1.0, 0.0)).abs();
         let head50 = (e.inv[1][(0, 0)] - bgw_num::c64(1.0, 0.0)).abs();
-        assert!(head50 < 0.2 * head0.max(0.05), "head50 {head50} vs head0 {head0}");
+        assert!(
+            head50 < 0.2 * head0.max(0.05),
+            "head50 {head50} vs head0 {head0}"
+        );
         let corr = e.correlation_part(1);
         assert!(corr[(0, 0)].abs() < 0.1);
     }

@@ -93,7 +93,12 @@ impl GppModel {
                 mode_freq[i * n_g + j] = w2.sqrt();
             }
         }
-        Self { pole_strength, mode_freq, n_g, wp2 }
+        Self {
+            pole_strength,
+            mode_freq,
+            n_g,
+            wp2,
+        }
     }
 
     /// Pole strength accessor.
@@ -140,14 +145,14 @@ impl GppModel {
 /// Production codes offer both (HL in BerkeleyGW, GN in Abinit/Yambo);
 /// comparing them bounds the plasmon-pole error without a full-frequency
 /// run.
-pub fn godby_needs(
-    eps_static: &EpsilonInverse,
-    eps_imag: &CMatrixRef<'_>,
-    u_pp: f64,
-) -> GppModel {
+pub fn godby_needs(eps_static: &EpsilonInverse, eps_imag: &CMatrixRef<'_>, u_pp: f64) -> GppModel {
     let n_g = eps_static.n_g();
     let inv0 = eps_static.static_inv();
-    assert_eq!(eps_imag.0.nrows(), n_g, "imaginary-frequency matrix mismatch");
+    assert_eq!(
+        eps_imag.0.nrows(),
+        n_g,
+        "imaginary-frequency matrix mismatch"
+    );
     assert!(u_pp > 0.0);
     let mut pole_strength = vec![0.0; n_g * n_g];
     let mut mode_freq = vec![0.0; n_g * n_g];
@@ -264,17 +269,18 @@ mod tests {
         let (hl, eps, _) = build();
         // build eps^{-1}(i u) from the engine with the eta-substitution
         // trick (see sigma::imagaxis tests)
-        let c = bgw_pwdft::Crystal::diamond(
-            bgw_pwdft::Species::Si,
-            bgw_pwdft::pseudo::SI_A0,
-        );
+        let c = bgw_pwdft::Crystal::diamond(bgw_pwdft::Species::Si, bgw_pwdft::pseudo::SI_A0);
         let wfn = GSphere::new(&c.lattice, 2.2);
         let eps_sph = GSphere::new(&c.lattice, 0.55);
         let wf = bgw_pwdft::solve_bands(&c, &wfn, 24);
         let coulomb = Coulomb::bulk_for_cell(c.lattice.volume());
         let mtxel = Mtxel::new(&wfn, &eps_sph);
         let u_pp = hl.wp2.sqrt();
-        let cfg = ChiConfig { eta_ry: u_pp, q0: coulomb.q0, ..ChiConfig::default() };
+        let cfg = ChiConfig {
+            eta_ry: u_pp,
+            q0: coulomb.q0,
+            ..ChiConfig::default()
+        };
         let mut t = Default::default();
         let chi_iu = ChiEngine::new(&wf, &mtxel, cfg)
             .chi_freqs_subset(&[1e-12], None, &mut t)

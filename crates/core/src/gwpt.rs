@@ -99,22 +99,31 @@ pub fn gwpt_dsigma(
     for n in 0..nb {
         let occupied = n < ctx.n_occ;
         let en = ctx.energies[n];
-        for s in 0..ns {
+        for (s, dms) in dm_tilde.iter().enumerate() {
             b_n.row_mut(s).copy_from_slice(ctx.m_tilde[s].row(n));
-            db_n.row_mut(s).copy_from_slice(dm_tilde[s].row(n));
+            db_n.row_mut(s).copy_from_slice(dms.row(n));
         }
         let b_conj = b_n.conj();
         let db_conj = db_n.conj();
         for (ei, &e) in e_grid.points.iter().enumerate() {
             let de = e - en;
-            for g in 0..ng {
-                for gp in 0..ng {
-                    p[(g, gp)] = c64(gpp_factor(&ctx.gpp, g, gp, de, occupied), 0.0);
+            bgw_par::parallel_rows(p.as_mut_slice(), ng, |g, row| {
+                for (gp, z) in row.iter_mut().enumerate() {
+                    *z = c64(gpp_factor(&ctx.gpp, g, gp, de, occupied), 0.0);
                 }
-            }
+            });
             // term 1: conj(dB) P B^T
             let mut t1 = CMatrix::zeros(ng, ns);
-            zgemm(Complex64::ONE, &p, Op::None, &b_n, Op::Trans, Complex64::ZERO, &mut t1, backend);
+            zgemm(
+                Complex64::ONE,
+                &p,
+                Op::None,
+                &b_n,
+                Op::Trans,
+                Complex64::ZERO,
+                &mut t1,
+                backend,
+            );
             zgemm(
                 Complex64::ONE,
                 &db_conj,
@@ -127,7 +136,16 @@ pub fn gwpt_dsigma(
             );
             // term 2: conj(B) P dB^T
             let mut t2 = CMatrix::zeros(ng, ns);
-            zgemm(Complex64::ONE, &p, Op::None, &db_n, Op::Trans, Complex64::ZERO, &mut t2, backend);
+            zgemm(
+                Complex64::ONE,
+                &p,
+                Op::None,
+                &db_n,
+                Op::Trans,
+                Complex64::ZERO,
+                &mut t2,
+                backend,
+            );
             zgemm(
                 Complex64::ONE,
                 &b_conj,
@@ -138,8 +156,8 @@ pub fn gwpt_dsigma(
                 &mut d_sigma[ei],
                 backend,
             );
-            zgemm_flops += 2
-                * (bgw_linalg::zgemm_flops(ng, ng, ns) + bgw_linalg::zgemm_flops(ns, ng, ns));
+            zgemm_flops +=
+                2 * (bgw_linalg::zgemm_flops(ng, ng, ns) + bgw_linalg::zgemm_flops(ns, ng, ns));
         }
     }
 
@@ -150,8 +168,16 @@ pub fn gwpt_dsigma(
     });
     // Representative energy: center of the Sigma-band window.
     let e_star = 0.5
-        * (ctx.sigma_energies.iter().cloned().fold(f64::INFINITY, f64::min)
-            + ctx.sigma_energies.iter().cloned().fold(f64::NEG_INFINITY, f64::max));
+        * (ctx
+            .sigma_energies
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min)
+            + ctx
+                .sigma_energies
+                .iter()
+                .cloned()
+                .fold(f64::NEG_INFINITY, f64::max));
     let e_idx = e_grid.nearest(e_star);
     let mut g_gw = g_dfpt.clone();
     for a in 0..ns {
@@ -193,7 +219,6 @@ pub fn gwpt_for_perturbation(
 ///
 /// `perturbations` lists `(atom, axis)` pairs; all ranks must pass the
 /// same list.
-#[allow(clippy::too_many_arguments)]
 #[allow(clippy::too_many_arguments)]
 pub fn gwpt_distributed(
     comm: &bgw_comm::Comm,
@@ -300,7 +325,12 @@ mod tests {
             .map(|&(a, ax)| {
                 let p = Perturbation::new(&setup.crystal, &setup.wfn_sph, a, ax);
                 gwpt_for_perturbation(
-                    &ctx, &setup.wf, &mtxel, &p, &setup.vsqrt, &e_grid,
+                    &ctx,
+                    &setup.wf,
+                    &mtxel,
+                    &p,
+                    &setup.vsqrt,
+                    &e_grid,
                     GemmBackend::Blocked,
                 )
                 .g_gw
@@ -309,10 +339,20 @@ mod tests {
         let (results, stats) = bgw_comm::run_world(3, |comm| {
             let mtxel = Mtxel::new(&setup.wfn_sph, &setup.eps_sph);
             let out = gwpt_distributed(
-                comm, &ctx, &setup.wf, &mtxel, &setup.crystal, &setup.wfn_sph,
-                &perts, &setup.vsqrt, &e_grid, GemmBackend::Blocked,
+                comm,
+                &ctx,
+                &setup.wf,
+                &mtxel,
+                &setup.crystal,
+                &setup.wfn_sph,
+                &perts,
+                &setup.vsqrt,
+                &e_grid,
+                GemmBackend::Blocked,
             );
-            out.iter().map(|m| m.as_slice().to_vec()).collect::<Vec<_>>()
+            out.iter()
+                .map(|m| m.as_slice().to_vec())
+                .collect::<Vec<_>>()
         });
         for rank_out in results {
             for (p, flat) in rank_out.into_iter().enumerate() {
@@ -343,13 +383,16 @@ mod tests {
         let isolated: Vec<usize> = (0..wf.n_bands())
             .filter(|&n| {
                 let below = n == 0 || wf.energies[n] - wf.energies[n - 1] > 0.05;
-                let above =
-                    n + 1 >= wf.n_bands() || wf.energies[n + 1] - wf.energies[n] > 0.05;
+                let above = n + 1 >= wf.n_bands() || wf.energies[n + 1] - wf.energies[n] > 0.05;
                 below && above
             })
             .take(2)
             .collect();
-        assert_eq!(isolated.len(), 2, "need two isolated bands for the FD check");
+        assert_eq!(
+            isolated.len(),
+            2,
+            "need two isolated bands for the FD check"
+        );
         let sigma_bands = isolated;
         let ctx = SigmaContext::build(
             &wf,
@@ -370,15 +413,19 @@ mod tests {
         let pert = Perturbation::new(&setup.crystal, &setup.wfn_sph, atom, axis);
         let e_grid = UniformGrid::new(ctx.sigma_energies[0], ctx.sigma_energies[1], 2);
         let r = gwpt_for_perturbation(
-            &ctx, &wf, &mtxel, &pert, &setup.vsqrt, &e_grid, GemmBackend::Blocked,
+            &ctx,
+            &wf,
+            &mtxel,
+            &pert,
+            &setup.vsqrt,
+            &e_grid,
+            GemmBackend::Blocked,
         );
         // finite difference: Sigma with displaced wavefunctions, frozen
         // energies and screening.
         let h = 2e-3;
         let sig_at = |sign: f64| -> Vec<Vec<f64>> {
-            let disp = setup
-                .crystal
-                .with_displacement(atom, [sign * h, 0.0, 0.0]);
+            let disp = setup.crystal.with_displacement(atom, [sign * h, 0.0, 0.0]);
             let wf_d = solve_bands(&disp, &setup.wfn_sph, n_full);
             let mut ctx_d = SigmaContext::build(
                 &wf_d,
@@ -392,8 +439,7 @@ mod tests {
             // the dM terms)
             ctx_d.energies = ctx.energies.clone();
             ctx_d.sigma_energies = ctx.sigma_energies.clone();
-            let grids: Vec<Vec<f64>> =
-                (0..2).map(|s| vec![e_grid.points[s]]).collect();
+            let grids: Vec<Vec<f64>> = (0..2).map(|s| vec![e_grid.points[s]]).collect();
             gpp_sigma_diag(&ctx_d, &grids, KernelVariant::Reference).sigma
         };
         let plus = sig_at(1.0);

@@ -55,4 +55,6 @@ pub use sigma::offdiag::{gpp_sigma_offdiag, gpp_sigma_offdiag_distributed, Sigma
 pub use sigma::SigmaContext;
 pub use spectral::SpectralFunction;
 pub use subspace::Subspace;
-pub use workflow::{run_evgw, run_full_dyson_gw, run_gpp_gw, EvGwResults, FullDysonResults, GwConfig, GwResults};
+pub use workflow::{
+    run_evgw, run_full_dyson_gw, run_gpp_gw, EvGwResults, FullDysonResults, GwConfig, GwResults,
+};

@@ -51,9 +51,8 @@ impl Mtxel {
                 .max()
                 .unwrap_or(0)
         };
-        let dim = |axis: usize| {
-            bgw_fft::good_size(2 * max_m(wfn_sph, axis) + max_m(out_sph, axis) + 1)
-        };
+        let dim =
+            |axis: usize| bgw_fft::good_size(2 * max_m(wfn_sph, axis) + max_m(out_sph, axis) + 1);
         let (nx, ny, nz) = (dim(0), dim(1), dim(2));
         let plan = Fft3d::new(nx, ny, nz);
         let wrap = |v: i32, n: usize| -> usize {
@@ -105,13 +104,7 @@ impl Mtxel {
     /// The k.p matrix element `<m| e^{i q.r} |n> ~ i q . <m|r|n>` for an
     /// arbitrary small `q` (bohr^-1); returns 0 for (quasi-)degenerate
     /// pairs. Used for the q -> 0 heads and for optical dipoles.
-    pub fn kp_element(
-        &self,
-        wf: &Wavefunctions,
-        m: usize,
-        n: usize,
-        q: [f64; 3],
-    ) -> Complex64 {
+    pub fn kp_element(&self, wf: &Wavefunctions, m: usize, n: usize, q: [f64; 3]) -> Complex64 {
         let de = wf.energies[m] - wf.energies[n];
         if de.abs() < 1e-9 {
             return Complex64::ZERO;
@@ -177,11 +170,7 @@ impl Mtxel {
 
     /// Computes `M_mn^G` over the output sphere given the two bands'
     /// real-space amplitudes.
-    pub fn pair_from_real(
-        &self,
-        psi_m_r: &[Complex64],
-        psi_n_r: &[Complex64],
-    ) -> Vec<Complex64> {
+    pub fn pair_from_real(&self, psi_m_r: &[Complex64], psi_n_r: &[Complex64]) -> Vec<Complex64> {
         assert_eq!(psi_m_r.len(), self.npts);
         assert_eq!(psi_n_r.len(), self.npts);
         let mut prod: Vec<Complex64> = psi_m_r
@@ -193,7 +182,10 @@ impl Mtxel {
         self.stats.ffts.fetch_add(1, Ordering::Relaxed);
         self.stats.pairs.fetch_add(1, Ordering::Relaxed);
         let norm = 1.0 / self.npts as f64;
-        self.out_gather.iter().map(|&pos| prod[pos].scale(norm)).collect()
+        self.out_gather
+            .iter()
+            .map(|&pos| prod[pos].scale(norm))
+            .collect()
     }
 
     /// Convenience: `M_mn^G` for a band pair of `wf`.
@@ -218,9 +210,7 @@ impl Mtxel {
             for gp in 0..wfn_sph.len() {
                 let mp = wfn_sph.miller[gp];
                 // c_m^*(G' + G) c_n(G')
-                if let Some(gshift) =
-                    wfn_sph.find([mp[0] + gm[0], mp[1] + gm[1], mp[2] + gm[2]])
-                {
+                if let Some(gshift) = wfn_sph.find([mp[0] + gm[0], mp[1] + gm[1], mp[2] + gm[2]]) {
                     acc = acc.conj_mul_add(wf.coeffs[(m, gshift)], wf.coeffs[(n, gp)]);
                 }
             }
@@ -286,12 +276,12 @@ mod tests {
         let eng = Mtxel::new(&wfn, &eps);
         let mn = eng.band_pair(&wf, 1, 4);
         let nm = eng.band_pair(&wf, 4, 1);
-        for g in 0..eps.len() {
+        for (g, &mng) in mn.iter().enumerate().take(eps.len()) {
             let gm = eps.minus(g);
             assert!(
-                (mn[g] - nm[gm].conj()).abs() < 1e-10,
+                (mng - nm[gm].conj()).abs() < 1e-10,
                 "g = {g}: {} vs conj {}",
-                mn[g],
+                mng,
                 nm[gm]
             );
         }

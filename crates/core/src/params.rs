@@ -32,12 +32,18 @@ impl GwParams {
     /// One-line synopsis for each parameter (regenerates Table 1).
     pub fn synopsis() -> Vec<(&'static str, &'static str)> {
         vec![
-            ("N_G^psi", "No. of PWs (G vectors) for wavefunctions {psi_n}"),
+            (
+                "N_G^psi",
+                "No. of PWs (G vectors) for wavefunctions {psi_n}",
+            ),
             ("N_G", "No. of PWs (G vectors) for epsilon, chi (Eq. 3,4)"),
             ("N_v", "No. of valence bands (Eq. 4)"),
             ("N_c", "No. of conduction bands (Eq. 4)"),
             ("N_b", "No. of total bands N_v + N_c (Eq. 2)"),
-            ("N_Sigma", "Dimension of Sigma(E) self-energy matrix (Eq. 2)"),
+            (
+                "N_Sigma",
+                "Dimension of Sigma(E) self-energy matrix (Eq. 2)",
+            ),
             ("N_E", "No. of E grid points for Sigma(E) (Eq. 2)"),
             ("N_omega", "No. of omega integration points (Eq. 2)"),
             ("N_Eig", "No. of eigenvectors for low rank chi0(omega)"),

@@ -15,10 +15,9 @@
 //! (avoiding full diagonalization): [`chebyshev_pseudoband`].
 
 use bgw_linalg::CMatrix;
+use bgw_num::Xoshiro256StarStar;
 use bgw_num::{ChebyshevJackson, Complex64, SpectralMap};
 use bgw_pwdft::{Hamiltonian, Wavefunctions};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Configuration of the pseudobands compression.
 #[derive(Clone, Copy, Debug)]
@@ -80,7 +79,11 @@ pub fn compress(wf: &Wavefunctions, cfg: &PseudobandsConfig) -> Pseudobands {
     let protect_top = fermi + cfg.protection_ry;
     // Protected region: all bands with E <= protect_top (always includes
     // all valence states since protection_ry > 0).
-    let n_protected = wf.energies.iter().take_while(|&&e| e <= protect_top).count();
+    let n_protected = wf
+        .energies
+        .iter()
+        .take_while(|&&e| e <= protect_top)
+        .count();
     let n_protected = n_protected.max(wf.n_valence + 1).min(nb);
 
     let mut energies: Vec<f64> = wf.energies[..n_protected].to_vec();
@@ -88,7 +91,7 @@ pub fn compress(wf: &Wavefunctions, cfg: &PseudobandsConfig) -> Pseudobands {
         .map(|n| wf.coeffs.row(n).to_vec())
         .collect();
 
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = Xoshiro256StarStar::seed_from_u64(cfg.seed);
     let mut n_slices = 0;
     let mut lo = n_protected;
     let mut width = cfg.first_slice_ry;
@@ -108,13 +111,12 @@ pub fn compress(wf: &Wavefunctions, cfg: &PseudobandsConfig) -> Pseudobands {
                 rows.push(wf.coeffs.row(n).to_vec());
             }
         } else {
-            let e_avg: f64 =
-                wf.energies[lo..hi].iter().sum::<f64>() / n_in_slice as f64;
+            let e_avg: f64 = wf.energies[lo..hi].iter().sum::<f64>() / n_in_slice as f64;
             let norm = 1.0 / (cfg.n_xi as f64).sqrt();
             for _ in 0..cfg.n_xi {
                 let mut xi = vec![Complex64::ZERO; ng];
                 for n in lo..hi {
-                    let theta: f64 = rng.gen::<f64>();
+                    let theta: f64 = rng.next_f64();
                     let phase = Complex64::cis(2.0 * std::f64::consts::PI * theta);
                     let row = wf.coeffs.row(n);
                     for (x, &c) in xi.iter_mut().zip(row) {
@@ -170,10 +172,10 @@ pub fn chebyshev_pseudoband(
     assert!(b > a, "window collapsed under the spectral map");
     let exp = ChebyshevJackson::window(a, b, degree);
     let n = h.dim();
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
     let x: Vec<Complex64> = (0..n)
         .map(|_| {
-            Complex64::cis(2.0 * std::f64::consts::PI * rng.gen::<f64>())
+            Complex64::cis(2.0 * std::f64::consts::PI * rng.next_f64())
                 .scale(1.0 / (n as f64).sqrt())
         })
         .collect();
@@ -283,7 +285,10 @@ mod tests {
         }
         mean /= n_seeds as f64;
         let rel = (mean - exact_tail).abs() / exact_tail.max(1e-12);
-        assert!(rel < 0.25, "stochastic completeness biased: {mean} vs {exact_tail}");
+        assert!(
+            rel < 0.25,
+            "stochastic completeness biased: {mean} vs {exact_tail}"
+        );
     }
 
     #[test]
@@ -343,10 +348,10 @@ mod tests {
         let xi = chebyshev_pseudoband(&h, e_lo, e_hi, bounds, 600, seed);
         // exact projection of the same random vector
         let n = h.dim();
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
         let x: Vec<Complex64> = (0..n)
             .map(|_| {
-                Complex64::cis(2.0 * std::f64::consts::PI * rng.gen::<f64>())
+                Complex64::cis(2.0 * std::f64::consts::PI * rng.next_f64())
                     .scale(1.0 / (n as f64).sqrt())
             })
             .collect();

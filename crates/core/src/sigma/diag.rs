@@ -131,10 +131,10 @@ fn run_blocked(ctx: &SigmaContext, e_grids: &[Vec<f64>]) -> (Vec<Vec<f64>>, u64)
                     for gp0 in (0..ng).step_by(TILE) {
                         let gp1 = (gp0 + TILE).min(ng);
                         let mut tile_acc = Complex64::ZERO;
-                        for gp in gp0..gp1 {
+                        for (gp, &rgp) in row.iter().enumerate().take(gp1).skip(gp0) {
                             let p = gpp_factor(&ctx.gpp, g, gp, de, occupied);
                             if p != 0.0 {
-                                tile_acc += row[gp].scale(p);
+                                tile_acc += rgp.scale(p);
                             }
                         }
                         row_acc += tile_acc;
@@ -294,10 +294,10 @@ pub fn gpp_sigma_diag_partial(
                 for g in 0..ng {
                     let mg_conj = row[g].conj();
                     let mut tile = Complex64::ZERO;
-                    for gp in gp_lo..gp_hi {
+                    for (gp, &rgp) in row.iter().enumerate().take(gp_hi).skip(gp_lo) {
                         let p = gpp_factor(&ctx.gpp, g, gp, de, occupied);
                         if p != 0.0 {
-                            tile += row[gp].scale(p);
+                            tile += rgp.scale(p);
                         }
                         flops += if ctx.gpp.strength(g, gp) > 0.0 {
                             FLOPS_PER_ACTIVE_PAIR
@@ -364,10 +364,7 @@ fn count_pair_flops(ctx: &SigmaContext, ng: usize) -> u64 {
 /// divided by the canonical complexity `N_Sigma N_b N_G^2 N_E`.
 pub fn measured_alpha(result: &SigmaDiagResult, ctx: &SigmaContext) -> f64 {
     let ne: usize = result.e_grids.iter().map(|g| g.len()).sum::<usize>() / result.e_grids.len();
-    let denom = ctx.n_sigma() as f64
-        * ctx.n_b() as f64
-        * (ctx.n_g() as f64).powi(2)
-        * ne as f64;
+    let denom = ctx.n_sigma() as f64 * ctx.n_b() as f64 * (ctx.n_g() as f64).powi(2) * ne as f64;
     result.flops as f64 / denom
 }
 
@@ -410,8 +407,7 @@ mod tests {
     fn sigma_is_negative_for_valence_bands() {
         // screened exchange dominates for occupied states: Sigma_vv < 0.
         let (ctx, _) = testkit::small_context();
-        let grids: Vec<Vec<f64>> =
-            ctx.sigma_energies.iter().map(|&e| vec![e]).collect();
+        let grids: Vec<Vec<f64>> = ctx.sigma_energies.iter().map(|&e| vec![e]).collect();
         let r = gpp_sigma_diag(&ctx, &grids, KernelVariant::Optimized);
         // first sigma band in testkit is a valence band
         assert!(
@@ -426,8 +422,7 @@ mod tests {
         // The GW gap correction: Sigma_vv < Sigma_cc (valence pushed down
         // harder), so the QP gap opens relative to the Hartree-like gap.
         let (ctx, _) = testkit::small_context();
-        let grids: Vec<Vec<f64>> =
-            ctx.sigma_energies.iter().map(|&e| vec![e]).collect();
+        let grids: Vec<Vec<f64>> = ctx.sigma_energies.iter().map(|&e| vec![e]).collect();
         let r = gpp_sigma_diag(&ctx, &grids, KernelVariant::Optimized);
         let homo = r.sigma[ctx.homo_pos()][0];
         let lumo = r.sigma[ctx.lumo_pos()][0];
@@ -440,8 +435,11 @@ mod tests {
     #[test]
     fn partial_slices_sum_to_full() {
         let (ctx, _) = testkit::small_context();
-        let grids: Vec<Vec<f64>> =
-            ctx.sigma_energies.iter().map(|&e| vec![e, e + 0.1]).collect();
+        let grids: Vec<Vec<f64>> = ctx
+            .sigma_energies
+            .iter()
+            .map(|&e| vec![e, e + 0.1])
+            .collect();
         let full = gpp_sigma_diag(&ctx, &grids, KernelVariant::Reference);
         let ng = ctx.n_g();
         for n_slices in [1usize, 2, 3, 5] {
@@ -453,16 +451,14 @@ mod tests {
                 let hi = (lo + per).min(ng);
                 let p = gpp_sigma_diag_partial(&ctx, &grids, lo, hi);
                 flops += p.flops;
-                for s in 0..ctx.n_sigma() {
-                    for e in 0..2 {
-                        acc[s][e] += p.sigma[s][e];
+                for (arow, prow) in acc.iter_mut().zip(&p.sigma) {
+                    for (ae, &pe) in arow.iter_mut().zip(prow) {
+                        *ae += pe;
                     }
                 }
             }
-            for s in 0..ctx.n_sigma() {
-                for e in 0..2 {
-                    let a = acc[s][e];
-                    let b = full.sigma[s][e];
+            for (s, (arow, brow)) in acc.iter().zip(&full.sigma).enumerate() {
+                for (e, (&a, &b)) in arow.iter().zip(brow).enumerate() {
                     assert!(
                         (a - b).abs() < 1e-9 * (1.0 + b.abs()),
                         "{n_slices} slices, ({s},{e}): {a} vs {b}"
@@ -476,17 +472,15 @@ mod tests {
     #[test]
     fn distributed_pool_matches_serial() {
         let (ctx, _) = testkit::small_context();
-        let grids: Vec<Vec<f64>> =
-            ctx.sigma_energies.iter().map(|&e| vec![e]).collect();
+        let grids: Vec<Vec<f64>> = ctx.sigma_energies.iter().map(|&e| vec![e]).collect();
         let full = gpp_sigma_diag(&ctx, &grids, KernelVariant::Reference);
         let (results, stats) = bgw_comm::run_world(3, |comm| {
             gpp_sigma_diag_distributed(comm, &ctx, &grids).sigma
         });
         for r in &results {
-            for s in 0..ctx.n_sigma() {
+            for (s, (rrow, frow)) in r.iter().zip(&full.sigma).enumerate() {
                 assert!(
-                    (r[s][0] - full.sigma[s][0]).abs()
-                        < 1e-9 * (1.0 + full.sigma[s][0].abs()),
+                    (rrow[0] - frow[0]).abs() < 1e-9 * (1.0 + frow[0].abs()),
                     "band {s}"
                 );
             }
@@ -498,18 +492,21 @@ mod tests {
     #[test]
     fn alpha_is_consistent() {
         let (ctx, _) = testkit::small_context();
-        let grids: Vec<Vec<f64>> =
-            ctx.sigma_energies.iter().map(|&e| vec![e, e + 0.05]).collect();
+        let grids: Vec<Vec<f64>> = ctx
+            .sigma_energies
+            .iter()
+            .map(|&e| vec![e, e + 0.05])
+            .collect();
         let r = gpp_sigma_diag(&ctx, &grids, KernelVariant::Blocked);
         let alpha = measured_alpha(&r, &ctx);
-        assert!(alpha > 1.0 && alpha < FLOPS_PER_ACTIVE_PAIR as f64 + 1.0, "alpha {alpha}");
+        assert!(
+            alpha > 1.0 && alpha < FLOPS_PER_ACTIVE_PAIR as f64 + 1.0,
+            "alpha {alpha}"
+        );
         // Estimated count from Eq. 7 with this alpha reproduces the
         // measured count exactly (alpha is defined that way).
-        let est = alpha
-            * ctx.n_sigma() as f64
-            * ctx.n_b() as f64
-            * (ctx.n_g() as f64).powi(2)
-            * 2.0;
+        let est =
+            alpha * ctx.n_sigma() as f64 * ctx.n_b() as f64 * (ctx.n_g() as f64).powi(2) * 2.0;
         assert!((est - r.flops as f64).abs() / est < 1e-9);
     }
 }

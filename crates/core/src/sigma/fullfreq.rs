@@ -20,8 +20,8 @@
 use super::SigmaContext;
 use crate::epsilon::EpsilonInverse;
 use crate::subspace::Subspace;
-use bgw_num::{c64, Complex64};
 use bgw_linalg::CMatrix;
+use bgw_num::{c64, Complex64};
 use std::time::Instant;
 
 /// Result of a full-frequency Sigma evaluation.
@@ -67,7 +67,15 @@ pub fn ff_sigma_diag_subspace(
     let spectral: Vec<CMatrix> = (0..eps_ff.n_freq())
         .map(|k| sub.project(&anti_hermitian_part(&eps_ff.correlation_part(k))))
         .collect();
-    ff_sigma_impl(ctx, &spectral, &eps_ff.omegas, weights, e_grids, eta, Some(sub))
+    ff_sigma_impl(
+        ctx,
+        &spectral,
+        &eps_ff.omegas,
+        weights,
+        e_grids,
+        eta,
+        Some(sub),
+    )
 }
 
 fn ff_sigma_impl(
@@ -82,7 +90,10 @@ fn ff_sigma_impl(
     assert_eq!(spectral.len(), omegas.len());
     assert_eq!(weights.len(), omegas.len());
     assert_eq!(e_grids.len(), ctx.n_sigma());
-    assert!(omegas.iter().all(|&w| w > 0.0), "quadrature nodes must be positive");
+    assert!(
+        omegas.iter().all(|&w| w > 0.0),
+        "quadrature nodes must be positive"
+    );
     let t0 = Instant::now();
     let nb = ctx.n_b();
     let contracted_dim = sub.map_or(ctx.n_g(), |s| s.n_eig());

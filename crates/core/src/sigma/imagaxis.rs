@@ -148,7 +148,10 @@ mod tests {
     fn build_imag_eps() -> (EpsilonInverse, Vec<f64>) {
         let (_, setup) = testkit::small_context();
         let mtxel = Mtxel::new(&setup.wfn_sph, &setup.eps_sph);
-        let cfg = ChiConfig { q0: setup.coulomb.q0, ..ChiConfig::default() };
+        let cfg = ChiConfig {
+            q0: setup.coulomb.q0,
+            ..ChiConfig::default()
+        };
         let engine = ChiEngine::new(&setup.wf, &mtxel, cfg);
         let (nodes, weights) = semi_infinite_quadrature(12, 1.5);
         // chi at IMAGINARY frequency i*u: Delta(iu) = 2 de/(de^2 + u^2),
@@ -168,7 +171,11 @@ mod tests {
         // positive omega to bypass the eta-zeroing.
         let mut chis = Vec::new();
         for &u in &nodes {
-            let cfg_u = ChiConfig { eta_ry: u, q0: setup.coulomb.q0, ..ChiConfig::default() };
+            let cfg_u = ChiConfig {
+                eta_ry: u,
+                q0: setup.coulomb.q0,
+                ..ChiConfig::default()
+            };
             let engine_u = ChiEngine::new(&setup.wf, &mtxel, cfg_u);
             let mut t = Default::default();
             let chi = engine_u

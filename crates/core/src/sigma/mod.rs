@@ -142,11 +142,19 @@ pub fn gpp_factor(gpp: &GppModel, i: usize, j: usize, de: f64, occupied: bool) -
         let w = gpp.freq(i, j);
         if occupied {
             let d = de * de - w * w;
-            let d = if d.abs() < DENOM_FLOOR { DENOM_FLOOR.copysign(d) } else { d };
+            let d = if d.abs() < DENOM_FLOOR {
+                DENOM_FLOOR.copysign(d)
+            } else {
+                d
+            };
             p -= s / d;
         }
         let d = 2.0 * w * (de - w);
-        let d = if d.abs() < DENOM_FLOOR { DENOM_FLOOR.copysign(d) } else { d };
+        let d = if d.abs() < DENOM_FLOOR {
+            DENOM_FLOOR.copysign(d)
+        } else {
+            d
+        };
         p += s / d;
     }
     p

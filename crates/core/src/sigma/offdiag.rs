@@ -13,8 +13,8 @@
 
 use super::{gpp_factor, SigmaContext};
 use bgw_linalg::{zgemm, CMatrix, GemmBackend, Op};
-use bgw_num::{c64, Complex64};
 use bgw_num::UniformGrid;
+use bgw_num::{c64, Complex64};
 use std::time::Instant;
 
 /// Result of an off-diag kernel run.
@@ -62,11 +62,13 @@ pub fn gpp_sigma_offdiag(
         for (ei, &e) in e_grid.points.iter().enumerate() {
             let tp = Instant::now();
             let de = e - en;
-            for g in 0..ng {
-                for gp in 0..ng {
-                    p[(g, gp)] = c64(gpp_factor(&ctx.gpp, g, gp, de, occupied), 0.0);
+            // Fill the (real) GPP P-matrix row-parallel on the worker pool;
+            // rows are independent and this prep step bounds the ZGEMM rate.
+            bgw_par::parallel_rows(p.as_mut_slice(), ng, |g, row| {
+                for (gp, z) in row.iter_mut().enumerate() {
+                    *z = c64(gpp_factor(&ctx.gpp, g, gp, de, occupied), 0.0);
                 }
-            }
+            });
             prep_seconds += tp.elapsed().as_secs_f64();
             // T = P * B_n^T  (N_G x N_Sigma)
             let mut t = CMatrix::zeros(ng, ns);
@@ -91,8 +93,8 @@ pub fn gpp_sigma_offdiag(
                 &mut sigma[ei],
                 backend,
             );
-            zgemm_flops += bgw_linalg::zgemm_flops(ng, ng, ns)
-                + bgw_linalg::zgemm_flops(ns, ng, ns);
+            zgemm_flops +=
+                bgw_linalg::zgemm_flops(ng, ng, ns) + bgw_linalg::zgemm_flops(ns, ng, ns);
         }
     }
     SigmaOffdiagResult {
@@ -148,14 +150,23 @@ pub fn gpp_sigma_offdiag_distributed(
             }
             let tp = Instant::now();
             let de = e - en;
-            for g in 0..ng {
-                for gp in 0..ng {
-                    p[(g, gp)] = bgw_num::c64(gpp_factor(&ctx.gpp, g, gp, de, occupied), 0.0);
+            bgw_par::parallel_rows(p.as_mut_slice(), ng, |g, row| {
+                for (gp, z) in row.iter_mut().enumerate() {
+                    *z = bgw_num::c64(gpp_factor(&ctx.gpp, g, gp, de, occupied), 0.0);
                 }
-            }
+            });
             prep_seconds += tp.elapsed().as_secs_f64();
             let mut t = CMatrix::zeros(ng, ns);
-            zgemm(Complex64::ONE, &p, Op::None, &b_n, Op::Trans, Complex64::ZERO, &mut t, backend);
+            zgemm(
+                Complex64::ONE,
+                &p,
+                Op::None,
+                &b_n,
+                Op::Trans,
+                Complex64::ZERO,
+                &mut t,
+                backend,
+            );
             zgemm(
                 Complex64::ONE,
                 &b_conj,
@@ -166,8 +177,8 @@ pub fn gpp_sigma_offdiag_distributed(
                 &mut sigma[ei],
                 backend,
             );
-            zgemm_flops += bgw_linalg::zgemm_flops(ng, ng, ns)
-                + bgw_linalg::zgemm_flops(ns, ng, ns);
+            zgemm_flops +=
+                bgw_linalg::zgemm_flops(ng, ng, ns) + bgw_linalg::zgemm_flops(ns, ng, ns);
         }
     }
     // Two-stage reduction of the accumulated matrices.
@@ -191,8 +202,10 @@ pub fn gpp_sigma_offdiag_distributed(
 
 /// Paper Eq. 8: the analytic ZGEMM FLOP count for given sizes.
 pub fn offdiag_flops_eq8(n_b: usize, n_e: usize, n_sigma: usize, n_g: usize) -> u64 {
-    2 * n_b as u64 * n_e as u64 * 8 * (n_sigma as u64 * (n_g as u64).pow(2)
-        + n_g as u64 * (n_sigma as u64).pow(2))
+    2 * n_b as u64
+        * n_e as u64
+        * 8
+        * (n_sigma as u64 * (n_g as u64).pow(2) + n_g as u64 * (n_sigma as u64).pow(2))
 }
 
 #[cfg(test)]
@@ -260,11 +273,12 @@ mod tests {
         let serial = gpp_sigma_offdiag(&ctx, &grid, GemmBackend::Blocked);
         for world in [2usize, 3, 5] {
             let (results, _) = bgw_comm::run_world(world, |comm| {
-                let r = gpp_sigma_offdiag_distributed(
-                    comm, &ctx, &grid, GemmBackend::Blocked,
-                );
+                let r = gpp_sigma_offdiag_distributed(comm, &ctx, &grid, GemmBackend::Blocked);
                 (
-                    r.sigma.iter().map(|m| m.as_slice().to_vec()).collect::<Vec<_>>(),
+                    r.sigma
+                        .iter()
+                        .map(|m| m.as_slice().to_vec())
+                        .collect::<Vec<_>>(),
                     r.zgemm_flops,
                 )
             });

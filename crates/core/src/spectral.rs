@@ -101,8 +101,8 @@ impl SpectralFunction {
     pub fn integrated_weight(&self) -> f64 {
         let mut acc = 0.0;
         for i in 1..self.omegas.len() {
-            acc += 0.5 * (self.values[i] + self.values[i - 1])
-                * (self.omegas[i] - self.omegas[i - 1]);
+            acc +=
+                0.5 * (self.values[i] + self.values[i - 1]) * (self.omegas[i] - self.omegas[i - 1]);
         }
         acc
     }

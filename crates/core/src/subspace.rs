@@ -67,7 +67,13 @@ impl Subspace {
     /// Projects a symmetrized `(N_G x N_G)` matrix into the subspace:
     /// `A_BB' = C_s^dagger A C_s` (the `Transf` kernel of Fig. 3).
     pub fn project(&self, a_sym: &CMatrix) -> CMatrix {
-        let tmp = matmul(a_sym, Op::None, &self.basis, Op::None, GemmBackend::Parallel);
+        let tmp = matmul(
+            a_sym,
+            Op::None,
+            &self.basis,
+            Op::None,
+            GemmBackend::Parallel,
+        );
         matmul(&self.basis, Op::Adj, &tmp, Op::None, GemmBackend::Parallel)
     }
 
@@ -80,7 +86,13 @@ impl Subspace {
     /// Reconstructs a full `(N_G x N_G)` matrix from its subspace
     /// representation: `A_GG' = C_s A_BB' C_s^dagger`.
     pub fn reconstruct(&self, a_sub: &CMatrix) -> CMatrix {
-        let tmp = matmul(&self.basis, Op::None, a_sub, Op::None, GemmBackend::Parallel);
+        let tmp = matmul(
+            &self.basis,
+            Op::None,
+            a_sub,
+            Op::None,
+            GemmBackend::Parallel,
+        );
         matmul(&tmp, Op::None, &self.basis, Op::Adj, GemmBackend::Parallel)
     }
 }
@@ -129,7 +141,12 @@ mod tests {
         let e1 = err((n_g / 8).max(1));
         let e2 = err((n_g / 2).max(2));
         let e3 = err(n_g);
-        assert!(e2 <= e1 + 1e-12, "e({}) = {e2} > e({}) = {e1}", n_g / 2, n_g / 8);
+        assert!(
+            e2 <= e1 + 1e-12,
+            "e({}) = {e2} > e({}) = {e1}",
+            n_g / 2,
+            n_g / 8
+        );
         assert!(e3 < 1e-8);
     }
 
@@ -137,7 +154,13 @@ mod tests {
     fn basis_is_orthonormal() {
         let (_, setup) = testkit::small_context();
         let sub = Subspace::from_chi0(&setup.chi0, &setup.vsqrt, setup.chi0.nrows() / 3);
-        let overlap = matmul(&sub.basis, Op::Adj, &sub.basis, Op::None, GemmBackend::Blocked);
+        let overlap = matmul(
+            &sub.basis,
+            Op::Adj,
+            &sub.basis,
+            Op::None,
+            GemmBackend::Blocked,
+        );
         assert!(overlap.max_abs_diff(&CMatrix::identity(sub.n_eig())) < 1e-9);
         assert!(sub.fraction() > 0.0 && sub.fraction() <= 1.0);
         assert!(sub.t_diag >= 0.0);
@@ -175,6 +198,9 @@ mod tests {
         let coarse = err((n_g / 6).max(1));
         let fine = err(n_g);
         assert!(fine < 1e-8, "full basis must be exact: {fine}");
-        assert!(coarse < 0.5, "even coarse subspace captures the bulk: {coarse}");
+        assert!(
+            coarse < 0.5,
+            "even coarse subspace captures the bulk: {coarse}"
+        );
     }
 }

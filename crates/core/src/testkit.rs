@@ -50,15 +50,13 @@ fn build() -> (SigmaContext, TestSetup) {
     let volume = crystal.lattice.volume();
     let coulomb = Coulomb::bulk_for_cell(volume);
     let mtxel = Mtxel::new(&wfn_sph, &eps_sph);
-    let chi_cfg = ChiConfig { q0: coulomb.q0, ..ChiConfig::default() };
+    let chi_cfg = ChiConfig {
+        q0: coulomb.q0,
+        ..ChiConfig::default()
+    };
     let engine = ChiEngine::new(&wf, &mtxel, chi_cfg);
     let (chis, _) = engine.chi_freqs(&[0.0, 1.5]);
-    let eps_inv = EpsilonInverse::build(
-        &chis[..1],
-        &[0.0],
-        &coulomb,
-        &eps_sph,
-    );
+    let eps_inv = EpsilonInverse::build(&chis[..1], &[0.0], &coulomb, &eps_sph);
     let rho = charge_density_g(&wf, &wfn_sph);
     let gpp = GppModel::new(&eps_inv, &eps_sph, &wfn_sph, &rho, volume);
     let vsqrt = coulomb.sqrt_on_sphere(&eps_sph);

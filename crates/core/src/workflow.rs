@@ -56,6 +56,9 @@ pub struct GwTimings {
     pub t_mtxel_sigma: f64,
     /// The GPP diag kernel.
     pub t_sigma: f64,
+    /// Substrate counter deltas over the whole run: worker-pool dispatch
+    /// and region time, plus the GEMM packing-vs-microkernel split.
+    pub substrate: bgw_perf::CounterSnapshot,
 }
 
 /// Results of a one-shot GW run.
@@ -80,6 +83,7 @@ pub struct GwResults {
 /// Runs the full G0W0(GPP) pipeline on a model system.
 pub fn run_gpp_gw(system: &ModelSystem, cfg: &GwConfig) -> GwResults {
     let mut timings = GwTimings::default();
+    let counters0 = bgw_perf::counters::snapshot();
     let wfn_sph = system.wfn_sphere();
     let eps_sph = system.eps_sphere();
 
@@ -97,7 +101,10 @@ pub fn run_gpp_gw(system: &ModelSystem, cfg: &GwConfig) -> GwResults {
     };
     let mtxel = Mtxel::new(&wfn_sph, &eps_sph);
     let t = Instant::now();
-    let chi_cfg = ChiConfig { q0: coulomb.q0, ..cfg.chi };
+    let chi_cfg = ChiConfig {
+        q0: coulomb.q0,
+        ..cfg.chi
+    };
     let engine = ChiEngine::new(&wf, &mtxel, chi_cfg);
     let chi0 = engine.chi_static();
     timings.t_chi = t.elapsed().as_secs_f64();
@@ -107,7 +114,13 @@ pub fn run_gpp_gw(system: &ModelSystem, cfg: &GwConfig) -> GwResults {
     timings.t_epsilon = t.elapsed().as_secs_f64();
 
     let rho = charge_density_g(&wf, &wfn_sph);
-    let gpp = GppModel::new(&eps_inv, &eps_sph, &wfn_sph, &rho, system.crystal.lattice.volume());
+    let gpp = GppModel::new(
+        &eps_inv,
+        &eps_sph,
+        &wfn_sph,
+        &rho,
+        system.crystal.lattice.volume(),
+    );
     let vsqrt = coulomb.sqrt_on_sphere(&eps_sph);
 
     let nv = wf.n_valence;
@@ -132,6 +145,7 @@ pub fn run_gpp_gw(system: &ModelSystem, cfg: &GwConfig) -> GwResults {
 
     let states = solve_qp_diag(&ctx.sigma_energies, &diag);
     let gap_qp = qp_gap(&states, ctx.homo_pos(), ctx.lumo_pos());
+    timings.substrate = counters0.delta(&bgw_perf::counters::snapshot());
     GwResults {
         sigma_bands,
         states,
@@ -142,7 +156,6 @@ pub fn run_gpp_gw(system: &ModelSystem, cfg: &GwConfig) -> GwResults {
         sigma_flops: diag.flops,
     }
 }
-
 
 /// Result of a self-consistent quasiparticle-energy solve.
 #[derive(Clone, Debug)]
@@ -165,12 +178,7 @@ pub struct EvGwResults {
 /// Sec. 5.6: "much more accurate self-consistent quasiparticle energies
 /// from the full solutions of the Dyson's equation"). The screening stays
 /// at RPA@mean-field (GW0).
-pub fn run_evgw(
-    system: &ModelSystem,
-    cfg: &GwConfig,
-    max_iter: usize,
-    tol_ry: f64,
-) -> EvGwResults {
+pub fn run_evgw(system: &ModelSystem, cfg: &GwConfig, max_iter: usize, tol_ry: f64) -> EvGwResults {
     use crate::sigma::diag::gpp_sigma_diag;
 
     let wfn_sph = system.wfn_sphere();
@@ -178,7 +186,10 @@ pub fn run_evgw(
     let wf = solve_bands(&system.crystal, &wfn_sph, system.n_bands.min(wfn_sph.len()));
     let coulomb = Coulomb::bulk_for_cell(system.crystal.lattice.volume());
     let mtxel = Mtxel::new(&wfn_sph, &eps_sph);
-    let chi_cfg = ChiConfig { q0: coulomb.q0, ..cfg.chi };
+    let chi_cfg = ChiConfig {
+        q0: coulomb.q0,
+        ..cfg.chi
+    };
     let chi0 = ChiEngine::new(&wf, &mtxel, chi_cfg).chi_static();
     let eps_inv = EpsilonInverse::build(&[chi0], &[0.0], &coulomb, &eps_sph);
     let rho = charge_density_g(&wf, &wfn_sph);
@@ -192,8 +203,7 @@ pub fn run_evgw(
     let vsqrt = coulomb.sqrt_on_sphere(&eps_sph);
     let nv = wf.n_valence;
     let k = cfg.bands_around_gap.max(1);
-    let sigma_bands: Vec<usize> =
-        (nv.saturating_sub(k)..(nv + k).min(wf.n_bands())).collect();
+    let sigma_bands: Vec<usize> = (nv.saturating_sub(k)..(nv + k).min(wf.n_bands())).collect();
     let ctx = SigmaContext::build(&wf, &mtxel, gpp, &vsqrt, &sigma_bands, coulomb.q0);
     let homo = ctx.homo_pos();
     let lumo = ctx.lumo_pos();
@@ -227,7 +237,6 @@ pub fn run_evgw(
     }
 }
 
-
 /// Results of a full-matrix Dyson solution.
 #[derive(Clone, Debug)]
 pub struct FullDysonResults {
@@ -260,7 +269,10 @@ pub fn run_full_dyson_gw(system: &ModelSystem, cfg: &GwConfig, n_e: usize) -> Fu
     let wf = solve_bands(&system.crystal, &wfn_sph, system.n_bands.min(wfn_sph.len()));
     let coulomb = Coulomb::bulk_for_cell(system.crystal.lattice.volume());
     let mtxel = Mtxel::new(&wfn_sph, &eps_sph);
-    let chi_cfg = ChiConfig { q0: coulomb.q0, ..cfg.chi };
+    let chi_cfg = ChiConfig {
+        q0: coulomb.q0,
+        ..cfg.chi
+    };
     let chi0 = ChiEngine::new(&wf, &mtxel, chi_cfg).chi_static();
     let eps_inv = EpsilonInverse::build(&[chi0], &[0.0], &coulomb, &eps_sph);
     let rho = charge_density_g(&wf, &wfn_sph);
@@ -274,8 +286,7 @@ pub fn run_full_dyson_gw(system: &ModelSystem, cfg: &GwConfig, n_e: usize) -> Fu
     let vsqrt = coulomb.sqrt_on_sphere(&eps_sph);
     let nv = wf.n_valence;
     let k = cfg.bands_around_gap.max(1);
-    let sigma_bands: Vec<usize> =
-        (nv.saturating_sub(k)..(nv + k).min(wf.n_bands())).collect();
+    let sigma_bands: Vec<usize> = (nv.saturating_sub(k)..(nv + k).min(wf.n_bands())).collect();
     let ctx = SigmaContext::build(&wf, &mtxel, gpp, &vsqrt, &sigma_bands, coulomb.q0);
 
     // diagonal reference
@@ -327,7 +338,11 @@ mod tests {
         sys.n_bands = 28;
         let g0w0 = run_gpp_gw(&sys, &GwConfig::default());
         let ev = run_evgw(&sys, &GwConfig::default(), 40, 1e-5);
-        assert!(ev.iterations >= 2 && ev.iterations < 40, "iters {}", ev.iterations);
+        assert!(
+            ev.iterations >= 2 && ev.iterations < 40,
+            "iters {}",
+            ev.iterations
+        );
         assert!(ev.gap_ry.is_finite() && ev.gap_ry > 0.0);
         // converged: last two gaps nearly equal
         let n = ev.gap_history.len();
@@ -340,7 +355,12 @@ mod tests {
         // the same order as the Z-linearized G0W0 gap
         assert!(ev.gap_ry > g0w0.gap_mf_ry);
         let ratio = ev.gap_ry / g0w0.gap_qp_ry;
-        assert!((0.5..2.0).contains(&ratio), "sc gap {} vs G0W0 {}", ev.gap_ry, g0w0.gap_qp_ry);
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "sc gap {} vs G0W0 {}",
+            ev.gap_ry,
+            g0w0.gap_qp_ry
+        );
     }
 
     #[test]
@@ -369,6 +389,9 @@ mod tests {
         assert!(r.eps_macro > 1.0);
         assert!(r.sigma_flops > 0);
         assert!(r.timings.t_sigma > 0.0 && r.timings.t_chi > 0.0);
+        // the run must have exercised the ZGEMM substrate and accounted it
+        assert!(r.timings.substrate.gemm_calls > 0);
+        assert!(r.timings.substrate.gemm_compute_ns > 0);
         for st in &r.states {
             assert!(st.e_qp.is_finite() && st.z > 0.0 && st.z <= 1.0);
         }

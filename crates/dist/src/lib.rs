@@ -64,7 +64,12 @@ impl DistMatrix {
                 Complex64::ZERO
             }
         });
-        Self { n_rows: n, n_cols: n, row_offset: lo, local }
+        Self {
+            n_rows: n,
+            n_cols: n,
+            row_offset: lo,
+            local,
+        }
     }
 
     /// Number of locally owned rows.
@@ -164,9 +169,7 @@ pub fn newton_schulz_inverse(
     let scale = 1.0 / (norm_1 * norm_inf).max(1e-300);
     // X_0 = scale * A^dagger, distributed by rows.
     let (lo, hi) = row_range(n, comm.size(), comm.rank());
-    let x0_local = CMatrix::from_fn(hi - lo, n, |i, j| {
-        a_full[(j, lo + i)].conj().scale(scale)
-    });
+    let x0_local = CMatrix::from_fn(hi - lo, n, |i, j| a_full[(j, lo + i)].conj().scale(scale));
     let mut x = DistMatrix {
         n_rows: n,
         n_cols: n,

@@ -107,7 +107,9 @@ mod tests {
     fn rand_grid(n: usize, seed: u64) -> Vec<Complex64> {
         let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
         };
         (0..n).map(|_| c64(next(), next())).collect()
@@ -163,7 +165,11 @@ mod tests {
             let mut y = x.clone();
             plan.process(&mut y, Direction::Forward);
             let r = dft3_reference(&x, dims, Direction::Forward);
-            let err = y.iter().zip(&r).map(|(a, b)| (*a - *b).abs()).fold(0.0, f64::max);
+            let err = y
+                .iter()
+                .zip(&r)
+                .map(|(a, b)| (*a - *b).abs())
+                .fold(0.0, f64::max);
             assert!(err < 1e-9, "dims {dims:?}: err {err}");
         }
     }
@@ -175,7 +181,11 @@ mod tests {
         let mut y = x.clone();
         plan.process(&mut y, Direction::Forward);
         plan.process(&mut y, Direction::Inverse);
-        let err = y.iter().zip(&x).map(|(a, b)| (*a - *b).abs()).fold(0.0, f64::max);
+        let err = y
+            .iter()
+            .zip(&x)
+            .map(|(a, b)| (*a - *b).abs())
+            .fold(0.0, f64::max);
         assert!(err < 1e-11, "err {err}");
     }
 
@@ -188,8 +198,7 @@ mod tests {
         for ix in 0..nx {
             for iy in 0..ny {
                 for iz in 0..nz {
-                    let ph = 2.0 * std::f64::consts::PI
-                        * (kx * ix) as f64 / nx as f64
+                    let ph = 2.0 * std::f64::consts::PI * (kx * ix) as f64 / nx as f64
                         + 2.0 * std::f64::consts::PI * (ky * iy) as f64 / ny as f64
                         + 2.0 * std::f64::consts::PI * (kz * iz) as f64 / nz as f64;
                     x[plan.index(ix, iy, iz)] = Complex64::cis(ph);

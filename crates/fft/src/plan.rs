@@ -287,14 +287,19 @@ mod tests {
         // Small deterministic LCG; avoids pulling rand into the hot crate.
         let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
         };
         (0..n).map(|_| c64(next(), next())).collect()
     }
 
     fn max_err(a: &[Complex64], b: &[Complex64]) -> f64 {
-        a.iter().zip(b).map(|(x, y)| (*x - *y).abs()).fold(0.0, f64::max)
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (*x - *y).abs())
+            .fold(0.0, f64::max)
     }
 
     #[test]
@@ -313,7 +318,7 @@ mod tests {
             assert!(g >= n);
             let mut k = g;
             for r in [2, 3, 5] {
-                while k % r == 0 {
+                while k.is_multiple_of(r) {
                     k /= r;
                 }
             }
@@ -342,7 +347,11 @@ mod tests {
             let mut y = x.clone();
             plan.process(&mut y, Direction::Forward);
             let r = dft_reference(&x, Direction::Forward);
-            assert!(max_err(&y, &r) < 1e-9 * (n as f64), "n = {n}: {}", max_err(&y, &r));
+            assert!(
+                max_err(&y, &r) < 1e-9 * (n as f64),
+                "n = {n}: {}",
+                max_err(&y, &r)
+            );
         }
     }
 

@@ -60,7 +60,10 @@ impl std::fmt::Display for IoError {
             IoError::Io(e) => write!(f, "io error: {e}"),
             IoError::BadHeader(m) => write!(f, "bad BGWR header: {m}"),
             IoError::ChecksumMismatch { expected, actual } => {
-                write!(f, "checksum mismatch: stored {expected:#x}, read {actual:#x}")
+                write!(
+                    f,
+                    "checksum mismatch: stored {expected:#x}, read {actual:#x}"
+                )
             }
             IoError::WrongRecord { found } => write!(f, "unexpected record tag {found}"),
         }
@@ -159,7 +162,11 @@ pub fn write_wavefunctions(path: &Path, wf: &Wavefunctions) -> Result<u64, IoErr
     let mut w = io::BufWriter::new(f);
     let nb = wf.n_bands() as u64;
     let ng = wf.n_g() as u64;
-    write_header(&mut w, RecordTag::Wavefunctions, &[nb, ng, wf.n_valence as u64])?;
+    write_header(
+        &mut w,
+        RecordTag::Wavefunctions,
+        &[nb, ng, wf.n_valence as u64],
+    )?;
     let mut data = Vec::with_capacity(wf.n_bands() + 2 * wf.n_bands() * wf.n_g());
     data.extend_from_slice(&wf.energies);
     for z in wf.coeffs.as_slice() {
@@ -198,7 +205,11 @@ pub fn read_wavefunctions(path: &Path) -> Result<Wavefunctions, IoError> {
 pub fn write_matrix(path: &Path, m: &CMatrix) -> Result<u64, IoError> {
     let f = std::fs::File::create(path)?;
     let mut w = io::BufWriter::new(f);
-    write_header(&mut w, RecordTag::Matrix, &[m.nrows() as u64, m.ncols() as u64])?;
+    write_header(
+        &mut w,
+        RecordTag::Matrix,
+        &[m.nrows() as u64, m.ncols() as u64],
+    )?;
     let mut data = Vec::with_capacity(2 * m.nrows() * m.ncols());
     for z in m.as_slice() {
         data.push(z.re);
@@ -215,7 +226,10 @@ pub fn read_matrix(path: &Path) -> Result<CMatrix, IoError> {
     let mut r = io::BufReader::new(f);
     let dims = read_header(&mut r, RecordTag::Matrix)?;
     if dims.len() != 2 {
-        return Err(IoError::BadHeader(format!("{} dims for matrix", dims.len())));
+        return Err(IoError::BadHeader(format!(
+            "{} dims for matrix",
+            dims.len()
+        )));
     }
     let (nr, nc) = (dims[0] as usize, dims[1] as usize);
     let data = read_payload(&mut r, 2 * nr * nc)?;
@@ -225,7 +239,12 @@ pub fn read_matrix(path: &Path) -> Result<CMatrix, IoError> {
 
 /// Writes a full dielectric container (frequencies, vsqrt, matrices) as a
 /// directory of BGWR files — the epsmat-directory analogue.
-pub fn write_epsilon(dir: &Path, omegas: &[f64], vsqrt: &[f64], mats: &[CMatrix]) -> Result<u64, IoError> {
+pub fn write_epsilon(
+    dir: &Path,
+    omegas: &[f64],
+    vsqrt: &[f64],
+    mats: &[CMatrix],
+) -> Result<u64, IoError> {
     assert_eq!(omegas.len(), mats.len());
     std::fs::create_dir_all(dir)?;
     let mut total = 0u64;
@@ -352,8 +371,9 @@ mod tests {
         let dir = tmp("epsdir");
         let omegas = vec![0.0, 0.5, 1.0];
         let vsqrt = vec![3.0, 2.0, 1.5, 1.0];
-        let mats: Vec<CMatrix> =
-            (0..3).map(|i| CMatrix::random(4, 4, i as u64 + 50)).collect();
+        let mats: Vec<CMatrix> = (0..3)
+            .map(|i| CMatrix::random(4, 4, i as u64 + 50))
+            .collect();
         write_epsilon(&dir, &omegas, &vsqrt, &mats).unwrap();
         let (o2, v2, m2) = read_epsilon(&dir).unwrap();
         assert_eq!(o2, omegas);
@@ -374,7 +394,10 @@ mod tests {
 
     #[test]
     fn error_messages_are_informative() {
-        let e = IoError::ChecksumMismatch { expected: 1, actual: 2 };
+        let e = IoError::ChecksumMismatch {
+            expected: 1,
+            actual: 2,
+        };
         assert!(e.to_string().contains("checksum"));
         let e = IoError::WrongRecord { found: 7 };
         assert!(e.to_string().contains("7"));

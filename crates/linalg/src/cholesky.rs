@@ -75,6 +75,7 @@ impl Cholesky {
     }
 
     /// Solves `A x = b` by forward/back substitution.
+    #[allow(clippy::needless_range_loop)] // triangular solves index partial ranges
     pub fn solve_vec(&self, b: &[Complex64]) -> Vec<Complex64> {
         let n = self.dim();
         assert_eq!(b.len(), n);
@@ -141,7 +142,13 @@ mod tests {
         for n in [1usize, 3, 8, 20] {
             let a = hpd(n, n as u64);
             let ch = Cholesky::new(&a).unwrap();
-            let back = matmul(ch.factor(), Op::None, ch.factor(), Op::Adj, GemmBackend::Blocked);
+            let back = matmul(
+                ch.factor(),
+                Op::None,
+                ch.factor(),
+                Op::Adj,
+                GemmBackend::Blocked,
+            );
             assert!(back.max_abs_diff(&a) < 1e-9 * a.max_abs(), "n = {n}");
             // strictly lower triangular structure
             for i in 0..n {

@@ -181,7 +181,10 @@ fn ql_implicit(d: &mut [f64], e: &mut [f64], z: &mut CMatrix) {
                 break;
             }
             iter += 1;
-            assert!(iter <= 50, "QL iteration failed to converge (non-finite input?)");
+            assert!(
+                iter <= 50,
+                "QL iteration failed to converge (non-finite input?)"
+            );
             // Form the implicit shift.
             let mut g = (d[l + 1] - d[l]) / (2.0 * e[l]);
             let mut r = g.hypot(1.0);
@@ -244,7 +247,13 @@ mod tests {
             assert!(w[0] <= w[1] + 1e-12, "eigenvalues not sorted: {w:?}");
         }
         // V^dagger V = I
-        let vhv = matmul(&eig.vectors, Op::Adj, &eig.vectors, Op::None, GemmBackend::Blocked);
+        let vhv = matmul(
+            &eig.vectors,
+            Op::Adj,
+            &eig.vectors,
+            Op::None,
+            GemmBackend::Blocked,
+        );
         assert!(
             vhv.max_abs_diff(&CMatrix::identity(n)) < tol,
             "eigenvectors not orthonormal: {}",

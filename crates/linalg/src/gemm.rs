@@ -4,13 +4,29 @@
 //! contraction into two dense ZGEMM calls per `(n, E)` pair and leans on
 //! vendor libraries (rocBLAS + Tensile on Frontier, oneMKL on Aurora,
 //! cuBLAS on Perlmutter). This module is that substrate: a correct
-//! reference implementation, a cache-blocked implementation, and a
-//! thread-parallel blocked implementation, plus tunable tile parameters
-//! standing in for the Tensile size-specific autotuning the paper evaluates
-//! (Sec. 7.3).
+//! reference implementation and a BLIS-style five-loop blocked kernel
+//! (`jc -> pc -> ic` cache loops around a `jr/ir` register microkernel)
+//! with tunable tile parameters standing in for the Tensile size-specific
+//! autotuning the paper evaluates (Sec. 7.3).
+//!
+//! Layout choices, in the order they matter:
+//! * operands are packed once per cache block into **split re/im planes**
+//!   so the microkernel runs pure `f64` FMA chains with no shuffles;
+//! * the `B` strip for a `(jc, pc)` block is packed **once** and shared by
+//!   every row panel (and every pool worker) that consumes it;
+//! * the microkernel holds a `4 x 4` complex tile of `C` in registers
+//!   (32 scalar accumulators) across the whole `kc` depth, so `C` traffic
+//!   is one read-modify-write per cache block instead of one per `k` step;
+//! * row panels of `C` are independent and are scheduled on the `bgw-par`
+//!   worker pool.
+//!
+//! Packing time versus microkernel time is recorded in the global
+//! [`bgw_perf::counters`] so benchmarks can attribute wins.
 
 use crate::matrix::CMatrix;
 use bgw_num::Complex64;
+use bgw_par::SendPtr;
+use std::time::Instant;
 
 /// How an operand enters the product.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -40,34 +56,46 @@ pub enum GemmBackend {
     Naive,
     /// Cache-blocked single-thread kernel with packed operands.
     Blocked,
-    /// Cache-blocked kernel with row-panel thread parallelism.
+    /// Cache-blocked kernel with row-panel parallelism on the worker pool.
     Parallel,
     /// Blocked kernel with caller-supplied tile sizes (the "Tensile" knob).
     Tuned(TileParams),
 }
 
+/// Register-tile rows of the microkernel.
+pub const MR: usize = 4;
+/// Register-tile columns of the microkernel.
+pub const NR: usize = 4;
+
 /// Cache-tile sizes for the blocked kernels: `C` is processed in `mc x nc`
-/// panels accumulating over `kc`-deep strips.
+/// panels accumulating over `kc`-deep strips. All three loops are honored
+/// (`nc` bounds the shared packed `B` strip).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TileParams {
-    /// Rows of the `C` panel held hot.
+    /// Rows of the `C` panel held hot (rounded up to a multiple of [`MR`]).
     pub mc: usize,
     /// Depth of the accumulation strip.
     pub kc: usize,
-    /// Columns of the `C` panel.
+    /// Columns of the `C` panel (rounded up to a multiple of [`NR`]).
     pub nc: usize,
 }
 
 impl Default for TileParams {
     fn default() -> Self {
-        // Sized for ~256 KiB L2 working sets with 16-byte elements.
-        Self { mc: 64, kc: 128, nc: 128 }
+        // A-panel (mc x kc split planes) ~128 KiB for L2 residency; the
+        // shared B strip (kc x nc) ~512 KiB lives in last-level cache.
+        Self {
+            mc: 64,
+            kc: 128,
+            nc: 256,
+        }
     }
 }
 
 /// Computes `C = alpha * op(A) * op(B) + beta * C`.
 ///
 /// Shapes must satisfy `op(A): m x k`, `op(B): k x n`, `C: m x n`.
+#[allow(clippy::too_many_arguments)] // BLAS zgemm signature
 pub fn zgemm(
     alpha: Complex64,
     a: &CMatrix,
@@ -99,7 +127,16 @@ pub fn matmul(a: &CMatrix, opa: Op, b: &CMatrix, opb: Op, backend: GemmBackend) 
     let (m, _) = opa.shape(a.shape());
     let (_, n) = opb.shape(b.shape());
     let mut c = CMatrix::zeros(m, n);
-    zgemm(Complex64::ONE, a, opa, b, opb, Complex64::ZERO, &mut c, backend);
+    zgemm(
+        Complex64::ONE,
+        a,
+        opa,
+        b,
+        opb,
+        Complex64::ZERO,
+        &mut c,
+        backend,
+    );
     c
 }
 
@@ -141,33 +178,114 @@ fn zgemm_naive(
     }
 }
 
-/// Packs `op(A)` rows `i0..i1`, cols `p0..p1` into a row-major panel.
-fn pack_panel(a: &CMatrix, op: Op, i0: usize, i1: usize, p0: usize, p1: usize) -> Vec<Complex64> {
-    let rows = i1 - i0;
-    let cols = p1 - p0;
-    let mut out = Vec::with_capacity(rows * cols);
-    match op {
-        Op::None => {
-            for i in i0..i1 {
-                out.extend_from_slice(&a.row(i)[p0..p1]);
-            }
-        }
-        Op::Trans => {
-            for i in i0..i1 {
-                for p in p0..p1 {
-                    out.push(a[(p, i)]);
-                }
-            }
-        }
-        Op::Adj => {
-            for i in i0..i1 {
-                for p in p0..p1 {
-                    out.push(a[(p, i)].conj());
-                }
+/// Fused multiply-add that only uses the hardware FMA when the target has
+/// one; `f64::mul_add` without FMA lowers to a (slow) libm call.
+#[inline(always)]
+fn fmadd(a: f64, b: f64, c: f64) -> f64 {
+    #[cfg(target_feature = "fma")]
+    {
+        a.mul_add(b, c)
+    }
+    #[cfg(not(target_feature = "fma"))]
+    {
+        c + a * b
+    }
+}
+
+/// Packs `alpha * op(A)` rows `i0..i1`, depth `p0..p1` into split re/im
+/// planes of `MR`-row micro-panels: element `(i0 + s*MR + r, p0 + p)` lands
+/// at index `s*kk*MR + p*MR + r`. Rows past `i1` are zero-padded so the
+/// microkernel never branches on the row edge.
+fn pack_a(
+    a: &CMatrix,
+    opa: Op,
+    alpha: Complex64,
+    i0: usize,
+    i1: usize,
+    p0: usize,
+    p1: usize,
+) -> (Vec<f64>, Vec<f64>) {
+    let mm = i1 - i0;
+    let kk = p1 - p0;
+    let strips = mm.div_ceil(MR);
+    let mut re = vec![0.0; strips * kk * MR];
+    let mut im = vec![0.0; strips * kk * MR];
+    for s in 0..strips {
+        let base = s * kk * MR;
+        let rows = (mm - s * MR).min(MR);
+        for p in 0..kk {
+            let at = base + p * MR;
+            for r in 0..rows {
+                let v = alpha * fetch(a, opa, i0 + s * MR + r, p0 + p);
+                re[at + r] = v.re;
+                im[at + r] = v.im;
             }
         }
     }
-    out
+    (re, im)
+}
+
+/// Packs `op(B)` depth `p0..p1`, cols `j0..j1` into split re/im planes of
+/// `NR`-column micro-panels: element `(p0 + p, j0 + s*NR + q)` lands at
+/// index `s*kk*NR + p*NR + q`, zero-padded past the column edge.
+fn pack_b(
+    b: &CMatrix,
+    opb: Op,
+    p0: usize,
+    p1: usize,
+    j0: usize,
+    j1: usize,
+) -> (Vec<f64>, Vec<f64>) {
+    let nn = j1 - j0;
+    let kk = p1 - p0;
+    let strips = nn.div_ceil(NR);
+    let mut re = vec![0.0; strips * kk * NR];
+    let mut im = vec![0.0; strips * kk * NR];
+    for s in 0..strips {
+        let base = s * kk * NR;
+        let cols = (nn - s * NR).min(NR);
+        for p in 0..kk {
+            let at = base + p * NR;
+            for q in 0..cols {
+                let v = fetch(b, opb, p0 + p, j0 + s * NR + q);
+                re[at + q] = v.re;
+                im[at + q] = v.im;
+            }
+        }
+    }
+    (re, im)
+}
+
+/// The register microkernel: accumulates an `MR x NR` complex tile over a
+/// depth-`kk` strip of packed panels. Split accumulators keep the inner
+/// loop a pure `f64` FMA lattice the compiler can vectorize across `NR`.
+#[allow(clippy::needless_range_loop)]
+#[inline(always)]
+fn microkernel(
+    kk: usize,
+    are: &[f64],
+    aim: &[f64],
+    bre: &[f64],
+    bim: &[f64],
+    cre: &mut [[f64; NR]; MR],
+    cim: &mut [[f64; NR]; MR],
+) {
+    let a_re = are.chunks_exact(MR);
+    let a_im = aim.chunks_exact(MR);
+    let b_re = bre.chunks_exact(NR);
+    let b_im = bim.chunks_exact(NR);
+    debug_assert!(a_re.len() >= kk && b_re.len() >= kk);
+    for (((ar, ai), br), bi) in a_re.zip(a_im).zip(b_re).zip(b_im).take(kk) {
+        for i in 0..MR {
+            let (x, y) = (ar[i], ai[i]);
+            for j in 0..NR {
+                cre[i][j] = fmadd(x, br[j], cre[i][j]);
+                cre[i][j] = fmadd(-y, bi[j], cre[i][j]);
+                cim[i][j] = fmadd(x, bi[j], cim[i][j]);
+                cim[i][j] = fmadd(y, br[j], cim[i][j]);
+            }
+        }
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -182,6 +300,7 @@ fn zgemm_blocked(
     tiles: TileParams,
     parallel: bool,
 ) {
+    bgw_perf::counters::record_gemm_call();
     let (m, k) = opa.shape(a.shape());
     let n = c.ncols();
     // beta-scale once up front.
@@ -195,70 +314,82 @@ fn zgemm_blocked(
     if m == 0 || n == 0 || k == 0 {
         return;
     }
-    let mc = tiles.mc.max(1);
+    let mc = tiles.mc.max(1).div_ceil(MR) * MR;
     let kc = tiles.kc.max(1);
-    let ncols = c.ncols();
+    let nc = tiles.nc.max(1).div_ceil(NR) * NR;
+    let ldc = n;
+    let cptr = SendPtr::new(c.as_mut_slice().as_mut_ptr());
 
-    // Row panels of C are independent: parallelize over them.
-    let row_panels: Vec<(usize, usize)> = (0..m)
-        .step_by(mc)
-        .map(|i0| (i0, (i0 + mc).min(m)))
-        .collect();
+    // 5-loop blocking: jc over C columns (bounds the shared B strip),
+    // pc over depth, ic over C row panels (parallel), then jr/ir register
+    // tiles inside `row_panel`.
+    for jc0 in (0..n).step_by(nc) {
+        let jc1 = (jc0 + nc).min(n);
+        for pc0 in (0..k).step_by(kc) {
+            let pc1 = (pc0 + kc).min(k);
+            let kk = pc1 - pc0;
+            let t_pack = Instant::now();
+            let (bre, bim) = pack_b(b, opb, pc0, pc1, jc0, jc1);
+            bgw_perf::counters::record_gemm_pack_ns(t_pack.elapsed().as_nanos() as u64);
 
-    let body = |(i0, i1): (usize, usize), c_panel: &mut [Complex64]| {
-        // c_panel covers rows i0..i1 of C, full width.
-        for p0 in (0..k).step_by(kc) {
-            let p1 = (p0 + kc).min(k);
-            let a_pack = pack_panel(a, opa, i0, i1, p0, p1);
-            let b_pack = pack_panel(b, opb, p0, p1, 0, n);
-            let kk = p1 - p0;
-            // i-k-j loop: contiguous access on b_pack rows and C rows.
-            for (ii, c_row) in c_panel.chunks_exact_mut(ncols).enumerate() {
-                let a_row = &a_pack[ii * kk..(ii + 1) * kk];
-                for (pp, &aip) in a_row.iter().enumerate() {
-                    let factor = alpha * aip;
-                    let b_row = &b_pack[pp * n..(pp + 1) * n];
-                    for (cj, &bpj) in c_row.iter_mut().zip(b_row) {
-                        *cj = cj.mul_add(factor, bpj);
+            let row_panel = |i0: usize, i1: usize| {
+                let t_a = Instant::now();
+                let (are, aim) = pack_a(a, opa, alpha, i0, i1, pc0, pc1);
+                bgw_perf::counters::record_gemm_pack_ns(t_a.elapsed().as_nanos() as u64);
+                let t_c = Instant::now();
+                let mm = i1 - i0;
+                for (sj, (bre_s, bim_s)) in bre
+                    .chunks_exact(kk * NR)
+                    .zip(bim.chunks_exact(kk * NR))
+                    .enumerate()
+                {
+                    let j = jc0 + sj * NR;
+                    let cols = (jc1 - j).min(NR);
+                    for (si, (are_s, aim_s)) in are
+                        .chunks_exact(kk * MR)
+                        .zip(aim.chunks_exact(kk * MR))
+                        .enumerate()
+                    {
+                        let i = i0 + si * MR;
+                        let rows = (mm - si * MR).min(MR);
+                        let mut cre = [[0.0; NR]; MR];
+                        let mut cim = [[0.0; NR]; MR];
+                        microkernel(kk, are_s, aim_s, bre_s, bim_s, &mut cre, &mut cim);
+                        for (ii, (cre_row, cim_row)) in
+                            cre.iter().zip(cim.iter()).enumerate().take(rows)
+                        {
+                            // SAFETY: row panels [i0, i1) are disjoint
+                            // across pool workers and jr strips are visited
+                            // serially within a panel, so every C element
+                            // has exactly one writer at a time.
+                            let row = unsafe { cptr.get().add((i + ii) * ldc + j) };
+                            for jj in 0..cols {
+                                unsafe {
+                                    let e = &mut *row.add(jj);
+                                    e.re += cre_row[jj];
+                                    e.im += cim_row[jj];
+                                }
+                            }
+                        }
                     }
                 }
-            }
-        }
-    };
+                bgw_perf::counters::record_gemm_compute_ns(t_c.elapsed().as_nanos() as u64);
+            };
 
-    if parallel && row_panels.len() > 1 && bgw_par::num_threads() > 1 {
-        // Split C's storage into disjoint row panels and process them
-        // concurrently.
-        let mut panels: Vec<((usize, usize), &mut [Complex64])> = Vec::new();
-        let mut rest = c.as_mut_slice();
-        let mut consumed = 0usize;
-        for &(i0, i1) in &row_panels {
-            let take = (i1 - i0) * ncols;
-            let (head, tail) = rest.split_at_mut(take);
-            panels.push(((i0, i1), head));
-            consumed += take;
-            rest = tail;
-        }
-        debug_assert_eq!(consumed, m * ncols);
-        let queue = parking_lot::Mutex::new(panels);
-        std::thread::scope(|s| {
-            for _ in 0..bgw_par::num_threads().min(row_panels.len()) {
-                s.spawn(|| loop {
-                    let item = queue.lock().pop();
-                    match item {
-                        Some((range, slice)) => body(range, slice),
-                        None => break,
+            let panels = m.div_ceil(mc);
+            if parallel && panels > 1 && bgw_par::num_threads() > 1 {
+                bgw_par::parallel_for_chunked(panels, 1, |lo, hi| {
+                    for pi in lo..hi {
+                        let i0 = pi * mc;
+                        row_panel(i0, (i0 + mc).min(m));
                     }
                 });
+            } else {
+                for pi in 0..panels {
+                    let i0 = pi * mc;
+                    row_panel(i0, (i0 + mc).min(m));
+                }
             }
-        });
-    } else {
-        for &(i0, i1) in &row_panels {
-            let start = i0 * ncols;
-            let end = i1 * ncols;
-            // Non-overlapping borrow of this panel.
-            let panel = &mut c.as_mut_slice()[start..end];
-            body((i0, i1), panel);
         }
     }
 }
@@ -266,14 +397,18 @@ fn zgemm_blocked(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bgw_num::c64;
+    use bgw_num::{c64, Xoshiro256StarStar};
 
     fn backends() -> Vec<GemmBackend> {
         vec![
             GemmBackend::Naive,
             GemmBackend::Blocked,
             GemmBackend::Parallel,
-            GemmBackend::Tuned(TileParams { mc: 3, kc: 5, nc: 7 }),
+            GemmBackend::Tuned(TileParams {
+                mc: 3,
+                kc: 5,
+                nc: 7,
+            }),
         ]
     }
 
@@ -328,7 +463,16 @@ mod tests {
         let alpha = c64(0.5, -1.0);
         let beta = c64(2.0, 0.25);
         let mut expect = c0.clone();
-        zgemm(alpha, &a, Op::None, &b, Op::None, beta, &mut expect, GemmBackend::Naive);
+        zgemm(
+            alpha,
+            &a,
+            Op::None,
+            &b,
+            Op::None,
+            beta,
+            &mut expect,
+            GemmBackend::Naive,
+        );
         for be in backends().into_iter().skip(1) {
             let mut c = c0.clone();
             zgemm(alpha, &a, Op::None, &b, Op::None, beta, &mut c, be);
@@ -380,7 +524,16 @@ mod tests {
         let a = CMatrix::zeros(2, 0);
         let b = CMatrix::zeros(0, 2);
         let mut c = CMatrix::identity(2);
-        zgemm(Complex64::ONE, &a, Op::None, &b, Op::None, c64(3.0, 0.0), &mut c, GemmBackend::Blocked);
+        zgemm(
+            Complex64::ONE,
+            &a,
+            Op::None,
+            &b,
+            Op::None,
+            c64(3.0, 0.0),
+            &mut c,
+            GemmBackend::Blocked,
+        );
         assert_eq!(c[(0, 0)], c64(3.0, 0.0));
     }
 
@@ -406,5 +559,89 @@ mod tests {
         let c = matmul(&a, Op::None, &b, Op::None, GemmBackend::Parallel);
         // errors scale with k; keep a sane bound
         assert!(c.max_abs_diff(&r) < 1e-10);
+    }
+
+    /// Randomized shape sweep: tall/skinny, degenerate vectors, and shapes
+    /// straddling every tile boundary, crossed with all Op combinations and
+    /// all backends against the Naive oracle.
+    #[test]
+    fn randomized_shape_sweep_all_ops_all_backends() {
+        bgw_par::set_num_threads(3);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(0xC0FFEE);
+        // Dimensions chosen to straddle MR/NR (4), the Tuned test tile
+        // (3/5/7), and default mc/kc boundaries.
+        let dims = [1usize, 2, 3, 4, 5, 7, 8, 9, 16, 63, 64, 65, 130];
+        let ops = [Op::None, Op::Trans, Op::Adj];
+        let mut seed = 1000u64;
+        for case in 0..40 {
+            let m = dims[rng.next_below(dims.len())];
+            let k = dims[rng.next_below(dims.len())];
+            let n = dims[rng.next_below(dims.len())];
+            let opa = ops[rng.next_below(3)];
+            let opb = ops[rng.next_below(3)];
+            let a_shape = match opa {
+                Op::None => (m, k),
+                _ => (k, m),
+            };
+            let b_shape = match opb {
+                Op::None => (k, n),
+                _ => (n, k),
+            };
+            seed += 3;
+            let a = CMatrix::random(a_shape.0, a_shape.1, seed);
+            let b = CMatrix::random(b_shape.0, b_shape.1, seed + 1);
+            let c0 = CMatrix::random(m, n, seed + 2);
+            let alpha = c64(rng.next_f64() - 0.5, rng.next_f64() - 0.5);
+            let beta = match case % 3 {
+                0 => Complex64::ZERO,
+                1 => Complex64::ONE,
+                _ => c64(rng.next_f64() - 0.5, rng.next_f64()),
+            };
+            let mut expect = c0.clone();
+            zgemm(
+                alpha,
+                &a,
+                opa,
+                &b,
+                opb,
+                beta,
+                &mut expect,
+                GemmBackend::Naive,
+            );
+            for be in [
+                GemmBackend::Blocked,
+                GemmBackend::Parallel,
+                GemmBackend::Tuned(TileParams {
+                    mc: 3,
+                    kc: 5,
+                    nc: 7,
+                }),
+                GemmBackend::Tuned(TileParams {
+                    mc: 8,
+                    kc: 16,
+                    nc: 8,
+                }),
+            ] {
+                let mut c = c0.clone();
+                zgemm(alpha, &a, opa, &b, opb, beta, &mut c, be);
+                assert!(
+                    c.max_abs_diff(&expect) < 1e-10,
+                    "case {case}: {m}x{k}x{n} {opa:?}/{opb:?} {be:?}"
+                );
+            }
+        }
+        bgw_par::set_num_threads(0);
+    }
+
+    #[test]
+    fn gemm_counters_advance() {
+        let before = bgw_perf::counters::snapshot();
+        let a = CMatrix::random(40, 40, 77);
+        let b = CMatrix::random(40, 40, 78);
+        let _ = matmul(&a, Op::None, &b, Op::None, GemmBackend::Blocked);
+        let d = before.delta(&bgw_perf::counters::snapshot());
+        assert!(d.gemm_calls >= 1);
+        assert!(d.gemm_pack_ns > 0, "packing must be accounted");
+        assert!(d.gemm_compute_ns > 0, "microkernel must be accounted");
     }
 }

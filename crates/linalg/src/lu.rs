@@ -28,7 +28,11 @@ pub struct SingularMatrix {
 
 impl std::fmt::Display for SingularMatrix {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "matrix is singular at elimination column {}", self.column)
+        write!(
+            f,
+            "matrix is singular at elimination column {}",
+            self.column
+        )
     }
 }
 
@@ -85,6 +89,7 @@ impl Lu {
     }
 
     /// Solves `A x = b` for a single right-hand side.
+    #[allow(clippy::needless_range_loop)] // triangular solves index partial ranges
     pub fn solve_vec(&self, b: &[Complex64]) -> Vec<Complex64> {
         let n = self.dim();
         assert_eq!(b.len(), n, "rhs length mismatch");

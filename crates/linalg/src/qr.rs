@@ -73,7 +73,11 @@ pub fn qr(a: &CMatrix) -> Qr {
     let r = r_full.submatrix(0, n, 0, n);
     // Q = H_0 H_1 ... H_{n-1} applied to the thin identity
     let mut q = CMatrix::from_fn(m, n, |i, j| {
-        if i == j { Complex64::ONE } else { Complex64::ZERO }
+        if i == j {
+            Complex64::ONE
+        } else {
+            Complex64::ZERO
+        }
     });
     for k in (0..n).rev() {
         let (v, tau) = (&vs[k], taus[k]);
@@ -98,6 +102,7 @@ pub fn qr(a: &CMatrix) -> Qr {
 impl Qr {
     /// Solves the least-squares problem `min ||A x - b||` via
     /// `R x = Q^dagger b`. Requires `R` nonsingular.
+    #[allow(clippy::needless_range_loop)] // triangular solves index partial ranges
     pub fn solve_least_squares(&self, b: &[Complex64]) -> Vec<Complex64> {
         let m = self.q.nrows();
         let n = self.q.ncols();
@@ -151,8 +156,9 @@ mod tests {
     fn least_squares_recovers_exact_solution() {
         // consistent overdetermined system
         let a = CMatrix::random(10, 4, 3);
-        let x_true: Vec<Complex64> =
-            (0..4).map(|i| c64(i as f64 - 1.5, 0.5 * i as f64)).collect();
+        let x_true: Vec<Complex64> = (0..4)
+            .map(|i| c64(i as f64 - 1.5, 0.5 * i as f64))
+            .collect();
         let b = a.matvec(&x_true);
         let x = qr(&a).solve_least_squares(&b);
         for (xi, ti) in x.iter().zip(&x_true) {

@@ -186,7 +186,11 @@ mod tests {
         let exp = ChebyshevJackson::window(a, b, 400);
         // inside the window, away from edges
         for &x in &[-0.2, 0.0, 0.3] {
-            assert!((exp.eval(x) - 1.0).abs() < 0.02, "inside x={x}: {}", exp.eval(x));
+            assert!(
+                (exp.eval(x) - 1.0).abs() < 0.02,
+                "inside x={x}: {}",
+                exp.eval(x)
+            );
         }
         // outside, away from edges
         for &x in &[-0.8, 0.8, -0.6] {
@@ -208,7 +212,10 @@ mod tests {
             min_undamped = min_undamped.min(undamped.eval(x));
         }
         assert!(min_damped > -5e-3, "Jackson damping failed: {min_damped}");
-        assert!(min_undamped < -0.02, "expected Gibbs ringing without damping");
+        assert!(
+            min_undamped < -0.02,
+            "expected Gibbs ringing without damping"
+        );
     }
 
     #[test]
@@ -234,8 +241,8 @@ mod tests {
     #[test]
     fn chebyshev_t_identities() {
         for k in 0..20 {
-            for &x in &[-0.9, -0.4, 0.0, 0.33, 0.77] {
-                let theta = (x as f64).acos();
+            for &x in &[-0.9f64, -0.4, 0.0, 0.33, 0.77] {
+                let theta = x.acos();
                 assert!(
                     (chebyshev_t(k, x) - (k as f64 * theta).cos()).abs() < 1e-10,
                     "T_{k}({x})"

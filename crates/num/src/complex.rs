@@ -230,6 +230,7 @@ impl Mul for Complex64 {
 impl Div for Complex64 {
     type Output = Complex64;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // z / w == z * w^-1 by definition
     fn div(self, rhs: Self) -> Self {
         self * rhs.inv()
     }
@@ -486,7 +487,11 @@ mod tests {
         let s2: Complex64 = v.iter().copied().sum();
         assert_eq!(s2, s);
         let p: Complex64 = v.into_iter().product();
-        assert!(close(p, c64(1.0, 0.0) * c64(0.0, 1.0) * c64(2.0, 2.0), 1e-12));
+        assert!(close(
+            p,
+            c64(1.0, 0.0) * c64(0.0, 1.0) * c64(2.0, 2.0),
+            1e-12
+        ));
     }
 
     #[test]

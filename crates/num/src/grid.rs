@@ -192,9 +192,16 @@ mod tests {
         let total: f64 = w.iter().sum();
         assert!((total - 1.0).abs() < 1e-13, "weights must sum to 1");
         for deg in 0..12u32 {
-            let num: f64 = x.iter().zip(&w).map(|(xi, wi)| wi * xi.powi(deg as i32)).sum();
+            let num: f64 = x
+                .iter()
+                .zip(&w)
+                .map(|(xi, wi)| wi * xi.powi(deg as i32))
+                .sum();
             let exact = 1.0 / (deg as f64 + 1.0);
-            assert!((num - exact).abs() < 1e-12, "degree {deg}: {num} vs {exact}");
+            assert!(
+                (num - exact).abs() < 1e-12,
+                "degree {deg}: {num} vs {exact}"
+            );
         }
     }
 

@@ -13,6 +13,7 @@ pub mod chebyshev;
 pub mod complex;
 pub mod grid;
 pub mod pade;
+pub mod rng;
 pub mod stats;
 pub mod sum;
 
@@ -20,6 +21,7 @@ pub use chebyshev::{ChebyshevJackson, SpectralMap};
 pub use complex::{c64, Complex64};
 pub use grid::UniformGrid;
 pub use pade::{continue_to_real, PadeApproximant};
+pub use rng::{SplitMix64, Xoshiro256StarStar};
 pub use stats::RunningStats;
 pub use sum::{KahanC64, KahanF64};
 

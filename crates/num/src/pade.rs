@@ -75,12 +75,7 @@ impl PadeApproximant {
 
 /// Continues samples on the positive imaginary axis `f(i w_k)` to a real
 /// frequency `w + i eta` — the GW analytic-continuation convention.
-pub fn continue_to_real(
-    iw_nodes: &[f64],
-    values: &[Complex64],
-    omega: f64,
-    eta: f64,
-) -> Complex64 {
+pub fn continue_to_real(iw_nodes: &[f64], values: &[Complex64], omega: f64, eta: f64) -> Complex64 {
     let nodes: Vec<Complex64> = iw_nodes.iter().map(|&w| Complex64::new(0.0, w)).collect();
     PadeApproximant::new(&nodes, values).eval(Complex64::new(omega, eta))
 }
@@ -126,8 +121,7 @@ mod tests {
         let pole = 1.3;
         let f = |z: Complex64| (z - pole).inv();
         let iw: Vec<f64> = (0..12).map(|k| 0.2 + 0.35 * k as f64).collect();
-        let vals: Vec<Complex64> =
-            iw.iter().map(|&w| f(c64(0.0, w))).collect();
+        let vals: Vec<Complex64> = iw.iter().map(|&w| f(c64(0.0, w))).collect();
         let eta = 0.02;
         let mut best = (0.0, 0.0f64);
         for i in 0..400 {

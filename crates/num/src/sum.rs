@@ -144,7 +144,9 @@ mod tests {
 
     #[test]
     fn pairwise_matches_kahan_closely() {
-        let xs: Vec<f64> = (0..4097).map(|i| ((i * 37) % 101) as f64 * 0.1 - 5.0).collect();
+        let xs: Vec<f64> = (0..4097)
+            .map(|i| ((i * 37) % 101) as f64 * 0.1 - 5.0)
+            .collect();
         let p = pairwise_sum(&xs);
         let k = kahan_sum(&xs);
         assert!((p - k).abs() < 1e-9 * k.abs().max(1.0));

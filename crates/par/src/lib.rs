@@ -1,21 +1,42 @@
-//! `bgw-par`: node-level data parallelism.
+//! `bgw-par`: node-level data parallelism on a persistent worker pool.
 //!
-//! On the machines in the paper each MPI rank drives a GPU with thousands of
-//! threads; in this reproduction a rank is a thread and the *node-level*
+//! On the machines in the paper each MPI rank drives a GPU with thousands
+//! of threads; in this reproduction a rank is a thread and the *node-level*
 //! parallelism inside a rank is provided by this crate: dynamically
-//! scheduled `parallel_for` / `parallel_reduce` over index ranges, built on
-//! `std::thread::scope` with an atomic work counter (the software analogue
-//! of the two-level work-group decomposition of paper Sec. 5.5).
+//! scheduled `parallel_for` / `parallel_reduce` over index ranges (the
+//! software analogue of the two-level work-group decomposition of paper
+//! Sec. 5.5).
 //!
-//! The worker count defaults to the machine's available parallelism and can
-//! be overridden with the `BGW_THREADS` environment variable or
+//! Execution runs on a lazily created, process-wide pool of parked worker
+//! threads. A parallel call publishes its body once (an epoch bump on a
+//! condition variable wakes the workers), every participant pulls chunks
+//! from a shared atomic counter, and the caller blocks until the region
+//! has quiesced. Workers then park again, so the per-call cost is a
+//! wake/park cycle instead of the thread spawn/join the previous
+//! implementation paid on *every* `parallel_for` — which sat on the hot
+//! path of every GW kernel (CHI_SUM, GPP diag/off-diag, GWPT, ZGEMM).
+//!
+//! Re-entrancy rule: a parallel call made from inside a parallel region
+//! (from a worker, or from the caller's own body), or while another OS
+//! thread is dispatching, runs inline on the calling thread. This makes
+//! nesting and concurrent callers deadlock-free by construction.
+//!
+//! The worker count defaults to the machine's available parallelism and
+//! can be overridden with the `BGW_THREADS` environment variable or
 //! [`set_num_threads`].
 
 #![warn(missing_docs)]
 
+use std::cell::Cell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
 
 static NUM_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Upper bound on pool threads, a guard against absurd `BGW_THREADS`.
+const MAX_POOL_WORKERS: usize = 128;
 
 /// Sets the number of worker threads used by subsequent parallel calls.
 /// A value of 0 restores the automatic default.
@@ -36,7 +57,9 @@ pub fn num_threads() -> usize {
             }
         }
     }
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// Picks a chunk size that yields a few chunks per worker for dynamic load
@@ -49,8 +72,174 @@ pub fn auto_chunk(n: usize, workers: usize, min_chunk: usize) -> usize {
     (n / target).max(min_chunk).max(1)
 }
 
-/// Runs `body(i)` for every `i in 0..n`, distributing chunks of indices over
-/// worker threads with dynamic (atomic counter) scheduling.
+// ---------------------------------------------------------------------------
+// The persistent pool.
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    /// True on pool workers (always) and on a dispatcher while it runs its
+    /// own share of a region; nested parallel calls check it to run inline.
+    static IN_PARALLEL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Lifetime-erased pointer to a region body `Fn(slot)`.
+#[derive(Clone, Copy)]
+struct JobRef(*const (dyn Fn(usize) + Sync + 'static));
+// SAFETY: the pointee is `Sync` and the dispatcher keeps the referent alive
+// (and uniquely published) until every worker has finished the epoch.
+unsafe impl Send for JobRef {}
+
+struct PoolState {
+    /// Bumped once per published region; workers sleep until it changes.
+    epoch: u64,
+    /// The current region body, valid for exactly one epoch.
+    job: Option<JobRef>,
+    /// Workers that have not yet finished the current epoch.
+    active: usize,
+    /// Worker threads spawned so far (they never exit).
+    spawned: usize,
+    /// Set when a worker's body panicked during the current epoch.
+    panicked: bool,
+}
+
+struct Pool {
+    state: Mutex<PoolState>,
+    /// Workers park here waiting for the next epoch.
+    work_cv: Condvar,
+    /// The dispatcher parks here waiting for quiescence.
+    done_cv: Condvar,
+    /// Serializes dispatchers; `try_lock` failure means "run inline".
+    dispatch: Mutex<()>,
+}
+
+fn lock_state(p: &'static Pool) -> MutexGuard<'static, PoolState> {
+    // A panic inside a region body is caught before the state lock is
+    // touched, so poisoning can only come from unwinding in this module;
+    // recover the guard rather than compounding the failure.
+    p.state.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        state: Mutex::new(PoolState {
+            epoch: 0,
+            job: None,
+            active: 0,
+            spawned: 0,
+            panicked: false,
+        }),
+        work_cv: Condvar::new(),
+        done_cv: Condvar::new(),
+        dispatch: Mutex::new(()),
+    })
+}
+
+fn worker_loop(p: &'static Pool, slot: usize, mut seen: u64) {
+    IN_PARALLEL.with(|c| c.set(true));
+    loop {
+        let job = {
+            let mut st = lock_state(p);
+            while st.epoch == seen {
+                st = p.work_cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+            seen = st.epoch;
+            st.job
+        };
+        let panicked = match job {
+            Some(j) => {
+                // SAFETY: the dispatcher keeps the body alive until this
+                // epoch quiesces (it waits for `active == 0` below).
+                catch_unwind(AssertUnwindSafe(|| (unsafe { &*j.0 })(slot))).is_err()
+            }
+            None => false,
+        };
+        let mut st = lock_state(p);
+        if panicked {
+            st.panicked = true;
+        }
+        st.active -= 1;
+        if st.active == 0 {
+            p.done_cv.notify_all();
+        }
+    }
+}
+
+/// Spawns workers (under the state lock) until `target` exist. Workers get
+/// the current epoch so a thread born between regions never mistakes an
+/// old epoch for fresh work.
+fn spawn_to(st: &mut PoolState, target: usize) {
+    while st.spawned < target.min(MAX_POOL_WORKERS) {
+        let slot = st.spawned + 1; // slot 0 is the dispatcher
+        let epoch = st.epoch;
+        let spawned = std::thread::Builder::new()
+            .name(format!("bgw-par-{slot}"))
+            .spawn(move || worker_loop(pool(), slot, epoch))
+            .is_ok();
+        if !spawned {
+            break; // proceed with fewer helpers
+        }
+        st.spawned += 1;
+    }
+}
+
+/// Runs `job` on the pool with `participants` total executors (the caller
+/// is slot 0). Returns `false` — without running anything — when the
+/// region must run inline instead (single participant, nested call, or
+/// another thread is mid-dispatch).
+fn pool_run(participants: usize, job: &(dyn Fn(usize) + Sync)) -> bool {
+    if participants <= 1 || IN_PARALLEL.with(|c| c.get()) {
+        return false;
+    }
+    let p = pool();
+    let Ok(_dispatch) = p.dispatch.try_lock() else {
+        return false;
+    };
+    let t0 = Instant::now();
+    let ptr: *const (dyn Fn(usize) + Sync) = job;
+    // SAFETY: lifetime erasure only; the quiesce loop below keeps `job`
+    // borrowed until no worker can still be executing it.
+    let job_ref = JobRef(unsafe {
+        std::mem::transmute::<*const (dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync + 'static)>(
+            ptr,
+        )
+    });
+    {
+        let mut st = lock_state(p);
+        spawn_to(&mut st, participants - 1);
+        st.job = Some(job_ref);
+        st.active = st.spawned;
+        st.epoch += 1;
+        p.work_cv.notify_all();
+    }
+    IN_PARALLEL.with(|c| c.set(true));
+    let caller_result = catch_unwind(AssertUnwindSafe(|| job(0)));
+    IN_PARALLEL.with(|c| c.set(false));
+    let worker_panicked = {
+        let mut st = lock_state(p);
+        while st.active > 0 {
+            st = p.done_cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        st.job = None;
+        std::mem::replace(&mut st.panicked, false)
+    };
+    bgw_perf::counters::record_pool_dispatch(t0.elapsed().as_nanos() as u64);
+    drop(_dispatch);
+    if let Err(e) = caller_result {
+        resume_unwind(e);
+    }
+    if worker_panicked {
+        panic!("bgw-par worker panicked during a parallel region");
+    }
+    true
+}
+
+// ---------------------------------------------------------------------------
+// Data-parallel primitives.
+// ---------------------------------------------------------------------------
+
+/// Runs `body(i)` for every `i in 0..n`, distributing chunks of indices
+/// over the worker pool with dynamic (atomic counter) scheduling.
 ///
 /// `body` must be safe to call concurrently from several threads.
 pub fn parallel_for<F>(n: usize, body: F)
@@ -66,8 +255,9 @@ where
 
 /// Runs `body(lo, hi)` over disjoint chunks `[lo, hi)` covering `0..n`.
 ///
-/// This is the primitive the GW kernels use directly: a chunk corresponds to
-/// a tile of the `(G', n)` loop nest and the body runs its own inner loops.
+/// This is the primitive the GW kernels use directly: a chunk corresponds
+/// to a tile of the `(G', n)` loop nest and the body runs its own inner
+/// loops.
 pub fn parallel_for_chunked<F>(n: usize, chunk: usize, body: F)
 where
     F: Fn(usize, usize) + Sync,
@@ -76,36 +266,41 @@ where
         return;
     }
     let chunk = chunk.max(1);
-    let workers = num_threads().min(n.div_ceil(chunk));
-    if workers <= 1 {
-        let mut lo = 0;
-        while lo < n {
-            let hi = (lo + chunk).min(n);
-            body(lo, hi);
-            lo = hi;
-        }
-        return;
-    }
-    let counter = AtomicUsize::new(0);
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| loop {
+    let participants = num_threads().min(n.div_ceil(chunk));
+    if participants > 1 {
+        let counter = AtomicUsize::new(0);
+        let work = |slot: usize| {
+            if slot >= participants {
+                return; // pool is larger than this region wants
+            }
+            loop {
                 let start = counter.fetch_add(chunk, Ordering::Relaxed);
                 if start >= n {
                     break;
                 }
-                let end = (start + chunk).min(n);
-                body(start, end);
-            });
+                body(start, (start + chunk).min(n));
+            }
+        };
+        if pool_run(participants, &work) {
+            return;
         }
-    });
+    }
+    bgw_perf::counters::record_pool_inline();
+    let mut lo = 0;
+    while lo < n {
+        let hi = (lo + chunk).min(n);
+        body(lo, hi);
+        lo = hi;
+    }
 }
 
-/// Parallel reduction: each worker folds its chunks into a local accumulator
-/// created by `identity`, then the accumulators are merged with `merge`.
+/// Parallel reduction: each participant folds its chunks into a local
+/// accumulator created by `identity`, then the accumulators are merged
+/// with `merge`.
 ///
-/// The merge order is deterministic (worker index order), so results are
-/// reproducible for associative-enough `merge` operations.
+/// The merge order is deterministic (participant slot order), so results
+/// are reproducible for associative-enough `merge` operations; chunk
+/// *assignment* is dynamic, as in the paper's two-stage reductions.
 pub fn parallel_reduce<T, Fid, Fbody, Fmerge>(
     n: usize,
     chunk: usize,
@@ -123,47 +318,85 @@ where
         return identity();
     }
     let chunk = chunk.max(1);
-    let workers = num_threads().min(n.div_ceil(chunk));
-    if workers <= 1 {
-        let mut acc = identity();
-        let mut lo = 0;
-        while lo < n {
-            let hi = (lo + chunk).min(n);
-            body(&mut acc, lo, hi);
-            lo = hi;
-        }
-        return acc;
-    }
-    let counter = AtomicUsize::new(0);
-    let mut partials: Vec<T> = Vec::with_capacity(workers);
-    std::thread::scope(|s| {
-        let mut handles = Vec::with_capacity(workers);
-        for _ in 0..workers {
-            handles.push(s.spawn(|| {
-                let mut acc = identity();
-                loop {
-                    let start = counter.fetch_add(chunk, Ordering::Relaxed);
-                    if start >= n {
-                        break;
-                    }
-                    let end = (start + chunk).min(n);
-                    body(&mut acc, start, end);
+    let participants = num_threads().min(n.div_ceil(chunk));
+    if participants > 1 {
+        let slots: Vec<Mutex<Option<T>>> = (0..participants).map(|_| Mutex::new(None)).collect();
+        let counter = AtomicUsize::new(0);
+        let work = |slot: usize| {
+            if slot >= participants {
+                return;
+            }
+            let mut acc = identity();
+            loop {
+                let start = counter.fetch_add(chunk, Ordering::Relaxed);
+                if start >= n {
+                    break;
                 }
-                acc
-            }));
+                body(&mut acc, start, (start + chunk).min(n));
+            }
+            *slots[slot].lock().unwrap_or_else(|e| e.into_inner()) = Some(acc);
+        };
+        if pool_run(participants, &work) {
+            let mut acc: Option<T> = None;
+            for m in slots {
+                // A slot stays `None` only if the pool could not field a
+                // worker for it; slot 0 (the caller) always ran.
+                if let Some(v) = m.into_inner().unwrap_or_else(|e| e.into_inner()) {
+                    acc = Some(match acc {
+                        None => v,
+                        Some(a) => merge(a, v),
+                    });
+                }
+            }
+            return acc.expect("caller slot always produces a value");
         }
-        for h in handles {
-            partials.push(h.join().expect("parallel_reduce worker panicked"));
-        }
-    });
-    let mut it = partials.into_iter();
-    let first = it.next().expect("at least one worker");
-    it.fold(first, merge)
+    }
+    bgw_perf::counters::record_pool_inline();
+    let mut acc = identity();
+    let mut lo = 0;
+    while lo < n {
+        let hi = (lo + chunk).min(n);
+        body(&mut acc, lo, hi);
+        lo = hi;
+    }
+    acc
 }
 
-/// Applies `body(i, &mut slot)` to each element of `out` in parallel, where
-/// `i` is the element index. This is the safe "one writer per element"
-/// pattern used to fill rows of distributed matrices.
+/// A `Send + Sync` raw-pointer wrapper for handing disjoint regions of a
+/// buffer to pool workers.
+///
+/// # Safety contract
+/// The wrapper itself is safe to create and copy; every dereference is
+/// `unsafe` and the caller must guarantee that concurrent accesses through
+/// copies of the pointer touch disjoint elements.
+pub struct SendPtr<T>(*mut T);
+
+impl<T> SendPtr<T> {
+    /// Wraps a raw pointer.
+    pub fn new(p: *mut T) -> Self {
+        Self(p)
+    }
+
+    /// The wrapped pointer.
+    pub fn get(self) -> *mut T {
+        self.0
+    }
+}
+
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+// SAFETY: see the type-level contract — disjointness is the caller's
+// obligation at each unsafe dereference site.
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+/// Applies `body(i, &mut slot)` to each element of `out` in parallel,
+/// where `i` is the element index. This is the safe "one writer per
+/// element" pattern used to fill rows of distributed matrices.
 pub fn parallel_fill<T, F>(out: &mut [T], body: F)
 where
     T: Send,
@@ -174,39 +407,46 @@ where
         return;
     }
     let chunk = auto_chunk(n, num_threads(), 1);
-    let workers = num_threads().min(n.div_ceil(chunk));
-    if workers <= 1 {
-        for (i, slot) in out.iter_mut().enumerate() {
+    let ptr = SendPtr::new(out.as_mut_ptr());
+    parallel_for_chunked(n, chunk, move |lo, hi| {
+        for i in lo..hi {
+            // SAFETY: chunks [lo, hi) are disjoint across participants and
+            // `i` is visited exactly once, so each element has one writer.
+            let slot = unsafe { &mut *ptr.get().add(i) };
             body(i, slot);
         }
+    });
+}
+
+/// Applies `body(r, row)` to each `row_len`-sized row of `data` in
+/// parallel. `data.len()` must be a multiple of `row_len`.
+///
+/// This is the row-scaling / row-fill primitive behind the CHI_SUM energy
+/// factors and the GPP `P`-matrix prep step.
+pub fn parallel_rows<T, F>(data: &mut [T], row_len: usize, body: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    if data.is_empty() {
         return;
     }
-    // Hand out disjoint chunks of the slice to workers through a shared
-    // queue of (offset, sub-slice) pairs; disjointness makes this race free.
-    let mut chunks: Vec<(usize, &mut [T])> = Vec::new();
-    let mut rest = out;
-    let mut off = 0;
-    while !rest.is_empty() {
-        let take = chunk.min(rest.len());
-        let (head, tail) = rest.split_at_mut(take);
-        chunks.push((off, head));
-        off += take;
-        rest = tail;
-    }
-    let queue = parking_lot::Mutex::new(chunks);
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| loop {
-                let item = queue.lock().pop();
-                match item {
-                    Some((off, slice)) => {
-                        for (j, slot) in slice.iter_mut().enumerate() {
-                            body(off + j, slot);
-                        }
-                    }
-                    None => break,
-                }
-            });
+    assert!(row_len > 0, "row_len must be positive");
+    assert_eq!(
+        data.len() % row_len,
+        0,
+        "data is not a whole number of rows"
+    );
+    let nrows = data.len() / row_len;
+    let chunk = auto_chunk(nrows, num_threads(), 1);
+    let ptr = SendPtr::new(data.as_mut_ptr());
+    parallel_for_chunked(nrows, chunk, move |lo, hi| {
+        for r in lo..hi {
+            // SAFETY: row ranges [lo, hi) are disjoint across participants,
+            // so each row slice has exactly one writer.
+            let row =
+                unsafe { std::slice::from_raw_parts_mut(ptr.get().add(r * row_len), row_len) };
+            body(r, row);
         }
     });
 }
@@ -217,11 +457,15 @@ mod tests {
     use std::sync::atomic::AtomicU64;
 
     // Tests mutate the global thread count; serialize them.
-    static TEST_LOCK: parking_lot::Mutex<()> = parking_lot::Mutex::new(());
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn test_guard() -> MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
 
     #[test]
     fn thread_count_override() {
-        let _g = TEST_LOCK.lock();
+        let _g = test_guard();
         set_num_threads(3);
         assert_eq!(num_threads(), 3);
         set_num_threads(0);
@@ -238,7 +482,7 @@ mod tests {
 
     #[test]
     fn parallel_for_visits_every_index_once() {
-        let _g = TEST_LOCK.lock();
+        let _g = test_guard();
         for &threads in &[1usize, 2, 5] {
             set_num_threads(threads);
             let n = 1000;
@@ -255,14 +499,14 @@ mod tests {
 
     #[test]
     fn chunked_covers_range_with_disjoint_chunks() {
-        let _g = TEST_LOCK.lock();
+        let _g = test_guard();
         set_num_threads(4);
         let n = 103;
         let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
         parallel_for_chunked(n, 10, |lo, hi| {
             assert!(lo < hi && hi <= n);
-            for i in lo..hi {
-                hits[i].fetch_add(1, Ordering::Relaxed);
+            for h in &hits[lo..hi] {
+                h.fetch_add(1, Ordering::Relaxed);
             }
         });
         assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
@@ -271,7 +515,7 @@ mod tests {
 
     #[test]
     fn reduce_sums_match_serial() {
-        let _g = TEST_LOCK.lock();
+        let _g = test_guard();
         for &threads in &[1usize, 2, 7] {
             set_num_threads(threads);
             let n = 12_345usize;
@@ -299,7 +543,7 @@ mod tests {
 
     #[test]
     fn parallel_fill_writes_each_slot() {
-        let _g = TEST_LOCK.lock();
+        let _g = test_guard();
         set_num_threads(4);
         let mut out = vec![0usize; 517];
         parallel_fill(&mut out, |i, slot| *slot = i * i);
@@ -316,8 +560,28 @@ mod tests {
     }
 
     #[test]
+    fn parallel_rows_scales_disjoint_rows() {
+        let _g = test_guard();
+        set_num_threads(4);
+        let nrows = 37;
+        let row_len = 11;
+        let mut data = vec![1.0f64; nrows * row_len];
+        parallel_rows(&mut data, row_len, |r, row| {
+            for x in row {
+                *x *= (r + 1) as f64;
+            }
+        });
+        for r in 0..nrows {
+            for j in 0..row_len {
+                assert_eq!(data[r * row_len + j], (r + 1) as f64, "row {r}");
+            }
+        }
+        set_num_threads(0);
+    }
+
+    #[test]
     fn nested_parallelism_does_not_deadlock() {
-        let _g = TEST_LOCK.lock();
+        let _g = test_guard();
         set_num_threads(2);
         let acc = AtomicU64::new(0);
         parallel_for(4, |_| {
@@ -326,6 +590,126 @@ mod tests {
             });
         });
         assert_eq!(acc.load(Ordering::Relaxed), 32);
+        set_num_threads(0);
+    }
+
+    #[test]
+    fn deeply_nested_calls_run_inline() {
+        let _g = test_guard();
+        set_num_threads(3);
+        let acc = AtomicU64::new(0);
+        parallel_for(2, |_| {
+            parallel_for(2, |_| {
+                parallel_reduce(
+                    4,
+                    1,
+                    || 0u64,
+                    |a, lo, hi| *a += (hi - lo) as u64,
+                    |a, b| a + b,
+                );
+                acc.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(acc.load(Ordering::Relaxed), 4);
+        set_num_threads(0);
+    }
+
+    #[test]
+    fn concurrent_callers_from_two_os_threads() {
+        let _g = test_guard();
+        set_num_threads(4);
+        // Two OS threads issue parallel calls at once: one wins the pool,
+        // the other must fall back inline; both must compute correctly.
+        let results = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..2)
+                .map(|t| {
+                    s.spawn(move || {
+                        let mut totals = Vec::new();
+                        for round in 0..20 {
+                            let n = 500 + 37 * t + round;
+                            let total = parallel_reduce(
+                                n,
+                                16,
+                                || 0u64,
+                                |acc, lo, hi| {
+                                    for i in lo..hi {
+                                        *acc += i as u64;
+                                    }
+                                },
+                                |a, b| a + b,
+                            );
+                            totals.push((n, total));
+                        }
+                        totals
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect::<Vec<_>>()
+        });
+        for totals in results {
+            for (n, total) in totals {
+                assert_eq!(total, (n as u64 - 1) * n as u64 / 2);
+            }
+        }
+        set_num_threads(0);
+    }
+
+    #[test]
+    fn thread_count_changes_between_calls() {
+        let _g = test_guard();
+        // Shrinking and growing the pool between calls must stay correct:
+        // the pool keeps its largest size but gates participation.
+        for &threads in &[1usize, 6, 2, 5, 1, 3] {
+            set_num_threads(threads);
+            let n = 777;
+            let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+            parallel_for(n, |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "threads {threads}"
+            );
+        }
+        set_num_threads(0);
+    }
+
+    #[test]
+    fn pool_dispatch_counter_advances() {
+        let _g = test_guard();
+        set_num_threads(4);
+        let before = bgw_perf::counters::snapshot();
+        parallel_for(10_000, |_| {});
+        let after = bgw_perf::counters::snapshot();
+        let d = before.delta(&after);
+        assert!(
+            d.pool_dispatches >= 1 || d.pool_inline_runs >= 1,
+            "a parallel call must be accounted somewhere"
+        );
+        set_num_threads(0);
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        let _g = test_guard();
+        set_num_threads(4);
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            parallel_for(64, |i| {
+                if i == 13 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(r.is_err(), "panic in a region body must propagate");
+        // The pool must still be usable afterwards.
+        let hits = AtomicU64::new(0);
+        parallel_for(100, |_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
         set_num_threads(0);
     }
 }

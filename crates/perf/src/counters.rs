@@ -1,0 +1,152 @@
+//! Global, lock-free runtime counters for the node-level substrates.
+//!
+//! The paper attributes its kernel wins to two layers below the physics:
+//! the threading runtime (Sec. 5.5's two-level work decomposition) and the
+//! ZGEMM substrate (Sec. 5.6's Tensile-tuned GEMMs). These counters make
+//! both layers observable from any binary without plumbing handles through
+//! every call site: `bgw-par` records worker-pool dispatches and the time
+//! spent inside pooled regions, `bgw-linalg` records GEMM packing versus
+//! compute time.
+//!
+//! Counters are process-global atomics. Readers take [`snapshot`]s and
+//! difference them around a region of interest; concurrent work from other
+//! threads is included by design (the counters describe the process, not a
+//! call tree).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static POOL_DISPATCHES: AtomicU64 = AtomicU64::new(0);
+static POOL_PARALLEL_NS: AtomicU64 = AtomicU64::new(0);
+static POOL_INLINE_RUNS: AtomicU64 = AtomicU64::new(0);
+static GEMM_CALLS: AtomicU64 = AtomicU64::new(0);
+static GEMM_PACK_NS: AtomicU64 = AtomicU64::new(0);
+static GEMM_COMPUTE_NS: AtomicU64 = AtomicU64::new(0);
+
+/// Point-in-time reading of every substrate counter.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Parallel regions executed on the persistent worker pool.
+    pub pool_dispatches: u64,
+    /// Wall-clock nanoseconds spent inside pooled parallel regions
+    /// (dispatch + body + join, measured on the calling thread).
+    pub pool_parallel_ns: u64,
+    /// Parallel calls that ran inline (single worker requested, nested
+    /// call, or the pool was busy with another dispatcher).
+    pub pool_inline_runs: u64,
+    /// Blocked/parallel/tuned ZGEMM invocations.
+    pub gemm_calls: u64,
+    /// Nanoseconds spent packing GEMM operand panels (summed over threads).
+    pub gemm_pack_ns: u64,
+    /// Nanoseconds spent in the GEMM microkernel sweep (summed over
+    /// threads; overlapping threads each contribute their own time).
+    pub gemm_compute_ns: u64,
+}
+
+impl CounterSnapshot {
+    /// Counter increments between `self` (earlier) and `later`.
+    pub fn delta(&self, later: &CounterSnapshot) -> CounterSnapshot {
+        CounterSnapshot {
+            pool_dispatches: later.pool_dispatches.saturating_sub(self.pool_dispatches),
+            pool_parallel_ns: later.pool_parallel_ns.saturating_sub(self.pool_parallel_ns),
+            pool_inline_runs: later.pool_inline_runs.saturating_sub(self.pool_inline_runs),
+            gemm_calls: later.gemm_calls.saturating_sub(self.gemm_calls),
+            gemm_pack_ns: later.gemm_pack_ns.saturating_sub(self.gemm_pack_ns),
+            gemm_compute_ns: later.gemm_compute_ns.saturating_sub(self.gemm_compute_ns),
+        }
+    }
+
+    /// Seconds spent packing GEMM operands.
+    pub fn gemm_pack_seconds(&self) -> f64 {
+        self.gemm_pack_ns as f64 * 1e-9
+    }
+
+    /// Seconds spent in the GEMM microkernel.
+    pub fn gemm_compute_seconds(&self) -> f64 {
+        self.gemm_compute_ns as f64 * 1e-9
+    }
+
+    /// Seconds spent inside pooled parallel regions.
+    pub fn pool_parallel_seconds(&self) -> f64 {
+        self.pool_parallel_ns as f64 * 1e-9
+    }
+}
+
+/// Reads all counters.
+pub fn snapshot() -> CounterSnapshot {
+    CounterSnapshot {
+        pool_dispatches: POOL_DISPATCHES.load(Ordering::Relaxed),
+        pool_parallel_ns: POOL_PARALLEL_NS.load(Ordering::Relaxed),
+        pool_inline_runs: POOL_INLINE_RUNS.load(Ordering::Relaxed),
+        gemm_calls: GEMM_CALLS.load(Ordering::Relaxed),
+        gemm_pack_ns: GEMM_PACK_NS.load(Ordering::Relaxed),
+        gemm_compute_ns: GEMM_COMPUTE_NS.load(Ordering::Relaxed),
+    }
+}
+
+/// Resets every counter to zero (benchmark harness convenience; racing
+/// writers are not a correctness problem, only an accounting smear).
+pub fn reset() {
+    POOL_DISPATCHES.store(0, Ordering::Relaxed);
+    POOL_PARALLEL_NS.store(0, Ordering::Relaxed);
+    POOL_INLINE_RUNS.store(0, Ordering::Relaxed);
+    GEMM_CALLS.store(0, Ordering::Relaxed);
+    GEMM_PACK_NS.store(0, Ordering::Relaxed);
+    GEMM_COMPUTE_NS.store(0, Ordering::Relaxed);
+}
+
+/// Records one pooled parallel region of `ns` nanoseconds.
+#[inline]
+pub fn record_pool_dispatch(ns: u64) {
+    POOL_DISPATCHES.fetch_add(1, Ordering::Relaxed);
+    POOL_PARALLEL_NS.fetch_add(ns, Ordering::Relaxed);
+}
+
+/// Records one inline (non-pooled) parallel call.
+#[inline]
+pub fn record_pool_inline() {
+    POOL_INLINE_RUNS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records one blocked-family ZGEMM invocation.
+#[inline]
+pub fn record_gemm_call() {
+    GEMM_CALLS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Adds operand-packing time to the GEMM accounting.
+#[inline]
+pub fn record_gemm_pack_ns(ns: u64) {
+    GEMM_PACK_NS.fetch_add(ns, Ordering::Relaxed);
+}
+
+/// Adds microkernel time to the GEMM accounting.
+#[inline]
+pub fn record_gemm_compute_ns(ns: u64) {
+    GEMM_COMPUTE_NS.fetch_add(ns, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_deltas_reflect_records() {
+        let before = snapshot();
+        record_pool_dispatch(1000);
+        record_pool_inline();
+        record_gemm_call();
+        record_gemm_pack_ns(10);
+        record_gemm_compute_ns(20);
+        let after = snapshot();
+        let d = before.delta(&after);
+        assert!(d.pool_dispatches >= 1);
+        assert!(d.pool_parallel_ns >= 1000);
+        assert!(d.pool_inline_runs >= 1);
+        assert!(d.gemm_calls >= 1);
+        assert!(d.gemm_pack_ns >= 10);
+        assert!(d.gemm_compute_ns >= 20);
+        assert!(d.gemm_pack_seconds() > 0.0);
+        assert!(d.gemm_compute_seconds() > 0.0);
+        assert!(d.pool_parallel_seconds() > 0.0);
+    }
+}

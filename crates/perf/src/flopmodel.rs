@@ -81,7 +81,11 @@ mod tests {
         // each Table 3 row's Est. column must equal Eq. 7 with the stated
         // machine prefactor (to rounding in the paper).
         for (m, row) in paper_table3() {
-            let alpha = if m == 'F' { ALPHA_FRONTIER } else { ALPHA_AURORA };
+            let alpha = if m == 'F' {
+                ALPHA_FRONTIER
+            } else {
+                ALPHA_AURORA
+            };
             let est = gpp_diag_flops(alpha, row.n_sigma, row.n_b, row.n_g, row.n_e) / 1e12;
             assert!(
                 (est - row.est_tflop).abs() / row.est_tflop < 0.01,

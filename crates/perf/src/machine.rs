@@ -112,7 +112,7 @@ mod tests {
         let a = Machine::aurora();
         assert_eq!(a.gpus(9_600), 115_200); // "115,200 Intel GPUs"
         assert_eq!(a.gpus(9_296), 111_552); // "111,552 Intel GPUs"
-        // theoretical 2.17 EF on 10,624 nodes
+                                            // theoretical 2.17 EF on 10,624 nodes
         assert!((a.peak_flops(10_624) / 1e18 - 2.167).abs() < 0.01);
         // attainable 1.45 EF
         assert!((a.attainable_flops(10_624) / 1e18 - 1.453).abs() < 0.01);

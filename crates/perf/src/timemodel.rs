@@ -161,8 +161,7 @@ pub fn sigma_time(
     include_io: bool,
 ) -> TimeBreakdown {
     let gpus = machine.gpus(nodes).max(1);
-    let sustained =
-        eff.get(kernel, machine) * machine.attainable_tflops_per_gpu * 1e12;
+    let sustained = eff.get(kernel, machine) * machine.attainable_tflops_per_gpu * 1e12;
     let mut t = TimeBreakdown::default();
     match kernel {
         Kernel::Diag => {
@@ -364,7 +363,10 @@ mod tests {
         // Si998-b: kernel 303 s, incl. I/O 605 s -> I/O roughly doubles.
         let m = Machine::frontier();
         let eff = Efficiencies::paper_anchored();
-        let w = SigmaWorkload { n_e: 512, ..si998a() };
+        let w = SigmaWorkload {
+            n_e: 512,
+            ..si998a()
+        };
         let no_io = sigma_time(&m, 9_408, &w, Kernel::Offdiag, &eff, None, false);
         let with_io = sigma_time(&m, 9_408, &w, Kernel::Offdiag, &eff, None, true);
         assert!(with_io.io_s > 0.0);

@@ -64,8 +64,21 @@ impl Perturbation {
         // g = conj(C) dV C^T with C the (bands x G) coefficient matrix:
         // g_mn = sum_{GG'} conj(c_m(G)) dV_{GG'} c_n(G').
         // Using conj(C) X = conj(C conj(X)):
-        let dv_ct = matmul(&self.dv, Op::None, &wf.coeffs, Op::Trans, GemmBackend::Parallel);
-        matmul(&wf.coeffs, Op::None, &dv_ct.conj(), Op::None, GemmBackend::Parallel).conj()
+        let dv_ct = matmul(
+            &self.dv,
+            Op::None,
+            &wf.coeffs,
+            Op::Trans,
+            GemmBackend::Parallel,
+        );
+        matmul(
+            &wf.coeffs,
+            Op::None,
+            &dv_ct.conj(),
+            Op::None,
+            GemmBackend::Parallel,
+        )
+        .conj()
     }
 
     /// First-order wavefunctions by sum-over-states (Sternheimer):
@@ -74,11 +87,7 @@ impl Perturbation {
     /// Quasi-degenerate pairs (`|E_n - E_m| < degeneracy_tol`) are skipped,
     /// the standard convention for intra-degenerate-subspace rotations that
     /// do not contribute to physical responses.
-    pub fn first_order_wavefunctions(
-        &self,
-        wf: &Wavefunctions,
-        degeneracy_tol: f64,
-    ) -> CMatrix {
+    pub fn first_order_wavefunctions(&self, wf: &Wavefunctions, degeneracy_tol: f64) -> CMatrix {
         let nb = wf.n_bands();
         let ng = wf.n_g();
         let g = self.coupling_matrix(wf);
@@ -206,7 +215,7 @@ mod tests {
         let dpsi = p.first_order_wavefunctions(&wf, 1e-6);
         let h = crate::hamiltonian::Hamiltonian::new(&c, &sph).to_matrix();
         let n = 2; // a low valence band
-        // lhs = (H - E_n) dpsi_n
+                   // lhs = (H - E_n) dpsi_n
         let hd = h.matvec(dpsi.row(n));
         let lhs: Vec<Complex64> = hd
             .iter()

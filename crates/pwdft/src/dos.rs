@@ -48,7 +48,8 @@ impl Dos {
             if self.energies[i] > e {
                 break;
             }
-            acc += 0.5 * (self.values[i] + self.values[i - 1])
+            acc += 0.5
+                * (self.values[i] + self.values[i - 1])
                 * (self.energies[i] - self.energies[i - 1]);
         }
         acc

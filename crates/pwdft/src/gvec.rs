@@ -54,11 +54,7 @@ impl GSphere {
             }
         }
         // Deterministic order: energy, then Miller lexicographic.
-        entries.sort_by(|a, b| {
-            a.2.partial_cmp(&b.2)
-                .unwrap()
-                .then_with(|| a.0.cmp(&b.0))
-        });
+        entries.sort_by(|a, b| a.2.partial_cmp(&b.2).unwrap().then_with(|| a.0.cmp(&b.0)));
         let mut miller = Vec::with_capacity(entries.len());
         let mut cart = Vec::with_capacity(entries.len());
         let mut norm2 = Vec::with_capacity(entries.len());
@@ -71,10 +67,23 @@ impl GSphere {
         }
         // FFT box: must hold differences G - G', i.e. Miller range
         // [-2 m_max, 2 m_max]; round up to 5-smooth sizes.
-        let max_m = |axis: usize| miller.iter().map(|m| m[axis].unsigned_abs()).max().unwrap_or(0);
+        let max_m = |axis: usize| {
+            miller
+                .iter()
+                .map(|m| m[axis].unsigned_abs())
+                .max()
+                .unwrap_or(0)
+        };
         let dim = |axis: usize| bgw_fft::good_size((4 * max_m(axis) + 1) as usize);
         let fft_dims = (dim(0), dim(1), dim(2));
-        Self { miller, cart, norm2, ecut_ry, fft_dims, index }
+        Self {
+            miller,
+            cart,
+            norm2,
+            ecut_ry,
+            fft_dims,
+            index,
+        }
     }
 
     /// Number of G-vectors (`N_G`).

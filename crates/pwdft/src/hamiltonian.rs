@@ -133,11 +133,7 @@ fn potential_on_box(_crystal: &Crystal, spec: &BoxSpec) -> Vec<Complex64> {
         let ix = flat / (ny * nz);
         let iy = (flat / nz) % ny;
         let iz = flat % nz;
-        let m = [
-            to_signed(ix, nx),
-            to_signed(iy, ny),
-            to_signed(iz, nz),
-        ];
+        let m = [to_signed(ix, nx), to_signed(iy, ny), to_signed(iz, nz)];
         let g = spec.lattice.g_cart(m);
         let q = (g[0] * g[0] + g[1] * g[1] + g[2] * g[2]).sqrt();
         let mut acc = Complex64::ZERO;
@@ -148,9 +144,7 @@ fn potential_on_box(_crystal: &Crystal, spec: &BoxSpec) -> Vec<Complex64> {
             }
             // phase = -G . r_j = -2 pi m . frac
             let phase = -two_pi
-                * (m[0] as f64 * at.frac[0]
-                    + m[1] as f64 * at.frac[1]
-                    + m[2] as f64 * at.frac[2]);
+                * (m[0] as f64 * at.frac[0] + m[1] as f64 * at.frac[1] + m[2] as f64 * at.frac[2]);
             acc += Complex64::cis(phase).scale(u);
         }
         *slot = acc.scale(1.0 / spec.volume);
@@ -210,7 +204,11 @@ mod tests {
         let dense = h.to_matrix();
         let y1 = h.matvec(&x);
         let y2 = dense.matvec(&x);
-        let err = y1.iter().zip(&y2).map(|(a, b)| (*a - *b).abs()).fold(0.0, f64::max);
+        let err = y1
+            .iter()
+            .zip(&y2)
+            .map(|(a, b)| (*a - *b).abs())
+            .fold(0.0, f64::max);
         assert!(err < 1e-10, "err {err}");
     }
 

@@ -21,12 +21,7 @@ pub type KVector = [f64; 3];
 /// The sphere should use a slightly larger cutoff than the target states
 /// need, since the kinetic energies `|k + G|^2` shift by up to
 /// `2 |k| G_max + |k|^2`.
-pub fn hamiltonian_at_k(
-    crystal: &Crystal,
-    sph: &GSphere,
-    h0: &Hamiltonian,
-    k: KVector,
-) -> CMatrix {
+pub fn hamiltonian_at_k(crystal: &Crystal, sph: &GSphere, h0: &Hamiltonian, k: KVector) -> CMatrix {
     let n = sph.len();
     assert_eq!(h0.dim(), n, "Hamiltonian and sphere disagree");
     assert!(crystal.n_atoms() > 0 || n > 0);
@@ -101,11 +96,14 @@ pub fn kpath(vertices: &[KPoint], per_segment: usize) -> KPath {
         let (a, b) = (&pair[0], &pair[1]);
         labels.push((kpoints.len(), a.label.clone()));
         let steps = per_segment;
-        let seg_len = ((b.k[0] - a.k[0]).powi(2)
-            + (b.k[1] - a.k[1]).powi(2)
-            + (b.k[2] - a.k[2]).powi(2))
-        .sqrt();
-        let upper = if v == vertices.len() - 2 { steps + 1 } else { steps };
+        let seg_len =
+            ((b.k[0] - a.k[0]).powi(2) + (b.k[1] - a.k[1]).powi(2) + (b.k[2] - a.k[2]).powi(2))
+                .sqrt();
+        let upper = if v == vertices.len() - 2 {
+            steps + 1
+        } else {
+            steps
+        };
         for s in 0..upper {
             let t = s as f64 / steps as f64;
             kpoints.push([
@@ -118,7 +116,11 @@ pub fn kpath(vertices: &[KPoint], per_segment: usize) -> KPath {
         dist += seg_len;
     }
     labels.push((kpoints.len() - 1, vertices.last().unwrap().label.clone()));
-    KPath { kpoints, distance, labels }
+    KPath {
+        kpoints,
+        distance,
+        labels,
+    }
 }
 
 /// The standard fcc high-symmetry points for a conventional cubic cell of
@@ -126,9 +128,18 @@ pub fn kpath(vertices: &[KPoint], per_segment: usize) -> KPath {
 pub fn fcc_path_vertices(a0: f64) -> Vec<KPoint> {
     let g = 2.0 * std::f64::consts::PI / a0;
     vec![
-        KPoint { label: "L".into(), k: [0.5 * g, 0.5 * g, 0.5 * g] },
-        KPoint { label: "Gamma".into(), k: [0.0, 0.0, 0.0] },
-        KPoint { label: "X".into(), k: [g, 0.0, 0.0] },
+        KPoint {
+            label: "L".into(),
+            k: [0.5 * g, 0.5 * g, 0.5 * g],
+        },
+        KPoint {
+            label: "Gamma".into(),
+            k: [0.0, 0.0, 0.0],
+        },
+        KPoint {
+            label: "X".into(),
+            k: [g, 0.0, 0.0],
+        },
     ]
 }
 
@@ -188,8 +199,7 @@ pub fn kgrid_dos(
         .map(|i| e_lo + (e_hi - e_lo) * i as f64 / (n_points - 1) as f64)
         .collect();
     let mut values = vec![0.0; n_points];
-    let norm =
-        2.0 / (sigma * (2.0 * std::f64::consts::PI).sqrt()) / kgrid.len() as f64;
+    let norm = 2.0 / (sigma * (2.0 * std::f64::consts::PI).sqrt()) / kgrid.len() as f64;
     for &k in kgrid {
         let bands = bands_at_k(crystal, sph, &h0, k, n_bands);
         for &en in &bands {
@@ -296,7 +306,10 @@ mod tests {
         let bands = band_structure(&c, &sph, &path, 6);
         let nv = c.n_valence_bands(); // 4 in the primitive 2-atom cell
         let gap = indirect_gap(&bands, nv);
-        assert!(gap > 0.0, "model Si must be insulating along the path: {gap}");
+        assert!(
+            gap > 0.0,
+            "model Si must be insulating along the path: {gap}"
+        );
         // VBM at Gamma
         let gamma_idx = path
             .kpoints
@@ -320,16 +333,16 @@ mod tests {
         // odd grid contains Gamma exactly
         let ks = monkhorst_pack(&lat, [3, 3, 3]);
         assert_eq!(ks.len(), 27);
-        assert!(ks
-            .iter()
-            .any(|k| k.iter().all(|&x| x.abs() < 1e-12)));
+        assert!(ks.iter().any(|k| k.iter().all(|&x| x.abs() < 1e-12)));
         // even grid avoids Gamma
         let ks2 = monkhorst_pack(&lat, [2, 2, 2]);
         assert_eq!(ks2.len(), 8);
         assert!(!ks2.iter().any(|k| k.iter().all(|&x| x.abs() < 1e-12)));
         // grid is inversion symmetric: for every k there is -k
         for k in &ks2 {
-            assert!(ks2.iter().any(|q| (0..3).all(|c| (q[c] + k[c]).abs() < 1e-10)));
+            assert!(ks2
+                .iter()
+                .any(|q| (0..3).all(|c| (q[c] + k[c]).abs() < 1e-10)));
         }
     }
 
@@ -368,7 +381,10 @@ mod tests {
         // check signs: valence-band top curves down (m* < 0), and the
         // lowest band at Gamma curves up (m* > 0).
         let m_bottom = effective_mass(&c, &sph, &h0, 0, [0.0; 3], [1.0, 0.0, 0.0], 0.02);
-        assert!(m_bottom > 0.0, "band 0 at Gamma must be electron-like: {m_bottom}");
+        assert!(
+            m_bottom > 0.0,
+            "band 0 at Gamma must be electron-like: {m_bottom}"
+        );
         let m_vbm = effective_mass(&c, &sph, &h0, nv - 1, [0.0; 3], [1.0, 0.0, 0.0], 0.02);
         assert!(m_vbm < 0.0, "VBM must be hole-like: {m_vbm}");
         // magnitudes within a physical window (0.05 .. 50 m_e)
@@ -380,7 +396,10 @@ mod tests {
     #[test]
     fn empty_lattice_mass_is_unity() {
         // crystal with no atoms: free electrons, m* = 1 exactly.
-        let c = Crystal { lattice: crate::lattice::Lattice::cubic(10.0), atoms: vec![] };
+        let c = Crystal {
+            lattice: crate::lattice::Lattice::cubic(10.0),
+            atoms: vec![],
+        };
         let sph = GSphere::new(&c.lattice, 3.0);
         let h0 = Hamiltonian::new(&c, &sph);
         let m = effective_mass(&c, &sph, &h0, 0, [0.0; 3], [0.0, 1.0, 0.0], 0.05);
@@ -393,13 +412,8 @@ mod tests {
         let path = kpath(&fcc_path_vertices(SI_A0), 10);
         let bands = band_structure(&c, &sph, &path, 8);
         for w in bands.windows(2) {
-            for b in 0..8 {
-                assert!(
-                    (w[1][b] - w[0][b]).abs() < 0.25,
-                    "band {b} jumps: {} -> {}",
-                    w[0][b],
-                    w[1][b]
-                );
+            for (b, (&e0, &e1)) in w[0].iter().zip(&w[1]).enumerate().take(8) {
+                assert!((e1 - e0).abs() < 0.25, "band {b} jumps: {e0} -> {e1}");
             }
         }
     }

@@ -114,14 +114,20 @@ impl Crystal {
 
     /// Total number of valence electrons.
     pub fn n_electrons(&self) -> usize {
-        self.atoms.iter().map(|a| a.species.valence_electrons()).sum()
+        self.atoms
+            .iter()
+            .map(|a| a.species.valence_electrons())
+            .sum()
     }
 
     /// Number of doubly-occupied valence bands (spin-degenerate).
     /// Panics on odd electron counts (open shells are out of scope).
     pub fn n_valence_bands(&self) -> usize {
         let ne = self.n_electrons();
-        assert!(ne.is_multiple_of(2), "odd electron count: open-shell system");
+        assert!(
+            ne.is_multiple_of(2),
+            "odd electron count: open-shell system"
+        );
         ne / 2
     }
 
@@ -138,7 +144,10 @@ impl Crystal {
         ];
         let mut atoms = Vec::with_capacity(8);
         for site in fcc {
-            atoms.push(Atom { species, frac: site });
+            atoms.push(Atom {
+                species,
+                frac: site,
+            });
             atoms.push(Atom {
                 species,
                 frac: [site[0] + 0.25, site[1] + 0.25, site[2] + 0.25],
@@ -155,8 +164,14 @@ impl Crystal {
         Self {
             lattice,
             atoms: vec![
-                Atom { species, frac: [0.0, 0.0, 0.0] },
-                Atom { species, frac: [0.25, 0.25, 0.25] },
+                Atom {
+                    species,
+                    frac: [0.0, 0.0, 0.0],
+                },
+                Atom {
+                    species,
+                    frac: [0.25, 0.25, 0.25],
+                },
             ],
         }
     }
@@ -172,7 +187,10 @@ impl Crystal {
         ];
         let mut atoms = Vec::with_capacity(8);
         for site in fcc {
-            atoms.push(Atom { species: cation, frac: site });
+            atoms.push(Atom {
+                species: cation,
+                frac: site,
+            });
             atoms.push(Atom {
                 species: anion,
                 frac: [site[0] + 0.5, site[1], site[2]],
@@ -187,8 +205,14 @@ impl Crystal {
         Self {
             lattice,
             atoms: vec![
-                Atom { species: a_species, frac: [1.0 / 3.0, 2.0 / 3.0, 0.5] },
-                Atom { species: b_species, frac: [2.0 / 3.0, 1.0 / 3.0, 0.5] },
+                Atom {
+                    species: a_species,
+                    frac: [1.0 / 3.0, 2.0 / 3.0, 0.5],
+                },
+                Atom {
+                    species: b_species,
+                    frac: [2.0 / 3.0, 1.0 / 3.0, 0.5],
+                },
             ],
         }
     }
@@ -220,7 +244,10 @@ impl Crystal {
                 }
             }
         }
-        Self { lattice: Lattice::new(a), atoms }
+        Self {
+            lattice: Lattice::new(a),
+            atoms,
+        }
     }
 
     /// Removes the atom at `index` (a vacancy defect).
@@ -251,8 +278,8 @@ impl Crystal {
         for (i, dfi) in df.iter_mut().enumerate() {
             *dfi = (b[i][0] * cart[0] + b[i][1] * cart[1] + b[i][2] * cart[2]) / two_pi;
         }
-        for k in 0..3 {
-            c.atoms[index].frac[k] += df[k];
+        for (fk, dfk) in c.atoms[index].frac.iter_mut().zip(df) {
+            *fk += dfk;
         }
         c
     }
@@ -269,10 +296,14 @@ mod tests {
         assert!((l.volume() - 1000.0).abs() < 1e-9);
         let b = l.reciprocal();
         // b_i . a_j = 2 pi delta_ij
-        for i in 0..3 {
+        for (i, bi) in b.iter().enumerate() {
             for j in 0..3 {
-                let dot: f64 = (0..3).map(|k| b[i][k] * l.a[j][k]).sum();
-                let expect = if i == j { 2.0 * std::f64::consts::PI } else { 0.0 };
+                let dot: f64 = (0..3).map(|k| bi[k] * l.a[j][k]).sum();
+                let expect = if i == j {
+                    2.0 * std::f64::consts::PI
+                } else {
+                    0.0
+                };
                 assert!((dot - expect).abs() < 1e-10, "({i},{j})");
             }
         }

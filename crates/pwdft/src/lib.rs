@@ -40,7 +40,10 @@ pub use dfpt::Perturbation;
 pub use dos::{dos, Dos};
 pub use gvec::GSphere;
 pub use hamiltonian::Hamiltonian;
-pub use kpoints::{band_structure, bands_at_k, effective_mass, indirect_gap, kgrid_dos, kpath, monkhorst_pack, KPath, KPoint};
+pub use kpoints::{
+    band_structure, bands_at_k, effective_mass, indirect_gap, kgrid_dos, kpath, monkhorst_pack,
+    KPath, KPoint,
+};
 pub use lattice::{Atom, Crystal, Lattice};
 pub use parabands::{solve_bands_iterative, ParabandsConfig, ParabandsStats};
 pub use pseudo::Species;

@@ -31,7 +31,12 @@ pub struct ParabandsConfig {
 
 impl Default for ParabandsConfig {
     fn default() -> Self {
-        Self { degree: 12, max_iter: 60, tol: 1e-8, seed: 7 }
+        Self {
+            degree: 12,
+            max_iter: 60,
+            tol: 1e-8,
+            seed: 7,
+        }
     }
 }
 
@@ -156,12 +161,12 @@ pub fn solve_bands_iterative(
         energies = eig.values.clone();
         // residuals of the wanted part
         residual = 0.0;
-        for k in 0..m {
+        for (k, &ek) in energies.iter().enumerate().take(m) {
             let hv = h.matvec(x.row(k));
             matvecs += 1;
             let mut r2 = 0.0;
             for (a, b) in hv.iter().zip(x.row(k)) {
-                r2 += (*a - b.scale(energies[k])).norm_sqr();
+                r2 += (*a - b.scale(ek)).norm_sqr();
             }
             residual = residual.max(r2.sqrt());
         }
@@ -177,7 +182,11 @@ pub fn solve_bands_iterative(
             coeffs,
             n_valence,
         },
-        ParabandsStats { iterations, residual, matvecs },
+        ParabandsStats {
+            iterations,
+            residual,
+            matvecs,
+        },
     )
 }
 
@@ -220,7 +229,10 @@ mod tests {
             &c,
             &sph,
             20,
-            &ParabandsConfig { tol: 1e-9, ..Default::default() },
+            &ParabandsConfig {
+                tol: 1e-9,
+                ..Default::default()
+            },
         );
         assert!(stats.residual < 1e-8, "residual {}", stats.residual);
         for (a, b) in iter.energies.iter().zip(&dense.energies) {

@@ -217,7 +217,11 @@ mod tests {
         let g0 = 2.0 * std::f64::consts::PI / SI_A0;
         let vol_ref = SI_A0.powi(3) / 4.0;
         // per-atom u(q) = V_S/2 * vol_ref at the CB reciprocal vectors
-        let cases = [(3f64.sqrt(), -0.21), (8f64.sqrt(), 0.04), (11f64.sqrt(), 0.08)];
+        let cases = [
+            (3f64.sqrt(), -0.21),
+            (8f64.sqrt(), 0.04),
+            (11f64.sqrt(), 0.08),
+        ];
         for (qn, vs) in cases {
             let u = Species::Si.form_factor(qn * g0);
             assert!(
@@ -230,7 +234,14 @@ mod tests {
 
     #[test]
     fn form_factors_decay_to_zero() {
-        for sp in [Species::Si, Species::Li, Species::H, Species::B, Species::N, Species::C] {
+        for sp in [
+            Species::Si,
+            Species::Li,
+            Species::H,
+            Species::B,
+            Species::N,
+            Species::C,
+        ] {
             assert_eq!(sp.form_factor(50.0), 0.0, "{sp:?} tail");
             // attractive at q -> 0
             assert!(sp.form_factor(0.0) < 0.0, "{sp:?} head");

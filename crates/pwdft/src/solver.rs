@@ -179,7 +179,11 @@ mod tests {
         for w in wf.energies.windows(2) {
             assert!(w[0] <= w[1] + 1e-12);
         }
-        assert!(wf.orthonormality_error() < 1e-8, "{}", wf.orthonormality_error());
+        assert!(
+            wf.orthonormality_error() < 1e-8,
+            "{}",
+            wf.orthonormality_error()
+        );
     }
 
     #[test]

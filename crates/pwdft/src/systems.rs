@@ -128,11 +128,11 @@ pub fn bn_defect_sheet(m: usize, vacuum_bohr: f64, ecut_wfn_ry: f64) -> ModelSys
 /// sized so that the largest system stays tractable on one node.
 pub fn table2_roster() -> Vec<ModelSystem> {
     vec![
-        si_divacancy(1, 4.5),  // Si6   (proxy for Si214)
-        si_divacancy(2, 3.2),  // Si62  (proxy for Si510)
+        si_divacancy(1, 4.5), // Si6   (proxy for Si214)
+        si_divacancy(2, 3.2), // Si62  (proxy for Si510)
         si_bulk(1, 4.5),
-        lih_defect(1, 4.0),    // LiH6  (proxy for LiH998)
-        lih_defect(2, 3.0),    // LiH62 (proxy for LiH17574)
+        lih_defect(1, 4.0),            // LiH6  (proxy for LiH998)
+        lih_defect(2, 3.0),            // LiH62 (proxy for LiH17574)
         bn_defect_sheet(2, 12.0, 4.0), // BN7 (proxy for BN867)
     ]
 }

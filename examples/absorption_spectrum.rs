@@ -30,14 +30,29 @@ fn main() {
     );
 
     let mtxel = Mtxel::new(&setup.wfn_sph, &setup.eps_sph);
-    let cfg = BseConfig { n_v: 4, n_c: 10, scissors_ry: scissors, interaction: true };
-    let bse = solve_bse(&setup.wf, &mtxel, &setup.eps_inv, &setup.vsqrt, &cfg, setup.coulomb.q0);
+    let cfg = BseConfig {
+        n_v: 4,
+        n_c: 10,
+        scissors_ry: scissors,
+        interaction: true,
+    };
+    let bse = solve_bse(
+        &setup.wf,
+        &mtxel,
+        &setup.eps_inv,
+        &setup.vsqrt,
+        &cfg,
+        setup.coulomb.q0,
+    );
     let free = solve_bse(
         &setup.wf,
         &mtxel,
         &setup.eps_inv,
         &setup.vsqrt,
-        &BseConfig { interaction: false, ..cfg },
+        &BseConfig {
+            interaction: false,
+            ..cfg
+        },
         setup.coulomb.q0,
     );
 
@@ -51,7 +66,9 @@ fn main() {
     // Spectra over the optical window.
     let n = 64;
     let (w_lo, w_hi) = (0.1f64, 1.1f64);
-    let omegas: Vec<f64> = (0..n).map(|i| w_lo + (w_hi - w_lo) * i as f64 / (n - 1) as f64).collect();
+    let omegas: Vec<f64> = (0..n)
+        .map(|i| w_lo + (w_hi - w_lo) * i as f64 / (n - 1) as f64)
+        .collect();
     let eta = 0.02;
     let a_bse = bse.absorption(&omegas, eta);
     let a_free = free.absorption(&omegas, eta);

@@ -19,7 +19,10 @@ fn main() {
     let nv = crystal.n_valence_bands();
 
     // reference zero: valence-band maximum
-    let vbm = bands.iter().map(|b| b[nv - 1]).fold(f64::NEG_INFINITY, f64::max);
+    let vbm = bands
+        .iter()
+        .map(|b| b[nv - 1])
+        .fold(f64::NEG_INFINITY, f64::max);
 
     // ASCII plot: energy rows (eV), k columns.
     let (e_lo, e_hi) = (-13.0f64, 8.0f64);

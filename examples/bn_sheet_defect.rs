@@ -43,7 +43,11 @@ fn main() {
 
     // GW with the slab-truncated Coulomb (no spurious interlayer
     // screening through the vacuum).
-    let cfg = GwConfig { slab: true, bands_around_gap: 2, ..Default::default() };
+    let cfg = GwConfig {
+        slab: true,
+        bands_around_gap: 2,
+        ..Default::default()
+    };
     let r = run_gpp_gw(&sys, &cfg);
     println!("\nGW on the defect sheet (slab-truncated Coulomb):");
     println!("band   E_MF (eV)    E_QP (eV)");

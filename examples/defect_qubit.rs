@@ -56,7 +56,13 @@ fn main() {
     );
 
     // GW on the defect system.
-    let results = run_gpp_gw(&defect, &GwConfig { bands_around_gap: 3, ..Default::default() });
+    let results = run_gpp_gw(
+        &defect,
+        &GwConfig {
+            bands_around_gap: 3,
+            ..Default::default()
+        },
+    );
     println!("\nGW quasiparticle levels of the defect system:");
     println!("band   E_MF (eV)    E_QP (eV)   QP shift (eV)");
     for (band, st) in results.sigma_bands.iter().zip(&results.states) {

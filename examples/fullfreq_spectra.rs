@@ -23,7 +23,10 @@ fn main() {
     let (ctx, setup) = testkit::small_context();
     let (nodes, weights) = semi_infinite_quadrature(16, 2.0);
     let mtxel = Mtxel::new(&setup.wfn_sph, &setup.eps_sph);
-    let cfg = ChiConfig { q0: setup.coulomb.q0, ..ChiConfig::default() };
+    let cfg = ChiConfig {
+        q0: setup.coulomb.q0,
+        ..ChiConfig::default()
+    };
     let engine = ChiEngine::new(&setup.wf, &mtxel, cfg);
     let (chis, _) = engine.chi_freqs(&nodes);
     let eps_ff = EpsilonInverse::build(&chis, &nodes, &setup.coulomb, &setup.eps_sph);

@@ -96,14 +96,13 @@ mod bgw_bench_like {
     pub fn build(system: ModelSystem) -> Setup {
         let wfn_sph = system.wfn_sphere();
         let eps_sph = system.eps_sphere();
-        let wf = solve_bands(
-            &system.crystal,
-            &wfn_sph,
-            system.n_bands.min(wfn_sph.len()),
-        );
+        let wf = solve_bands(&system.crystal, &wfn_sph, system.n_bands.min(wfn_sph.len()));
         let coulomb = Coulomb::bulk_for_cell(system.crystal.lattice.volume());
         let mtxel = Mtxel::new(&wfn_sph, &eps_sph);
-        let cfg = ChiConfig { q0: coulomb.q0, ..ChiConfig::default() };
+        let cfg = ChiConfig {
+            q0: coulomb.q0,
+            ..ChiConfig::default()
+        };
         let chi0 = ChiEngine::new(&wf, &mtxel, cfg).chi_static();
         let eps_inv = EpsilonInverse::build(&[chi0], &[0.0], &coulomb, &eps_sph);
         let rho = charge_density_g(&wf, &wfn_sph);
@@ -118,6 +117,13 @@ mod bgw_bench_like {
         let nv = wf.n_valence;
         let sigma_bands: Vec<usize> = (nv.saturating_sub(2)..(nv + 2).min(wf.n_bands())).collect();
         let ctx = SigmaContext::build(&wf, &mtxel, gpp, &vsqrt, &sigma_bands, coulomb.q0);
-        Setup { system, wfn_sph, eps_sph, wf, vsqrt, ctx }
+        Setup {
+            system,
+            wfn_sph,
+            eps_sph,
+            wf,
+            vsqrt,
+            ctx,
+        }
     }
 }

@@ -18,11 +18,8 @@ use berkeleygw_rs::pwdft::Hamiltonian;
 fn main() {
     let (ctx, setup) = testkit::small_context();
     // Solve the full spectrum so there is a deep tail worth compressing.
-    let wf = &berkeleygw_rs::pwdft::solve_bands(
-        &setup.crystal,
-        &setup.wfn_sph,
-        setup.wfn_sph.len(),
-    );
+    let wf =
+        &berkeleygw_rs::pwdft::solve_bands(&setup.crystal, &setup.wfn_sph, setup.wfn_sph.len());
     let mtxel = Mtxel::new(&setup.wfn_sph, &setup.eps_sph);
     let grids: Vec<Vec<f64>> = ctx.sigma_energies.iter().map(|&e| vec![e]).collect();
     let full_ctx = SigmaContext::build(
@@ -75,7 +72,6 @@ fn main() {
          random vector with {} matrix-vector products (norm {:.3});\n\
          construction scales as O(N)-O(N^2) instead of the O(N^3) full\n\
          diagonalization (paper Sec. 5.3).",
-        400,
-        norm
+        400, norm
     );
 }

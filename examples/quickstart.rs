@@ -15,7 +15,11 @@ fn main() {
 
     let results = run_gpp_gw(&system, &GwConfig::default());
 
-    println!("system: {} ({} atoms)", system.name, system.crystal.n_atoms());
+    println!(
+        "system: {} ({} atoms)",
+        system.name,
+        system.crystal.n_atoms()
+    );
     println!("macroscopic dielectric constant: {:.2}", results.eps_macro);
     println!(
         "mean-field gap: {:.3} eV   GW quasiparticle gap: {:.3} eV",

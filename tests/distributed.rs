@@ -6,9 +6,7 @@ use berkeleygw_rs::comm::run_world;
 use berkeleygw_rs::core::chi::{chi_distributed, ChiConfig, ChiEngine};
 use berkeleygw_rs::core::coulomb::Coulomb;
 use berkeleygw_rs::core::mtxel::Mtxel;
-use berkeleygw_rs::core::sigma::diag::{
-    gpp_sigma_diag, gpp_sigma_diag_distributed, KernelVariant,
-};
+use berkeleygw_rs::core::sigma::diag::{gpp_sigma_diag, gpp_sigma_diag_distributed, KernelVariant};
 use berkeleygw_rs::core::testkit;
 use berkeleygw_rs::linalg::CMatrix;
 use berkeleygw_rs::pwdft::{si_bulk, solve_bands};
@@ -20,7 +18,10 @@ fn distributed_chi_equals_serial_for_any_world_size() {
     let eps = sys.eps_sphere();
     let wf = solve_bands(&sys.crystal, &wfn, 24);
     let coulomb = Coulomb::bulk_for_cell(sys.crystal.lattice.volume());
-    let cfg = ChiConfig { q0: coulomb.q0, ..ChiConfig::default() };
+    let cfg = ChiConfig {
+        q0: coulomb.q0,
+        ..ChiConfig::default()
+    };
     let mtxel = Mtxel::new(&wfn, &eps);
     let serial = ChiEngine::new(&wf, &mtxel, cfg).chi_static();
     for world in [1usize, 2, 5] {
@@ -63,11 +64,8 @@ fn sigma_pool_decomposition_is_exact_and_balanced() {
         serial.flops
     );
     for (sigma, _) in &results {
-        for s in 0..ctx.n_sigma() {
-            assert!(
-                (sigma[s][0] - serial.sigma[s][0]).abs()
-                    < 1e-9 * (1.0 + serial.sigma[s][0].abs())
-            );
+        for (srow, refrow) in sigma.iter().zip(&serial.sigma) {
+            assert!((srow[0] - refrow[0]).abs() < 1e-9 * (1.0 + refrow[0].abs()));
         }
     }
 }
@@ -83,23 +81,19 @@ fn pools_of_pools_nested_split() {
         let pool_id = comm.rank() % 2;
         let pool = comm.split(pool_id as u64, comm.rank() as u64);
         // pool 0 handles Sigma bands {0, 1}, pool 1 handles {2, 3}
-        let my_bands: Vec<usize> = (0..ctx.n_sigma())
-            .filter(|s| s % 2 == pool_id)
-            .collect();
+        let my_bands: Vec<usize> = (0..ctx.n_sigma()).filter(|s| s % 2 == pool_id).collect();
         let mut sub = ctx.clone();
         sub.m_tilde = my_bands.iter().map(|&s| ctx.m_tilde[s].clone()).collect();
         sub.sigma_bands = my_bands.iter().map(|&s| ctx.sigma_bands[s]).collect();
         sub.sigma_energies = my_bands.iter().map(|&s| ctx.sigma_energies[s]).collect();
-        let sub_grids: Vec<Vec<f64>> =
-            my_bands.iter().map(|&s| grids[s].clone()).collect();
+        let sub_grids: Vec<Vec<f64>> = my_bands.iter().map(|&s| grids[s].clone()).collect();
         let r = gpp_sigma_diag_distributed(&pool, &sub, &sub_grids);
         (my_bands, r.sigma)
     });
     for (bands, sigma) in &results {
         for (i, &s) in bands.iter().enumerate() {
             assert!(
-                (sigma[i][0] - serial.sigma[s][0]).abs()
-                    < 1e-9 * (1.0 + serial.sigma[s][0].abs()),
+                (sigma[i][0] - serial.sigma[s][0]).abs() < 1e-9 * (1.0 + serial.sigma[s][0].abs()),
                 "band {s}"
             );
         }
@@ -113,7 +107,10 @@ fn communication_volume_scales_with_matrix_size() {
     let wfn = sys.wfn_sphere();
     let wf = solve_bands(&sys.crystal, &wfn, 20);
     let coulomb = Coulomb::bulk_for_cell(sys.crystal.lattice.volume());
-    let cfg = ChiConfig { q0: coulomb.q0, ..ChiConfig::default() };
+    let cfg = ChiConfig {
+        q0: coulomb.q0,
+        ..ChiConfig::default()
+    };
     let mut volumes = Vec::new();
     for ecut in [0.55, 1.1] {
         let eps = berkeleygw_rs::pwdft::GSphere::new(&sys.crystal.lattice, ecut);

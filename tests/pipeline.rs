@@ -21,7 +21,11 @@ fn si_bulk_gw_pipeline_opens_gap() {
     assert!(r.eps_macro > 1.0 && r.eps_macro < 60.0, "{}", r.eps_macro);
     for st in &r.states {
         assert!(st.z > 0.0 && st.z <= 1.0);
-        assert!(st.sigma_mf < 0.5, "Sigma unexpectedly positive: {}", st.sigma_mf);
+        assert!(
+            st.sigma_mf < 0.5,
+            "Sigma unexpectedly positive: {}",
+            st.sigma_mf
+        );
     }
 }
 
@@ -29,9 +33,21 @@ fn si_bulk_gw_pipeline_opens_gap() {
 fn kernel_variants_agree_through_public_api() {
     let mut sys = si_bulk(1, 2.2);
     sys.n_bands = 24;
-    let base = run_gpp_gw(&sys, &GwConfig { variant: KernelVariant::Reference, ..Default::default() });
+    let base = run_gpp_gw(
+        &sys,
+        &GwConfig {
+            variant: KernelVariant::Reference,
+            ..Default::default()
+        },
+    );
     for v in [KernelVariant::Blocked, KernelVariant::Optimized] {
-        let r = run_gpp_gw(&sys, &GwConfig { variant: v, ..Default::default() });
+        let r = run_gpp_gw(
+            &sys,
+            &GwConfig {
+                variant: v,
+                ..Default::default()
+            },
+        );
         assert!(
             (r.gap_qp_ry - base.gap_qp_ry).abs() < 1e-8,
             "variant {v:?} changed the physics: {} vs {}",
@@ -79,7 +95,10 @@ fn screening_strengthens_with_more_conduction_bands() {
     for n_bands in [20usize, 28, 40] {
         let wf = solve_bands(&sys.crystal, &wfn, n_bands);
         let mtxel = Mtxel::new(&wfn, &eps);
-        let cfg = ChiConfig { q0: coulomb.q0, ..ChiConfig::default() };
+        let cfg = ChiConfig {
+            q0: coulomb.q0,
+            ..ChiConfig::default()
+        };
         let chi = ChiEngine::new(&wf, &mtxel, cfg).chi_static();
         heads.push(chi[(0, 0)].re.abs());
     }
@@ -97,7 +116,10 @@ fn epsilon_macroscopic_grows_with_screening() {
     for n_bands in [20usize, 40] {
         let wf = solve_bands(&sys.crystal, &wfn, n_bands);
         let mtxel = Mtxel::new(&wfn, &eps_sph);
-        let cfg = ChiConfig { q0: coulomb.q0, ..ChiConfig::default() };
+        let cfg = ChiConfig {
+            q0: coulomb.q0,
+            ..ChiConfig::default()
+        };
         let chi = ChiEngine::new(&wf, &mtxel, cfg).chi_static();
         let e = EpsilonInverse::build(&[chi], &[0.0], &coulomb, &eps_sph);
         eps_m.push(e.macroscopic_constant());

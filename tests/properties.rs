@@ -1,79 +1,115 @@
-//! Property-based tests (proptest) over the numerical substrates, driven
-//! through the root crate's public API.
+//! Property-style tests over the numerical substrates, driven through the
+//! root crate's public API. Each property is checked over a deterministic
+//! seeded sweep of randomized inputs (no external property-test crates, so
+//! the suite builds fully offline and failures reproduce exactly).
 
 use berkeleygw_rs::fft::{dft_reference, Direction, FftPlan};
 use berkeleygw_rs::linalg::{eigh, invert, matmul, CMatrix, GemmBackend, Op};
-use berkeleygw_rs::num::{c64, Complex64};
-use proptest::prelude::*;
+use berkeleygw_rs::num::{c64, Complex64, Xoshiro256StarStar};
 
-fn signal(n: usize) -> impl Strategy<Value = Vec<Complex64>> {
-    prop::collection::vec((-1.0f64..1.0, -1.0f64..1.0), n..=n)
-        .prop_map(|v| v.into_iter().map(|(re, im)| c64(re, im)).collect())
+fn signal(rng: &mut Xoshiro256StarStar, n: usize) -> Vec<Complex64> {
+    (0..n)
+        .map(|_| c64(rng.next_f64() * 2.0 - 1.0, rng.next_f64() * 2.0 - 1.0))
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn fft_roundtrip_any_size(n in 1usize..140, seed in any::<u64>()) {
-        let mut state = seed | 1;
-        let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
-            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
-        };
-        let x: Vec<Complex64> = (0..n).map(|_| c64(next(), next())).collect();
+#[test]
+fn fft_roundtrip_any_size() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0xF0F0_0001);
+    for case in 0..24 {
+        let n = 1 + rng.next_below(139);
+        let x = signal(&mut rng, n);
         let plan = FftPlan::new(n);
         let mut y = x.clone();
         plan.process(&mut y, Direction::Forward);
         plan.process(&mut y, Direction::Inverse);
-        let err = x.iter().zip(&y).map(|(a, b)| (*a - *b).abs()).fold(0.0, f64::max);
-        prop_assert!(err < 1e-9, "n = {n}, err = {err}");
+        let err = x
+            .iter()
+            .zip(&y)
+            .map(|(a, b)| (*a - *b).abs())
+            .fold(0.0, f64::max);
+        assert!(err < 1e-9, "case {case}: n = {n}, err = {err}");
     }
+}
 
-    #[test]
-    fn fft_matches_reference_small(x in signal(48)) {
+#[test]
+fn fft_matches_reference_small() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0xF0F0_0002);
+    for case in 0..24 {
+        let x = signal(&mut rng, 48);
         let plan = FftPlan::new(48);
         let mut y = x.clone();
         plan.process(&mut y, Direction::Forward);
         let r = dft_reference(&x, Direction::Forward);
-        let err = y.iter().zip(&r).map(|(a, b)| (*a - *b).abs()).fold(0.0, f64::max);
-        prop_assert!(err < 1e-9);
+        let err = y
+            .iter()
+            .zip(&r)
+            .map(|(a, b)| (*a - *b).abs())
+            .fold(0.0, f64::max);
+        assert!(err < 1e-9, "case {case}: err = {err}");
     }
+}
 
-    #[test]
-    fn gemm_backends_agree(seed in any::<u64>(), m in 1usize..24, k in 1usize..24, n in 1usize..24) {
+#[test]
+fn gemm_backends_agree() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0xF0F0_0003);
+    for case in 0..24 {
+        let m = 1 + rng.next_below(23);
+        let k = 1 + rng.next_below(23);
+        let n = 1 + rng.next_below(23);
+        let seed = rng.next_u64();
         let a = CMatrix::random(m, k, seed);
         let b = CMatrix::random(k, n, seed.wrapping_add(1));
         let reference = matmul(&a, Op::None, &b, Op::None, GemmBackend::Naive);
         for be in [GemmBackend::Blocked, GemmBackend::Parallel] {
             let c = matmul(&a, Op::None, &b, Op::None, be);
-            prop_assert!(c.max_abs_diff(&reference) < 1e-10);
+            assert!(
+                c.max_abs_diff(&reference) < 1e-10,
+                "case {case}: {m}x{k}x{n} {be:?}"
+            );
         }
     }
+}
 
-    #[test]
-    fn gemm_adjoint_identity(seed in any::<u64>(), m in 1usize..16, k in 1usize..16) {
-        // (A B)^dagger = B^dagger A^dagger
+#[test]
+fn gemm_adjoint_identity() {
+    // (A B)^dagger = B^dagger A^dagger
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0xF0F0_0004);
+    for case in 0..24 {
+        let m = 1 + rng.next_below(15);
+        let k = 1 + rng.next_below(15);
+        let seed = rng.next_u64();
         let a = CMatrix::random(m, k, seed);
         let b = CMatrix::random(k, m, seed.wrapping_add(7));
         let ab_h = matmul(&a, Op::None, &b, Op::None, GemmBackend::Blocked).adjoint();
         let bh_ah = matmul(&b, Op::Adj, &a, Op::Adj, GemmBackend::Blocked);
-        prop_assert!(ab_h.max_abs_diff(&bh_ah) < 1e-10);
+        assert!(ab_h.max_abs_diff(&bh_ah) < 1e-10, "case {case}: {m}x{k}");
     }
+}
 
-    #[test]
-    fn inverse_roundtrip(seed in any::<u64>(), n in 1usize..16) {
-        let a = CMatrix::random(n, n, seed);
+#[test]
+fn inverse_roundtrip() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0xF0F0_0005);
+    for case in 0..24 {
+        let n = 1 + rng.next_below(15);
+        let a = CMatrix::random(n, n, rng.next_u64());
         // random complex matrices are almost surely invertible
         if let Ok(inv) = invert(&a) {
             let prod = matmul(&a, Op::None, &inv, Op::None, GemmBackend::Blocked);
-            prop_assert!(prod.max_abs_diff(&CMatrix::identity(n)) < 1e-7);
+            assert!(
+                prod.max_abs_diff(&CMatrix::identity(n)) < 1e-7,
+                "case {case}: n = {n}"
+            );
         }
     }
+}
 
-    #[test]
-    fn eigh_reconstructs(seed in any::<u64>(), n in 1usize..14) {
-        let a = CMatrix::random_hermitian(n, seed);
+#[test]
+fn eigh_reconstructs() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0xF0F0_0006);
+    for case in 0..24 {
+        let n = 1 + rng.next_below(13);
+        let a = CMatrix::random_hermitian(n, rng.next_u64());
         let e = eigh(&a);
         // A = V W V^dagger
         let mut vw = e.vectors.clone();
@@ -83,39 +119,54 @@ proptest! {
             }
         }
         let back = matmul(&vw, Op::None, &e.vectors, Op::Adj, GemmBackend::Blocked);
-        prop_assert!(back.max_abs_diff(&a) < 1e-8 * (1.0 + a.max_abs()));
+        assert!(
+            back.max_abs_diff(&a) < 1e-8 * (1.0 + a.max_abs()),
+            "case {case}: n = {n}"
+        );
     }
+}
 
-    #[test]
-    fn eigh_eigenvalues_bound_rayleigh_quotients(seed in any::<u64>(), n in 2usize..12) {
+#[test]
+fn eigh_eigenvalues_bound_rayleigh_quotients() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0xF0F0_0007);
+    for case in 0..24 {
+        let n = 2 + rng.next_below(10);
+        let seed = rng.next_u64();
         let a = CMatrix::random_hermitian(n, seed);
         let e = eigh(&a);
         // Rayleigh quotient of a random vector lies within [w_min, w_max]
         let x: Vec<Complex64> = (0..n)
-            .map(|i| Complex64::cis(i as f64 * 0.9 + seed as f64))
+            .map(|i| Complex64::cis(i as f64 * 0.9 + (seed % 1024) as f64))
             .collect();
         let ax = a.matvec(&x);
         let num: f64 = x.iter().zip(&ax).map(|(u, v)| (u.conj() * *v).re).sum();
         let den: f64 = x.iter().map(|z| z.norm_sqr()).sum();
         let q = num / den;
-        prop_assert!(q >= e.values[0] - 1e-9 && q <= e.values[n - 1] + 1e-9);
+        assert!(
+            q >= e.values[0] - 1e-9 && q <= e.values[n - 1] + 1e-9,
+            "case {case}: n = {n}, q = {q}"
+        );
     }
+}
 
-    #[test]
-    fn parseval_for_3d(nx in 1usize..5, ny in 1usize..5, nz in 1usize..5, seed in any::<u64>()) {
-        use berkeleygw_rs::fft::Fft3d;
-        let plan = Fft3d::new(nx.max(1), ny.max(1), nz.max(1));
+#[test]
+fn parseval_for_3d() {
+    use berkeleygw_rs::fft::Fft3d;
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0xF0F0_0008);
+    for case in 0..24 {
+        let nx = 1 + rng.next_below(4);
+        let ny = 1 + rng.next_below(4);
+        let nz = 1 + rng.next_below(4);
+        let plan = Fft3d::new(nx, ny, nz);
         let n = plan.len();
-        let mut state = seed | 1;
-        let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(99);
-            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
-        };
-        let x: Vec<Complex64> = (0..n).map(|_| c64(next(), next())).collect();
+        let x = signal(&mut rng, n);
         let mut y = x.clone();
         plan.process(&mut y, Direction::Forward);
         let ex: f64 = x.iter().map(|z| z.norm_sqr()).sum();
         let ey: f64 = y.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
-        prop_assert!((ex - ey).abs() < 1e-9 * ex.max(1.0));
+        assert!(
+            (ex - ey).abs() < 1e-9 * ex.max(1.0),
+            "case {case}: {nx}x{ny}x{nz}"
+        );
     }
 }

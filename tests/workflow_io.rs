@@ -26,17 +26,30 @@ fn gw_through_files_matches_in_memory() {
     let wf = solve_bands(&sys.crystal, &wfn_sph, sys.n_bands);
     let coulomb = Coulomb::bulk_for_cell(sys.crystal.lattice.volume());
     let mtxel = Mtxel::new(&wfn_sph, &eps_sph);
-    let cfg = ChiConfig { q0: coulomb.q0, ..ChiConfig::default() };
+    let cfg = ChiConfig {
+        q0: coulomb.q0,
+        ..ChiConfig::default()
+    };
     let chi0 = ChiEngine::new(&wf, &mtxel, cfg).chi_static();
     let eps_inv = EpsilonInverse::build(&[chi0], &[0.0], &coulomb, &eps_sph);
 
     write_wavefunctions(&dir.join("wfn.bgwr"), &wf).unwrap();
-    write_epsilon(&dir.join("eps"), &eps_inv.omegas, &eps_inv.vsqrt, &eps_inv.inv).unwrap();
+    write_epsilon(
+        &dir.join("eps"),
+        &eps_inv.omegas,
+        &eps_inv.vsqrt,
+        &eps_inv.inv,
+    )
+    .unwrap();
 
     // --- consumer side: read back and run Sigma ------------------------
     let wf2 = read_wavefunctions(&dir.join("wfn.bgwr")).unwrap();
     let (omegas, vsqrt, mats) = read_epsilon(&dir.join("eps")).unwrap();
-    let eps2 = EpsilonInverse { omegas, inv: mats, vsqrt };
+    let eps2 = EpsilonInverse {
+        omegas,
+        inv: mats,
+        vsqrt,
+    };
 
     let rho = charge_density_g(&wf2, &wfn_sph);
     let vol = sys.crystal.lattice.volume();
@@ -44,8 +57,7 @@ fn gw_through_files_matches_in_memory() {
     let vsq = coulomb.sqrt_on_sphere(&eps_sph);
     let nv = wf2.n_valence;
     let bands = vec![nv - 1, nv];
-    let ctx_file =
-        SigmaContext::build(&wf2, &mtxel, gpp.clone(), &vsq, &bands, coulomb.q0);
+    let ctx_file = SigmaContext::build(&wf2, &mtxel, gpp.clone(), &vsq, &bands, coulomb.q0);
     // in-memory reference
     let ctx_mem = SigmaContext::build(&wf, &mtxel, gpp, &vsq, &bands, coulomb.q0);
 

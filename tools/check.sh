@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# Offline CI gate: release build, full test suite, formatting, lints.
+# The workspace has zero external crates, so everything here must pass
+# with the network disabled — CARGO_NET_OFFLINE makes any accidental
+# registry access a hard error instead of a hang.
+set -eu
+
+cd "$(dirname "$0")/.."
+export CARGO_NET_OFFLINE=true
+
+echo "==> cargo build --release --workspace"
+cargo build --release --workspace
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (warnings denied)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> all checks passed"
