@@ -1,0 +1,214 @@
+//! Before/after benchmark for the pooled batched 3-D FFT and the MTXEL
+//! band-reuse path.
+//!
+//! "Before" on the FFT side is `Fft3d::process_serial`, the previous
+//! per-line recursive kernel (kept in the library as the correctness
+//! oracle); "after" is the pooled `process`, which batches lines through
+//! the table-driven kernel. On the MTXEL side, "before" recomputes both
+//! real-space bands for every pair (`band_pair`); "after" reuses cached
+//! band amplitudes (`to_real_space_cached` + `pair_from_real`).
+//!
+//! Every timed path is gated against its oracle first (max |diff| must be
+//! <= 1e-10; the batched kernel's exact-constant butterflies agree with
+//! the serial kernel to ~1e-12 on a 96^3 grid); a mismatch aborts with a
+//! nonzero exit so CI smoke runs catch it.
+//!
+//! Writes `BENCH_fft_mtxel.json` into the current directory. Pass
+//! `--smoke` for a seconds-scale run on tiny problems (used by
+//! `tools/check.sh`).
+
+use bgw_core::{BandCache, Mtxel};
+use bgw_fft::{Direction, Fft3d};
+use bgw_num::Complex64;
+use bgw_pwdft::{solve_bands, Crystal, GSphere, Species};
+use std::time::Instant;
+
+fn best_secs(reps: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm
+    (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Deterministic pseudo-random grid (splitmix64 bits -> [-1, 1)).
+fn random_grid(npts: usize, seed: u64) -> Vec<Complex64> {
+    let mut state = seed.wrapping_add(0x9e3779b97f4a7c15);
+    let mut next = move || {
+        state = state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    };
+    (0..npts)
+        .map(|_| {
+            let re = (next() >> 11) as f64 / (1u64 << 52) as f64 - 1.0;
+            let im = (next() >> 11) as f64 / (1u64 << 52) as f64 - 1.0;
+            Complex64::new(re, im)
+        })
+        .collect()
+}
+
+fn max_abs_diff(a: &[Complex64], b: &[Complex64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (*x - *y).abs())
+        .fold(0.0, f64::max)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    if std::env::var_os("BGW_THREADS").is_none() {
+        bgw_par::set_num_threads(4);
+    }
+    let threads = bgw_par::num_threads();
+
+    // ---- 3-D FFT: serial per-line kernel vs pooled batched kernel ----
+    let (nx, ny, nz) = if smoke { (20, 18, 12) } else { (96, 96, 96) };
+    let (fft_reps, batch) = if smoke { (2, 4) } else { (3, 8) };
+    println!("bench_fft_mtxel: {nx}x{ny}x{nz} grid, {threads} thread(s), smoke={smoke}");
+    let plan = Fft3d::new(nx, ny, nz);
+    let npts = plan.len();
+    let input = random_grid(npts, 1);
+
+    // Oracle gate: the pooled kernel must reproduce the serial one.
+    let mut serial = input.clone();
+    plan.process_serial(&mut serial, Direction::Forward);
+    let mut pooled = input.clone();
+    plan.process(&mut pooled, Direction::Forward);
+    let fft_diff = max_abs_diff(&serial, &pooled);
+    assert!(
+        fft_diff <= 1e-10,
+        "pooled FFT disagrees with serial oracle by {fft_diff}"
+    );
+    let mut back = pooled.clone();
+    plan.process(&mut back, Direction::Inverse);
+    let rt_diff = max_abs_diff(&back, &input);
+    assert!(rt_diff <= 1e-10, "FFT roundtrip error {rt_diff}");
+    println!("pooled vs serial: max |diff| = {fft_diff:.3e}, roundtrip {rt_diff:.3e}");
+
+    let t_serial = best_secs(fft_reps, || {
+        let mut g = input.clone();
+        plan.process_serial(&mut g, Direction::Forward);
+        std::hint::black_box(&g);
+    });
+    let t_pooled = best_secs(fft_reps, || {
+        let mut g = input.clone();
+        plan.process(&mut g, Direction::Forward);
+        std::hint::black_box(&g);
+    });
+    let t_many = best_secs(fft_reps, || {
+        let mut grids: Vec<Vec<Complex64>> = (0..batch)
+            .map(|s| random_grid(npts, 2 + s as u64))
+            .collect();
+        plan.forward_many(&mut grids);
+        std::hint::black_box(&grids);
+    });
+    // Subtract nothing from t_many (it includes grid setup); report
+    // per-grid time for scale only.
+    let fft_speedup = t_serial / t_pooled;
+    println!(
+        "serial 3-D FFT : {t_serial:.4} s/grid\n\
+         pooled 3-D FFT : {t_pooled:.4} s/grid  ({fft_speedup:.2}x)\n\
+         forward_many   : {:.4} s/grid over a batch of {batch} (incl. setup)",
+        t_many / batch as f64
+    );
+
+    // ---- MTXEL: per-pair recompute vs cached band reuse ----
+    // Smoke uses LiH (2 valence bands) so a handful of bands is legal;
+    // the full run uses the Si model the MTXEL tests exercise.
+    let (crystal, cutoff_wfn, cutoff_out, n_bands, n_outer) = if smoke {
+        let c = Crystal::rocksalt(Species::Li, Species::H, bgw_pwdft::pseudo::LIH_A0);
+        (c, 1.6, 0.8, 8usize, 3usize)
+    } else {
+        let c = Crystal::diamond(Species::Si, bgw_pwdft::pseudo::SI_A0);
+        (c, 2.4, 1.2, 20usize, 8usize)
+    };
+    let wfn_sph = GSphere::new(&crystal.lattice, cutoff_wfn);
+    let out_sph = GSphere::new(&crystal.lattice, cutoff_out);
+    let wf = solve_bands(&crystal, &wfn_sph, n_bands);
+    let eng = Mtxel::new(&wfn_sph, &out_sph);
+    let n_pairs = n_outer * n_bands;
+    println!(
+        "MTXEL: {} wfn G-vectors -> {} output G-vectors, {n_outer}x{n_bands} = {n_pairs} pairs",
+        wfn_sph.len(),
+        out_sph.len()
+    );
+
+    // Oracle gate: cached pairs must match the uncached path (same code
+    // underneath, so this is exact), and one pair against the direct
+    // O(N_G^2) convolution.
+    let mtxel_npts = eng.to_real_space(&wf, 0).len();
+    {
+        let cache = BandCache::for_grids(mtxel_npts, n_bands + 2);
+        let pm = eng.to_real_space_cached(&cache, &wf, 1);
+        let pn = eng.to_real_space_cached(&cache, &wf, 4);
+        let cached = eng.pair_from_real(&pm, &pn);
+        let uncached = eng.band_pair(&wf, 1, 4);
+        let d = max_abs_diff(&cached, &uncached);
+        assert!(d <= 1e-10, "cached MTXEL disagrees with uncached by {d}");
+        let direct = Mtxel::band_pair_direct(&wf, &wfn_sph, &out_sph, 1, 4);
+        let d2 = max_abs_diff(&cached, &direct);
+        assert!(d2 <= 1e-10, "MTXEL disagrees with direct oracle by {d2}");
+        println!("cached vs uncached: max |diff| = {d:.3e}; vs direct: {d2:.3e}");
+    }
+
+    let mtxel_reps = if smoke { 2 } else { 3 };
+    let t_uncached = best_secs(mtxel_reps, || {
+        for m in 0..n_outer {
+            for n in 0..n_bands {
+                std::hint::black_box(eng.band_pair(&wf, m, n));
+            }
+        }
+    });
+    let mut cache_hits = 0u64;
+    let mut cache_misses = 0u64;
+    let t_cached = best_secs(mtxel_reps, || {
+        // A fresh cache per rep: each rep pays the n_bands transforms
+        // once, as a real consumer loop would.
+        let cache = BandCache::for_grids(mtxel_npts, n_bands + 2);
+        for m in 0..n_outer {
+            let pm = eng.to_real_space_cached(&cache, &wf, m);
+            for n in 0..n_bands {
+                let pn = eng.to_real_space_cached(&cache, &wf, n);
+                std::hint::black_box(eng.pair_from_real(&pm, &pn));
+            }
+        }
+        let (h, mi) = cache.stats();
+        cache_hits = h;
+        cache_misses = mi;
+    });
+    let pairs_per_s_uncached = n_pairs as f64 / t_uncached;
+    let pairs_per_s_cached = n_pairs as f64 / t_cached;
+    let mtxel_speedup = t_uncached / t_cached;
+    println!(
+        "uncached pairs : {t_uncached:.4} s  ({pairs_per_s_uncached:8.1} pairs/s)\n\
+         cached pairs   : {t_cached:.4} s  ({pairs_per_s_cached:8.1} pairs/s)  \
+         ({mtxel_speedup:.2}x, {cache_hits} hits / {cache_misses} misses)"
+    );
+
+    let json = format!(
+        "{{\n  \"config\": {{\"nx\": {nx}, \"ny\": {ny}, \"nz\": {nz}, \
+         \"threads\": {threads}, \"smoke\": {smoke}}},\n  \
+         \"fft3d\": {{\n    \"serial_s_per_grid\": {t_serial:.6},\n    \
+         \"pooled_s_per_grid\": {t_pooled:.6},\n    \
+         \"many_s_per_grid\": {:.6},\n    \
+         \"batch\": {batch},\n    \
+         \"speedup_pooled_vs_serial\": {fft_speedup:.3},\n    \
+         \"max_abs_diff_vs_serial\": {fft_diff:.3e},\n    \
+         \"roundtrip_max_abs_err\": {rt_diff:.3e}\n  }},\n  \
+         \"mtxel\": {{\n    \"n_pairs\": {n_pairs},\n    \
+         \"uncached_pairs_per_s\": {pairs_per_s_uncached:.2},\n    \
+         \"cached_pairs_per_s\": {pairs_per_s_cached:.2},\n    \
+         \"speedup_cached_vs_uncached\": {mtxel_speedup:.3},\n    \
+         \"cache_hits\": {cache_hits},\n    \
+         \"cache_misses\": {cache_misses}\n  }}\n}}\n",
+        t_many / batch as f64,
+    );
+    std::fs::write("BENCH_fft_mtxel.json", &json).expect("write BENCH_fft_mtxel.json");
+    println!("wrote BENCH_fft_mtxel.json");
+}

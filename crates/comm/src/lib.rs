@@ -24,6 +24,13 @@ use std::sync::{Arc, Condvar, Mutex};
 /// Payload trait: anything sent through a communicator, with a byte size
 /// used for traffic accounting.
 pub trait CommData: Clone + Send + 'static {
+    /// Wire size of one value when it is the same for *every* value of
+    /// the type, `None` for variable-size payloads (`Vec`, `Option`,
+    /// tuples containing them). Containers use this to account a hot
+    /// `Vec<f64>` / `Vec<Complex64>` collective in O(1) instead of
+    /// walking every element.
+    const FIXED_BYTES: Option<usize> = Some(std::mem::size_of::<Self>());
+
     /// Approximate wire size in bytes.
     fn comm_bytes(&self) -> usize {
         std::mem::size_of::<Self>()
@@ -41,16 +48,30 @@ impl CommData for f64 {}
 impl CommData for bool {}
 impl CommData for bgw_num::Complex64 {}
 impl<A: CommData, B: CommData> CommData for (A, B) {
+    const FIXED_BYTES: Option<usize> = match (A::FIXED_BYTES, B::FIXED_BYTES) {
+        (Some(a), Some(b)) => Some(a + b),
+        _ => None,
+    };
+
     fn comm_bytes(&self) -> usize {
         self.0.comm_bytes() + self.1.comm_bytes()
     }
 }
 impl<T: CommData> CommData for Vec<T> {
+    const FIXED_BYTES: Option<usize> = None;
+
     fn comm_bytes(&self) -> usize {
-        self.iter().map(|x| x.comm_bytes()).sum()
+        // Fixed-size elements: O(1) accounting, identical to the sum the
+        // per-element walk used to produce.
+        match T::FIXED_BYTES {
+            Some(b) => self.len() * b,
+            None => self.iter().map(|x| x.comm_bytes()).sum(),
+        }
     }
 }
 impl<T: CommData> CommData for Option<T> {
+    const FIXED_BYTES: Option<usize> = None;
+
     fn comm_bytes(&self) -> usize {
         self.as_ref().map_or(0, |x| x.comm_bytes())
     }
@@ -643,6 +664,41 @@ mod tests {
             (g, r)
         });
         assert_eq!(out[0], (vec![5], 3));
+    }
+
+    #[test]
+    fn comm_bytes_fixed_size_fast_path_matches_element_walk() {
+        // Regression guard for the O(1) Vec accounting: reported byte
+        // counts must be exactly what the per-element walk produced.
+        let v64 = vec![1.5f64; 1000];
+        assert_eq!(
+            v64.comm_bytes(),
+            v64.iter().map(|x| x.comm_bytes()).sum::<usize>()
+        );
+        assert_eq!(v64.comm_bytes(), 8000);
+        let vc: Vec<bgw_num::Complex64> = vec![bgw_num::c64(1.0, -2.0); 333];
+        assert_eq!(
+            vc.comm_bytes(),
+            vc.iter().map(|x| x.comm_bytes()).sum::<usize>()
+        );
+        assert_eq!(vc.comm_bytes(), 333 * 16);
+        // Tuples of fixed types compose into a fixed size (field sum, not
+        // size_of the padded tuple — same as the old override).
+        let vt: Vec<(u32, f64)> = vec![(7, 3.0); 50];
+        assert_eq!(<(u32, f64) as CommData>::FIXED_BYTES, Some(12));
+        assert_eq!(
+            vt.comm_bytes(),
+            vt.iter().map(|x| x.comm_bytes()).sum::<usize>()
+        );
+        assert_eq!(vt.comm_bytes(), 50 * 12);
+        // Variable-size elements still take the element walk.
+        assert_eq!(<Vec<f64> as CommData>::FIXED_BYTES, None);
+        let nested: Vec<Vec<f64>> = vec![vec![0.0; 3], vec![0.0; 5]];
+        assert_eq!(nested.comm_bytes(), 8 * 8);
+        let opts: Vec<Option<u64>> = vec![Some(1), None, Some(3)];
+        assert_eq!(opts.comm_bytes(), 16);
+        // Empty vectors report zero either way.
+        assert_eq!(Vec::<f64>::new().comm_bytes(), 0);
     }
 
     #[test]

@@ -86,7 +86,7 @@ impl ExcitonSpectrum {
             .enumerate()
             .map(|(i, &(v, c))| (v, c, self.states[(i, s)].norm_sqr()))
             .collect();
-        weights.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap());
+        weights.sort_by(|a, b| b.2.total_cmp(&a.2));
         weights.truncate(top);
         weights
     }
@@ -172,11 +172,13 @@ pub fn solve_bse(
         // m[b1 * n + b2] not needed; store per (i, j) pair row matrix
         let n = bands.len();
         let mut out = Vec::with_capacity(n * n);
-        for &b1 in bands {
-            let r1 = mtxel.to_real_space(wf, b1);
-            for &b2 in bands {
-                let r2 = mtxel.to_real_space(wf, b2);
-                let mut row = mtxel.pair_from_real(&r1, &r2);
+        // Each band appears in n pairs; transform all of them once.
+        let real = mtxel.to_real_space_many(wf, bands);
+        for (i1, &b1) in bands.iter().enumerate() {
+            let r1 = &real[i1];
+            for (i2, &b2) in bands.iter().enumerate() {
+                let r2 = &real[i2];
+                let mut row = mtxel.pair_from_real(r1, r2);
                 row[0] = mtxel.head_kp(wf, b1, b2, q0);
                 for (g, x) in row.iter_mut().enumerate() {
                     *x = x.scale(vsqrt[g]);
@@ -295,7 +297,7 @@ mod tests {
             .iter()
             .map(|&(v, c)| setup.wf.energies[c] - setup.wf.energies[v] + 0.05)
             .collect();
-        expect.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        expect.sort_by(|a, b| a.total_cmp(b));
         for (a, b) in s.energies.iter().zip(&expect) {
             assert!((a - b).abs() < 1e-10, "{a} vs {b}");
         }

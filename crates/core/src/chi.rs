@@ -83,8 +83,8 @@ impl<'a> ChiEngine<'a> {
         let nv = wf.n_valence;
         let nc = wf.n_conduction();
         assert!(nc > 0, "no conduction bands");
-        let cond_real: Vec<Vec<Complex64>> =
-            (0..nc).map(|c| mtxel.to_real_space(wf, nv + c)).collect();
+        let cond_bands: Vec<usize> = (0..nc).map(|c| nv + c).collect();
+        let cond_real = mtxel.to_real_space_many(wf, &cond_bands);
         Self {
             wf,
             mtxel,
@@ -104,10 +104,12 @@ impl<'a> ChiEngine<'a> {
         let nc = self.wf.n_conduction();
         let ng = self.n_g();
         let mut panel = CMatrix::zeros((v1 - v0) * nc, ng);
+        let bands: Vec<usize> = (v0..v1).collect();
+        let val_real = self.mtxel.to_real_space_many(self.wf, &bands);
         for v in v0..v1 {
-            let psi_v = self.mtxel.to_real_space(self.wf, v);
+            let psi_v = &val_real[v - v0];
             for c in 0..nc {
-                let mut row = self.mtxel.pair_from_real(&psi_v, &self.cond_real[c]);
+                let mut row = self.mtxel.pair_from_real(psi_v, &self.cond_real[c]);
                 row[0] = self
                     .mtxel
                     .head_kp(self.wf, v, self.wf.n_valence + c, self.cfg.q0);
@@ -141,12 +143,14 @@ impl<'a> ChiEngine<'a> {
         // NV blocks over the subset.
         for chunk in vs.chunks(self.cfg.nv_block.max(1)) {
             let t0 = Instant::now();
-            // Build this block's M panel (rows: (idx within chunk, c)).
+            // Build this block's M panel (rows: (idx within chunk, c)),
+            // transforming the whole block of valence bands in one batch.
             let mut panel = CMatrix::zeros(chunk.len() * nc, ng);
+            let val_real = self.mtxel.to_real_space_many(self.wf, chunk);
             for (i, &v) in chunk.iter().enumerate() {
-                let psi_v = self.mtxel.to_real_space(self.wf, v);
+                let psi_v = &val_real[i];
                 for c in 0..nc {
-                    let mut row = self.mtxel.pair_from_real(&psi_v, &self.cond_real[c]);
+                    let mut row = self.mtxel.pair_from_real(psi_v, &self.cond_real[c]);
                     row[0] = self
                         .mtxel
                         .head_kp(self.wf, v, self.wf.n_valence + c, self.cfg.q0);
@@ -233,10 +237,11 @@ impl<'a> ChiEngine<'a> {
         {
             let t0 = Instant::now();
             let mut panel = CMatrix::zeros(chunk.len() * nc, ng);
+            let val_real = self.mtxel.to_real_space_many(self.wf, chunk);
             for (i, &v) in chunk.iter().enumerate() {
-                let psi_v = self.mtxel.to_real_space(self.wf, v);
+                let psi_v = &val_real[i];
                 for c in 0..nc {
-                    let mut row = self.mtxel.pair_from_real(&psi_v, &self.cond_real[c]);
+                    let mut row = self.mtxel.pair_from_real(psi_v, &self.cond_real[c]);
                     row[0] = self
                         .mtxel
                         .head_kp(self.wf, v, self.wf.n_valence + c, self.cfg.q0);

@@ -56,17 +56,24 @@ pub fn build_dm_tilde(
     let nb = wf.n_bands();
     let ng = mtxel.n_out();
     assert_eq!(dpsi.shape(), (nb, wf.n_g()));
+    // Transform every zeroth- and first-order state once (two batched
+    // FFT passes) and reuse across the l x n pair loop; the old code
+    // re-ran both inverse FFTs for every pair.
+    let all_bands: Vec<usize> = (0..nb).collect();
+    let psi_real = mtxel.to_real_space_many(wf, &all_bands);
+    let dpsi_rows: Vec<&[Complex64]> = (0..nb).map(|n| dpsi.row(n)).collect();
+    let dpsi_real = mtxel.vectors_to_real_space_many(&dpsi_rows);
     let mut out = Vec::with_capacity(ctx.sigma_bands.len());
     for &l in &ctx.sigma_bands {
-        let psi_l = mtxel.to_real_space(wf, l);
-        let dpsi_l = mtxel.vector_to_real_space(dpsi.row(l));
+        let psi_l = &psi_real[l];
+        let dpsi_l = &dpsi_real[l];
         let mut m = CMatrix::zeros(nb, ng);
         for n in 0..nb {
-            let psi_n = mtxel.to_real_space(wf, n);
-            let dpsi_n = mtxel.vector_to_real_space(dpsi.row(n));
+            let psi_n = &psi_real[n];
+            let dpsi_n = &dpsi_real[n];
             // <d psi_l| e^{iGr} |psi_n> + <psi_l| e^{iGr} |d psi_n>
-            let a = mtxel.pair_from_real(&dpsi_l, &psi_n);
-            let b = mtxel.pair_from_real(&psi_l, &dpsi_n);
+            let a = mtxel.pair_from_real(dpsi_l, psi_n);
+            let b = mtxel.pair_from_real(psi_l, dpsi_n);
             for (g, slot) in m.row_mut(n).iter_mut().enumerate() {
                 *slot = (a[g] + b[g]).scale(vsqrt[g]);
             }

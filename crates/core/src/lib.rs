@@ -45,7 +45,7 @@ pub use dyson::{solve_qp_diag, solve_qp_full, QpState};
 pub use epsilon::EpsilonInverse;
 pub use gpp::{godby_needs, GppModel};
 pub use gwpt::{gwpt_for_perturbation, GwptResult};
-pub use mtxel::Mtxel;
+pub use mtxel::{BandCache, Mtxel};
 pub use params::GwParams;
 pub use pseudobands::{chebyshev_pseudoband, compress, Pseudobands, PseudobandsConfig};
 pub use sigma::diag::{gpp_sigma_diag, KernelVariant, SigmaDiagResult};

@@ -9,7 +9,126 @@
 use bgw_fft::{Direction, Fft3d};
 use bgw_num::Complex64;
 use bgw_pwdft::{GSphere, Wavefunctions};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Bytes of one real-space grid of `npts` complex amplitudes.
+fn grid_bytes(npts: usize) -> usize {
+    npts * std::mem::size_of::<Complex64>()
+}
+
+/// Caller-owned LRU cache of real-space band amplitudes with a byte
+/// budget.
+///
+/// The MTXEL pair kernel transforms *two* bands per pair; every consumer
+/// loop (`chi` panels, the Sigma bare-exchange sum, GWPT's `l`-loop, BSE
+/// kernels) iterates an outer band against many inner bands, so caching
+/// the inner transforms turns `O(n_outer * n_inner)` inverse FFTs into
+/// `O(n_inner)`. The cache is owned by the *caller*, not the engine: the
+/// same [`Mtxel`] is routinely used with several `Wavefunctions` objects
+/// (e.g. GWPT's displaced crystals), and a band index alone would alias
+/// between them. Entries are `Arc`s, so a hit is a pointer clone and
+/// eviction never invalidates grids still in use.
+pub struct BandCache {
+    budget: usize,
+    inner: Mutex<CacheInner>,
+}
+
+struct CacheInner {
+    map: HashMap<usize, (Arc<Vec<Complex64>>, u64)>,
+    bytes: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl BandCache {
+    /// Creates a cache that holds at most `budget_bytes` of grids (at
+    /// least one grid is always retained, so a tiny budget degrades to
+    /// per-call memoization of the most recent band, never to a panic).
+    pub fn with_budget(budget_bytes: usize) -> Self {
+        Self {
+            budget: budget_bytes,
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                bytes: 0,
+                tick: 0,
+                hits: 0,
+                misses: 0,
+            }),
+        }
+    }
+
+    /// Sizing rule used by the GW kernels: room for `max_grids` grids of
+    /// `npts` points each.
+    pub fn for_grids(npts: usize, max_grids: usize) -> Self {
+        Self::with_budget(grid_bytes(npts) * max_grids.max(1))
+    }
+
+    /// Returns the cached grid for `key`, computing it with `make` on a
+    /// miss. Oldest-used entries are evicted once the budget overflows.
+    pub fn get_or(&self, key: usize, make: impl FnOnce() -> Vec<Complex64>) -> Arc<Vec<Complex64>> {
+        {
+            let mut st = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            st.tick += 1;
+            let tick = st.tick;
+            if let Some(entry) = st.map.get_mut(&key) {
+                entry.1 = tick;
+                let grid = Arc::clone(&entry.0);
+                st.hits += 1;
+                return grid;
+            }
+        }
+        // Compute outside the lock: transforms are expensive and other
+        // bands' lookups should not serialize behind this one.
+        let grid = Arc::new(make());
+        let mut st = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        st.misses += 1;
+        st.tick += 1;
+        let tick = st.tick;
+        let added = grid_bytes(grid.len());
+        if let Some(prev) = st.map.insert(key, (Arc::clone(&grid), tick)) {
+            st.bytes -= grid_bytes(prev.0.len());
+        }
+        st.bytes += added;
+        while st.bytes > self.budget && st.map.len() > 1 {
+            let oldest = st
+                .map
+                .iter()
+                .filter(|(k, _)| **k != key)
+                .min_by_key(|(_, (_, t))| *t)
+                .map(|(k, _)| *k);
+            match oldest {
+                Some(k) => {
+                    if let Some((g, _)) = st.map.remove(&k) {
+                        st.bytes -= grid_bytes(g.len());
+                    }
+                }
+                None => break,
+            }
+        }
+        grid
+    }
+
+    /// `(hits, misses)` so far.
+    pub fn stats(&self) -> (u64, u64) {
+        let st = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        (st.hits, st.misses)
+    }
+
+    /// Bytes currently held.
+    pub fn bytes(&self) -> usize {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).bytes
+    }
+
+    /// Drops every entry (the `Arc`s keep outstanding grids alive).
+    pub fn clear(&self) {
+        let mut st = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        st.map.clear();
+        st.bytes = 0;
+    }
+}
 
 /// Counts of work done by an MTXEL engine (for the perf model).
 #[derive(Debug, Default)]
@@ -168,6 +287,83 @@ impl Mtxel {
         grid
     }
 
+    /// [`Mtxel::to_real_space`] through a caller-owned [`BandCache`]
+    /// keyed by band index. The cache must be used with a single
+    /// `Wavefunctions` object (band indices alias across different ones).
+    pub fn to_real_space_cached(
+        &self,
+        cache: &BandCache,
+        wf: &Wavefunctions,
+        band: usize,
+    ) -> Arc<Vec<Complex64>> {
+        cache.get_or(band, || self.to_real_space(wf, band))
+    }
+
+    /// [`Mtxel::vector_to_real_space`] through a caller-owned cache under
+    /// a caller-chosen `key` (GWPT keys first-order states by row index).
+    pub fn vector_to_real_space_cached(
+        &self,
+        cache: &BandCache,
+        key: usize,
+        coeffs: &[Complex64],
+    ) -> Arc<Vec<Complex64>> {
+        cache.get_or(key, || self.vector_to_real_space(coeffs))
+    }
+
+    /// Transforms several bands of `wf` to real space in one batched pass
+    /// over the pooled 3-D FFT (grids are distributed over workers; each
+    /// grid's axis passes run the batched line kernel inline).
+    pub fn to_real_space_many(&self, wf: &Wavefunctions, bands: &[usize]) -> Vec<Vec<Complex64>> {
+        let mut grids: Vec<Vec<Complex64>> = bands
+            .iter()
+            .map(|&b| {
+                let mut grid = vec![Complex64::ZERO; self.npts];
+                for (g, &pos) in self.wfn_scatter.iter().enumerate() {
+                    grid[pos] = wf.coeffs[(b, g)];
+                }
+                grid
+            })
+            .collect();
+        self.plan.inverse_many(&mut grids);
+        let s = self.npts as f64;
+        for grid in grids.iter_mut() {
+            for z in grid.iter_mut() {
+                *z = z.scale(s);
+            }
+        }
+        self.stats
+            .ffts
+            .fetch_add(bands.len() as u64, Ordering::Relaxed);
+        grids
+    }
+
+    /// Batched [`Mtxel::vector_to_real_space`] over several coefficient
+    /// vectors (GWPT transforms every first-order state once this way).
+    pub fn vectors_to_real_space_many(&self, vecs: &[&[Complex64]]) -> Vec<Vec<Complex64>> {
+        let mut grids: Vec<Vec<Complex64>> = vecs
+            .iter()
+            .map(|coeffs| {
+                assert_eq!(coeffs.len(), self.wfn_scatter.len());
+                let mut grid = vec![Complex64::ZERO; self.npts];
+                for (g, &pos) in self.wfn_scatter.iter().enumerate() {
+                    grid[pos] = coeffs[g];
+                }
+                grid
+            })
+            .collect();
+        self.plan.inverse_many(&mut grids);
+        let s = self.npts as f64;
+        for grid in grids.iter_mut() {
+            for z in grid.iter_mut() {
+                *z = z.scale(s);
+            }
+        }
+        self.stats
+            .ffts
+            .fetch_add(vecs.len() as u64, Ordering::Relaxed);
+        grids
+    }
+
     /// Computes `M_mn^G` over the output sphere given the two bands'
     /// real-space amplitudes.
     pub fn pair_from_real(&self, psi_m_r: &[Complex64], psi_n_r: &[Complex64]) -> Vec<Complex64> {
@@ -284,6 +480,83 @@ mod tests {
                 mng,
                 nm[gm]
             );
+        }
+    }
+
+    #[test]
+    fn band_cache_hits_reuse_and_budget_evicts() {
+        let (wfn, eps, wf) = setup();
+        let eng = Mtxel::new(&wfn, &eps);
+        let npts = eng.to_real_space(&wf, 0).len();
+        let cache = BandCache::for_grids(npts, 2);
+        // First touch of each band misses; repeats hit and return the
+        // exact same allocation.
+        let a = eng.to_real_space_cached(&cache, &wf, 3);
+        let b = eng.to_real_space_cached(&cache, &wf, 3);
+        assert!(Arc::ptr_eq(&a, &b));
+        let direct = eng.to_real_space(&wf, 3);
+        assert_eq!(a.as_slice(), direct.as_slice());
+        let (h, m) = cache.stats();
+        assert_eq!((h, m), (1, 1));
+        // Budget of 2 grids: touching a third band must evict the oldest.
+        eng.to_real_space_cached(&cache, &wf, 4);
+        eng.to_real_space_cached(&cache, &wf, 5);
+        assert!(cache.bytes() <= npts * std::mem::size_of::<Complex64>() * 2);
+        // Band 3 was evicted: next touch is a miss but still correct.
+        let a2 = eng.to_real_space_cached(&cache, &wf, 3);
+        assert_eq!(a2.as_slice(), direct.as_slice());
+        let (_, m2) = cache.stats();
+        assert!(m2 >= 4);
+        cache.clear();
+        assert_eq!(cache.bytes(), 0);
+    }
+
+    #[test]
+    fn tiny_budget_degrades_to_most_recent_band() {
+        let (wfn, eps, wf) = setup();
+        let eng = Mtxel::new(&wfn, &eps);
+        let cache = BandCache::with_budget(1); // below one grid
+        let a = eng.to_real_space_cached(&cache, &wf, 0);
+        let b = eng.to_real_space_cached(&cache, &wf, 0);
+        assert!(Arc::ptr_eq(&a, &b), "most recent band must stay cached");
+        assert_eq!(a.as_slice(), eng.to_real_space(&wf, 0).as_slice());
+    }
+
+    #[test]
+    fn to_real_space_many_matches_single() {
+        let (wfn, eps, wf) = setup();
+        let eng = Mtxel::new(&wfn, &eps);
+        let bands = [0usize, 2, 7, 11];
+        let grids = eng.to_real_space_many(&wf, &bands);
+        for (i, &b) in bands.iter().enumerate() {
+            let want = eng.to_real_space(&wf, b);
+            assert_eq!(grids[i].as_slice(), want.as_slice(), "band {b}");
+        }
+    }
+
+    #[test]
+    fn alias_free_box_holds_at_max_output_g() {
+        // The box rule is n >= 2 m_psi + m_out + 1 per axis; the claim is
+        // that reading M at the *largest* output |m| is still alias-free.
+        // Check the FFT path against the direct convolution exactly at the
+        // output G-vectors of maximal |m| along each axis.
+        let (wfn, eps, wf) = setup();
+        let eng = Mtxel::new(&wfn, &eps);
+        let fast = eng.band_pair(&wf, 1, 6);
+        let slow = Mtxel::band_pair_direct(&wf, &wfn, &eps, 1, 6);
+        for axis in 0..3 {
+            let mmax = eps
+                .miller
+                .iter()
+                .map(|m| m[axis].unsigned_abs())
+                .max()
+                .unwrap();
+            for (gi, m) in eps.miller.iter().enumerate() {
+                if m[axis].unsigned_abs() == mmax {
+                    let err = (fast[gi] - slow[gi]).abs();
+                    assert!(err < 1e-10, "axis {axis} boundary G {m:?}: err {err}");
+                }
+            }
         }
     }
 

@@ -239,7 +239,7 @@ mod tests {
         let peak_idx = tail
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .unwrap()
             .0;
         for w in tail[peak_idx..].windows(2) {

@@ -64,14 +64,18 @@ impl SigmaContext {
         let nb = wf.n_bands();
         let ng = mtxel.n_out();
         assert_eq!(vsqrt.len(), ng, "vsqrt dimension mismatch");
+        // Every Sigma band pairs against all N_b bands: transform each
+        // band to real space once (batched) and reuse it across the whole
+        // l-loop instead of re-running the inverse FFT per (l, n) pair.
+        let all_bands: Vec<usize> = (0..nb).collect();
+        let band_real = mtxel.to_real_space_many(wf, &all_bands);
         let mut m_tilde = Vec::with_capacity(sigma_bands.len());
         for &l in sigma_bands {
             assert!(l < nb, "Sigma band {l} out of range");
-            let psi_l = mtxel.to_real_space(wf, l);
+            let psi_l = &band_real[l];
             let mut m = CMatrix::zeros(nb, ng);
-            for n in 0..nb {
-                let psi_n = mtxel.to_real_space(wf, n);
-                let mut row = mtxel.pair_from_real(&psi_l, &psi_n);
+            for (n, psi_n) in band_real.iter().enumerate() {
+                let mut row = mtxel.pair_from_real(psi_l, psi_n);
                 row[0] = mtxel.head_kp(wf, l, n, q0);
                 for (g, (slot, &mg)) in m.row_mut(n).iter_mut().zip(&row).enumerate() {
                     *slot = mg.scale(vsqrt[g]);

@@ -75,7 +75,7 @@ impl SpectralFunction {
             .values
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())?;
+            .max_by(|a, b| a.1.total_cmp(b.1))?;
         let half = amax / 2.0;
         let cross = |range: &mut dyn Iterator<Item = usize>| -> Option<f64> {
             let mut prev: Option<usize> = None;

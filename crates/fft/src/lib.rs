@@ -13,4 +13,4 @@ pub mod fft3;
 pub mod plan;
 
 pub use fft3::Fft3d;
-pub use plan::{dft_reference, good_size, Direction, FftPlan};
+pub use plan::{cached_plan, dft_reference, good_size, Direction, FftPlan, LINE_BATCH};

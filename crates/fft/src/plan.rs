@@ -7,6 +7,8 @@
 //! normalization, so `inverse(forward(x)) == x`.
 
 use bgw_num::{c64, Complex64};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Direction of a transform.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -20,6 +22,24 @@ pub enum Direction {
 /// Largest radix handled directly by the mixed-radix butterflies.
 const MAX_RADIX: usize = 13;
 
+/// Width of a line batch in the batched transforms: the 3-D driver feeds
+/// [`FftPlan::process_batch`] groups of up to this many lines, interleaved
+/// so each butterfly's twiddle lookup is amortized over the whole group
+/// and the inner loops vectorize over contiguous memory.
+pub const LINE_BATCH: usize = 16;
+
+/// Returns the process-wide cached plan for length `n`, creating it on
+/// first use. Every `Fft3d` of a GW run shares the same handful of 1-D
+/// plans this way (MTXEL boxes, Hamiltonian boxes and density grids all
+/// draw from the same few smooth sizes), so twiddle and stage tables are
+/// built once per length instead of once per engine.
+pub fn cached_plan(n: usize) -> Arc<FftPlan> {
+    static CACHE: OnceLock<Mutex<HashMap<usize, Arc<FftPlan>>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = cache.lock().unwrap_or_else(|e| e.into_inner());
+    Arc::clone(map.entry(n).or_insert_with(|| Arc::new(FftPlan::new(n))))
+}
+
 /// A reusable FFT plan for a fixed transform length.
 #[derive(Clone, Debug)]
 pub struct FftPlan {
@@ -28,6 +48,14 @@ pub struct FftPlan {
     factors: Vec<usize>,
     /// Forward twiddle table: `tw[k] = e^{-2 pi i k / n}` for `k in 0..n`.
     twiddles: Vec<Complex64>,
+    /// Per-stage twiddle tables for the batched kernel:
+    /// `stage_tw[d][k * r + q] = e^{-2 pi i k q step_d / n}` with
+    /// `k in 0..m_d`, precomputed so the hot loops are pure table reads
+    /// (the recursive path recomputes the index with a modulo per
+    /// butterfly, which dominates its runtime).
+    stage_tw: Vec<Vec<Complex64>>,
+    /// Per-stage radix-DFT matrices `dft_tw[d][p * r + q] = e^{-2 pi i p q / r_d}`.
+    dft_tw: Vec<Vec<Complex64>>,
     /// Chirp-z machinery for lengths with large prime factors.
     bluestein: Option<Box<Bluestein>>,
 }
@@ -85,12 +113,17 @@ impl FftPlan {
         assert!(n >= 1, "FFT length must be positive");
         let twiddles = forward_twiddles(n);
         match factorize(n) {
-            Some(factors) => Self {
-                n,
-                factors,
-                twiddles,
-                bluestein: None,
-            },
+            Some(factors) => {
+                let (stage_tw, dft_tw) = stage_tables(n, &factors, &twiddles);
+                Self {
+                    n,
+                    factors,
+                    twiddles,
+                    stage_tw,
+                    dft_tw,
+                    bluestein: None,
+                }
+            }
             None => {
                 let m = (2 * n - 1).next_power_of_two();
                 let inner = FftPlan::new(m);
@@ -113,6 +146,8 @@ impl FftPlan {
                     n,
                     factors: Vec::new(),
                     twiddles,
+                    stage_tw: Vec::new(),
+                    dft_tw: Vec::new(),
                     bluestein: Some(Box::new(Bluestein {
                         m,
                         inner,
@@ -225,6 +260,150 @@ impl FftPlan {
         // distinct k values touch disjoint positions.
     }
 
+    /// `true` when this length falls back to the chirp-z (Bluestein) path.
+    pub fn uses_bluestein(&self) -> bool {
+        self.bluestein.is_some()
+    }
+
+    /// Scratch length required by [`FftPlan::process_batch`].
+    pub fn batch_scratch_len(&self) -> usize {
+        // Factorized path ping-pongs a full interleaved panel; the
+        // Bluestein fallback deinterleaves one line at a time and needs a
+        // line buffer plus the scalar scratch.
+        (self.n * LINE_BATCH).max(self.n + self.scratch_len())
+    }
+
+    /// Transforms a batch of `batch <= LINE_BATCH` lines in place.
+    ///
+    /// `data` holds the lines *interleaved*: element `k` of line `b` lives
+    /// at `data[k * batch + b]`, so a butterfly touching logical index `k`
+    /// reads and writes `batch` contiguous complex numbers with a single
+    /// twiddle. Radices 2/3/4/5 (everything a 5-smooth grid produces) use
+    /// hard-wired butterflies whose DFT constants (±1, ±i, the exact
+    /// radix-3/5 cosines) are applied as real scalings instead of full
+    /// complex multiplies; results agree with the scalar kernel to
+    /// rounding (~1e-13 relative), not bit-for-bit, because the scalar
+    /// path multiplies by table entries like `cis(-pi)` that carry ~1e-16
+    /// phase error.
+    pub fn process_batch(
+        &self,
+        data: &mut [Complex64],
+        batch: usize,
+        scratch: &mut [Complex64],
+        dir: Direction,
+    ) {
+        assert!((1..=LINE_BATCH).contains(&batch), "batch out of range");
+        assert_eq!(data.len(), self.n * batch, "batch buffer length mismatch");
+        assert!(
+            scratch.len() >= self.batch_scratch_len(),
+            "batch scratch too small"
+        );
+        if self.n == 1 {
+            return;
+        }
+        if dir == Direction::Inverse {
+            for z in data.iter_mut() {
+                *z = z.conj();
+            }
+            self.process_batch(data, batch, scratch, Direction::Forward);
+            let s = 1.0 / self.n as f64;
+            for z in data.iter_mut() {
+                *z = z.conj().scale(s);
+            }
+            return;
+        }
+        if self.bluestein.is_some() {
+            // Chirp-z lengths go through the scalar kernel line by line;
+            // they only appear for pathological grid dimensions.
+            let (line, rest) = scratch.split_at_mut(self.n);
+            for b in 0..batch {
+                for k in 0..self.n {
+                    line[k] = data[k * batch + b];
+                }
+                self.process_with(line, rest, Direction::Forward);
+                for k in 0..self.n {
+                    data[k * batch + b] = line[k];
+                }
+            }
+            return;
+        }
+        let (buf, _) = scratch.split_at_mut(self.n * batch);
+        buf.copy_from_slice(data);
+        self.rec_batch(buf, data, self.n, 1, 0, batch);
+    }
+
+    /// Batched analogue of [`FftPlan::rec`]: logical element `i` of `src`
+    /// is the `b`-wide block at `src[i * stride * b ..]`, and the
+    /// transform lands contiguously (blocked by `b`) in `dst`. Twiddles
+    /// come from the per-stage tables, so the inner loops carry no index
+    /// arithmetic beyond the batch sweep.
+    fn rec_batch(
+        &self,
+        src: &[Complex64],
+        dst: &mut [Complex64],
+        n: usize,
+        stride: usize,
+        depth: usize,
+        b: usize,
+    ) {
+        if n == 1 {
+            dst[..b].copy_from_slice(&src[..b]);
+            return;
+        }
+        let r = self.factors[depth];
+        let m = n / r;
+        for q in 0..r {
+            let sub = &src[q * stride * b..];
+            let (head, _) = dst.split_at_mut((q + 1) * m * b);
+            self.rec_batch(sub, &mut head[q * m * b..], m, stride * r, depth + 1, b);
+        }
+        let st = &self.stage_tw[depth];
+        match r {
+            2 => combine2(dst, st, m, b),
+            3 => combine3(dst, st, m, b),
+            4 => combine4(dst, st, m, b),
+            5 => combine5(dst, st, m, b),
+            _ => self.combine_generic(dst, st, depth, r, m, b),
+        }
+    }
+
+    /// Generic radix-`r` combine via the precomputed DFT matrix; only the
+    /// large prime radices (7, 11, 13) land here.
+    fn combine_generic(
+        &self,
+        dst: &mut [Complex64],
+        st: &[Complex64],
+        depth: usize,
+        r: usize,
+        m: usize,
+        b: usize,
+    ) {
+        let dt = &self.dft_tw[depth];
+        let mut tmp = [Complex64::ZERO; MAX_RADIX * LINE_BATCH];
+        let mut acc = [Complex64::ZERO; LINE_BATCH];
+        for k in 0..m {
+            tmp[..b].copy_from_slice(&dst[k * b..k * b + b]); // q = 0: tw = 1
+            for q in 1..r {
+                let tw = st[k * r + q];
+                let row = &dst[(q * m + k) * b..(q * m + k) * b + b];
+                for (t, &z) in tmp[q * b..q * b + b].iter_mut().zip(row) {
+                    *t = z * tw;
+                }
+            }
+            for p in 0..r {
+                acc[..b].copy_from_slice(&tmp[..b]);
+                for q in 1..r {
+                    let tw = dt[p * r + q];
+                    let blk = &tmp[q * b..q * b + b];
+                    for (a, &t) in acc[..b].iter_mut().zip(blk) {
+                        *a = a.mul_add(t, tw);
+                    }
+                }
+                dst[(p * m + k) * b..(p * m + k) * b + b].copy_from_slice(&acc[..b]);
+            }
+        }
+    }
+
     /// Bluestein forward transform.
     fn bluestein_forward(&self, b: &Bluestein, data: &mut [Complex64], scratch: &mut [Complex64]) {
         let n = self.n;
@@ -249,10 +428,165 @@ impl FftPlan {
     }
 }
 
+/// `-i z` (forward-transform quarter turn).
+#[inline(always)]
+fn neg_i(z: Complex64) -> Complex64 {
+    Complex64::new(z.im, -z.re)
+}
+
+/// Radix-2 combine: `X0 = a0 + tw a1`, `X1 = a0 - tw a1`.
+#[inline]
+fn combine2(dst: &mut [Complex64], st: &[Complex64], m: usize, b: usize) {
+    for k in 0..m {
+        let tw1 = st[k * 2 + 1];
+        let (i0, i1) = (k * b, (m + k) * b);
+        for j in 0..b {
+            let a0 = dst[i0 + j];
+            let t = dst[i1 + j] * tw1;
+            dst[i0 + j] = a0 + t;
+            dst[i1 + j] = a0 - t;
+        }
+    }
+}
+
+/// Radix-3 combine with the exact `w = e^{-2 pi i / 3}` constants:
+/// `X1 = a0 - s/2 + i Im(w) d`, `X2 = a0 - s/2 - i Im(w) d` with
+/// `s = a1 + a2`, `d = a1 - a2` (inputs already twiddled).
+#[inline]
+fn combine3(dst: &mut [Complex64], st: &[Complex64], m: usize, b: usize) {
+    const B3: f64 = -0.866_025_403_784_438_6; // Im(e^{-2 pi i / 3}) = -sqrt(3)/2
+    for k in 0..m {
+        let tw1 = st[k * 3 + 1];
+        let tw2 = st[k * 3 + 2];
+        let (i0, i1, i2) = (k * b, (m + k) * b, (2 * m + k) * b);
+        for j in 0..b {
+            let a0 = dst[i0 + j];
+            let a1 = dst[i1 + j] * tw1;
+            let a2 = dst[i2 + j] * tw2;
+            let s = a1 + a2;
+            let d = a1 - a2;
+            let e = a0 - s.scale(0.5);
+            let f = Complex64::new(-B3 * d.im, B3 * d.re); // i B3 d
+            dst[i0 + j] = a0 + s;
+            dst[i1 + j] = e + f;
+            dst[i2 + j] = e - f;
+        }
+    }
+}
+
+/// Radix-4 combine: the DFT matrix entries are `{1, -i, -1, i}`, so the
+/// whole butterfly is additions plus one quarter-turn.
+#[inline]
+fn combine4(dst: &mut [Complex64], st: &[Complex64], m: usize, b: usize) {
+    for k in 0..m {
+        let tw1 = st[k * 4 + 1];
+        let tw2 = st[k * 4 + 2];
+        let tw3 = st[k * 4 + 3];
+        let (i0, i1, i2, i3) = (k * b, (m + k) * b, (2 * m + k) * b, (3 * m + k) * b);
+        for j in 0..b {
+            let a0 = dst[i0 + j];
+            let a1 = dst[i1 + j] * tw1;
+            let a2 = dst[i2 + j] * tw2;
+            let a3 = dst[i3 + j] * tw3;
+            let s02 = a0 + a2;
+            let d02 = a0 - a2;
+            let s13 = a1 + a3;
+            let jd = neg_i(a1 - a3);
+            dst[i0 + j] = s02 + s13;
+            dst[i1 + j] = d02 + jd;
+            dst[i2 + j] = s02 - s13;
+            dst[i3 + j] = d02 - jd;
+        }
+    }
+}
+
+/// Radix-5 combine via the standard two-fold symmetry split: with
+/// `t1 = a1 + a4`, `t2 = a2 + a3`, `t3 = a1 - a4`, `t4 = a2 - a3`,
+/// `X{1,4} = a0 + c1 t1 + c2 t2 -/+ i (s1 t3 + s2 t4)` and
+/// `X{2,3} = a0 + c2 t1 + c1 t2 -/+ i (s2 t3 - s1 t4)`.
+#[inline]
+fn combine5(dst: &mut [Complex64], st: &[Complex64], m: usize, b: usize) {
+    const C1: f64 = 0.309_016_994_374_947_45; // cos(2 pi / 5)
+    const S1: f64 = 0.951_056_516_295_153_5; // sin(2 pi / 5)
+    const C2: f64 = -0.809_016_994_374_947_4; // cos(4 pi / 5)
+    const S2: f64 = 0.587_785_252_292_473_1; // sin(4 pi / 5)
+    for k in 0..m {
+        let tw1 = st[k * 5 + 1];
+        let tw2 = st[k * 5 + 2];
+        let tw3 = st[k * 5 + 3];
+        let tw4 = st[k * 5 + 4];
+        let base = [
+            k * b,
+            (m + k) * b,
+            (2 * m + k) * b,
+            (3 * m + k) * b,
+            (4 * m + k) * b,
+        ];
+        for j in 0..b {
+            let a0 = dst[base[0] + j];
+            let a1 = dst[base[1] + j] * tw1;
+            let a2 = dst[base[2] + j] * tw2;
+            let a3 = dst[base[3] + j] * tw3;
+            let a4 = dst[base[4] + j] * tw4;
+            let t1 = a1 + a4;
+            let t2 = a2 + a3;
+            let t3 = a1 - a4;
+            let t4 = a2 - a3;
+            let e1 = a0 + t1.scale(C1) + t2.scale(C2);
+            let e2 = a0 + t1.scale(C2) + t2.scale(C1);
+            let f1 = neg_i(t3.scale(S1) + t4.scale(S2));
+            let f2 = neg_i(t3.scale(S2) - t4.scale(S1));
+            dst[base[0] + j] = a0 + t1 + t2;
+            dst[base[1] + j] = e1 + f1;
+            dst[base[4] + j] = e1 - f1;
+            dst[base[2] + j] = e2 + f2;
+            dst[base[3] + j] = e2 - f2;
+        }
+    }
+}
+
 /// Builds the forward twiddle table `e^{-2 pi i k / n}`.
 fn forward_twiddles(n: usize) -> Vec<Complex64> {
     let w = -2.0 * std::f64::consts::PI / n as f64;
     (0..n).map(|k| Complex64::cis(w * k as f64)).collect()
+}
+
+/// Precomputes, for every recursion depth of the mixed-radix kernel, the
+/// butterfly twiddles `stage_tw[d][k*r+q] = twiddles[(k*q*step_d) % n]`
+/// and the radix-DFT matrix `dft_tw[d][p*r+q] = twiddles[(p*q*m_d*step_d) % n]`
+/// (the latter only consumed by the generic large-prime combine; radices
+/// 2/3/4/5 hard-wire their DFT constants). Entries are copied out of the
+/// shared `twiddles` table, so the batched kernel reads the same twiddle
+/// values as the recursive one without the per-butterfly
+/// multiply-and-modulo index computation.
+fn stage_tables(
+    n: usize,
+    factors: &[usize],
+    twiddles: &[Complex64],
+) -> (Vec<Vec<Complex64>>, Vec<Vec<Complex64>>) {
+    let mut stage_tw = Vec::with_capacity(factors.len());
+    let mut dft_tw = Vec::with_capacity(factors.len());
+    let mut nd = n;
+    for &r in factors {
+        let m = nd / r;
+        let step = n / nd;
+        let mut st = Vec::with_capacity(m * r);
+        for k in 0..m {
+            for q in 0..r {
+                st.push(twiddles[(k * q * step) % n]);
+            }
+        }
+        let mut dt = Vec::with_capacity(r * r);
+        for p in 0..r {
+            for q in 0..r {
+                dt.push(twiddles[(p * q * m * step) % n]);
+            }
+        }
+        stage_tw.push(st);
+        dft_tw.push(dt);
+        nd = m;
+    }
+    (stage_tw, dft_tw)
 }
 
 /// Reference O(n^2) DFT used by tests and as a correctness oracle.
@@ -440,5 +774,52 @@ mod tests {
         let plan = FftPlan::new(8);
         let mut x = vec![Complex64::ZERO; 7];
         plan.process(&mut x, Direction::Forward);
+    }
+
+    #[test]
+    fn batch_matches_scalar_to_rounding() {
+        // Smooth, Bluestein, and degenerate lengths; full and ragged
+        // batches. The batched kernel's hard-wired radix-2/3/4/5
+        // butterflies use exact DFT constants where the scalar kernel
+        // multiplies by table entries with ~1e-16 phase error, so the two
+        // agree to rounding, not bit-for-bit.
+        for n in [1usize, 2, 12, 60, 64, 90, 100, 17, 31] {
+            for batch in [1usize, 3, LINE_BATCH] {
+                for dir in [Direction::Forward, Direction::Inverse] {
+                    let plan = FftPlan::new(n);
+                    let lines: Vec<Vec<Complex64>> = (0..batch)
+                        .map(|b| rand_signal(n, (17 * n + b) as u64))
+                        .collect();
+                    // Interleave: data[k*batch + b] = lines[b][k].
+                    let mut data = vec![Complex64::ZERO; n * batch];
+                    for (b, line) in lines.iter().enumerate() {
+                        for (k, &z) in line.iter().enumerate() {
+                            data[k * batch + b] = z;
+                        }
+                    }
+                    let mut scratch = vec![Complex64::ZERO; plan.batch_scratch_len()];
+                    plan.process_batch(&mut data, batch, &mut scratch, dir);
+                    for (b, line) in lines.iter().enumerate() {
+                        let mut want = line.clone();
+                        plan.process(&mut want, dir);
+                        for (k, w) in want.iter().enumerate() {
+                            let got = data[k * batch + b];
+                            assert!(
+                                (got - *w).abs() <= 1e-12 * (n as f64).max(1.0),
+                                "n={n} batch={batch} dir={dir:?} b={b} k={k}: {got:?} vs {w:?}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cached_plan_is_shared() {
+        let a = cached_plan(48);
+        let b = cached_plan(48);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.len(), 48);
     }
 }

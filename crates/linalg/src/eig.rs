@@ -146,7 +146,7 @@ pub fn eigh(a: &CMatrix) -> HermitianEig {
 
     // --- Sort ascending ------------------------------------------------
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&i, &j| d[i].partial_cmp(&d[j]).expect("NaN eigenvalue"));
+    order.sort_by(|&i, &j| d[i].total_cmp(&d[j]));
     let values: Vec<f64> = order.iter().map(|&i| d[i]).collect();
     let vectors = CMatrix::from_fn(n, n, |r, c| q[(r, order[c])]);
     HermitianEig { values, vectors }

@@ -192,8 +192,14 @@ fn pool_run(participants: usize, job: &(dyn Fn(usize) + Sync)) -> bool {
         return false;
     }
     let p = pool();
-    let Ok(_dispatch) = p.dispatch.try_lock() else {
-        return false;
+    // A poisoned dispatch mutex must not read as "busy" forever: that
+    // would silently demote every future parallel call to the inline
+    // path after one unwind in the dispatch window. Recover the guard;
+    // actual contention (WouldBlock) still falls back inline.
+    let _dispatch = match p.dispatch.try_lock() {
+        Ok(g) => g,
+        Err(std::sync::TryLockError::Poisoned(e)) => e.into_inner(),
+        Err(std::sync::TryLockError::WouldBlock) => return false,
     };
     let t0 = Instant::now();
     let ptr: *const (dyn Fn(usize) + Sync) = job;
@@ -710,6 +716,73 @@ mod tests {
             hits.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(hits.load(Ordering::Relaxed), 100);
+        set_num_threads(0);
+    }
+
+    #[test]
+    fn pool_still_dispatches_after_region_panic() {
+        // Reuse after a panic must mean *pooled* reuse: a wedge that
+        // silently demoted every later call to the inline path would
+        // still compute correct results, so check the dispatch counter,
+        // not just the sums.
+        let _g = test_guard();
+        set_num_threads(4);
+        for round in 0..3 {
+            let r = catch_unwind(AssertUnwindSafe(|| {
+                parallel_for_chunked(256, 8, |lo, _| {
+                    if lo == 64 {
+                        panic!("boom in round {round}");
+                    }
+                });
+            }));
+            assert!(r.is_err(), "round {round}: panic must propagate");
+            let before = bgw_perf::counters::snapshot();
+            let hits = AtomicU64::new(0);
+            parallel_for_chunked(256, 8, |lo, hi| {
+                hits.fetch_add((hi - lo) as u64, Ordering::Relaxed);
+            });
+            assert_eq!(hits.load(Ordering::Relaxed), 256, "round {round}");
+            let d = before.delta(&bgw_perf::counters::snapshot());
+            assert!(
+                d.pool_dispatches >= 1,
+                "round {round}: the next region must run on the pool, \
+                 not fall back inline (dispatches {}, inline {})",
+                d.pool_dispatches,
+                d.pool_inline_runs
+            );
+        }
+        set_num_threads(0);
+    }
+
+    #[test]
+    fn caller_slot_panic_leaves_pool_usable() {
+        // Panic specifically in the dispatcher's own share (slot 0): the
+        // dispatch guard unwinds through pool_run's epilogue and must not
+        // poison the next dispatch.
+        let _g = test_guard();
+        set_num_threads(3);
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            parallel_reduce(
+                64,
+                4,
+                || 0u64,
+                |_, lo, _| {
+                    if lo < 64 {
+                        panic!("dispatcher-side boom");
+                    }
+                },
+                |a, b| a + b,
+            );
+        }));
+        assert!(r.is_err());
+        let total = parallel_reduce(
+            100,
+            4,
+            || 0u64,
+            |acc, lo, hi| *acc += (lo..hi).map(|i| i as u64).sum::<u64>(),
+            |a, b| a + b,
+        );
+        assert_eq!(total, 4950);
         set_num_threads(0);
     }
 }

@@ -21,6 +21,9 @@ static POOL_INLINE_RUNS: AtomicU64 = AtomicU64::new(0);
 static GEMM_CALLS: AtomicU64 = AtomicU64::new(0);
 static GEMM_PACK_NS: AtomicU64 = AtomicU64::new(0);
 static GEMM_COMPUTE_NS: AtomicU64 = AtomicU64::new(0);
+static FFT_GRIDS: AtomicU64 = AtomicU64::new(0);
+static FFT_LINES: AtomicU64 = AtomicU64::new(0);
+static FFT_NS: AtomicU64 = AtomicU64::new(0);
 
 /// Point-in-time reading of every substrate counter.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -40,6 +43,15 @@ pub struct CounterSnapshot {
     /// Nanoseconds spent in the GEMM microkernel sweep (summed over
     /// threads; overlapping threads each contribute their own time).
     pub gemm_compute_ns: u64,
+    /// 3-D FFT grid transforms executed (each counts one `Fft3d` pass,
+    /// whichever path — pooled, serial or batched-many — ran it).
+    pub fft_grids: u64,
+    /// 1-D line transforms executed inside 3-D passes (nx*ny + nx*nz +
+    /// ny*nz per grid), the natural work unit of the batched driver.
+    pub fft_lines: u64,
+    /// Wall-clock nanoseconds spent inside `Fft3d` passes, measured on
+    /// the calling thread (dispatch + gather/scatter + butterflies).
+    pub fft_ns: u64,
 }
 
 impl CounterSnapshot {
@@ -52,7 +64,15 @@ impl CounterSnapshot {
             gemm_calls: later.gemm_calls.saturating_sub(self.gemm_calls),
             gemm_pack_ns: later.gemm_pack_ns.saturating_sub(self.gemm_pack_ns),
             gemm_compute_ns: later.gemm_compute_ns.saturating_sub(self.gemm_compute_ns),
+            fft_grids: later.fft_grids.saturating_sub(self.fft_grids),
+            fft_lines: later.fft_lines.saturating_sub(self.fft_lines),
+            fft_ns: later.fft_ns.saturating_sub(self.fft_ns),
         }
+    }
+
+    /// Seconds spent inside 3-D FFT passes.
+    pub fn fft_seconds(&self) -> f64 {
+        self.fft_ns as f64 * 1e-9
     }
 
     /// Seconds spent packing GEMM operands.
@@ -80,6 +100,9 @@ pub fn snapshot() -> CounterSnapshot {
         gemm_calls: GEMM_CALLS.load(Ordering::Relaxed),
         gemm_pack_ns: GEMM_PACK_NS.load(Ordering::Relaxed),
         gemm_compute_ns: GEMM_COMPUTE_NS.load(Ordering::Relaxed),
+        fft_grids: FFT_GRIDS.load(Ordering::Relaxed),
+        fft_lines: FFT_LINES.load(Ordering::Relaxed),
+        fft_ns: FFT_NS.load(Ordering::Relaxed),
     }
 }
 
@@ -92,6 +115,9 @@ pub fn reset() {
     GEMM_CALLS.store(0, Ordering::Relaxed);
     GEMM_PACK_NS.store(0, Ordering::Relaxed);
     GEMM_COMPUTE_NS.store(0, Ordering::Relaxed);
+    FFT_GRIDS.store(0, Ordering::Relaxed);
+    FFT_LINES.store(0, Ordering::Relaxed);
+    FFT_NS.store(0, Ordering::Relaxed);
 }
 
 /// Records one pooled parallel region of `ns` nanoseconds.
@@ -125,6 +151,15 @@ pub fn record_gemm_compute_ns(ns: u64) {
     GEMM_COMPUTE_NS.fetch_add(ns, Ordering::Relaxed);
 }
 
+/// Records one 3-D FFT pass of `lines` 1-D transforms taking `ns`
+/// nanoseconds on the calling thread.
+#[inline]
+pub fn record_fft_pass(lines: u64, ns: u64) {
+    FFT_GRIDS.fetch_add(1, Ordering::Relaxed);
+    FFT_LINES.fetch_add(lines, Ordering::Relaxed);
+    FFT_NS.fetch_add(ns, Ordering::Relaxed);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,6 +172,7 @@ mod tests {
         record_gemm_call();
         record_gemm_pack_ns(10);
         record_gemm_compute_ns(20);
+        record_fft_pass(48, 30);
         let after = snapshot();
         let d = before.delta(&after);
         assert!(d.pool_dispatches >= 1);
@@ -148,5 +184,9 @@ mod tests {
         assert!(d.gemm_pack_seconds() > 0.0);
         assert!(d.gemm_compute_seconds() > 0.0);
         assert!(d.pool_parallel_seconds() > 0.0);
+        assert!(d.fft_grids >= 1);
+        assert!(d.fft_lines >= 48);
+        assert!(d.fft_ns >= 30);
+        assert!(d.fft_seconds() > 0.0);
     }
 }

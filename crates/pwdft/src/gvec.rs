@@ -54,7 +54,7 @@ impl GSphere {
             }
         }
         // Deterministic order: energy, then Miller lexicographic.
-        entries.sort_by(|a, b| a.2.partial_cmp(&b.2).unwrap().then_with(|| a.0.cmp(&b.0)));
+        entries.sort_by(|a, b| a.2.total_cmp(&b.2).then_with(|| a.0.cmp(&b.0)));
         let mut miller = Vec::with_capacity(entries.len());
         let mut cart = Vec::with_capacity(entries.len());
         let mut norm2 = Vec::with_capacity(entries.len());

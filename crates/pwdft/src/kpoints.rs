@@ -240,14 +240,19 @@ pub fn effective_mass(
 
 /// Indirect gap over a sampled path: `min_k E_{N_v}(k) - max_k E_{N_v-1}(k)`.
 pub fn indirect_gap(bands: &[Vec<f64>], n_valence: usize) -> f64 {
-    let vbm = bands
-        .iter()
-        .map(|b| b[n_valence - 1])
-        .fold(f64::NEG_INFINITY, f64::max);
-    let cbm = bands
-        .iter()
-        .map(|b| b[n_valence])
-        .fold(f64::INFINITY, f64::min);
+    // A NaN band energy must surface as a NaN gap: `f64::max`/`min`
+    // silently ignore NaN operands, which used to hide a diverged
+    // eigenvalue behind a plausible-looking number.
+    let mut vbm = f64::NEG_INFINITY;
+    let mut cbm = f64::INFINITY;
+    for b in bands {
+        let (ev, ec) = (b[n_valence - 1], b[n_valence]);
+        if ev.is_nan() || ec.is_nan() {
+            return f64::NAN;
+        }
+        vbm = vbm.max(ev);
+        cbm = cbm.min(ec);
+    }
     cbm - vbm
 }
 
@@ -297,6 +302,31 @@ mod tests {
     }
 
     #[test]
+    fn nan_band_energy_surfaces_as_nan_gap() {
+        // A diverged eigenvalue must neither panic the k-point argmax /
+        // argmin machinery nor be silently dropped by the gap finder.
+        let mut bands = vec![
+            vec![-1.0, -0.5, 0.3, 0.9],
+            vec![-1.1, -0.4, 0.2, 1.0],
+            vec![-0.9, -0.6, 0.4, 0.8],
+        ];
+        let clean = indirect_gap(&bands, 2);
+        assert!((clean - (0.2 - (-0.4))).abs() < 1e-15);
+        bands[1][2] = f64::NAN; // poison one conduction energy
+        let gap = indirect_gap(&bands, 2);
+        assert!(gap.is_nan(), "NaN input must produce a NaN gap, got {gap}");
+        bands[1][2] = 0.2;
+        bands[0][1] = f64::NAN; // poison a valence energy
+        assert!(indirect_gap(&bands, 2).is_nan());
+        // total_cmp keeps max_by/min_by panic-free on the same data (NaN
+        // sorts above every real value in descending significance).
+        let vbm_k = (0..bands.len())
+            .max_by(|&i, &j| bands[i][1].total_cmp(&bands[j][1]))
+            .unwrap();
+        assert_eq!(vbm_k, 0, "NaN compares greater than any real energy");
+    }
+
+    #[test]
     fn si_model_band_topology() {
         // The CB-interpolated Si model must show: (i) an insulating gap
         // everywhere on L-Gamma-X, (ii) valence-band maximum at Gamma,
@@ -317,12 +347,12 @@ mod tests {
             .position(|k| k.iter().all(|&x| x.abs() < 1e-12))
             .unwrap();
         let vbm_k = (0..bands.len())
-            .max_by(|&i, &j| bands[i][nv - 1].partial_cmp(&bands[j][nv - 1]).unwrap())
+            .max_by(|&i, &j| bands[i][nv - 1].total_cmp(&bands[j][nv - 1]))
             .unwrap();
         assert_eq!(vbm_k, gamma_idx, "VBM must sit at Gamma");
         // CBM away from Gamma (indirect)
         let cbm_k = (0..bands.len())
-            .min_by(|&i, &j| bands[i][nv].partial_cmp(&bands[j][nv]).unwrap())
+            .min_by(|&i, &j| bands[i][nv].total_cmp(&bands[j][nv]))
             .unwrap();
         assert_ne!(cbm_k, gamma_idx, "silicon-like model must be indirect");
     }

@@ -135,19 +135,29 @@ pub fn charge_density_g(wf: &Wavefunctions, sph: &GSphere) -> Vec<Complex64> {
     let plan = Fft3d::new(nx, ny, nz);
     let npts = plan.len();
     let mut rho_r = vec![0.0f64; npts];
-    let mut grid = vec![Complex64::ZERO; npts];
-    for v in 0..wf.n_valence {
-        grid.fill(Complex64::ZERO);
-        for g in 0..sph.len() {
-            grid[sph.fft_index(g)] = wf.coeffs[(v, g)];
-        }
-        plan.process(&mut grid, Direction::Inverse);
+    // Transform valence bands in batched blocks through the pooled 3-D
+    // FFT; the block bounds the extra memory at a few grids.
+    const RHO_BLOCK: usize = 8;
+    for v0 in (0..wf.n_valence).step_by(RHO_BLOCK) {
+        let v1 = (v0 + RHO_BLOCK).min(wf.n_valence);
+        let mut grids: Vec<Vec<Complex64>> = (v0..v1)
+            .map(|v| {
+                let mut grid = vec![Complex64::ZERO; npts];
+                for g in 0..sph.len() {
+                    grid[sph.fft_index(g)] = wf.coeffs[(v, g)];
+                }
+                grid
+            })
+            .collect();
+        plan.inverse_many(&mut grids);
         // Inverse carries 1/N; |psi(r)|^2 with psi(r) = sum_G c_G e^{iGr}
         // means we must undo that normalization.
         let scale = npts as f64;
-        for (r, z) in rho_r.iter_mut().zip(&grid) {
-            let amp = z.scale(scale);
-            *r += 2.0 * amp.norm_sqr(); // spin factor 2
+        for grid in &grids {
+            for (r, z) in rho_r.iter_mut().zip(grid) {
+                let amp = z.scale(scale);
+                *r += 2.0 * amp.norm_sqr(); // spin factor 2
+            }
         }
     }
     // Forward FFT of the density, normalized so rho(G=0) = N_electrons.

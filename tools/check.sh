@@ -20,4 +20,14 @@ cargo fmt --all --check
 echo "==> cargo clippy (warnings denied)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> bench smoke: bench_fft_mtxel --smoke (oracle gates at 1e-10)"
+# The bench asserts the pooled FFT against the serial kernel and cached
+# MTXEL pairs against the direct convolution before timing anything; any
+# mismatch > 1e-10 aborts with a nonzero exit. Run in a temp dir so the
+# smoke-sized JSON never clobbers the committed full-size numbers.
+root=$(pwd)
+smokedir=$(mktemp -d)
+(cd "$smokedir" && "$root/target/release/bench_fft_mtxel" --smoke)
+rm -rf "$smokedir"
+
 echo "==> all checks passed"
