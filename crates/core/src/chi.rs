@@ -377,6 +377,19 @@ pub fn chi_distributed(
     cfg: ChiConfig,
     omegas: &[f64],
 ) -> Vec<CMatrix> {
+    try_chi_distributed(comm, wf, mtxel, cfg, omegas).unwrap_or_else(|e| std::panic::panic_any(e))
+}
+
+/// Fallible [`chi_distributed`]: communicator faults (peer crashes,
+/// exhausted retries, corruption) surface as `Err` instead of panicking,
+/// so a resilient driver can shrink the communicator and retry.
+pub fn try_chi_distributed(
+    comm: &bgw_comm::Comm,
+    wf: &Wavefunctions,
+    mtxel: &Mtxel,
+    cfg: ChiConfig,
+    omegas: &[f64],
+) -> Result<Vec<CMatrix>, bgw_comm::CommError> {
     let engine = ChiEngine::new(wf, mtxel, cfg);
     let mine: Vec<usize> = (0..wf.n_valence)
         .filter(|v| v % comm.size() == comm.rank())
@@ -387,8 +400,8 @@ pub fn chi_distributed(
         .into_iter()
         .map(|chi| {
             let ng = chi.nrows();
-            let reduced = comm.allreduce_sum_c64(chi.as_slice().to_vec());
-            CMatrix::from_vec(ng, ng, reduced)
+            let reduced = comm.try_allreduce_sum_c64(chi.as_slice().to_vec())?;
+            Ok(CMatrix::from_vec(ng, ng, reduced))
         })
         .collect()
 }

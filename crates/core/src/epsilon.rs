@@ -50,6 +50,14 @@ impl EpsilonInverse {
         }
     }
 
+    /// Reassembles an `EpsilonInverse` from already-inverted blocks — the
+    /// restart path: checkpointed `eps~^{-1}(omega_i)` matrices are loaded
+    /// back without redoing the inversion.
+    pub fn from_parts(omegas: Vec<f64>, inv: Vec<CMatrix>, vsqrt: Vec<f64>) -> Self {
+        assert_eq!(omegas.len(), inv.len());
+        Self { omegas, inv, vsqrt }
+    }
+
     /// The static inverse (`omega = 0`).
     pub fn static_inv(&self) -> &CMatrix {
         assert_eq!(self.omegas[0], 0.0, "first frequency must be 0");

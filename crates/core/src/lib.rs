@@ -30,6 +30,8 @@ pub mod gwpt;
 pub mod mtxel;
 pub mod params;
 pub mod pseudobands;
+pub mod resilient;
+pub mod restart;
 pub mod sigma;
 pub mod spectral;
 pub mod subspace;
@@ -48,6 +50,12 @@ pub use gwpt::{gwpt_for_perturbation, GwptResult};
 pub use mtxel::{BandCache, Mtxel};
 pub use params::GwParams;
 pub use pseudobands::{chebyshev_pseudoband, compress, Pseudobands, PseudobandsConfig};
+pub use resilient::{
+    run_gpp_gw_resilient, with_recovery, CommCursor, ResilientGwReport, MAX_RECOVERIES,
+};
+pub use restart::{
+    run_evgw_checkpointed, run_gpp_gw_checkpointed, CheckpointPolicy, GwStage, RestartError,
+};
 pub use sigma::diag::{gpp_sigma_diag, KernelVariant, SigmaDiagResult};
 pub use sigma::fullfreq::{ff_sigma_diag, ff_sigma_diag_subspace, SigmaFfResult};
 pub use sigma::imagaxis::{imag_axis_sigma_diag, SigmaImagAxisResult};

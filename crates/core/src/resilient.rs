@@ -1,0 +1,184 @@
+//! Fault-tolerant distributed GW: shrink-and-retry over the simulated
+//! communicator.
+//!
+//! The distributed GPP pipeline (CHI allreduce -> Newton-Schulz epsilon
+//! inversion -> G'-sliced Sigma) is rebuilt here on the fallible `try_*`
+//! collectives: when a peer rank crashes mid-collective, the survivors
+//! observe a typed [`CommError::PeerCrashed`], agree on a shrunken
+//! communicator via [`Comm::shrink`], redistribute the work over the new
+//! (dense, ordered) ranks, and re-run the failed stage. Unrecoverable
+//! faults — the crashed rank's own error, exhausted retries, persistent
+//! corruption, a poisoned world — propagate out as `Err` instead of
+//! deadlocking, which is the ULFM-style contract of paper-scale runs.
+//!
+//! Every stage retry restarts the *stage*, not the pipeline: results
+//! already replicated on the survivors (e.g. the CHI matrices) are kept.
+
+use crate::chi::{try_chi_distributed, ChiConfig};
+use crate::coulomb::Coulomb;
+use crate::dyson::{qp_gap, solve_qp_diag, QpState};
+use crate::gpp::GppModel;
+use crate::mtxel::Mtxel;
+use crate::sigma::diag::try_gpp_sigma_diag_distributed;
+use crate::sigma::SigmaContext;
+use crate::workflow::GwConfig;
+use bgw_comm::{Comm, CommError};
+use bgw_dist::{try_invert_epsilon_distributed, DistMatrix};
+use bgw_pwdft::{charge_density_g, solve_bands, ModelSystem};
+
+/// Most shrink-and-retry cycles one stage may consume before giving up
+/// with [`CommError::RecoveryExhausted`].
+pub const MAX_RECOVERIES: u32 = 8;
+
+/// Borrow-or-owned communicator cursor: starts out borrowing the world
+/// communicator handed to a rank closure and switches to owned shrunken
+/// communicators as ranks are lost, so every later stage automatically
+/// runs on the current survivor set.
+pub struct CommCursor<'a> {
+    world: &'a Comm,
+    owned: Option<Comm>,
+    recoveries: u32,
+}
+
+impl<'a> CommCursor<'a> {
+    /// Starts the cursor on the (borrowed) world communicator.
+    pub fn new(world: &'a Comm) -> Self {
+        Self {
+            world,
+            owned: None,
+            recoveries: 0,
+        }
+    }
+
+    /// The communicator every operation should currently use.
+    pub fn get(&self) -> &Comm {
+        self.owned.as_ref().unwrap_or(self.world)
+    }
+
+    /// Shrinks the current communicator to its survivors.
+    pub fn shrink(&mut self) -> Result<(), CommError> {
+        self.owned = Some(self.get().shrink()?);
+        self.recoveries += 1;
+        Ok(())
+    }
+
+    /// Shrink-and-retry cycles performed so far.
+    pub fn recoveries(&self) -> u32 {
+        self.recoveries
+    }
+}
+
+/// Runs `f` against the cursor's communicator, shrinking and retrying on
+/// recoverable faults (peer crashes). Non-recoverable errors — including
+/// this rank's own injected crash — return immediately.
+pub fn with_recovery<T>(
+    cursor: &mut CommCursor<'_>,
+    mut f: impl FnMut(&Comm) -> Result<T, CommError>,
+) -> Result<T, CommError> {
+    for _ in 0..MAX_RECOVERIES {
+        match f(cursor.get()) {
+            Ok(v) => return Ok(v),
+            Err(e) if e.is_recoverable() => cursor.shrink()?,
+            Err(e) => return Err(e),
+        }
+    }
+    Err(CommError::RecoveryExhausted {
+        attempts: MAX_RECOVERIES,
+    })
+}
+
+/// What a surviving rank reports after a resilient GPP run.
+#[derive(Clone, Debug)]
+pub struct ResilientGwReport {
+    /// Band indices whose self-energy was computed.
+    pub sigma_bands: Vec<usize>,
+    /// Quasiparticle solutions, aligned with `sigma_bands`.
+    pub states: Vec<QpState>,
+    /// Quasiparticle gap (Ry).
+    pub gap_qp_ry: f64,
+    /// Macroscopic dielectric constant.
+    pub eps_macro: f64,
+    /// Communicator size at the end of the run (`< initial` iff ranks
+    /// were lost and the survivors recovered).
+    pub final_size: usize,
+    /// Shrink-and-retry cycles this rank performed.
+    pub recoveries: u32,
+}
+
+/// The distributed G0W0(GPP) pipeline on fallible collectives with
+/// shrink-and-retry recovery.
+///
+/// Under a fault-free plan this reproduces the serial
+/// [`run_gpp_gw`](crate::workflow::run_gpp_gw) physics through the
+/// distributed code path (Newton-Schulz inversion instead of LU, so QP
+/// energies agree to the iteration tolerance rather than bitwise). Under
+/// a seeded [`bgw_comm::FaultPlan`], surviving ranks recover and
+/// reproduce the *fault-free resilient* run's QP energies to 1e-10; the
+/// crashed rank gets its own typed error.
+pub fn run_gpp_gw_resilient(
+    system: &ModelSystem,
+    cfg: &GwConfig,
+    comm: &Comm,
+) -> Result<ResilientGwReport, CommError> {
+    let mut cursor = CommCursor::new(comm);
+    let wfn_sph = system.wfn_sphere();
+    let eps_sph = system.eps_sphere();
+    let wf = solve_bands(&system.crystal, &wfn_sph, system.n_bands.min(wfn_sph.len()));
+    let coulomb = Coulomb::bulk_for_cell(system.crystal.lattice.volume());
+    let mtxel = Mtxel::new(&wfn_sph, &eps_sph);
+    let chi_cfg = ChiConfig {
+        q0: coulomb.q0,
+        ..cfg.chi
+    };
+
+    // CHI: round-robin valence split + allreduce, re-split on shrink.
+    let chi0 = with_recovery(&mut cursor, |c| {
+        Ok(try_chi_distributed(c, &wf, &mtxel, chi_cfg, &[0.0])?
+            .pop()
+            .unwrap())
+    })?;
+
+    // Epsilon: distributed Newton-Schulz inversion, replicated at the end.
+    let vsqrt = coulomb.sqrt_on_sphere(&eps_sph);
+    let inv = with_recovery(&mut cursor, |c| {
+        let chi_dist = DistMatrix::from_replicated(c, &chi0);
+        let (inv_dist, _iters) = try_invert_epsilon_distributed(c, &chi_dist, &vsqrt, 1e-12)?;
+        inv_dist.try_to_replicated(c)
+    })?;
+    let eps_inv = crate::epsilon::EpsilonInverse::from_parts(vec![0.0], vec![inv], vsqrt.clone());
+    let eps_macro = eps_inv.macroscopic_constant();
+
+    // Sigma: G'-sliced diag kernel + allreduce, re-sliced on shrink.
+    let rho = charge_density_g(&wf, &wfn_sph);
+    let gpp = GppModel::new(
+        &eps_inv,
+        &eps_sph,
+        &wfn_sph,
+        &rho,
+        system.crystal.lattice.volume(),
+    );
+    let nv = wf.n_valence;
+    let k = cfg.bands_around_gap.max(1);
+    let sigma_bands: Vec<usize> = (nv.saturating_sub(k)..(nv + k).min(wf.n_bands())).collect();
+    let ctx = SigmaContext::build(&wf, &mtxel, gpp, &vsqrt, &sigma_bands, coulomb.q0);
+    let d = cfg.sampling_delta_ry;
+    let grids: Vec<Vec<f64>> = ctx
+        .sigma_energies
+        .iter()
+        .map(|&e| vec![e - d, e, e + d])
+        .collect();
+    let diag = with_recovery(&mut cursor, |c| {
+        try_gpp_sigma_diag_distributed(c, &ctx, &grids)
+    })?;
+
+    let states = solve_qp_diag(&ctx.sigma_energies, &diag);
+    let gap_qp = qp_gap(&states, ctx.homo_pos(), ctx.lumo_pos());
+    Ok(ResilientGwReport {
+        sigma_bands,
+        states,
+        gap_qp_ry: gap_qp,
+        eps_macro,
+        final_size: cursor.get().size(),
+        recoveries: cursor.recoveries(),
+    })
+}

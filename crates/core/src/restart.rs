@@ -1,0 +1,469 @@
+//! Checkpoint/restart drivers for the GW workflows.
+//!
+//! Leadership-class GW runs burn node-hours by the hundred thousand; a
+//! crash at hour N must not restart the pipeline from hour zero. These
+//! drivers wrap [`run_gpp_gw`](crate::workflow::run_gpp_gw) and
+//! [`run_evgw`](crate::workflow::run_evgw) with periodic snapshots of the
+//! expensive accumulated state — partial CHI sums, inverted dielectric
+//! blocks, per-band Sigma values, self-consistency iterates — through the
+//! checksummed BGWR checkpoint records of `bgw-io`. A restarted run reads
+//! the newest *valid* checkpoint (corrupt/truncated residue of the crash
+//! is skipped) and resumes mid-stage; the cheap deterministic prefix
+//! (mean-field solve, Coulomb setup, MTXEL caches) is recomputed, so only
+//! O(N^3)-and-up work is snapshotted.
+//!
+//! The restart contract, enforced by `tests/restart.rs`: a run killed at
+//! any checkpoint boundary and resumed reproduces the uninterrupted run's
+//! quasiparticle energies to 1e-10.
+
+use crate::chi::{ChiConfig, ChiEngine, ChiTimings};
+use crate::coulomb::Coulomb;
+use crate::dyson::{qp_gap, solve_qp_diag};
+use crate::epsilon::EpsilonInverse;
+use crate::gpp::GppModel;
+use crate::mtxel::Mtxel;
+use crate::sigma::diag::{gpp_sigma_diag, SigmaDiagResult};
+use crate::sigma::SigmaContext;
+use crate::workflow::{EvGwResults, GwConfig, GwResults, GwTimings};
+use bgw_io::{read_latest_checkpoint, write_checkpoint, Checkpoint, IoError};
+use bgw_linalg::CMatrix;
+use bgw_pwdft::{charge_density_g, solve_bands, ModelSystem};
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Stage markers stored in [`Checkpoint::stage`]. The numeric values are
+/// part of the on-disk format: renumbering breaks old checkpoints.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GwStage {
+    /// CHI accumulation in progress; `step` = valence chunks summed,
+    /// matrix 0 = the partial `chi(0)` accumulator.
+    ChiPartial = 1,
+    /// Dielectric inversion finished; matrix 0 = `eps~^{-1}(0)`.
+    EpsilonDone = 2,
+    /// Sigma evaluation in progress; `step` = Sigma bands done, matrix 0 =
+    /// `eps~^{-1}(0)`, meta = flattened per-band Sigma values + flops.
+    SigmaPartial = 3,
+    /// Self-consistent (evGW) iteration finished; `step` = iterations,
+    /// meta = current QP energies then the gap history.
+    EvGwIter = 4,
+}
+
+/// When and where to checkpoint.
+#[derive(Clone, Debug)]
+pub struct CheckpointPolicy {
+    /// Directory for `ckpt_NNNNNN.bgwr` files (created on first write).
+    pub dir: PathBuf,
+    /// Valence bands accumulated between CHI checkpoints. `None` uses the
+    /// run's `nv_block`, which keeps the chunked accumulation identical to
+    /// the uninterrupted [`ChiEngine`] sweep.
+    pub chi_stride: Option<usize>,
+    /// Test hook simulating a kill: abort with
+    /// [`RestartError::Aborted`] immediately *after* this many checkpoint
+    /// writes, leaving a valid on-disk state to resume from.
+    pub abort_after_writes: Option<usize>,
+}
+
+impl CheckpointPolicy {
+    /// Checkpoint into `dir` with default stride and no injected abort.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            chi_stride: None,
+            abort_after_writes: None,
+        }
+    }
+}
+
+/// Errors from a checkpointed run.
+#[derive(Debug)]
+pub enum RestartError {
+    /// Checkpoint file traffic failed.
+    Io(IoError),
+    /// The [`CheckpointPolicy::abort_after_writes`] kill switch fired.
+    Aborted {
+        /// Checkpoint writes completed before the abort.
+        writes: usize,
+    },
+}
+
+impl std::fmt::Display for RestartError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RestartError::Io(e) => write!(f, "checkpoint io: {e}"),
+            RestartError::Aborted { writes } => {
+                write!(
+                    f,
+                    "aborted after {writes} checkpoint writes (injected kill)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for RestartError {}
+
+impl From<IoError> for RestartError {
+    fn from(e: IoError) -> Self {
+        RestartError::Io(e)
+    }
+}
+
+/// Bookkeeping for one checkpointed invocation: monotonic file indices and
+/// the injected-kill countdown.
+struct CkptWriter {
+    policy: CheckpointPolicy,
+    next_index: u64,
+    writes: usize,
+    t_checkpoint: f64,
+}
+
+impl CkptWriter {
+    fn write(&mut self, ckpt: &Checkpoint) -> Result<(), RestartError> {
+        let t = Instant::now();
+        write_checkpoint(&self.policy.dir, self.next_index, ckpt)?;
+        self.t_checkpoint += t.elapsed().as_secs_f64();
+        self.next_index += 1;
+        self.writes += 1;
+        if let Some(limit) = self.policy.abort_after_writes {
+            if self.writes >= limit {
+                return Err(RestartError::Aborted {
+                    writes: self.writes,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// State recovered from disk when a GPP run resumes.
+enum GppResume {
+    /// Nothing usable on disk: start from scratch.
+    Fresh,
+    /// CHI partially accumulated over the first `chunks_done` chunks.
+    Chi { chunks_done: u64, acc: CMatrix },
+    /// Epsilon inverted; Sigma not started.
+    Epsilon { inv: CMatrix },
+    /// Sigma evaluated for the first `bands_done` bands.
+    Sigma {
+        inv: CMatrix,
+        bands_done: u64,
+        sigma: Vec<Vec<f64>>,
+        flops: u64,
+    },
+}
+
+fn classify_gpp(found: Option<(u64, Checkpoint)>) -> (GppResume, u64) {
+    match found {
+        None => (GppResume::Fresh, 0),
+        Some((idx, ck)) => {
+            let resume = match ck.stage {
+                s if s == GwStage::ChiPartial as u64 => GppResume::Chi {
+                    chunks_done: ck.step,
+                    acc: ck.matrices.into_iter().next().expect("chi accumulator"),
+                },
+                s if s == GwStage::EpsilonDone as u64 => GppResume::Epsilon {
+                    inv: ck.matrices.into_iter().next().expect("eps inverse"),
+                },
+                s if s == GwStage::SigmaPartial as u64 => {
+                    let inv = ck.matrices.into_iter().next().expect("eps inverse");
+                    // meta = [n_grid, flops, sigma values band-major]
+                    let n_grid = ck.meta[0] as usize;
+                    let flops = ck.meta[1] as u64;
+                    let vals = &ck.meta[2..];
+                    let sigma: Vec<Vec<f64>> = vals
+                        .chunks_exact(n_grid.max(1))
+                        .take(ck.step as usize)
+                        .map(|c| c.to_vec())
+                        .collect();
+                    GppResume::Sigma {
+                        inv,
+                        bands_done: ck.step,
+                        sigma,
+                        flops,
+                    }
+                }
+                _ => GppResume::Fresh, // unknown stage (e.g. evGW residue)
+            };
+            (resume, idx + 1)
+        }
+    }
+}
+
+/// [`run_gpp_gw`](crate::workflow::run_gpp_gw) with checkpoint/restart.
+///
+/// On entry the newest valid checkpoint under `policy.dir` (if any) is
+/// loaded and the pipeline resumes after it; on success the results are
+/// identical to the uninterrupted driver to better than 1e-10 in every QP
+/// energy. Checkpoints are written after every `chi_stride` valence bands
+/// of CHI accumulation, after the dielectric inversion, and after each
+/// Sigma band.
+pub fn run_gpp_gw_checkpointed(
+    system: &ModelSystem,
+    cfg: &GwConfig,
+    policy: &CheckpointPolicy,
+) -> Result<GwResults, RestartError> {
+    let mut timings = GwTimings::default();
+    let counters0 = bgw_perf::counters::snapshot();
+    let wfn_sph = system.wfn_sphere();
+    let eps_sph = system.eps_sphere();
+
+    let t = Instant::now();
+    let wf = solve_bands(&system.crystal, &wfn_sph, system.n_bands.min(wfn_sph.len()));
+    timings.t_meanfield = t.elapsed().as_secs_f64();
+
+    let coulomb = if cfg.slab {
+        Coulomb::slab(
+            system.crystal.lattice.a[2][2],
+            system.crystal.lattice.volume(),
+        )
+    } else {
+        Coulomb::bulk_for_cell(system.crystal.lattice.volume())
+    };
+    let mtxel = Mtxel::new(&wfn_sph, &eps_sph);
+    let chi_cfg = ChiConfig {
+        q0: coulomb.q0,
+        ..cfg.chi
+    };
+    let engine = ChiEngine::new(&wf, &mtxel, chi_cfg);
+    let ng = engine.n_g();
+    let stride = policy.chi_stride.unwrap_or(chi_cfg.nv_block).max(1);
+
+    let t_read = Instant::now();
+    let (resume, next_index) = classify_gpp(read_latest_checkpoint(&policy.dir)?);
+    let mut writer = CkptWriter {
+        policy: policy.clone(),
+        next_index,
+        writes: 0,
+        t_checkpoint: t_read.elapsed().as_secs_f64(),
+    };
+
+    // ---- CHI accumulation, chunk by chunk -------------------------------
+    let valence: Vec<usize> = (0..wf.n_valence).collect();
+    let chunks: Vec<&[usize]> = valence.chunks(stride).collect();
+    let (mut chi0, start_chunk, mut have_inv) = match &resume {
+        GppResume::Fresh => (CMatrix::zeros(ng, ng), 0usize, None),
+        GppResume::Chi { chunks_done, acc } => (acc.clone(), *chunks_done as usize, None),
+        GppResume::Epsilon { inv } => (CMatrix::zeros(0, 0), chunks.len(), Some(inv.clone())),
+        GppResume::Sigma { inv, .. } => (CMatrix::zeros(0, 0), chunks.len(), Some(inv.clone())),
+    };
+    if start_chunk < chunks.len() {
+        for (ci, chunk) in chunks.iter().enumerate().skip(start_chunk) {
+            let t = Instant::now();
+            let mut ct = ChiTimings::default();
+            let partial = engine
+                .chi_freqs_subset(&[0.0], Some(chunk), &mut ct)
+                .pop()
+                .unwrap();
+            for (a, b) in chi0.as_mut_slice().iter_mut().zip(partial.as_slice()) {
+                *a += *b;
+            }
+            timings.t_chi += t.elapsed().as_secs_f64();
+            writer.write(&Checkpoint {
+                stage: GwStage::ChiPartial as u64,
+                step: (ci + 1) as u64,
+                meta: vec![],
+                matrices: vec![chi0.clone()],
+            })?;
+        }
+    }
+
+    // ---- Epsilon inversion ---------------------------------------------
+    let vsqrt = coulomb.sqrt_on_sphere(&eps_sph);
+    let eps_inv = match have_inv.take() {
+        Some(inv) => EpsilonInverse::from_parts(vec![0.0], vec![inv], vsqrt.clone()),
+        None => {
+            let t = Instant::now();
+            let built = EpsilonInverse::build(&[chi0], &[0.0], &coulomb, &eps_sph);
+            timings.t_epsilon = t.elapsed().as_secs_f64();
+            writer.write(&Checkpoint {
+                stage: GwStage::EpsilonDone as u64,
+                step: 0,
+                meta: vec![],
+                matrices: vec![built.inv[0].clone()],
+            })?;
+            built
+        }
+    };
+    let eps_macro = eps_inv.macroscopic_constant();
+
+    // ---- Sigma, band by band -------------------------------------------
+    let rho = charge_density_g(&wf, &wfn_sph);
+    let gpp = GppModel::new(
+        &eps_inv,
+        &eps_sph,
+        &wfn_sph,
+        &rho,
+        system.crystal.lattice.volume(),
+    );
+    let nv = wf.n_valence;
+    let k = cfg.bands_around_gap.max(1);
+    let lo = nv.saturating_sub(k);
+    let hi = (nv + k).min(wf.n_bands());
+    let sigma_bands: Vec<usize> = (lo..hi).collect();
+
+    let t = Instant::now();
+    let ctx = SigmaContext::build(&wf, &mtxel, gpp, &vsqrt, &sigma_bands, coulomb.q0);
+    timings.t_mtxel_sigma = t.elapsed().as_secs_f64();
+
+    let d = cfg.sampling_delta_ry;
+    let grids: Vec<Vec<f64>> = ctx
+        .sigma_energies
+        .iter()
+        .map(|&e| vec![e - d, e, e + d])
+        .collect();
+    let n_grid = grids.first().map_or(0, |g| g.len());
+
+    let (mut sigma, mut flops, start_band) = match resume {
+        GppResume::Sigma {
+            sigma,
+            flops,
+            bands_done,
+            ..
+        } => (sigma, flops, bands_done as usize),
+        _ => (Vec::new(), 0u64, 0usize),
+    };
+    let eps_inv_mat = eps_inv.inv[0].clone();
+    for s in start_band..ctx.n_sigma() {
+        let t = Instant::now();
+        let one = band_slice(&ctx, s);
+        let r = gpp_sigma_diag(&one, &grids[s..s + 1], cfg.variant);
+        timings.t_sigma += t.elapsed().as_secs_f64();
+        sigma.push(r.sigma.into_iter().next().unwrap());
+        flops += r.flops;
+        let mut meta = vec![n_grid as f64, flops as f64];
+        for band in &sigma {
+            meta.extend_from_slice(band);
+        }
+        writer.write(&Checkpoint {
+            stage: GwStage::SigmaPartial as u64,
+            step: (s + 1) as u64,
+            meta,
+            matrices: vec![eps_inv_mat.clone()],
+        })?;
+    }
+
+    let diag = SigmaDiagResult {
+        sigma,
+        e_grids: grids,
+        seconds: timings.t_sigma,
+        flops,
+    };
+    let states = solve_qp_diag(&ctx.sigma_energies, &diag);
+    let gap_qp = qp_gap(&states, ctx.homo_pos(), ctx.lumo_pos());
+    timings.t_checkpoint = writer.t_checkpoint;
+    timings.substrate = counters0.delta(&bgw_perf::counters::snapshot());
+    Ok(GwResults {
+        sigma_bands,
+        states,
+        gap_mf_ry: wf.gap_ry(),
+        gap_qp_ry: gap_qp,
+        eps_macro,
+        timings,
+        sigma_flops: diag.flops,
+    })
+}
+
+/// A one-band view of a [`SigmaContext`]: the checkpoint unit of the Sigma
+/// stage. Evaluating the slices in order reproduces the full-context
+/// kernel exactly (each band's sum is independent).
+fn band_slice(ctx: &SigmaContext, s: usize) -> SigmaContext {
+    SigmaContext {
+        m_tilde: vec![ctx.m_tilde[s].clone()],
+        energies: ctx.energies.clone(),
+        n_occ: ctx.n_occ,
+        gpp: ctx.gpp.clone(),
+        sigma_bands: vec![ctx.sigma_bands[s]],
+        sigma_energies: vec![ctx.sigma_energies[s]],
+    }
+}
+
+/// [`run_evgw`](crate::workflow::run_evgw) with per-iteration
+/// checkpoint/restart. The screening prefix (CHI, epsilon, Sigma context)
+/// is deterministic and recomputed on resume; only the self-consistency
+/// iterate (QP energies + gap history) is snapshotted, after every
+/// iteration.
+pub fn run_evgw_checkpointed(
+    system: &ModelSystem,
+    cfg: &GwConfig,
+    max_iter: usize,
+    tol_ry: f64,
+    policy: &CheckpointPolicy,
+) -> Result<EvGwResults, RestartError> {
+    let wfn_sph = system.wfn_sphere();
+    let eps_sph = system.eps_sphere();
+    let wf = solve_bands(&system.crystal, &wfn_sph, system.n_bands.min(wfn_sph.len()));
+    let coulomb = Coulomb::bulk_for_cell(system.crystal.lattice.volume());
+    let mtxel = Mtxel::new(&wfn_sph, &eps_sph);
+    let chi_cfg = ChiConfig {
+        q0: coulomb.q0,
+        ..cfg.chi
+    };
+    let chi0 = ChiEngine::new(&wf, &mtxel, chi_cfg).chi_static();
+    let eps_inv = EpsilonInverse::build(&[chi0], &[0.0], &coulomb, &eps_sph);
+    let rho = charge_density_g(&wf, &wfn_sph);
+    let gpp = GppModel::new(
+        &eps_inv,
+        &eps_sph,
+        &wfn_sph,
+        &rho,
+        system.crystal.lattice.volume(),
+    );
+    let vsqrt = coulomb.sqrt_on_sphere(&eps_sph);
+    let nv = wf.n_valence;
+    let k = cfg.bands_around_gap.max(1);
+    let sigma_bands: Vec<usize> = (nv.saturating_sub(k)..(nv + k).min(wf.n_bands())).collect();
+    let ctx = SigmaContext::build(&wf, &mtxel, gpp, &vsqrt, &sigma_bands, coulomb.q0);
+    let homo = ctx.homo_pos();
+    let lumo = ctx.lumo_pos();
+    let n_sigma = ctx.n_sigma();
+
+    // Resume the iterate if a valid evGW checkpoint exists.
+    let found = read_latest_checkpoint(&policy.dir)?;
+    let (mut e_qp, mut gap_history, mut iterations, next_index) = match found {
+        Some((idx, ck)) if ck.stage == GwStage::EvGwIter as u64 => {
+            let e_qp = ck.meta[..n_sigma].to_vec();
+            let hist = ck.meta[n_sigma..].to_vec();
+            (e_qp, hist, ck.step as usize, idx + 1)
+        }
+        Some((idx, _)) => (ctx.sigma_energies.clone(), Vec::new(), 0, idx + 1),
+        None => (ctx.sigma_energies.clone(), Vec::new(), 0, 0),
+    };
+    let mut writer = CkptWriter {
+        policy: policy.clone(),
+        next_index,
+        writes: 0,
+        t_checkpoint: 0.0,
+    };
+
+    let damping = 0.6;
+    while iterations < max_iter {
+        iterations += 1;
+        let grids: Vec<Vec<f64>> = e_qp.iter().map(|&e| vec![e]).collect();
+        let diag = gpp_sigma_diag(&ctx, &grids, cfg.variant);
+        let mut max_delta: f64 = 0.0;
+        for (s, e) in e_qp.iter_mut().enumerate() {
+            let target = ctx.sigma_energies[s] + diag.sigma[s][0];
+            let new = *e + damping * (target - *e);
+            max_delta = max_delta.max((new - *e).abs());
+            *e = new;
+        }
+        gap_history.push(e_qp[lumo] - e_qp[homo]);
+        let mut meta = e_qp.clone();
+        meta.extend_from_slice(&gap_history);
+        writer.write(&Checkpoint {
+            stage: GwStage::EvGwIter as u64,
+            step: iterations as u64,
+            meta,
+            matrices: vec![],
+        })?;
+        if max_delta < tol_ry && iterations > 1 {
+            break;
+        }
+    }
+    Ok(EvGwResults {
+        gap_ry: *gap_history.last().unwrap(),
+        gap_history,
+        iterations,
+        e_qp,
+    })
+}

@@ -330,6 +330,17 @@ pub fn gpp_sigma_diag_distributed(
     ctx: &SigmaContext,
     e_grids: &[Vec<f64>],
 ) -> SigmaDiagResult {
+    try_gpp_sigma_diag_distributed(comm, ctx, e_grids).unwrap_or_else(|e| std::panic::panic_any(e))
+}
+
+/// Fallible [`gpp_sigma_diag_distributed`]: communicator faults surface as
+/// `Err` instead of panicking, so a resilient driver can shrink the
+/// communicator and retry the kernel on the survivors.
+pub fn try_gpp_sigma_diag_distributed(
+    comm: &bgw_comm::Comm,
+    ctx: &SigmaContext,
+    e_grids: &[Vec<f64>],
+) -> Result<SigmaDiagResult, bgw_comm::CommError> {
     let ng = ctx.n_g();
     let per_rank = ng.div_ceil(comm.size());
     let gp_lo = (comm.rank() * per_rank).min(ng);
@@ -341,7 +352,7 @@ pub fn gpp_sigma_diag_distributed(
         .iter()
         .flat_map(|band| band.iter().map(|&x| bgw_num::c64(x, 0.0)))
         .collect();
-    let reduced = comm.allreduce_sum_c64(flat);
+    let reduced = comm.try_allreduce_sum_c64(flat)?;
     let mut k = 0;
     for band in partial.sigma.iter_mut() {
         for slot in band.iter_mut() {
@@ -349,7 +360,7 @@ pub fn gpp_sigma_diag_distributed(
             k += 1;
         }
     }
-    partial
+    Ok(partial)
 }
 
 /// Counted flops for one full `(G, G')` sweep at fixed `(n, E)`.

@@ -56,6 +56,8 @@ pub struct GwTimings {
     pub t_mtxel_sigma: f64,
     /// The GPP diag kernel.
     pub t_sigma: f64,
+    /// Checkpoint write/read time (zero for non-checkpointed runs).
+    pub t_checkpoint: f64,
     /// Substrate counter deltas over the whole run: worker-pool dispatch
     /// and region time, plus the GEMM packing-vs-microkernel split.
     pub substrate: bgw_perf::CounterSnapshot,

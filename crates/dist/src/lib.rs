@@ -17,7 +17,7 @@
 
 #![warn(missing_docs)]
 
-use bgw_comm::Comm;
+use bgw_comm::{Comm, CommError};
 use bgw_linalg::{matmul, zgemm, CMatrix, GemmBackend, Op};
 use bgw_num::Complex64;
 
@@ -77,9 +77,11 @@ impl DistMatrix {
         self.local.nrows()
     }
 
-    /// Gathers the full matrix on every rank (an allgather of row blocks).
-    pub fn to_replicated(&self, comm: &Comm) -> CMatrix {
-        let blocks = comm.allgather(self.local.as_slice().to_vec());
+    /// Fallible row-block gather; faults in the underlying allgather
+    /// surface as typed errors instead of panics, which is what the
+    /// crash-recovery drivers in `bgw-core` build on.
+    pub fn try_to_replicated(&self, comm: &Comm) -> Result<CMatrix, CommError> {
+        let blocks = comm.try_allgather(self.local.as_slice().to_vec())?;
         let mut out = CMatrix::zeros(self.n_rows, self.n_cols);
         let mut row = 0usize;
         for block in blocks {
@@ -91,16 +93,19 @@ impl DistMatrix {
             row += rows;
         }
         assert_eq!(row, self.n_rows, "row blocks must tile the matrix");
-        out
+        Ok(out)
     }
 
-    /// Distributed product `self * b` where `b` is distributed the same
-    /// way: `b`'s row blocks are all-gathered into a replicated operand,
-    /// then each rank multiplies its local row panel — the standard
-    /// row-panel SUMMA degenerate case, one allgather per product.
-    pub fn matmul(&self, comm: &Comm, b: &DistMatrix) -> DistMatrix {
+    /// Gathers the full matrix on every rank (an allgather of row blocks).
+    pub fn to_replicated(&self, comm: &Comm) -> CMatrix {
+        self.try_to_replicated(comm)
+            .unwrap_or_else(|e| std::panic::panic_any(e))
+    }
+
+    /// Fallible distributed product; see [`DistMatrix::matmul`].
+    pub fn try_matmul(&self, comm: &Comm, b: &DistMatrix) -> Result<DistMatrix, CommError> {
         assert_eq!(self.n_cols, b.n_rows, "distributed dims disagree");
-        let b_full = b.to_replicated(comm);
+        let b_full = b.try_to_replicated(comm)?;
         let local = matmul(
             &self.local,
             Op::None,
@@ -108,12 +113,21 @@ impl DistMatrix {
             Op::None,
             GemmBackend::Parallel,
         );
-        DistMatrix {
+        Ok(DistMatrix {
             n_rows: self.n_rows,
             n_cols: b.n_cols,
             row_offset: self.row_offset,
             local,
-        }
+        })
+    }
+
+    /// Distributed product `self * b` where `b` is distributed the same
+    /// way: `b`'s row blocks are all-gathered into a replicated operand,
+    /// then each rank multiplies its local row panel — the standard
+    /// row-panel SUMMA degenerate case, one allgather per product.
+    pub fn matmul(&self, comm: &Comm, b: &DistMatrix) -> DistMatrix {
+        self.try_matmul(comm, b)
+            .unwrap_or_else(|e| std::panic::panic_any(e))
     }
 
     /// `self = alpha * self + beta * other` elementwise on the local block.
@@ -142,24 +156,21 @@ impl DistMatrix {
     }
 }
 
-/// Distributed Newton-Schulz inversion of a square matrix.
-///
-/// Converges quadratically when seeded with `X_0 = A^dagger / (||A||_1
-/// ||A||_inf)`; iteration stops when `||I - A X||_max < tol` or after
-/// `max_iter` sweeps. Returns `(inverse, iterations)`; panics if the
-/// residual fails to drop below `0.9` within the budget (matrix too
-/// ill-conditioned for the iteration — fall back to the serial LU).
-pub fn newton_schulz_inverse(
+/// Fallible distributed Newton-Schulz inversion; see
+/// [`newton_schulz_inverse`]. Communication faults surface as typed
+/// errors; the non-convergence panic is kept (it signals a matrix outside
+/// the iteration's domain, not a runtime fault).
+pub fn try_newton_schulz_inverse(
     comm: &Comm,
     a: &DistMatrix,
     tol: f64,
     max_iter: usize,
-) -> (DistMatrix, usize) {
+) -> Result<(DistMatrix, usize), CommError> {
     assert_eq!(a.n_rows, a.n_cols, "inversion needs a square matrix");
     let n = a.n_rows;
     // Norm estimates need global column sums: compute on the replicated
     // copy once (the seed is cheap relative to the iteration).
-    let a_full = a.to_replicated(comm);
+    let a_full = a.try_to_replicated(comm)?;
     let norm_1 = (0..n)
         .map(|j| (0..n).map(|i| a_full[(i, j)].abs()).sum::<f64>())
         .fold(0.0, f64::max);
@@ -181,7 +192,7 @@ pub fn newton_schulz_inverse(
     for it in 0..max_iter {
         iterations = it + 1;
         // R = A X (distributed), residual = ||I - R||_max
-        let ax = a.matmul(comm, &x);
+        let ax = a.try_matmul(comm, &x)?;
         let mut residual: f64 = 0.0;
         for i in 0..ax.local_rows() {
             for j in 0..n {
@@ -193,12 +204,12 @@ pub fn newton_schulz_inverse(
                 residual = residual.max((ax.local[(i, j)] - target).abs());
             }
         }
-        let residual = comm.allreduce(residual, f64::max);
+        let residual = comm.try_allreduce(residual, f64::max)?;
         if residual < tol {
             break;
         }
         // X <- X (2I - A X): build M = 2I - AX (replicated), then local GEMM.
-        let mut m = ax.to_replicated(comm);
+        let mut m = ax.try_to_replicated(comm)?;
         m.scale_inplace(Complex64::new(-1.0, 0.0));
         for d in 0..n {
             m[(d, d)] += Complex64::new(2.0, 0.0);
@@ -223,18 +234,33 @@ pub fn newton_schulz_inverse(
             );
         }
     }
-    (x, iterations)
+    Ok((x, iterations))
 }
 
-/// Distributed build-and-invert of the symmetrized dielectric matrix:
-/// `eps~ = I - v^{1/2} chi v^{1/2}` from a distributed `chi`, inverted by
-/// Newton-Schulz — the distributed Epsilon path.
-pub fn invert_epsilon_distributed(
+/// Distributed Newton-Schulz inversion of a square matrix.
+///
+/// Converges quadratically when seeded with `X_0 = A^dagger / (||A||_1
+/// ||A||_inf)`; iteration stops when `||I - A X||_max < tol` or after
+/// `max_iter` sweeps. Returns `(inverse, iterations)`; panics if the
+/// residual fails to drop below `0.9` within the budget (matrix too
+/// ill-conditioned for the iteration — fall back to the serial LU).
+pub fn newton_schulz_inverse(
+    comm: &Comm,
+    a: &DistMatrix,
+    tol: f64,
+    max_iter: usize,
+) -> (DistMatrix, usize) {
+    try_newton_schulz_inverse(comm, a, tol, max_iter).unwrap_or_else(|e| std::panic::panic_any(e))
+}
+
+/// Fallible distributed epsilon build-and-invert; see
+/// [`invert_epsilon_distributed`].
+pub fn try_invert_epsilon_distributed(
     comm: &Comm,
     chi: &DistMatrix,
     vsqrt: &[f64],
     tol: f64,
-) -> (DistMatrix, usize) {
+) -> Result<(DistMatrix, usize), CommError> {
     assert_eq!(chi.n_rows, chi.n_cols);
     assert_eq!(vsqrt.len(), chi.n_rows);
     let mut eps = chi.clone();
@@ -246,7 +272,20 @@ pub fn invert_epsilon_distributed(
         }
         eps.local[(i, gi)] += Complex64::ONE;
     }
-    newton_schulz_inverse(comm, &eps, tol, 60)
+    try_newton_schulz_inverse(comm, &eps, tol, 60)
+}
+
+/// Distributed build-and-invert of the symmetrized dielectric matrix:
+/// `eps~ = I - v^{1/2} chi v^{1/2}` from a distributed `chi`, inverted by
+/// Newton-Schulz — the distributed Epsilon path.
+pub fn invert_epsilon_distributed(
+    comm: &Comm,
+    chi: &DistMatrix,
+    vsqrt: &[f64],
+    tol: f64,
+) -> (DistMatrix, usize) {
+    try_invert_epsilon_distributed(comm, chi, vsqrt, tol)
+        .unwrap_or_else(|e| std::panic::panic_any(e))
 }
 
 #[cfg(test)]

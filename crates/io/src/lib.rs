@@ -31,7 +31,15 @@ pub enum RecordTag {
     Wavefunctions = 1,
     /// A dense complex matrix (chi, eps^-1, Sigma, ...).
     Matrix = 2,
+    /// A restart checkpoint: stage/step markers, scalar metadata, and a
+    /// sequence of embedded matrix records.
+    Checkpoint = 3,
 }
+
+/// Version of the [`RecordTag::Checkpoint`] record layout. Bumped whenever
+/// the field set changes; readers reject versions they do not understand
+/// rather than misparse.
+pub const CHECKPOINT_VERSION: u64 = 1;
 
 /// Errors from reading a BGWR file.
 #[derive(Debug)]
@@ -200,31 +208,22 @@ pub fn read_wavefunctions(path: &Path) -> Result<Wavefunctions, IoError> {
     })
 }
 
-/// Writes a dense complex matrix (the epsmat-file analogue). Returns the
-/// number of bytes written.
-pub fn write_matrix(path: &Path, m: &CMatrix) -> Result<u64, IoError> {
-    let f = std::fs::File::create(path)?;
-    let mut w = io::BufWriter::new(f);
-    write_header(
-        &mut w,
-        RecordTag::Matrix,
-        &[m.nrows() as u64, m.ncols() as u64],
-    )?;
+/// Writes one matrix record (header + checksummed payload) into an open
+/// stream. Returns the payload byte count.
+fn write_matrix_to<W: Write>(w: &mut W, m: &CMatrix) -> Result<u64, IoError> {
+    write_header(w, RecordTag::Matrix, &[m.nrows() as u64, m.ncols() as u64])?;
     let mut data = Vec::with_capacity(2 * m.nrows() * m.ncols());
     for z in m.as_slice() {
         data.push(z.re);
         data.push(z.im);
     }
-    write_payload(&mut w, &data)?;
-    w.flush()?;
+    write_payload(w, &data)?;
     Ok((data.len() * 8) as u64)
 }
 
-/// Reads a dense complex matrix back.
-pub fn read_matrix(path: &Path) -> Result<CMatrix, IoError> {
-    let f = std::fs::File::open(path)?;
-    let mut r = io::BufReader::new(f);
-    let dims = read_header(&mut r, RecordTag::Matrix)?;
+/// Reads one matrix record from an open stream.
+fn read_matrix_from<R: Read>(r: &mut R) -> Result<CMatrix, IoError> {
+    let dims = read_header(r, RecordTag::Matrix)?;
     if dims.len() != 2 {
         return Err(IoError::BadHeader(format!(
             "{} dims for matrix",
@@ -232,9 +231,26 @@ pub fn read_matrix(path: &Path) -> Result<CMatrix, IoError> {
         )));
     }
     let (nr, nc) = (dims[0] as usize, dims[1] as usize);
-    let data = read_payload(&mut r, 2 * nr * nc)?;
+    let data = read_payload(r, 2 * nr * nc)?;
     let flat: Vec<Complex64> = data.chunks_exact(2).map(|p| c64(p[0], p[1])).collect();
     Ok(CMatrix::from_vec(nr, nc, flat))
+}
+
+/// Writes a dense complex matrix (the epsmat-file analogue). Returns the
+/// number of bytes written.
+pub fn write_matrix(path: &Path, m: &CMatrix) -> Result<u64, IoError> {
+    let f = std::fs::File::create(path)?;
+    let mut w = io::BufWriter::new(f);
+    let bytes = write_matrix_to(&mut w, m)?;
+    w.flush()?;
+    Ok(bytes)
+}
+
+/// Reads a dense complex matrix back.
+pub fn read_matrix(path: &Path) -> Result<CMatrix, IoError> {
+    let f = std::fs::File::open(path)?;
+    let mut r = io::BufReader::new(f);
+    read_matrix_from(&mut r)
 }
 
 /// Writes a full dielectric container (frequencies, vsqrt, matrices) as a
@@ -283,6 +299,135 @@ pub fn read_epsilon(dir: &Path) -> Result<(Vec<f64>, Vec<f64>, Vec<CMatrix>), Io
     let omegas: Vec<f64> = (0..mats.len()).map(|j| head[(0, j)].re).collect();
     let vsqrt: Vec<f64> = (0..n_g).map(|j| head[(1, j)].re).collect();
     Ok((omegas, vsqrt, mats))
+}
+
+/// A restart checkpoint: where a workflow was (stage/step), a small vector
+/// of scalar metadata (accumulated energies, iteration damping state, ...),
+/// and the partial matrices needed to resume.
+///
+/// Every section of the on-disk record is independently checksummed, so a
+/// checkpoint truncated or corrupted by a mid-write crash is *detected* on
+/// read and skipped by [`read_latest_checkpoint`] rather than resumed from.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Checkpoint {
+    /// Workflow stage marker (interpreted by the workflow layer).
+    pub stage: u64,
+    /// Progress within the stage (e.g. next valence chunk / band index).
+    pub step: u64,
+    /// Scalar metadata accompanying the matrices.
+    pub meta: Vec<f64>,
+    /// Partial state matrices (chi accumulators, eps^-1 blocks, sigma sums).
+    pub matrices: Vec<CMatrix>,
+}
+
+/// File name of checkpoint `index` inside a checkpoint directory.
+pub fn checkpoint_path(dir: &Path, index: u64) -> std::path::PathBuf {
+    dir.join(format!("ckpt_{index:06}.bgwr"))
+}
+
+/// Writes `ckpt` as `ckpt_NNNNNN.bgwr` under `dir` (created if needed).
+///
+/// The write is atomic at the filesystem level: the record is assembled in
+/// a `.tmp` sibling and renamed into place, so a crash mid-write never
+/// leaves a half-written file under the final name. Returns the payload
+/// bytes written.
+pub fn write_checkpoint(dir: &Path, index: u64, ckpt: &Checkpoint) -> Result<u64, IoError> {
+    std::fs::create_dir_all(dir)?;
+    let final_path = checkpoint_path(dir, index);
+    let tmp_path = dir.join(format!("ckpt_{index:06}.bgwr.tmp"));
+    let mut bytes = 0u64;
+    {
+        let f = std::fs::File::create(&tmp_path)?;
+        let mut w = io::BufWriter::new(f);
+        write_header(
+            &mut w,
+            RecordTag::Checkpoint,
+            &[
+                CHECKPOINT_VERSION,
+                ckpt.stage,
+                ckpt.step,
+                ckpt.meta.len() as u64,
+                ckpt.matrices.len() as u64,
+            ],
+        )?;
+        write_payload(&mut w, &ckpt.meta)?;
+        bytes += (ckpt.meta.len() * 8) as u64;
+        for m in &ckpt.matrices {
+            bytes += write_matrix_to(&mut w, m)?;
+        }
+        w.flush()?;
+    }
+    std::fs::rename(&tmp_path, &final_path)?;
+    bgw_perf::counters::record_ckpt_write(bytes);
+    Ok(bytes)
+}
+
+/// Reads one checkpoint file, validating version and every checksum.
+pub fn read_checkpoint_file(path: &Path) -> Result<Checkpoint, IoError> {
+    let f = std::fs::File::open(path)?;
+    let mut r = io::BufReader::new(f);
+    let dims = read_header(&mut r, RecordTag::Checkpoint)?;
+    if dims.len() != 5 {
+        return Err(IoError::BadHeader(format!(
+            "{} dims for checkpoint",
+            dims.len()
+        )));
+    }
+    if dims[0] != CHECKPOINT_VERSION {
+        return Err(IoError::BadHeader(format!(
+            "checkpoint version {} (supported: {CHECKPOINT_VERSION})",
+            dims[0]
+        )));
+    }
+    let (stage, step) = (dims[1], dims[2]);
+    let (n_meta, n_mats) = (dims[3] as usize, dims[4] as usize);
+    let meta = read_payload(&mut r, n_meta)?;
+    let mut matrices = Vec::with_capacity(n_mats);
+    let mut bytes = (n_meta * 8) as u64;
+    for _ in 0..n_mats {
+        let m = read_matrix_from(&mut r)?;
+        bytes += (2 * m.nrows() * m.ncols() * 8) as u64;
+        matrices.push(m);
+    }
+    bgw_perf::counters::record_ckpt_read(bytes);
+    Ok(Checkpoint {
+        stage,
+        step,
+        meta,
+        matrices,
+    })
+}
+
+/// Scans `dir` for `ckpt_NNNNNN.bgwr` files and returns the
+/// highest-indexed one that reads back *valid* (version and all checksums
+/// ok), as `(index, checkpoint)`. Corrupt or truncated files — the residue
+/// of a crash mid-write — are skipped, not fatal. Returns `Ok(None)` when
+/// the directory is missing or holds no valid checkpoint.
+pub fn read_latest_checkpoint(dir: &Path) -> Result<Option<(u64, Checkpoint)>, IoError> {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(_) => return Ok(None),
+    };
+    let mut indices: Vec<u64> = Vec::new();
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if let Some(num) = name
+            .strip_prefix("ckpt_")
+            .and_then(|s| s.strip_suffix(".bgwr"))
+        {
+            if let Ok(idx) = num.parse::<u64>() {
+                indices.push(idx);
+            }
+        }
+    }
+    indices.sort_unstable_by(|a, b| b.cmp(a));
+    for idx in indices {
+        if let Ok(ckpt) = read_checkpoint_file(&checkpoint_path(dir, idx)) {
+            return Ok(Some((idx, ckpt)));
+        }
+    }
+    Ok(None)
 }
 
 #[cfg(test)]
@@ -390,6 +535,86 @@ mod tests {
         std::fs::write(&path, b"definitely not a BGWR file").unwrap();
         assert!(matches!(read_matrix(&path), Err(IoError::BadHeader(_))));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn checkpoint_roundtrip() {
+        let dir = tmp("ckptdir");
+        let ckpt = Checkpoint {
+            stage: 3,
+            step: 17,
+            meta: vec![1.5, -2.25, 0.0],
+            matrices: vec![CMatrix::random(6, 6, 11), CMatrix::random(4, 9, 12)],
+        };
+        let bytes = write_checkpoint(&dir, 5, &ckpt).unwrap();
+        assert!(bytes > 0);
+        let back = read_checkpoint_file(&checkpoint_path(&dir, 5)).unwrap();
+        assert_eq!(back, ckpt);
+        // no stray tmp file left behind
+        assert!(!dir.join("ckpt_000005.bgwr.tmp").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn latest_checkpoint_skips_corrupt_files() {
+        let dir = tmp("ckptlatest");
+        let good = Checkpoint {
+            stage: 1,
+            step: 2,
+            meta: vec![7.0],
+            matrices: vec![CMatrix::random(3, 3, 1)],
+        };
+        write_checkpoint(&dir, 1, &good).unwrap();
+        let newer = Checkpoint {
+            stage: 1,
+            step: 9,
+            meta: vec![8.0],
+            matrices: vec![CMatrix::random(3, 3, 2)],
+        };
+        write_checkpoint(&dir, 2, &newer).unwrap();
+        // corrupt the newest checkpoint: flip a payload byte
+        let path = checkpoint_path(&dir, 2);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() - 12;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        // and drop a truncated even-newer one
+        std::fs::write(checkpoint_path(&dir, 3), &bytes[..10]).unwrap();
+        let (idx, ckpt) = read_latest_checkpoint(&dir).unwrap().unwrap();
+        assert_eq!(idx, 1);
+        assert_eq!(ckpt, good);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn latest_checkpoint_empty_cases() {
+        let dir = tmp("ckptnone");
+        assert!(read_latest_checkpoint(&dir).unwrap().is_none());
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(read_latest_checkpoint(&dir).unwrap().is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_version_gate() {
+        let dir = tmp("ckptver");
+        let ckpt = Checkpoint {
+            stage: 0,
+            step: 0,
+            meta: vec![],
+            matrices: vec![],
+        };
+        write_checkpoint(&dir, 0, &ckpt).unwrap();
+        let path = checkpoint_path(&dir, 0);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // first dim (version) sits right after magic+version+tag+ndims = 16 bytes
+        bytes[16] = 99;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            read_checkpoint_file(&path),
+            Err(IoError::BadHeader(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

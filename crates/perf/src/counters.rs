@@ -24,6 +24,14 @@ static GEMM_COMPUTE_NS: AtomicU64 = AtomicU64::new(0);
 static FFT_GRIDS: AtomicU64 = AtomicU64::new(0);
 static FFT_LINES: AtomicU64 = AtomicU64::new(0);
 static FFT_NS: AtomicU64 = AtomicU64::new(0);
+static COMM_FAULTS: AtomicU64 = AtomicU64::new(0);
+static COMM_RETRIES: AtomicU64 = AtomicU64::new(0);
+static COMM_CRASHES: AtomicU64 = AtomicU64::new(0);
+static COMM_SHRINKS: AtomicU64 = AtomicU64::new(0);
+static COMM_RECOVERY_NS: AtomicU64 = AtomicU64::new(0);
+static CKPT_WRITES: AtomicU64 = AtomicU64::new(0);
+static CKPT_READS: AtomicU64 = AtomicU64::new(0);
+static CKPT_BYTES: AtomicU64 = AtomicU64::new(0);
 
 /// Point-in-time reading of every substrate counter.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -52,6 +60,24 @@ pub struct CounterSnapshot {
     /// Wall-clock nanoseconds spent inside `Fft3d` passes, measured on
     /// the calling thread (dispatch + gather/scatter + butterflies).
     pub fft_ns: u64,
+    /// Fault events injected by the `bgw-comm` fault plan (all kinds).
+    pub comm_faults: u64,
+    /// Communicator retries: transient-fault backoff retries plus
+    /// collective retransmits after a corrupted payload.
+    pub comm_retries: u64,
+    /// Permanent (injected or fatal) rank crashes observed by the runtime.
+    pub comm_crashes: u64,
+    /// Communicator shrinks performed by surviving ranks.
+    pub comm_shrinks: u64,
+    /// Nanoseconds spent inside `Comm::shrink` recovery, summed over
+    /// the participating ranks.
+    pub comm_recovery_ns: u64,
+    /// Checkpoint records written through `bgw-io`.
+    pub ckpt_writes: u64,
+    /// Checkpoint records read back through `bgw-io`.
+    pub ckpt_reads: u64,
+    /// Checkpoint payload bytes moved (written + read).
+    pub ckpt_bytes: u64,
 }
 
 impl CounterSnapshot {
@@ -67,6 +93,14 @@ impl CounterSnapshot {
             fft_grids: later.fft_grids.saturating_sub(self.fft_grids),
             fft_lines: later.fft_lines.saturating_sub(self.fft_lines),
             fft_ns: later.fft_ns.saturating_sub(self.fft_ns),
+            comm_faults: later.comm_faults.saturating_sub(self.comm_faults),
+            comm_retries: later.comm_retries.saturating_sub(self.comm_retries),
+            comm_crashes: later.comm_crashes.saturating_sub(self.comm_crashes),
+            comm_shrinks: later.comm_shrinks.saturating_sub(self.comm_shrinks),
+            comm_recovery_ns: later.comm_recovery_ns.saturating_sub(self.comm_recovery_ns),
+            ckpt_writes: later.ckpt_writes.saturating_sub(self.ckpt_writes),
+            ckpt_reads: later.ckpt_reads.saturating_sub(self.ckpt_reads),
+            ckpt_bytes: later.ckpt_bytes.saturating_sub(self.ckpt_bytes),
         }
     }
 
@@ -89,6 +123,11 @@ impl CounterSnapshot {
     pub fn pool_parallel_seconds(&self) -> f64 {
         self.pool_parallel_ns as f64 * 1e-9
     }
+
+    /// Seconds spent inside communicator shrink/recovery.
+    pub fn comm_recovery_seconds(&self) -> f64 {
+        self.comm_recovery_ns as f64 * 1e-9
+    }
 }
 
 /// Reads all counters.
@@ -103,6 +142,14 @@ pub fn snapshot() -> CounterSnapshot {
         fft_grids: FFT_GRIDS.load(Ordering::Relaxed),
         fft_lines: FFT_LINES.load(Ordering::Relaxed),
         fft_ns: FFT_NS.load(Ordering::Relaxed),
+        comm_faults: COMM_FAULTS.load(Ordering::Relaxed),
+        comm_retries: COMM_RETRIES.load(Ordering::Relaxed),
+        comm_crashes: COMM_CRASHES.load(Ordering::Relaxed),
+        comm_shrinks: COMM_SHRINKS.load(Ordering::Relaxed),
+        comm_recovery_ns: COMM_RECOVERY_NS.load(Ordering::Relaxed),
+        ckpt_writes: CKPT_WRITES.load(Ordering::Relaxed),
+        ckpt_reads: CKPT_READS.load(Ordering::Relaxed),
+        ckpt_bytes: CKPT_BYTES.load(Ordering::Relaxed),
     }
 }
 
@@ -118,6 +165,14 @@ pub fn reset() {
     FFT_GRIDS.store(0, Ordering::Relaxed);
     FFT_LINES.store(0, Ordering::Relaxed);
     FFT_NS.store(0, Ordering::Relaxed);
+    COMM_FAULTS.store(0, Ordering::Relaxed);
+    COMM_RETRIES.store(0, Ordering::Relaxed);
+    COMM_CRASHES.store(0, Ordering::Relaxed);
+    COMM_SHRINKS.store(0, Ordering::Relaxed);
+    COMM_RECOVERY_NS.store(0, Ordering::Relaxed);
+    CKPT_WRITES.store(0, Ordering::Relaxed);
+    CKPT_READS.store(0, Ordering::Relaxed);
+    CKPT_BYTES.store(0, Ordering::Relaxed);
 }
 
 /// Records one pooled parallel region of `ns` nanoseconds.
@@ -160,6 +215,46 @@ pub fn record_fft_pass(lines: u64, ns: u64) {
     FFT_NS.fetch_add(ns, Ordering::Relaxed);
 }
 
+/// Records one injected communicator fault event.
+#[inline]
+pub fn record_comm_fault() {
+    COMM_FAULTS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records one communicator retry (backoff retry or retransmit).
+#[inline]
+pub fn record_comm_retry() {
+    COMM_RETRIES.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records one permanent rank crash.
+#[inline]
+pub fn record_comm_crash() {
+    COMM_CRASHES.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records one communicator shrink taking `ns` nanoseconds on the
+/// calling rank.
+#[inline]
+pub fn record_comm_shrink(ns: u64) {
+    COMM_SHRINKS.fetch_add(1, Ordering::Relaxed);
+    COMM_RECOVERY_NS.fetch_add(ns, Ordering::Relaxed);
+}
+
+/// Records one checkpoint record written with `bytes` of payload.
+#[inline]
+pub fn record_ckpt_write(bytes: u64) {
+    CKPT_WRITES.fetch_add(1, Ordering::Relaxed);
+    CKPT_BYTES.fetch_add(bytes, Ordering::Relaxed);
+}
+
+/// Records one checkpoint record read back with `bytes` of payload.
+#[inline]
+pub fn record_ckpt_read(bytes: u64) {
+    CKPT_READS.fetch_add(1, Ordering::Relaxed);
+    CKPT_BYTES.fetch_add(bytes, Ordering::Relaxed);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -173,6 +268,12 @@ mod tests {
         record_gemm_pack_ns(10);
         record_gemm_compute_ns(20);
         record_fft_pass(48, 30);
+        record_comm_fault();
+        record_comm_retry();
+        record_comm_crash();
+        record_comm_shrink(500);
+        record_ckpt_write(64);
+        record_ckpt_read(64);
         let after = snapshot();
         let d = before.delta(&after);
         assert!(d.pool_dispatches >= 1);
@@ -188,5 +289,14 @@ mod tests {
         assert!(d.fft_lines >= 48);
         assert!(d.fft_ns >= 30);
         assert!(d.fft_seconds() > 0.0);
+        assert!(d.comm_faults >= 1);
+        assert!(d.comm_retries >= 1);
+        assert!(d.comm_crashes >= 1);
+        assert!(d.comm_shrinks >= 1);
+        assert!(d.comm_recovery_ns >= 500);
+        assert!(d.comm_recovery_seconds() > 0.0);
+        assert!(d.ckpt_writes >= 1);
+        assert!(d.ckpt_reads >= 1);
+        assert!(d.ckpt_bytes >= 128);
     }
 }

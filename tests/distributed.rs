@@ -8,7 +8,9 @@ use berkeleygw_rs::core::coulomb::Coulomb;
 use berkeleygw_rs::core::mtxel::Mtxel;
 use berkeleygw_rs::core::sigma::diag::{gpp_sigma_diag, gpp_sigma_diag_distributed, KernelVariant};
 use berkeleygw_rs::core::testkit;
-use berkeleygw_rs::linalg::CMatrix;
+use berkeleygw_rs::dist::{invert_epsilon_distributed, newton_schulz_inverse, DistMatrix};
+use berkeleygw_rs::linalg::{matmul, CMatrix, GemmBackend, Op};
+use berkeleygw_rs::num::Xoshiro256StarStar;
 use berkeleygw_rs::pwdft::{si_bulk, solve_bands};
 
 #[test]
@@ -129,4 +131,118 @@ fn communication_volume_scales_with_matrix_size() {
         (measured / expected - 1.0).abs() < 0.05,
         "comm volume ratio {measured} vs N_G^2 ratio {expected}"
     );
+}
+
+// ---------------------------------------------------------------------------
+// DistMatrix property sweeps: seeded random shapes across world sizes 1-5,
+// deliberately including dimensions the world size does not divide, checked
+// against serial oracles.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn dist_replication_roundtrip_property_sweep() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0xD157);
+    for world in 1usize..=5 {
+        for _ in 0..3 {
+            let n = 1 + rng.next_below(12);
+            let m = 1 + rng.next_below(12);
+            let a = CMatrix::random(n, m, rng.next_u64());
+            let (results, _) = run_world(world, |comm| {
+                DistMatrix::from_replicated(comm, &a)
+                    .to_replicated(comm)
+                    .as_slice()
+                    .to_vec()
+            });
+            for r in results {
+                let back = CMatrix::from_vec(n, m, r);
+                assert_eq!(
+                    back.max_abs_diff(&a),
+                    0.0,
+                    "roundtrip must be exact (world {world}, {n}x{m})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn dist_matmul_matches_serial_oracle_sweep() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0xBEEF);
+    for world in 1usize..=5 {
+        for _ in 0..2 {
+            let n = 2 + rng.next_below(9);
+            let k = 1 + rng.next_below(9);
+            let m = 2 + rng.next_below(9);
+            let a = CMatrix::random(n, k, rng.next_u64());
+            let b = CMatrix::random(k, m, rng.next_u64());
+            let oracle = matmul(&a, Op::None, &b, Op::None, GemmBackend::Blocked);
+            let (results, _) = run_world(world, |comm| {
+                let ad = DistMatrix::from_replicated(comm, &a);
+                let bd = DistMatrix::from_replicated(comm, &b);
+                ad.matmul(comm, &bd).to_replicated(comm).as_slice().to_vec()
+            });
+            for r in results {
+                let c = CMatrix::from_vec(n, m, r);
+                assert!(
+                    c.max_abs_diff(&oracle) < 1e-12 * (k as f64),
+                    "world {world}, {n}x{k}x{m}: {}",
+                    c.max_abs_diff(&oracle)
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn dist_inversion_agrees_across_world_sizes() {
+    // Newton-Schulz on a diagonally dominant (well-conditioned) matrix:
+    // every world size 1-5 must agree with the serial LU inverse, sizes
+    // not dividing the world size included.
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0x1437);
+    for world in 1usize..=5 {
+        let n = 5 + rng.next_below(7); // 5..=11, rarely divisible by world
+        let mut a = CMatrix::random_hermitian(n, rng.next_u64());
+        for d in 0..n {
+            a[(d, d)] += berkeleygw_rs::num::c64(3.0 + n as f64 * 0.5, 0.0);
+        }
+        let lu = berkeleygw_rs::linalg::invert(&a).unwrap();
+        let (results, _) = run_world(world, |comm| {
+            let ad = DistMatrix::from_replicated(comm, &a);
+            let (inv, iters) = newton_schulz_inverse(comm, &ad, 1e-13, 60);
+            (inv.to_replicated(comm).as_slice().to_vec(), iters)
+        });
+        for (r, iters) in results {
+            let inv = CMatrix::from_vec(n, n, r);
+            assert!(iters > 0);
+            assert!(
+                inv.max_abs_diff(&lu) < 1e-10,
+                "world {world}, n {n}: {}",
+                inv.max_abs_diff(&lu)
+            );
+        }
+    }
+}
+
+#[test]
+fn dist_epsilon_inversion_matches_serial_epsilon_sweep() {
+    // invert_epsilon_distributed against the serial EpsilonInverse (LU)
+    // on the real chi(0) of the test fixture, across world sizes 1-5.
+    let (_, setup) = testkit::small_context();
+    let serial = setup.eps_inv.static_inv().clone();
+    let n = serial.nrows();
+    for world in 1usize..=5 {
+        let (results, _) = run_world(world, |comm| {
+            let chi = DistMatrix::from_replicated(comm, &setup.chi0);
+            let (inv, _) = invert_epsilon_distributed(comm, &chi, &setup.vsqrt, 1e-13);
+            inv.to_replicated(comm).as_slice().to_vec()
+        });
+        for r in results {
+            let inv = CMatrix::from_vec(n, n, r);
+            assert!(
+                inv.max_abs_diff(&serial) < 1e-9,
+                "world {world}: {}",
+                inv.max_abs_diff(&serial)
+            );
+        }
+    }
 }

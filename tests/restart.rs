@@ -1,0 +1,241 @@
+//! Checkpoint/restart integration tests: a GW run killed at any
+//! checkpoint boundary and resumed must reproduce the uninterrupted run's
+//! quasiparticle energies to 1e-10, and corrupt checkpoint residue must
+//! be skipped, not resumed from.
+
+use berkeleygw_rs::core::chi::{ChiConfig, ChiEngine, ChiTimings};
+use berkeleygw_rs::core::mtxel::Mtxel;
+use berkeleygw_rs::core::restart::{
+    run_evgw_checkpointed, run_gpp_gw_checkpointed, CheckpointPolicy, RestartError,
+};
+use berkeleygw_rs::core::sigma::fullfreq::ff_sigma_diag_subspace;
+use berkeleygw_rs::core::subspace::{symmetrize, Subspace};
+use berkeleygw_rs::core::testkit;
+use berkeleygw_rs::core::workflow::{run_evgw, run_gpp_gw, GwConfig, GwResults};
+use berkeleygw_rs::core::EpsilonInverse;
+use berkeleygw_rs::io::{read_checkpoint_file, write_checkpoint, Checkpoint};
+use berkeleygw_rs::linalg::CMatrix;
+use berkeleygw_rs::pwdft::{si_bulk, ModelSystem};
+
+fn tmpdir(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("bgw_restart_{}_{name}", std::process::id()));
+    std::fs::remove_dir_all(&p).ok();
+    p
+}
+
+fn small_system() -> ModelSystem {
+    let mut sys = si_bulk(1, 2.2);
+    sys.n_bands = 24;
+    sys
+}
+
+fn assert_qp_match(a: &GwResults, b: &GwResults, tol: f64, label: &str) {
+    assert_eq!(a.sigma_bands, b.sigma_bands, "{label}: band sets differ");
+    for (x, y) in a.states.iter().zip(&b.states) {
+        assert!(
+            (x.e_qp - y.e_qp).abs() < tol,
+            "{label}: QP energy {} vs {}",
+            x.e_qp,
+            y.e_qp
+        );
+    }
+    assert!((a.gap_qp_ry - b.gap_qp_ry).abs() < tol, "{label}: gap");
+    assert!(
+        (a.eps_macro - b.eps_macro).abs() < tol,
+        "{label}: eps_macro"
+    );
+}
+
+#[test]
+fn checkpointed_gpp_matches_plain_driver_and_restarts_cleanly() {
+    let sys = small_system();
+    let cfg = GwConfig::default();
+    let plain = run_gpp_gw(&sys, &cfg);
+
+    // Uninterrupted checkpointed run: same physics as the plain driver.
+    let dir = tmpdir("gpp_clean");
+    let uninterrupted = run_gpp_gw_checkpointed(&sys, &cfg, &CheckpointPolicy::new(&dir)).unwrap();
+    assert_qp_match(&uninterrupted, &plain, 1e-10, "uninterrupted vs plain");
+    assert_eq!(uninterrupted.sigma_flops, plain.sigma_flops);
+    assert!(uninterrupted.timings.t_checkpoint > 0.0);
+    std::fs::remove_dir_all(&dir).ok();
+
+    // Kill the run after every possible number of checkpoint writes and
+    // resume: the restart must land on the uninterrupted numbers.
+    for kill_after in [1usize, 2, 3, 5] {
+        let dir = tmpdir(&format!("gpp_kill{kill_after}"));
+        let killer = CheckpointPolicy {
+            dir: dir.clone(),
+            chi_stride: None,
+            abort_after_writes: Some(kill_after),
+        };
+        match run_gpp_gw_checkpointed(&sys, &cfg, &killer) {
+            Err(RestartError::Aborted { writes }) => assert_eq!(writes, kill_after),
+            other => panic!("kill switch did not fire: {other:?}"),
+        }
+        let resumed = run_gpp_gw_checkpointed(&sys, &cfg, &CheckpointPolicy::new(&dir)).unwrap();
+        assert_qp_match(
+            &resumed,
+            &uninterrupted,
+            1e-10,
+            &format!("resume after {kill_after} writes"),
+        );
+        assert_eq!(resumed.sigma_flops, uninterrupted.sigma_flops);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn corrupt_latest_checkpoint_is_skipped_on_restart() {
+    let sys = small_system();
+    let cfg = GwConfig::default();
+    let dir = tmpdir("gpp_corrupt");
+    let oracle_dir = tmpdir("gpp_corrupt_oracle");
+    let oracle = run_gpp_gw_checkpointed(&sys, &cfg, &CheckpointPolicy::new(&oracle_dir)).unwrap();
+    std::fs::remove_dir_all(&oracle_dir).ok();
+
+    let killer = CheckpointPolicy {
+        dir: dir.clone(),
+        chi_stride: None,
+        abort_after_writes: Some(3),
+    };
+    assert!(run_gpp_gw_checkpointed(&sys, &cfg, &killer).is_err());
+    // Corrupt the newest checkpoint — the torn-write residue of a crash.
+    let newest = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .max()
+        .unwrap();
+    let mut bytes = std::fs::read(&newest).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&newest, &bytes).unwrap();
+
+    let resumed = run_gpp_gw_checkpointed(&sys, &cfg, &CheckpointPolicy::new(&dir)).unwrap();
+    assert_qp_match(&resumed, &oracle, 1e-10, "resume past corrupt checkpoint");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn evgw_restart_matches_uninterrupted() {
+    let sys = small_system();
+    let cfg = GwConfig::default();
+    let oracle = run_evgw(&sys, &cfg, 40, 1e-5);
+
+    let dir = tmpdir("evgw_clean");
+    let clean = run_evgw_checkpointed(&sys, &cfg, 40, 1e-5, &CheckpointPolicy::new(&dir)).unwrap();
+    assert_eq!(clean.iterations, oracle.iterations);
+    assert!((clean.gap_ry - oracle.gap_ry).abs() < 1e-12);
+    std::fs::remove_dir_all(&dir).ok();
+
+    let dir = tmpdir("evgw_kill");
+    let killer = CheckpointPolicy {
+        dir: dir.clone(),
+        chi_stride: None,
+        abort_after_writes: Some(2),
+    };
+    match run_evgw_checkpointed(&sys, &cfg, 40, 1e-5, &killer) {
+        Err(RestartError::Aborted { writes }) => assert_eq!(writes, 2),
+        other => panic!("kill switch did not fire: {other:?}"),
+    }
+    let resumed =
+        run_evgw_checkpointed(&sys, &cfg, 40, 1e-5, &CheckpointPolicy::new(&dir)).unwrap();
+    assert_eq!(resumed.iterations, oracle.iterations, "iteration count");
+    for (a, b) in resumed.e_qp.iter().zip(&oracle.e_qp) {
+        assert!((a - b).abs() < 1e-10, "QP energy {a} vs {b}");
+    }
+    assert!((resumed.gap_ry - oracle.gap_ry).abs() < 1e-10);
+    assert_eq!(resumed.gap_history.len(), oracle.gap_history.len());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn subspace_ff_sigma_is_invariant_under_chi_checkpoint_roundtrip() {
+    // Recovery invariant: accumulating CHI in chunks, parking the partial
+    // sum in a checkpoint, and resuming from disk must leave the static
+    // subspace and the full-frequency Sigma built on it unchanged.
+    let (ctx, setup) = testkit::small_context();
+    let mtxel = Mtxel::new(&setup.wfn_sph, &setup.eps_sph);
+    let cfg = ChiConfig {
+        q0: setup.coulomb.q0,
+        ..ChiConfig::default()
+    };
+    let engine = ChiEngine::new(&setup.wf, &mtxel, cfg);
+    let valence: Vec<usize> = (0..setup.wf.n_valence).collect();
+    let chunks: Vec<&[usize]> = valence.chunks(cfg.nv_block).collect();
+    let ng = engine.n_g();
+
+    // Uninterrupted chunked accumulation (the oracle).
+    let mut t = ChiTimings::default();
+    let mut chi_oracle = CMatrix::zeros(ng, ng);
+    for chunk in &chunks {
+        let p = engine
+            .chi_freqs_subset(&[0.0], Some(chunk), &mut t)
+            .pop()
+            .unwrap();
+        for (a, b) in chi_oracle.as_mut_slice().iter_mut().zip(p.as_slice()) {
+            *a += *b;
+        }
+    }
+
+    // Interrupted: first chunk, checkpoint to disk, "crash", resume from
+    // the file, finish the remaining chunks.
+    let dir = tmpdir("ff_subspace");
+    let mut chi_acc = CMatrix::zeros(ng, ng);
+    let p = engine
+        .chi_freqs_subset(&[0.0], Some(chunks[0]), &mut t)
+        .pop()
+        .unwrap();
+    for (a, b) in chi_acc.as_mut_slice().iter_mut().zip(p.as_slice()) {
+        *a += *b;
+    }
+    write_checkpoint(
+        &dir,
+        0,
+        &Checkpoint {
+            stage: 1,
+            step: 1,
+            meta: vec![],
+            matrices: vec![chi_acc],
+        },
+    )
+    .unwrap();
+    let mut chi_restarted = read_checkpoint_file(&berkeleygw_rs::io::checkpoint_path(&dir, 0))
+        .unwrap()
+        .matrices
+        .pop()
+        .unwrap();
+    for chunk in &chunks[1..] {
+        let p = engine
+            .chi_freqs_subset(&[0.0], Some(chunk), &mut t)
+            .pop()
+            .unwrap();
+        for (a, b) in chi_restarted.as_mut_slice().iter_mut().zip(p.as_slice()) {
+            *a += *b;
+        }
+    }
+    // The checkpoint roundtrip is bit-exact, so the accumulators agree.
+    assert_eq!(chi_restarted.max_abs_diff(&chi_oracle), 0.0);
+
+    // Subspace + full-frequency Sigma from both paths.
+    let n_eig = (ng / 2).max(2);
+    let (nodes, weights) = berkeleygw_rs::num::grid::semi_infinite_quadrature(8, 2.0);
+    let (chis_ff, _) = engine.chi_freqs(&nodes);
+    let eps_ff = EpsilonInverse::build(&chis_ff, &nodes, &setup.coulomb, &setup.eps_sph);
+    let grids: Vec<Vec<f64>> = ctx.sigma_energies.iter().map(|&e| vec![e]).collect();
+    let sigma_of = |chi0: &CMatrix| {
+        let sub = Subspace::from_chi0_sym(&symmetrize(chi0, &setup.vsqrt), n_eig);
+        ff_sigma_diag_subspace(&ctx, &eps_ff, &weights, &grids, 0.05, &sub)
+    };
+    let oracle = sigma_of(&chi_oracle);
+    let restarted = sigma_of(&chi_restarted);
+    for s in 0..ctx.n_sigma() {
+        let d = (oracle.sigma[s][0] - restarted.sigma[s][0]).abs();
+        assert!(
+            d < 1e-10,
+            "band {s}: FF Sigma drifted by {d} across restart"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -3,10 +3,32 @@
 # The workspace has zero external crates, so everything here must pass
 # with the network disabled — CARGO_NET_OFFLINE makes any accidental
 # registry access a hard error instead of a hang.
+#
+# Usage:
+#   tools/check.sh            full gate (build, tests, fmt, clippy, smokes)
+#   tools/check.sh --faults   fault-injection smoke only (builds the bin
+#                             first if needed)
 set -eu
 
 cd "$(dirname "$0")/.."
 export CARGO_NET_OFFLINE=true
+
+run_faults_smoke() {
+    echo "==> faults smoke: canned crash/transient/corruption plans (QP gate 1e-10)"
+    # Three canned FaultPlans against the resilient distributed pipeline:
+    # a rank crash (survivors must shrink and match the fault-free QP
+    # energies to 1e-10), transient send failures (retried in place), and
+    # a corrupted collective payload (retransmitted). A watchdog turns a
+    # hang into exit 2, and a /proc thread count gate fails on leaked
+    # worker threads.
+    ./target/release/faults_smoke
+}
+
+if [ "${1:-}" = "--faults" ]; then
+    cargo build --release -p bgw-bench --bin faults_smoke
+    run_faults_smoke
+    exit 0
+fi
 
 echo "==> cargo build --release --workspace"
 cargo build --release --workspace
@@ -29,5 +51,7 @@ root=$(pwd)
 smokedir=$(mktemp -d)
 (cd "$smokedir" && "$root/target/release/bench_fft_mtxel" --smoke)
 rm -rf "$smokedir"
+
+run_faults_smoke
 
 echo "==> all checks passed"
