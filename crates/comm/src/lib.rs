@@ -459,6 +459,7 @@ impl Comm {
     }
 
     fn backoff(&self, attempt: u32) {
+        let _span = bgw_trace::span!("comm.retry");
         std::thread::sleep(Duration::from_micros(
             self.shared.root.plan.backoff_us(attempt),
         ));
@@ -569,6 +570,8 @@ impl Comm {
         corrupt_repeats: u32,
         waiting_for: &'static str,
     ) -> Result<Vec<T>, CommError> {
+        let _span = bgw_trace::span!("comm.collective");
+        bgw_perf::counters::record_comm_collective();
         let seq = self.next_seq();
         let n = self.size();
         let deadline = self.deadline();
@@ -999,6 +1002,7 @@ impl Comm {
     /// a genuine panic anywhere in the world still aborts it with
     /// [`CommError::WorldPoisoned`].
     pub fn shrink(&self) -> Result<Comm, CommError> {
+        let _span = bgw_trace::span!("comm.shrink");
         let t0 = Instant::now();
         let repeats = self.fault_gate()?;
         self.degrade_corrupt(repeats)?;

@@ -65,4 +65,5 @@ pub use spectral::SpectralFunction;
 pub use subspace::Subspace;
 pub use workflow::{
     run_evgw, run_full_dyson_gw, run_gpp_gw, EvGwResults, FullDysonResults, GwConfig, GwResults,
+    SigmaDims,
 };

@@ -119,6 +119,7 @@ struct CkptWriter {
 
 impl CkptWriter {
     fn write(&mut self, ckpt: &Checkpoint) -> Result<(), RestartError> {
+        let _s = bgw_trace::span!("workflow.checkpoint");
         let t = Instant::now();
         write_checkpoint(&self.policy.dir, self.next_index, ckpt)?;
         self.t_checkpoint += t.elapsed().as_secs_f64();
@@ -312,6 +313,12 @@ pub fn run_gpp_gw_checkpointed(
         .map(|&e| vec![e - d, e, e + d])
         .collect();
     let n_grid = grids.first().map_or(0, |g| g.len());
+    let dims = crate::workflow::SigmaDims {
+        n_sigma: ctx.n_sigma(),
+        n_b: ctx.n_b(),
+        n_g: ctx.n_g(),
+        n_e: n_grid,
+    };
 
     let (mut sigma, mut flops, start_band) = match resume {
         GppResume::Sigma {
@@ -360,6 +367,7 @@ pub fn run_gpp_gw_checkpointed(
         eps_macro,
         timings,
         sigma_flops: diag.flops,
+        dims,
     })
 }
 

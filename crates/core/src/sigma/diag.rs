@@ -59,12 +59,14 @@ pub fn gpp_sigma_diag(
     variant: KernelVariant,
 ) -> SigmaDiagResult {
     assert_eq!(e_grids.len(), ctx.n_sigma(), "one grid per Sigma band");
+    let _span = bgw_trace::span!("sigma.diag");
     let t0 = Instant::now();
     let (sigma, flops) = match variant {
         KernelVariant::Reference => run_reference(ctx, e_grids),
         KernelVariant::Blocked => run_blocked(ctx, e_grids),
         KernelVariant::Optimized => run_optimized(ctx, e_grids),
     };
+    bgw_trace::add_flops(flops);
     SigmaDiagResult {
         sigma,
         e_grids: e_grids.to_vec(),
@@ -277,6 +279,7 @@ pub fn gpp_sigma_diag_partial(
 ) -> SigmaDiagResult {
     assert_eq!(e_grids.len(), ctx.n_sigma());
     assert!(gp_lo <= gp_hi && gp_hi <= ctx.n_g());
+    let _span = bgw_trace::span!("sigma.diag.partial");
     let t0 = Instant::now();
     let ng = ctx.n_g();
     let nb = ctx.n_b();
@@ -312,6 +315,7 @@ pub fn gpp_sigma_diag_partial(
         }
         out.push(sig);
     }
+    bgw_trace::add_flops(flops);
     SigmaDiagResult {
         sigma: out,
         e_grids: e_grids.to_vec(),

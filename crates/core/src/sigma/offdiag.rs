@@ -38,6 +38,7 @@ pub fn gpp_sigma_offdiag(
     e_grid: &UniformGrid,
     backend: GemmBackend,
 ) -> SigmaOffdiagResult {
+    let _span = bgw_trace::span!("sigma.offdiag");
     let ns = ctx.n_sigma();
     let ng = ctx.n_g();
     let nb = ctx.n_b();

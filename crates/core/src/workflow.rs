@@ -63,6 +63,21 @@ pub struct GwTimings {
     pub substrate: bgw_perf::CounterSnapshot,
 }
 
+/// Problem dimensions of the Sigma stage, recorded so run reports can
+/// re-evaluate the paper's FLOP models (Eqs. 7-8, Table 3) against the
+/// measured counts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SigmaDims {
+    /// `N_Sigma`: number of bands with a self-energy.
+    pub n_sigma: usize,
+    /// `N_b`: bands summed over.
+    pub n_b: usize,
+    /// `N_G`: G-vectors of the epsilon sphere.
+    pub n_g: usize,
+    /// `N_E`: energy evaluations per Sigma band.
+    pub n_e: usize,
+}
+
 /// Results of a one-shot GW run.
 #[derive(Clone, Debug)]
 pub struct GwResults {
@@ -80,17 +95,23 @@ pub struct GwResults {
     pub timings: GwTimings,
     /// Kernel FLOPs counted in the Sigma stage.
     pub sigma_flops: u64,
+    /// Sigma-stage problem sizes, for FLOP-model cross-validation.
+    pub dims: SigmaDims,
 }
 
 /// Runs the full G0W0(GPP) pipeline on a model system.
 pub fn run_gpp_gw(system: &ModelSystem, cfg: &GwConfig) -> GwResults {
+    let _run_span = bgw_trace::span!("workflow.gpp_gw");
     let mut timings = GwTimings::default();
     let counters0 = bgw_perf::counters::snapshot();
     let wfn_sph = system.wfn_sphere();
     let eps_sph = system.eps_sphere();
 
     let t = Instant::now();
-    let wf = solve_bands(&system.crystal, &wfn_sph, system.n_bands.min(wfn_sph.len()));
+    let wf = {
+        let _s = bgw_trace::span!("workflow.meanfield");
+        solve_bands(&system.crystal, &wfn_sph, system.n_bands.min(wfn_sph.len()))
+    };
     timings.t_meanfield = t.elapsed().as_secs_f64();
 
     let coulomb = if cfg.slab {
@@ -107,11 +128,16 @@ pub fn run_gpp_gw(system: &ModelSystem, cfg: &GwConfig) -> GwResults {
         q0: coulomb.q0,
         ..cfg.chi
     };
-    let engine = ChiEngine::new(&wf, &mtxel, chi_cfg);
-    let chi0 = engine.chi_static();
+    let chi0 = {
+        let _s = bgw_trace::span!("workflow.chi");
+        ChiEngine::new(&wf, &mtxel, chi_cfg).chi_static()
+    };
     timings.t_chi = t.elapsed().as_secs_f64();
     let t = Instant::now();
-    let eps_inv = EpsilonInverse::build(&[chi0], &[0.0], &coulomb, &eps_sph);
+    let eps_inv = {
+        let _s = bgw_trace::span!("workflow.epsilon");
+        EpsilonInverse::build(&[chi0], &[0.0], &coulomb, &eps_sph)
+    };
     let eps_macro = eps_inv.macroscopic_constant();
     timings.t_epsilon = t.elapsed().as_secs_f64();
 
@@ -132,7 +158,10 @@ pub fn run_gpp_gw(system: &ModelSystem, cfg: &GwConfig) -> GwResults {
     let sigma_bands: Vec<usize> = (lo..hi).collect();
 
     let t = Instant::now();
-    let ctx = SigmaContext::build(&wf, &mtxel, gpp, &vsqrt, &sigma_bands, coulomb.q0);
+    let ctx = {
+        let _s = bgw_trace::span!("workflow.mtxel");
+        SigmaContext::build(&wf, &mtxel, gpp, &vsqrt, &sigma_bands, coulomb.q0)
+    };
     timings.t_mtxel_sigma = t.elapsed().as_secs_f64();
 
     let d = cfg.sampling_delta_ry;
@@ -141,8 +170,17 @@ pub fn run_gpp_gw(system: &ModelSystem, cfg: &GwConfig) -> GwResults {
         .iter()
         .map(|&e| vec![e - d, e, e + d])
         .collect();
+    let dims = SigmaDims {
+        n_sigma: ctx.n_sigma(),
+        n_b: ctx.n_b(),
+        n_g: ctx.n_g(),
+        n_e: grids.first().map_or(0, Vec::len),
+    };
     let t = Instant::now();
-    let diag = gpp_sigma_diag(&ctx, &grids, cfg.variant);
+    let diag = {
+        let _s = bgw_trace::span!("workflow.sigma");
+        gpp_sigma_diag(&ctx, &grids, cfg.variant)
+    };
     timings.t_sigma = t.elapsed().as_secs_f64();
 
     let states = solve_qp_diag(&ctx.sigma_energies, &diag);
@@ -156,6 +194,7 @@ pub fn run_gpp_gw(system: &ModelSystem, cfg: &GwConfig) -> GwResults {
         eps_macro,
         timings,
         sigma_flops: diag.flops,
+        dims,
     }
 }
 

@@ -104,6 +104,7 @@ impl DistMatrix {
 
     /// Fallible distributed product; see [`DistMatrix::matmul`].
     pub fn try_matmul(&self, comm: &Comm, b: &DistMatrix) -> Result<DistMatrix, CommError> {
+        let _span = bgw_trace::span!("dist.matmul");
         assert_eq!(self.n_cols, b.n_rows, "distributed dims disagree");
         let b_full = b.try_to_replicated(comm)?;
         let local = matmul(

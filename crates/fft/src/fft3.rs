@@ -76,21 +76,31 @@ impl Fft3d {
     /// worker pool, batching lines per axis.
     pub fn process(&self, data: &mut [Complex64], dir: Direction) {
         assert_eq!(data.len(), self.len(), "grid buffer length mismatch");
+        let _span = bgw_trace::span!("fft.grid");
         let t0 = Instant::now();
         let (nx, ny, nz) = (self.nx, self.ny, self.nz);
         // z lines are contiguous: line l starts at l*nz.
-        axis_pass(&self.plan_z, data, nx * ny, 1, |l| l * nz, dir);
+        {
+            let _axis = bgw_trace::span!("fft.axis_z");
+            axis_pass(&self.plan_z, data, nx * ny, 1, |l| l * nz, dir);
+        }
         // y lines: stride nz within each x-plane.
-        axis_pass(
-            &self.plan_y,
-            data,
-            nx * nz,
-            nz,
-            |l| (l / nz) * ny * nz + (l % nz),
-            dir,
-        );
+        {
+            let _axis = bgw_trace::span!("fft.axis_y");
+            axis_pass(
+                &self.plan_y,
+                data,
+                nx * nz,
+                nz,
+                |l| (l / nz) * ny * nz + (l % nz),
+                dir,
+            );
+        }
         // x lines: stride ny*nz.
-        axis_pass(&self.plan_x, data, ny * nz, ny * nz, |l| l, dir);
+        {
+            let _axis = bgw_trace::span!("fft.axis_x");
+            axis_pass(&self.plan_x, data, ny * nz, ny * nz, |l| l, dir);
+        }
         bgw_perf::counters::record_fft_pass(
             self.line_count() as u64,
             t0.elapsed().as_nanos() as u64,
@@ -103,6 +113,7 @@ impl Fft3d {
     /// baseline the `bench_fft_mtxel` harness measures speedups over.
     pub fn process_serial(&self, data: &mut [Complex64], dir: Direction) {
         assert_eq!(data.len(), self.len(), "grid buffer length mismatch");
+        let _span = bgw_trace::span!("fft.serial");
         let t0 = Instant::now();
         let (nx, ny, nz) = (self.nx, self.ny, self.nz);
         // z lines are contiguous.
@@ -155,6 +166,7 @@ impl Fft3d {
     /// pool refuses nested dispatch), so grid-level parallelism composes
     /// with the per-axis batching instead of fighting it.
     pub fn process_many(&self, grids: &mut [Vec<Complex64>], dir: Direction) {
+        let _span = bgw_trace::span!("fft.batch");
         for g in grids.iter() {
             assert_eq!(g.len(), self.len(), "grid buffer length mismatch");
         }

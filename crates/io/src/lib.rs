@@ -332,6 +332,7 @@ pub fn checkpoint_path(dir: &Path, index: u64) -> std::path::PathBuf {
 /// leaves a half-written file under the final name. Returns the payload
 /// bytes written.
 pub fn write_checkpoint(dir: &Path, index: u64, ckpt: &Checkpoint) -> Result<u64, IoError> {
+    let _span = bgw_trace::span!("io.ckpt.write");
     std::fs::create_dir_all(dir)?;
     let final_path = checkpoint_path(dir, index);
     let tmp_path = dir.join(format!("ckpt_{index:06}.bgwr.tmp"));
@@ -364,6 +365,7 @@ pub fn write_checkpoint(dir: &Path, index: u64, ckpt: &Checkpoint) -> Result<u64
 
 /// Reads one checkpoint file, validating version and every checksum.
 pub fn read_checkpoint_file(path: &Path) -> Result<Checkpoint, IoError> {
+    let _span = bgw_trace::span!("io.ckpt.read");
     let f = std::fs::File::open(path)?;
     let mut r = io::BufReader::new(f);
     let dims = read_header(&mut r, RecordTag::Checkpoint)?;

@@ -301,8 +301,11 @@ fn zgemm_blocked(
     parallel: bool,
 ) {
     bgw_perf::counters::record_gemm_call();
+    let _span = bgw_trace::span!("gemm");
     let (m, k) = opa.shape(a.shape());
     let n = c.ncols();
+    // 4 real multiplies + 4 adds per complex multiply-accumulate.
+    bgw_trace::add_flops(8 * (m as u64) * (n as u64) * (k as u64));
     // beta-scale once up front.
     if beta != Complex64::ONE {
         if beta == Complex64::ZERO {
@@ -328,14 +331,23 @@ fn zgemm_blocked(
         for pc0 in (0..k).step_by(kc) {
             let pc1 = (pc0 + kc).min(k);
             let kk = pc1 - pc0;
-            let t_pack = Instant::now();
-            let (bre, bim) = pack_b(b, opb, pc0, pc1, jc0, jc1);
-            bgw_perf::counters::record_gemm_pack_ns(t_pack.elapsed().as_nanos() as u64);
+            let (bre, bim) = {
+                let _pack_span = bgw_trace::span!("gemm.pack");
+                let t_pack = Instant::now();
+                let packed = pack_b(b, opb, pc0, pc1, jc0, jc1);
+                bgw_perf::counters::record_gemm_pack_ns(t_pack.elapsed().as_nanos() as u64);
+                packed
+            };
 
             let row_panel = |i0: usize, i1: usize| {
-                let t_a = Instant::now();
-                let (are, aim) = pack_a(a, opa, alpha, i0, i1, pc0, pc1);
-                bgw_perf::counters::record_gemm_pack_ns(t_a.elapsed().as_nanos() as u64);
+                let (are, aim) = {
+                    let _pack_span = bgw_trace::span!("gemm.pack");
+                    let t_a = Instant::now();
+                    let packed = pack_a(a, opa, alpha, i0, i1, pc0, pc1);
+                    bgw_perf::counters::record_gemm_pack_ns(t_a.elapsed().as_nanos() as u64);
+                    packed
+                };
+                let _compute_span = bgw_trace::span!("gemm.compute");
                 let t_c = Instant::now();
                 let mm = i1 - i0;
                 for (sj, (bre_s, bim_s)) in bre

@@ -8,22 +8,42 @@
 //! spent inside pooled regions, `bgw-linalg` records GEMM packing versus
 //! compute time.
 //!
-//! Counters are process-global atomics. Readers take [`snapshot`]s and
-//! difference them around a region of interest; concurrent work from other
-//! threads is included by design (the counters describe the process, not a
-//! call tree).
+//! Counters are process-global, **monotonic** atomics. Readers take
+//! [`snapshot`]s and difference them around a region of interest with
+//! [`CounterSnapshot::delta`]; concurrent work from other threads is
+//! included by design (the counters describe the process, not a call
+//! tree — `bgw-trace` builds the call-tree view on top of these deltas).
+//! There is deliberately no global reset: a reset interleaving with
+//! another reader's snapshot pair silently destroys that reader's delta,
+//! which is exactly the flake the old benchmark-harness `reset()` caused
+//! under `cargo test`'s threaded runner. Harnesses that need isolation
+//! serialize through [`exclusive_test_guard`] instead.
+//!
+//! ## Pool-time attribution
+//!
+//! Pooled parallel regions are split into *dispatch overhead*
+//! (publish/wakeup plus the post-body quiesce wait, measured on the
+//! dispatching thread) and *region execution* (body time summed over the
+//! participating threads, each participant excluding any nested inline
+//! parallel calls it made — those are charged once, to
+//! [`CounterSnapshot::pool_inline_ns`]). Exclusive attribution means the
+//! three pool time counters never double-count a nanosecond of body work.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
 
 static POOL_DISPATCHES: AtomicU64 = AtomicU64::new(0);
-static POOL_PARALLEL_NS: AtomicU64 = AtomicU64::new(0);
+static POOL_DISPATCH_NS: AtomicU64 = AtomicU64::new(0);
+static POOL_REGION_NS: AtomicU64 = AtomicU64::new(0);
 static POOL_INLINE_RUNS: AtomicU64 = AtomicU64::new(0);
+static POOL_INLINE_NS: AtomicU64 = AtomicU64::new(0);
 static GEMM_CALLS: AtomicU64 = AtomicU64::new(0);
 static GEMM_PACK_NS: AtomicU64 = AtomicU64::new(0);
 static GEMM_COMPUTE_NS: AtomicU64 = AtomicU64::new(0);
 static FFT_GRIDS: AtomicU64 = AtomicU64::new(0);
 static FFT_LINES: AtomicU64 = AtomicU64::new(0);
 static FFT_NS: AtomicU64 = AtomicU64::new(0);
+static COMM_COLLECTIVES: AtomicU64 = AtomicU64::new(0);
 static COMM_FAULTS: AtomicU64 = AtomicU64::new(0);
 static COMM_RETRIES: AtomicU64 = AtomicU64::new(0);
 static COMM_CRASHES: AtomicU64 = AtomicU64::new(0);
@@ -38,12 +58,20 @@ static CKPT_BYTES: AtomicU64 = AtomicU64::new(0);
 pub struct CounterSnapshot {
     /// Parallel regions executed on the persistent worker pool.
     pub pool_dispatches: u64,
-    /// Wall-clock nanoseconds spent inside pooled parallel regions
-    /// (dispatch + body + join, measured on the calling thread).
-    pub pool_parallel_ns: u64,
+    /// Dispatch overhead of pooled regions: job publish + worker wakeup
+    /// plus the post-body quiesce wait, measured on the dispatching
+    /// thread (excludes all body execution).
+    pub pool_dispatch_ns: u64,
+    /// Region body execution nanoseconds, summed over participating
+    /// threads; each participant excludes nested inline parallel calls,
+    /// so this never overlaps `pool_inline_ns`.
+    pub pool_region_ns: u64,
     /// Parallel calls that ran inline (single worker requested, nested
     /// call, or the pool was busy with another dispatcher).
     pub pool_inline_runs: u64,
+    /// Exclusive nanoseconds spent in inline parallel calls (nested
+    /// inline calls are charged to themselves, not to their parent).
+    pub pool_inline_ns: u64,
     /// Blocked/parallel/tuned ZGEMM invocations.
     pub gemm_calls: u64,
     /// Nanoseconds spent packing GEMM operand panels (summed over threads).
@@ -60,6 +88,8 @@ pub struct CounterSnapshot {
     /// Wall-clock nanoseconds spent inside `Fft3d` passes, measured on
     /// the calling thread (dispatch + gather/scatter + butterflies).
     pub fft_ns: u64,
+    /// Slot-rendezvous collective operations entered (per rank).
+    pub comm_collectives: u64,
     /// Fault events injected by the `bgw-comm` fault plan (all kinds).
     pub comm_faults: u64,
     /// Communicator retries: transient-fault backoff retries plus
@@ -78,30 +108,127 @@ pub struct CounterSnapshot {
     pub ckpt_reads: u64,
     /// Checkpoint payload bytes moved (written + read).
     pub ckpt_bytes: u64,
+    /// Monotonicity violations observed while computing this snapshot as
+    /// a delta: the number of counters that went *backwards* between the
+    /// two snapshots. Always zero for direct [`snapshot`]s; nonzero on a
+    /// delta means work was lost between the endpoints (snapshots taken
+    /// in the wrong order, or mixed across processes) and the clamped
+    /// fields under-report — surfaced instead of silently hidden.
+    pub delta_underflows: u64,
+}
+
+macro_rules! for_each_counter_field {
+    ($m:ident) => {
+        $m!(pool_dispatches);
+        $m!(pool_dispatch_ns);
+        $m!(pool_region_ns);
+        $m!(pool_inline_runs);
+        $m!(pool_inline_ns);
+        $m!(gemm_calls);
+        $m!(gemm_pack_ns);
+        $m!(gemm_compute_ns);
+        $m!(fft_grids);
+        $m!(fft_lines);
+        $m!(fft_ns);
+        $m!(comm_collectives);
+        $m!(comm_faults);
+        $m!(comm_retries);
+        $m!(comm_crashes);
+        $m!(comm_shrinks);
+        $m!(comm_recovery_ns);
+        $m!(ckpt_writes);
+        $m!(ckpt_reads);
+        $m!(ckpt_bytes);
+    };
 }
 
 impl CounterSnapshot {
-    /// Counter increments between `self` (earlier) and `later`.
-    pub fn delta(&self, later: &CounterSnapshot) -> CounterSnapshot {
-        CounterSnapshot {
-            pool_dispatches: later.pool_dispatches.saturating_sub(self.pool_dispatches),
-            pool_parallel_ns: later.pool_parallel_ns.saturating_sub(self.pool_parallel_ns),
-            pool_inline_runs: later.pool_inline_runs.saturating_sub(self.pool_inline_runs),
-            gemm_calls: later.gemm_calls.saturating_sub(self.gemm_calls),
-            gemm_pack_ns: later.gemm_pack_ns.saturating_sub(self.gemm_pack_ns),
-            gemm_compute_ns: later.gemm_compute_ns.saturating_sub(self.gemm_compute_ns),
-            fft_grids: later.fft_grids.saturating_sub(self.fft_grids),
-            fft_lines: later.fft_lines.saturating_sub(self.fft_lines),
-            fft_ns: later.fft_ns.saturating_sub(self.fft_ns),
-            comm_faults: later.comm_faults.saturating_sub(self.comm_faults),
-            comm_retries: later.comm_retries.saturating_sub(self.comm_retries),
-            comm_crashes: later.comm_crashes.saturating_sub(self.comm_crashes),
-            comm_shrinks: later.comm_shrinks.saturating_sub(self.comm_shrinks),
-            comm_recovery_ns: later.comm_recovery_ns.saturating_sub(self.comm_recovery_ns),
-            ckpt_writes: later.ckpt_writes.saturating_sub(self.ckpt_writes),
-            ckpt_reads: later.ckpt_reads.saturating_sub(self.ckpt_reads),
-            ckpt_bytes: later.ckpt_bytes.saturating_sub(self.ckpt_bytes),
+    /// Counter increments between `self` (earlier) and `later`, plus the
+    /// number of monotonicity violations — fields where `later` reads
+    /// *below* `self`, i.e. where the saturating subtraction clamped to
+    /// zero and lost work. The caller decides how loudly to surface a
+    /// nonzero count; [`CounterSnapshot::delta`] debug-asserts on it.
+    pub fn delta_checked(&self, later: &CounterSnapshot) -> (CounterSnapshot, u64) {
+        let mut out = CounterSnapshot::default();
+        let mut underflows = 0u64;
+        macro_rules! sub_field {
+            ($f:ident) => {
+                if later.$f < self.$f {
+                    underflows += 1;
+                }
+                out.$f = later.$f.saturating_sub(self.$f);
+            };
         }
+        for_each_counter_field!(sub_field);
+        out.delta_underflows = underflows;
+        (out, underflows)
+    }
+
+    /// Counter increments between `self` (earlier) and `later`.
+    ///
+    /// Counters are monotonic, so a field of `later` reading below `self`
+    /// means the snapshots were taken in the wrong order (or crossed a
+    /// process boundary). That used to be clamped to zero silently; it is
+    /// now a debug assertion, and release builds surface it through the
+    /// [`CounterSnapshot::delta_underflows`] field of the result.
+    pub fn delta(&self, later: &CounterSnapshot) -> CounterSnapshot {
+        let (out, underflows) = self.delta_checked(later);
+        debug_assert_eq!(
+            underflows, 0,
+            "CounterSnapshot::delta: {underflows} counters went backwards \
+             between snapshots (earlier/later swapped?) — the clamped delta \
+             under-reports lost work"
+        );
+        out
+    }
+
+    /// Field-wise accumulation (used by the span registry to sum per-span
+    /// deltas; `delta_underflows` accumulates too, so a span tree never
+    /// hides a monotonicity violation seen by any of its spans).
+    pub fn accumulate(&mut self, other: &CounterSnapshot) {
+        macro_rules! add_field {
+            ($f:ident) => {
+                self.$f += other.$f;
+            };
+        }
+        for_each_counter_field!(add_field);
+        self.delta_underflows += other.delta_underflows;
+    }
+
+    /// Visits every counter field as a `(name, value)` pair in declaration
+    /// order — the single source of truth for serializers.
+    pub fn for_each_field(&self, mut f: impl FnMut(&'static str, u64)) {
+        macro_rules! visit_field {
+            ($f:ident) => {
+                f(stringify!($f), self.$f);
+            };
+        }
+        for_each_counter_field!(visit_field);
+        f("delta_underflows", self.delta_underflows);
+    }
+
+    /// Sets a counter field by name (deserializer hook); returns `false`
+    /// for an unknown name.
+    pub fn set_field(&mut self, name: &str, value: u64) -> bool {
+        macro_rules! match_field {
+            ($f:ident) => {
+                if name == stringify!($f) {
+                    self.$f = value;
+                    return true;
+                }
+            };
+        }
+        for_each_counter_field!(match_field);
+        if name == "delta_underflows" {
+            self.delta_underflows = value;
+            return true;
+        }
+        false
+    }
+
+    /// True when every counter (including `delta_underflows`) is zero.
+    pub fn is_zero(&self) -> bool {
+        *self == CounterSnapshot::default()
     }
 
     /// Seconds spent inside 3-D FFT passes.
@@ -119,9 +246,26 @@ impl CounterSnapshot {
         self.gemm_compute_ns as f64 * 1e-9
     }
 
-    /// Seconds spent inside pooled parallel regions.
-    pub fn pool_parallel_seconds(&self) -> f64 {
-        self.pool_parallel_ns as f64 * 1e-9
+    /// Seconds of pooled-region dispatch overhead (publish/wakeup + join).
+    pub fn pool_dispatch_seconds(&self) -> f64 {
+        self.pool_dispatch_ns as f64 * 1e-9
+    }
+
+    /// Seconds of pooled-region body execution, summed over threads.
+    pub fn pool_region_seconds(&self) -> f64 {
+        self.pool_region_ns as f64 * 1e-9
+    }
+
+    /// Exclusive seconds spent in inline parallel calls.
+    pub fn pool_inline_seconds(&self) -> f64 {
+        self.pool_inline_ns as f64 * 1e-9
+    }
+
+    /// Seconds inside parallel regions, pooled or inline (dispatch
+    /// overhead + summed body time + inline time) — the closest successor
+    /// of the old single `pool_parallel_ns` aggregate.
+    pub fn pool_total_seconds(&self) -> f64 {
+        (self.pool_dispatch_ns + self.pool_region_ns + self.pool_inline_ns) as f64 * 1e-9
     }
 
     /// Seconds spent inside communicator shrink/recovery.
@@ -134,14 +278,17 @@ impl CounterSnapshot {
 pub fn snapshot() -> CounterSnapshot {
     CounterSnapshot {
         pool_dispatches: POOL_DISPATCHES.load(Ordering::Relaxed),
-        pool_parallel_ns: POOL_PARALLEL_NS.load(Ordering::Relaxed),
+        pool_dispatch_ns: POOL_DISPATCH_NS.load(Ordering::Relaxed),
+        pool_region_ns: POOL_REGION_NS.load(Ordering::Relaxed),
         pool_inline_runs: POOL_INLINE_RUNS.load(Ordering::Relaxed),
+        pool_inline_ns: POOL_INLINE_NS.load(Ordering::Relaxed),
         gemm_calls: GEMM_CALLS.load(Ordering::Relaxed),
         gemm_pack_ns: GEMM_PACK_NS.load(Ordering::Relaxed),
         gemm_compute_ns: GEMM_COMPUTE_NS.load(Ordering::Relaxed),
         fft_grids: FFT_GRIDS.load(Ordering::Relaxed),
         fft_lines: FFT_LINES.load(Ordering::Relaxed),
         fft_ns: FFT_NS.load(Ordering::Relaxed),
+        comm_collectives: COMM_COLLECTIVES.load(Ordering::Relaxed),
         comm_faults: COMM_FAULTS.load(Ordering::Relaxed),
         comm_retries: COMM_RETRIES.load(Ordering::Relaxed),
         comm_crashes: COMM_CRASHES.load(Ordering::Relaxed),
@@ -150,42 +297,47 @@ pub fn snapshot() -> CounterSnapshot {
         ckpt_writes: CKPT_WRITES.load(Ordering::Relaxed),
         ckpt_reads: CKPT_READS.load(Ordering::Relaxed),
         ckpt_bytes: CKPT_BYTES.load(Ordering::Relaxed),
+        delta_underflows: 0,
     }
 }
 
-/// Resets every counter to zero (benchmark harness convenience; racing
-/// writers are not a correctness problem, only an accounting smear).
-pub fn reset() {
-    POOL_DISPATCHES.store(0, Ordering::Relaxed);
-    POOL_PARALLEL_NS.store(0, Ordering::Relaxed);
-    POOL_INLINE_RUNS.store(0, Ordering::Relaxed);
-    GEMM_CALLS.store(0, Ordering::Relaxed);
-    GEMM_PACK_NS.store(0, Ordering::Relaxed);
-    GEMM_COMPUTE_NS.store(0, Ordering::Relaxed);
-    FFT_GRIDS.store(0, Ordering::Relaxed);
-    FFT_LINES.store(0, Ordering::Relaxed);
-    FFT_NS.store(0, Ordering::Relaxed);
-    COMM_FAULTS.store(0, Ordering::Relaxed);
-    COMM_RETRIES.store(0, Ordering::Relaxed);
-    COMM_CRASHES.store(0, Ordering::Relaxed);
-    COMM_SHRINKS.store(0, Ordering::Relaxed);
-    COMM_RECOVERY_NS.store(0, Ordering::Relaxed);
-    CKPT_WRITES.store(0, Ordering::Relaxed);
-    CKPT_READS.store(0, Ordering::Relaxed);
-    CKPT_BYTES.store(0, Ordering::Relaxed);
+static EXCLUSIVE: Mutex<()> = Mutex::new(());
+
+/// Serializes counter-sensitive test/benchmark sections.
+///
+/// `cargo test` runs tests of one binary on several threads; two tests
+/// that bracket pool/GEMM work with snapshot pairs and assert *upper
+/// bounds* (or equalities) on the delta race each other — the other
+/// test's work lands inside this test's bracket. Holding this guard for
+/// the duration of the bracketed section removes the interleaving without
+/// any global reset. Lower-bound (`>=`) assertions don't need it:
+/// concurrent work only adds. The guard recovers from poisoning, so one
+/// panicking test does not cascade.
+pub fn exclusive_test_guard() -> MutexGuard<'static, ()> {
+    EXCLUSIVE.lock().unwrap_or_else(|e| e.into_inner())
 }
 
-/// Records one pooled parallel region of `ns` nanoseconds.
+/// Records one pooled parallel region whose dispatch overhead (publish +
+/// wakeup + quiesce wait, body time excluded) was `overhead_ns`.
 #[inline]
-pub fn record_pool_dispatch(ns: u64) {
+pub fn record_pool_dispatch(overhead_ns: u64) {
     POOL_DISPATCHES.fetch_add(1, Ordering::Relaxed);
-    POOL_PARALLEL_NS.fetch_add(ns, Ordering::Relaxed);
+    POOL_DISPATCH_NS.fetch_add(overhead_ns, Ordering::Relaxed);
 }
 
-/// Records one inline (non-pooled) parallel call.
+/// Adds one participant's exclusive region-body time (nested inline
+/// parallel calls already subtracted by the caller).
 #[inline]
-pub fn record_pool_inline() {
+pub fn record_pool_region_ns(ns: u64) {
+    POOL_REGION_NS.fetch_add(ns, Ordering::Relaxed);
+}
+
+/// Records one inline (non-pooled) parallel call of exclusive duration
+/// `ns` (nested inline calls subtracted by the caller).
+#[inline]
+pub fn record_pool_inline(ns: u64) {
     POOL_INLINE_RUNS.fetch_add(1, Ordering::Relaxed);
+    POOL_INLINE_NS.fetch_add(ns, Ordering::Relaxed);
 }
 
 /// Records one blocked-family ZGEMM invocation.
@@ -213,6 +365,12 @@ pub fn record_fft_pass(lines: u64, ns: u64) {
     FFT_GRIDS.fetch_add(1, Ordering::Relaxed);
     FFT_LINES.fetch_add(lines, Ordering::Relaxed);
     FFT_NS.fetch_add(ns, Ordering::Relaxed);
+}
+
+/// Records one slot-rendezvous collective entered by a rank.
+#[inline]
+pub fn record_comm_collective() {
+    COMM_COLLECTIVES.fetch_add(1, Ordering::Relaxed);
 }
 
 /// Records one injected communicator fault event.
@@ -263,11 +421,13 @@ mod tests {
     fn snapshot_deltas_reflect_records() {
         let before = snapshot();
         record_pool_dispatch(1000);
-        record_pool_inline();
+        record_pool_region_ns(4000);
+        record_pool_inline(200);
         record_gemm_call();
         record_gemm_pack_ns(10);
         record_gemm_compute_ns(20);
         record_fft_pass(48, 30);
+        record_comm_collective();
         record_comm_fault();
         record_comm_retry();
         record_comm_crash();
@@ -277,18 +437,24 @@ mod tests {
         let after = snapshot();
         let d = before.delta(&after);
         assert!(d.pool_dispatches >= 1);
-        assert!(d.pool_parallel_ns >= 1000);
+        assert!(d.pool_dispatch_ns >= 1000);
+        assert!(d.pool_region_ns >= 4000);
         assert!(d.pool_inline_runs >= 1);
+        assert!(d.pool_inline_ns >= 200);
         assert!(d.gemm_calls >= 1);
         assert!(d.gemm_pack_ns >= 10);
         assert!(d.gemm_compute_ns >= 20);
         assert!(d.gemm_pack_seconds() > 0.0);
         assert!(d.gemm_compute_seconds() > 0.0);
-        assert!(d.pool_parallel_seconds() > 0.0);
+        assert!(d.pool_dispatch_seconds() > 0.0);
+        assert!(d.pool_region_seconds() > 0.0);
+        assert!(d.pool_inline_seconds() > 0.0);
+        assert!(d.pool_total_seconds() > 0.0);
         assert!(d.fft_grids >= 1);
         assert!(d.fft_lines >= 48);
         assert!(d.fft_ns >= 30);
         assert!(d.fft_seconds() > 0.0);
+        assert!(d.comm_collectives >= 1);
         assert!(d.comm_faults >= 1);
         assert!(d.comm_retries >= 1);
         assert!(d.comm_crashes >= 1);
@@ -298,5 +464,80 @@ mod tests {
         assert!(d.ckpt_writes >= 1);
         assert!(d.ckpt_reads >= 1);
         assert!(d.ckpt_bytes >= 128);
+        assert_eq!(d.delta_underflows, 0);
+    }
+
+    #[test]
+    fn delta_checked_counts_monotonicity_violations() {
+        let earlier = CounterSnapshot {
+            gemm_calls: 10,
+            fft_ns: 500,
+            ..Default::default()
+        };
+        let later = CounterSnapshot {
+            gemm_calls: 7, // went backwards
+            fft_ns: 400,   // went backwards
+            ckpt_bytes: 3,
+            ..Default::default()
+        };
+        let (d, underflows) = earlier.delta_checked(&later);
+        assert_eq!(underflows, 2);
+        assert_eq!(d.delta_underflows, 2);
+        assert_eq!(d.gemm_calls, 0, "clamped, but counted");
+        assert_eq!(d.fft_ns, 0);
+        assert_eq!(d.ckpt_bytes, 3, "forward fields still differenced");
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "went backwards"))]
+    fn delta_asserts_on_underflow_in_debug() {
+        let earlier = CounterSnapshot {
+            gemm_calls: 10,
+            ..Default::default()
+        };
+        let later = CounterSnapshot::default();
+        let d = earlier.delta(&later);
+        // Release builds reach here and surface the violation as data.
+        assert_eq!(d.delta_underflows, 1);
+    }
+
+    #[test]
+    fn accumulate_sums_fields() {
+        let mut a = CounterSnapshot {
+            gemm_calls: 2,
+            delta_underflows: 1,
+            ..Default::default()
+        };
+        let b = CounterSnapshot {
+            gemm_calls: 3,
+            pool_region_ns: 7,
+            ..Default::default()
+        };
+        a.accumulate(&b);
+        assert_eq!(a.gemm_calls, 5);
+        assert_eq!(a.pool_region_ns, 7);
+        assert_eq!(a.delta_underflows, 1);
+    }
+
+    #[test]
+    fn field_visitor_roundtrip() {
+        let a = CounterSnapshot {
+            pool_dispatches: 1,
+            gemm_pack_ns: 2,
+            ckpt_bytes: 3,
+            delta_underflows: 4,
+            ..Default::default()
+        };
+        let mut b = CounterSnapshot::default();
+        let mut n_fields = 0;
+        a.for_each_field(|name, value| {
+            assert!(b.set_field(name, value), "unknown field {name}");
+            n_fields += 1;
+        });
+        assert_eq!(a, b);
+        assert_eq!(n_fields, 21, "visitor must cover every field");
+        assert!(!b.set_field("no_such_counter", 1));
+        assert!(CounterSnapshot::default().is_zero());
+        assert!(!a.is_zero());
     }
 }

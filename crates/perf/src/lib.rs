@@ -17,6 +17,7 @@ pub mod machine;
 pub mod report;
 pub mod roofline;
 pub mod timemodel;
+pub mod validate;
 
 pub use counters::CounterSnapshot;
 pub use epsilonmodel::{epsilon_time, epsilon_weak_scaling, EpsilonTimes, EpsilonWorkload};
@@ -28,3 +29,4 @@ pub use timemodel::{
     sigma_time, strong_scaling, weak_scaling, Efficiencies, Kernel, ScalingPoint, SigmaWorkload,
     TimeBreakdown,
 };
+pub use validate::{ModelCheck, ValidationTable};

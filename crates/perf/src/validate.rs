@@ -1,0 +1,170 @@
+//! Model-versus-measurement validation tables.
+//!
+//! The paper validates its FLOP-count models (Eqs. 7-8) against profiler
+//! measurements on Frontier and Aurora (Table 3, "accuracy" column). This
+//! module is the reproduction's version of that check: each
+//! [`ModelCheck`] pairs a model prediction with a runtime measurement
+//! (counted FLOPs from the kernels, span times from `bgw-trace`), and a
+//! [`ValidationTable`] renders the comparison and gates on the worst
+//! percent error — so a perf regression that silently changes what a
+//! kernel *does* (rather than how fast it does it) fails the bench gate
+//! instead of sliding through.
+
+use crate::report::Table;
+
+/// One prediction-versus-measurement comparison row.
+#[derive(Clone, Debug)]
+pub struct ModelCheck {
+    /// Row label, e.g. `"gpp_diag_flops vs counted"`.
+    pub name: String,
+    /// Model prediction (FLOPs, seconds, ...).
+    pub predicted: f64,
+    /// Runtime measurement in the same unit.
+    pub measured: f64,
+    /// Whether this row participates in the pass/fail gate. Ungated rows
+    /// are informational: comparisons where the model is only expected to
+    /// track, not match (e.g. alpha calibrated on a different workload
+    /// shape).
+    pub gated: bool,
+}
+
+impl ModelCheck {
+    /// Absolute percent error of the measurement relative to the
+    /// prediction. A zero prediction with a nonzero measurement is an
+    /// infinite error; zero against zero is exact.
+    pub fn pct_err(&self) -> f64 {
+        if self.predicted == 0.0 {
+            if self.measured == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            ((self.measured - self.predicted) / self.predicted).abs() * 100.0
+        }
+    }
+}
+
+/// A set of [`ModelCheck`] rows with a shared gate threshold.
+#[derive(Clone, Debug)]
+pub struct ValidationTable {
+    /// Gated rows fail the table when their error exceeds this (percent).
+    pub threshold_pct: f64,
+    /// Comparison rows in insertion order.
+    pub rows: Vec<ModelCheck>,
+}
+
+impl ValidationTable {
+    /// Creates an empty table gating at `threshold_pct` percent error.
+    pub fn new(threshold_pct: f64) -> Self {
+        Self {
+            threshold_pct,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds a gated comparison row.
+    pub fn check(&mut self, name: &str, predicted: f64, measured: f64) {
+        self.rows.push(ModelCheck {
+            name: name.to_string(),
+            predicted,
+            measured,
+            gated: true,
+        });
+    }
+
+    /// Adds an informational (ungated) comparison row.
+    pub fn info(&mut self, name: &str, predicted: f64, measured: f64) {
+        self.rows.push(ModelCheck {
+            name: name.to_string(),
+            predicted,
+            measured,
+            gated: false,
+        });
+    }
+
+    /// Largest percent error among gated rows (0 when none are gated).
+    pub fn worst_gated_err(&self) -> f64 {
+        self.rows
+            .iter()
+            .filter(|r| r.gated)
+            .map(|r| r.pct_err())
+            .fold(0.0, f64::max)
+    }
+
+    /// True when every gated row is within the threshold.
+    pub fn pass(&self) -> bool {
+        self.worst_gated_err() <= self.threshold_pct
+    }
+
+    /// Renders the comparison as a fixed-width table; gated rows carry a
+    /// `PASS`/`FAIL` verdict, informational rows show `info`.
+    pub fn render(&self, title: &str) -> String {
+        let mut t = Table::new(
+            title,
+            &["check", "predicted", "measured", "err_pct", "verdict"],
+        );
+        for r in &self.rows {
+            let verdict = if !r.gated {
+                "info".to_string()
+            } else if r.pct_err() <= self.threshold_pct {
+                "PASS".to_string()
+            } else {
+                "FAIL".to_string()
+            };
+            t.row(&[
+                r.name.clone(),
+                format!("{:.6e}", r.predicted),
+                format!("{:.6e}", r.measured),
+                format!("{:.3}", r.pct_err()),
+                verdict,
+            ]);
+        }
+        t.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_err_edge_cases() {
+        let exact = ModelCheck {
+            name: "x".into(),
+            predicted: 0.0,
+            measured: 0.0,
+            gated: true,
+        };
+        assert_eq!(exact.pct_err(), 0.0);
+        let inf = ModelCheck {
+            name: "x".into(),
+            predicted: 0.0,
+            measured: 1.0,
+            gated: true,
+        };
+        assert!(inf.pct_err().is_infinite());
+        let off = ModelCheck {
+            name: "x".into(),
+            predicted: 100.0,
+            measured: 97.0,
+            gated: true,
+        };
+        assert!((off.pct_err() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gate_uses_only_gated_rows() {
+        let mut v = ValidationTable::new(5.0);
+        v.check("close", 100.0, 104.0);
+        v.info("far", 100.0, 250.0);
+        assert!(v.pass());
+        assert!((v.worst_gated_err() - 4.0).abs() < 1e-12);
+        v.check("too far", 100.0, 90.0);
+        assert!(!v.pass());
+        let s = v.render("validation");
+        assert!(s.contains("PASS"));
+        assert!(s.contains("FAIL"));
+        assert!(s.contains("info"));
+    }
+}

@@ -95,6 +95,7 @@ pub fn solve_bands_from_h(
     sph: &GSphere,
     n_bands: usize,
 ) -> Wavefunctions {
+    let _span = bgw_trace::span!("pwdft.solve_bands");
     let n_g = sph.len();
     let keep = n_bands.min(n_g);
     let n_valence = crystal.n_valence_bands();

@@ -20,6 +20,8 @@
 //!   for the incl.-I/O experiments).
 //! - [`dist`]: distributed dense linear algebra (row-block matrices,
 //!   distributed GEMM, Newton-Schulz inversion — the ScaLAPACK substrate).
+//! - [`trace`]: hierarchical span tracing and machine-readable run reports
+//!   that cross-validate the paper's FLOP models (Table 3).
 
 pub use bgw_comm as comm;
 pub use bgw_core as core;
@@ -31,3 +33,4 @@ pub use bgw_num as num;
 pub use bgw_par as par;
 pub use bgw_perf as perf;
 pub use bgw_pwdft as pwdft;
+pub use bgw_trace as trace;

@@ -1,0 +1,177 @@
+//! Golden-file and FLOP-model validation tests for the `bgw-trace` run
+//! report (DESIGN.md Sec. 11).
+//!
+//! The golden test pins the `bgw-trace/1` JSON encoding byte for byte —
+//! field order, indentation, the nonzero-counters-only rule — so the
+//! format cannot drift silently out from under external consumers. The
+//! model tests assert the paper's Eq. 7 FLOP count (`gpp_diag_flops`)
+//! reproduces the kernel's own counted FLOPs *exactly* on a tiny
+//! deterministic workload, including when `alpha` is calibrated on one
+//! workload shape and used to predict another.
+
+use berkeleygw_rs::core::sigma::diag::{gpp_sigma_diag, measured_alpha, KernelVariant};
+use berkeleygw_rs::core::testkit;
+use berkeleygw_rs::perf::counters::exclusive_test_guard;
+use berkeleygw_rs::perf::{gpp_diag_flops, CounterSnapshot};
+use berkeleygw_rs::trace;
+use berkeleygw_rs::trace::{RunReport, SpanNode};
+
+const GOLDEN: &str = include_str!("golden/trace_report.json");
+
+/// A hand-built report with fixed integers: span trees from real runs
+/// carry nondeterministic times, so the byte-stability check uses a
+/// synthetic tree exercising every encoding rule (nested children,
+/// zero-suppressed counters, escaping-free names, empty child lists).
+fn golden_report() -> RunReport {
+    let gemm_counters = CounterSnapshot {
+        gemm_calls: 3,
+        gemm_pack_ns: 1_200,
+        gemm_compute_ns: 8_400,
+        ..CounterSnapshot::default()
+    };
+    let pool_counters = CounterSnapshot {
+        pool_dispatches: 1,
+        pool_dispatch_ns: 52_000,
+        pool_region_ns: 410_000,
+        ..CounterSnapshot::default()
+    };
+    RunReport::new(vec![SpanNode {
+        name: "workflow.gpp_gw".to_string(),
+        calls: 1,
+        incl_ns: 2_000_000,
+        excl_ns: 150_000,
+        flops: 0,
+        counters: pool_counters,
+        children: vec![
+            SpanNode {
+                name: "gemm".to_string(),
+                calls: 3,
+                incl_ns: 450_000,
+                excl_ns: 440_000,
+                flops: 1_228_800,
+                counters: gemm_counters,
+                children: vec![SpanNode {
+                    name: "gemm.pack".to_string(),
+                    calls: 3,
+                    incl_ns: 10_000,
+                    excl_ns: 10_000,
+                    flops: 0,
+                    counters: CounterSnapshot::default(),
+                    children: Vec::new(),
+                }],
+            },
+            SpanNode {
+                name: "sigma.diag".to_string(),
+                calls: 1,
+                incl_ns: 1_400_000,
+                excl_ns: 1_400_000,
+                flops: 60_480,
+                counters: CounterSnapshot::default(),
+                children: Vec::new(),
+            },
+        ],
+    }])
+}
+
+#[test]
+fn golden_json_is_byte_stable() {
+    assert_eq!(
+        golden_report().to_json(),
+        GOLDEN,
+        "bgw-trace/1 JSON encoding drifted from tests/golden/trace_report.json"
+    );
+}
+
+#[test]
+fn golden_json_round_trips_through_parser() {
+    let parsed = RunReport::from_json(GOLDEN).expect("golden parses");
+    assert_eq!(parsed, golden_report());
+    // And the re-serialization is the identical byte stream (schema
+    // round trip, not just structural equality).
+    assert_eq!(parsed.to_json(), GOLDEN);
+}
+
+#[test]
+fn golden_preserves_derived_quantities() {
+    let rep = RunReport::from_json(GOLDEN).expect("golden parses");
+    let root = rep.find("workflow.gpp_gw").expect("root span");
+    assert_eq!(root.inclusive_flops(), 1_228_800 + 60_480);
+    assert_eq!(
+        rep.find("workflow.gpp_gw/gemm")
+            .unwrap()
+            .counters
+            .gemm_calls,
+        3
+    );
+    // Zero counters were suppressed in the file but restored as zeros.
+    assert_eq!(
+        rep.find("workflow.gpp_gw/sigma.diag").unwrap().counters,
+        CounterSnapshot::default()
+    );
+}
+
+#[test]
+fn gpp_diag_model_matches_counted_flops_exactly() {
+    let _guard = exclusive_test_guard();
+    let (ctx, _) = testkit::small_context();
+    let grids: Vec<Vec<f64>> = ctx
+        .sigma_energies
+        .iter()
+        .map(|&e| vec![e - 0.05, e, e + 0.05])
+        .collect();
+    let r = gpp_sigma_diag(&ctx, &grids, KernelVariant::Optimized);
+    let alpha = measured_alpha(&r, &ctx);
+    let predicted = gpp_diag_flops(alpha, ctx.n_sigma(), ctx.n_b(), ctx.n_g(), 3);
+    let err = (predicted - r.flops as f64).abs() / predicted;
+    assert!(
+        err < 1e-12,
+        "Eq. 7 must reproduce the counted FLOPs exactly: {predicted} vs {}",
+        r.flops
+    );
+}
+
+#[test]
+fn gpp_diag_model_transfers_across_workloads() {
+    let _guard = exclusive_test_guard();
+    let (ctx, _) = testkit::small_context();
+    // Calibrate alpha on a 1-point grid...
+    let grids1: Vec<Vec<f64>> = ctx.sigma_energies.iter().map(|&e| vec![e]).collect();
+    let cal = gpp_sigma_diag(&ctx, &grids1, KernelVariant::Reference);
+    let alpha = measured_alpha(&cal, &ctx);
+    // ...and predict a 5-point grid: alpha depends only on the GPP pole
+    // structure, so the Eq. 7 prediction is exact, not just close.
+    let grids5: Vec<Vec<f64>> = ctx
+        .sigma_energies
+        .iter()
+        .map(|&e| vec![e - 0.2, e - 0.1, e, e + 0.1, e + 0.2])
+        .collect();
+    let r = gpp_sigma_diag(&ctx, &grids5, KernelVariant::Blocked);
+    let predicted = gpp_diag_flops(alpha, ctx.n_sigma(), ctx.n_b(), ctx.n_g(), 5);
+    let err = (predicted - r.flops as f64).abs() / predicted;
+    assert!(
+        err < 1e-12,
+        "cross-workload Eq. 7 drifted: predicted {predicted}, counted {}",
+        r.flops
+    );
+}
+
+#[test]
+fn traced_kernel_attributes_its_counted_flops_to_the_span() {
+    let _guard = exclusive_test_guard();
+    let (ctx, _) = testkit::small_context();
+    let grids: Vec<Vec<f64>> = ctx.sigma_energies.iter().map(|&e| vec![e]).collect();
+    trace::reset();
+    trace::set_enabled(true);
+    let r = gpp_sigma_diag(&ctx, &grids, KernelVariant::Optimized);
+    trace::set_enabled(false);
+    let rep = trace::report();
+    let span = rep.find("sigma.diag").expect("sigma.diag span recorded");
+    assert_eq!(span.calls, 1);
+    assert_eq!(
+        span.inclusive_flops(),
+        r.flops,
+        "the span must carry exactly the kernel's counted FLOPs"
+    );
+    assert!(span.incl_ns > 0 && span.excl_ns <= span.incl_ns);
+    trace::reset();
+}

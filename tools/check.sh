@@ -8,6 +8,9 @@
 #   tools/check.sh            full gate (build, tests, fmt, clippy, smokes)
 #   tools/check.sh --faults   fault-injection smoke only (builds the bin
 #                             first if needed)
+#   tools/check.sh --trace    traced-GPP smoke only: span tree + run
+#                             report, FLOP-model validation (< 5% error)
+#                             and disabled-tracing overhead (< 2%) gates
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -24,14 +27,40 @@ run_faults_smoke() {
     ./target/release/faults_smoke
 }
 
+run_trace_smoke() {
+    echo "==> trace smoke: span tree, run report, FLOP-model + overhead gates"
+    # Traced GPP pipeline on bulk Si. Gates: (1) the paper's Eq. 7/8 FLOP
+    # models reproduce the kernels' counted FLOPs within 5% (Eq. 7 with
+    # alpha calibrated on a *different* workload shape), (2) the FLOPs
+    # attributed to the sigma.diag span equal the kernel's own count, and
+    # (3) the runtime-disabled span overhead stays under 2% of the
+    # untraced wall time. Run in a temp dir so the smoke-sized JSON never
+    # clobbers committed numbers.
+    root=$(pwd)
+    tracedir=$(mktemp -d)
+    (cd "$tracedir" && "$root/target/release/trace_smoke")
+    rm -rf "$tracedir"
+}
+
 if [ "${1:-}" = "--faults" ]; then
     cargo build --release -p bgw-bench --bin faults_smoke
     run_faults_smoke
     exit 0
 fi
 
+if [ "${1:-}" = "--trace" ]; then
+    cargo build --release -p bgw-bench --bin trace_smoke
+    run_trace_smoke
+    exit 0
+fi
+
 echo "==> cargo build --release --workspace"
 cargo build --release --workspace
+
+echo "==> cargo build --no-default-features (span tracing compiled out)"
+# The spans feature chain must stay severable: the root package without
+# default features compiles bgw-trace's inert stubs into the whole tree.
+cargo build --release -p berkeleygw-rs --no-default-features
 
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
@@ -53,5 +82,7 @@ smokedir=$(mktemp -d)
 rm -rf "$smokedir"
 
 run_faults_smoke
+
+run_trace_smoke
 
 echo "==> all checks passed"
