@@ -34,7 +34,8 @@ fn main() {
     // Full-basis finite-frequency chi (the expensive reference path).
     let mut tm_full = ChiTimings::default();
     let chis = engine.chi_freqs_subset(&nodes_q, None, &mut tm_full);
-    let eps_ff = EpsilonInverse::build(&chis, &nodes_q, &setup.coulomb, &setup.eps_sph);
+    let eps_ff = EpsilonInverse::build(&chis, &nodes_q, &setup.coulomb, &setup.eps_sph)
+        .expect("dielectric matrix must be invertible");
     let grids: Vec<Vec<f64>> = ctx.sigma_energies.iter().map(|&e| vec![e]).collect();
     let (full_sigma, _) = timed(|| ff_sigma_diag(ctx, &eps_ff, &weights, &grids, 0.05));
 

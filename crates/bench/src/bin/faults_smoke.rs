@@ -17,7 +17,7 @@
 //! Any violated gate aborts with a nonzero exit so CI catches it.
 
 use bgw_comm::{try_run_world, CommError, FaultPlan, WorldReport};
-use bgw_core::resilient::ResilientGwReport;
+use bgw_core::resilient::{ResilientError, ResilientGwReport};
 use bgw_core::run_gpp_gw_resilient;
 use bgw_core::workflow::GwConfig;
 use bgw_pwdft::{si_bulk, ModelSystem};
@@ -53,7 +53,12 @@ fn resilient_run(plan: FaultPlan) -> WorldReport<ResilientGwReport> {
     let sys = small_system();
     let cfg = GwConfig::default();
     try_run_world(WORLD, plan, move |comm| {
-        run_gpp_gw_resilient(&sys, &cfg, comm)
+        run_gpp_gw_resilient(&sys, &cfg, comm).map_err(|e| match e {
+            ResilientError::Comm(c) => c,
+            // The smoke systems are well-conditioned; a singular epsilon
+            // here is a bug, not a scenario.
+            ResilientError::Epsilon(eps) => panic!("unexpected epsilon failure: {eps}"),
+        })
     })
 }
 

@@ -33,7 +33,8 @@ fn main() {
     };
     let engine = ChiEngine::new(&setup.wf, &mtxel, cfg);
     let (chis, _) = engine.chi_freqs(&nodes_q);
-    let eps_ff = EpsilonInverse::build(&chis, &nodes_q, &setup.coulomb, &setup.eps_sph);
+    let eps_ff = EpsilonInverse::build(&chis, &nodes_q, &setup.coulomb, &setup.eps_sph)
+        .expect("dielectric matrix must be invertible");
     let grids: Vec<Vec<f64>> = setup
         .ctx
         .sigma_energies

@@ -54,7 +54,8 @@ pub fn build_setup(system: ModelSystem, n_sigma: usize) -> BenchSetup {
     };
     let engine = ChiEngine::new(&wf, &mtxel, cfg);
     let chi0 = engine.chi_static();
-    let eps_inv = EpsilonInverse::build(std::slice::from_ref(&chi0), &[0.0], &coulomb, &eps_sph);
+    let eps_inv = EpsilonInverse::build(std::slice::from_ref(&chi0), &[0.0], &coulomb, &eps_sph)
+        .expect("dielectric matrix must be invertible");
     let rho = charge_density_g(&wf, &wfn_sph);
     let gpp = GppModel::new(
         &eps_inv,

@@ -13,6 +13,7 @@
 //! and the finite-frequency passes (CHI-Freq) differ only in the energy
 //! denominator `Delta_vc(omega)`.
 
+use crate::epsilon::is_static_freq;
 use crate::mtxel::Mtxel;
 use bgw_linalg::{zgemm, CMatrix, GemmBackend, Op};
 use bgw_num::{c64, Complex64};
@@ -166,7 +167,11 @@ impl<'a> ChiEngine<'a> {
             let mut deltas = vec![Complex64::ZERO; panel.nrows()];
             for (wi, &omega) in omegas.iter().enumerate() {
                 let t1 = Instant::now();
-                let eta = if omega == 0.0 { 0.0 } else { self.cfg.eta_ry };
+                let eta = if is_static_freq(omega) {
+                    0.0
+                } else {
+                    self.cfg.eta_ry
+                };
                 for (i, &v) in chunk.iter().enumerate() {
                     for c in 0..nc {
                         deltas[i * nc + c] = delta_vc(
@@ -198,7 +203,7 @@ impl<'a> ChiEngine<'a> {
                 );
                 timings.flops += bgw_linalg::zgemm_flops(ng, panel.nrows(), ng);
                 let dt = t1.elapsed().as_secs_f64();
-                if omega == 0.0 {
+                if is_static_freq(omega) {
                     timings.t_chi0 += dt;
                 } else {
                     timings.t_chifreq += dt;
@@ -261,7 +266,11 @@ impl<'a> ChiEngine<'a> {
             let mut scaled = CMatrix::zeros(projected.nrows(), n_eig);
             let mut deltas = vec![Complex64::ZERO; projected.nrows()];
             for (wi, &omega) in omegas.iter().enumerate() {
-                let eta = if omega == 0.0 { 0.0 } else { self.cfg.eta_ry };
+                let eta = if is_static_freq(omega) {
+                    0.0
+                } else {
+                    self.cfg.eta_ry
+                };
                 for (i, &v) in chunk.iter().enumerate() {
                     for c in 0..nc {
                         deltas[i * nc + c] = delta_vc(
@@ -424,6 +433,20 @@ mod tests {
         let d = delta_vc(-0.5, 0.3, 0.0, 0.0);
         assert!(d.im.abs() < 1e-15);
         assert!((d.re - 2.0 / (-0.8)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_zero_selects_the_static_eta_path() {
+        let (wfn, eps, wf) = setup();
+        let mtxel = Mtxel::new(&wfn, &eps);
+        let engine = ChiEngine::new(&wf, &mtxel, ChiConfig::default());
+        // -0.0 is the static point: identical matrix, eta = 0 branch.
+        let (chis, _) = engine.chi_freqs(&[0.0, -0.0]);
+        assert_eq!(chis[0].max_abs_diff(&chis[1]), 0.0);
+        // A tiny finite offset takes the broadened-eta branch, so the
+        // result differs from CHI-0 (eta enters the denominator).
+        let (chi_off, _) = engine.chi_freqs(&[1e-12]);
+        assert!(chi_off[0].max_abs_diff(&chis[0]) > 0.0);
     }
 
     #[test]

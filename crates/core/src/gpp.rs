@@ -206,7 +206,8 @@ mod tests {
         let mtxel = Mtxel::new(&wfn, &eps_sph);
         let engine = ChiEngine::new(&wf, &mtxel, ChiConfig::default());
         let chi0 = engine.chi_static();
-        let eps = EpsilonInverse::build(&[chi0], &[0.0], &Coulomb::bulk(), &eps_sph);
+        let eps = EpsilonInverse::build(&[chi0], &[0.0], &Coulomb::bulk(), &eps_sph)
+            .expect("dielectric matrix must be invertible");
         let rho = charge_density_g(&wf, &wfn);
         let vol = c.lattice.volume();
         let gpp = GppModel::new(&eps, &eps_sph, &wfn, &rho, vol);
@@ -286,7 +287,8 @@ mod tests {
             .chi_freqs_subset(&[1e-12], None, &mut t)
             .pop()
             .unwrap();
-        let eps_iu = EpsilonInverse::build(&[chi_iu], &[0.0], &coulomb, &eps_sph);
+        let eps_iu = EpsilonInverse::build(&[chi_iu], &[0.0], &coulomb, &eps_sph)
+            .expect("dielectric matrix must be invertible");
         let gn = godby_needs(&eps, &CMatrixRef(&eps_iu.inv[0]), u_pp);
         // static limit identical wherever both poles are active
         let mut compared = 0;

@@ -44,20 +44,24 @@ pub use cohsex::{cohsex_sigma, CohsexValue};
 pub use convergence::{sweep_bands, sweep_eps_cutoff, ConvergenceStudy};
 pub use coulomb::Coulomb;
 pub use dyson::{solve_qp_diag, solve_qp_full, QpState};
-pub use epsilon::EpsilonInverse;
+pub use epsilon::{is_static_freq, EpsilonError, EpsilonInverse};
 pub use gpp::{godby_needs, GppModel};
 pub use gwpt::{gwpt_for_perturbation, GwptResult};
 pub use mtxel::{BandCache, Mtxel};
 pub use params::GwParams;
 pub use pseudobands::{chebyshev_pseudoband, compress, Pseudobands, PseudobandsConfig};
 pub use resilient::{
-    run_gpp_gw_resilient, with_recovery, CommCursor, ResilientGwReport, MAX_RECOVERIES,
+    run_gpp_gw_resilient, with_recovery, CommCursor, ResilientError, ResilientGwReport,
+    MAX_RECOVERIES,
 };
 pub use restart::{
     run_evgw_checkpointed, run_gpp_gw_checkpointed, CheckpointPolicy, GwStage, RestartError,
 };
 pub use sigma::diag::{gpp_sigma_diag, KernelVariant, SigmaDiagResult};
-pub use sigma::fullfreq::{ff_sigma_diag, ff_sigma_diag_subspace, SigmaFfResult};
+pub use sigma::fullfreq::{
+    ff_sigma_diag, ff_sigma_diag_serial, ff_sigma_diag_subspace, ff_sigma_diag_subspace_serial,
+    SigmaFfResult,
+};
 pub use sigma::imagaxis::{imag_axis_sigma_diag, SigmaImagAxisResult};
 pub use sigma::offdiag::{gpp_sigma_offdiag, gpp_sigma_offdiag_distributed, SigmaOffdiagResult};
 pub use sigma::SigmaContext;

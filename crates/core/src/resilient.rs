@@ -17,6 +17,7 @@
 use crate::chi::{try_chi_distributed, ChiConfig};
 use crate::coulomb::Coulomb;
 use crate::dyson::{qp_gap, solve_qp_diag, QpState};
+use crate::epsilon::EpsilonError;
 use crate::gpp::GppModel;
 use crate::mtxel::Mtxel;
 use crate::sigma::diag::try_gpp_sigma_diag_distributed;
@@ -29,6 +30,44 @@ use bgw_pwdft::{charge_density_g, solve_bands, ModelSystem};
 /// Most shrink-and-retry cycles one stage may consume before giving up
 /// with [`CommError::RecoveryExhausted`].
 pub const MAX_RECOVERIES: u32 = 8;
+
+/// How a resilient run fails: a communicator fault, or an application
+/// condition that no amount of shrink-and-retry can fix.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ResilientError {
+    /// A runtime fault of the simulated communicator (crash, exhausted
+    /// retries, corruption, poisoned world).
+    Comm(CommError),
+    /// The dielectric matrix is singular or non-finite — retrying on a
+    /// shrunken communicator would recompute the same matrix, so this is
+    /// reported as data instead of burning recovery cycles (or panicking
+    /// inside the Newton-Schulz iteration, which would poison the world
+    /// for every surviving rank).
+    Epsilon(EpsilonError),
+}
+
+impl std::fmt::Display for ResilientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResilientError::Comm(e) => write!(f, "communicator fault: {e:?}"),
+            ResilientError::Epsilon(e) => write!(f, "epsilon stage: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ResilientError {}
+
+impl From<CommError> for ResilientError {
+    fn from(e: CommError) -> Self {
+        ResilientError::Comm(e)
+    }
+}
+
+impl From<EpsilonError> for ResilientError {
+    fn from(e: EpsilonError) -> Self {
+        ResilientError::Epsilon(e)
+    }
+}
 
 /// Borrow-or-owned communicator cursor: starts out borrowing the world
 /// communicator handed to a rank closure and switches to owned shrunken
@@ -114,12 +153,14 @@ pub struct ResilientGwReport {
 /// energies agree to the iteration tolerance rather than bitwise). Under
 /// a seeded [`bgw_comm::FaultPlan`], surviving ranks recover and
 /// reproduce the *fault-free resilient* run's QP energies to 1e-10; the
-/// crashed rank gets its own typed error.
+/// crashed rank gets its own typed error. A singular dielectric matrix
+/// surfaces as [`ResilientError::Epsilon`] on every rank instead of a
+/// panic inside the distributed inversion.
 pub fn run_gpp_gw_resilient(
     system: &ModelSystem,
     cfg: &GwConfig,
     comm: &Comm,
-) -> Result<ResilientGwReport, CommError> {
+) -> Result<ResilientGwReport, ResilientError> {
     let mut cursor = CommCursor::new(comm);
     let wfn_sph = system.wfn_sphere();
     let eps_sph = system.eps_sphere();
@@ -139,7 +180,30 @@ pub fn run_gpp_gw_resilient(
     })?;
 
     // Epsilon: distributed Newton-Schulz inversion, replicated at the end.
+    // NS diverges (and asserts) on a singular matrix, so a rank-local LU
+    // factorization of the replicated eps~ screens for singularity first
+    // — every rank sees the same matrix, so every rank agrees on the typed
+    // error and no collective is left half-entered.
     let vsqrt = coulomb.sqrt_on_sphere(&eps_sph);
+    let eps_m = crate::epsilon::assemble_sym_eps(&chi0, &vsqrt);
+    if !eps_m
+        .as_slice()
+        .iter()
+        .all(|z| z.re.is_finite() && z.im.is_finite())
+    {
+        return Err(EpsilonError::NonFinite {
+            freq_index: 0,
+            omega: 0.0,
+        }
+        .into());
+    }
+    if bgw_linalg::Lu::new(&eps_m).is_err() {
+        return Err(EpsilonError::Singular {
+            freq_index: 0,
+            omega: 0.0,
+        }
+        .into());
+    }
     let inv = with_recovery(&mut cursor, |c| {
         let chi_dist = DistMatrix::from_replicated(c, &chi0);
         let (inv_dist, _iters) = try_invert_epsilon_distributed(c, &chi_dist, &vsqrt, 1e-12)?;

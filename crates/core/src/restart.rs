@@ -84,6 +84,11 @@ pub enum RestartError {
         /// Checkpoint writes completed before the abort.
         writes: usize,
     },
+    /// The dielectric matrix could not be inverted — an application
+    /// condition surfaced as data (the on-disk checkpoints up to the CHI
+    /// stage stay valid and resumable), not a panic that would discard
+    /// them.
+    Epsilon(crate::epsilon::EpsilonError),
 }
 
 impl std::fmt::Display for RestartError {
@@ -96,6 +101,7 @@ impl std::fmt::Display for RestartError {
                     "aborted after {writes} checkpoint writes (injected kill)"
                 )
             }
+            RestartError::Epsilon(e) => write!(f, "epsilon stage: {e}"),
         }
     }
 }
@@ -105,6 +111,12 @@ impl std::error::Error for RestartError {}
 impl From<IoError> for RestartError {
     fn from(e: IoError) -> Self {
         RestartError::Io(e)
+    }
+}
+
+impl From<crate::epsilon::EpsilonError> for RestartError {
+    fn from(e: crate::epsilon::EpsilonError) -> Self {
+        RestartError::Epsilon(e)
     }
 }
 
@@ -274,7 +286,7 @@ pub fn run_gpp_gw_checkpointed(
         Some(inv) => EpsilonInverse::from_parts(vec![0.0], vec![inv], vsqrt.clone()),
         None => {
             let t = Instant::now();
-            let built = EpsilonInverse::build(&[chi0], &[0.0], &coulomb, &eps_sph);
+            let built = EpsilonInverse::build(&[chi0], &[0.0], &coulomb, &eps_sph)?;
             timings.t_epsilon = t.elapsed().as_secs_f64();
             writer.write(&Checkpoint {
                 stage: GwStage::EpsilonDone as u64,
@@ -407,7 +419,7 @@ pub fn run_evgw_checkpointed(
         ..cfg.chi
     };
     let chi0 = ChiEngine::new(&wf, &mtxel, chi_cfg).chi_static();
-    let eps_inv = EpsilonInverse::build(&[chi0], &[0.0], &coulomb, &eps_sph);
+    let eps_inv = EpsilonInverse::build(&[chi0], &[0.0], &coulomb, &eps_sph)?;
     let rho = charge_density_g(&wf, &wfn_sph);
     let gpp = GppModel::new(
         &eps_inv,

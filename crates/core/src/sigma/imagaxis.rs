@@ -185,7 +185,8 @@ mod tests {
             chis.push(chi);
         }
         let _ = engine;
-        let eps = EpsilonInverse::build(&chis, &nodes, &setup.coulomb, &setup.eps_sph);
+        let eps = EpsilonInverse::build(&chis, &nodes, &setup.coulomb, &setup.eps_sph)
+            .expect("dielectric matrix must be invertible");
         (eps, weights)
     }
 

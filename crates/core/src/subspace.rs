@@ -182,6 +182,44 @@ mod tests {
     }
 
     #[test]
+    fn requested_rank_sweep_clamps_silently_and_stays_orthonormal() {
+        // `from_chi0_sym` clamps the requested rank into [1, n_g] instead
+        // of panicking or over-allocating: a zero request yields the
+        // single dominant mode, an oversized request yields the full
+        // basis, and every clamped result is internally consistent
+        // (orthonormal columns, eigenvalues aligned with the basis).
+        let (_, setup) = testkit::small_context();
+        let chi_sym = symmetrize(&setup.chi0, &setup.vsqrt);
+        let n_g = chi_sym.nrows();
+        for (req, want) in [
+            (0, 1),
+            (1, 1),
+            (n_g - 1, n_g - 1),
+            (n_g, n_g),
+            (n_g + 1, n_g),
+            (10 * n_g, n_g),
+            (usize::MAX, n_g),
+        ] {
+            let sub = Subspace::from_chi0_sym(&chi_sym, req);
+            assert_eq!(sub.n_eig(), want, "requested {req}");
+            assert_eq!(sub.n_g(), n_g, "requested {req}");
+            assert_eq!(sub.eigenvalues.len(), want, "requested {req}");
+            let overlap = matmul(
+                &sub.basis,
+                Op::Adj,
+                &sub.basis,
+                Op::None,
+                GemmBackend::Blocked,
+            );
+            assert!(
+                overlap.max_abs_diff(&CMatrix::identity(want)) < 1e-9,
+                "requested {req}: basis not orthonormal"
+            );
+            assert!(sub.fraction() > 0.0 && sub.fraction() <= 1.0);
+        }
+    }
+
+    #[test]
     fn projected_chi_freq_matches_full_within_truncation() {
         // Eq. 6: building chi(omega) in the subspace and reconstructing
         // approximates the full chi(omega), improving with N_Eig.

@@ -56,7 +56,8 @@ fn build() -> (SigmaContext, TestSetup) {
     };
     let engine = ChiEngine::new(&wf, &mtxel, chi_cfg);
     let (chis, _) = engine.chi_freqs(&[0.0, 1.5]);
-    let eps_inv = EpsilonInverse::build(&chis[..1], &[0.0], &coulomb, &eps_sph);
+    let eps_inv = EpsilonInverse::build(&chis[..1], &[0.0], &coulomb, &eps_sph)
+        .expect("dielectric matrix must be invertible");
     let rho = charge_density_g(&wf, &wfn_sph);
     let gpp = GppModel::new(&eps_inv, &eps_sph, &wfn_sph, &rho, volume);
     let vsqrt = coulomb.sqrt_on_sphere(&eps_sph);

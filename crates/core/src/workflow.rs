@@ -137,6 +137,7 @@ pub fn run_gpp_gw(system: &ModelSystem, cfg: &GwConfig) -> GwResults {
     let eps_inv = {
         let _s = bgw_trace::span!("workflow.epsilon");
         EpsilonInverse::build(&[chi0], &[0.0], &coulomb, &eps_sph)
+            .expect("dielectric matrix must be invertible")
     };
     let eps_macro = eps_inv.macroscopic_constant();
     timings.t_epsilon = t.elapsed().as_secs_f64();
@@ -232,7 +233,8 @@ pub fn run_evgw(system: &ModelSystem, cfg: &GwConfig, max_iter: usize, tol_ry: f
         ..cfg.chi
     };
     let chi0 = ChiEngine::new(&wf, &mtxel, chi_cfg).chi_static();
-    let eps_inv = EpsilonInverse::build(&[chi0], &[0.0], &coulomb, &eps_sph);
+    let eps_inv = EpsilonInverse::build(&[chi0], &[0.0], &coulomb, &eps_sph)
+        .expect("dielectric matrix must be invertible");
     let rho = charge_density_g(&wf, &wfn_sph);
     let gpp = GppModel::new(
         &eps_inv,
@@ -315,7 +317,8 @@ pub fn run_full_dyson_gw(system: &ModelSystem, cfg: &GwConfig, n_e: usize) -> Fu
         ..cfg.chi
     };
     let chi0 = ChiEngine::new(&wf, &mtxel, chi_cfg).chi_static();
-    let eps_inv = EpsilonInverse::build(&[chi0], &[0.0], &coulomb, &eps_sph);
+    let eps_inv = EpsilonInverse::build(&[chi0], &[0.0], &coulomb, &eps_sph)
+        .expect("dielectric matrix must be invertible");
     let rho = charge_density_g(&wf, &wfn_sph);
     let gpp = GppModel::new(
         &eps_inv,

@@ -146,6 +146,21 @@ pub fn zgemm_flops(m: usize, k: usize, n: usize) -> u64 {
     8 * m as u64 * k as u64 * n as u64
 }
 
+/// Conjugated dot product `sum_i conj(a_i) b_i`.
+///
+/// The row-wise contraction that closes ZGEMM-recast bilinear forms
+/// (`x^dagger B x = conj_dot(x, B x)`): after a batched `Y = X op(B)`,
+/// each form is one contiguous-row dot. Accumulates with
+/// [`Complex64::conj_mul_add`]; cost is 8 FLOPs per element.
+pub fn conj_dot(a: &[Complex64], b: &[Complex64]) -> Complex64 {
+    assert_eq!(a.len(), b.len(), "conj_dot length mismatch");
+    let mut acc = Complex64::ZERO;
+    for (&x, &y) in a.iter().zip(b) {
+        acc = acc.conj_mul_add(x, y);
+    }
+    acc
+}
+
 #[inline(always)]
 fn fetch(a: &CMatrix, op: Op, i: usize, j: usize) -> Complex64 {
     match op {
@@ -429,6 +444,34 @@ mod tests {
         assert_eq!(Op::None.shape((2, 3)), (2, 3));
         assert_eq!(Op::Trans.shape((2, 3)), (3, 2));
         assert_eq!(Op::Adj.shape((2, 3)), (3, 2));
+    }
+
+    #[test]
+    fn conj_dot_matches_scalar_bilinear_form() {
+        let x: Vec<Complex64> = (0..9)
+            .map(|i| c64(0.3 * i as f64, 1.0 - 0.2 * i as f64))
+            .collect();
+        let y: Vec<Complex64> = (0..9)
+            .map(|i| c64(-0.1 * i as f64, 0.05 * i as f64))
+            .collect();
+        let direct: Complex64 = x
+            .iter()
+            .zip(&y)
+            .fold(Complex64::ZERO, |acc, (&a, &b)| acc + a.conj() * b);
+        assert!((conj_dot(&x, &y) - direct).abs() < 1e-13);
+        // x^dagger B x through a GEMM row equals conj_dot(x, (B x^T-row)).
+        let b = CMatrix::random_hermitian(9, 7);
+        let xm = CMatrix::from_fn(1, 9, |_, j| x[j]);
+        let z = matmul(&xm, Op::None, &b, Op::Trans, GemmBackend::Blocked);
+        let form = conj_dot(&x, z.row(0));
+        let mut scalar = Complex64::ZERO;
+        for i in 0..9 {
+            for j in 0..9 {
+                scalar += x[i].conj() * b[(i, j)] * x[j];
+            }
+        }
+        assert!((form - scalar).abs() < 1e-12);
+        assert!(form.im.abs() < 1e-12, "Hermitian form must be real");
     }
 
     #[test]

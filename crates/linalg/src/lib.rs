@@ -23,7 +23,7 @@ pub mod qr;
 
 pub use cholesky::{Cholesky, NotPositiveDefinite};
 pub use eig::{eigh, eigvalsh, HermitianEig};
-pub use gemm::{matmul, zgemm, zgemm_flops, GemmBackend, Op, TileParams};
+pub use gemm::{conj_dot, matmul, zgemm, zgemm_flops, GemmBackend, Op, TileParams};
 pub use lu::{invert, Lu, SingularMatrix};
 pub use matrix::CMatrix;
 pub use qr::{qr, Qr};

@@ -52,6 +52,7 @@ static COMM_RECOVERY_NS: AtomicU64 = AtomicU64::new(0);
 static CKPT_WRITES: AtomicU64 = AtomicU64::new(0);
 static CKPT_READS: AtomicU64 = AtomicU64::new(0);
 static CKPT_BYTES: AtomicU64 = AtomicU64::new(0);
+static FF_HERMITICITY_DROPS: AtomicU64 = AtomicU64::new(0);
 
 /// Point-in-time reading of every substrate counter.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -108,6 +109,13 @@ pub struct CounterSnapshot {
     pub ckpt_reads: u64,
     /// Checkpoint payload bytes moved (written + read).
     pub ckpt_bytes: u64,
+    /// FF Sigma bilinear forms `q_k(n)` whose imaginary part exceeded the
+    /// Hermiticity tolerance before being discarded. Taking `Re(q)` is
+    /// only exact for a Hermitian spectral weight `B(omega_k)`; a nonzero
+    /// count means that assumption was violated and spectral weight was
+    /// silently dropped — surfaced instead of hidden (debug builds also
+    /// assert).
+    pub ff_hermiticity_drops: u64,
     /// Monotonicity violations observed while computing this snapshot as
     /// a delta: the number of counters that went *backwards* between the
     /// two snapshots. Always zero for direct [`snapshot`]s; nonzero on a
@@ -139,6 +147,7 @@ macro_rules! for_each_counter_field {
         $m!(ckpt_writes);
         $m!(ckpt_reads);
         $m!(ckpt_bytes);
+        $m!(ff_hermiticity_drops);
     };
 }
 
@@ -297,6 +306,7 @@ pub fn snapshot() -> CounterSnapshot {
         ckpt_writes: CKPT_WRITES.load(Ordering::Relaxed),
         ckpt_reads: CKPT_READS.load(Ordering::Relaxed),
         ckpt_bytes: CKPT_BYTES.load(Ordering::Relaxed),
+        ff_hermiticity_drops: FF_HERMITICITY_DROPS.load(Ordering::Relaxed),
         delta_underflows: 0,
     }
 }
@@ -411,6 +421,12 @@ pub fn record_ckpt_write(bytes: u64) {
 pub fn record_ckpt_read(bytes: u64) {
     CKPT_READS.fetch_add(1, Ordering::Relaxed);
     CKPT_BYTES.fetch_add(bytes, Ordering::Relaxed);
+}
+
+/// Records one FF Sigma bilinear form whose imaginary residue exceeded
+/// the Hermiticity tolerance when it was discarded.
+pub fn record_ff_hermiticity_drop() {
+    FF_HERMITICITY_DROPS.fetch_add(1, Ordering::Relaxed);
 }
 
 #[cfg(test)]
@@ -535,7 +551,7 @@ mod tests {
             n_fields += 1;
         });
         assert_eq!(a, b);
-        assert_eq!(n_fields, 21, "visitor must cover every field");
+        assert_eq!(n_fields, 22, "visitor must cover every field");
         assert!(!b.set_field("no_such_counter", 1));
         assert!(CounterSnapshot::default().is_zero());
         assert!(!a.is_zero());

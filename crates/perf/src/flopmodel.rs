@@ -22,6 +22,63 @@ pub fn gpp_offdiag_flops(n_b: usize, n_e: usize, n_sigma: usize, n_g: usize) -> 
     2.0 * n_b as f64 * n_e as f64 * 8.0 * (ns * ng * ng + ng * ns * ns)
 }
 
+/// FLOPs charged per pole term of the FF Sigma assembly: one complex
+/// reciprocal (6), the denominator shift (1), the `w_k / pi * q` weight
+/// fold (2), the pole scale (2), and the accumulate (2).
+pub const FF_FLOPS_PER_POLE_TERM: f64 = 13.0;
+/// FLOPs per element of the row-wise `conj(m) . y` dot (one complex
+/// fused multiply-add).
+pub const FF_FLOPS_PER_DOT_TERM: f64 = 8.0;
+/// FLOPs per element of the bare-exchange `-sum |m|^2` reduction.
+pub const FF_FLOPS_PER_EXCHANGE_TERM: f64 = 4.0;
+
+/// FLOPs of the full-frequency Sigma quadrature in its ZGEMM recast
+/// (paper Sec. 5.2): per Sigma band, an optional subspace projection
+/// `M~ = M V` (`8 N_b N_G N_dim`), one `Y_k = M B_k^T` ZGEMM per
+/// quadrature node (`8 N_b N_dim^2` each), the pooled row-wise dots, the
+/// bare exchange, and the pole assembly over the `N_E`-point energy grid.
+///
+/// This is the exact count the instrumented `sigma.ff` span attributes,
+/// so span-vs-model validation for FF is an identity check like Eq. 8.
+#[allow(clippy::too_many_arguments)]
+pub fn ff_sigma_flops(
+    n_sigma: usize,
+    n_k: usize,
+    n_b: usize,
+    dim: usize,
+    n_g: usize,
+    n_occ: usize,
+    n_e: usize,
+    projected: bool,
+) -> f64 {
+    let (nk, nb, dim_f, ng, nocc, ne) = (
+        n_k as f64,
+        n_b as f64,
+        dim as f64,
+        n_g as f64,
+        n_occ as f64,
+        n_e as f64,
+    );
+    let proj = if projected {
+        8.0 * nb * ng * dim_f
+    } else {
+        0.0
+    };
+    let gemm = 8.0 * nb * dim_f * dim_f * nk;
+    let dots = FF_FLOPS_PER_DOT_TERM * nk * nb * dim_f;
+    let exch = FF_FLOPS_PER_EXCHANGE_TERM * nocc * ng;
+    let assemble = FF_FLOPS_PER_POLE_TERM * ne * nb * nk;
+    n_sigma as f64 * (proj + gemm + dots + exch + assemble)
+}
+
+/// FLOPs of one dense complex LU inversion of an `n x n` matrix:
+/// factorization (`8/3 n^3`) plus the `n`-RHS triangular solves
+/// (`8 n^3`), the model attributed to the `epsilon.invert` span.
+pub fn epsilon_invert_flops(n: usize) -> f64 {
+    let nf = n as f64;
+    (8.0 / 3.0) * nf.powi(3) + 8.0 * nf.powi(3)
+}
+
 /// One row of a Table 3-style validation: estimated vs measured FLOPs.
 #[derive(Clone, Copy, Debug)]
 pub struct FlopRow {
@@ -100,6 +157,27 @@ mod tests {
             let acc = row.accuracy_pct();
             assert!(acc > 99.0 && acc <= 100.0, "accuracy {acc}");
         }
+    }
+
+    #[test]
+    fn ff_sigma_model_scales_like_its_gemms() {
+        let base = ff_sigma_flops(4, 10, 40, 100, 200, 10, 3, false);
+        // linear in N_Sigma
+        let double = ff_sigma_flops(8, 10, 40, 100, 200, 10, 3, false);
+        assert!((double / base - 2.0).abs() < 1e-12);
+        // at large dim the per-frequency ZGEMMs dominate: dim -> 2 dim ~ 4x
+        let big = ff_sigma_flops(4, 10, 40, 200, 200, 10, 3, false);
+        assert!(big / base > 3.5 && big / base < 4.1, "{}", big / base);
+        // the subspace projection charges exactly 8 N_b N_G dim more per band
+        let proj = ff_sigma_flops(4, 10, 40, 100, 200, 10, 3, true);
+        assert!((proj - base - 4.0 * 8.0 * 40.0 * 200.0 * 100.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn epsilon_invert_model_is_cubic() {
+        let ratio = epsilon_invert_flops(64) / epsilon_invert_flops(32);
+        assert!((ratio - 8.0).abs() < 1e-12);
+        assert_eq!(epsilon_invert_flops(3), (8.0 / 3.0) * 27.0 + 8.0 * 27.0);
     }
 
     #[test]

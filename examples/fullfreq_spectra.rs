@@ -29,7 +29,8 @@ fn main() {
     };
     let engine = ChiEngine::new(&setup.wf, &mtxel, cfg);
     let (chis, _) = engine.chi_freqs(&nodes);
-    let eps_ff = EpsilonInverse::build(&chis, &nodes, &setup.coulomb, &setup.eps_sph);
+    let eps_ff = EpsilonInverse::build(&chis, &nodes, &setup.coulomb, &setup.eps_sph)
+        .expect("dielectric matrix must be invertible");
     let sub = Subspace::from_chi0(&setup.chi0, &setup.vsqrt, (ctx.n_g() / 3).max(4));
 
     // Frequency window spanning the bands of interest.

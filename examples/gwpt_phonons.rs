@@ -104,7 +104,8 @@ mod bgw_bench_like {
             ..ChiConfig::default()
         };
         let chi0 = ChiEngine::new(&wf, &mtxel, cfg).chi_static();
-        let eps_inv = EpsilonInverse::build(&[chi0], &[0.0], &coulomb, &eps_sph);
+        let eps_inv = EpsilonInverse::build(&[chi0], &[0.0], &coulomb, &eps_sph)
+            .expect("dielectric matrix must be invertible");
         let rho = charge_density_g(&wf, &wfn_sph);
         let gpp = GppModel::new(
             &eps_inv,

@@ -6,7 +6,7 @@
 
 use berkeleygw_rs::comm::{try_run_world, CommError, FaultPlan};
 use berkeleygw_rs::core::pseudobands::{compress, PseudobandsConfig};
-use berkeleygw_rs::core::resilient::{run_gpp_gw_resilient, ResilientGwReport};
+use berkeleygw_rs::core::resilient::{run_gpp_gw_resilient, ResilientError, ResilientGwReport};
 use berkeleygw_rs::core::testkit;
 use berkeleygw_rs::num::Complex64;
 use berkeleygw_rs::pwdft::{si_bulk, ModelSystem};
@@ -23,7 +23,12 @@ fn resilient_run(plan: FaultPlan) -> berkeleygw_rs::comm::WorldReport<ResilientG
     let sys = small_system();
     let cfg = berkeleygw_rs::core::workflow::GwConfig::default();
     try_run_world(WORLD, plan, move |comm| {
-        run_gpp_gw_resilient(&sys, &cfg, comm)
+        run_gpp_gw_resilient(&sys, &cfg, comm).map_err(|e| match e {
+            ResilientError::Comm(c) => c,
+            // The test systems are well-conditioned; a singular epsilon
+            // here is a regression, not a fault scenario.
+            ResilientError::Epsilon(eps) => panic!("unexpected epsilon failure: {eps}"),
+        })
     })
 }
 
@@ -240,6 +245,72 @@ fn pseudobands_tolerance_holds_under_shrunken_comm() {
                 assert_eq!(rank, 1);
                 assert!(matches!(e, CommError::SelfCrashed { .. }), "{e}");
             }
+        }
+    }
+}
+
+/// A diagonal index `d` and a representable head `c` with
+/// `fl(v_d^2 * c) == 1.0` exactly, so `chi = c * e_d e_d^T` makes
+/// `eps~ = I - v^{1/2} chi v^{1/2}` exactly singular in floating point
+/// (row/column `d` become exactly zero). `1.0 / v_d^2` alone may round
+/// the product to 1 +- 1 ulp and leave a nonzero pivot that LU accepts.
+fn exactly_singular_head(vsqrt: &[f64]) -> (usize, f64) {
+    for (d, &v) in vsqrt.iter().enumerate() {
+        let v2 = v * v;
+        if v2 <= 0.0 || !v2.is_finite() {
+            continue;
+        }
+        let base = (1.0 / v2).to_bits() as i64;
+        for off in -64i64..=64 {
+            let c = f64::from_bits((base + off) as u64);
+            if v2 * c == 1.0 {
+                return (d, c);
+            }
+        }
+    }
+    panic!("no diagonal admits an exactly-representable singular head");
+}
+
+#[test]
+fn singular_epsilon_surfaces_typed_through_the_fault_path() {
+    // A singular dielectric matrix assembled *under an active fault plan*
+    // must come out as the typed `EpsilonError` on every rank — the
+    // transient comm faults are absorbed by retries, and the application
+    // error is never promoted to a panic (which would poison the world).
+    use berkeleygw_rs::core::{Coulomb, EpsilonError, EpsilonInverse};
+    use berkeleygw_rs::linalg::CMatrix;
+    use berkeleygw_rs::num::c64;
+
+    let sys = small_system();
+    let eps_sph = sys.eps_sphere();
+    let coul = Coulomb::bulk_for_cell(sys.crystal.lattice.volume());
+    let vsqrt = coul.sqrt_on_sphere(&eps_sph);
+    let (d, head) = exactly_singular_head(&vsqrt);
+
+    let report = try_run_world(
+        WORLD,
+        FaultPlan::none().transient_at(1, 0, 2),
+        move |comm| {
+            // Rank 0 owns the singular head; the allreduce (which eats the
+            // injected transient faults) replicates it. Summing one nonzero
+            // share with zeros is exact in any reduction order.
+            let share = if comm.rank() == 0 { head } else { 0.0 };
+            let got = comm.try_allreduce(share, |a, b| a + b)?;
+            let n = eps_sph.len();
+            let mut chi = CMatrix::zeros(n, n);
+            chi[(d, d)] = c64(got, 0.0);
+            Ok(EpsilonInverse::build(&[chi], &[0.0], &coul, &eps_sph).map(|_| ()))
+        },
+    );
+    assert!(report.faults.injected >= 1, "plan must have fired");
+    assert!(report.faults.retries >= 1, "transients must be retried");
+    for (rank, res) in report.results.iter().enumerate() {
+        let inner = res
+            .as_ref()
+            .unwrap_or_else(|e| panic!("rank {rank}: comm-level failure {e}"));
+        match inner {
+            Err(EpsilonError::Singular { freq_index: 0, .. }) => {}
+            other => panic!("rank {rank}: expected typed Singular, got {other:?}"),
         }
     }
 }

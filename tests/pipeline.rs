@@ -121,7 +121,8 @@ fn epsilon_macroscopic_grows_with_screening() {
             ..ChiConfig::default()
         };
         let chi = ChiEngine::new(&wf, &mtxel, cfg).chi_static();
-        let e = EpsilonInverse::build(&[chi], &[0.0], &coulomb, &eps_sph);
+        let e = EpsilonInverse::build(&[chi], &[0.0], &coulomb, &eps_sph)
+            .expect("dielectric matrix must be invertible");
         eps_m.push(e.macroscopic_constant());
     }
     assert!(eps_m[1] > eps_m[0], "{eps_m:?}");

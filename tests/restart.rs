@@ -222,7 +222,8 @@ fn subspace_ff_sigma_is_invariant_under_chi_checkpoint_roundtrip() {
     let n_eig = (ng / 2).max(2);
     let (nodes, weights) = berkeleygw_rs::num::grid::semi_infinite_quadrature(8, 2.0);
     let (chis_ff, _) = engine.chi_freqs(&nodes);
-    let eps_ff = EpsilonInverse::build(&chis_ff, &nodes, &setup.coulomb, &setup.eps_sph);
+    let eps_ff = EpsilonInverse::build(&chis_ff, &nodes, &setup.coulomb, &setup.eps_sph)
+        .expect("dielectric matrix must be invertible");
     let grids: Vec<Vec<f64>> = ctx.sigma_energies.iter().map(|&e| vec![e]).collect();
     let sigma_of = |chi0: &CMatrix| {
         let sub = Subspace::from_chi0_sym(&symmetrize(chi0, &setup.vsqrt), n_eig);

@@ -31,7 +31,8 @@ fn gw_through_files_matches_in_memory() {
         ..ChiConfig::default()
     };
     let chi0 = ChiEngine::new(&wf, &mtxel, cfg).chi_static();
-    let eps_inv = EpsilonInverse::build(&[chi0], &[0.0], &coulomb, &eps_sph);
+    let eps_inv = EpsilonInverse::build(&[chi0], &[0.0], &coulomb, &eps_sph)
+        .expect("dielectric matrix must be invertible");
 
     write_wavefunctions(&dir.join("wfn.bgwr"), &wf).unwrap();
     write_epsilon(

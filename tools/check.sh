@@ -11,6 +11,9 @@
 #   tools/check.sh --trace    traced-GPP smoke only: span tree + run
 #                             report, FLOP-model validation (< 5% error)
 #                             and disabled-tracing overhead (< 2%) gates
+#   tools/check.sh --ff       full-frequency Sigma smoke only: pooled
+#                             ZGEMM path vs serial oracle (1e-12), span
+#                             FLOP attribution, typed singular-epsilon
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -42,6 +45,21 @@ run_trace_smoke() {
     rm -rf "$tracedir"
 }
 
+run_ff_smoke() {
+    echo "==> ff smoke: pooled FF Sigma vs serial oracle, FLOP attribution, typed errors"
+    # The full-frequency quadrature's pooled-ZGEMM recast against the
+    # retained scalar oracle (parity 1e-12 at two shapes), the sigma.ff
+    # span's attributed FLOPs against the kernel's count and the
+    # ff_sigma_flops model (< 5%), and a crafted singular dielectric
+    # surfacing as the typed EpsilonError instead of a panic. --smoke
+    # shrinks the bench shape and skips the wall-clock speedup gate (the
+    # committed BENCH_ff_sigma.json records the gated >= 3x full run).
+    root=$(pwd)
+    ffdir=$(mktemp -d)
+    (cd "$ffdir" && "$root/target/release/ff_smoke" --smoke)
+    rm -rf "$ffdir"
+}
+
 if [ "${1:-}" = "--faults" ]; then
     cargo build --release -p bgw-bench --bin faults_smoke
     run_faults_smoke
@@ -51,6 +69,12 @@ fi
 if [ "${1:-}" = "--trace" ]; then
     cargo build --release -p bgw-bench --bin trace_smoke
     run_trace_smoke
+    exit 0
+fi
+
+if [ "${1:-}" = "--ff" ]; then
+    cargo build --release -p bgw-bench --bin ff_smoke
+    run_ff_smoke
     exit 0
 fi
 
@@ -84,5 +108,7 @@ rm -rf "$smokedir"
 run_faults_smoke
 
 run_trace_smoke
+
+run_ff_smoke
 
 echo "==> all checks passed"
