@@ -11,8 +11,8 @@
 //!
 //! Writes `BENCH_gemm_pool.json` into the current directory.
 
-use bgw_linalg::{matmul, zgemm_flops, CMatrix, GemmBackend, Op, TileParams};
-use bgw_num::Complex64;
+use bgw_linalg::{matmul, microkernel, zgemm_flops, CMatrix, GemmBackend, Op, TileParams};
+use bgw_num::{simd, Complex64};
 use std::time::Instant;
 
 /// The pre-overhaul blocked kernel: mc x kc row panels, B packed across the
@@ -91,18 +91,32 @@ fn main() {
     let t_seed = best_secs(3, || {
         std::hint::black_box(seed_blocked(&a, &b));
     });
-    // After: overhauled kernels, with the pack/compute split from the
-    // global counters.
+    // After: the microkernel-dispatched kernels, with the pack/compute
+    // split read per backend variant from the per-ISA counter lanes (both
+    // run on the effective ISA's lane, so bracket each one separately).
+    let isa = simd::effective();
+    let mk = microkernel::select(n, n, n, None, false).kernel.label();
     let c0 = bgw_perf::counters::snapshot();
     let t_blocked = best_secs(3, || {
         std::hint::black_box(matmul(&a, Op::None, &b, Op::None, GemmBackend::Blocked));
     });
+    let c1 = bgw_perf::counters::snapshot();
     let t_parallel = best_secs(3, || {
         std::hint::black_box(matmul(&a, Op::None, &b, Op::None, GemmBackend::Parallel));
     });
-    let d = c0.delta(&bgw_perf::counters::snapshot());
+    let c2 = bgw_perf::counters::snapshot();
+    let d = c0.delta(&c2);
     let pack_frac = d.gemm_pack_seconds() / (d.gemm_pack_seconds() + d.gemm_compute_seconds());
+    let pack_frac_blocked = c0
+        .delta(&c1)
+        .gemm_mk_pack_fraction(isa.index())
+        .unwrap_or(0.0);
+    let pack_frac_parallel = c1
+        .delta(&c2)
+        .gemm_mk_pack_fraction(isa.index())
+        .unwrap_or(0.0);
 
+    println!("microkernel    : {mk} ({} dispatch)", isa.name());
     println!(
         "seed Blocked   : {t_seed:.4} s  {:8.2} GFLOP/s",
         flops / t_seed / 1e9
@@ -116,10 +130,13 @@ fn main() {
         flops / t_parallel / 1e9
     );
     println!(
-        "speedup vs seed: Blocked {:.2}x, Parallel {:.2}x; pack share {:.1}%",
+        "speedup vs seed: Blocked {:.2}x, Parallel {:.2}x; pack share {:.1}% \
+         (Blocked {:.1}%, Parallel {:.1}%)",
         t_seed / t_blocked,
         t_seed / t_parallel,
-        100.0 * pack_frac
+        100.0 * pack_frac,
+        100.0 * pack_frac_blocked,
+        100.0 * pack_frac_parallel
     );
 
     // Pool dispatch overhead: an empty parallel_for(1024) measures the
@@ -142,16 +159,20 @@ fn main() {
     );
 
     let json = format!(
-        "{{\n  \"config\": {{\"n\": {n}, \"threads\": {threads}}},\n  \
+        "{{\n  \"config\": {{\"n\": {n}, \"threads\": {threads}, \
+         \"isa\": \"{}\", \"microkernel\": \"{mk}\"}},\n  \
          \"gemm_512\": {{\n    \"seed_blocked_s\": {t_seed:.6},\n    \
          \"blocked_s\": {t_blocked:.6},\n    \"parallel_s\": {t_parallel:.6},\n    \
          \"seed_blocked_gflops\": {:.3},\n    \"blocked_gflops\": {:.3},\n    \
          \"parallel_gflops\": {:.3},\n    \"speedup_blocked_vs_seed\": {:.3},\n    \
          \"speedup_parallel_vs_seed\": {:.3},\n    \
          \"pack_time_fraction\": {pack_frac:.4},\n    \
+         \"pack_time_fraction_blocked\": {pack_frac_blocked:.4},\n    \
+         \"pack_time_fraction_parallel\": {pack_frac_parallel:.4},\n    \
          \"max_abs_diff_vs_naive\": {agreement:.3e}\n  }},\n  \
          \"pool\": {{\n    \"empty_parallel_for_1024_us_per_call\": {per_call_us:.3},\n    \
          \"pooled_dispatches\": {},\n    \"inline_runs\": {}\n  }}\n}}\n",
+        isa.name(),
         flops / t_seed / 1e9,
         flops / t_blocked / 1e9,
         flops / t_parallel / 1e9,

@@ -1,0 +1,293 @@
+//! SIMD microkernel CI gate (`tools/check.sh --simd`).
+//!
+//! Three hard gates, any failure exits nonzero:
+//!
+//! 1. **Parity** — every registered microkernel the host can execute, plus
+//!    every ISA reachable through the public `matmul` dispatch, must agree
+//!    with the Naive oracle to 1e-12 at the 512^2 bench shape.
+//! 2. **Throughput** — with SIMD present, the Parallel backend at 512^2
+//!    must beat the pre-SIMD committed baseline (12.240 GFLOP/s in
+//!    `BENCH_gemm_pool.json`, 4 threads) by at least 3x. On scalar-only
+//!    hosts the gate is skipped with a notice instead of failing.
+//! 3. **Autotune persistence** — the `ablation_gemm_tuning` tuner against
+//!    a scratch `BGW_AUTOTUNE_PATH` must sweep on first run, report zero
+//!    sweeps on the second (the table is picked up, not re-tuned), and a
+//!    separate consumer process must resolve `GemmBackend::Tuned` through
+//!    the persisted table; corrupting the file or staling its format tag
+//!    must fall back to defaults without panicking.
+//!
+//! Writes `BENCH_simd_kernels.json` into the current directory.
+
+use bgw_linalg::{
+    matmul, microkernel, zgemm_flops, zgemm_with_microkernel, CMatrix, GemmBackend, Op, TileParams,
+};
+use bgw_num::{simd, Complex64};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::time::Instant;
+
+/// The parallel_gflops row committed in BENCH_gemm_pool.json before the
+/// SIMD microkernels landed; the acceptance gate is 3x this.
+const BASELINE_PARALLEL_GFLOPS: f64 = 12.240;
+const PARITY_TOL: f64 = 1e-12;
+
+fn best_secs(reps: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm
+    (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Consumer-process mode: resolve `Tuned(AUTO)` through whatever table
+/// `BGW_AUTOTUNE_PATH` points at (present, corrupt, or stale) and check
+/// the result against the Naive oracle. Must never panic — a bad table
+/// degrades to defaults.
+fn consume_child() {
+    match bgw_linalg::autotune::cached() {
+        Some(t) => println!("TABLE present len={}", t.len()),
+        None => println!("TABLE absent"),
+    }
+    let n = 160usize;
+    let a = CMatrix::random(n, n, 21);
+    let b = CMatrix::random(n, n, 22);
+    let want = matmul(&a, Op::None, &b, Op::None, GemmBackend::Naive);
+    let got = matmul(
+        &a,
+        Op::None,
+        &b,
+        Op::None,
+        GemmBackend::Tuned(TileParams::AUTO),
+    );
+    let d = got.max_abs_diff(&want);
+    assert!(
+        d <= PARITY_TOL,
+        "consumer parity {d:.3e} > {PARITY_TOL:.0e}"
+    );
+    println!("CONSUME_OK diff={d:.3e}");
+}
+
+/// Runs a sibling binary from the same target directory, forwarding the
+/// scratch autotune path, and returns its stdout (asserting exit 0).
+fn run_with_path(exe: &Path, args: &[&str], autotune_path: &Path) -> String {
+    let out = Command::new(exe)
+        .args(args)
+        .env(bgw_linalg::autotune::PATH_ENV, autotune_path)
+        .output()
+        .unwrap_or_else(|e| panic!("spawn {}: {e}", exe.display()));
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(
+        out.status.success(),
+        "{} {:?} failed with {:?}\nstdout:\n{stdout}\nstderr:\n{}",
+        exe.display(),
+        args,
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    stdout
+}
+
+fn swept_count(stdout: &str) -> usize {
+    stdout
+        .lines()
+        .find_map(|l| l.strip_prefix("AUTOTUNE_SWEPT "))
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or_else(|| panic!("no AUTOTUNE_SWEPT line in tuner output:\n{stdout}"))
+}
+
+/// Gate 3: tune → persist → pick up without re-sweep → consume in a new
+/// process → corrupt/stale fallbacks.
+fn autotune_gate() -> (usize, usize) {
+    let me = std::env::current_exe().expect("current_exe");
+    let tuner = me.parent().expect("bin dir").join(format!(
+        "ablation_gemm_tuning{}",
+        std::env::consts::EXE_SUFFIX
+    ));
+    assert!(
+        tuner.exists(),
+        "tuner binary missing at {} (build bgw-bench first)",
+        tuner.display()
+    );
+    let dir: PathBuf = std::env::temp_dir().join(format!("bgw_simd_smoke_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let path = dir.join("autotune.json");
+
+    // First run sweeps and persists; second run must find every class
+    // cached and sweep nothing.
+    let first = swept_count(&run_with_path(
+        &tuner,
+        &["--autotune-only", "--quick"],
+        &path,
+    ));
+    assert!(first > 0, "first tuner run swept nothing");
+    assert!(path.exists(), "tuner did not persist {}", path.display());
+    let bytes_after_first = std::fs::read(&path).expect("read table");
+    let second = swept_count(&run_with_path(
+        &tuner,
+        &["--autotune-only", "--quick"],
+        &path,
+    ));
+    assert_eq!(second, 0, "second tuner run re-swept {second} class(es)");
+    println!("autotune persist: first run swept {first}, second run swept 0");
+
+    // A fresh consumer process resolves Tuned through the persisted table.
+    let out = run_with_path(&me, &["--consume-child"], &path);
+    assert!(
+        out.contains("TABLE present") && out.contains("CONSUME_OK"),
+        "consumer did not pick up the persisted table:\n{out}"
+    );
+    assert_eq!(
+        std::fs::read(&path).expect("read table"),
+        bytes_after_first,
+        "consumer mutated the autotune table"
+    );
+    println!("autotune consume: second process resolved Tuned through the table");
+
+    // Corrupt file: parse fails, Tuned degrades to defaults, no panic.
+    std::fs::write(&path, b"{ not json ]").expect("corrupt write");
+    let out = run_with_path(&me, &["--consume-child"], &path);
+    assert!(
+        out.contains("TABLE absent") && out.contains("CONSUME_OK"),
+        "corrupt-table fallback failed:\n{out}"
+    );
+    // Stale format tag: versioned rejection, same fallback.
+    std::fs::write(
+        &path,
+        b"{\n  \"format\": \"bgw-autotune/0\",\n  \"entries\": []\n}\n",
+    )
+    .expect("stale write");
+    let out = run_with_path(&me, &["--consume-child"], &path);
+    assert!(
+        out.contains("TABLE absent") && out.contains("CONSUME_OK"),
+        "stale-format fallback failed:\n{out}"
+    );
+    println!("autotune fallback: corrupt and stale tables degrade to defaults");
+
+    let _ = std::fs::remove_dir_all(&dir);
+    (first, second)
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--consume-child") {
+        consume_child();
+        return;
+    }
+
+    let threads = bgw_par::num_threads();
+    let effective = simd::effective();
+    let n = 512usize;
+    let flops = zgemm_flops(n, n, n) as f64;
+    println!(
+        "simd_smoke: {n}^2 complex GEMM, {threads} thread(s), effective ISA {}",
+        effective.name()
+    );
+
+    let a = CMatrix::random(n, n, 1);
+    let b = CMatrix::random(n, n, 2);
+    let reference = matmul(&a, Op::None, &b, Op::None, GemmBackend::Naive);
+
+    // Gate 1a: every host-executable registered microkernel, driven
+    // explicitly (no global dispatch state), against the Naive oracle.
+    let mut kernel_rows = Vec::new();
+    let mut worst = f64::NEG_INFINITY;
+    for kernel in microkernel::host_kernels() {
+        let mut c = CMatrix::zeros(n, n);
+        let run = |c: &mut CMatrix| {
+            zgemm_with_microkernel(
+                Complex64::ONE,
+                &a,
+                Op::None,
+                &b,
+                Op::None,
+                Complex64::ZERO,
+                c,
+                kernel,
+                TileParams::default(),
+                true,
+            );
+        };
+        run(&mut c);
+        let d = c.max_abs_diff(&reference);
+        worst = worst.max(d);
+        assert!(
+            d <= PARITY_TOL,
+            "{} disagrees with Naive by {d:.3e}",
+            kernel.label()
+        );
+        let secs = best_secs(2, || run(&mut c));
+        let gflops = flops / secs / 1e9;
+        println!(
+            "  {:>12}: max |diff| {d:.3e}, {gflops:8.2} GFLOP/s",
+            kernel.label()
+        );
+        kernel_rows.push(format!(
+            "    {{\"label\": \"{}\", \"isa\": \"{}\", \"mr\": {}, \"nr\": {}, \
+             \"gflops\": {gflops:.3}, \"max_abs_diff_vs_naive\": {d:.3e}}}",
+            kernel.label(),
+            kernel.isa.name(),
+            kernel.mr,
+            kernel.nr
+        ));
+    }
+
+    // Gate 1b: the same parity through the public dispatch, forcing each
+    // supported ISA in turn (what a forced-downlevel run executes).
+    for isa in simd::supported() {
+        assert!(simd::force(Some(isa)), "{isa:?} must force");
+        let c = matmul(&a, Op::None, &b, Op::None, GemmBackend::Parallel);
+        let d = c.max_abs_diff(&reference);
+        worst = worst.max(d);
+        assert!(
+            d <= PARITY_TOL,
+            "forced {} dispatch disagrees with Naive by {d:.3e}",
+            isa.name()
+        );
+    }
+    simd::force(None);
+    println!("parity: all host variants within {worst:.3e} of Naive (tol {PARITY_TOL:.0e})");
+
+    // Gate 2: throughput vs the committed pre-SIMD baseline.
+    let t_parallel = best_secs(3, || {
+        std::hint::black_box(matmul(&a, Op::None, &b, Op::None, GemmBackend::Parallel));
+    });
+    let parallel_gflops = flops / t_parallel / 1e9;
+    let speedup = parallel_gflops / BASELINE_PARALLEL_GFLOPS;
+    if effective == simd::Isa::Scalar {
+        println!(
+            "NOTICE: scalar-only host, skipping the 3x throughput gate \
+             (measured {parallel_gflops:.2} GFLOP/s)"
+        );
+    } else {
+        assert!(
+            speedup >= 3.0,
+            "Parallel {parallel_gflops:.2} GFLOP/s is only {speedup:.2}x the \
+             {BASELINE_PARALLEL_GFLOPS} GFLOP/s baseline (need >= 3x)"
+        );
+        println!(
+            "throughput: Parallel {parallel_gflops:.2} GFLOP/s = {speedup:.2}x baseline \
+             {BASELINE_PARALLEL_GFLOPS} (gate >= 3x)"
+        );
+    }
+
+    // Gate 3: autotune persistence round trip.
+    let (first_swept, second_swept) = autotune_gate();
+
+    let json = format!(
+        "{{\n  \"config\": {{\"n\": {n}, \"threads\": {threads}, \"isa\": \"{}\"}},\n  \
+         \"gemm_512\": {{\n    \"parallel_gflops\": {parallel_gflops:.3},\n    \
+         \"baseline_parallel_gflops\": {BASELINE_PARALLEL_GFLOPS},\n    \
+         \"speedup_vs_baseline\": {speedup:.3},\n    \
+         \"max_abs_diff_vs_naive\": {worst:.3e}\n  }},\n  \
+         \"kernels\": [\n{}\n  ],\n  \
+         \"autotune\": {{\n    \"first_run_swept\": {first_swept},\n    \
+         \"second_run_swept\": {second_swept},\n    \
+         \"corrupt_fallback_ok\": true,\n    \"stale_fallback_ok\": true\n  }}\n}}\n",
+        effective.name(),
+        kernel_rows.join(",\n"),
+    );
+    std::fs::write("BENCH_simd_kernels.json", &json).expect("write BENCH_simd_kernels.json");
+    println!("wrote BENCH_simd_kernels.json");
+}

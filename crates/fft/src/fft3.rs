@@ -5,10 +5,12 @@
 //! multiplied pointwise, and transformed back (paper Sec. 5.2, ref 8).
 //!
 //! The hot path executes each axis as *batched* line transforms on the
-//! `bgw-par` worker pool: lines are gathered [`LINE_BATCH`] at a time into a
-//! per-worker interleaved panel, pushed through [`FftPlan::process_batch`]
-//! (table-driven butterflies, twiddle lookups amortized over the batch) and
-//! scattered back. z-lines are contiguous; y and x lines are strided gathers.
+//! `bgw-par` worker pool: lines are gathered [`LINE_BATCH`] at a time into
+//! per-worker split re/im `f64` panels, pushed through
+//! [`FftPlan::process_batch_split`] (table-driven butterflies compiled per
+//! ISA and dispatched at runtime, twiddle lookups amortized over the batch,
+//! the batch dimension vectorized) and scattered back. z-lines are
+//! contiguous; y and x lines are strided gathers.
 //! [`Fft3d::process_serial`] keeps the original one-line-at-a-time kernel as
 //! the correctness oracle and baseline, and [`Fft3d::process_many`] batches
 //! whole grids (one worker per grid, axis passes running inline inside it),
@@ -186,9 +188,11 @@ impl Fft3d {
 
 /// One batched axis pass: `n_lines` lines of length `plan.len()`, line `l`
 /// starting at flat offset `line_base(l)` with element stride `stride`.
-/// Groups of up to [`LINE_BATCH`] lines are gathered into a per-worker
-/// interleaved panel, transformed with [`FftPlan::process_batch`] and
-/// scattered back; groups are distributed over the pool.
+/// Groups of up to [`LINE_BATCH`] lines are gathered straight into
+/// per-worker split re/im panels (the strided gather doubles as the
+/// complex-to-split-plane conversion, so the layout change costs nothing
+/// extra), transformed with [`FftPlan::process_batch_split`] and scattered
+/// back; groups are distributed over the pool.
 fn axis_pass<F>(
     plan: &FftPlan,
     data: &mut [Complex64],
@@ -207,8 +211,9 @@ fn axis_pass<F>(
     let chunk = bgw_par::auto_chunk(groups, bgw_par::num_threads(), 1);
     let ptr = SendPtr::new(data.as_mut_ptr());
     bgw_par::parallel_for_chunked(groups, chunk, move |glo, ghi| {
-        let mut panel = vec![Complex64::ZERO; n * LINE_BATCH];
-        let mut scratch = vec![Complex64::ZERO; plan.batch_scratch_len()];
+        let mut panel_re = vec![0.0f64; n * LINE_BATCH];
+        let mut panel_im = vec![0.0f64; n * LINE_BATCH];
+        let mut scratch = vec![0.0f64; plan.batch_scratch_split_len()];
         for g in glo..ghi {
             let lo = g * LINE_BATCH;
             let b = LINE_BATCH.min(n_lines - lo);
@@ -218,15 +223,24 @@ fn axis_pass<F>(
                     // SAFETY: distinct lines occupy disjoint flat offsets
                     // and group ranges are disjoint across workers, so each
                     // element has exactly one reader/writer in this pass.
-                    panel[k * b + j] = unsafe { *ptr.get().add(base + k * stride) };
+                    let z = unsafe { *ptr.get().add(base + k * stride) };
+                    panel_re[k * b + j] = z.re;
+                    panel_im[k * b + j] = z.im;
                 }
             }
-            plan.process_batch(&mut panel[..n * b], b, &mut scratch, dir);
+            plan.process_batch_split(
+                &mut panel_re[..n * b],
+                &mut panel_im[..n * b],
+                b,
+                &mut scratch,
+                dir,
+            );
             for (j, l) in (lo..lo + b).enumerate() {
                 let base = line_base(l);
                 for k in 0..n {
+                    let z = Complex64::new(panel_re[k * b + j], panel_im[k * b + j]);
                     // SAFETY: as above — one writer per element.
-                    unsafe { *ptr.get().add(base + k * stride) = panel[k * b + j] };
+                    unsafe { *ptr.get().add(base + k * stride) = z };
                 }
             }
         }
@@ -397,6 +411,59 @@ mod tests {
                 .fold(0.0, f64::max);
             assert!(err < 1e-11, "grid {g}: roundtrip err {err}");
         }
+    }
+
+    #[test]
+    fn many_matches_serial_oracle_on_every_supported_isa() {
+        // Satellite parity gate: `forward_many` / `inverse_many` against
+        // the per-line `process_serial` oracle on grids exercising the
+        // radix-3 and radix-5 butterflies (9*5*15 = 3^3 * 5^2 per-axis
+        // mix) and a Bluestein axis (17), with each host-supported ISA's
+        // butterfly set forced in turn. This is the only test in the
+        // binary that calls `simd::force`, so the global override cannot
+        // race another test's expectations.
+        for &isa in bgw_num::simd::supported().iter() {
+            assert!(bgw_num::simd::force(Some(isa)), "{isa:?} must force");
+            for dims in [(9usize, 5usize, 15usize), (17, 3, 5), (25, 27, 4)] {
+                let plan = Fft3d::new(dims.0, dims.1, dims.2);
+                let grids: Vec<Vec<Complex64>> = (0..3)
+                    .map(|g| rand_grid(plan.len(), 500 + 31 * g as u64))
+                    .collect();
+                let n = plan.len() as f64;
+                let mut fwd = grids.clone();
+                plan.forward_many(&mut fwd);
+                for (g, grid) in grids.iter().enumerate() {
+                    let mut want = grid.clone();
+                    plan.process_serial(&mut want, Direction::Forward);
+                    let err = fwd[g]
+                        .iter()
+                        .zip(&want)
+                        .map(|(a, b)| (*a - *b).abs())
+                        .fold(0.0, f64::max);
+                    assert!(
+                        err <= 1e-12 * n,
+                        "{isa:?} dims {dims:?} grid {g}: forward err {err}"
+                    );
+                }
+                let mut back = fwd;
+                plan.inverse_many(&mut back);
+                for (g, grid) in grids.iter().enumerate() {
+                    let mut want = grid.clone();
+                    plan.process_serial(&mut want, Direction::Forward);
+                    plan.process_serial(&mut want, Direction::Inverse);
+                    let err = back[g]
+                        .iter()
+                        .zip(&want)
+                        .map(|(a, b)| (*a - *b).abs())
+                        .fold(0.0, f64::max);
+                    assert!(
+                        err <= 1e-12 * n,
+                        "{isa:?} dims {dims:?} grid {g}: inverse err {err}"
+                    );
+                }
+            }
+        }
+        bgw_num::simd::force(None);
     }
 
     #[test]

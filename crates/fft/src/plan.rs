@@ -5,7 +5,19 @@
 //! grids are supported. Forward transforms use the physics sign convention
 //! `X_k = sum_j x_j e^{-2 pi i j k / n}`; the inverse applies the `1/n`
 //! normalization, so `inverse(forward(x)) == x`.
+//!
+//! The batched kernel ([`FftPlan::process_batch_split`]) operates on
+//! **split re/im `f64` planes** with the batch as the fastest-varying
+//! dimension: every radix-2/3/4/5 butterfly body is a straight-line
+//! real-arithmetic loop over `batch` contiguous lanes — no complex
+//! shuffles, no index arithmetic — which the compiler vectorizes across
+//! the batch. The bodies are compiled once per instruction set
+//! (`#[target_feature]` multiversioning for AVX2+FMA and AVX-512F on
+//! x86-64; the portable body *is* the NEON version on aarch64, where
+//! Advanced SIMD is baseline) and dispatched at runtime through
+//! [`bgw_num::simd`], the same ISA decision the ZGEMM microkernels use.
 
+use bgw_num::simd::Isa;
 use bgw_num::{c64, Complex64};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
@@ -23,9 +35,9 @@ pub enum Direction {
 const MAX_RADIX: usize = 13;
 
 /// Width of a line batch in the batched transforms: the 3-D driver feeds
-/// [`FftPlan::process_batch`] groups of up to this many lines, interleaved
-/// so each butterfly's twiddle lookup is amortized over the whole group
-/// and the inner loops vectorize over contiguous memory.
+/// [`FftPlan::process_batch_split`] groups of up to this many lines, laid
+/// out plane-wise so each butterfly's twiddle lookup is amortized over the
+/// whole group and the inner loops vectorize over contiguous memory.
 pub const LINE_BATCH: usize = 16;
 
 /// Returns the process-wide cached plan for length `n`, creating it on
@@ -265,26 +277,112 @@ impl FftPlan {
         self.bluestein.is_some()
     }
 
-    /// Scratch length required by [`FftPlan::process_batch`].
+    /// Scratch length (in `f64` elements) required by
+    /// [`FftPlan::process_batch_split`]: ping-pong re/im planes for a full
+    /// line batch.
+    pub fn batch_scratch_split_len(&self) -> usize {
+        2 * self.n * LINE_BATCH
+    }
+
+    /// Scratch length required by [`FftPlan::process_batch`] (legacy
+    /// interleaved wrapper).
     pub fn batch_scratch_len(&self) -> usize {
-        // Factorized path ping-pongs a full interleaved panel; the
-        // Bluestein fallback deinterleaves one line at a time and needs a
-        // line buffer plus the scalar scratch.
         (self.n * LINE_BATCH).max(self.n + self.scratch_len())
     }
 
-    /// Transforms a batch of `batch <= LINE_BATCH` lines in place.
+    /// Transforms a batch of `batch <= LINE_BATCH` lines held as split
+    /// re/im `f64` planes, in place.
     ///
-    /// `data` holds the lines *interleaved*: element `k` of line `b` lives
-    /// at `data[k * batch + b]`, so a butterfly touching logical index `k`
-    /// reads and writes `batch` contiguous complex numbers with a single
-    /// twiddle. Radices 2/3/4/5 (everything a 5-smooth grid produces) use
-    /// hard-wired butterflies whose DFT constants (±1, ±i, the exact
-    /// radix-3/5 cosines) are applied as real scalings instead of full
-    /// complex multiplies; results agree with the scalar kernel to
-    /// rounding (~1e-13 relative), not bit-for-bit, because the scalar
-    /// path multiplies by table entries like `cis(-pi)` that carry ~1e-16
-    /// phase error.
+    /// Element `k` of line `b` lives at `re[k * batch + b]` /
+    /// `im[k * batch + b]`: the batch is the fastest-varying dimension, so
+    /// every butterfly reads and writes `batch` contiguous lanes per plane
+    /// with a single twiddle — the SIMD dimension is the batch and the
+    /// butterfly bodies contain no shuffles. Radices 2/3/4/5 (everything a
+    /// 5-smooth grid produces) use hard-wired butterflies whose DFT
+    /// constants (±1, ±i, the exact radix-3/5 cosines) are applied as real
+    /// scalings, compiled per ISA and dispatched at runtime (see module
+    /// docs); results agree with the scalar kernel to rounding (~1e-13
+    /// relative), not bit-for-bit, because the scalar path multiplies by
+    /// table entries like `cis(-pi)` that carry ~1e-16 phase error.
+    pub fn process_batch_split(
+        &self,
+        re: &mut [f64],
+        im: &mut [f64],
+        batch: usize,
+        scratch: &mut [f64],
+        dir: Direction,
+    ) {
+        assert!((1..=LINE_BATCH).contains(&batch), "batch out of range");
+        assert_eq!(re.len(), self.n * batch, "batch buffer length mismatch");
+        assert_eq!(im.len(), self.n * batch, "batch buffer length mismatch");
+        assert!(
+            scratch.len() >= self.batch_scratch_split_len(),
+            "batch scratch too small"
+        );
+        if self.n == 1 {
+            return;
+        }
+        if dir == Direction::Inverse {
+            // Inverse via conjugation on split planes: negate im, forward,
+            // then scale and negate im again.
+            for v in im.iter_mut() {
+                *v = -*v;
+            }
+            self.process_batch_split(re, im, batch, scratch, Direction::Forward);
+            let s = 1.0 / self.n as f64;
+            for v in re.iter_mut() {
+                *v *= s;
+            }
+            for v in im.iter_mut() {
+                *v *= -s;
+            }
+            return;
+        }
+        if self.bluestein.is_some() {
+            // Chirp-z lengths go through the scalar kernel line by line;
+            // they only appear for pathological grid dimensions.
+            bgw_perf::counters::record_fft_mk_call(Isa::Scalar.index());
+            let mut line = vec![Complex64::ZERO; self.n];
+            let mut inner = vec![Complex64::ZERO; self.scratch_len()];
+            for b in 0..batch {
+                for k in 0..self.n {
+                    line[k] = c64(re[k * batch + b], im[k * batch + b]);
+                }
+                self.process_with(&mut line, &mut inner, Direction::Forward);
+                for (k, z) in line.iter().enumerate() {
+                    re[k * batch + b] = z.re;
+                    im[k * batch + b] = z.im;
+                }
+            }
+            return;
+        }
+        let cs = combine_set();
+        bgw_perf::counters::record_fft_mk_call(cs.isa.index());
+        let (buf_re, rest) = scratch.split_at_mut(self.n * batch);
+        let (buf_im, _) = rest.split_at_mut(self.n * batch);
+        buf_re[..re.len()].copy_from_slice(re);
+        buf_im[..im.len()].copy_from_slice(im);
+        self.rec_batch_split(
+            &buf_re[..re.len()],
+            &buf_im[..im.len()],
+            re,
+            im,
+            self.n,
+            1,
+            0,
+            batch,
+            cs,
+        );
+    }
+
+    /// Transforms a batch of `batch <= LINE_BATCH` *interleaved*
+    /// `Complex64` lines in place (element `k` of line `b` at
+    /// `data[k * batch + b]`).
+    ///
+    /// Compatibility wrapper: deinterleaves into split planes, runs
+    /// [`FftPlan::process_batch_split`], and reassembles. The 3-D driver
+    /// gathers straight into split planes instead, so only ad-hoc callers
+    /// pay the conversion.
     pub fn process_batch(
         &self,
         data: &mut [Complex64],
@@ -301,106 +399,70 @@ impl FftPlan {
         if self.n == 1 {
             return;
         }
-        if dir == Direction::Inverse {
-            for z in data.iter_mut() {
-                *z = z.conj();
-            }
-            self.process_batch(data, batch, scratch, Direction::Forward);
-            let s = 1.0 / self.n as f64;
-            for z in data.iter_mut() {
-                *z = z.conj().scale(s);
-            }
-            return;
+        let mut re = vec![0.0f64; self.n * batch];
+        let mut im = vec![0.0f64; self.n * batch];
+        for (i, z) in data.iter().enumerate() {
+            re[i] = z.re;
+            im[i] = z.im;
         }
-        if self.bluestein.is_some() {
-            // Chirp-z lengths go through the scalar kernel line by line;
-            // they only appear for pathological grid dimensions.
-            let (line, rest) = scratch.split_at_mut(self.n);
-            for b in 0..batch {
-                for k in 0..self.n {
-                    line[k] = data[k * batch + b];
-                }
-                self.process_with(line, rest, Direction::Forward);
-                for k in 0..self.n {
-                    data[k * batch + b] = line[k];
-                }
-            }
-            return;
+        let mut split_scratch = vec![0.0f64; self.batch_scratch_split_len()];
+        self.process_batch_split(&mut re, &mut im, batch, &mut split_scratch, dir);
+        for (i, z) in data.iter_mut().enumerate() {
+            *z = c64(re[i], im[i]);
         }
-        let (buf, _) = scratch.split_at_mut(self.n * batch);
-        buf.copy_from_slice(data);
-        self.rec_batch(buf, data, self.n, 1, 0, batch);
     }
 
-    /// Batched analogue of [`FftPlan::rec`]: logical element `i` of `src`
-    /// is the `b`-wide block at `src[i * stride * b ..]`, and the
-    /// transform lands contiguously (blocked by `b`) in `dst`. Twiddles
-    /// come from the per-stage tables, so the inner loops carry no index
-    /// arithmetic beyond the batch sweep.
-    fn rec_batch(
+    /// Batched split-plane analogue of [`FftPlan::rec`]: logical element
+    /// `i` of `src` is the `b`-wide block at `src_*[i * stride * b ..]`,
+    /// and the transform lands contiguously (blocked by `b`) in `dst_*`.
+    /// Twiddles come from the per-stage tables; the combines are the
+    /// ISA-dispatched butterfly set.
+    #[allow(clippy::too_many_arguments)]
+    fn rec_batch_split(
         &self,
-        src: &[Complex64],
-        dst: &mut [Complex64],
+        src_re: &[f64],
+        src_im: &[f64],
+        dst_re: &mut [f64],
+        dst_im: &mut [f64],
         n: usize,
         stride: usize,
         depth: usize,
         b: usize,
+        cs: &CombineSet,
     ) {
         if n == 1 {
-            dst[..b].copy_from_slice(&src[..b]);
+            dst_re[..b].copy_from_slice(&src_re[..b]);
+            dst_im[..b].copy_from_slice(&src_im[..b]);
             return;
         }
         let r = self.factors[depth];
         let m = n / r;
         for q in 0..r {
-            let sub = &src[q * stride * b..];
-            let (head, _) = dst.split_at_mut((q + 1) * m * b);
-            self.rec_batch(sub, &mut head[q * m * b..], m, stride * r, depth + 1, b);
+            let sub_re = &src_re[q * stride * b..];
+            let sub_im = &src_im[q * stride * b..];
+            let (head_re, _) = dst_re.split_at_mut((q + 1) * m * b);
+            let (head_im, _) = dst_im.split_at_mut((q + 1) * m * b);
+            self.rec_batch_split(
+                sub_re,
+                sub_im,
+                &mut head_re[q * m * b..],
+                &mut head_im[q * m * b..],
+                m,
+                stride * r,
+                depth + 1,
+                b,
+                cs,
+            );
         }
         let st = &self.stage_tw[depth];
+        // SAFETY: `cs` only holds butterfly versions this host can execute
+        // (combine_set derives it from `bgw_num::simd::effective`).
         match r {
-            2 => combine2(dst, st, m, b),
-            3 => combine3(dst, st, m, b),
-            4 => combine4(dst, st, m, b),
-            5 => combine5(dst, st, m, b),
-            _ => self.combine_generic(dst, st, depth, r, m, b),
-        }
-    }
-
-    /// Generic radix-`r` combine via the precomputed DFT matrix; only the
-    /// large prime radices (7, 11, 13) land here.
-    fn combine_generic(
-        &self,
-        dst: &mut [Complex64],
-        st: &[Complex64],
-        depth: usize,
-        r: usize,
-        m: usize,
-        b: usize,
-    ) {
-        let dt = &self.dft_tw[depth];
-        let mut tmp = [Complex64::ZERO; MAX_RADIX * LINE_BATCH];
-        let mut acc = [Complex64::ZERO; LINE_BATCH];
-        for k in 0..m {
-            tmp[..b].copy_from_slice(&dst[k * b..k * b + b]); // q = 0: tw = 1
-            for q in 1..r {
-                let tw = st[k * r + q];
-                let row = &dst[(q * m + k) * b..(q * m + k) * b + b];
-                for (t, &z) in tmp[q * b..q * b + b].iter_mut().zip(row) {
-                    *t = z * tw;
-                }
-            }
-            for p in 0..r {
-                acc[..b].copy_from_slice(&tmp[..b]);
-                for q in 1..r {
-                    let tw = dt[p * r + q];
-                    let blk = &tmp[q * b..q * b + b];
-                    for (a, &t) in acc[..b].iter_mut().zip(blk) {
-                        *a = a.mul_add(t, tw);
-                    }
-                }
-                dst[(p * m + k) * b..(p * m + k) * b + b].copy_from_slice(&acc[..b]);
-            }
+            2 => unsafe { (cs.c2)(dst_re, dst_im, st, m, b) },
+            3 => unsafe { (cs.c3)(dst_re, dst_im, st, m, b) },
+            4 => unsafe { (cs.c4)(dst_re, dst_im, st, m, b) },
+            5 => unsafe { (cs.c5)(dst_re, dst_im, st, m, b) },
+            _ => combine_generic_split(dst_re, dst_im, st, &self.dft_tw[depth], r, m, b),
         }
     }
 
@@ -428,23 +490,36 @@ impl FftPlan {
     }
 }
 
-/// `-i z` (forward-transform quarter turn).
-#[inline(always)]
-fn neg_i(z: Complex64) -> Complex64 {
-    Complex64::new(z.im, -z.re)
-}
+// ---------------------------------------------------------------------------
+// Split-plane butterfly bodies.
+//
+// Each body is `#[inline(always)]` straight-line real arithmetic over the
+// batch dimension; the `#[target_feature]` wrappers below re-compile the
+// same body per ISA so the autovectorizer emits 256-/512-bit lanes. On
+// aarch64 the plain body is already the NEON version (Advanced SIMD is the
+// baseline target). The per-radix DFT constants (±1, ±i, the exact
+// radix-3/5 cosines) appear as real scalings, so the loop bodies contain
+// no complex shuffles — the batch is the SIMD dimension.
+// ---------------------------------------------------------------------------
 
 /// Radix-2 combine: `X0 = a0 + tw a1`, `X1 = a0 - tw a1`.
-#[inline]
-fn combine2(dst: &mut [Complex64], st: &[Complex64], m: usize, b: usize) {
+#[inline(always)]
+fn combine2_body(re: &mut [f64], im: &mut [f64], st: &[Complex64], m: usize, b: usize) {
+    assert!(re.len() >= 2 * m * b && im.len() >= 2 * m * b && st.len() >= 2 * m);
     for k in 0..m {
-        let tw1 = st[k * 2 + 1];
+        let tw = st[k * 2 + 1];
         let (i0, i1) = (k * b, (m + k) * b);
         for j in 0..b {
-            let a0 = dst[i0 + j];
-            let t = dst[i1 + j] * tw1;
-            dst[i0 + j] = a0 + t;
-            dst[i1 + j] = a0 - t;
+            let xr = re[i1 + j];
+            let xi = im[i1 + j];
+            let tr = xr * tw.re - xi * tw.im;
+            let ti = xr * tw.im + xi * tw.re;
+            let ar = re[i0 + j];
+            let ai = im[i0 + j];
+            re[i0 + j] = ar + tr;
+            im[i0 + j] = ai + ti;
+            re[i1 + j] = ar - tr;
+            im[i1 + j] = ai - ti;
         }
     }
 }
@@ -452,50 +527,81 @@ fn combine2(dst: &mut [Complex64], st: &[Complex64], m: usize, b: usize) {
 /// Radix-3 combine with the exact `w = e^{-2 pi i / 3}` constants:
 /// `X1 = a0 - s/2 + i Im(w) d`, `X2 = a0 - s/2 - i Im(w) d` with
 /// `s = a1 + a2`, `d = a1 - a2` (inputs already twiddled).
-#[inline]
-fn combine3(dst: &mut [Complex64], st: &[Complex64], m: usize, b: usize) {
+#[inline(always)]
+fn combine3_body(re: &mut [f64], im: &mut [f64], st: &[Complex64], m: usize, b: usize) {
     const B3: f64 = -0.866_025_403_784_438_6; // Im(e^{-2 pi i / 3}) = -sqrt(3)/2
+    assert!(re.len() >= 3 * m * b && im.len() >= 3 * m * b && st.len() >= 3 * m);
     for k in 0..m {
         let tw1 = st[k * 3 + 1];
         let tw2 = st[k * 3 + 2];
         let (i0, i1, i2) = (k * b, (m + k) * b, (2 * m + k) * b);
         for j in 0..b {
-            let a0 = dst[i0 + j];
-            let a1 = dst[i1 + j] * tw1;
-            let a2 = dst[i2 + j] * tw2;
-            let s = a1 + a2;
-            let d = a1 - a2;
-            let e = a0 - s.scale(0.5);
-            let f = Complex64::new(-B3 * d.im, B3 * d.re); // i B3 d
-            dst[i0 + j] = a0 + s;
-            dst[i1 + j] = e + f;
-            dst[i2 + j] = e - f;
+            let a0r = re[i0 + j];
+            let a0i = im[i0 + j];
+            let (x1r, x1i) = (re[i1 + j], im[i1 + j]);
+            let a1r = x1r * tw1.re - x1i * tw1.im;
+            let a1i = x1r * tw1.im + x1i * tw1.re;
+            let (x2r, x2i) = (re[i2 + j], im[i2 + j]);
+            let a2r = x2r * tw2.re - x2i * tw2.im;
+            let a2i = x2r * tw2.im + x2i * tw2.re;
+            let sr = a1r + a2r;
+            let si = a1i + a2i;
+            let dr = a1r - a2r;
+            let di = a1i - a2i;
+            let er = a0r - 0.5 * sr;
+            let ei = a0i - 0.5 * si;
+            let fr = -B3 * di; // f = i B3 d
+            let fi = B3 * dr;
+            re[i0 + j] = a0r + sr;
+            im[i0 + j] = a0i + si;
+            re[i1 + j] = er + fr;
+            im[i1 + j] = ei + fi;
+            re[i2 + j] = er - fr;
+            im[i2 + j] = ei - fi;
         }
     }
 }
 
 /// Radix-4 combine: the DFT matrix entries are `{1, -i, -1, i}`, so the
-/// whole butterfly is additions plus one quarter-turn.
-#[inline]
-fn combine4(dst: &mut [Complex64], st: &[Complex64], m: usize, b: usize) {
+/// whole butterfly is additions plus one quarter-turn (`-i z` is a re/im
+/// swap with one negation — a pure plane exchange in split layout).
+#[inline(always)]
+fn combine4_body(re: &mut [f64], im: &mut [f64], st: &[Complex64], m: usize, b: usize) {
+    assert!(re.len() >= 4 * m * b && im.len() >= 4 * m * b && st.len() >= 4 * m);
     for k in 0..m {
         let tw1 = st[k * 4 + 1];
         let tw2 = st[k * 4 + 2];
         let tw3 = st[k * 4 + 3];
         let (i0, i1, i2, i3) = (k * b, (m + k) * b, (2 * m + k) * b, (3 * m + k) * b);
         for j in 0..b {
-            let a0 = dst[i0 + j];
-            let a1 = dst[i1 + j] * tw1;
-            let a2 = dst[i2 + j] * tw2;
-            let a3 = dst[i3 + j] * tw3;
-            let s02 = a0 + a2;
-            let d02 = a0 - a2;
-            let s13 = a1 + a3;
-            let jd = neg_i(a1 - a3);
-            dst[i0 + j] = s02 + s13;
-            dst[i1 + j] = d02 + jd;
-            dst[i2 + j] = s02 - s13;
-            dst[i3 + j] = d02 - jd;
+            let a0r = re[i0 + j];
+            let a0i = im[i0 + j];
+            let (x1r, x1i) = (re[i1 + j], im[i1 + j]);
+            let a1r = x1r * tw1.re - x1i * tw1.im;
+            let a1i = x1r * tw1.im + x1i * tw1.re;
+            let (x2r, x2i) = (re[i2 + j], im[i2 + j]);
+            let a2r = x2r * tw2.re - x2i * tw2.im;
+            let a2i = x2r * tw2.im + x2i * tw2.re;
+            let (x3r, x3i) = (re[i3 + j], im[i3 + j]);
+            let a3r = x3r * tw3.re - x3i * tw3.im;
+            let a3i = x3r * tw3.im + x3i * tw3.re;
+            let s02r = a0r + a2r;
+            let s02i = a0i + a2i;
+            let d02r = a0r - a2r;
+            let d02i = a0i - a2i;
+            let s13r = a1r + a3r;
+            let s13i = a1i + a3i;
+            // -i (a1 - a3): quarter turn in split planes.
+            let jdr = a1i - a3i;
+            let jdi = -(a1r - a3r);
+            re[i0 + j] = s02r + s13r;
+            im[i0 + j] = s02i + s13i;
+            re[i1 + j] = d02r + jdr;
+            im[i1 + j] = d02i + jdi;
+            re[i2 + j] = s02r - s13r;
+            im[i2 + j] = s02i - s13i;
+            re[i3 + j] = d02r - jdr;
+            im[i3 + j] = d02i - jdi;
         }
     }
 }
@@ -504,44 +610,240 @@ fn combine4(dst: &mut [Complex64], st: &[Complex64], m: usize, b: usize) {
 /// `t1 = a1 + a4`, `t2 = a2 + a3`, `t3 = a1 - a4`, `t4 = a2 - a3`,
 /// `X{1,4} = a0 + c1 t1 + c2 t2 -/+ i (s1 t3 + s2 t4)` and
 /// `X{2,3} = a0 + c2 t1 + c1 t2 -/+ i (s2 t3 - s1 t4)`.
-#[inline]
-fn combine5(dst: &mut [Complex64], st: &[Complex64], m: usize, b: usize) {
+#[inline(always)]
+fn combine5_body(re: &mut [f64], im: &mut [f64], st: &[Complex64], m: usize, b: usize) {
     const C1: f64 = 0.309_016_994_374_947_45; // cos(2 pi / 5)
     const S1: f64 = 0.951_056_516_295_153_5; // sin(2 pi / 5)
     const C2: f64 = -0.809_016_994_374_947_4; // cos(4 pi / 5)
     const S2: f64 = 0.587_785_252_292_473_1; // sin(4 pi / 5)
+    assert!(re.len() >= 5 * m * b && im.len() >= 5 * m * b && st.len() >= 5 * m);
     for k in 0..m {
         let tw1 = st[k * 5 + 1];
         let tw2 = st[k * 5 + 2];
         let tw3 = st[k * 5 + 3];
         let tw4 = st[k * 5 + 4];
-        let base = [
+        let (i0, i1, i2, i3, i4) = (
             k * b,
             (m + k) * b,
             (2 * m + k) * b,
             (3 * m + k) * b,
             (4 * m + k) * b,
-        ];
+        );
         for j in 0..b {
-            let a0 = dst[base[0] + j];
-            let a1 = dst[base[1] + j] * tw1;
-            let a2 = dst[base[2] + j] * tw2;
-            let a3 = dst[base[3] + j] * tw3;
-            let a4 = dst[base[4] + j] * tw4;
-            let t1 = a1 + a4;
-            let t2 = a2 + a3;
-            let t3 = a1 - a4;
-            let t4 = a2 - a3;
-            let e1 = a0 + t1.scale(C1) + t2.scale(C2);
-            let e2 = a0 + t1.scale(C2) + t2.scale(C1);
-            let f1 = neg_i(t3.scale(S1) + t4.scale(S2));
-            let f2 = neg_i(t3.scale(S2) - t4.scale(S1));
-            dst[base[0] + j] = a0 + t1 + t2;
-            dst[base[1] + j] = e1 + f1;
-            dst[base[4] + j] = e1 - f1;
-            dst[base[2] + j] = e2 + f2;
-            dst[base[3] + j] = e2 - f2;
+            let a0r = re[i0 + j];
+            let a0i = im[i0 + j];
+            let (x1r, x1i) = (re[i1 + j], im[i1 + j]);
+            let a1r = x1r * tw1.re - x1i * tw1.im;
+            let a1i = x1r * tw1.im + x1i * tw1.re;
+            let (x2r, x2i) = (re[i2 + j], im[i2 + j]);
+            let a2r = x2r * tw2.re - x2i * tw2.im;
+            let a2i = x2r * tw2.im + x2i * tw2.re;
+            let (x3r, x3i) = (re[i3 + j], im[i3 + j]);
+            let a3r = x3r * tw3.re - x3i * tw3.im;
+            let a3i = x3r * tw3.im + x3i * tw3.re;
+            let (x4r, x4i) = (re[i4 + j], im[i4 + j]);
+            let a4r = x4r * tw4.re - x4i * tw4.im;
+            let a4i = x4r * tw4.im + x4i * tw4.re;
+            let t1r = a1r + a4r;
+            let t1i = a1i + a4i;
+            let t2r = a2r + a3r;
+            let t2i = a2i + a3i;
+            let t3r = a1r - a4r;
+            let t3i = a1i - a4i;
+            let t4r = a2r - a3r;
+            let t4i = a2i - a3i;
+            let e1r = a0r + C1 * t1r + C2 * t2r;
+            let e1i = a0i + C1 * t1i + C2 * t2i;
+            let e2r = a0r + C2 * t1r + C1 * t2r;
+            let e2i = a0i + C2 * t1i + C1 * t2i;
+            // f1 = -i (S1 t3 + S2 t4), f2 = -i (S2 t3 - S1 t4).
+            let f1r = S1 * t3i + S2 * t4i;
+            let f1i = -(S1 * t3r + S2 * t4r);
+            let f2r = S2 * t3i - S1 * t4i;
+            let f2i = -(S2 * t3r - S1 * t4r);
+            re[i0 + j] = a0r + t1r + t2r;
+            im[i0 + j] = a0i + t1i + t2i;
+            re[i1 + j] = e1r + f1r;
+            im[i1 + j] = e1i + f1i;
+            re[i4 + j] = e1r - f1r;
+            im[i4 + j] = e1i - f1i;
+            re[i2 + j] = e2r + f2r;
+            im[i2 + j] = e2i + f2i;
+            re[i3 + j] = e2r - f2r;
+            im[i3 + j] = e2i - f2i;
         }
+    }
+}
+
+/// Generic radix-`r` combine via the precomputed DFT matrix; only the
+/// large prime radices (7, 11, 13) land here, so it stays scalar-bodied
+/// on every ISA.
+fn combine_generic_split(
+    re: &mut [f64],
+    im: &mut [f64],
+    st: &[Complex64],
+    dt: &[Complex64],
+    r: usize,
+    m: usize,
+    b: usize,
+) {
+    let mut tmp_re = [0.0f64; MAX_RADIX * LINE_BATCH];
+    let mut tmp_im = [0.0f64; MAX_RADIX * LINE_BATCH];
+    let mut acc_re = [0.0f64; LINE_BATCH];
+    let mut acc_im = [0.0f64; LINE_BATCH];
+    for k in 0..m {
+        tmp_re[..b].copy_from_slice(&re[k * b..k * b + b]); // q = 0: tw = 1
+        tmp_im[..b].copy_from_slice(&im[k * b..k * b + b]);
+        for q in 1..r {
+            let tw = st[k * r + q];
+            let at = (q * m + k) * b;
+            for j in 0..b {
+                let xr = re[at + j];
+                let xi = im[at + j];
+                tmp_re[q * b + j] = xr * tw.re - xi * tw.im;
+                tmp_im[q * b + j] = xr * tw.im + xi * tw.re;
+            }
+        }
+        for p in 0..r {
+            acc_re[..b].copy_from_slice(&tmp_re[..b]);
+            acc_im[..b].copy_from_slice(&tmp_im[..b]);
+            for q in 1..r {
+                let tw = dt[p * r + q];
+                for j in 0..b {
+                    let tr = tmp_re[q * b + j];
+                    let ti = tmp_im[q * b + j];
+                    acc_re[j] += tr * tw.re - ti * tw.im;
+                    acc_im[j] += tr * tw.im + ti * tw.re;
+                }
+            }
+            let at = (p * m + k) * b;
+            re[at..at + b].copy_from_slice(&acc_re[..b]);
+            im[at..at + b].copy_from_slice(&acc_im[..b]);
+        }
+    }
+}
+
+/// Signature shared by every butterfly version. The `unsafe` is the
+/// `#[target_feature]` contract: a pointer must only be called on a host
+/// that executes its ISA (the scalar versions are safe functions coerced
+/// to this type).
+type CombineFn = unsafe fn(&mut [f64], &mut [f64], &[Complex64], usize, usize);
+
+/// One runtime-selected butterfly set: the radix-2/3/4/5 combine versions
+/// compiled for a single ISA.
+struct CombineSet {
+    isa: Isa,
+    c2: CombineFn,
+    c3: CombineFn,
+    c4: CombineFn,
+    c5: CombineFn,
+}
+
+// Safe scalar versions (also the NEON versions on aarch64, where the
+// baseline target already emits Advanced SIMD for the plain bodies).
+fn combine2_scalar(re: &mut [f64], im: &mut [f64], st: &[Complex64], m: usize, b: usize) {
+    combine2_body(re, im, st, m, b)
+}
+fn combine3_scalar(re: &mut [f64], im: &mut [f64], st: &[Complex64], m: usize, b: usize) {
+    combine3_body(re, im, st, m, b)
+}
+fn combine4_scalar(re: &mut [f64], im: &mut [f64], st: &[Complex64], m: usize, b: usize) {
+    combine4_body(re, im, st, m, b)
+}
+fn combine5_scalar(re: &mut [f64], im: &mut [f64], st: &[Complex64], m: usize, b: usize) {
+    combine5_body(re, im, st, m, b)
+}
+
+#[cfg(target_arch = "x86_64")]
+mod mv {
+    //! `#[target_feature]` multiversions of the butterfly bodies. Each
+    //! wrapper inlines the shared body under a wider feature set, so the
+    //! autovectorizer emits 256-bit (AVX2+FMA) or 512-bit (AVX-512F)
+    //! lanes across the batch dimension.
+    //!
+    //! # Safety
+    //! Callers must guarantee the host supports the named feature set;
+    //! the dispatch table is built from `bgw_num::simd::effective`, which
+    //! never names an ISA the machine cannot execute.
+    #![allow(missing_docs)]
+
+    use super::*;
+
+    macro_rules! multiversion {
+        ($name:ident, $body:ident, $feat:literal) => {
+            #[target_feature(enable = $feat)]
+            pub unsafe fn $name(
+                re: &mut [f64],
+                im: &mut [f64],
+                st: &[Complex64],
+                m: usize,
+                b: usize,
+            ) {
+                $body(re, im, st, m, b)
+            }
+        };
+    }
+
+    multiversion!(c2_avx2, combine2_body, "avx2,fma");
+    multiversion!(c3_avx2, combine3_body, "avx2,fma");
+    multiversion!(c4_avx2, combine4_body, "avx2,fma");
+    multiversion!(c5_avx2, combine5_body, "avx2,fma");
+    multiversion!(c2_avx512, combine2_body, "avx512f");
+    multiversion!(c3_avx512, combine3_body, "avx512f");
+    multiversion!(c4_avx512, combine4_body, "avx512f");
+    multiversion!(c5_avx512, combine5_body, "avx512f");
+}
+
+static SCALAR_SET: CombineSet = CombineSet {
+    isa: Isa::Scalar,
+    c2: combine2_scalar as CombineFn,
+    c3: combine3_scalar as CombineFn,
+    c4: combine4_scalar as CombineFn,
+    c5: combine5_scalar as CombineFn,
+};
+
+#[cfg(target_arch = "aarch64")]
+static NEON_SET: CombineSet = CombineSet {
+    isa: Isa::Neon,
+    c2: combine2_scalar as CombineFn,
+    c3: combine3_scalar as CombineFn,
+    c4: combine4_scalar as CombineFn,
+    c5: combine5_scalar as CombineFn,
+};
+
+#[cfg(target_arch = "x86_64")]
+static AVX2_SET: CombineSet = CombineSet {
+    isa: Isa::Avx2,
+    c2: mv::c2_avx2,
+    c3: mv::c3_avx2,
+    c4: mv::c4_avx2,
+    c5: mv::c5_avx2,
+};
+
+#[cfg(target_arch = "x86_64")]
+static AVX512_SET: CombineSet = CombineSet {
+    isa: Isa::Avx512,
+    c2: mv::c2_avx512,
+    c3: mv::c3_avx512,
+    c4: mv::c4_avx512,
+    c5: mv::c5_avx512,
+};
+
+/// The butterfly set for the current effective ISA (forced override or
+/// runtime detection; see `bgw_num::simd`). Every set returned here is
+/// executable on this host — that is the safety contract the `unsafe`
+/// combine calls rely on.
+fn combine_set() -> &'static CombineSet {
+    match bgw_num::simd::effective() {
+        Isa::Scalar => &SCALAR_SET,
+        #[cfg(target_arch = "aarch64")]
+        Isa::Neon => &NEON_SET,
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 => &AVX2_SET,
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx512 => &AVX512_SET,
+        #[allow(unreachable_patterns)]
+        _ => &SCALAR_SET,
     }
 }
 
@@ -813,6 +1115,52 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn split_batch_matches_scalar_and_advances_isa_counter() {
+        // Direct split-plane path: radix-2/3/4/5 mixes, a large-prime
+        // radix (13), and a Bluestein length, checked per line against the
+        // scalar kernel. Also pins the per-ISA FFT telemetry: the
+        // butterfly set that ran must be the effective ISA's.
+        let effective = bgw_num::simd::effective();
+        let before = bgw_perf::counters::snapshot().fft_mk_calls_by_isa();
+        for n in [8usize, 15, 45, 60, 26, 17] {
+            for batch in [1usize, 5, LINE_BATCH] {
+                for dir in [Direction::Forward, Direction::Inverse] {
+                    let plan = FftPlan::new(n);
+                    let lines: Vec<Vec<Complex64>> = (0..batch)
+                        .map(|b| rand_signal(n, (29 * n + b) as u64))
+                        .collect();
+                    let mut re = vec![0.0f64; n * batch];
+                    let mut im = vec![0.0f64; n * batch];
+                    for (b, line) in lines.iter().enumerate() {
+                        for (k, &z) in line.iter().enumerate() {
+                            re[k * batch + b] = z.re;
+                            im[k * batch + b] = z.im;
+                        }
+                    }
+                    let mut scratch = vec![0.0f64; plan.batch_scratch_split_len()];
+                    plan.process_batch_split(&mut re, &mut im, batch, &mut scratch, dir);
+                    for (b, line) in lines.iter().enumerate() {
+                        let mut want = line.clone();
+                        plan.process(&mut want, dir);
+                        for (k, w) in want.iter().enumerate() {
+                            let got = c64(re[k * batch + b], im[k * batch + b]);
+                            assert!(
+                                (got - *w).abs() <= 1e-12 * (n as f64).max(1.0),
+                                "n={n} batch={batch} dir={dir:?} b={b} k={k}: {got:?} vs {w:?}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        let after = bgw_perf::counters::snapshot().fft_mk_calls_by_isa();
+        assert!(
+            after[effective.index()] > before[effective.index()],
+            "effective-ISA butterfly lane must advance"
+        );
     }
 
     #[test]

@@ -6,24 +6,32 @@
 //! cuBLAS on Perlmutter). This module is that substrate: a correct
 //! reference implementation and a BLIS-style five-loop blocked kernel
 //! (`jc -> pc -> ic` cache loops around a `jr/ir` register microkernel)
-//! with tunable tile parameters standing in for the Tensile size-specific
-//! autotuning the paper evaluates (Sec. 7.3).
+//! whose inner kernel and tile parameters stand in for the Tensile
+//! size-specific autotuning the paper evaluates (Sec. 7.3).
 //!
 //! Layout choices, in the order they matter:
 //! * operands are packed once per cache block into **split re/im planes**
 //!   so the microkernel runs pure `f64` FMA chains with no shuffles;
+//! * the register microkernel is **runtime-dispatched** per ISA
+//!   (scalar / NEON / AVX2+FMA / AVX-512F, see [`crate::microkernel`]);
+//!   packing is parameterized on the selected kernel's `(mr, nr)` so the
+//!   panel geometry always matches the register tile;
 //! * the `B` strip for a `(jc, pc)` block is packed **once** and shared by
 //!   every row panel (and every pool worker) that consumes it;
-//! * the microkernel holds a `4 x 4` complex tile of `C` in registers
-//!   (32 scalar accumulators) across the whole `kc` depth, so `C` traffic
-//!   is one read-modify-write per cache block instead of one per `k` step;
+//! * the microkernel holds an `mr x nr` complex tile of `C` in registers
+//!   across the whole `kc` depth, so `C` traffic is one read-modify-write
+//!   per cache block instead of one per `k` step;
 //! * row panels of `C` are independent and are scheduled on the `bgw-par`
 //!   worker pool.
 //!
 //! Packing time versus microkernel time is recorded in the global
-//! [`bgw_perf::counters`] so benchmarks can attribute wins.
+//! [`bgw_perf::counters`] — both the legacy process totals and the
+//! per-ISA lanes — so benchmarks can attribute wins and see when a wider
+//! microkernel shifts time into packing.
 
 use crate::matrix::CMatrix;
+use crate::microkernel::{self, MicroKernel, Selection, TileSource, MAX_MR, MAX_NR};
+use bgw_num::simd::Isa;
 use bgw_num::Complex64;
 use bgw_par::SendPtr;
 use std::time::Instant;
@@ -54,30 +62,48 @@ impl Op {
 pub enum GemmBackend {
     /// Triple loop with on-the-fly operand indexing; the correctness oracle.
     Naive,
-    /// Cache-blocked single-thread kernel with packed operands.
+    /// Cache-blocked single-thread kernel with packed operands and the
+    /// runtime-dispatched microkernel at default tiles (stable baseline —
+    /// never consults the autotune table).
     Blocked,
-    /// Cache-blocked kernel with row-panel parallelism on the worker pool.
+    /// Cache-blocked kernel with row-panel parallelism on the worker pool
+    /// (stable baseline — never consults the autotune table).
     Parallel,
-    /// Blocked kernel with caller-supplied tile sizes (the "Tensile" knob).
+    /// Blocked kernel with caller-supplied tile sizes (the "Tensile"
+    /// knob). Pass [`TileParams::AUTO`] to resolve tiles from the
+    /// persisted per-host autotune table instead (explicit tiles >
+    /// persisted table > defaults).
     Tuned(TileParams),
 }
 
-/// Register-tile rows of the microkernel.
-pub const MR: usize = 4;
-/// Register-tile columns of the microkernel.
-pub const NR: usize = 4;
-
 /// Cache-tile sizes for the blocked kernels: `C` is processed in `mc x nc`
 /// panels accumulating over `kc`-deep strips. All three loops are honored
-/// (`nc` bounds the shared packed `B` strip).
+/// (`nc` bounds the shared packed `B` strip); `mc`/`nc` are rounded up to
+/// multiples of the selected microkernel's `mr`/`nr`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TileParams {
-    /// Rows of the `C` panel held hot (rounded up to a multiple of [`MR`]).
+    /// Rows of the `C` panel held hot.
     pub mc: usize,
     /// Depth of the accumulation strip.
     pub kc: usize,
-    /// Columns of the `C` panel (rounded up to a multiple of [`NR`]).
+    /// Columns of the `C` panel.
     pub nc: usize,
+}
+
+impl TileParams {
+    /// Sentinel for [`GemmBackend::Tuned`]: resolve tiles (and kernel
+    /// shape) from the persisted per-host autotune table, falling back to
+    /// defaults when no table entry matches.
+    pub const AUTO: TileParams = TileParams {
+        mc: 0,
+        kc: 0,
+        nc: 0,
+    };
+
+    /// `true` when this is the [`TileParams::AUTO`] sentinel.
+    pub fn is_auto(self) -> bool {
+        self == TileParams::AUTO
+    }
 }
 
 impl Default for TileParams {
@@ -113,13 +139,53 @@ pub fn zgemm(
     match backend {
         GemmBackend::Naive => zgemm_naive(alpha, a, opa, b, opb, beta, c),
         GemmBackend::Blocked => {
-            zgemm_blocked(alpha, a, opa, b, opb, beta, c, TileParams::default(), false)
+            let sel = microkernel::select(m, k, n, None, false);
+            zgemm_blocked(alpha, a, opa, b, opb, beta, c, &sel, false)
         }
         GemmBackend::Parallel => {
-            zgemm_blocked(alpha, a, opa, b, opb, beta, c, TileParams::default(), true)
+            let sel = microkernel::select(m, k, n, None, false);
+            zgemm_blocked(alpha, a, opa, b, opb, beta, c, &sel, true)
         }
-        GemmBackend::Tuned(tiles) => zgemm_blocked(alpha, a, opa, b, opb, beta, c, tiles, true),
+        GemmBackend::Tuned(tiles) => {
+            let explicit = (!tiles.is_auto()).then_some(tiles);
+            let sel = microkernel::select(m, k, n, explicit, true);
+            zgemm_blocked(alpha, a, opa, b, opb, beta, c, &sel, true)
+        }
     }
+}
+
+/// Blocked ZGEMM with an explicit microkernel and tiles, bypassing both
+/// runtime ISA dispatch and the autotune table. This is the hook the
+/// autotune sweep and the per-variant parity tests drive: it touches no
+/// global dispatch state, so concurrent callers can exercise different
+/// kernels.
+///
+/// The kernel must come from the registry ([`microkernel::kernels_for`]
+/// or [`microkernel::host_kernels`]), which only hands out
+/// host-executable variants.
+#[allow(clippy::too_many_arguments)]
+pub fn zgemm_with_microkernel(
+    alpha: Complex64,
+    a: &CMatrix,
+    opa: Op,
+    b: &CMatrix,
+    opb: Op,
+    beta: Complex64,
+    c: &mut CMatrix,
+    kernel: &'static MicroKernel,
+    tiles: TileParams,
+    parallel: bool,
+) {
+    let (m, k) = opa.shape(a.shape());
+    let (kb, n) = opb.shape(b.shape());
+    assert_eq!(k, kb, "inner dimensions disagree: {k} vs {kb}");
+    assert_eq!(c.shape(), (m, n), "output shape mismatch");
+    let sel = Selection {
+        kernel,
+        tiles,
+        tiles_from: TileSource::Explicit,
+    };
+    zgemm_blocked(alpha, a, opa, b, opb, beta, c, &sel, parallel)
 }
 
 /// Convenience product `op(A) * op(B)` with a fresh output matrix.
@@ -193,24 +259,12 @@ fn zgemm_naive(
     }
 }
 
-/// Fused multiply-add that only uses the hardware FMA when the target has
-/// one; `f64::mul_add` without FMA lowers to a (slow) libm call.
-#[inline(always)]
-fn fmadd(a: f64, b: f64, c: f64) -> f64 {
-    #[cfg(target_feature = "fma")]
-    {
-        a.mul_add(b, c)
-    }
-    #[cfg(not(target_feature = "fma"))]
-    {
-        c + a * b
-    }
-}
-
 /// Packs `alpha * op(A)` rows `i0..i1`, depth `p0..p1` into split re/im
-/// planes of `MR`-row micro-panels: element `(i0 + s*MR + r, p0 + p)` lands
-/// at index `s*kk*MR + p*MR + r`. Rows past `i1` are zero-padded so the
-/// microkernel never branches on the row edge.
+/// planes of `mr`-row micro-panels: element `(i0 + s*mr + r, p0 + p)` lands
+/// at index `s*kk*mr + p*mr + r`. Rows past `i1` are zero-padded so the
+/// microkernel never branches on the row edge. `mr` is the register-tile
+/// height of the dispatched microkernel.
+#[allow(clippy::too_many_arguments)]
 fn pack_a(
     a: &CMatrix,
     opa: Op,
@@ -219,19 +273,20 @@ fn pack_a(
     i1: usize,
     p0: usize,
     p1: usize,
+    mr: usize,
 ) -> (Vec<f64>, Vec<f64>) {
     let mm = i1 - i0;
     let kk = p1 - p0;
-    let strips = mm.div_ceil(MR);
-    let mut re = vec![0.0; strips * kk * MR];
-    let mut im = vec![0.0; strips * kk * MR];
+    let strips = mm.div_ceil(mr);
+    let mut re = vec![0.0; strips * kk * mr];
+    let mut im = vec![0.0; strips * kk * mr];
     for s in 0..strips {
-        let base = s * kk * MR;
-        let rows = (mm - s * MR).min(MR);
+        let base = s * kk * mr;
+        let rows = (mm - s * mr).min(mr);
         for p in 0..kk {
-            let at = base + p * MR;
+            let at = base + p * mr;
             for r in 0..rows {
-                let v = alpha * fetch(a, opa, i0 + s * MR + r, p0 + p);
+                let v = alpha * fetch(a, opa, i0 + s * mr + r, p0 + p);
                 re[at + r] = v.re;
                 im[at + r] = v.im;
             }
@@ -241,8 +296,9 @@ fn pack_a(
 }
 
 /// Packs `op(B)` depth `p0..p1`, cols `j0..j1` into split re/im planes of
-/// `NR`-column micro-panels: element `(p0 + p, j0 + s*NR + q)` lands at
-/// index `s*kk*NR + p*NR + q`, zero-padded past the column edge.
+/// `nr`-column micro-panels: element `(p0 + p, j0 + s*nr + q)` lands at
+/// index `s*kk*nr + p*nr + q`, zero-padded past the column edge. `nr` is
+/// the register-tile width of the dispatched microkernel.
 fn pack_b(
     b: &CMatrix,
     opb: Op,
@@ -250,19 +306,20 @@ fn pack_b(
     p1: usize,
     j0: usize,
     j1: usize,
+    nr: usize,
 ) -> (Vec<f64>, Vec<f64>) {
     let nn = j1 - j0;
     let kk = p1 - p0;
-    let strips = nn.div_ceil(NR);
-    let mut re = vec![0.0; strips * kk * NR];
-    let mut im = vec![0.0; strips * kk * NR];
+    let strips = nn.div_ceil(nr);
+    let mut re = vec![0.0; strips * kk * nr];
+    let mut im = vec![0.0; strips * kk * nr];
     for s in 0..strips {
-        let base = s * kk * NR;
-        let cols = (nn - s * NR).min(NR);
+        let base = s * kk * nr;
+        let cols = (nn - s * nr).min(nr);
         for p in 0..kk {
-            let at = base + p * NR;
+            let at = base + p * nr;
             for q in 0..cols {
-                let v = fetch(b, opb, p0 + p, j0 + s * NR + q);
+                let v = fetch(b, opb, p0 + p, j0 + s * nr + q);
                 re[at + q] = v.re;
                 im[at + q] = v.im;
             }
@@ -271,36 +328,19 @@ fn pack_b(
     (re, im)
 }
 
-/// The register microkernel: accumulates an `MR x NR` complex tile over a
-/// depth-`kk` strip of packed panels. Split accumulators keep the inner
-/// loop a pure `f64` FMA lattice the compiler can vectorize across `NR`.
-#[allow(clippy::needless_range_loop)]
-#[inline(always)]
-fn microkernel(
-    kk: usize,
-    are: &[f64],
-    aim: &[f64],
-    bre: &[f64],
-    bim: &[f64],
-    cre: &mut [[f64; NR]; MR],
-    cim: &mut [[f64; NR]; MR],
-) {
-    let a_re = are.chunks_exact(MR);
-    let a_im = aim.chunks_exact(MR);
-    let b_re = bre.chunks_exact(NR);
-    let b_im = bim.chunks_exact(NR);
-    debug_assert!(a_re.len() >= kk && b_re.len() >= kk);
-    for (((ar, ai), br), bi) in a_re.zip(a_im).zip(b_re).zip(b_im).take(kk) {
-        for i in 0..MR {
-            let (x, y) = (ar[i], ai[i]);
-            for j in 0..NR {
-                cre[i][j] = fmadd(x, br[j], cre[i][j]);
-                cre[i][j] = fmadd(-y, bi[j], cre[i][j]);
-                cim[i][j] = fmadd(x, bi[j], cim[i][j]);
-                cim[i][j] = fmadd(y, br[j], cim[i][j]);
-            }
-        }
-    }
+/// Tags the enclosing `gemm` span with the dispatched microkernel's ISA
+/// (one static site per variant so the run report separates them).
+fn kernel_span(isa: Isa) -> bgw_trace::Span {
+    static SCALAR: bgw_trace::SpanSite = bgw_trace::SpanSite::new("gemm.kernel.scalar");
+    static NEON: bgw_trace::SpanSite = bgw_trace::SpanSite::new("gemm.kernel.neon");
+    static AVX2: bgw_trace::SpanSite = bgw_trace::SpanSite::new("gemm.kernel.avx2");
+    static AVX512: bgw_trace::SpanSite = bgw_trace::SpanSite::new("gemm.kernel.avx512");
+    bgw_trace::enter(match isa {
+        Isa::Scalar => &SCALAR,
+        Isa::Neon => &NEON,
+        Isa::Avx2 => &AVX2,
+        Isa::Avx512 => &AVX512,
+    })
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -312,11 +352,16 @@ fn zgemm_blocked(
     opb: Op,
     beta: Complex64,
     c: &mut CMatrix,
-    tiles: TileParams,
+    sel: &Selection,
     parallel: bool,
 ) {
     bgw_perf::counters::record_gemm_call();
+    let kernel = sel.kernel;
+    let (mr, nr) = (kernel.mr, kernel.nr);
+    let lane = kernel.isa.index();
+    bgw_perf::counters::record_gemm_mk_call(lane);
     let _span = bgw_trace::span!("gemm");
+    let _kernel_span = kernel_span(kernel.isa);
     let (m, k) = opa.shape(a.shape());
     let n = c.ncols();
     // 4 real multiplies + 4 adds per complex multiply-accumulate.
@@ -332,9 +377,13 @@ fn zgemm_blocked(
     if m == 0 || n == 0 || k == 0 {
         return;
     }
-    let mc = tiles.mc.max(1).div_ceil(MR) * MR;
-    let kc = tiles.kc.max(1);
-    let nc = tiles.nc.max(1).div_ceil(NR) * NR;
+    debug_assert!(
+        mr <= MAX_MR && nr <= MAX_NR,
+        "kernel tile exceeds stack buffers"
+    );
+    let mc = sel.tiles.mc.max(1).div_ceil(mr) * mr;
+    let kc = sel.tiles.kc.max(1);
+    let nc = sel.tiles.nc.max(1).div_ceil(nr) * nr;
     let ldc = n;
     let cptr = SendPtr::new(c.as_mut_slice().as_mut_ptr());
 
@@ -349,8 +398,10 @@ fn zgemm_blocked(
             let (bre, bim) = {
                 let _pack_span = bgw_trace::span!("gemm.pack");
                 let t_pack = Instant::now();
-                let packed = pack_b(b, opb, pc0, pc1, jc0, jc1);
-                bgw_perf::counters::record_gemm_pack_ns(t_pack.elapsed().as_nanos() as u64);
+                let packed = pack_b(b, opb, pc0, pc1, jc0, jc1, nr);
+                let ns = t_pack.elapsed().as_nanos() as u64;
+                bgw_perf::counters::record_gemm_pack_ns(ns);
+                bgw_perf::counters::record_gemm_mk_pack_ns(lane, ns);
                 packed
             };
 
@@ -358,33 +409,48 @@ fn zgemm_blocked(
                 let (are, aim) = {
                     let _pack_span = bgw_trace::span!("gemm.pack");
                     let t_a = Instant::now();
-                    let packed = pack_a(a, opa, alpha, i0, i1, pc0, pc1);
-                    bgw_perf::counters::record_gemm_pack_ns(t_a.elapsed().as_nanos() as u64);
+                    let packed = pack_a(a, opa, alpha, i0, i1, pc0, pc1, mr);
+                    let ns = t_a.elapsed().as_nanos() as u64;
+                    bgw_perf::counters::record_gemm_pack_ns(ns);
+                    bgw_perf::counters::record_gemm_mk_pack_ns(lane, ns);
                     packed
                 };
                 let _compute_span = bgw_trace::span!("gemm.compute");
                 let t_c = Instant::now();
                 let mm = i1 - i0;
                 for (sj, (bre_s, bim_s)) in bre
-                    .chunks_exact(kk * NR)
-                    .zip(bim.chunks_exact(kk * NR))
+                    .chunks_exact(kk * nr)
+                    .zip(bim.chunks_exact(kk * nr))
                     .enumerate()
                 {
-                    let j = jc0 + sj * NR;
-                    let cols = (jc1 - j).min(NR);
+                    let j = jc0 + sj * nr;
+                    let cols = (jc1 - j).min(nr);
                     for (si, (are_s, aim_s)) in are
-                        .chunks_exact(kk * MR)
-                        .zip(aim.chunks_exact(kk * MR))
+                        .chunks_exact(kk * mr)
+                        .zip(aim.chunks_exact(kk * mr))
                         .enumerate()
                     {
-                        let i = i0 + si * MR;
-                        let rows = (mm - si * MR).min(MR);
-                        let mut cre = [[0.0; NR]; MR];
-                        let mut cim = [[0.0; NR]; MR];
-                        microkernel(kk, are_s, aim_s, bre_s, bim_s, &mut cre, &mut cim);
-                        for (ii, (cre_row, cim_row)) in
-                            cre.iter().zip(cim.iter()).enumerate().take(rows)
-                        {
+                        let i = i0 + si * mr;
+                        let rows = (mm - si * mr).min(mr);
+                        let mut cre = [0.0f64; MAX_MR * MAX_NR];
+                        let mut cim = [0.0f64; MAX_MR * MAX_NR];
+                        // SAFETY: packed panels hold exactly kk*mr / kk*nr
+                        // elements per strip (zero-padded at edges) and the
+                        // stack tiles hold MAX_MR*MAX_NR >= mr*nr, meeting
+                        // the kernel's layout contract; the registry only
+                        // hands out host-executable kernels.
+                        unsafe {
+                            kernel.run_raw(
+                                kk,
+                                are_s.as_ptr(),
+                                aim_s.as_ptr(),
+                                bre_s.as_ptr(),
+                                bim_s.as_ptr(),
+                                cre.as_mut_ptr(),
+                                cim.as_mut_ptr(),
+                            );
+                        }
+                        for ii in 0..rows {
                             // SAFETY: row panels [i0, i1) are disjoint
                             // across pool workers and jr strips are visited
                             // serially within a panel, so every C element
@@ -393,14 +459,16 @@ fn zgemm_blocked(
                             for jj in 0..cols {
                                 unsafe {
                                     let e = &mut *row.add(jj);
-                                    e.re += cre_row[jj];
-                                    e.im += cim_row[jj];
+                                    e.re += cre[ii * nr + jj];
+                                    e.im += cim[ii * nr + jj];
                                 }
                             }
                         }
                     }
                 }
-                bgw_perf::counters::record_gemm_compute_ns(t_c.elapsed().as_nanos() as u64);
+                let ns = t_c.elapsed().as_nanos() as u64;
+                bgw_perf::counters::record_gemm_compute_ns(ns);
+                bgw_perf::counters::record_gemm_mk_compute_ns(lane, ns);
             };
 
             let panels = m.div_ceil(mc);
@@ -623,8 +691,8 @@ mod tests {
     fn randomized_shape_sweep_all_ops_all_backends() {
         bgw_par::set_num_threads(3);
         let mut rng = Xoshiro256StarStar::seed_from_u64(0xC0FFEE);
-        // Dimensions chosen to straddle MR/NR (4), the Tuned test tile
-        // (3/5/7), and default mc/kc boundaries.
+        // Dimensions chosen to straddle common mr/nr (4..16), the Tuned
+        // test tile (3/5/7), and default mc/kc boundaries.
         let dims = [1usize, 2, 3, 4, 5, 7, 8, 9, 16, 63, 64, 65, 130];
         let ops = [Op::None, Op::Trans, Op::Adj];
         let mut seed = 1000u64;
@@ -688,6 +756,121 @@ mod tests {
         bgw_par::set_num_threads(0);
     }
 
+    /// Satellite 3 (ISSUE 6): every microkernel variant this host can
+    /// execute must match the Naive oracle at 1e-12 across edge shapes
+    /// built from its own register tile (1, mr-1, mr, mr+1, 129,
+    /// non-dividing) and conjugated/transposed Op combinations. Drives
+    /// `zgemm_with_microkernel` directly, so no global dispatch state is
+    /// touched and all variants are covered even though runtime dispatch
+    /// would only ever pick the best one.
+    #[test]
+    fn every_host_microkernel_matches_naive_on_edge_shapes() {
+        let ops = [Op::None, Op::Trans, Op::Adj];
+        let alpha = c64(0.7, -0.3);
+        let beta = c64(0.2, 0.1);
+        for kernel in microkernel::host_kernels() {
+            let m_dims = [1, kernel.mr - 1, kernel.mr, kernel.mr + 1, 129];
+            let n_dims = [1, kernel.nr - 1, kernel.nr, kernel.nr + 1, 37];
+            let k_dims = [1, 37, 129];
+            let mut seed = 0x51D_0000 + (kernel.mr * 64 + kernel.nr) as u64;
+            let mut case = 0usize;
+            for &m in &m_dims {
+                for &n in &n_dims {
+                    for &k in &k_dims {
+                        // Rotate through Op combos instead of the full
+                        // cross to bound runtime; every pair appears.
+                        let opa = ops[case % 3];
+                        let opb = ops[(case / 3) % 3];
+                        case += 1;
+                        seed += 7;
+                        let a = match opa {
+                            Op::None => CMatrix::random(m, k, seed),
+                            _ => CMatrix::random(k, m, seed),
+                        };
+                        let b = match opb {
+                            Op::None => CMatrix::random(k, n, seed + 1),
+                            _ => CMatrix::random(n, k, seed + 1),
+                        };
+                        let c0 = CMatrix::random(m, n, seed + 2);
+                        let mut expect = c0.clone();
+                        zgemm(
+                            alpha,
+                            &a,
+                            opa,
+                            &b,
+                            opb,
+                            beta,
+                            &mut expect,
+                            GemmBackend::Naive,
+                        );
+                        let mut got = c0.clone();
+                        zgemm_with_microkernel(
+                            alpha,
+                            &a,
+                            opa,
+                            &b,
+                            opb,
+                            beta,
+                            &mut got,
+                            kernel,
+                            TileParams::default(),
+                            false,
+                        );
+                        assert!(
+                            got.max_abs_diff(&expect) <= 1e-12,
+                            "{} {m}x{k}x{n} {opa:?}/{opb:?}: max diff {}",
+                            kernel.label(),
+                            got.max_abs_diff(&expect)
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Satellite 3 (ISSUE 6): forcing each host-supported ISA routes the
+    /// dispatched backends through that ISA's kernel, observed via the
+    /// per-ISA telemetry lanes (this is what makes `fmadd`'s silent
+    /// compile-time degradation impossible to miss now).
+    #[test]
+    fn forced_dispatch_exercises_each_supported_isa() {
+        use bgw_num::simd;
+        let a = CMatrix::random(40, 24, 311);
+        let b = CMatrix::random(24, 48, 312);
+        let reference = matmul(&a, Op::None, &b, Op::None, GemmBackend::Naive);
+        for isa in simd::supported() {
+            assert!(simd::force(Some(isa)), "supported ISA must be forceable");
+            let before = bgw_perf::counters::snapshot().gemm_mk_calls_by_isa()[isa.index()];
+            let c = matmul(&a, Op::None, &b, Op::None, GemmBackend::Parallel);
+            assert!(c.max_abs_diff(&reference) <= 1e-12, "{isa:?} parity");
+            let after = bgw_perf::counters::snapshot().gemm_mk_calls_by_isa()[isa.index()];
+            assert!(
+                after > before,
+                "{isa:?} lane must record the dispatched kernel"
+            );
+        }
+        assert!(simd::force(None));
+    }
+
+    #[test]
+    fn tuned_auto_resolves_without_panicking() {
+        // With or without a persisted table, AUTO must produce a working
+        // configuration (table > defaults).
+        let a = CMatrix::random(33, 17, 411);
+        let b = CMatrix::random(17, 29, 412);
+        let expect = matmul(&a, Op::None, &b, Op::None, GemmBackend::Naive);
+        let c = matmul(
+            &a,
+            Op::None,
+            &b,
+            Op::None,
+            GemmBackend::Tuned(TileParams::AUTO),
+        );
+        assert!(c.max_abs_diff(&expect) <= 1e-12);
+        assert!(TileParams::AUTO.is_auto());
+        assert!(!TileParams::default().is_auto());
+    }
+
     #[test]
     fn gemm_counters_advance() {
         let before = bgw_perf::counters::snapshot();
@@ -698,5 +881,8 @@ mod tests {
         assert!(d.gemm_calls >= 1);
         assert!(d.gemm_pack_ns > 0, "packing must be accounted");
         assert!(d.gemm_compute_ns > 0, "microkernel must be accounted");
+        // The per-ISA lanes must account the same work to some lane.
+        let mk_calls: u64 = d.gemm_mk_calls_by_isa().iter().sum();
+        assert!(mk_calls >= 1, "dispatched kernel lane must advance");
     }
 }

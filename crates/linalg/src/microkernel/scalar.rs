@@ -1,0 +1,75 @@
+//! Portable scalar microkernel — the fallback every host can execute.
+//!
+//! This is the original 4x4 FMA lattice from the five-loop ZGEMM, behind
+//! the unified raw-pointer kernel signature of the dispatch layer. It is
+//! selected at *runtime* like the SIMD variants, so telemetry always
+//! reports which kernel actually ran — previously the `fmadd` shim below
+//! silently decided mul+add versus fused at **compile time**, and a build
+//! without `-C target-cpu` degraded FMA-capable hosts with no trace of it.
+
+/// Fused multiply-add that only uses the hardware FMA when the *compile
+/// target* has one; `f64::mul_add` without FMA lowers to a (slow) libm
+/// call. FMA-capable hosts running a generic build never reach this
+/// kernel — runtime dispatch sends them to the AVX2/AVX-512/NEON variants
+/// whose fused arithmetic is guaranteed by `#[target_feature]` — so the
+/// compile-time choice here only governs genuinely scalar hosts.
+#[inline(always)]
+fn fmadd(a: f64, b: f64, c: f64) -> f64 {
+    #[cfg(target_feature = "fma")]
+    {
+        a.mul_add(b, c)
+    }
+    #[cfg(not(target_feature = "fma"))]
+    {
+        c + a * b
+    }
+}
+
+/// Scalar `4 x 4` register-tile kernel over split re/im panels.
+///
+/// Layout contract (shared by every kernel in this module tree):
+/// `a*[p*MR + i]` is row `i` of depth step `p`, `b*[p*NR + j]` is column
+/// `j`, and the `MR x NR` output tile is written row-major to `c*`
+/// (overwriting — the caller owns accumulation into `C`).
+///
+/// # Safety
+/// `are`/`aim` must be readable for `kk*4` elements, `bre`/`bim` for
+/// `kk*4`, and `cre`/`cim` writable for `16`.
+pub unsafe fn kernel_4x4(
+    kk: usize,
+    are: *const f64,
+    aim: *const f64,
+    bre: *const f64,
+    bim: *const f64,
+    cre: *mut f64,
+    cim: *mut f64,
+) {
+    const MR: usize = 4;
+    const NR: usize = 4;
+    let mut acc_re = [[0.0f64; NR]; MR];
+    let mut acc_im = [[0.0f64; NR]; MR];
+    for p in 0..kk {
+        let ap_re = are.add(p * MR);
+        let ap_im = aim.add(p * MR);
+        let bp_re = bre.add(p * NR);
+        let bp_im = bim.add(p * NR);
+        for i in 0..MR {
+            let x = *ap_re.add(i);
+            let y = *ap_im.add(i);
+            for j in 0..NR {
+                let br = *bp_re.add(j);
+                let bi = *bp_im.add(j);
+                acc_re[i][j] = fmadd(x, br, acc_re[i][j]);
+                acc_re[i][j] = fmadd(-y, bi, acc_re[i][j]);
+                acc_im[i][j] = fmadd(x, bi, acc_im[i][j]);
+                acc_im[i][j] = fmadd(y, br, acc_im[i][j]);
+            }
+        }
+    }
+    for i in 0..MR {
+        for j in 0..NR {
+            *cre.add(i * NR + j) = acc_re[i][j];
+            *cim.add(i * NR + j) = acc_im[i][j];
+        }
+    }
+}

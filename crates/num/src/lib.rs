@@ -14,6 +14,7 @@ pub mod complex;
 pub mod grid;
 pub mod pade;
 pub mod rng;
+pub mod simd;
 pub mod stats;
 pub mod sum;
 

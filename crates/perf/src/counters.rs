@@ -54,6 +54,21 @@ static CKPT_READS: AtomicU64 = AtomicU64::new(0);
 static CKPT_BYTES: AtomicU64 = AtomicU64::new(0);
 static FF_HERMITICITY_DROPS: AtomicU64 = AtomicU64::new(0);
 
+/// Number of SIMD instruction-set lanes tracked by the per-ISA kernel
+/// counters. Indices follow `bgw_num::simd::Isa::index()`: 0 scalar,
+/// 1 neon, 2 avx2, 3 avx512 (this crate is dependency-free, so the
+/// correspondence is by convention, pinned by tests on the consumer side).
+pub const ISA_LANES: usize = 4;
+
+/// Lowercase ISA names in [`ISA_LANES`] index order (matches
+/// `bgw_num::simd::Isa::name()`).
+pub const ISA_NAMES: [&str; ISA_LANES] = ["scalar", "neon", "avx2", "avx512"];
+
+static GEMM_MK_CALLS: [AtomicU64; ISA_LANES] = [const { AtomicU64::new(0) }; ISA_LANES];
+static GEMM_MK_PACK_NS: [AtomicU64; ISA_LANES] = [const { AtomicU64::new(0) }; ISA_LANES];
+static GEMM_MK_COMPUTE_NS: [AtomicU64; ISA_LANES] = [const { AtomicU64::new(0) }; ISA_LANES];
+static FFT_MK_CALLS: [AtomicU64; ISA_LANES] = [const { AtomicU64::new(0) }; ISA_LANES];
+
 /// Point-in-time reading of every substrate counter.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CounterSnapshot {
@@ -116,6 +131,38 @@ pub struct CounterSnapshot {
     /// silently dropped — surfaced instead of hidden (debug builds also
     /// assert).
     pub ff_hermiticity_drops: u64,
+    /// ZGEMM calls dispatched to the scalar microkernel.
+    pub gemm_mk_calls_scalar: u64,
+    /// ZGEMM calls dispatched to the NEON microkernel.
+    pub gemm_mk_calls_neon: u64,
+    /// ZGEMM calls dispatched to the AVX2+FMA microkernel.
+    pub gemm_mk_calls_avx2: u64,
+    /// ZGEMM calls dispatched to the AVX-512 microkernel.
+    pub gemm_mk_calls_avx512: u64,
+    /// GEMM packing nanoseconds attributed to scalar-microkernel calls.
+    pub gemm_mk_pack_ns_scalar: u64,
+    /// GEMM packing nanoseconds attributed to NEON-microkernel calls.
+    pub gemm_mk_pack_ns_neon: u64,
+    /// GEMM packing nanoseconds attributed to AVX2-microkernel calls.
+    pub gemm_mk_pack_ns_avx2: u64,
+    /// GEMM packing nanoseconds attributed to AVX-512-microkernel calls.
+    pub gemm_mk_pack_ns_avx512: u64,
+    /// GEMM microkernel-sweep nanoseconds on the scalar variant.
+    pub gemm_mk_compute_ns_scalar: u64,
+    /// GEMM microkernel-sweep nanoseconds on the NEON variant.
+    pub gemm_mk_compute_ns_neon: u64,
+    /// GEMM microkernel-sweep nanoseconds on the AVX2 variant.
+    pub gemm_mk_compute_ns_avx2: u64,
+    /// GEMM microkernel-sweep nanoseconds on the AVX-512 variant.
+    pub gemm_mk_compute_ns_avx512: u64,
+    /// Batched-FFT butterfly passes executed by the scalar combine set.
+    pub fft_mk_calls_scalar: u64,
+    /// Batched-FFT butterfly passes executed by the NEON combine set.
+    pub fft_mk_calls_neon: u64,
+    /// Batched-FFT butterfly passes executed by the AVX2 combine set.
+    pub fft_mk_calls_avx2: u64,
+    /// Batched-FFT butterfly passes executed by the AVX-512 combine set.
+    pub fft_mk_calls_avx512: u64,
     /// Monotonicity violations observed while computing this snapshot as
     /// a delta: the number of counters that went *backwards* between the
     /// two snapshots. Always zero for direct [`snapshot`]s; nonzero on a
@@ -148,6 +195,22 @@ macro_rules! for_each_counter_field {
         $m!(ckpt_reads);
         $m!(ckpt_bytes);
         $m!(ff_hermiticity_drops);
+        $m!(gemm_mk_calls_scalar);
+        $m!(gemm_mk_calls_neon);
+        $m!(gemm_mk_calls_avx2);
+        $m!(gemm_mk_calls_avx512);
+        $m!(gemm_mk_pack_ns_scalar);
+        $m!(gemm_mk_pack_ns_neon);
+        $m!(gemm_mk_pack_ns_avx2);
+        $m!(gemm_mk_pack_ns_avx512);
+        $m!(gemm_mk_compute_ns_scalar);
+        $m!(gemm_mk_compute_ns_neon);
+        $m!(gemm_mk_compute_ns_avx2);
+        $m!(gemm_mk_compute_ns_avx512);
+        $m!(fft_mk_calls_scalar);
+        $m!(fft_mk_calls_neon);
+        $m!(fft_mk_calls_avx2);
+        $m!(fft_mk_calls_avx512);
     };
 }
 
@@ -281,6 +344,61 @@ impl CounterSnapshot {
     pub fn comm_recovery_seconds(&self) -> f64 {
         self.comm_recovery_ns as f64 * 1e-9
     }
+
+    /// ZGEMM microkernel dispatch counts by ISA index ([`ISA_NAMES`] order).
+    pub fn gemm_mk_calls_by_isa(&self) -> [u64; ISA_LANES] {
+        [
+            self.gemm_mk_calls_scalar,
+            self.gemm_mk_calls_neon,
+            self.gemm_mk_calls_avx2,
+            self.gemm_mk_calls_avx512,
+        ]
+    }
+
+    /// GEMM packing nanoseconds by consuming-microkernel ISA index.
+    pub fn gemm_mk_pack_ns_by_isa(&self) -> [u64; ISA_LANES] {
+        [
+            self.gemm_mk_pack_ns_scalar,
+            self.gemm_mk_pack_ns_neon,
+            self.gemm_mk_pack_ns_avx2,
+            self.gemm_mk_pack_ns_avx512,
+        ]
+    }
+
+    /// GEMM microkernel-sweep nanoseconds by ISA index.
+    pub fn gemm_mk_compute_ns_by_isa(&self) -> [u64; ISA_LANES] {
+        [
+            self.gemm_mk_compute_ns_scalar,
+            self.gemm_mk_compute_ns_neon,
+            self.gemm_mk_compute_ns_avx2,
+            self.gemm_mk_compute_ns_avx512,
+        ]
+    }
+
+    /// Batched-FFT butterfly pass counts by combine-set ISA index.
+    pub fn fft_mk_calls_by_isa(&self) -> [u64; ISA_LANES] {
+        [
+            self.fft_mk_calls_scalar,
+            self.fft_mk_calls_neon,
+            self.fft_mk_calls_avx2,
+            self.fft_mk_calls_avx512,
+        ]
+    }
+
+    /// Fraction of GEMM time the ISA-`isa` variant spent packing operand
+    /// panels (`pack / (pack + compute)`), or `None` when that variant
+    /// recorded no work. Autotune sweeps read this per configuration to
+    /// see when a wider register tile shifts time into packing.
+    pub fn gemm_mk_pack_fraction(&self, isa: usize) -> Option<f64> {
+        let lane = isa.min(ISA_LANES - 1);
+        let pack = self.gemm_mk_pack_ns_by_isa()[lane];
+        let compute = self.gemm_mk_compute_ns_by_isa()[lane];
+        if pack + compute == 0 {
+            None
+        } else {
+            Some(pack as f64 / (pack + compute) as f64)
+        }
+    }
 }
 
 /// Reads all counters.
@@ -307,6 +425,22 @@ pub fn snapshot() -> CounterSnapshot {
         ckpt_reads: CKPT_READS.load(Ordering::Relaxed),
         ckpt_bytes: CKPT_BYTES.load(Ordering::Relaxed),
         ff_hermiticity_drops: FF_HERMITICITY_DROPS.load(Ordering::Relaxed),
+        gemm_mk_calls_scalar: GEMM_MK_CALLS[0].load(Ordering::Relaxed),
+        gemm_mk_calls_neon: GEMM_MK_CALLS[1].load(Ordering::Relaxed),
+        gemm_mk_calls_avx2: GEMM_MK_CALLS[2].load(Ordering::Relaxed),
+        gemm_mk_calls_avx512: GEMM_MK_CALLS[3].load(Ordering::Relaxed),
+        gemm_mk_pack_ns_scalar: GEMM_MK_PACK_NS[0].load(Ordering::Relaxed),
+        gemm_mk_pack_ns_neon: GEMM_MK_PACK_NS[1].load(Ordering::Relaxed),
+        gemm_mk_pack_ns_avx2: GEMM_MK_PACK_NS[2].load(Ordering::Relaxed),
+        gemm_mk_pack_ns_avx512: GEMM_MK_PACK_NS[3].load(Ordering::Relaxed),
+        gemm_mk_compute_ns_scalar: GEMM_MK_COMPUTE_NS[0].load(Ordering::Relaxed),
+        gemm_mk_compute_ns_neon: GEMM_MK_COMPUTE_NS[1].load(Ordering::Relaxed),
+        gemm_mk_compute_ns_avx2: GEMM_MK_COMPUTE_NS[2].load(Ordering::Relaxed),
+        gemm_mk_compute_ns_avx512: GEMM_MK_COMPUTE_NS[3].load(Ordering::Relaxed),
+        fft_mk_calls_scalar: FFT_MK_CALLS[0].load(Ordering::Relaxed),
+        fft_mk_calls_neon: FFT_MK_CALLS[1].load(Ordering::Relaxed),
+        fft_mk_calls_avx2: FFT_MK_CALLS[2].load(Ordering::Relaxed),
+        fft_mk_calls_avx512: FFT_MK_CALLS[3].load(Ordering::Relaxed),
         delta_underflows: 0,
     }
 }
@@ -429,6 +563,40 @@ pub fn record_ff_hermiticity_drop() {
     FF_HERMITICITY_DROPS.fetch_add(1, Ordering::Relaxed);
 }
 
+#[inline]
+fn isa_lane(isa: usize) -> usize {
+    debug_assert!(isa < ISA_LANES, "unknown ISA index {isa}");
+    isa.min(ISA_LANES - 1)
+}
+
+/// Records one blocked-family ZGEMM call dispatched to the microkernel
+/// of ISA index `isa` (see [`ISA_NAMES`]).
+#[inline]
+pub fn record_gemm_mk_call(isa: usize) {
+    GEMM_MK_CALLS[isa_lane(isa)].fetch_add(1, Ordering::Relaxed);
+}
+
+/// Adds operand-packing time attributed to the microkernel of ISA index
+/// `isa` (the packing layout is the one that kernel's register tile
+/// demands, so packing cost is charged to the consuming variant).
+#[inline]
+pub fn record_gemm_mk_pack_ns(isa: usize, ns: u64) {
+    GEMM_MK_PACK_NS[isa_lane(isa)].fetch_add(ns, Ordering::Relaxed);
+}
+
+/// Adds microkernel-sweep time for the variant of ISA index `isa`.
+#[inline]
+pub fn record_gemm_mk_compute_ns(isa: usize, ns: u64) {
+    GEMM_MK_COMPUTE_NS[isa_lane(isa)].fetch_add(ns, Ordering::Relaxed);
+}
+
+/// Records one batched-FFT butterfly pass executed by the combine set of
+/// ISA index `isa`.
+#[inline]
+pub fn record_fft_mk_call(isa: usize) {
+    FFT_MK_CALLS[isa_lane(isa)].fetch_add(1, Ordering::Relaxed);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -518,6 +686,31 @@ mod tests {
     }
 
     #[test]
+    fn per_isa_kernel_counters_advance() {
+        let before = snapshot();
+        record_gemm_mk_call(3);
+        record_gemm_mk_pack_ns(3, 250);
+        record_gemm_mk_compute_ns(3, 750);
+        record_fft_mk_call(0);
+        let d = before.delta(&snapshot());
+        assert!(d.gemm_mk_calls_by_isa()[3] >= 1);
+        assert!(d.gemm_mk_pack_ns_by_isa()[3] >= 250);
+        assert!(d.gemm_mk_compute_ns_by_isa()[3] >= 750);
+        assert!(d.fft_mk_calls_by_isa()[0] >= 1);
+        let frac = d.gemm_mk_pack_fraction(3).expect("variant recorded work");
+        assert!(frac > 0.0 && frac < 1.0, "pack fraction {frac}");
+        assert_eq!(ISA_NAMES[3], "avx512");
+    }
+
+    #[test]
+    fn pack_fraction_is_none_without_work() {
+        let z = CounterSnapshot::default();
+        for isa in 0..ISA_LANES {
+            assert_eq!(z.gemm_mk_pack_fraction(isa), None);
+        }
+    }
+
+    #[test]
     fn accumulate_sums_fields() {
         let mut a = CounterSnapshot {
             gemm_calls: 2,
@@ -551,7 +744,7 @@ mod tests {
             n_fields += 1;
         });
         assert_eq!(a, b);
-        assert_eq!(n_fields, 22, "visitor must cover every field");
+        assert_eq!(n_fields, 38, "visitor must cover every field");
         assert!(!b.set_field("no_such_counter", 1));
         assert!(CounterSnapshot::default().is_zero());
         assert!(!a.is_zero());

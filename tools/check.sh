@@ -14,6 +14,13 @@
 #   tools/check.sh --ff       full-frequency Sigma smoke only: pooled
 #                             ZGEMM path vs serial oracle (1e-12), span
 #                             FLOP attribution, typed singular-epsilon
+#   tools/check.sh --simd     SIMD microkernel smoke only: per-variant
+#                             parity vs Naive (1e-12), >= 3x throughput
+#                             over the pre-SIMD baseline (skipped with a
+#                             notice on scalar-only hosts), autotune
+#                             persistence round trip (tune once, second
+#                             process picks the table up un-reswept,
+#                             corrupt/stale files degrade to defaults)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -72,9 +79,28 @@ if [ "${1:-}" = "--trace" ]; then
     exit 0
 fi
 
+run_simd_smoke() {
+    echo "==> simd smoke: microkernel parity, 3x throughput gate, autotune round trip"
+    # BGW_THREADS pins the pool width to the committed baseline config so
+    # the >= 3x gate compares like with like. The smoke spawns the
+    # ablation_gemm_tuning tuner against a scratch BGW_AUTOTUNE_PATH, so
+    # the host's real per-user autotune cache is never touched, and runs
+    # in a temp dir so the smoke JSON never clobbers committed numbers.
+    root=$(pwd)
+    simddir=$(mktemp -d)
+    (cd "$simddir" && BGW_THREADS=4 "$root/target/release/simd_smoke")
+    rm -rf "$simddir"
+}
+
 if [ "${1:-}" = "--ff" ]; then
     cargo build --release -p bgw-bench --bin ff_smoke
     run_ff_smoke
+    exit 0
+fi
+
+if [ "${1:-}" = "--simd" ]; then
+    cargo build --release -p bgw-bench --bin simd_smoke --bin ablation_gemm_tuning
+    run_simd_smoke
     exit 0
 fi
 
@@ -110,5 +136,7 @@ run_faults_smoke
 run_trace_smoke
 
 run_ff_smoke
+
+run_simd_smoke
 
 echo "==> all checks passed"
