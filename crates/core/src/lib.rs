@@ -23,6 +23,7 @@ pub mod chi;
 pub mod cohsex;
 pub mod convergence;
 pub mod coulomb;
+pub mod dagflow;
 pub mod dyson;
 pub mod epsilon;
 pub mod gpp;
@@ -43,6 +44,7 @@ pub use chi::{ChiConfig, ChiEngine};
 pub use cohsex::{cohsex_sigma, CohsexValue};
 pub use convergence::{sweep_bands, sweep_eps_cutoff, ConvergenceStudy};
 pub use coulomb::Coulomb;
+pub use dagflow::{run_gpp_gw_dag, DagGwResults};
 pub use dyson::{solve_qp_diag, solve_qp_full, QpState};
 pub use epsilon::{is_static_freq, EpsilonError, EpsilonInverse};
 pub use gpp::{godby_needs, GppModel};
@@ -51,8 +53,8 @@ pub use mtxel::{BandCache, Mtxel};
 pub use params::GwParams;
 pub use pseudobands::{chebyshev_pseudoband, compress, Pseudobands, PseudobandsConfig};
 pub use resilient::{
-    run_gpp_gw_resilient, with_recovery, CommCursor, ResilientError, ResilientGwReport,
-    MAX_RECOVERIES,
+    run_gpp_gw_resilient, run_gpp_gw_resilient_dag, with_recovery, CommCursor, ResilientDagReport,
+    ResilientError, ResilientGwReport, MAX_RECOVERIES,
 };
 pub use restart::{
     run_evgw_checkpointed, run_gpp_gw_checkpointed, CheckpointPolicy, GwStage, RestartError,

@@ -13,19 +13,31 @@
 //!
 //! Every stage retry restarts the *stage*, not the pipeline: results
 //! already replicated on the survivors (e.g. the CHI matrices) are kept.
+//!
+//! [`run_gpp_gw_resilient_dag`] goes one granularity level further: the
+//! CHI and Sigma stages are decomposed into fixed task sets (one task per
+//! valence band, `2 * world` G' slices), and a crash re-enqueues only the
+//! tasks whose owner died instead of re-running the survivors' work
+//! (DESIGN.md Sec. 14).
 
-use crate::chi::{try_chi_distributed, ChiConfig};
+use crate::chi::{try_chi_distributed, ChiConfig, ChiEngine};
 use crate::coulomb::Coulomb;
 use crate::dyson::{qp_gap, solve_qp_diag, QpState};
-use crate::epsilon::EpsilonError;
+use crate::epsilon::{EpsilonError, EpsilonInverse};
 use crate::gpp::GppModel;
 use crate::mtxel::Mtxel;
-use crate::sigma::diag::try_gpp_sigma_diag_distributed;
+use crate::sigma::diag::{gpp_sigma_diag_partial, try_gpp_sigma_diag_distributed, SigmaDiagResult};
 use crate::sigma::SigmaContext;
 use crate::workflow::GwConfig;
 use bgw_comm::{Comm, CommError};
-use bgw_dist::{try_invert_epsilon_distributed, DistMatrix};
+use bgw_dist::{try_invert_epsilon_distributed, DistError, DistMatrix};
+use bgw_linalg::CMatrix;
+use bgw_num::{c64, Complex64};
+use bgw_par::dag::TaskGraph;
 use bgw_pwdft::{charge_density_g, solve_bands, ModelSystem};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
 
 /// Most shrink-and-retry cycles one stage may consume before giving up
 /// with [`CommError::RecoveryExhausted`].
@@ -66,6 +78,24 @@ impl From<CommError> for ResilientError {
 impl From<EpsilonError> for ResilientError {
     fn from(e: EpsilonError) -> Self {
         ResilientError::Epsilon(e)
+    }
+}
+
+impl From<DistError> for ResilientError {
+    fn from(e: DistError) -> Self {
+        match e {
+            DistError::Comm(c) => ResilientError::Comm(c),
+            // Newton-Schulz non-convergence means the dielectric matrix
+            // is singular/ill-conditioned — the same application-level
+            // condition the LU pre-flight reports, so it maps onto the
+            // existing epsilon failure surface (deterministic across
+            // ranks; retrying on a shrunken world recomputes the same
+            // matrix).
+            DistError::NotConverged { .. } => ResilientError::Epsilon(EpsilonError::Singular {
+                freq_index: 0,
+                omega: 0.0,
+            }),
+        }
     }
 }
 
@@ -126,6 +156,26 @@ pub fn with_recovery<T>(
     })
 }
 
+/// [`with_recovery`] for stages built on `bgw-dist`, whose typed
+/// [`DistError`] may embed a recoverable communicator fault. Numerical
+/// failures ([`DistError::NotConverged`]) return immediately — they are
+/// deterministic, so shrinking would just recompute the same failure.
+pub fn with_recovery_dist<T>(
+    cursor: &mut CommCursor<'_>,
+    mut f: impl FnMut(&Comm) -> Result<T, DistError>,
+) -> Result<T, DistError> {
+    for _ in 0..MAX_RECOVERIES {
+        match f(cursor.get()) {
+            Ok(v) => return Ok(v),
+            Err(DistError::Comm(e)) if e.is_recoverable() => cursor.shrink()?,
+            Err(e) => return Err(e),
+        }
+    }
+    Err(DistError::Comm(CommError::RecoveryExhausted {
+        attempts: MAX_RECOVERIES,
+    }))
+}
+
 /// What a surviving rank reports after a resilient GPP run.
 #[derive(Clone, Debug)]
 pub struct ResilientGwReport {
@@ -180,36 +230,8 @@ pub fn run_gpp_gw_resilient(
     })?;
 
     // Epsilon: distributed Newton-Schulz inversion, replicated at the end.
-    // NS diverges (and asserts) on a singular matrix, so a rank-local LU
-    // factorization of the replicated eps~ screens for singularity first
-    // — every rank sees the same matrix, so every rank agrees on the typed
-    // error and no collective is left half-entered.
     let vsqrt = coulomb.sqrt_on_sphere(&eps_sph);
-    let eps_m = crate::epsilon::assemble_sym_eps(&chi0, &vsqrt);
-    if !eps_m
-        .as_slice()
-        .iter()
-        .all(|z| z.re.is_finite() && z.im.is_finite())
-    {
-        return Err(EpsilonError::NonFinite {
-            freq_index: 0,
-            omega: 0.0,
-        }
-        .into());
-    }
-    if bgw_linalg::Lu::new(&eps_m).is_err() {
-        return Err(EpsilonError::Singular {
-            freq_index: 0,
-            omega: 0.0,
-        }
-        .into());
-    }
-    let inv = with_recovery(&mut cursor, |c| {
-        let chi_dist = DistMatrix::from_replicated(c, &chi0);
-        let (inv_dist, _iters) = try_invert_epsilon_distributed(c, &chi_dist, &vsqrt, 1e-12)?;
-        inv_dist.try_to_replicated(c)
-    })?;
-    let eps_inv = crate::epsilon::EpsilonInverse::from_parts(vec![0.0], vec![inv], vsqrt.clone());
+    let eps_inv = epsilon_stage(&mut cursor, &chi0, &vsqrt)?;
     let eps_macro = eps_inv.macroscopic_constant();
 
     // Sigma: G'-sliced diag kernel + allreduce, re-sliced on shrink.
@@ -244,5 +266,339 @@ pub fn run_gpp_gw_resilient(
         eps_macro,
         final_size: cursor.get().size(),
         recoveries: cursor.recoveries(),
+    })
+}
+
+/// The epsilon stage shared by both resilient drivers. NS diverges (and
+/// asserts) on a singular matrix, so a rank-local LU factorization of the
+/// replicated eps~ screens for singularity first — every rank sees the
+/// same matrix, so every rank agrees on the typed error and no collective
+/// is left half-entered. The stage is deliberately *stage*-granular even
+/// on the DAG path: the Newton-Schulz iterates are global state, so there
+/// is no finer-grained task whose loss could be recovered independently.
+fn epsilon_stage(
+    cursor: &mut CommCursor<'_>,
+    chi0: &CMatrix,
+    vsqrt: &[f64],
+) -> Result<EpsilonInverse, ResilientError> {
+    let eps_m = crate::epsilon::assemble_sym_eps(chi0, vsqrt);
+    if !eps_m
+        .as_slice()
+        .iter()
+        .all(|z| z.re.is_finite() && z.im.is_finite())
+    {
+        return Err(EpsilonError::NonFinite {
+            freq_index: 0,
+            omega: 0.0,
+        }
+        .into());
+    }
+    if bgw_linalg::Lu::new(&eps_m).is_err() {
+        return Err(EpsilonError::Singular {
+            freq_index: 0,
+            omega: 0.0,
+        }
+        .into());
+    }
+    let inv = with_recovery_dist(cursor, |c| {
+        let chi_dist = DistMatrix::from_replicated(c, chi0);
+        let (inv_dist, _iters) = try_invert_epsilon_distributed(c, &chi_dist, vsqrt, 1e-12)?;
+        Ok(inv_dist.try_to_replicated(c)?)
+    })?;
+    Ok(EpsilonInverse::from_parts(
+        vec![0.0],
+        vec![inv],
+        vsqrt.to_vec(),
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// Task-granular recovery: the DAG resilient driver
+// ---------------------------------------------------------------------------
+
+/// Runs one stage's locally-owned tasks through a [`TaskGraph`]
+/// (overdecomposed and work-stolen when a worker pool is available) and
+/// returns their payloads in task order.
+fn run_task_set<T, F>(ids: &[usize], f: &F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let slots: Vec<Mutex<Option<T>>> = ids.iter().map(|_| Mutex::new(None)).collect();
+    {
+        let mut g = TaskGraph::new();
+        for (i, &t) in ids.iter().enumerate() {
+            let slots = &slots;
+            g.add(&[], move || {
+                *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(f(t));
+            });
+        }
+        g.execute();
+    }
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .expect("task executed")
+        })
+        .collect()
+}
+
+/// Survivor consensus on which tasks died with the lost ranks: every
+/// survivor contributes a presence mask of the tasks it holds locally; a
+/// zero count after the sum means no survivor holds that contribution and
+/// the task must be re-enqueued. The mask collective itself runs under
+/// shrink-and-retry, so a crash *during the census* just shrinks further
+/// and the census repeats among the remaining survivors.
+fn lost_tasks(cursor: &mut CommCursor<'_>, done: &[bool]) -> Result<Vec<usize>, CommError> {
+    let mask: Vec<Complex64> = done
+        .iter()
+        .map(|&d| c64(if d { 1.0 } else { 0.0 }, 0.0))
+        .collect();
+    let counts = with_recovery(cursor, |c| c.try_allreduce_sum_c64(mask.clone()))?;
+    Ok(counts
+        .iter()
+        .enumerate()
+        .filter(|(_, z)| z.re < 0.5)
+        .map(|(t, _)| t)
+        .collect())
+}
+
+/// Allreduce-sum of per-task contributions with task-granular recovery.
+///
+/// On a peer crash the survivors shrink, agree on the orphaned tasks via
+/// [`lost_tasks`], re-enqueue ONLY those (split round-robin over the
+/// survivor ranks and executed through the task graph), fold the
+/// recomputed contributions into the local partial, and retry the
+/// collective. Tasks whose results already live on a survivor are never
+/// recomputed — that is what makes recovery task-granular instead of
+/// stage-granular: losing one rank of `P` costs `~1/P` of the stage, not
+/// the whole stage.
+fn allreduce_with_reenqueue<F>(
+    cursor: &mut CommCursor<'_>,
+    done: &mut [bool],
+    partial: &mut [Complex64],
+    reenqueued: &mut usize,
+    compute: &F,
+) -> Result<Vec<Complex64>, ResilientError>
+where
+    F: Fn(usize) -> Vec<Complex64> + Sync,
+{
+    loop {
+        match cursor.get().try_allreduce_sum_c64(partial.to_vec()) {
+            Ok(total) => return Ok(total),
+            Err(e) if e.is_recoverable() => {
+                if cursor.recoveries() >= MAX_RECOVERIES {
+                    return Err(CommError::RecoveryExhausted {
+                        attempts: MAX_RECOVERIES,
+                    }
+                    .into());
+                }
+                cursor.shrink()?;
+                let lost = lost_tasks(cursor, done)?;
+                let c = cursor.get();
+                let mine: Vec<usize> = lost
+                    .iter()
+                    .copied()
+                    .enumerate()
+                    .filter(|(i, _)| i % c.size() == c.rank())
+                    .map(|(_, t)| t)
+                    .collect();
+                bgw_perf::counters::record_dag_reenqueued(mine.len() as u64);
+                *reenqueued += mine.len();
+                for (t, contrib) in mine.iter().zip(run_task_set(&mine, compute)) {
+                    assert_eq!(contrib.len(), partial.len(), "task payload shape");
+                    for (a, b) in partial.iter_mut().zip(&contrib) {
+                        *a += *b;
+                    }
+                    done[*t] = true;
+                }
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+}
+
+/// What a surviving rank reports after a task-granular (DAG) resilient
+/// run.
+#[derive(Clone, Debug)]
+pub struct ResilientDagReport {
+    /// Band indices whose self-energy was computed.
+    pub sigma_bands: Vec<usize>,
+    /// Quasiparticle solutions, aligned with `sigma_bands`.
+    pub states: Vec<QpState>,
+    /// Quasiparticle gap (Ry).
+    pub gap_qp_ry: f64,
+    /// Macroscopic dielectric constant.
+    pub eps_macro: f64,
+    /// Communicator size at the end of the run.
+    pub final_size: usize,
+    /// Shrink-and-retry cycles this rank performed.
+    pub recoveries: u32,
+    /// Fixed task count of the run: one CHI task per valence band plus
+    /// the overdecomposed Sigma G' slices. Identical on every rank and
+    /// invariant under shrinks — task identity never changes, only
+    /// ownership does.
+    pub tasks_total: usize,
+    /// Orphaned tasks this rank recomputed after their owners died. Zero
+    /// on fault-free runs; the sum over survivors after one crash is the
+    /// dead rank's task count, not the whole stage.
+    pub tasks_reenqueued: usize,
+}
+
+/// The distributed G0W0(GPP) pipeline with *task-granular* fault
+/// recovery.
+///
+/// Where [`run_gpp_gw_resilient`] re-runs a whole stage after a crash
+/// (every survivor recomputes its share from scratch), this driver
+/// decomposes the CHI sum into one task per valence band and the Sigma
+/// G' summation into `2 * world` slices, tracks which task results are
+/// locally held, and on a crash re-enqueues only the tasks whose owner
+/// died. Fault-free runs reproduce the stage-granular driver's physics
+/// (same collectives, same reduction contents up to summation order);
+/// faulted runs reproduce the fault-free QP energies to 1e-10 while
+/// recomputing `~1/P` of the lost stages instead of all of them.
+pub fn run_gpp_gw_resilient_dag(
+    system: &ModelSystem,
+    cfg: &GwConfig,
+    comm: &Comm,
+) -> Result<ResilientDagReport, ResilientError> {
+    let mut cursor = CommCursor::new(comm);
+    let mut reenqueued = 0usize;
+    let wfn_sph = system.wfn_sphere();
+    let eps_sph = system.eps_sphere();
+    let wf = solve_bands(&system.crystal, &wfn_sph, system.n_bands.min(wfn_sph.len()));
+    let coulomb = Coulomb::bulk_for_cell(system.crystal.lattice.volume());
+    let mtxel = Mtxel::new(&wfn_sph, &eps_sph);
+    let chi_cfg = ChiConfig {
+        q0: coulomb.q0,
+        ..cfg.chi
+    };
+
+    // CHI: one task per valence band, owners fixed round-robin over the
+    // initial ranks — a lost rank orphans exactly its bands.
+    let engine = ChiEngine::new(&wf, &mtxel, chi_cfg);
+    let ng = engine.n_g();
+    let nv = wf.n_valence;
+    let chi_task = |v: usize| -> Vec<Complex64> {
+        engine
+            .chi_block_freqs(v, v + 1, &[0.0])
+            .pop()
+            .expect("single static frequency")
+            .as_slice()
+            .to_vec()
+    };
+    let mut chi_done = vec![false; nv];
+    let mut chi_partial = vec![Complex64::ZERO; ng * ng];
+    {
+        let c = cursor.get();
+        let mine: Vec<usize> = (0..nv).filter(|v| v % c.size() == c.rank()).collect();
+        for (v, contrib) in mine.iter().zip(run_task_set(&mine, &chi_task)) {
+            for (a, b) in chi_partial.iter_mut().zip(&contrib) {
+                *a += *b;
+            }
+            chi_done[*v] = true;
+        }
+    }
+    let chi0 = CMatrix::from_vec(
+        ng,
+        ng,
+        allreduce_with_reenqueue(
+            &mut cursor,
+            &mut chi_done,
+            &mut chi_partial,
+            &mut reenqueued,
+            &chi_task,
+        )?,
+    );
+
+    // Epsilon: stage-granular by design (see `epsilon_stage`).
+    let vsqrt = coulomb.sqrt_on_sphere(&eps_sph);
+    let eps_inv = epsilon_stage(&mut cursor, &chi0, &vsqrt)?;
+    let eps_macro = eps_inv.macroscopic_constant();
+
+    // Sigma: G' slices overdecomposed 2x over the initial world, so the
+    // shrunken world rebalances at task granularity.
+    let rho = charge_density_g(&wf, &wfn_sph);
+    let gpp = GppModel::new(
+        &eps_inv,
+        &eps_sph,
+        &wfn_sph,
+        &rho,
+        system.crystal.lattice.volume(),
+    );
+    let k = cfg.bands_around_gap.max(1);
+    let sigma_bands: Vec<usize> = (nv.saturating_sub(k)..(nv + k).min(wf.n_bands())).collect();
+    let ctx = SigmaContext::build(&wf, &mtxel, gpp, &vsqrt, &sigma_bands, coulomb.q0);
+    let d = cfg.sampling_delta_ry;
+    let grids: Vec<Vec<f64>> = ctx
+        .sigma_energies
+        .iter()
+        .map(|&e| vec![e - d, e, e + d])
+        .collect();
+    let ng_s = ctx.n_g();
+    let n_slices = (comm.size() * 2).clamp(1, ng_s.max(1));
+    let sigma_flops = AtomicU64::new(0);
+    let sigma_task = |t: usize| -> Vec<Complex64> {
+        let lo = t * ng_s / n_slices;
+        let hi = (t + 1) * ng_s / n_slices;
+        let part = gpp_sigma_diag_partial(&ctx, &grids, lo, hi);
+        sigma_flops.fetch_add(part.flops, Ordering::Relaxed);
+        part.sigma
+            .iter()
+            .flat_map(|band| band.iter().map(|&x| c64(x, 0.0)))
+            .collect()
+    };
+    let t_sigma = Instant::now();
+    let flat_len: usize = grids.iter().map(Vec::len).sum();
+    let mut sig_done = vec![false; n_slices];
+    let mut sig_partial = vec![Complex64::ZERO; flat_len];
+    {
+        let c = cursor.get();
+        let mine: Vec<usize> = (0..n_slices).filter(|t| t % c.size() == c.rank()).collect();
+        for (t, contrib) in mine.iter().zip(run_task_set(&mine, &sigma_task)) {
+            for (a, b) in sig_partial.iter_mut().zip(&contrib) {
+                *a += *b;
+            }
+            sig_done[*t] = true;
+        }
+    }
+    let reduced = allreduce_with_reenqueue(
+        &mut cursor,
+        &mut sig_done,
+        &mut sig_partial,
+        &mut reenqueued,
+        &sigma_task,
+    )?;
+    let mut sigma = Vec::with_capacity(grids.len());
+    let mut flat_at = 0;
+    for grid in &grids {
+        sigma.push(
+            reduced[flat_at..flat_at + grid.len()]
+                .iter()
+                .map(|z| z.re)
+                .collect(),
+        );
+        flat_at += grid.len();
+    }
+    let diag = SigmaDiagResult {
+        sigma,
+        e_grids: grids,
+        seconds: t_sigma.elapsed().as_secs_f64(),
+        flops: sigma_flops.into_inner(),
+    };
+
+    let states = solve_qp_diag(&ctx.sigma_energies, &diag);
+    let gap_qp = qp_gap(&states, ctx.homo_pos(), ctx.lumo_pos());
+    Ok(ResilientDagReport {
+        sigma_bands,
+        states,
+        gap_qp_ry: gap_qp,
+        eps_macro,
+        final_size: cursor.get().size(),
+        recoveries: cursor.recoveries(),
+        tasks_total: nv + n_slices,
+        tasks_reenqueued: reenqueued,
     })
 }

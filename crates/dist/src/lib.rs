@@ -21,6 +21,54 @@ use bgw_comm::{Comm, CommError};
 use bgw_linalg::{matmul, zgemm, CMatrix, GemmBackend, Op};
 use bgw_num::Complex64;
 
+/// How a distributed linear-algebra operation fails: a communicator
+/// fault, or a numerical condition of the operation itself.
+///
+/// The Newton-Schulz non-convergence case used to be an `assert!` —
+/// one ill-conditioned local panel aborted the whole pool instead of
+/// letting the resilient drivers degrade to their typed-error recovery
+/// path. It is data now, not a crash.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DistError {
+    /// A runtime fault of the underlying communicator.
+    Comm(CommError),
+    /// The Newton-Schulz iteration failed to contract within its sweep
+    /// budget: the matrix is outside the iteration's convergence domain
+    /// (singular or too ill-conditioned). Deterministic — every rank
+    /// computes the same residual, so every rank reports the same error
+    /// and no collective is left half-entered.
+    NotConverged {
+        /// Last observed `||I - A X||_max` residual.
+        residual: f64,
+        /// Sweeps performed before giving up.
+        iterations: usize,
+    },
+}
+
+impl std::fmt::Display for DistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DistError::Comm(e) => write!(f, "communicator fault: {e:?}"),
+            DistError::NotConverged {
+                residual,
+                iterations,
+            } => write!(
+                f,
+                "Newton-Schulz failed to converge after {iterations} sweeps \
+                 (residual {residual:.3e}); use the serial LU fallback"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DistError {}
+
+impl From<CommError> for DistError {
+    fn from(e: CommError) -> Self {
+        DistError::Comm(e)
+    }
+}
+
 /// The rows of a global `n x n`-ish matrix owned by one rank.
 #[derive(Clone, Debug)]
 pub struct DistMatrix {
@@ -131,6 +179,68 @@ impl DistMatrix {
             .unwrap_or_else(|e| std::panic::panic_any(e))
     }
 
+    /// Pipelined distributed product `self * b`: instead of one
+    /// whole-matrix allgather followed by one local GEMM, `b` is gathered
+    /// and consumed in `n_panels` column panels. Each collective posts as
+    /// early as possible — a rank finishing its GEMM on panel `p` enters
+    /// the rendezvous for panel `p+1` while slower ranks still compute,
+    /// so communication of the next panel overlaps compute of the current
+    /// one across the world (and the replicated footprint drops from
+    /// `n x n` to `n x panel`). Column panels see the full contraction
+    /// dimension, so the result is elementwise identical to
+    /// [`DistMatrix::try_matmul`].
+    pub fn try_matmul_pipelined(
+        &self,
+        comm: &Comm,
+        b: &DistMatrix,
+        n_panels: usize,
+    ) -> Result<DistMatrix, CommError> {
+        let _span = bgw_trace::span!("dist.matmul_pipelined");
+        assert_eq!(self.n_cols, b.n_rows, "distributed dims disagree");
+        let k = n_panels.clamp(1, b.n_cols.max(1));
+        let mut local = CMatrix::zeros(self.local_rows(), b.n_cols);
+        for p in 0..k {
+            let lo = p * b.n_cols / k;
+            let hi = (p + 1) * b.n_cols / k;
+            if lo == hi {
+                continue;
+            }
+            // Gather this column panel of `b` (each rank contributes the
+            // panel slice of its row block).
+            let panel_block = b.local.submatrix(0, b.local_rows(), lo, hi);
+            let blocks = comm.try_allgather(panel_block.as_slice().to_vec())?;
+            let width = hi - lo;
+            let mut panel = CMatrix::zeros(b.n_rows, width);
+            let mut row = 0usize;
+            for block in blocks {
+                let rows = block.len() / width.max(1);
+                for r in 0..rows {
+                    panel
+                        .row_mut(row + r)
+                        .copy_from_slice(&block[r * width..(r + 1) * width]);
+                }
+                row += rows;
+            }
+            assert_eq!(row, b.n_rows, "row blocks must tile the panel");
+            let c_panel = matmul(
+                &self.local,
+                Op::None,
+                &panel,
+                Op::None,
+                GemmBackend::Parallel,
+            );
+            for r in 0..self.local_rows() {
+                local.row_mut(r)[lo..hi].copy_from_slice(c_panel.row(r));
+            }
+        }
+        Ok(DistMatrix {
+            n_rows: self.n_rows,
+            n_cols: b.n_cols,
+            row_offset: self.row_offset,
+            local,
+        })
+    }
+
     /// `self = alpha * self + beta * other` elementwise on the local block.
     pub fn axpby(&mut self, alpha: Complex64, beta: Complex64, other: &DistMatrix) {
         assert_eq!(self.local.shape(), other.local.shape());
@@ -157,16 +267,23 @@ impl DistMatrix {
     }
 }
 
+/// How many column panels the Newton-Schulz products pipeline through
+/// [`DistMatrix::try_matmul_pipelined`]: enough to overlap collectives
+/// with compute without shrinking the per-panel GEMM below useful size.
+const NS_PIPELINE_PANELS: usize = 4;
+
 /// Fallible distributed Newton-Schulz inversion; see
-/// [`newton_schulz_inverse`]. Communication faults surface as typed
-/// errors; the non-convergence panic is kept (it signals a matrix outside
-/// the iteration's domain, not a runtime fault).
+/// [`newton_schulz_inverse`]. Communication faults surface as
+/// [`DistError::Comm`]; non-convergence (a singular or ill-conditioned
+/// matrix) surfaces as [`DistError::NotConverged`] instead of the assert
+/// that used to abort the pool — resilient callers degrade to their
+/// typed-error recovery path.
 pub fn try_newton_schulz_inverse(
     comm: &Comm,
     a: &DistMatrix,
     tol: f64,
     max_iter: usize,
-) -> Result<(DistMatrix, usize), CommError> {
+) -> Result<(DistMatrix, usize), DistError> {
     assert_eq!(a.n_rows, a.n_cols, "inversion needs a square matrix");
     let n = a.n_rows;
     // Norm estimates need global column sums: compute on the replicated
@@ -192,8 +309,9 @@ pub fn try_newton_schulz_inverse(
     let mut iterations = 0;
     for it in 0..max_iter {
         iterations = it + 1;
-        // R = A X (distributed), residual = ||I - R||_max
-        let ax = a.try_matmul(comm, &x)?;
+        // R = A X (distributed, pipelined so the panel collectives post
+        // early and overlap the per-panel GEMMs), residual = ||I - R||_max
+        let ax = a.try_matmul_pipelined(comm, &x, NS_PIPELINE_PANELS)?;
         let mut residual: f64 = 0.0;
         for i in 0..ax.local_rows() {
             for j in 0..n {
@@ -227,12 +345,15 @@ pub fn try_newton_schulz_inverse(
             GemmBackend::Parallel,
         );
         x.local = new_local;
-        if it == max_iter - 1 {
-            assert!(
-                residual < 0.9,
-                "Newton-Schulz failed to converge (residual {residual}); \
-                 use the serial LU fallback"
-            );
+        if it == max_iter - 1 && residual >= 0.9 {
+            // Outside the iteration's contraction domain. Every rank
+            // computed the same allreduced residual, so every rank takes
+            // this branch together — the world stays collectively
+            // consistent while the caller falls back or recovers.
+            return Err(DistError::NotConverged {
+                residual,
+                iterations,
+            });
         }
     }
     Ok((x, iterations))
@@ -242,9 +363,10 @@ pub fn try_newton_schulz_inverse(
 ///
 /// Converges quadratically when seeded with `X_0 = A^dagger / (||A||_1
 /// ||A||_inf)`; iteration stops when `||I - A X||_max < tol` or after
-/// `max_iter` sweeps. Returns `(inverse, iterations)`; panics if the
-/// residual fails to drop below `0.9` within the budget (matrix too
-/// ill-conditioned for the iteration — fall back to the serial LU).
+/// `max_iter` sweeps. Returns `(inverse, iterations)`; panics (with a
+/// typed [`DistError`] payload) if the residual fails to drop below
+/// `0.9` within the budget — fallible callers use
+/// [`try_newton_schulz_inverse`] and recover instead.
 pub fn newton_schulz_inverse(
     comm: &Comm,
     a: &DistMatrix,
@@ -261,7 +383,7 @@ pub fn try_invert_epsilon_distributed(
     chi: &DistMatrix,
     vsqrt: &[f64],
     tol: f64,
-) -> Result<(DistMatrix, usize), CommError> {
+) -> Result<(DistMatrix, usize), DistError> {
     assert_eq!(chi.n_rows, chi.n_cols);
     assert_eq!(vsqrt.len(), chi.n_rows);
     let mut eps = chi.clone();
@@ -391,6 +513,56 @@ mod tests {
         for flat in out {
             let inv = CMatrix::from_vec(n, n, flat);
             assert!(inv.max_abs_diff(&reference) < 1e-8);
+        }
+    }
+
+    #[test]
+    fn pipelined_matmul_matches_plain() {
+        let a = CMatrix::random(11, 7, 21);
+        let b = CMatrix::random(7, 5, 22);
+        let serial = matmul(&a, Op::None, &b, Op::None, GemmBackend::Naive);
+        for panels in [1usize, 2, 4, 9] {
+            let (out, _) = run_world(3, |comm| {
+                let da = DistMatrix::from_replicated(comm, &a);
+                let db = DistMatrix::from_replicated(comm, &b);
+                da.try_matmul_pipelined(comm, &db, panels)
+                    .unwrap()
+                    .to_replicated(comm)
+                    .as_slice()
+                    .to_vec()
+            });
+            for flat in out {
+                let c = CMatrix::from_vec(11, 5, flat);
+                assert!(
+                    c.max_abs_diff(&serial) < 1e-12,
+                    "panels={panels}: {}",
+                    c.max_abs_diff(&serial)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn singular_matrix_yields_typed_nonconvergence_on_every_rank() {
+        // The zero matrix is maximally outside the Newton-Schulz domain:
+        // the residual stays pinned at 1. Every rank must get the same
+        // typed error — no panic, no rank left waiting in a collective.
+        let a = CMatrix::zeros(8, 8);
+        let (out, _) = run_world(3, |comm| {
+            let da = DistMatrix::from_replicated(comm, &a);
+            try_newton_schulz_inverse(comm, &da, 1e-12, 5)
+        });
+        for r in out {
+            match r {
+                Err(DistError::NotConverged {
+                    residual,
+                    iterations,
+                }) => {
+                    assert!(residual >= 0.9, "residual {residual}");
+                    assert_eq!(iterations, 5);
+                }
+                other => panic!("expected NotConverged, got {other:?}"),
+            }
         }
     }
 

@@ -27,6 +27,8 @@
 
 #![warn(missing_docs)]
 
+pub mod dag;
+
 use std::cell::Cell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -64,12 +66,45 @@ pub fn num_threads() -> usize {
 
 /// Picks a chunk size that yields a few chunks per worker for dynamic load
 /// balance, with a floor of `min_chunk` to bound scheduling overhead.
+///
+/// The returned size is *balanced*: the raw `(n / (4 * workers))`-style
+/// target is rounded to the ceil-split of `n` over the chunk count that
+/// target implies, so `n` just above a multiple of `workers * min_chunk`
+/// no longer strands a sliver remainder chunk on one worker (e.g.
+/// `n = 65, workers = 4, min_chunk = 16` used to split `16/16/16/16/1`,
+/// doubling one worker's share; it now splits `13/13/13/13/13`).
 pub fn auto_chunk(n: usize, workers: usize, min_chunk: usize) -> usize {
     if n == 0 {
         return 1;
     }
     let target = workers.max(1) * 4;
-    (n / target).max(min_chunk).max(1)
+    let raw = (n / target).max(min_chunk).max(1);
+    let n_chunks = n.div_ceil(raw);
+    n.div_ceil(n_chunks)
+}
+
+/// The balanced chunk decomposition `[lo, hi)` ranges that
+/// [`parallel_for_chunked`] executes for `(n, chunk)`: `k = ceil(n /
+/// chunk)` chunks whose sizes differ by at most one index (the first
+/// `n mod k` chunks carry the extra element). Every chunk size is
+/// `<= chunk`, so caller-side scratch sized for `chunk` stays valid.
+pub fn chunk_bounds(n: usize, chunk: usize, i: usize) -> (usize, usize) {
+    let chunk = chunk.max(1);
+    let k = n.div_ceil(chunk).max(1);
+    debug_assert!(i < k);
+    let base = n / k;
+    let rem = n % k;
+    let lo = i * base + i.min(rem);
+    let hi = lo + base + usize::from(i < rem);
+    (lo, hi)
+}
+
+/// Number of chunks [`chunk_bounds`] splits `n` indices into.
+pub fn chunk_count(n: usize, chunk: usize) -> usize {
+    if n == 0 {
+        return 0;
+    }
+    n.div_ceil(chunk.max(1))
 }
 
 // ---------------------------------------------------------------------------
@@ -245,7 +280,7 @@ fn spawn_to(st: &mut PoolState, target: usize) {
 /// is slot 0). Returns `false` — without running anything — when the
 /// region must run inline instead (single participant, nested call, or
 /// another thread is mid-dispatch).
-fn pool_run(participants: usize, job: &(dyn Fn(usize) + Sync)) -> bool {
+pub(crate) fn pool_run(participants: usize, job: &(dyn Fn(usize) + Sync)) -> bool {
     if participants <= 1 || IN_PARALLEL.with(|c| c.get()) {
         return false;
     }
@@ -344,7 +379,10 @@ where
 ///
 /// This is the primitive the GW kernels use directly: a chunk corresponds
 /// to a tile of the `(G', n)` loop nest and the body runs its own inner
-/// loops.
+/// loops. Chunks are the balanced [`chunk_bounds`] split: sizes differ by
+/// at most one index and never exceed `chunk`, so a remainder just above
+/// a chunk boundary is spread over all chunks instead of stranded as a
+/// sliver on one worker.
 pub fn parallel_for_chunked<F>(n: usize, chunk: usize, body: F)
 where
     F: Fn(usize, usize) + Sync,
@@ -353,7 +391,8 @@ where
         return;
     }
     let chunk = chunk.max(1);
-    let participants = num_threads().min(n.div_ceil(chunk));
+    let k = chunk_count(n, chunk);
+    let participants = num_threads().min(k);
     if participants > 1 {
         let counter = AtomicUsize::new(0);
         let work = |slot: usize| {
@@ -361,11 +400,12 @@ where
                 return; // pool is larger than this region wants
             }
             loop {
-                let start = counter.fetch_add(chunk, Ordering::Relaxed);
-                if start >= n {
+                let i = counter.fetch_add(1, Ordering::Relaxed);
+                if i >= k {
                     break;
                 }
-                body(start, (start + chunk).min(n));
+                let (lo, hi) = chunk_bounds(n, chunk, i);
+                body(lo, hi);
             }
         };
         if pool_run(participants, &work) {
@@ -374,11 +414,9 @@ where
     }
     let _span = bgw_trace::span!("par.inline");
     let timer = RegionTimer::start();
-    let mut lo = 0;
-    while lo < n {
-        let hi = (lo + chunk).min(n);
+    for i in 0..k {
+        let (lo, hi) = chunk_bounds(n, chunk, i);
         body(lo, hi);
-        lo = hi;
     }
     let (_wall, excl) = timer.finish();
     bgw_perf::counters::record_pool_inline(excl);
@@ -408,7 +446,8 @@ where
         return identity();
     }
     let chunk = chunk.max(1);
-    let participants = num_threads().min(n.div_ceil(chunk));
+    let k = chunk_count(n, chunk);
+    let participants = num_threads().min(k);
     if participants > 1 {
         let slots: Vec<Mutex<Option<T>>> = (0..participants).map(|_| Mutex::new(None)).collect();
         let counter = AtomicUsize::new(0);
@@ -418,11 +457,12 @@ where
             }
             let mut acc = identity();
             loop {
-                let start = counter.fetch_add(chunk, Ordering::Relaxed);
-                if start >= n {
+                let i = counter.fetch_add(1, Ordering::Relaxed);
+                if i >= k {
                     break;
                 }
-                body(&mut acc, start, (start + chunk).min(n));
+                let (lo, hi) = chunk_bounds(n, chunk, i);
+                body(&mut acc, lo, hi);
             }
             *slots[slot].lock().unwrap_or_else(|e| e.into_inner()) = Some(acc);
         };
@@ -444,11 +484,9 @@ where
     let _span = bgw_trace::span!("par.inline");
     let timer = RegionTimer::start();
     let mut acc = identity();
-    let mut lo = 0;
-    while lo < n {
-        let hi = (lo + chunk).min(n);
+    for i in 0..k {
+        let (lo, hi) = chunk_bounds(n, chunk, i);
         body(&mut acc, lo, hi);
-        lo = hi;
     }
     let (_wall, excl) = timer.finish();
     bgw_perf::counters::record_pool_inline(excl);
@@ -549,10 +587,11 @@ mod tests {
     use super::*;
     use std::sync::atomic::AtomicU64;
 
-    // Tests mutate the global thread count; serialize them.
+    // Tests mutate the global thread count; serialize them (shared with
+    // the `dag::tests` module, which mutates the same global).
     static TEST_LOCK: Mutex<()> = Mutex::new(());
 
-    fn test_guard() -> MutexGuard<'static, ()> {
+    pub(crate) fn test_guard() -> MutexGuard<'static, ()> {
         TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
     }
 
@@ -568,9 +607,87 @@ mod tests {
     #[test]
     fn auto_chunk_bounds() {
         assert_eq!(auto_chunk(0, 8, 16), 1);
-        assert_eq!(auto_chunk(10, 8, 16), 16);
+        // Small n: one balanced chunk, not an oversized min_chunk sliver.
+        assert_eq!(auto_chunk(10, 8, 16), 10);
         assert!(auto_chunk(10_000, 4, 16) >= 16);
         assert_eq!(auto_chunk(5, 1, 1), 1);
+    }
+
+    /// Satellite: `auto_chunk` used to strand the remainder on one worker
+    /// when `n` sat just above a multiple of `workers * min_chunk`. The
+    /// balanced split must cover every index exactly once with chunk sizes
+    /// differing by at most one.
+    #[test]
+    fn chunk_coverage_property_sweep() {
+        for workers in [1usize, 2, 3, 4, 8, 16] {
+            for min_chunk in [1usize, 4, 16, 64] {
+                let base = workers * min_chunk;
+                for n in [
+                    1,
+                    min_chunk,
+                    base,
+                    base + 1, // the historical stranding case
+                    base * 4,
+                    base * 4 + 1,
+                    base * 4 + workers,
+                    1000,
+                    1003,
+                ] {
+                    let chunk = auto_chunk(n, workers, min_chunk);
+                    assert!(chunk >= 1);
+                    let k = chunk_count(n, chunk);
+                    let mut covered = vec![0u32; n];
+                    let mut sizes = Vec::with_capacity(k);
+                    let mut prev_hi = 0;
+                    for i in 0..k {
+                        let (lo, hi) = chunk_bounds(n, chunk, i);
+                        assert_eq!(lo, prev_hi, "gap/overlap at chunk {i}");
+                        assert!(hi > lo, "empty chunk {i} (n={n} chunk={chunk})");
+                        assert!(hi - lo <= chunk, "chunk {i} exceeds requested size");
+                        prev_hi = hi;
+                        sizes.push(hi - lo);
+                        for c in &mut covered[lo..hi] {
+                            *c += 1;
+                        }
+                    }
+                    assert_eq!(prev_hi, n, "chunks must cover 0..n");
+                    assert!(
+                        covered.iter().all(|&c| c == 1),
+                        "every index exactly once (n={n} workers={workers} min={min_chunk})"
+                    );
+                    let max = *sizes.iter().max().unwrap();
+                    let min = *sizes.iter().min().unwrap();
+                    assert!(
+                        max - min <= 1,
+                        "chunk spread {max}-{min} > 1 (n={n} workers={workers} min={min_chunk})"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The executed path: `parallel_for_chunked` on the stranding shape
+    /// must hand out balanced chunks, visiting each index exactly once.
+    #[test]
+    fn chunked_rebalances_stranded_remainder() {
+        let _g = test_guard();
+        set_num_threads(4);
+        let (workers, min_chunk) = (4usize, 16usize);
+        let n = workers * min_chunk + 1; // 65: old split -> four 16s + one 1
+        let chunk = auto_chunk(n, workers, min_chunk);
+        let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        let max_sz = AtomicU64::new(0);
+        let min_sz = AtomicU64::new(u64::MAX);
+        parallel_for_chunked(n, chunk, |lo, hi| {
+            max_sz.fetch_max((hi - lo) as u64, Ordering::Relaxed);
+            min_sz.fetch_min((hi - lo) as u64, Ordering::Relaxed);
+            for h in &hits[lo..hi] {
+                h.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        assert!(max_sz.load(Ordering::Relaxed) - min_sz.load(Ordering::Relaxed) <= 1);
+        set_num_threads(0);
     }
 
     #[test]

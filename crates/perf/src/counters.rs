@@ -53,6 +53,9 @@ static CKPT_WRITES: AtomicU64 = AtomicU64::new(0);
 static CKPT_READS: AtomicU64 = AtomicU64::new(0);
 static CKPT_BYTES: AtomicU64 = AtomicU64::new(0);
 static FF_HERMITICITY_DROPS: AtomicU64 = AtomicU64::new(0);
+static DAG_TASKS: AtomicU64 = AtomicU64::new(0);
+static DAG_STEALS: AtomicU64 = AtomicU64::new(0);
+static DAG_REENQUEUED: AtomicU64 = AtomicU64::new(0);
 
 /// Number of SIMD instruction-set lanes tracked by the per-ISA kernel
 /// counters. Indices follow `bgw_num::simd::Isa::index()`: 0 scalar,
@@ -131,6 +134,13 @@ pub struct CounterSnapshot {
     /// silently dropped — surfaced instead of hidden (debug builds also
     /// assert).
     pub ff_hermiticity_drops: u64,
+    /// Tasks executed by the `bgw-par` DAG scheduler (pooled or inline).
+    pub dag_tasks: u64,
+    /// DAG tasks a worker stole from another worker's deque.
+    pub dag_steals: u64,
+    /// DAG tasks re-enqueued by fault recovery (lost ranks' tasks only,
+    /// not whole-phase redistribution).
+    pub dag_reenqueued: u64,
     /// ZGEMM calls dispatched to the scalar microkernel.
     pub gemm_mk_calls_scalar: u64,
     /// ZGEMM calls dispatched to the NEON microkernel.
@@ -195,6 +205,9 @@ macro_rules! for_each_counter_field {
         $m!(ckpt_reads);
         $m!(ckpt_bytes);
         $m!(ff_hermiticity_drops);
+        $m!(dag_tasks);
+        $m!(dag_steals);
+        $m!(dag_reenqueued);
         $m!(gemm_mk_calls_scalar);
         $m!(gemm_mk_calls_neon);
         $m!(gemm_mk_calls_avx2);
@@ -425,6 +438,9 @@ pub fn snapshot() -> CounterSnapshot {
         ckpt_reads: CKPT_READS.load(Ordering::Relaxed),
         ckpt_bytes: CKPT_BYTES.load(Ordering::Relaxed),
         ff_hermiticity_drops: FF_HERMITICITY_DROPS.load(Ordering::Relaxed),
+        dag_tasks: DAG_TASKS.load(Ordering::Relaxed),
+        dag_steals: DAG_STEALS.load(Ordering::Relaxed),
+        dag_reenqueued: DAG_REENQUEUED.load(Ordering::Relaxed),
         gemm_mk_calls_scalar: GEMM_MK_CALLS[0].load(Ordering::Relaxed),
         gemm_mk_calls_neon: GEMM_MK_CALLS[1].load(Ordering::Relaxed),
         gemm_mk_calls_avx2: GEMM_MK_CALLS[2].load(Ordering::Relaxed),
@@ -563,6 +579,24 @@ pub fn record_ff_hermiticity_drop() {
     FF_HERMITICITY_DROPS.fetch_add(1, Ordering::Relaxed);
 }
 
+/// Records `n` tasks executed by the DAG scheduler.
+#[inline]
+pub fn record_dag_tasks(n: u64) {
+    DAG_TASKS.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Records `n` DAG tasks acquired by stealing from another worker.
+#[inline]
+pub fn record_dag_steals(n: u64) {
+    DAG_STEALS.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Records `n` DAG tasks re-enqueued by task-granular fault recovery.
+#[inline]
+pub fn record_dag_reenqueued(n: u64) {
+    DAG_REENQUEUED.fetch_add(n, Ordering::Relaxed);
+}
+
 #[inline]
 fn isa_lane(isa: usize) -> usize {
     debug_assert!(isa < ISA_LANES, "unknown ISA index {isa}");
@@ -618,6 +652,9 @@ mod tests {
         record_comm_shrink(500);
         record_ckpt_write(64);
         record_ckpt_read(64);
+        record_dag_tasks(9);
+        record_dag_steals(2);
+        record_dag_reenqueued(3);
         let after = snapshot();
         let d = before.delta(&after);
         assert!(d.pool_dispatches >= 1);
@@ -648,6 +685,9 @@ mod tests {
         assert!(d.ckpt_writes >= 1);
         assert!(d.ckpt_reads >= 1);
         assert!(d.ckpt_bytes >= 128);
+        assert!(d.dag_tasks >= 9);
+        assert!(d.dag_steals >= 2);
+        assert!(d.dag_reenqueued >= 3);
         assert_eq!(d.delta_underflows, 0);
     }
 
@@ -744,7 +784,7 @@ mod tests {
             n_fields += 1;
         });
         assert_eq!(a, b);
-        assert_eq!(n_fields, 38, "visitor must cover every field");
+        assert_eq!(n_fields, 41, "visitor must cover every field");
         assert!(!b.set_field("no_such_counter", 1));
         assert!(CounterSnapshot::default().is_zero());
         assert!(!a.is_zero());

@@ -31,6 +31,10 @@
 //! the "sibling exclusive times sum to ≤ parent inclusive" invariant is
 //! only a single-thread guarantee — across threads, child inclusive
 //! time is real CPU time, not a slice of the parent's wall clock.
+//! Adopted children *do* subtract from their parent's exclusive time,
+//! but the correction is settled node-side at [`report`] time (an
+//! adopted child — a stolen task, say — may finish after its parent's
+//! frame has already closed), saturating at zero.
 
 #![warn(missing_docs)]
 
@@ -77,6 +81,15 @@ mod imp {
         calls: u64,
         incl_ns: u64,
         excl_ns: u64,
+        /// Inclusive nanoseconds of *adopted* (cross-thread) children.
+        /// Same-thread children are subtracted from the parent frame
+        /// while it is still open, but an adopted child — a stolen task,
+        /// say — may close *after* its parent's frame already folded into
+        /// this node, so its exclusive-time correction has to accumulate
+        /// here and be applied at [`report`] time. Without this, the
+        /// wall-clock interval where parent and adopted child overlap was
+        /// counted as exclusive time on *both* nodes.
+        adopted_child_ns: u64,
         flops: u64,
         counters: CounterSnapshot,
     }
@@ -229,6 +242,7 @@ mod imp {
                             calls: 0,
                             incl_ns: 0,
                             excl_ns: 0,
+                            adopted_child_ns: 0,
                             flops: 0,
                             counters: CounterSnapshot::default(),
                         });
@@ -273,9 +287,24 @@ mod imp {
                     return; // reset() happened under us; drop the sample
                 }
                 let delta = frame.counters0.delta(&counters::snapshot());
-                if let Some(parent) = tls.stack.last_mut() {
-                    if parent.epoch == frame.epoch {
-                        parent.child_ns += incl;
+                let mut adopted_parent = None;
+                match tls.stack.last_mut() {
+                    Some(parent) => {
+                        if parent.epoch == frame.epoch {
+                            parent.child_ns += incl;
+                        }
+                    }
+                    // Bottom of this thread's stack: if the frame was
+                    // parented by adoption, its parent lives on another
+                    // thread (and its frame may already be closed — a
+                    // stolen task outliving its dispatcher). Charge the
+                    // correction to the parent *node*, applied at report
+                    // time, rather than to a frame that may be gone.
+                    None => {
+                        adopted_parent = tls
+                            .adopted
+                            .filter(|&(_, e)| e == frame.epoch)
+                            .map(|(n, _)| n);
                     }
                 }
                 let mut reg = lock_registry();
@@ -283,6 +312,9 @@ mod imp {
                 // lock would leave `frame.node` dangling; re-check.
                 if frame.epoch != EPOCH.load(Ordering::Relaxed) {
                     return;
+                }
+                if let Some(p) = adopted_parent {
+                    reg.nodes[p as usize].adopted_child_ns += incl;
                 }
                 let node = &mut reg.nodes[frame.node as usize];
                 node.calls += 1;
@@ -401,7 +433,12 @@ mod imp {
                 name: reg.site_names[(node.site - 1) as usize].to_string(),
                 calls: node.calls,
                 incl_ns: node.incl_ns,
-                excl_ns: node.excl_ns,
+                // Adopted (cross-thread) children subtract here, at
+                // report time: their frames may have closed after the
+                // parent's, so the overlap cannot be settled frame-side.
+                // Saturating: several adopted children running
+                // concurrently can together exceed the parent's wall.
+                excl_ns: node.excl_ns.saturating_sub(node.adopted_child_ns),
                 flops: node.flops,
                 counters: node.counters,
                 children,

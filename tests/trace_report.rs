@@ -156,6 +156,50 @@ fn gpp_diag_model_transfers_across_workloads() {
 }
 
 #[test]
+fn adopted_span_finishing_after_parent_does_not_double_count_exclusive() {
+    let _guard = exclusive_test_guard();
+    trace::reset();
+    trace::set_enabled(true);
+    // Dispatcher opens a parent span and hands its handle to a "stolen
+    // task" thread; the task deliberately outlives the parent's frame.
+    // The overlap used to be reported as exclusive time on BOTH nodes;
+    // the parent must now shed the adopted child's inclusive time even
+    // though the child closed after the parent's frame was folded in.
+    let worker = {
+        let _parent = trace::span!("t.steal_parent");
+        let h = trace::current_handle();
+        let worker = std::thread::spawn(move || {
+            let _adopt = trace::adopt(h);
+            let _child = trace::span!("t.stolen_task");
+            std::thread::sleep(std::time::Duration::from_millis(40));
+        });
+        // Keep the parent open long enough that the whole of its life is
+        // overlapped by the child, then close it while the child runs on.
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        worker
+    };
+    worker.join().expect("stolen-task thread");
+    trace::set_enabled(false);
+    let rep = trace::report();
+    let parent = rep.find("t.steal_parent").expect("parent span");
+    let child = rep
+        .find("t.steal_parent/t.stolen_task")
+        .expect("adopted child nests under the dispatcher");
+    assert!(parent.incl_ns >= 9_000_000, "parent lived >= ~10ms");
+    assert!(child.incl_ns >= 39_000_000, "child lived >= ~40ms");
+    // The child covered the parent's entire frame, so the parent's
+    // exclusive time must collapse to ~0 instead of re-reporting the
+    // overlapped ~10ms (generous slack for scheduling jitter between
+    // the spawn and the child's span actually opening).
+    assert!(
+        parent.excl_ns < 5_000_000,
+        "parent exclusive {}ns still double-counts the adopted overlap",
+        parent.excl_ns
+    );
+    trace::reset();
+}
+
+#[test]
 fn traced_kernel_attributes_its_counted_flops_to_the_span() {
     let _guard = exclusive_test_guard();
     let (ctx, _) = testkit::small_context();

@@ -21,6 +21,12 @@
 #                             persistence round trip (tune once, second
 #                             process picks the table up un-reswept,
 #                             corrupt/stale files degrade to defaults)
+#   tools/check.sh --dag      task-DAG smoke only: DAG-vs-barrier parity
+#                             (1e-12, exact FLOPs), barrier-vs-DAG
+#                             strong-scaling sweep (self-speedup gate
+#                             armed only on multi-core hosts), and a
+#                             faulted recovery run gating that ONLY the
+#                             dead rank's tasks are re-enqueued
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -104,6 +110,29 @@ if [ "${1:-}" = "--simd" ]; then
     exit 0
 fi
 
+run_dag_smoke() {
+    echo "==> dag smoke: DAG-vs-barrier parity, strong-scaling sweep, faulted recovery"
+    # The task-DAG spine against the barrier-ordered oracle (QP parity
+    # 1e-12, bitwise-equal FLOP totals), a barrier-vs-DAG scaling sweep
+    # at 1/2/4 workers (the DAG must never be slower than 1.5x the
+    # barrier path and must win at the widest pool; the DAG-vs-itself
+    # speedup gate arms only when the host actually has >= 4 cores),
+    # and a rank-crash recovery run where the survivors must re-enqueue
+    # exactly the dead rank's CHI tasks — a strict subset of the stage.
+    # Run in a temp dir so the smoke JSON never clobbers the committed
+    # BENCH_task_dag.json.
+    root=$(pwd)
+    dagdir=$(mktemp -d)
+    (cd "$dagdir" && "$root/target/release/dag_smoke")
+    rm -rf "$dagdir"
+}
+
+if [ "${1:-}" = "--dag" ]; then
+    cargo build --release -p bgw-bench --bin dag_smoke
+    run_dag_smoke
+    exit 0
+fi
+
 echo "==> cargo build --release --workspace"
 cargo build --release --workspace
 
@@ -138,5 +167,7 @@ run_trace_smoke
 run_ff_smoke
 
 run_simd_smoke
+
+run_dag_smoke
 
 echo "==> all checks passed"
