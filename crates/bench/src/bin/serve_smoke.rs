@@ -1,0 +1,271 @@
+//! Traffic-replay gate for the `bgw-serve` daemon (wired into
+//! `tools/check.sh --serve`).
+//!
+//! Replays a seeded zipf request stream (hundreds of mixed GPP and
+//! full-frequency requests over a few structures) through the threaded
+//! [`Server`] in bursts, then gates:
+//!
+//! * cache hit rate > 0 on the repeated structures (warm requests must
+//!   ride the in-memory LRU / artifact store / coalescing instead of
+//!   rebuilding W) — and exactly one screening build per distinct W key,
+//!   verified against the perf counters;
+//! * warm requests skip the epsilon/W recomputation, verified on the
+//!   per-request span-tree reports (`serve.screening.build` absent);
+//! * every served response matches its one-shot oracle (`run_gpp_gw` /
+//!   direct `ff_sigma_diag`) at 1e-12;
+//! * p50/p99 service latency finite, written with the hit statistics to
+//!   `BENCH_serve.json`.
+//!
+//! `--smoke` shrinks the stream for the CI gate; any violated gate exits
+//! nonzero.
+
+use bgw_core::workflow::run_gpp_gw;
+use bgw_core::{
+    ff_sigma_diag, ChiConfig, ChiEngine, Coulomb, EpsilonInverse, GppModel, Mtxel, SigmaContext,
+};
+use bgw_num::grid::semi_infinite_quadrature;
+use bgw_num::Complex64;
+use bgw_perf::counters;
+use bgw_pwdft::{charge_density_g, solve_bands};
+use bgw_serve::{
+    zipf_stream, CacheStatus, GwRequest, Payload, RequestKind, ServeConfig, Server, TrafficConfig,
+};
+use std::collections::HashMap;
+use std::time::Instant;
+
+const PARITY_TOL: f64 = 1e-12;
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// One-shot FF oracle: the direct primitive pipeline, no service layer.
+fn ff_oracle(req: &GwRequest) -> Vec<Vec<Complex64>> {
+    let RequestKind::FullFreq { n_quad, .. } = req.kind else {
+        panic!("ff oracle on a GPP request");
+    };
+    let sys = req.structure.system();
+    let cfg = req.gw_config();
+    let wfn_sph = sys.wfn_sphere();
+    let eps_sph = sys.eps_sphere();
+    let wf = solve_bands(&sys.crystal, &wfn_sph, sys.n_bands.min(wfn_sph.len()));
+    let volume = sys.crystal.lattice.volume();
+    let coulomb = Coulomb::bulk_for_cell(volume);
+    let mtxel = Mtxel::new(&wfn_sph, &eps_sph);
+    let vsqrt = coulomb.sqrt_on_sphere(&eps_sph);
+    let engine = ChiEngine::new(
+        &wf,
+        &mtxel,
+        ChiConfig {
+            q0: coulomb.q0,
+            ..cfg.chi
+        },
+    );
+    let chi0 = engine.chi_static();
+    let eps_inv = EpsilonInverse::build(&[chi0], &[0.0], &coulomb, &eps_sph).expect("static eps");
+    let (nodes, weights) = semi_infinite_quadrature(n_quad, 2.0);
+    let (chis, _) = engine.chi_freqs(&nodes);
+    let eps_ff = EpsilonInverse::build(&chis, &nodes, &coulomb, &eps_sph).expect("ff eps");
+    let rho = charge_density_g(&wf, &wfn_sph);
+    let gpp = GppModel::new(&eps_inv, &eps_sph, &wfn_sph, &rho, volume);
+    let bands = req.bands(wf.n_valence, wf.n_bands());
+    let ctx = SigmaContext::build(&wf, &mtxel, gpp, &vsqrt, &bands, coulomb.q0);
+    let d = req.delta_ry();
+    let grids: Vec<Vec<f64>> = ctx
+        .sigma_energies
+        .iter()
+        .map(|&e| vec![e - d, e, e + d])
+        .collect();
+    ff_sigma_diag(&ctx, &eps_ff, &weights, &grids, req.eta_ry()).sigma
+}
+
+enum Oracle {
+    Gpp(Vec<f64>),
+    Ff(Vec<Vec<Complex64>>),
+}
+
+fn oracle_for(req: &GwRequest) -> Oracle {
+    match req.kind {
+        RequestKind::GppDiag { .. } => {
+            let r = run_gpp_gw(&req.structure.system(), &req.gw_config());
+            Oracle::Gpp(r.states.iter().map(|s| s.e_qp).collect())
+        }
+        RequestKind::FullFreq { .. } => Oracle::Ff(ff_oracle(req)),
+    }
+}
+
+fn parity_err(payload: &Payload, oracle: &Oracle) -> f64 {
+    match (payload, oracle) {
+        (Payload::Gpp(p), Oracle::Gpp(e_qp)) => p
+            .e_qp
+            .iter()
+            .zip(e_qp)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max),
+        (Payload::FullFreq(p), Oracle::Ff(sigma)) => p
+            .sigma
+            .iter()
+            .flatten()
+            .zip(sigma.iter().flatten())
+            .map(|(a, b)| (a.re - b.re).abs().max((a.im - b.im).abs()))
+            .fold(0.0, f64::max),
+        _ => f64::INFINITY,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let n_requests = if smoke { 48 } else { 240 };
+    let burst = 8;
+    let traffic = TrafficConfig::small(2024, n_requests);
+    let stream = zipf_stream(&traffic);
+
+    let store_dir = std::env::temp_dir().join(format!("bgw_serve_smoke_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let mut sc = ServeConfig::new(&store_dir);
+    sc.queue_capacity = n_requests + burst;
+    sc.collect_reports = true;
+
+    let n_wkeys = {
+        let mut keys: Vec<u64> = stream.iter().map(|r| r.w_key().0).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        keys.len()
+    };
+
+    let before = counters::snapshot();
+    let t0 = Instant::now();
+    let server = Server::start(sc);
+    let mut failed = false;
+    let mut latencies: Vec<f64> = Vec::with_capacity(stream.len());
+    let mut oracles: HashMap<u64, Oracle> = HashMap::new();
+    let mut worst_parity = 0.0f64;
+    let mut warm_with_build = 0usize;
+    let mut n_warm_reports = 0usize;
+
+    for wave in stream.chunks(burst) {
+        let tickets: Vec<_> = wave.iter().map(|r| (*r, server.submit(*r))).collect();
+        for (req, ticket) in tickets {
+            let ok = match ticket.wait() {
+                Ok(ok) => ok,
+                Err(e) => {
+                    eprintln!("FAIL: request rejected or faulted with no plan armed: {e}");
+                    std::process::exit(1);
+                }
+            };
+            latencies.push(ok.telemetry.queue_seconds + ok.telemetry.compute_seconds);
+            let oracle = oracles
+                .entry(req.request_key().0)
+                .or_insert_with(|| oracle_for(&req));
+            let err = parity_err(&ok.payload, oracle);
+            worst_parity = worst_parity.max(err);
+            if err > PARITY_TOL {
+                eprintln!("FAIL: served result drifted {err:e} from the one-shot oracle");
+                failed = true;
+            }
+            // Warm requests must not rebuild the screening: their span
+            // report has no serve.screening.build subtree.
+            if ok.telemetry.cache != CacheStatus::Miss {
+                if let Some(rep) = &ok.telemetry.report {
+                    n_warm_reports += 1;
+                    if rep.find("serve.batch/serve.screening.build").is_some() {
+                        warm_with_build += 1;
+                    }
+                }
+            }
+        }
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    let core = server.shutdown();
+    if !core.is_idle() {
+        eprintln!("FAIL: queue not drained after shutdown");
+        failed = true;
+    }
+    let d = before.delta(&counters::snapshot());
+
+    let warm = d.serve_hits_mem + d.serve_hits_disk + d.serve_coalesced;
+    let hit_rate = warm as f64 / stream.len() as f64;
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let p50 = percentile(&latencies, 0.50);
+    let p99 = percentile(&latencies, 0.99);
+
+    if warm == 0 {
+        eprintln!("FAIL: zipf repeats produced zero cache hits");
+        failed = true;
+    }
+    if d.serve_misses as usize != n_wkeys {
+        eprintln!(
+            "FAIL: {} screening builds for {} distinct W keys — warm requests recomputed W",
+            d.serve_misses, n_wkeys
+        );
+        failed = true;
+    }
+    if bgw_trace::compiled_in() && n_warm_reports == 0 {
+        eprintln!("FAIL: no warm request carried a span report");
+        failed = true;
+    }
+    if warm_with_build > 0 {
+        eprintln!("FAIL: {warm_with_build} warm requests rebuilt the screening (span tree)");
+        failed = true;
+    }
+    if !p99.is_finite() || !p50.is_finite() {
+        eprintln!("FAIL: latency percentiles not finite (p50 {p50}, p99 {p99})");
+        failed = true;
+    }
+    if d.serve_completed as usize != stream.len() {
+        eprintln!(
+            "FAIL: {} completions for {} requests",
+            d.serve_completed,
+            stream.len()
+        );
+        failed = true;
+    }
+
+    let json = format!(
+        "{{\n  \"config\": {{\"smoke\": {smoke}, \"n_requests\": {}, \"burst\": {burst}, \
+         \"structures\": {}, \"zipf_exponent\": {}, \"seed\": {}, \"threads\": {}, \
+         \"parity_tol\": {PARITY_TOL:e}}},\n  \
+         \"cache\": {{\"hit_rate\": {hit_rate:.4}, \"hits_mem\": {}, \"hits_disk\": {}, \
+         \"coalesced\": {}, \"misses\": {}, \"distinct_w_keys\": {n_wkeys}, \
+         \"store_invalid\": {}}},\n  \
+         \"latency\": {{\"p50_s\": {p50:.6}, \"p99_s\": {p99:.6}, \"wall_s\": {wall:.3}, \
+         \"completed\": {}}},\n  \
+         \"parity\": {{\"worst\": {worst_parity:e}, \"oracles\": {}}},\n  \
+         \"warm_skip\": {{\"warm_reports\": {n_warm_reports}, \"warm_with_build\": {warm_with_build}}},\n  \
+         \"pass\": {}\n}}\n",
+        stream.len(),
+        traffic.structures.len(),
+        traffic.zipf_exponent,
+        traffic.seed,
+        bgw_par::num_threads(),
+        d.serve_hits_mem,
+        d.serve_hits_disk,
+        d.serve_coalesced,
+        d.serve_misses,
+        d.serve_store_invalid,
+        d.serve_completed,
+        oracles.len(),
+        !failed,
+    );
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    println!("wrote BENCH_serve.json");
+    let _ = std::fs::remove_dir_all(&store_dir);
+
+    if failed {
+        std::process::exit(1);
+    }
+    println!(
+        "serve smoke: {} requests, hit rate {:.1}%, {} screening builds for {} W keys, \
+         p50 {:.2}ms, p99 {:.2}ms, worst parity {worst_parity:.2e}",
+        stream.len(),
+        hit_rate * 100.0,
+        d.serve_misses,
+        n_wkeys,
+        p50 * 1e3,
+        p99 * 1e3
+    );
+}

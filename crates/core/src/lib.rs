@@ -33,6 +33,7 @@ pub mod params;
 pub mod pseudobands;
 pub mod resilient;
 pub mod restart;
+pub mod service;
 pub mod sigma;
 pub mod spectral;
 pub mod subspace;
@@ -57,7 +58,13 @@ pub use resilient::{
     ResilientError, ResilientGwReport, MAX_RECOVERIES,
 };
 pub use restart::{
-    run_evgw_checkpointed, run_gpp_gw_checkpointed, CheckpointPolicy, GwStage, RestartError,
+    band_slice, run_evgw_checkpointed, run_gpp_gw_checkpointed, CheckpointPolicy, GwStage,
+    RestartError,
+};
+pub use service::{
+    band_subset, build_screening, ff_eval, gpp_eval_preemptible, screening_from_checkpoint,
+    screening_to_checkpoint, sigma_context, FfEvalResult, FfSpec, GppEvalResult, GppOutcome,
+    GppPartial, Screening,
 };
 pub use sigma::diag::{gpp_sigma_diag, KernelVariant, SigmaDiagResult};
 pub use sigma::fullfreq::{

@@ -46,6 +46,10 @@ pub enum GwStage {
     /// Self-consistent (evGW) iteration finished; `step` = iterations,
     /// meta = current QP energies then the gap history.
     EvGwIter = 4,
+    /// Screening artifact record used by the `bgw-serve` artifact store:
+    /// matrix 0 = static `eps~^{-1}`, matrices 1.. = full-frequency
+    /// `eps~^{-1}(omega_i)` blocks, meta = quadrature nodes then weights.
+    WScreening = 5,
 }
 
 /// When and where to checkpoint.
@@ -384,9 +388,10 @@ pub fn run_gpp_gw_checkpointed(
 }
 
 /// A one-band view of a [`SigmaContext`]: the checkpoint unit of the Sigma
-/// stage. Evaluating the slices in order reproduces the full-context
-/// kernel exactly (each band's sum is independent).
-fn band_slice(ctx: &SigmaContext, s: usize) -> SigmaContext {
+/// stage (and the preemption unit of the `bgw-serve` loop). Evaluating the
+/// slices in order reproduces the full-context kernel exactly (each band's
+/// sum is independent).
+pub fn band_slice(ctx: &SigmaContext, s: usize) -> SigmaContext {
     SigmaContext {
         m_tilde: vec![ctx.m_tilde[s].clone()],
         energies: ctx.energies.clone(),

@@ -1,0 +1,600 @@
+//! Request-shaped entry points for the serving layer (`bgw-serve`).
+//!
+//! The one-shot drivers in [`workflow`](crate::workflow) recompute the
+//! expensive screening prefix — CHI, the dielectric inversion, the GPP
+//! model — on every invocation, even though requests that differ only in
+//! which Sigma diagonals or evaluation energies they ask for share it
+//! verbatim. This module splits the pipeline at the W boundary:
+//!
+//! * [`build_screening`] computes everything up to and including
+//!   `eps~^{-1}` (static, and optionally full-frequency on the quadrature
+//!   nodes) exactly as [`run_gpp_gw`](crate::workflow::run_gpp_gw) /
+//!   `ff_sigma` would, and packages it as a [`Screening`];
+//! * [`screening_to_checkpoint`] / [`screening_from_checkpoint`] encode a
+//!   `Screening` as a checksummed BGWR [`Checkpoint`] record (stage
+//!   [`GwStage::WScreening`]) — the serve artifact store's unit, so a
+//!   cache hit *is* a restart: the cheap deterministic prefix (bands,
+//!   MTXEL, charge density) is recomputed and the stored `eps~^{-1}`
+//!   blocks are re-adopted via [`EpsilonInverse::from_parts`], mirroring
+//!   [`restart`](crate::restart)'s `EpsilonDone` resume path;
+//! * [`gpp_eval_preemptible`] / [`ff_eval`] evaluate Sigma for an explicit
+//!   band list against a `Screening`. The GPP path walks one
+//!   [`band_slice`](crate::restart::band_slice) at a time and can yield
+//!   between bands, returning a [`GppPartial`] that round-trips through a
+//!   `SigmaPartial` checkpoint — the serving loop's preemption unit.
+//!
+//! Parity contract (enforced by `tests/serve.rs`): evaluating any band
+//! subset through this module reproduces the corresponding one-shot
+//! driver's Sigma values to 1e-12.
+
+use crate::chi::{ChiConfig, ChiEngine};
+use crate::coulomb::Coulomb;
+use crate::dyson::{solve_qp_diag, QpState};
+use crate::epsilon::{EpsilonError, EpsilonInverse};
+use crate::gpp::GppModel;
+use crate::mtxel::Mtxel;
+use crate::restart::{band_slice, GwStage};
+use crate::sigma::diag::{gpp_sigma_diag, KernelVariant, SigmaDiagResult};
+use crate::sigma::fullfreq::ff_sigma_diag;
+use crate::sigma::SigmaContext;
+use crate::workflow::GwConfig;
+use bgw_io::Checkpoint;
+use bgw_num::grid::semi_infinite_quadrature;
+use bgw_num::Complex64;
+use bgw_pwdft::{charge_density_g, solve_bands, GSphere, ModelSystem, Wavefunctions};
+
+/// Full-frequency screening request: build `eps~^{-1}` on the
+/// semi-infinite quadrature (scale 2.0 Ry, matching the `ff_smoke`
+/// harness) in addition to the static matrix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FfSpec {
+    /// Quadrature nodes on the positive frequency axis.
+    pub n_quad: usize,
+}
+
+/// The reusable (and cacheable) screening state shared by every Sigma
+/// request against one structure: the W boundary of the GW pipeline.
+pub struct Screening {
+    /// Mean-field bands (cheap deterministic prefix, never stored).
+    pub wf: Wavefunctions,
+    /// Wavefunction G-sphere.
+    pub wfn_sph: GSphere,
+    /// Epsilon/Sigma G-sphere.
+    pub eps_sph: GSphere,
+    /// Bare Coulomb interaction for this cell.
+    pub coulomb: Coulomb,
+    /// MTXEL engine (FFT plan + scatter tables), reused across requests.
+    pub mtxel: Mtxel,
+    /// `sqrt(v(G))` on the epsilon sphere.
+    pub vsqrt: Vec<f64>,
+    /// Static `eps~^{-1}` (omegas = [0.0]).
+    pub eps_inv: EpsilonInverse,
+    /// Full-frequency `eps~^{-1}` on the quadrature nodes, with the
+    /// quadrature weights; `None` for GPP-only screenings.
+    pub ff: Option<(EpsilonInverse, Vec<f64>)>,
+    /// Macroscopic dielectric constant.
+    pub eps_macro: f64,
+    /// Plasmon-pole model derived from the static inverse.
+    pub gpp: GppModel,
+}
+
+/// The deterministic cheap prefix shared by build and restore.
+struct Prefix {
+    wfn_sph: GSphere,
+    eps_sph: GSphere,
+    wf: Wavefunctions,
+    coulomb: Coulomb,
+    mtxel: Mtxel,
+    vsqrt: Vec<f64>,
+    volume: f64,
+}
+
+fn prefix(system: &ModelSystem, cfg: &GwConfig) -> Prefix {
+    let wfn_sph = system.wfn_sphere();
+    let eps_sph = system.eps_sphere();
+    let wf = solve_bands(&system.crystal, &wfn_sph, system.n_bands.min(wfn_sph.len()));
+    let volume = system.crystal.lattice.volume();
+    let coulomb = if cfg.slab {
+        Coulomb::slab(system.crystal.lattice.a[2][2], volume)
+    } else {
+        Coulomb::bulk_for_cell(volume)
+    };
+    let mtxel = Mtxel::new(&wfn_sph, &eps_sph);
+    let vsqrt = coulomb.sqrt_on_sphere(&eps_sph);
+    Prefix {
+        wfn_sph,
+        eps_sph,
+        wf,
+        coulomb,
+        mtxel,
+        vsqrt,
+        volume,
+    }
+}
+
+fn finish_screening(
+    p: Prefix,
+    eps_inv: EpsilonInverse,
+    ff: Option<(EpsilonInverse, Vec<f64>)>,
+) -> Screening {
+    let eps_macro = eps_inv.macroscopic_constant();
+    let rho = charge_density_g(&p.wf, &p.wfn_sph);
+    let gpp = GppModel::new(&eps_inv, &p.eps_sph, &p.wfn_sph, &rho, p.volume);
+    Screening {
+        wf: p.wf,
+        wfn_sph: p.wfn_sph,
+        eps_sph: p.eps_sph,
+        coulomb: p.coulomb,
+        mtxel: p.mtxel,
+        vsqrt: p.vsqrt,
+        eps_inv,
+        ff,
+        eps_macro,
+        gpp,
+    }
+}
+
+/// Computes the full screening state for a structure: CHI, the static
+/// dielectric inversion (and the full-frequency inversions when `ff` is
+/// set), and the GPP model — the exact arithmetic of the one-shot
+/// drivers, so downstream Sigma evaluations match them bitwise.
+pub fn build_screening(
+    system: &ModelSystem,
+    cfg: &GwConfig,
+    ff: Option<FfSpec>,
+) -> Result<Screening, EpsilonError> {
+    let _s = bgw_trace::span!("serve.screening.build");
+    let p = prefix(system, cfg);
+    let chi_cfg = ChiConfig {
+        q0: p.coulomb.q0,
+        ..cfg.chi
+    };
+    let engine = ChiEngine::new(&p.wf, &p.mtxel, chi_cfg);
+    let chi0 = {
+        let _s = bgw_trace::span!("serve.screening.chi");
+        engine.chi_static()
+    };
+    let eps_inv = {
+        let _s = bgw_trace::span!("serve.screening.epsilon");
+        EpsilonInverse::build(&[chi0], &[0.0], &p.coulomb, &p.eps_sph)?
+    };
+    let ff_built = match ff {
+        None => None,
+        Some(spec) => {
+            let _s = bgw_trace::span!("serve.screening.ff");
+            let (nodes, weights) = semi_infinite_quadrature(spec.n_quad, 2.0);
+            let (chis, _) = engine.chi_freqs(&nodes);
+            let eps = EpsilonInverse::build(&chis, &nodes, &p.coulomb, &p.eps_sph)?;
+            Some((eps, weights))
+        }
+    };
+    Ok(finish_screening(p, eps_inv, ff_built))
+}
+
+/// Encodes a screening as a BGWR checkpoint record (stage
+/// [`GwStage::WScreening`]): matrix 0 = static `eps~^{-1}`, matrices 1..
+/// = the full-frequency blocks, meta = `[n_ff, nodes..., weights...]`,
+/// `step` = `n_ff`. Only the expensive O(N^3) state is stored; the cheap
+/// prefix is recomputed on restore.
+pub fn screening_to_checkpoint(s: &Screening) -> Checkpoint {
+    let mut matrices = vec![s.eps_inv.inv[0].clone()];
+    let mut meta = Vec::new();
+    let n_ff = s.ff.as_ref().map_or(0, |(e, _)| e.n_freq());
+    meta.push(n_ff as f64);
+    if let Some((eps, weights)) = &s.ff {
+        matrices.extend(eps.inv.iter().cloned());
+        meta.extend_from_slice(&eps.omegas);
+        meta.extend_from_slice(weights);
+    }
+    Checkpoint {
+        stage: GwStage::WScreening as u64,
+        step: n_ff as u64,
+        meta,
+        matrices,
+    }
+}
+
+/// Restores a screening from a [`screening_to_checkpoint`] record: the
+/// serve cache-hit path, which *is* a restart. The cheap prefix is
+/// recomputed from `system`/`cfg` and the stored `eps~^{-1}` blocks are
+/// re-adopted via [`EpsilonInverse::from_parts`]. Returns `None` when the
+/// record does not validate against this structure (wrong stage, shape
+/// mismatch, non-finite payload, inconsistent meta) — the caller must
+/// degrade to a recompute, never serve a wrong hit.
+pub fn screening_from_checkpoint(
+    system: &ModelSystem,
+    cfg: &GwConfig,
+    ck: &Checkpoint,
+) -> Option<Screening> {
+    let _s = bgw_trace::span!("serve.screening.restore");
+    if ck.stage != GwStage::WScreening as u64 {
+        return None;
+    }
+    let n_ff = ck.step as usize;
+    if ck.matrices.len() != 1 + n_ff || ck.meta.len() != 1 + 2 * n_ff {
+        return None;
+    }
+    if ck.meta[0] as usize != n_ff {
+        return None;
+    }
+    let p = prefix(system, cfg);
+    let ng = p.eps_sph.len();
+    for m in &ck.matrices {
+        if m.nrows() != ng || m.ncols() != ng {
+            return None;
+        }
+        if m.as_slice()
+            .iter()
+            .any(|z| !z.re.is_finite() || !z.im.is_finite())
+        {
+            return None;
+        }
+    }
+    let nodes = ck.meta[1..1 + n_ff].to_vec();
+    let weights = ck.meta[1 + n_ff..].to_vec();
+    if nodes.iter().chain(&weights).any(|x| !x.is_finite()) {
+        return None;
+    }
+    let eps_inv =
+        EpsilonInverse::from_parts(vec![0.0], vec![ck.matrices[0].clone()], p.vsqrt.clone());
+    let ff = if n_ff > 0 {
+        let eps = EpsilonInverse::from_parts(nodes, ck.matrices[1..].to_vec(), p.vsqrt.clone());
+        Some((eps, weights))
+    } else {
+        None
+    };
+    Some(finish_screening(p, eps_inv, ff))
+}
+
+/// Builds the Sigma context for an explicit band list against a
+/// screening. Kept separate from the evaluators so a coalesced batch pays
+/// the matrix-element cost once for its union band set.
+pub fn sigma_context(s: &Screening, bands: &[usize]) -> SigmaContext {
+    let _s2 = bgw_trace::span!("serve.sigma.mtxel");
+    SigmaContext::build(
+        &s.wf,
+        &s.mtxel,
+        s.gpp.clone(),
+        &s.vsqrt,
+        bands,
+        s.coulomb.q0,
+    )
+}
+
+/// A multi-band view of a context: the bands at `positions` of `ctx`'s
+/// band list, in that order. Like [`band_slice`], evaluating a subset
+/// view reproduces the directly-built context exactly (each band's
+/// matrix-element block and energy row are independent) — the coalescing
+/// path uses this to serve one member of a batch from the union context.
+pub fn band_subset(ctx: &SigmaContext, positions: &[usize]) -> SigmaContext {
+    SigmaContext {
+        m_tilde: positions.iter().map(|&p| ctx.m_tilde[p].clone()).collect(),
+        energies: ctx.energies.clone(),
+        n_occ: ctx.n_occ,
+        gpp: ctx.gpp.clone(),
+        sigma_bands: positions.iter().map(|&p| ctx.sigma_bands[p]).collect(),
+        sigma_energies: positions.iter().map(|&p| ctx.sigma_energies[p]).collect(),
+    }
+}
+
+/// Per-band Sigma state carried across a preemption: the first
+/// `sigma.len()` bands of the request's band list are done.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct GppPartial {
+    /// Completed per-band Sigma rows (each `n_grid` long).
+    pub sigma: Vec<Vec<f64>>,
+    /// Kernel FLOPs accumulated so far.
+    pub flops: u64,
+}
+
+/// Result of a completed preemptible GPP evaluation.
+#[derive(Clone, Debug)]
+pub struct GppEvalResult {
+    /// Band indices evaluated (the request's list, in order).
+    pub bands: Vec<usize>,
+    /// Mean-field energies of those bands (Ry).
+    pub sigma_energies: Vec<f64>,
+    /// Occupied-band count (for locating HOMO/LUMO in `bands`).
+    pub n_occ: usize,
+    /// Quasiparticle solutions, aligned with `bands`.
+    pub states: Vec<QpState>,
+    /// Kernel FLOPs.
+    pub flops: u64,
+}
+
+/// Outcome of [`gpp_eval_preemptible`]: finished, or yielded between
+/// bands with resumable state.
+pub enum GppOutcome {
+    /// All bands evaluated and the QP equation solved.
+    Done(GppEvalResult),
+    /// The yield hook fired; `partial` resumes the evaluation where it
+    /// stopped (`partial.sigma.len()` bands done).
+    Yielded(GppPartial),
+}
+
+/// Evaluates GPP Sigma diagonals for `ctx` one band slice at a time —
+/// identical arithmetic to the full-context kernel, per the
+/// [`band_slice`] contract — calling `should_yield(bands_done)` between
+/// bands. Pass a previous [`GppPartial`] to resume after a preemption.
+pub fn gpp_eval_preemptible(
+    ctx: &SigmaContext,
+    delta_ry: f64,
+    variant: KernelVariant,
+    resume: Option<GppPartial>,
+    mut should_yield: impl FnMut(usize) -> bool,
+) -> GppOutcome {
+    let _s = bgw_trace::span!("serve.sigma.gpp");
+    let grids: Vec<Vec<f64>> = ctx
+        .sigma_energies
+        .iter()
+        .map(|&e| vec![e - delta_ry, e, e + delta_ry])
+        .collect();
+    let mut partial = resume.unwrap_or_default();
+    assert!(
+        partial.sigma.len() <= ctx.n_sigma(),
+        "resume state has more bands than the context"
+    );
+    for s in partial.sigma.len()..ctx.n_sigma() {
+        let one = band_slice(ctx, s);
+        let r = gpp_sigma_diag(&one, &grids[s..s + 1], variant);
+        partial.sigma.push(r.sigma.into_iter().next().unwrap());
+        partial.flops += r.flops;
+        if partial.sigma.len() < ctx.n_sigma() && should_yield(partial.sigma.len()) {
+            return GppOutcome::Yielded(partial);
+        }
+    }
+    let diag = SigmaDiagResult {
+        sigma: partial.sigma,
+        e_grids: grids,
+        seconds: 0.0,
+        flops: partial.flops,
+    };
+    let states = solve_qp_diag(&ctx.sigma_energies, &diag);
+    GppOutcome::Done(GppEvalResult {
+        bands: ctx.sigma_bands.clone(),
+        sigma_energies: ctx.sigma_energies.clone(),
+        n_occ: ctx.n_occ,
+        states,
+        flops: diag.flops,
+    })
+}
+
+/// Encodes a [`GppPartial`] as a `SigmaPartial`-stage checkpoint (meta =
+/// `[n_grid, flops, sigma rows band-major]`, `step` = bands done) so a
+/// preempted request survives a server restart through the same
+/// checksummed store as the screening artifacts.
+pub fn gpp_partial_to_checkpoint(p: &GppPartial, n_grid: usize) -> Checkpoint {
+    let mut meta = vec![n_grid as f64, p.flops as f64];
+    for band in &p.sigma {
+        assert_eq!(band.len(), n_grid, "partial row width mismatch");
+        meta.extend_from_slice(band);
+    }
+    Checkpoint {
+        stage: GwStage::SigmaPartial as u64,
+        step: p.sigma.len() as u64,
+        meta,
+        matrices: vec![],
+    }
+}
+
+/// Decodes a [`gpp_partial_to_checkpoint`] record; `None` when the record
+/// is not a consistent `SigmaPartial` (degrade to evaluating from band 0).
+pub fn gpp_partial_from_checkpoint(ck: &Checkpoint) -> Option<GppPartial> {
+    if ck.stage != GwStage::SigmaPartial as u64 || ck.meta.len() < 2 {
+        return None;
+    }
+    let n_grid = ck.meta[0] as usize;
+    let bands_done = ck.step as usize;
+    if n_grid == 0 || ck.meta.len() != 2 + n_grid * bands_done {
+        return None;
+    }
+    let flops = ck.meta[1] as u64;
+    let sigma: Vec<Vec<f64>> = ck.meta[2..]
+        .chunks_exact(n_grid)
+        .map(|c| c.to_vec())
+        .collect();
+    if sigma.iter().flatten().any(|x| !x.is_finite()) {
+        return None;
+    }
+    Some(GppPartial { sigma, flops })
+}
+
+/// Result of a full-frequency Sigma evaluation through the service path.
+#[derive(Clone, Debug)]
+pub struct FfEvalResult {
+    /// Band indices evaluated.
+    pub bands: Vec<usize>,
+    /// Mean-field energies of those bands (Ry).
+    pub sigma_energies: Vec<f64>,
+    /// `sigma[s][e]` (complex, Ry) on the 3-point grids.
+    pub sigma: Vec<Vec<Complex64>>,
+    /// Kernel FLOPs.
+    pub flops: u64,
+}
+
+/// Evaluates full-frequency Sigma diagonals for `ctx` against a
+/// screening's quadrature blocks. Returns `None` when the screening was
+/// built without [`FfSpec`].
+pub fn ff_eval(
+    s: &Screening,
+    ctx: &SigmaContext,
+    delta_ry: f64,
+    eta_ry: f64,
+) -> Option<FfEvalResult> {
+    let (eps_ff, weights) = s.ff.as_ref()?;
+    let _sp = bgw_trace::span!("serve.sigma.ff");
+    let grids: Vec<Vec<f64>> = ctx
+        .sigma_energies
+        .iter()
+        .map(|&e| vec![e - delta_ry, e, e + delta_ry])
+        .collect();
+    let r = ff_sigma_diag(ctx, eps_ff, weights, &grids, eta_ry);
+    Some(FfEvalResult {
+        bands: ctx.sigma_bands.clone(),
+        sigma_energies: ctx.sigma_energies.clone(),
+        sigma: r.sigma,
+        flops: r.flops,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workflow::run_gpp_gw;
+    use bgw_pwdft::si_bulk;
+
+    fn small_system() -> ModelSystem {
+        let mut sys = si_bulk(1, 2.2);
+        sys.n_bands = 24;
+        sys
+    }
+
+    #[test]
+    fn screening_checkpoint_roundtrip_preserves_matrices() {
+        let sys = small_system();
+        let cfg = GwConfig::default();
+        let s = build_screening(&sys, &cfg, Some(FfSpec { n_quad: 6 })).expect("build");
+        let ck = screening_to_checkpoint(&s);
+        assert_eq!(ck.stage, GwStage::WScreening as u64);
+        assert_eq!(ck.matrices.len(), 7);
+        let back = screening_from_checkpoint(&sys, &cfg, &ck).expect("restore");
+        assert_eq!(
+            s.eps_inv.inv[0].as_slice(),
+            back.eps_inv.inv[0].as_slice(),
+            "static inverse must round-trip bitwise"
+        );
+        let (ff_a, w_a) = s.ff.as_ref().unwrap();
+        let (ff_b, w_b) = back.ff.as_ref().unwrap();
+        assert_eq!(ff_a.omegas, ff_b.omegas);
+        assert_eq!(w_a, w_b);
+        for (a, b) in ff_a.inv.iter().zip(&ff_b.inv) {
+            assert_eq!(a.as_slice(), b.as_slice());
+        }
+        assert_eq!(s.eps_macro, back.eps_macro);
+    }
+
+    #[test]
+    fn restore_rejects_malformed_records() {
+        let sys = small_system();
+        let cfg = GwConfig::default();
+        let s = build_screening(&sys, &cfg, None).expect("build");
+        let good = screening_to_checkpoint(&s);
+        assert!(screening_from_checkpoint(&sys, &cfg, &good).is_some());
+        // Wrong stage.
+        let mut bad = good.clone();
+        bad.stage = GwStage::EpsilonDone as u64;
+        assert!(screening_from_checkpoint(&sys, &cfg, &bad).is_none());
+        // Shape mismatch (record for a different sphere).
+        let mut bad = good.clone();
+        bad.matrices[0] = bgw_linalg::CMatrix::zeros(3, 3);
+        assert!(screening_from_checkpoint(&sys, &cfg, &bad).is_none());
+        // Non-finite payload.
+        let mut bad = good.clone();
+        bad.matrices[0][(0, 0)] = bgw_num::c64(f64::NAN, 0.0);
+        assert!(screening_from_checkpoint(&sys, &cfg, &bad).is_none());
+        // Inconsistent meta.
+        let mut bad = good;
+        bad.meta[0] = 5.0;
+        assert!(screening_from_checkpoint(&sys, &cfg, &bad).is_none());
+    }
+
+    #[test]
+    fn preemptible_eval_matches_oneshot_driver_exactly() {
+        let sys = small_system();
+        let cfg = GwConfig::default();
+        let oracle = run_gpp_gw(&sys, &cfg);
+        let s = build_screening(&sys, &cfg, None).expect("build");
+        let ctx = sigma_context(&s, &oracle.sigma_bands);
+
+        // Uninterrupted.
+        let done =
+            match gpp_eval_preemptible(&ctx, cfg.sampling_delta_ry, cfg.variant, None, |_| false) {
+                GppOutcome::Done(r) => r,
+                GppOutcome::Yielded(_) => panic!("must not yield"),
+            };
+        assert_eq!(done.bands, oracle.sigma_bands);
+        for (a, b) in done.states.iter().zip(&oracle.states) {
+            assert!(
+                (a.e_qp - b.e_qp).abs() < 1e-12,
+                "served {} vs oracle {}",
+                a.e_qp,
+                b.e_qp
+            );
+            assert!((a.z - b.z).abs() < 1e-12);
+        }
+
+        // Yield after every band, round-tripping the partial through a
+        // checkpoint record each time, and still match at 1e-12.
+        let mut partial: Option<GppPartial> = None;
+        let resumed = loop {
+            match gpp_eval_preemptible(
+                &ctx,
+                cfg.sampling_delta_ry,
+                cfg.variant,
+                partial.take(),
+                |_| true,
+            ) {
+                GppOutcome::Done(r) => break r,
+                GppOutcome::Yielded(p) => {
+                    let ck = gpp_partial_to_checkpoint(&p, 3);
+                    partial = Some(gpp_partial_from_checkpoint(&ck).expect("partial roundtrip"));
+                }
+            }
+        };
+        for (a, b) in resumed.states.iter().zip(&oracle.states) {
+            assert!((a.e_qp - b.e_qp).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn union_context_band_slices_match_per_request_contexts() {
+        // Coalescing contract: a band evaluated through the union context
+        // of a batch equals the same band through a request-sized context.
+        let sys = small_system();
+        let cfg = GwConfig::default();
+        let s = build_screening(&sys, &cfg, None).expect("build");
+        let nv = s.wf.n_valence;
+        let narrow: Vec<usize> = vec![nv - 1, nv];
+        let wide: Vec<usize> = (nv - 2..nv + 2).collect();
+        let ctx_n = sigma_context(&s, &narrow);
+        let ctx_w = sigma_context(&s, &wide);
+        let eval = |ctx: &SigmaContext| match gpp_eval_preemptible(
+            ctx,
+            cfg.sampling_delta_ry,
+            cfg.variant,
+            None,
+            |_| false,
+        ) {
+            GppOutcome::Done(r) => r,
+            GppOutcome::Yielded(_) => unreachable!(),
+        };
+        let rn = eval(&ctx_n);
+        let rw = eval(&ctx_w);
+        for (i, band) in narrow.iter().enumerate() {
+            let j = wide.iter().position(|b| b == band).unwrap();
+            assert_eq!(
+                rn.states[i].e_qp, rw.states[j].e_qp,
+                "band {band} differs between narrow and union contexts"
+            );
+        }
+    }
+
+    #[test]
+    fn partial_checkpoint_rejects_inconsistent_records() {
+        let p = GppPartial {
+            sigma: vec![vec![1.0, 2.0, 3.0]],
+            flops: 42,
+        };
+        let ck = gpp_partial_to_checkpoint(&p, 3);
+        assert_eq!(gpp_partial_from_checkpoint(&ck).unwrap(), p);
+        let mut bad = ck.clone();
+        bad.step = 2; // claims more bands than the meta holds
+        assert!(gpp_partial_from_checkpoint(&bad).is_none());
+        let mut bad = ck.clone();
+        bad.meta[2] = f64::NAN;
+        assert!(gpp_partial_from_checkpoint(&bad).is_none());
+        let mut bad = ck;
+        bad.stage = GwStage::ChiPartial as u64;
+        assert!(gpp_partial_from_checkpoint(&bad).is_none());
+    }
+}

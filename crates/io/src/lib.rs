@@ -332,10 +332,27 @@ pub fn checkpoint_path(dir: &Path, index: u64) -> std::path::PathBuf {
 /// leaves a half-written file under the final name. Returns the payload
 /// bytes written.
 pub fn write_checkpoint(dir: &Path, index: u64, ckpt: &Checkpoint) -> Result<u64, IoError> {
-    let _span = bgw_trace::span!("io.ckpt.write");
     std::fs::create_dir_all(dir)?;
-    let final_path = checkpoint_path(dir, index);
-    let tmp_path = dir.join(format!("ckpt_{index:06}.bgwr.tmp"));
+    write_checkpoint_file(&checkpoint_path(dir, index), ckpt)
+}
+
+/// Writes one checkpoint record to an arbitrary `path` (parent directory
+/// created if needed) with the same atomic tmp+rename discipline as
+/// [`write_checkpoint`]. This is the artifact-record primitive of the
+/// serving layer's content-hash store: an artifact file IS a checkpoint
+/// record, so a cache hit reads back through the same checksummed decoder
+/// a restart does, and a crash mid-write leaves only an invisible `.tmp`
+/// sibling, never a torn record under the final name.
+pub fn write_checkpoint_file(path: &Path, ckpt: &Checkpoint) -> Result<u64, IoError> {
+    let _span = bgw_trace::span!("io.ckpt.write");
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut tmp_name = path.file_name().unwrap_or_default().to_os_string();
+    tmp_name.push(".tmp");
+    let tmp_path = path.with_file_name(tmp_name);
     let mut bytes = 0u64;
     {
         let f = std::fs::File::create(&tmp_path)?;
@@ -358,7 +375,7 @@ pub fn write_checkpoint(dir: &Path, index: u64, ckpt: &Checkpoint) -> Result<u64
         }
         w.flush()?;
     }
-    std::fs::rename(&tmp_path, &final_path)?;
+    std::fs::rename(&tmp_path, path)?;
     bgw_perf::counters::record_ckpt_write(bytes);
     Ok(bytes)
 }
@@ -554,6 +571,26 @@ mod tests {
         assert_eq!(back, ckpt);
         // no stray tmp file left behind
         assert!(!dir.join("ckpt_000005.bgwr.tmp").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_file_at_arbitrary_path_roundtrips() {
+        let dir = tmp("artfile");
+        let ckpt = Checkpoint {
+            stage: 9,
+            step: 1,
+            meta: vec![0.25],
+            matrices: vec![CMatrix::random(5, 3, 77)],
+        };
+        // nested parent directories are created on demand
+        let path = dir.join("shard_a").join("art_deadbeef.bgwr");
+        let bytes = write_checkpoint_file(&path, &ckpt).unwrap();
+        assert!(bytes > 0);
+        let back = read_checkpoint_file(&path).unwrap();
+        assert_eq!(back, ckpt);
+        // atomicity: no tmp sibling survives a completed write
+        assert!(!path.with_file_name("art_deadbeef.bgwr.tmp").exists());
         std::fs::remove_dir_all(&dir).ok();
     }
 

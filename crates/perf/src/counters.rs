@@ -56,6 +56,17 @@ static FF_HERMITICITY_DROPS: AtomicU64 = AtomicU64::new(0);
 static DAG_TASKS: AtomicU64 = AtomicU64::new(0);
 static DAG_STEALS: AtomicU64 = AtomicU64::new(0);
 static DAG_REENQUEUED: AtomicU64 = AtomicU64::new(0);
+static SERVE_REQUESTS: AtomicU64 = AtomicU64::new(0);
+static SERVE_COMPLETED: AtomicU64 = AtomicU64::new(0);
+static SERVE_HITS_MEM: AtomicU64 = AtomicU64::new(0);
+static SERVE_HITS_DISK: AtomicU64 = AtomicU64::new(0);
+static SERVE_MISSES: AtomicU64 = AtomicU64::new(0);
+static SERVE_COALESCED: AtomicU64 = AtomicU64::new(0);
+static SERVE_PREEMPTIONS: AtomicU64 = AtomicU64::new(0);
+static SERVE_RETRIES: AtomicU64 = AtomicU64::new(0);
+static SERVE_REENQUEUED: AtomicU64 = AtomicU64::new(0);
+static SERVE_STORE_INVALID: AtomicU64 = AtomicU64::new(0);
+static SERVE_QUEUE_NS: AtomicU64 = AtomicU64::new(0);
 
 /// Number of SIMD instruction-set lanes tracked by the per-ISA kernel
 /// counters. Indices follow `bgw_num::simd::Isa::index()`: 0 scalar,
@@ -141,6 +152,34 @@ pub struct CounterSnapshot {
     /// DAG tasks re-enqueued by fault recovery (lost ranks' tasks only,
     /// not whole-phase redistribution).
     pub dag_reenqueued: u64,
+    /// GW requests accepted into the serving queue (`bgw-serve`).
+    pub serve_requests: u64,
+    /// GW requests completed (successfully or with a typed error). The
+    /// instantaneous queue depth is `serve_requests - serve_completed`.
+    pub serve_completed: u64,
+    /// Served requests whose W screening came from the in-memory cache.
+    pub serve_hits_mem: u64,
+    /// Served requests whose W screening was restarted from an on-disk
+    /// artifact record (a cache hit that is a checkpoint read).
+    pub serve_hits_disk: u64,
+    /// Served requests whose W screening had to be computed from scratch.
+    pub serve_misses: u64,
+    /// Requests that shared another request's screening build within one
+    /// coalesced batch (group size minus one, summed over groups).
+    pub serve_coalesced: u64,
+    /// Requests preempted mid-evaluation (checkpointed and re-enqueued in
+    /// favor of a higher-priority request).
+    pub serve_preemptions: u64,
+    /// Transient-fault retries performed by the serving loop.
+    pub serve_retries: u64,
+    /// Requests re-enqueued after a crash mid-evaluation (only the dead
+    /// request, never its batch mates).
+    pub serve_reenqueued: u64,
+    /// Artifact-store entries rejected as corrupt/torn and recomputed
+    /// (a checksum failure downgraded to a miss, never a wrong hit).
+    pub serve_store_invalid: u64,
+    /// Nanoseconds requests spent queued before their evaluation began.
+    pub serve_queue_ns: u64,
     /// ZGEMM calls dispatched to the scalar microkernel.
     pub gemm_mk_calls_scalar: u64,
     /// ZGEMM calls dispatched to the NEON microkernel.
@@ -208,6 +247,17 @@ macro_rules! for_each_counter_field {
         $m!(dag_tasks);
         $m!(dag_steals);
         $m!(dag_reenqueued);
+        $m!(serve_requests);
+        $m!(serve_completed);
+        $m!(serve_hits_mem);
+        $m!(serve_hits_disk);
+        $m!(serve_misses);
+        $m!(serve_coalesced);
+        $m!(serve_preemptions);
+        $m!(serve_retries);
+        $m!(serve_reenqueued);
+        $m!(serve_store_invalid);
+        $m!(serve_queue_ns);
         $m!(gemm_mk_calls_scalar);
         $m!(gemm_mk_calls_neon);
         $m!(gemm_mk_calls_avx2);
@@ -441,6 +491,17 @@ pub fn snapshot() -> CounterSnapshot {
         dag_tasks: DAG_TASKS.load(Ordering::Relaxed),
         dag_steals: DAG_STEALS.load(Ordering::Relaxed),
         dag_reenqueued: DAG_REENQUEUED.load(Ordering::Relaxed),
+        serve_requests: SERVE_REQUESTS.load(Ordering::Relaxed),
+        serve_completed: SERVE_COMPLETED.load(Ordering::Relaxed),
+        serve_hits_mem: SERVE_HITS_MEM.load(Ordering::Relaxed),
+        serve_hits_disk: SERVE_HITS_DISK.load(Ordering::Relaxed),
+        serve_misses: SERVE_MISSES.load(Ordering::Relaxed),
+        serve_coalesced: SERVE_COALESCED.load(Ordering::Relaxed),
+        serve_preemptions: SERVE_PREEMPTIONS.load(Ordering::Relaxed),
+        serve_retries: SERVE_RETRIES.load(Ordering::Relaxed),
+        serve_reenqueued: SERVE_REENQUEUED.load(Ordering::Relaxed),
+        serve_store_invalid: SERVE_STORE_INVALID.load(Ordering::Relaxed),
+        serve_queue_ns: SERVE_QUEUE_NS.load(Ordering::Relaxed),
         gemm_mk_calls_scalar: GEMM_MK_CALLS[0].load(Ordering::Relaxed),
         gemm_mk_calls_neon: GEMM_MK_CALLS[1].load(Ordering::Relaxed),
         gemm_mk_calls_avx2: GEMM_MK_CALLS[2].load(Ordering::Relaxed),
@@ -597,6 +658,68 @@ pub fn record_dag_reenqueued(n: u64) {
     DAG_REENQUEUED.fetch_add(n, Ordering::Relaxed);
 }
 
+/// Records one request accepted into the serving queue.
+#[inline]
+pub fn record_serve_request() {
+    SERVE_REQUESTS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records one request completed after spending `queue_ns` queued.
+#[inline]
+pub fn record_serve_completed(queue_ns: u64) {
+    SERVE_COMPLETED.fetch_add(1, Ordering::Relaxed);
+    SERVE_QUEUE_NS.fetch_add(queue_ns, Ordering::Relaxed);
+}
+
+/// Records one screening served from the in-memory cache.
+#[inline]
+pub fn record_serve_hit_mem() {
+    SERVE_HITS_MEM.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records one screening restarted from an on-disk artifact record.
+#[inline]
+pub fn record_serve_hit_disk() {
+    SERVE_HITS_DISK.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records one screening computed from scratch (cache miss).
+#[inline]
+pub fn record_serve_miss() {
+    SERVE_MISSES.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records `n` requests that rode along on another request's screening
+/// within one coalesced batch.
+#[inline]
+pub fn record_serve_coalesced(n: u64) {
+    SERVE_COALESCED.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Records one mid-evaluation preemption (checkpoint + re-enqueue).
+#[inline]
+pub fn record_serve_preemption() {
+    SERVE_PREEMPTIONS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records one transient-fault retry in the serving loop.
+#[inline]
+pub fn record_serve_retry() {
+    SERVE_RETRIES.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records one request re-enqueued after a crash mid-evaluation.
+#[inline]
+pub fn record_serve_reenqueued() {
+    SERVE_REENQUEUED.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records one corrupt/torn artifact-store entry downgraded to a miss.
+#[inline]
+pub fn record_serve_store_invalid() {
+    SERVE_STORE_INVALID.fetch_add(1, Ordering::Relaxed);
+}
+
 #[inline]
 fn isa_lane(isa: usize) -> usize {
     debug_assert!(isa < ISA_LANES, "unknown ISA index {isa}");
@@ -655,6 +778,16 @@ mod tests {
         record_dag_tasks(9);
         record_dag_steals(2);
         record_dag_reenqueued(3);
+        record_serve_request();
+        record_serve_hit_mem();
+        record_serve_hit_disk();
+        record_serve_miss();
+        record_serve_coalesced(4);
+        record_serve_preemption();
+        record_serve_retry();
+        record_serve_reenqueued();
+        record_serve_store_invalid();
+        record_serve_completed(750);
         let after = snapshot();
         let d = before.delta(&after);
         assert!(d.pool_dispatches >= 1);
@@ -688,6 +821,17 @@ mod tests {
         assert!(d.dag_tasks >= 9);
         assert!(d.dag_steals >= 2);
         assert!(d.dag_reenqueued >= 3);
+        assert!(d.serve_requests >= 1);
+        assert!(d.serve_completed >= 1);
+        assert!(d.serve_hits_mem >= 1);
+        assert!(d.serve_hits_disk >= 1);
+        assert!(d.serve_misses >= 1);
+        assert!(d.serve_coalesced >= 4);
+        assert!(d.serve_preemptions >= 1);
+        assert!(d.serve_retries >= 1);
+        assert!(d.serve_reenqueued >= 1);
+        assert!(d.serve_store_invalid >= 1);
+        assert!(d.serve_queue_ns >= 750);
         assert_eq!(d.delta_underflows, 0);
     }
 
@@ -784,7 +928,7 @@ mod tests {
             n_fields += 1;
         });
         assert_eq!(a, b);
-        assert_eq!(n_fields, 41, "visitor must cover every field");
+        assert_eq!(n_fields, 52, "visitor must cover every field");
         assert!(!b.set_field("no_such_counter", 1));
         assert!(CounterSnapshot::default().is_zero());
         assert!(!a.is_zero());

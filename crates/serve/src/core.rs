@@ -1,0 +1,952 @@
+//! The synchronous serving engine.
+//!
+//! [`ServeCore`] owns the bounded queue, the two-level cache (in-memory
+//! LRU of decoded [`Screening`]s over the on-disk [`ArtifactStore`]), and
+//! the batch evaluator. It is deliberately single-threaded and
+//! externally driven — [`ServeCore::step_with`] processes exactly one
+//! coalesced batch per call, with a caller-supplied `peek` hook deciding
+//! preemption — so the traffic-replay test battery can assert the exact
+//! event sequence a seeded request stream produces. The threaded daemon
+//! in [`server`](crate::server) wraps this engine verbatim; nothing about
+//! scheduling lives only in the threaded path.
+//!
+//! A step:
+//! 1. pick the highest-priority queued request (ties: arrival order) and
+//!    pull every queued request sharing its W artifact key — the batch;
+//! 2. acquire the screening: memory LRU → disk artifact (a cache hit *is*
+//!    a restart through `screening_from_checkpoint`) → full recompute +
+//!    atomic store;
+//! 3. evaluate each distinct `(band, delta)` Sigma diagonal exactly once
+//!    over the union context (resuming a preemption partial if one is on
+//!    record), yielding between band slices when `peek` reports a higher
+//!    waiting priority;
+//! 4. assemble and retire per-request responses, consulting the seeded
+//!    fault plan at each request's evaluation op: crashes re-enqueue only
+//!    that request, transients retry with bounded backoff, corruption
+//!    poisons the *stored* artifact (the checksummed reader must catch it
+//!    later), delays stall.
+
+use crate::key::ArtifactKey;
+use crate::request::{GwRequest, RequestKind};
+use crate::store::ArtifactStore;
+use bgw_comm::{FaultKind, FaultPlan};
+use bgw_core::epsilon::EpsilonError;
+use bgw_core::restart::{band_slice, GwStage};
+use bgw_core::service::{
+    band_subset, build_screening, ff_eval, screening_from_checkpoint, screening_to_checkpoint,
+    sigma_context, Screening,
+};
+use bgw_core::sigma::diag::{gpp_sigma_diag, SigmaDiagResult};
+use bgw_core::solve_qp_diag;
+use bgw_io::Checkpoint;
+use bgw_num::Complex64;
+use bgw_perf::counters;
+use bgw_trace::RunReport;
+use std::collections::{HashMap, VecDeque};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Identifier assigned to each accepted request.
+pub type RequestId = u64;
+
+/// Serving-engine configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Artifact store directory.
+    pub store_dir: PathBuf,
+    /// Bounded queue capacity; excess enqueues fail with
+    /// [`ServeError::QueueFull`].
+    pub queue_capacity: usize,
+    /// Decoded screenings kept in the in-memory LRU.
+    pub mem_cache_capacity: usize,
+    /// Seeded fault schedule, consulted once per request evaluation op
+    /// (rank 0, op = the engine's monotonic evaluation counter).
+    pub fault_plan: FaultPlan,
+    /// Crash re-enqueue budget per request; beyond it the request retires
+    /// with [`ServeError::Faulted`].
+    pub max_request_retries: usize,
+    /// Attach a per-request `bgw-trace` report delta to each response.
+    pub collect_reports: bool,
+}
+
+impl ServeConfig {
+    /// Defaults: queue 64, memory LRU 4, no faults, 2 crash retries.
+    pub fn new(store_dir: impl Into<PathBuf>) -> Self {
+        Self {
+            store_dir: store_dir.into(),
+            queue_capacity: 64,
+            mem_cache_capacity: 4,
+            fault_plan: FaultPlan::none(),
+            max_request_retries: 2,
+            collect_reports: false,
+        }
+    }
+}
+
+/// Typed request failure.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServeError {
+    /// The bounded queue is full; the request was not accepted.
+    QueueFull,
+    /// The request was cancelled before completion.
+    Cancelled,
+    /// Injected crashes exhausted the re-enqueue budget.
+    Faulted {
+        /// Evaluation attempts made.
+        attempts: usize,
+    },
+    /// An injected transient fault outlived the bounded-backoff budget.
+    RetriesExhausted {
+        /// Retries attempted.
+        attempts: u32,
+    },
+    /// The dielectric inversion failed for this structure.
+    Epsilon(EpsilonError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::QueueFull => write!(f, "queue full"),
+            ServeError::Cancelled => write!(f, "cancelled"),
+            ServeError::Faulted { attempts } => {
+                write!(f, "faulted after {attempts} attempts")
+            }
+            ServeError::RetriesExhausted { attempts } => {
+                write!(f, "transient fault persisted through {attempts} retries")
+            }
+            ServeError::Epsilon(e) => write!(f, "epsilon stage: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// How the batch's screening was obtained.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheStatus {
+    /// Computed from scratch (and stored).
+    Miss,
+    /// Served from the in-memory LRU.
+    MemHit,
+    /// Restored from the on-disk artifact store (a restart).
+    DiskHit,
+}
+
+/// Per-request response telemetry.
+#[derive(Clone, Debug)]
+pub struct ServeTelemetry {
+    /// How the screening was obtained for this request's batch.
+    pub cache: CacheStatus,
+    /// Requests in the coalesced batch (1 = alone).
+    pub batch_size: usize,
+    /// Evaluation attempts (1 + crash re-enqueues).
+    pub attempts: usize,
+    /// Seconds between enqueue and the start of the completing batch.
+    pub queue_seconds: f64,
+    /// Seconds of batch compute (shared across the batch's members).
+    pub compute_seconds: f64,
+    /// Span-tree delta bracketing the completing batch, when
+    /// [`ServeConfig::collect_reports`] is set and tracing is compiled in.
+    pub report: Option<RunReport>,
+}
+
+/// GPP response payload.
+#[derive(Clone, Debug)]
+pub struct GppPayload {
+    /// Band indices evaluated (the request's window).
+    pub bands: Vec<usize>,
+    /// Mean-field energies of those bands (Ry).
+    pub e_mf: Vec<f64>,
+    /// Quasiparticle energies (Ry), aligned with `bands`.
+    pub e_qp: Vec<f64>,
+    /// Renormalization factors, aligned with `bands`.
+    pub z: Vec<f64>,
+    /// Mean-field gap (Ry).
+    pub gap_mf_ry: f64,
+    /// Quasiparticle gap (Ry) from this request's own band window.
+    pub gap_qp_ry: f64,
+    /// Macroscopic dielectric constant of the screening.
+    pub eps_macro: f64,
+    /// Sigma kernel FLOPs attributed to this request's rows.
+    pub flops: u64,
+}
+
+/// Full-frequency response payload.
+#[derive(Clone, Debug)]
+pub struct FfPayload {
+    /// Band indices evaluated.
+    pub bands: Vec<usize>,
+    /// Mean-field energies of those bands (Ry).
+    pub e_mf: Vec<f64>,
+    /// `sigma[s][e]` (complex, Ry) on the request's 3-point grids.
+    pub sigma: Vec<Vec<Complex64>>,
+    /// Macroscopic dielectric constant of the screening.
+    pub eps_macro: f64,
+    /// Kernel FLOPs of this request's evaluation.
+    pub flops: u64,
+}
+
+/// A served result.
+#[derive(Clone, Debug)]
+pub enum Payload {
+    /// GPP diagonals + QP energies.
+    Gpp(GppPayload),
+    /// Full-frequency diagonals.
+    FullFreq(FfPayload),
+}
+
+/// A successful response: payload plus telemetry.
+#[derive(Clone, Debug)]
+pub struct ServeOk {
+    /// The physics.
+    pub payload: Payload,
+    /// How it was served.
+    pub telemetry: ServeTelemetry,
+}
+
+/// One entry of the deterministic event log — the traffic-replay test
+/// battery asserts exact sequences of these.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeEvent {
+    /// Batch screening served from the in-memory LRU (attributed to the
+    /// batch leader).
+    MemHit {
+        /// Batch leader request.
+        id: RequestId,
+    },
+    /// Batch screening restored from the on-disk artifact store.
+    DiskHit {
+        /// Batch leader request.
+        id: RequestId,
+    },
+    /// Batch screening recomputed (and stored).
+    Miss {
+        /// Batch leader request.
+        id: RequestId,
+    },
+    /// `id` rode along in the batch led by `with`.
+    Coalesced {
+        /// Coalesced member.
+        id: RequestId,
+        /// Batch leader it joined.
+        with: RequestId,
+    },
+    /// A present-but-unreadable store record degraded to a recompute.
+    StoreInvalid {
+        /// Batch leader request.
+        id: RequestId,
+    },
+    /// The batch yielded to a higher-priority request after `rows_done`
+    /// band rows; its members went back to the queue.
+    Preempted {
+        /// Batch leader request.
+        id: RequestId,
+        /// Band rows completed before the yield.
+        rows_done: usize,
+    },
+    /// The batch resumed from a preemption partial with `rows_done` rows
+    /// already on record.
+    Resumed {
+        /// Batch leader request.
+        id: RequestId,
+        /// Band rows recovered from the partial.
+        rows_done: usize,
+    },
+    /// An injected transient fault retried this request's evaluation.
+    Retried {
+        /// Affected request.
+        id: RequestId,
+        /// 1-based retry attempt.
+        attempt: u32,
+    },
+    /// An injected crash re-enqueued this request (and only it).
+    Reenqueued {
+        /// Affected request.
+        id: RequestId,
+    },
+    /// The request was cancelled.
+    Cancelled {
+        /// Affected request.
+        id: RequestId,
+    },
+    /// The request retired successfully.
+    Completed {
+        /// Affected request.
+        id: RequestId,
+    },
+    /// The request retired with an error.
+    Failed {
+        /// Affected request.
+        id: RequestId,
+    },
+}
+
+struct Pending {
+    id: RequestId,
+    seq: u64,
+    req: GwRequest,
+    attempts: usize,
+    enqueued: Instant,
+    cancel: Arc<AtomicBool>,
+}
+
+/// Dedup identity of one Sigma row within a batch: `(band, delta_milli_ry)`.
+type RowKey = (usize, u32);
+/// One evaluated row: the 3-point Sigma grid plus its FLOP attribution.
+type RowVal = (Vec<f64>, u64);
+
+/// A preemption partial: per-`(band, delta_milli_ry)` Sigma rows already
+/// evaluated for a W batch, plus their FLOP attribution.
+#[derive(Clone, Debug, Default, PartialEq)]
+struct BatchPartial {
+    rows: Vec<(RowKey, RowVal)>,
+}
+
+const PARTIAL_N_GRID: usize = 3;
+
+impl BatchPartial {
+    fn get(&self, key: RowKey) -> Option<&RowVal> {
+        self.rows.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+
+    fn to_checkpoint(&self) -> Checkpoint {
+        let mut meta = vec![self.rows.len() as f64];
+        for ((band, delta), (row, flops)) in &self.rows {
+            meta.push(*band as f64);
+            meta.push(*delta as f64);
+            meta.push(*flops as f64);
+            meta.extend_from_slice(row);
+        }
+        Checkpoint {
+            stage: GwStage::SigmaPartial as u64,
+            step: self.rows.len() as u64,
+            meta,
+            matrices: vec![],
+        }
+    }
+
+    fn from_checkpoint(ck: &Checkpoint) -> Option<BatchPartial> {
+        if ck.stage != GwStage::SigmaPartial as u64 || ck.meta.is_empty() {
+            return None;
+        }
+        let n = ck.meta[0] as usize;
+        if ck.step as usize != n || ck.meta.len() != 1 + n * (3 + PARTIAL_N_GRID) {
+            return None;
+        }
+        let mut rows = Vec::with_capacity(n);
+        for chunk in ck.meta[1..].chunks_exact(3 + PARTIAL_N_GRID) {
+            let row = chunk[3..].to_vec();
+            if row.iter().any(|x| !x.is_finite()) {
+                return None;
+            }
+            rows.push(((chunk[0] as usize, chunk[1] as u32), (row, chunk[2] as u64)));
+        }
+        Some(BatchPartial { rows })
+    }
+}
+
+/// The synchronous serving engine. See the module docs for the step
+/// anatomy; [`Server`](crate::server::Server) is the threaded wrapper.
+pub struct ServeCore {
+    cfg: ServeConfig,
+    store: ArtifactStore,
+    queue: VecDeque<Pending>,
+    mem: Vec<(ArtifactKey, Arc<Screening>)>,
+    partials: HashMap<ArtifactKey, BatchPartial>,
+    events: Vec<ServeEvent>,
+    responses: Vec<(RequestId, Result<ServeOk, ServeError>)>,
+    next_id: RequestId,
+    next_seq: u64,
+    op_counter: u64,
+}
+
+impl ServeCore {
+    /// An idle engine over `cfg.store_dir`.
+    pub fn new(cfg: ServeConfig) -> Self {
+        let store = ArtifactStore::new(cfg.store_dir.clone());
+        Self {
+            cfg,
+            store,
+            queue: VecDeque::new(),
+            mem: Vec::new(),
+            partials: HashMap::new(),
+            events: Vec::new(),
+            responses: Vec::new(),
+            next_id: 1,
+            next_seq: 0,
+            op_counter: 0,
+        }
+    }
+
+    /// The artifact store this engine serves from.
+    pub fn store(&self) -> &ArtifactStore {
+        &self.store
+    }
+
+    /// Queued (not yet retired) requests.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True when no request is queued.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Highest priority currently queued, if any.
+    pub fn max_queued_priority(&self) -> Option<u8> {
+        self.queue.iter().map(|p| p.req.priority).max()
+    }
+
+    /// The event log so far (monotonic; see [`ServeCore::take_events`]).
+    pub fn events(&self) -> &[ServeEvent] {
+        &self.events
+    }
+
+    /// Drains the event log.
+    pub fn take_events(&mut self) -> Vec<ServeEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Drains retired responses.
+    pub fn take_responses(&mut self) -> Vec<(RequestId, Result<ServeOk, ServeError>)> {
+        std::mem::take(&mut self.responses)
+    }
+
+    /// Accepts a request into the bounded queue.
+    pub fn enqueue(&mut self, req: GwRequest) -> Result<RequestId, ServeError> {
+        self.enqueue_with_cancel(req, Arc::new(AtomicBool::new(false)))
+    }
+
+    /// Accepts a request with an externally shared cancellation flag (the
+    /// threaded server's ticket holds the other end).
+    pub fn enqueue_with_cancel(
+        &mut self,
+        req: GwRequest,
+        cancel: Arc<AtomicBool>,
+    ) -> Result<RequestId, ServeError> {
+        if self.queue.len() >= self.cfg.queue_capacity {
+            return Err(ServeError::QueueFull);
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push_back(Pending {
+            id,
+            seq,
+            req,
+            attempts: 0,
+            enqueued: Instant::now(),
+            cancel,
+        });
+        counters::record_serve_request();
+        Ok(id)
+    }
+
+    /// Cancels a request: sets its flag and, if it is still queued,
+    /// retires it immediately with [`ServeError::Cancelled`]. Returns
+    /// `false` for unknown (already retired) ids.
+    pub fn cancel(&mut self, id: RequestId) -> bool {
+        if let Some(pos) = self.queue.iter().position(|p| p.id == id) {
+            let p = self.queue.remove(pos).unwrap();
+            p.cancel.store(true, Ordering::Release);
+            self.retire_cancelled(p);
+            return true;
+        }
+        false
+    }
+
+    /// Runs batches until the queue drains. `peek` is consulted between
+    /// band rows for preemption (return the highest priority waiting
+    /// *outside* the engine, or `None`).
+    pub fn run_until_idle(&mut self, peek: &mut dyn FnMut() -> Option<u8>) {
+        while self.step_with(peek) {}
+    }
+
+    /// Processes one coalesced batch; returns `false` when the queue was
+    /// empty. See the module docs for the step anatomy.
+    pub fn step_with(&mut self, peek: &mut dyn FnMut() -> Option<u8>) -> bool {
+        if self.queue.is_empty() {
+            return false;
+        }
+        let _batch_span = bgw_trace::span!("serve.batch");
+
+        // --- batch selection: highest priority, then arrival order ------
+        let leader = self
+            .queue
+            .iter()
+            .min_by_key(|p| (std::cmp::Reverse(p.req.priority), p.seq))
+            .expect("non-empty queue");
+        let wkey = leader.req.w_key();
+        let batch_prio = leader.req.priority;
+        let mut batch: Vec<Pending> = Vec::new();
+        let mut rest: VecDeque<Pending> = VecDeque::new();
+        for p in std::mem::take(&mut self.queue) {
+            if p.req.w_key() == wkey {
+                batch.push(p);
+            } else {
+                rest.push_back(p);
+            }
+        }
+        self.queue = rest;
+        batch.sort_by_key(|p| p.seq);
+
+        // --- drop members already cancelled ------------------------------
+        let mut live = Vec::new();
+        for p in batch {
+            if p.cancel.load(Ordering::Acquire) {
+                self.retire_cancelled(p);
+            } else {
+                live.push(p);
+            }
+        }
+        let batch = live;
+        if batch.is_empty() {
+            return true;
+        }
+        let leader_id = batch[0].id;
+        if batch.len() > 1 {
+            counters::record_serve_coalesced((batch.len() - 1) as u64);
+            for m in &batch[1..] {
+                self.events.push(ServeEvent::Coalesced {
+                    id: m.id,
+                    with: leader_id,
+                });
+            }
+        }
+
+        let report_before = if self.cfg.collect_reports && bgw_trace::compiled_in() {
+            Some(bgw_trace::report())
+        } else {
+            None
+        };
+        let t_batch = Instant::now();
+
+        // --- screening acquisition ---------------------------------------
+        let (screening, cache) = match self.acquire_screening(&batch[0].req, leader_id) {
+            Ok(pair) => pair,
+            Err(e) => {
+                for p in batch {
+                    self.events.push(ServeEvent::Failed { id: p.id });
+                    self.responses
+                        .push((p.id, Err(ServeError::Epsilon(e.clone()))));
+                }
+                return true;
+            }
+        };
+
+        // --- evaluation ---------------------------------------------------
+        match batch[0].req.kind {
+            RequestKind::GppDiag { .. } => self.eval_gpp_batch(
+                batch,
+                &screening,
+                wkey,
+                batch_prio,
+                cache,
+                t_batch,
+                peek,
+                report_before,
+            ),
+            RequestKind::FullFreq { .. } => {
+                self.eval_ff_batch(batch, &screening, cache, t_batch, report_before)
+            }
+        }
+        true
+    }
+
+    // ---------------------------------------------------------------------
+
+    fn retire_cancelled(&mut self, p: Pending) {
+        self.events.push(ServeEvent::Cancelled { id: p.id });
+        self.responses.push((p.id, Err(ServeError::Cancelled)));
+    }
+
+    fn mem_get(&mut self, key: ArtifactKey) -> Option<Arc<Screening>> {
+        let pos = self.mem.iter().position(|(k, _)| *k == key)?;
+        let entry = self.mem.remove(pos);
+        let hit = entry.1.clone();
+        self.mem.push(entry); // most-recently-used at the back
+        Some(hit)
+    }
+
+    fn mem_insert(&mut self, key: ArtifactKey, s: Arc<Screening>) {
+        if self.cfg.mem_cache_capacity == 0 {
+            return;
+        }
+        self.mem.retain(|(k, _)| *k != key);
+        self.mem.push((key, s));
+        while self.mem.len() > self.cfg.mem_cache_capacity {
+            self.mem.remove(0);
+        }
+    }
+
+    fn acquire_screening(
+        &mut self,
+        req: &GwRequest,
+        leader_id: RequestId,
+    ) -> Result<(Arc<Screening>, CacheStatus), EpsilonError> {
+        let wkey = req.w_key();
+        if let Some(s) = self.mem_get(wkey) {
+            counters::record_serve_hit_mem();
+            self.events.push(ServeEvent::MemHit { id: leader_id });
+            return Ok((s, CacheStatus::MemHit));
+        }
+        let system = req.structure.system();
+        let cfg = req.gw_config();
+        let had_record = self.store.contains(wkey);
+        if let Some(ck) = self.store.load(wkey) {
+            if let Some(s) = screening_from_checkpoint(&system, &cfg, &ck) {
+                counters::record_serve_hit_disk();
+                self.events.push(ServeEvent::DiskHit { id: leader_id });
+                let s = Arc::new(s);
+                self.mem_insert(wkey, s.clone());
+                return Ok((s, CacheStatus::DiskHit));
+            }
+            // Readable record, wrong payload: count it like a torn entry.
+            counters::record_serve_store_invalid();
+            self.events.push(ServeEvent::StoreInvalid { id: leader_id });
+        } else if had_record {
+            // Present but failed the checksummed read (already counted by
+            // the store); surface it in the event log.
+            self.events.push(ServeEvent::StoreInvalid { id: leader_id });
+        }
+        counters::record_serve_miss();
+        self.events.push(ServeEvent::Miss { id: leader_id });
+        let s = build_screening(&system, &cfg, req.ff_spec())?;
+        let _ = self.store.save(wkey, &screening_to_checkpoint(&s));
+        let s = Arc::new(s);
+        self.mem_insert(wkey, s.clone());
+        Ok((s, CacheStatus::Miss))
+    }
+
+    /// Consults the fault plan for one request evaluation op. `Ok(true)`
+    /// means proceed, `Ok(false)` means the request was re-enqueued or
+    /// retired and must be skipped; corruption targets the stored
+    /// artifact of `wkey`.
+    fn fault_gate(&mut self, p: &mut Pending, wkey: ArtifactKey) -> Result<bool, ServeError> {
+        let op = self.op_counter;
+        self.op_counter += 1;
+        match self.cfg.fault_plan.event(0, op) {
+            None => Ok(true),
+            Some(FaultKind::Crash) => {
+                p.attempts += 1;
+                if p.attempts > self.cfg.max_request_retries {
+                    return Err(ServeError::Faulted {
+                        attempts: p.attempts,
+                    });
+                }
+                counters::record_serve_reenqueued();
+                self.events.push(ServeEvent::Reenqueued { id: p.id });
+                Ok(false)
+            }
+            Some(FaultKind::Transient { failures }) => {
+                if failures > self.cfg.fault_plan.max_retries() {
+                    return Err(ServeError::RetriesExhausted { attempts: failures });
+                }
+                for attempt in 1..=failures {
+                    counters::record_serve_retry();
+                    self.events.push(ServeEvent::Retried { id: p.id, attempt });
+                    std::thread::sleep(std::time::Duration::from_micros(
+                        self.cfg.fault_plan.backoff_us(attempt - 1),
+                    ));
+                }
+                Ok(true)
+            }
+            Some(FaultKind::Corrupt { .. }) => {
+                // A torn write: the stored artifact is damaged but this
+                // in-memory evaluation is fine. The checksummed reader
+                // must catch it on the next cold load.
+                self.store.corrupt_artifact(wkey);
+                Ok(true)
+            }
+            Some(FaultKind::Delay { micros }) => {
+                std::thread::sleep(std::time::Duration::from_micros(micros));
+                Ok(true)
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn eval_gpp_batch(
+        &mut self,
+        mut batch: Vec<Pending>,
+        screening: &Arc<Screening>,
+        wkey: ArtifactKey,
+        batch_prio: u8,
+        cache: CacheStatus,
+        t_batch: Instant,
+        peek: &mut dyn FnMut() -> Option<u8>,
+        report_before: Option<RunReport>,
+    ) {
+        let batch_size = batch.len();
+        let nv = screening.wf.n_valence;
+        let nb = screening.wf.n_bands();
+        let member_bands: Vec<Vec<usize>> = batch.iter().map(|p| p.req.bands(nv, nb)).collect();
+
+        // Union band list (sorted, deduped) and the distinct rows to do.
+        let mut union: Vec<usize> = member_bands.iter().flatten().copied().collect();
+        union.sort_unstable();
+        union.dedup();
+        let mut rows_needed: Vec<(usize, u32)> = Vec::new();
+        for (p, bands) in batch.iter().zip(&member_bands) {
+            for &b in bands {
+                let key = (b, p.req.delta_milli_ry());
+                if !rows_needed.contains(&key) {
+                    rows_needed.push(key);
+                }
+            }
+        }
+        rows_needed.sort_unstable();
+
+        // Resume a preemption partial if one is on record (memory first,
+        // then the checksummed on-disk record).
+        let mut partial = match self.partials.remove(&wkey) {
+            Some(p) => p,
+            None => self
+                .store
+                .load_partial(wkey)
+                .and_then(|ck| BatchPartial::from_checkpoint(&ck))
+                .unwrap_or_default(),
+        };
+        // Only keep rows this batch actually needs (a reshaped batch after
+        // preemption must not resurrect stale rows at retire time).
+        partial.rows.retain(|(k, _)| rows_needed.contains(k));
+        if !partial.rows.is_empty() {
+            self.events.push(ServeEvent::Resumed {
+                id: batch[0].id,
+                rows_done: partial.rows.len(),
+            });
+        }
+
+        let ctx = sigma_context(screening, &union);
+        let todo: Vec<(usize, u32)> = rows_needed
+            .iter()
+            .copied()
+            .filter(|k| partial.get(*k).is_none())
+            .collect();
+        for (i, &(band, delta_m)) in todo.iter().enumerate() {
+            {
+                let _row_span = bgw_trace::span!("serve.sigma.gpp");
+                let s = union
+                    .iter()
+                    .position(|&b| b == band)
+                    .expect("band in union");
+                let one = band_slice(&ctx, s);
+                let e = ctx.sigma_energies[s];
+                let d = delta_m as f64 / 1000.0;
+                let grid = vec![vec![e - d, e, e + d]];
+                let r = gpp_sigma_diag(&one, &grid, batch[0].req.gw_config().variant);
+                partial.rows.push((
+                    (band, delta_m),
+                    (r.sigma.into_iter().next().unwrap(), r.flops),
+                ));
+            }
+            // Drop members cancelled mid-batch; their rows may become
+            // unneeded but recomputing the need-set is not worth it.
+            let mut live = Vec::new();
+            for p in batch {
+                if p.cancel.load(Ordering::Acquire) {
+                    self.retire_cancelled(p);
+                } else {
+                    live.push(p);
+                }
+            }
+            batch = live;
+            if batch.is_empty() {
+                self.partials.remove(&wkey);
+                self.store.clear_partial(wkey);
+                return;
+            }
+            // Preemption: yield only with progress made and work left.
+            if i + 1 < todo.len() && peek().is_some_and(|w| w > batch_prio) {
+                counters::record_serve_preemption();
+                self.events.push(ServeEvent::Preempted {
+                    id: batch[0].id,
+                    rows_done: partial.rows.len(),
+                });
+                let _ = self.store.save_partial(wkey, &partial.to_checkpoint());
+                self.partials.insert(wkey, partial);
+                for p in batch {
+                    self.queue.push_back(p); // keeps seq: resumes in order
+                }
+                return;
+            }
+        }
+
+        // --- assemble + retire per member --------------------------------
+        let report = self.finish_report(report_before);
+        let compute_seconds = t_batch.elapsed().as_secs_f64();
+        for (mut p, bands) in batch.into_iter().zip(member_bands) {
+            match self.fault_gate(&mut p, wkey) {
+                Ok(true) => {}
+                Ok(false) => {
+                    // Crash: re-enqueue only this request.
+                    self.queue.push_back(p);
+                    continue;
+                }
+                Err(e) => {
+                    self.events.push(ServeEvent::Failed { id: p.id });
+                    self.responses.push((p.id, Err(e)));
+                    continue;
+                }
+            }
+            if p.cancel.load(Ordering::Acquire) {
+                self.retire_cancelled(p);
+                continue;
+            }
+            let delta_m = p.req.delta_milli_ry();
+            let d = p.req.delta_ry();
+            let mut sigma = Vec::with_capacity(bands.len());
+            let mut grids = Vec::with_capacity(bands.len());
+            let mut energies = Vec::with_capacity(bands.len());
+            let mut flops = 0u64;
+            for &b in &bands {
+                let (row, row_flops) = partial
+                    .get((b, delta_m))
+                    .expect("all member rows evaluated")
+                    .clone();
+                let s = union.iter().position(|&u| u == b).unwrap();
+                let e = ctx.sigma_energies[s];
+                sigma.push(row);
+                grids.push(vec![e - d, e, e + d]);
+                energies.push(e);
+                flops += row_flops;
+            }
+            let diag = SigmaDiagResult {
+                sigma,
+                e_grids: grids,
+                seconds: 0.0,
+                flops,
+            };
+            let states = solve_qp_diag(&energies, &diag);
+            let homo = bands
+                .iter()
+                .position(|&b| b == nv - 1)
+                .expect("HOMO in window");
+            let lumo = bands.iter().position(|&b| b == nv).expect("LUMO in window");
+            let payload = GppPayload {
+                e_mf: energies,
+                e_qp: states.iter().map(|st| st.e_qp).collect(),
+                z: states.iter().map(|st| st.z).collect(),
+                gap_mf_ry: screening.wf.gap_ry(),
+                gap_qp_ry: states[lumo].e_qp - states[homo].e_qp,
+                eps_macro: screening.eps_macro,
+                flops,
+                bands,
+            };
+            self.retire_ok(
+                p,
+                Payload::Gpp(payload),
+                cache,
+                batch_size,
+                compute_seconds,
+                &report,
+            );
+        }
+        self.partials.remove(&wkey);
+        self.store.clear_partial(wkey);
+    }
+
+    fn eval_ff_batch(
+        &mut self,
+        batch: Vec<Pending>,
+        screening: &Arc<Screening>,
+        cache: CacheStatus,
+        t_batch: Instant,
+        report_before: Option<RunReport>,
+    ) {
+        let batch_size = batch.len();
+        let nv = screening.wf.n_valence;
+        let nb = screening.wf.n_bands();
+        let member_bands: Vec<Vec<usize>> = batch.iter().map(|p| p.req.bands(nv, nb)).collect();
+        let mut union: Vec<usize> = member_bands.iter().flatten().copied().collect();
+        union.sort_unstable();
+        union.dedup();
+        let ctx = sigma_context(screening, &union);
+        let wkey = batch[0].req.w_key();
+
+        let mut retirements = Vec::new();
+        for (mut p, bands) in batch.into_iter().zip(member_bands) {
+            match self.fault_gate(&mut p, wkey) {
+                Ok(true) => {}
+                Ok(false) => {
+                    self.queue.push_back(p);
+                    continue;
+                }
+                Err(e) => {
+                    self.events.push(ServeEvent::Failed { id: p.id });
+                    self.responses.push((p.id, Err(e)));
+                    continue;
+                }
+            }
+            if p.cancel.load(Ordering::Acquire) {
+                self.retire_cancelled(p);
+                continue;
+            }
+            let positions: Vec<usize> = bands
+                .iter()
+                .map(|b| union.iter().position(|u| u == b).unwrap())
+                .collect();
+            let view = band_subset(&ctx, &positions);
+            let r = ff_eval(screening, &view, p.req.delta_ry(), p.req.eta_ry())
+                .expect("FF batch requires an FF screening");
+            let payload = FfPayload {
+                e_mf: r.sigma_energies,
+                sigma: r.sigma,
+                eps_macro: screening.eps_macro,
+                flops: r.flops,
+                bands,
+            };
+            retirements.push((p, payload));
+        }
+        let report = self.finish_report(report_before);
+        let compute_seconds = t_batch.elapsed().as_secs_f64();
+        for (p, payload) in retirements {
+            self.retire_ok(
+                p,
+                Payload::FullFreq(payload),
+                cache,
+                batch_size,
+                compute_seconds,
+                &report,
+            );
+        }
+    }
+
+    fn finish_report(&self, before: Option<RunReport>) -> Option<RunReport> {
+        before.map(|b| b.delta(&bgw_trace::report()))
+    }
+
+    fn retire_ok(
+        &mut self,
+        p: Pending,
+        payload: Payload,
+        cache: CacheStatus,
+        batch_size: usize,
+        compute_seconds: f64,
+        report: &Option<RunReport>,
+    ) {
+        let queue_seconds = p.enqueued.elapsed().as_secs_f64() - compute_seconds;
+        let queue_seconds = queue_seconds.max(0.0);
+        counters::record_serve_completed((queue_seconds * 1e9) as u64);
+        self.events.push(ServeEvent::Completed { id: p.id });
+        self.responses.push((
+            p.id,
+            Ok(ServeOk {
+                payload,
+                telemetry: ServeTelemetry {
+                    cache,
+                    batch_size,
+                    attempts: p.attempts + 1,
+                    queue_seconds,
+                    compute_seconds,
+                    report: report.clone(),
+                },
+            }),
+        ));
+    }
+}

@@ -1,0 +1,229 @@
+//! Content-hash artifact keys.
+//!
+//! An artifact key is the FNV-1a-64 digest of a *canonical* parameter
+//! string: named fields, each rendered in an exact textual form (integers
+//! in decimal, floats as IEEE-754 bit patterns in hex — never formatted
+//! decimals, which round), sorted by field name. Canonicalization is what
+//! makes the key a cache identity rather than a serialization accident:
+//! the same parameters pushed in any order produce byte-identical
+//! canonical strings and therefore identical keys, while perturbing any
+//! single band index, cutoff, or frequency count changes the digest.
+//! `tests/serve.rs` holds the round-trip and sensitivity properties.
+
+use std::fmt;
+
+/// A 64-bit content-hash key into the artifact store.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArtifactKey(pub u64);
+
+impl ArtifactKey {
+    /// Fixed-width lowercase hex form, used in store file names.
+    pub fn hex(&self) -> String {
+        format!("{:016x}", self.0)
+    }
+}
+
+impl fmt::Display for ArtifactKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.hex())
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// One canonical field value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Value {
+    /// Unsigned integer, rendered in decimal.
+    Int(u64),
+    /// An `f64`, rendered as its IEEE-754 bit pattern in hex (exact).
+    Bits(u64),
+    /// Short identifier text (no `;`, `=`, or control characters).
+    Text(String),
+}
+
+impl Value {
+    fn render(&self) -> String {
+        match self {
+            Value::Int(v) => format!("i{v}"),
+            Value::Bits(b) => format!("f{b:016x}"),
+            Value::Text(t) => format!("s{t}"),
+        }
+    }
+
+    fn parse(text: &str) -> Option<Value> {
+        let (tag, rest) = text.split_at(1);
+        match tag {
+            "i" => rest.parse::<u64>().ok().map(Value::Int),
+            "f" => {
+                if rest.len() != 16 {
+                    return None;
+                }
+                u64::from_str_radix(rest, 16).ok().map(Value::Bits)
+            }
+            "s" => Some(Value::Text(rest.to_string())),
+            _ => None,
+        }
+    }
+}
+
+/// A set of named parameters being canonicalized into an [`ArtifactKey`].
+///
+/// Push fields in any order; [`KeySpec::canonical`] sorts by name, so two
+/// specs with the same fields are byte-identical however they were built.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct KeySpec {
+    fields: Vec<(String, Value)>,
+}
+
+impl KeySpec {
+    /// An empty spec.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(&mut self, name: &str, value: Value) {
+        assert!(
+            name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+            "key field name {name:?} must be [A-Za-z0-9_]"
+        );
+        assert!(
+            !self.fields.iter().any(|(n, _)| n == name),
+            "duplicate key field {name:?}"
+        );
+        self.fields.push((name.to_string(), value));
+    }
+
+    /// Adds an unsigned-integer field.
+    pub fn push_int(&mut self, name: &str, value: u64) -> &mut Self {
+        self.push(name, Value::Int(value));
+        self
+    }
+
+    /// Adds an `f64` field by exact bit pattern (no decimal rounding).
+    pub fn push_f64(&mut self, name: &str, value: f64) -> &mut Self {
+        self.push(name, Value::Bits(value.to_bits()));
+        self
+    }
+
+    /// Adds a short identifier field (`[A-Za-z0-9_.-]` only).
+    pub fn push_str(&mut self, name: &str, value: &str) -> &mut Self {
+        assert!(
+            value
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '.' | '-')),
+            "key field value {value:?} must be [A-Za-z0-9_.-]"
+        );
+        self.push(name, Value::Text(value.to_string()));
+        self
+    }
+
+    /// The canonical string: `name=value` pairs sorted by name, joined
+    /// with `;`. Identical parameter sets render identically regardless
+    /// of push order or intermediate re-serialization.
+    pub fn canonical(&self) -> String {
+        let mut sorted: Vec<&(String, Value)> = self.fields.iter().collect();
+        sorted.sort_by(|a, b| a.0.cmp(&b.0));
+        sorted
+            .iter()
+            .map(|(n, v)| format!("{n}={}", v.render()))
+            .collect::<Vec<_>>()
+            .join(";")
+    }
+
+    /// Parses a [`KeySpec::canonical`] string back into a spec; `None` on
+    /// any malformed field. Round-trip contract:
+    /// `parse(canonical()).canonical() == canonical()`.
+    pub fn parse(text: &str) -> Option<KeySpec> {
+        let mut spec = KeySpec::new();
+        if text.is_empty() {
+            return Some(spec);
+        }
+        for pair in text.split(';') {
+            let (name, value) = pair.split_once('=')?;
+            if name.is_empty()
+                || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+                || spec.fields.iter().any(|(n, _)| n == name)
+            {
+                return None;
+            }
+            spec.fields.push((name.to_string(), Value::parse(value)?));
+        }
+        Some(spec)
+    }
+
+    /// The content hash of the canonical string.
+    pub fn key(&self) -> ArtifactKey {
+        ArtifactKey(fnv1a(self.canonical().as_bytes()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_order_does_not_change_key() {
+        let mut a = KeySpec::new();
+        a.push_int("n_bands", 24)
+            .push_f64("ecut", 2.2)
+            .push_str("sys", "si");
+        let mut b = KeySpec::new();
+        b.push_str("sys", "si")
+            .push_f64("ecut", 2.2)
+            .push_int("n_bands", 24);
+        assert_eq!(a.canonical(), b.canonical());
+        assert_eq!(a.key(), b.key());
+    }
+
+    #[test]
+    fn canonical_round_trips_and_perturbations_differ() {
+        let mut a = KeySpec::new();
+        a.push_int("m", 1)
+            .push_f64("delta", 0.05)
+            .push_str("mode", "gpp");
+        let text = a.canonical();
+        let back = KeySpec::parse(&text).expect("parse");
+        assert_eq!(back.canonical(), text);
+        assert_eq!(back.key(), a.key());
+
+        let mut b = KeySpec::new();
+        b.push_int("m", 2)
+            .push_f64("delta", 0.05)
+            .push_str("mode", "gpp");
+        assert_ne!(a.key(), b.key());
+        // Even a 1-ulp float perturbation must change the key.
+        let mut c = KeySpec::new();
+        c.push_int("m", 1)
+            .push_f64("delta", f64::from_bits(0.05f64.to_bits() + 1))
+            .push_str("mode", "gpp");
+        assert_ne!(a.key(), c.key());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_strings() {
+        assert!(KeySpec::parse("a=i1;a=i2").is_none(), "duplicate field");
+        assert!(KeySpec::parse("a=x9").is_none(), "unknown tag");
+        assert!(KeySpec::parse("a=f123").is_none(), "short bit pattern");
+        assert!(KeySpec::parse("=i1").is_none(), "empty name");
+        assert!(KeySpec::parse("a&b=i1").is_none(), "bad name chars");
+        assert!(KeySpec::parse("noequals").is_none());
+    }
+
+    #[test]
+    fn hex_form_is_fixed_width() {
+        let k = ArtifactKey(0x2a);
+        assert_eq!(k.hex(), "000000000000002a");
+        assert_eq!(k.to_string(), k.hex());
+    }
+}

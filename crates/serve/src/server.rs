@@ -1,0 +1,177 @@
+//! The threaded daemon: a dispatcher thread wrapping [`ServeCore`].
+//!
+//! [`Server::start`] spawns one dispatcher that drains an injector queue
+//! into the engine and steps it; clients get a [`Ticket`] per submitted
+//! request and block on [`Ticket::wait`]. Preemption falls out of the
+//! split: the engine's `peek` hook reads the injector's highest waiting
+//! priority, so a high-priority submission arriving mid-batch preempts
+//! the running batch at the next band-row boundary. All scheduling
+//! semantics live in [`ServeCore`]; this module only adds threads.
+
+use crate::core::{RequestId, ServeConfig, ServeCore, ServeError, ServeOk};
+use crate::request::GwRequest;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+#[derive(Default)]
+struct Injector {
+    waiting: Vec<(GwRequest, Arc<AtomicBool>, Arc<Cell>)>,
+    shutdown: bool,
+}
+
+#[derive(Default)]
+struct Cell {
+    slot: Mutex<Option<Result<ServeOk, ServeError>>>,
+    ready: Condvar,
+}
+
+struct Shared {
+    injector: Mutex<Injector>,
+    wake: Condvar,
+}
+
+/// A handle to one submitted request.
+pub struct Ticket {
+    cell: Arc<Cell>,
+    cancel: Arc<AtomicBool>,
+}
+
+impl Ticket {
+    /// Blocks until the request retires; returns its result.
+    pub fn wait(self) -> Result<ServeOk, ServeError> {
+        let mut slot = self.cell.slot.lock().expect("ticket lock");
+        loop {
+            if let Some(r) = slot.take() {
+                return r;
+            }
+            slot = self.cell.ready.wait(slot).expect("ticket wait");
+        }
+    }
+
+    /// Requests cancellation; the engine retires the request with
+    /// [`ServeError::Cancelled`] at the next row boundary (or instantly
+    /// if still queued). `wait` afterwards returns that error.
+    pub fn cancel(&self) {
+        self.cancel.store(true, Ordering::Release);
+    }
+}
+
+/// The resident GW daemon. See the module docs for the thread layout.
+pub struct Server {
+    shared: Arc<Shared>,
+    dispatcher: Option<JoinHandle<ServeCore>>,
+}
+
+impl Server {
+    /// Starts the dispatcher over a fresh engine with `cfg`.
+    pub fn start(cfg: ServeConfig) -> Self {
+        let shared = Arc::new(Shared {
+            injector: Mutex::new(Injector::default()),
+            wake: Condvar::new(),
+        });
+        let dispatcher = {
+            let shared = shared.clone();
+            std::thread::spawn(move || dispatch_loop(cfg, shared))
+        };
+        Server {
+            shared,
+            dispatcher: Some(dispatcher),
+        }
+    }
+
+    /// Submits a request; the ticket resolves when it retires. Rejected
+    /// submissions (bounded queue full) fail fast on the ticket.
+    pub fn submit(&self, req: GwRequest) -> Ticket {
+        let cancel = Arc::new(AtomicBool::new(false));
+        let cell = Arc::new(Cell::default());
+        {
+            let mut inj = self.shared.injector.lock().expect("injector lock");
+            inj.waiting.push((req, cancel.clone(), cell.clone()));
+        }
+        self.shared.wake.notify_all();
+        Ticket { cell, cancel }
+    }
+
+    /// Stops the dispatcher after it drains in-flight work and returns
+    /// the engine (so callers can inspect the event log and store).
+    pub fn shutdown(mut self) -> ServeCore {
+        {
+            let mut inj = self.shared.injector.lock().expect("injector lock");
+            inj.shutdown = true;
+        }
+        self.shared.wake.notify_all();
+        self.dispatcher
+            .take()
+            .expect("dispatcher running")
+            .join()
+            .expect("dispatcher thread")
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if let Some(h) = self.dispatcher.take() {
+            {
+                let mut inj = self.shared.injector.lock().expect("injector lock");
+                inj.shutdown = true;
+            }
+            self.shared.wake.notify_all();
+            let _ = h.join();
+        }
+    }
+}
+
+fn dispatch_loop(cfg: ServeConfig, shared: Arc<Shared>) -> ServeCore {
+    let mut core = ServeCore::new(cfg);
+    let mut tickets: HashMap<RequestId, Arc<Cell>> = HashMap::new();
+    loop {
+        // Admit waiting submissions into the bounded engine queue.
+        let (drained, shutdown) = {
+            let mut inj = shared.injector.lock().expect("injector lock");
+            (std::mem::take(&mut inj.waiting), inj.shutdown)
+        };
+        for (req, cancel, cell) in drained {
+            match core.enqueue_with_cancel(req, cancel) {
+                Ok(id) => {
+                    tickets.insert(id, cell);
+                }
+                Err(e) => fulfill(&cell, Err(e)),
+            }
+        }
+
+        // One batch, preemptible by higher-priority injector arrivals.
+        let shared_peek = shared.clone();
+        let progressed = core.step_with(&mut || {
+            let inj = shared_peek.injector.lock().expect("injector lock");
+            inj.waiting.iter().map(|(r, _, _)| r.priority).max()
+        });
+        for (id, result) in core.take_responses() {
+            if let Some(cell) = tickets.remove(&id) {
+                fulfill(&cell, result);
+            }
+        }
+
+        if !progressed {
+            let inj = shared.injector.lock().expect("injector lock");
+            if !inj.waiting.is_empty() {
+                continue;
+            }
+            if shutdown {
+                drop(inj);
+                return core;
+            }
+            // Idle: sleep until a submission or shutdown arrives.
+            let _unused = shared
+                .wake
+                .wait_timeout(inj, std::time::Duration::from_millis(50))
+                .expect("wake wait");
+        }
+    }
+}
+
+fn fulfill(cell: &Cell, result: Result<ServeOk, ServeError>) {
+    *cell.slot.lock().expect("ticket lock") = Some(result);
+    cell.ready.notify_all();
+}

@@ -1,0 +1,189 @@
+//! The on-disk artifact store: content-hash keys to checksummed BGWR
+//! checkpoint records.
+//!
+//! Artifacts (`art_<hex16>.bgwr`) hold screening state (stage
+//! `WScreening`); partials (`partial_<hex16>.bgwr`) hold preempted Sigma
+//! state (stage `SigmaPartial`) and are removed on completion, so a
+//! partial is never loadable as an artifact — distinct name spaces and
+//! distinct stage tags both enforce it. Writes go through
+//! `bgw_io::write_checkpoint_file` (tmp + rename, so a torn write leaves
+//! either the old artifact or a `.tmp` residue, never a half-written
+//! record under the live name). Any load failure — missing file, bad
+//! header, checksum mismatch — degrades to `None` (a recompute), counted
+//! on `serve_store_invalid`; a wrong hit is structurally impossible
+//! because the payload is validated again upstream before adoption.
+
+use crate::key::ArtifactKey;
+use bgw_io::{read_checkpoint_file, write_checkpoint_file, Checkpoint, IoError};
+use std::path::{Path, PathBuf};
+
+/// A directory of content-hash-keyed BGWR artifact records.
+#[derive(Clone, Debug)]
+pub struct ArtifactStore {
+    dir: PathBuf,
+}
+
+impl ArtifactStore {
+    /// A store rooted at `dir` (created lazily on first write).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self { dir: dir.into() }
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of the artifact record for `key`.
+    pub fn artifact_path(&self, key: ArtifactKey) -> PathBuf {
+        self.dir.join(format!("art_{}.bgwr", key.hex()))
+    }
+
+    /// Path of the preemption-partial record for `key`.
+    pub fn partial_path(&self, key: ArtifactKey) -> PathBuf {
+        self.dir.join(format!("partial_{}.bgwr", key.hex()))
+    }
+
+    /// Atomically writes the artifact record for `key`; returns bytes.
+    pub fn save(&self, key: ArtifactKey, ckpt: &Checkpoint) -> Result<u64, IoError> {
+        let _s = bgw_trace::span!("serve.store.save");
+        write_checkpoint_file(&self.artifact_path(key), ckpt)
+    }
+
+    /// Loads and checksum-verifies the artifact for `key`. A missing file
+    /// is an ordinary miss (`None`, uncounted); a *present but unreadable*
+    /// record (torn write residue, corruption, wrong format) also returns
+    /// `None` but bumps the `serve_store_invalid` counter — the cache
+    /// degrades to a recompute, never a wrong hit.
+    pub fn load(&self, key: ArtifactKey) -> Option<Checkpoint> {
+        let _s = bgw_trace::span!("serve.store.load");
+        let path = self.artifact_path(key);
+        if !path.exists() {
+            return None;
+        }
+        match read_checkpoint_file(&path) {
+            Ok(ck) => Some(ck),
+            Err(_) => {
+                bgw_perf::counters::record_serve_store_invalid();
+                None
+            }
+        }
+    }
+
+    /// True when an artifact record exists for `key` (readable or not).
+    pub fn contains(&self, key: ArtifactKey) -> bool {
+        self.artifact_path(key).exists()
+    }
+
+    /// Removes the artifact for `key`, if present. Deleting store entries
+    /// is always safe: the next request recomputes and rewrites.
+    pub fn remove(&self, key: ArtifactKey) {
+        let _ = std::fs::remove_file(self.artifact_path(key));
+    }
+
+    /// Atomically writes the preemption partial for `key`.
+    pub fn save_partial(&self, key: ArtifactKey, ckpt: &Checkpoint) -> Result<u64, IoError> {
+        write_checkpoint_file(&self.partial_path(key), ckpt)
+    }
+
+    /// Loads the preemption partial for `key`; unreadable records count as
+    /// store-invalid and degrade to `None` (evaluate from band zero).
+    pub fn load_partial(&self, key: ArtifactKey) -> Option<Checkpoint> {
+        let path = self.partial_path(key);
+        if !path.exists() {
+            return None;
+        }
+        match read_checkpoint_file(&path) {
+            Ok(ck) => Some(ck),
+            Err(_) => {
+                bgw_perf::counters::record_serve_store_invalid();
+                None
+            }
+        }
+    }
+
+    /// Removes the preemption partial for `key` (on request completion).
+    pub fn clear_partial(&self, key: ArtifactKey) {
+        let _ = std::fs::remove_file(self.partial_path(key));
+    }
+
+    /// Flips one payload byte of the artifact for `key` — the test
+    /// battery's torn-write/corruption injection. Returns `false` if the
+    /// record does not exist.
+    pub fn corrupt_artifact(&self, key: ArtifactKey) -> bool {
+        let path = self.artifact_path(key);
+        let Ok(mut bytes) = std::fs::read(&path) else {
+            return false;
+        };
+        if bytes.is_empty() {
+            return false;
+        }
+        let at = bytes.len() / 2;
+        bytes[at] ^= 0xff;
+        std::fs::write(&path, bytes).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("bgw_serve_store_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn sample() -> Checkpoint {
+        Checkpoint {
+            stage: 5,
+            step: 0,
+            meta: vec![0.0],
+            matrices: vec![bgw_linalg::CMatrix::zeros(2, 2)],
+        }
+    }
+
+    #[test]
+    fn save_load_roundtrip_and_remove() {
+        let store = ArtifactStore::new(tmpdir("rt"));
+        let key = ArtifactKey(0xabcd);
+        assert!(store.load(key).is_none(), "empty store misses");
+        assert!(!store.contains(key));
+        store.save(key, &sample()).expect("save");
+        assert!(store.contains(key));
+        let back = store.load(key).expect("load");
+        assert_eq!(back.stage, 5);
+        assert_eq!(back.matrices.len(), 1);
+        store.remove(key);
+        assert!(!store.contains(key));
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn corrupt_record_degrades_to_miss_and_counts() {
+        let store = ArtifactStore::new(tmpdir("corrupt"));
+        let key = ArtifactKey(1);
+        store.save(key, &sample()).expect("save");
+        assert!(store.corrupt_artifact(key));
+        let before = bgw_perf::counters::snapshot();
+        assert!(store.load(key).is_none(), "corrupt record must not load");
+        let d = before.delta(&bgw_perf::counters::snapshot());
+        assert!(d.serve_store_invalid >= 1);
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn partials_are_separate_from_artifacts() {
+        let store = ArtifactStore::new(tmpdir("partial"));
+        let key = ArtifactKey(7);
+        store.save_partial(key, &sample()).expect("save partial");
+        assert!(
+            store.load(key).is_none(),
+            "a partial must never be visible as an artifact"
+        );
+        assert!(store.load_partial(key).is_some());
+        store.clear_partial(key);
+        assert!(store.load_partial(key).is_none());
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+}

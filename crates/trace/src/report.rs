@@ -113,6 +113,63 @@ impl RunReport {
         out
     }
 
+    /// Per-request report extraction: the increments accumulated between
+    /// `self` (earlier) and `later` snapshots of the same process-global
+    /// span registry.
+    ///
+    /// The registry only ever accumulates (node identity is `(parent,
+    /// site)` and counters are monotonic), so two [`crate::report`] calls
+    /// bracketing a served request differ exactly by that request's
+    /// spans. Nodes are matched by name path; nodes new in `later` are
+    /// kept whole, nodes whose call count did not advance are dropped,
+    /// and counter deltas saturate (never panic) so a bracketing pair
+    /// raced by another thread degrades to under-reporting, surfaced via
+    /// `delta_underflows`.
+    pub fn delta(&self, later: &RunReport) -> RunReport {
+        RunReport::new(delta_nodes(&self.spans, &later.spans))
+    }
+
+    /// Keeps only spans whose name passes `keep`, recursively; dropping a
+    /// node drops its whole subtree. Used to pin the deterministic
+    /// serving-layer skeleton of a per-request report while discarding
+    /// scheduling-dependent substrate spans (pool workers, microkernels).
+    pub fn pruned(&self, keep: &dyn Fn(&str) -> bool) -> RunReport {
+        fn walk(nodes: &[SpanNode], keep: &dyn Fn(&str) -> bool) -> Vec<SpanNode> {
+            nodes
+                .iter()
+                .filter(|n| keep(&n.name))
+                .map(|n| SpanNode {
+                    children: walk(&n.children, keep),
+                    ..n.clone()
+                })
+                .collect()
+        }
+        RunReport::new(walk(&self.spans, keep))
+    }
+
+    /// Zeroes every wall-clock and substrate-counter field, keeping only
+    /// the deterministic skeleton: span names, tree structure, call
+    /// counts, and attributed FLOPs. Two runs of the same request on any
+    /// host produce byte-identical scrubbed JSON, which is what the
+    /// golden-file test pins.
+    pub fn scrubbed(&self) -> RunReport {
+        fn walk(nodes: &[SpanNode]) -> Vec<SpanNode> {
+            nodes
+                .iter()
+                .map(|n| SpanNode {
+                    name: n.name.clone(),
+                    calls: n.calls,
+                    incl_ns: 0,
+                    excl_ns: 0,
+                    flops: n.flops,
+                    counters: CounterSnapshot::default(),
+                    children: walk(&n.children),
+                })
+                .collect()
+        }
+        RunReport::new(walk(&self.spans))
+    }
+
     /// Parses the `bgw-trace/1` JSON encoding back into a report.
     pub fn from_json(text: &str) -> Result<Self, String> {
         let value = json::parse(text)?;
@@ -129,6 +186,33 @@ impl RunReport {
         let spans = spans.iter().map(node_from_json).collect::<Result<_, _>>()?;
         Ok(Self { spans })
     }
+}
+
+fn delta_nodes(earlier: &[SpanNode], later: &[SpanNode]) -> Vec<SpanNode> {
+    let mut out = Vec::new();
+    for node in later {
+        match earlier.iter().find(|e| e.name == node.name) {
+            None => out.push(node.clone()),
+            Some(prev) => {
+                let calls = node.calls.saturating_sub(prev.calls);
+                let children = delta_nodes(&prev.children, &node.children);
+                if calls == 0 && children.is_empty() {
+                    continue;
+                }
+                let (counters, _) = prev.counters.delta_checked(&node.counters);
+                out.push(SpanNode {
+                    name: node.name.clone(),
+                    calls,
+                    incl_ns: node.incl_ns.saturating_sub(prev.incl_ns),
+                    excl_ns: node.excl_ns.saturating_sub(prev.excl_ns),
+                    flops: node.flops.saturating_sub(prev.flops),
+                    counters,
+                    children,
+                });
+            }
+        }
+    }
+    out
 }
 
 fn fmt_ns(ns: u64) -> String {
@@ -632,6 +716,72 @@ mod tests {
         let q = json::quote("αβ\tγ");
         let parsed = parse(&q).unwrap();
         assert_eq!(parsed.as_str().unwrap(), "αβ\tγ");
+    }
+
+    #[test]
+    fn delta_extracts_per_request_increments() {
+        let before = sample_report();
+        // "Later" snapshot: same tree with one more request's worth of
+        // work folded in, plus a brand-new root span.
+        let mut after = before.clone();
+        {
+            let root = &mut after.spans[0];
+            root.calls += 1;
+            root.incl_ns += 300;
+            root.excl_ns += 100;
+            root.counters.gemm_calls += 2;
+            let mid = &mut root.children[0];
+            mid.calls += 1;
+            mid.incl_ns += 200;
+            mid.counters.gemm_calls += 2;
+        }
+        after.spans.push(SpanNode {
+            name: "serve.store".into(),
+            calls: 1,
+            incl_ns: 50,
+            excl_ns: 50,
+            ..Default::default()
+        });
+        let d = before.delta(&after);
+        let root = d.find("workflow.sigma").expect("advanced root kept");
+        assert_eq!(root.calls, 1);
+        assert_eq!(root.incl_ns, 300);
+        assert_eq!(root.excl_ns, 100);
+        assert_eq!(root.counters.gemm_calls, 2);
+        assert_eq!(root.counters.delta_underflows, 0);
+        let mid = d.find("workflow.sigma/sigma.offdiag").expect("child kept");
+        assert_eq!(mid.calls, 1);
+        assert_eq!(mid.incl_ns, 200);
+        // The leaf did not advance: dropped from the delta.
+        assert!(d
+            .find("workflow.sigma/sigma.offdiag/gemm.compute")
+            .is_none());
+        // New-in-later root kept whole.
+        assert_eq!(d.find("serve.store").unwrap().incl_ns, 50);
+        // No change at all → empty delta.
+        assert!(before.delta(&before).spans.is_empty());
+    }
+
+    #[test]
+    fn pruned_and_scrubbed_pin_deterministic_skeleton() {
+        let rep = sample_report();
+        let kept = rep.pruned(&|name: &str| name != "sigma.offdiag");
+        assert!(kept.find("workflow.sigma").is_some());
+        // Dropping a node drops its subtree.
+        assert!(kept.find("workflow.sigma/sigma.offdiag").is_none());
+
+        let s = rep.scrubbed();
+        let root = s.find("workflow.sigma").unwrap();
+        assert_eq!(root.calls, 1);
+        assert_eq!(root.flops, 128);
+        assert_eq!(root.incl_ns, 0);
+        assert_eq!(root.excl_ns, 0);
+        assert!(root.counters.is_zero());
+        let leaf = s.find("workflow.sigma/sigma.offdiag/gemm.compute").unwrap();
+        assert_eq!(leaf.calls, 4);
+        assert_eq!(leaf.flops, 4096);
+        // Scrubbing is idempotent and serialization stays byte-stable.
+        assert_eq!(s.scrubbed().to_json(), s.to_json());
     }
 
     #[test]

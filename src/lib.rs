@@ -22,6 +22,8 @@
 //!   distributed GEMM, Newton-Schulz inversion — the ScaLAPACK substrate).
 //! - [`trace`]: hierarchical span tracing and machine-readable run reports
 //!   that cross-validate the paper's FLOP models (Table 3).
+//! - [`serve`]: GW-as-a-service — resident server with a bounded queue,
+//!   content-hash artifact caching, request coalescing, and preemption.
 
 pub use bgw_comm as comm;
 pub use bgw_core as core;
@@ -33,4 +35,5 @@ pub use bgw_num as num;
 pub use bgw_par as par;
 pub use bgw_perf as perf;
 pub use bgw_pwdft as pwdft;
+pub use bgw_serve as serve;
 pub use bgw_trace as trace;

@@ -27,6 +27,14 @@
 #                             armed only on multi-core hosts), and a
 #                             faulted recovery run gating that ONLY the
 #                             dead rank's tasks are re-enqueued
+#   tools/check.sh --serve    serve traffic-replay smoke only: seeded zipf
+#                             stream through the resident daemon, gating
+#                             hit rate > 0 on repeated structures, one
+#                             screening build per distinct W key (warm
+#                             requests skip epsilon/W, checked on perf
+#                             counters and span trees), finite p50/p99,
+#                             and 1e-12 parity of every response vs the
+#                             one-shot oracles; writes BENCH_serve.json
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -133,6 +141,28 @@ if [ "${1:-}" = "--dag" ]; then
     exit 0
 fi
 
+run_serve_smoke() {
+    echo "==> serve smoke: zipf traffic replay, cache/coalesce gates, oracle parity 1e-12"
+    # A seeded zipf request stream through the threaded bgw-serve daemon.
+    # Gates: warm requests must hit the screening cache (hit rate > 0 and
+    # exactly one screening build per distinct W key — the epsilon/W skip
+    # is checked on both the perf counters and the per-request span
+    # trees), p50/p99 service latency finite, and every response pinned
+    # at 1e-12 to its one-shot oracle (run_gpp_gw / direct ff_sigma).
+    # Run in a temp dir so the smoke-sized JSON never clobbers the
+    # committed full-size BENCH_serve.json.
+    root=$(pwd)
+    servedir=$(mktemp -d)
+    (cd "$servedir" && "$root/target/release/serve_smoke" --smoke)
+    rm -rf "$servedir"
+}
+
+if [ "${1:-}" = "--serve" ]; then
+    cargo build --release -p bgw-bench --bin serve_smoke
+    run_serve_smoke
+    exit 0
+fi
+
 echo "==> cargo build --release --workspace"
 cargo build --release --workspace
 
@@ -169,5 +199,7 @@ run_ff_smoke
 run_simd_smoke
 
 run_dag_smoke
+
+run_serve_smoke
 
 echo "==> all checks passed"
