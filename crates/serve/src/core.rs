@@ -90,6 +90,17 @@ impl ServeConfig {
 pub enum ServeError {
     /// The bounded queue is full; the request was not accepted.
     QueueFull,
+    /// The request's band window cannot straddle the gap: the structure
+    /// solves to `n_valence` occupied bands out of `n_bands` kept, so the
+    /// window would miss HOMO and/or LUMO (rejected at enqueue — the
+    /// band solver itself requires at least one empty band).
+    InvalidBandWindow {
+        /// Occupied valence bands of the requested structure.
+        n_valence: usize,
+        /// Bands the solver would keep (request's `n_bands`, clamped to
+        /// the wavefunction basis size).
+        n_bands: usize,
+    },
     /// The request was cancelled before completion.
     Cancelled,
     /// Injected crashes exhausted the re-enqueue budget.
@@ -110,6 +121,11 @@ impl std::fmt::Display for ServeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ServeError::QueueFull => write!(f, "queue full"),
+            ServeError::InvalidBandWindow { n_valence, n_bands } => write!(
+                f,
+                "band window cannot straddle the gap: {n_valence} valence bands, \
+                 {n_bands} bands kept"
+            ),
             ServeError::Cancelled => write!(f, "cancelled"),
             ServeError::Faulted { attempts } => {
                 write!(f, "faulted after {attempts} attempts")
@@ -431,6 +447,21 @@ impl ServeCore {
         if self.queue.len() >= self.cfg.queue_capacity {
             return Err(ServeError::QueueFull);
         }
+        // Reject windows that cannot straddle the gap *before* any
+        // evaluation: `n_bands` is client-supplied, and a window missing
+        // HOMO/LUMO would otherwise panic the engine mid-batch (killing
+        // the threaded daemon's dispatcher). The check mirrors the band
+        // derivation the evaluator uses: n_valence from the crystal,
+        // n_bands clamped to the wavefunction basis.
+        let sys = req.structure.system();
+        let nv = sys.n_valence();
+        let nb = sys.n_bands.min(sys.wfn_sphere().len());
+        if nv == 0 || nb <= nv {
+            return Err(ServeError::InvalidBandWindow {
+                n_valence: nv,
+                n_bands: nb,
+            });
+        }
         let id = self.next_id;
         self.next_id += 1;
         let seq = self.next_seq;
@@ -589,7 +620,9 @@ impl ServeCore {
         req: &GwRequest,
         leader_id: RequestId,
     ) -> Result<(Arc<Screening>, CacheStatus), EpsilonError> {
-        let wkey = req.w_key();
+        let wspec = req.w_spec();
+        let wkey = wspec.key();
+        let wcanon = wspec.canonical();
         if let Some(s) = self.mem_get(wkey) {
             counters::record_serve_hit_mem();
             self.events.push(ServeEvent::MemHit { id: leader_id });
@@ -598,7 +631,7 @@ impl ServeCore {
         let system = req.structure.system();
         let cfg = req.gw_config();
         let had_record = self.store.contains(wkey);
-        if let Some(ck) = self.store.load(wkey) {
+        if let Some(ck) = self.store.load(wkey, &wcanon) {
             if let Some(s) = screening_from_checkpoint(&system, &cfg, &ck) {
                 counters::record_serve_hit_disk();
                 self.events.push(ServeEvent::DiskHit { id: leader_id });
@@ -610,14 +643,15 @@ impl ServeCore {
             counters::record_serve_store_invalid();
             self.events.push(ServeEvent::StoreInvalid { id: leader_id });
         } else if had_record {
-            // Present but failed the checksummed read (already counted by
-            // the store); surface it in the event log.
+            // Present but failed the checksummed read or the embedded-spec
+            // comparison (already counted by the store); surface it in the
+            // event log.
             self.events.push(ServeEvent::StoreInvalid { id: leader_id });
         }
         counters::record_serve_miss();
         self.events.push(ServeEvent::Miss { id: leader_id });
         let s = build_screening(&system, &cfg, req.ff_spec())?;
-        let _ = self.store.save(wkey, &screening_to_checkpoint(&s));
+        let _ = self.store.save(wkey, &wcanon, screening_to_checkpoint(&s));
         let s = Arc::new(s);
         self.mem_insert(wkey, s.clone());
         Ok((s, CacheStatus::Miss))
@@ -673,7 +707,7 @@ impl ServeCore {
     #[allow(clippy::too_many_arguments)]
     fn eval_gpp_batch(
         &mut self,
-        mut batch: Vec<Pending>,
+        batch: Vec<Pending>,
         screening: &Arc<Screening>,
         wkey: ArtifactKey,
         batch_prio: u8,
@@ -685,14 +719,24 @@ impl ServeCore {
         let batch_size = batch.len();
         let nv = screening.wf.n_valence;
         let nb = screening.wf.n_bands();
-        let member_bands: Vec<Vec<usize>> = batch.iter().map(|p| p.req.bands(nv, nb)).collect();
+        let wcanon = batch[0].req.w_spec().canonical();
+        // Each member carries its own band list: mid-batch cancellation
+        // drops a member and its bands together, so the retire loop can
+        // never pair a survivor with another request's band window.
+        let mut batch: Vec<(Pending, Vec<usize>)> = batch
+            .into_iter()
+            .map(|p| {
+                let bands = p.req.bands(nv, nb);
+                (p, bands)
+            })
+            .collect();
 
         // Union band list (sorted, deduped) and the distinct rows to do.
-        let mut union: Vec<usize> = member_bands.iter().flatten().copied().collect();
+        let mut union: Vec<usize> = batch.iter().flat_map(|(_, b)| b).copied().collect();
         union.sort_unstable();
         union.dedup();
         let mut rows_needed: Vec<(usize, u32)> = Vec::new();
-        for (p, bands) in batch.iter().zip(&member_bands) {
+        for (p, bands) in &batch {
             for &b in bands {
                 let key = (b, p.req.delta_milli_ry());
                 if !rows_needed.contains(&key) {
@@ -703,12 +747,12 @@ impl ServeCore {
         rows_needed.sort_unstable();
 
         // Resume a preemption partial if one is on record (memory first,
-        // then the checksummed on-disk record).
+        // then the checksummed, spec-verified on-disk record).
         let mut partial = match self.partials.remove(&wkey) {
             Some(p) => p,
             None => self
                 .store
-                .load_partial(wkey)
+                .load_partial(wkey, &wcanon)
                 .and_then(|ck| BatchPartial::from_checkpoint(&ck))
                 .unwrap_or_default(),
         };
@@ -717,7 +761,7 @@ impl ServeCore {
         partial.rows.retain(|(k, _)| rows_needed.contains(k));
         if !partial.rows.is_empty() {
             self.events.push(ServeEvent::Resumed {
-                id: batch[0].id,
+                id: batch[0].0.id,
                 rows_done: partial.rows.len(),
             });
         }
@@ -739,7 +783,7 @@ impl ServeCore {
                 let e = ctx.sigma_energies[s];
                 let d = delta_m as f64 / 1000.0;
                 let grid = vec![vec![e - d, e, e + d]];
-                let r = gpp_sigma_diag(&one, &grid, batch[0].req.gw_config().variant);
+                let r = gpp_sigma_diag(&one, &grid, batch[0].0.req.gw_config().variant);
                 partial.rows.push((
                     (band, delta_m),
                     (r.sigma.into_iter().next().unwrap(), r.flops),
@@ -748,11 +792,11 @@ impl ServeCore {
             // Drop members cancelled mid-batch; their rows may become
             // unneeded but recomputing the need-set is not worth it.
             let mut live = Vec::new();
-            for p in batch {
+            for (p, bands) in batch {
                 if p.cancel.load(Ordering::Acquire) {
                     self.retire_cancelled(p);
                 } else {
-                    live.push(p);
+                    live.push((p, bands));
                 }
             }
             batch = live;
@@ -765,12 +809,14 @@ impl ServeCore {
             if i + 1 < todo.len() && peek().is_some_and(|w| w > batch_prio) {
                 counters::record_serve_preemption();
                 self.events.push(ServeEvent::Preempted {
-                    id: batch[0].id,
+                    id: batch[0].0.id,
                     rows_done: partial.rows.len(),
                 });
-                let _ = self.store.save_partial(wkey, &partial.to_checkpoint());
+                let _ = self
+                    .store
+                    .save_partial(wkey, &wcanon, partial.to_checkpoint());
                 self.partials.insert(wkey, partial);
-                for p in batch {
+                for (p, _) in batch {
                     self.queue.push_back(p); // keeps seq: resumes in order
                 }
                 return;
@@ -780,7 +826,7 @@ impl ServeCore {
         // --- assemble + retire per member --------------------------------
         let report = self.finish_report(report_before);
         let compute_seconds = t_batch.elapsed().as_secs_f64();
-        for (mut p, bands) in batch.into_iter().zip(member_bands) {
+        for (mut p, bands) in batch {
             match self.fault_gate(&mut p, wkey) {
                 Ok(true) => {}
                 Ok(false) => {

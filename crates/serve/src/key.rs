@@ -62,6 +62,9 @@ impl Value {
     }
 
     fn parse(text: &str) -> Option<Value> {
+        if text.is_empty() {
+            return None;
+        }
         let (tag, rest) = text.split_at(1);
         match tag {
             "i" => rest.parse::<u64>().ok().map(Value::Int),
@@ -213,6 +216,7 @@ mod tests {
     #[test]
     fn parse_rejects_malformed_strings() {
         assert!(KeySpec::parse("a=i1;a=i2").is_none(), "duplicate field");
+        assert!(KeySpec::parse("a=").is_none(), "empty value");
         assert!(KeySpec::parse("a=x9").is_none(), "unknown tag");
         assert!(KeySpec::parse("a=f123").is_none(), "short bit pattern");
         assert!(KeySpec::parse("=i1").is_none(), "empty name");

@@ -143,9 +143,11 @@ pub struct GwRequest {
 const KEY_SCHEMA: u64 = 1;
 
 impl GwRequest {
-    /// The W/screening artifact key: structure plus frequency treatment.
-    /// Requests with equal `w_key` share screening state and coalesce.
-    pub fn w_key(&self) -> ArtifactKey {
+    /// The canonical W/screening spec: structure plus frequency treatment.
+    /// Its digest is [`GwRequest::w_key`]; its canonical string is stored
+    /// inside the artifact record and re-checked on every load, so a
+    /// 64-bit key collision degrades to a recompute, never a wrong hit.
+    pub fn w_spec(&self) -> KeySpec {
         let mut spec = KeySpec::new();
         spec.push_int("v", KEY_SCHEMA);
         self.structure.key_fields(&mut spec);
@@ -158,7 +160,13 @@ impl GwRequest {
                 spec.push_int("n_quad", n_quad as u64);
             }
         }
-        spec.key()
+        spec
+    }
+
+    /// The W/screening artifact key: structure plus frequency treatment.
+    /// Requests with equal `w_key` share screening state and coalesce.
+    pub fn w_key(&self) -> ArtifactKey {
+        self.w_spec().key()
     }
 
     /// The full request key: `w_key` inputs plus the Sigma-evaluation

@@ -10,12 +10,61 @@
 //! either the old artifact or a `.tmp` residue, never a half-written
 //! record under the live name). Any load failure — missing file, bad
 //! header, checksum mismatch — degrades to `None` (a recompute), counted
-//! on `serve_store_invalid`; a wrong hit is structurally impossible
-//! because the payload is validated again upstream before adoption.
+//! on `serve_store_invalid`.
+//!
+//! The file name's 64-bit FNV-1a digest is only a lookup address, not the
+//! record's identity: every save appends the canonical [`KeySpec`] string
+//! (byte-per-f64, tagged and length-framed) to the checkpoint's
+//! checksummed `meta`, and every load strips it back out and compares it
+//! to the requesting spec's canonical string. A digest collision between
+//! two distinct parameter sets therefore degrades to a recompute, never a
+//! wrong hit — the full spec is compared, not its hash.
+//!
+//! [`KeySpec`]: crate::key::KeySpec
 
 use crate::key::ArtifactKey;
 use bgw_io::{read_checkpoint_file, write_checkpoint_file, Checkpoint, IoError};
 use std::path::{Path, PathBuf};
+
+/// Sentinel closing the spec suffix in a record's meta ("BGWSPEC1" as an
+/// f64 bit pattern — compared by bits, never arithmetically).
+const SPEC_MAGIC_BITS: u64 = 0x4247_5753_5045_4331;
+
+/// Appends the canonical spec string to `meta`: one byte per f64, then
+/// the byte count, then the closing sentinel.
+fn push_spec_suffix(meta: &mut Vec<f64>, canonical: &str) {
+    meta.reserve(canonical.len() + 2);
+    meta.extend(canonical.bytes().map(|b| b as f64));
+    meta.push(canonical.len() as f64);
+    meta.push(f64::from_bits(SPEC_MAGIC_BITS));
+}
+
+/// Strips the spec suffix from `meta` and returns the embedded canonical
+/// string; `None` if the suffix is absent or malformed.
+fn pop_spec_suffix(meta: &mut Vec<f64>) -> Option<String> {
+    let n = meta.len();
+    if n < 2 || meta[n - 1].to_bits() != SPEC_MAGIC_BITS {
+        return None;
+    }
+    let len_f = meta[n - 2];
+    if !(len_f.is_finite() && len_f >= 0.0 && len_f.fract() == 0.0) {
+        return None;
+    }
+    let len = len_f as usize;
+    if n < len + 2 {
+        return None;
+    }
+    let mut bytes = Vec::with_capacity(len);
+    for &v in &meta[n - 2 - len..n - 2] {
+        if !(v.is_finite() && (0.0..=255.0).contains(&v) && v.fract() == 0.0) {
+            return None;
+        }
+        bytes.push(v as u8);
+    }
+    let spec = String::from_utf8(bytes).ok()?;
+    meta.truncate(n - 2 - len);
+    Some(spec)
+}
 
 /// A directory of content-hash-keyed BGWR artifact records.
 #[derive(Clone, Debug)]
@@ -44,26 +93,46 @@ impl ArtifactStore {
         self.dir.join(format!("partial_{}.bgwr", key.hex()))
     }
 
-    /// Atomically writes the artifact record for `key`; returns bytes.
-    pub fn save(&self, key: ArtifactKey, ckpt: &Checkpoint) -> Result<u64, IoError> {
+    /// Atomically writes the artifact record for `key`, embedding the
+    /// key's canonical spec string in the checksummed meta; returns bytes.
+    pub fn save(
+        &self,
+        key: ArtifactKey,
+        canonical: &str,
+        mut ckpt: Checkpoint,
+    ) -> Result<u64, IoError> {
         let _s = bgw_trace::span!("serve.store.save");
-        write_checkpoint_file(&self.artifact_path(key), ckpt)
+        push_spec_suffix(&mut ckpt.meta, canonical);
+        write_checkpoint_file(&self.artifact_path(key), &ckpt)
     }
 
-    /// Loads and checksum-verifies the artifact for `key`. A missing file
-    /// is an ordinary miss (`None`, uncounted); a *present but unreadable*
-    /// record (torn write residue, corruption, wrong format) also returns
-    /// `None` but bumps the `serve_store_invalid` counter — the cache
-    /// degrades to a recompute, never a wrong hit.
-    pub fn load(&self, key: ArtifactKey) -> Option<Checkpoint> {
+    /// Loads and verifies the artifact for `key`: the checksummed read
+    /// must succeed *and* the record's embedded spec string must equal
+    /// `canonical` (the requesting key's canonical form). A missing file
+    /// is an ordinary miss (`None`, uncounted); a *present but unusable*
+    /// record — torn write residue, corruption, wrong format, or a digest
+    /// collision with a different parameter set — also returns `None` but
+    /// bumps the `serve_store_invalid` counter: the cache degrades to a
+    /// recompute, never a wrong hit.
+    pub fn load(&self, key: ArtifactKey, canonical: &str) -> Option<Checkpoint> {
         let _s = bgw_trace::span!("serve.store.load");
-        let path = self.artifact_path(key);
+        self.load_verified(&self.artifact_path(key), canonical)
+    }
+
+    fn load_verified(&self, path: &Path, canonical: &str) -> Option<Checkpoint> {
         if !path.exists() {
             return None;
         }
-        match read_checkpoint_file(&path) {
-            Ok(ck) => Some(ck),
+        let mut ck = match read_checkpoint_file(path) {
+            Ok(ck) => ck,
             Err(_) => {
+                bgw_perf::counters::record_serve_store_invalid();
+                return None;
+            }
+        };
+        match pop_spec_suffix(&mut ck.meta) {
+            Some(spec) if spec == canonical => Some(ck),
+            _ => {
                 bgw_perf::counters::record_serve_store_invalid();
                 None
             }
@@ -81,25 +150,23 @@ impl ArtifactStore {
         let _ = std::fs::remove_file(self.artifact_path(key));
     }
 
-    /// Atomically writes the preemption partial for `key`.
-    pub fn save_partial(&self, key: ArtifactKey, ckpt: &Checkpoint) -> Result<u64, IoError> {
-        write_checkpoint_file(&self.partial_path(key), ckpt)
+    /// Atomically writes the preemption partial for `key`, with the same
+    /// embedded-spec framing as [`ArtifactStore::save`].
+    pub fn save_partial(
+        &self,
+        key: ArtifactKey,
+        canonical: &str,
+        mut ckpt: Checkpoint,
+    ) -> Result<u64, IoError> {
+        push_spec_suffix(&mut ckpt.meta, canonical);
+        write_checkpoint_file(&self.partial_path(key), &ckpt)
     }
 
-    /// Loads the preemption partial for `key`; unreadable records count as
-    /// store-invalid and degrade to `None` (evaluate from band zero).
-    pub fn load_partial(&self, key: ArtifactKey) -> Option<Checkpoint> {
-        let path = self.partial_path(key);
-        if !path.exists() {
-            return None;
-        }
-        match read_checkpoint_file(&path) {
-            Ok(ck) => Some(ck),
-            Err(_) => {
-                bgw_perf::counters::record_serve_store_invalid();
-                None
-            }
-        }
+    /// Loads the spec-verified preemption partial for `key`; unreadable or
+    /// mismatched records count as store-invalid and degrade to `None`
+    /// (evaluate from band zero).
+    pub fn load_partial(&self, key: ArtifactKey, canonical: &str) -> Option<Checkpoint> {
+        self.load_verified(&self.partial_path(key), canonical)
     }
 
     /// Removes the preemption partial for `key` (on request completion).
@@ -143,16 +210,19 @@ mod tests {
         }
     }
 
+    const SPEC: &str = "ecut_centi_ry=i220;mode=sgpp;n_bands=i24";
+
     #[test]
     fn save_load_roundtrip_and_remove() {
         let store = ArtifactStore::new(tmpdir("rt"));
         let key = ArtifactKey(0xabcd);
-        assert!(store.load(key).is_none(), "empty store misses");
+        assert!(store.load(key, SPEC).is_none(), "empty store misses");
         assert!(!store.contains(key));
-        store.save(key, &sample()).expect("save");
+        store.save(key, SPEC, sample()).expect("save");
         assert!(store.contains(key));
-        let back = store.load(key).expect("load");
+        let back = store.load(key, SPEC).expect("load");
         assert_eq!(back.stage, 5);
+        assert_eq!(back.meta, vec![0.0], "spec suffix stripped on load");
         assert_eq!(back.matrices.len(), 1);
         store.remove(key);
         assert!(!store.contains(key));
@@ -163,12 +233,35 @@ mod tests {
     fn corrupt_record_degrades_to_miss_and_counts() {
         let store = ArtifactStore::new(tmpdir("corrupt"));
         let key = ArtifactKey(1);
-        store.save(key, &sample()).expect("save");
+        store.save(key, SPEC, sample()).expect("save");
         assert!(store.corrupt_artifact(key));
         let before = bgw_perf::counters::snapshot();
-        assert!(store.load(key).is_none(), "corrupt record must not load");
+        assert!(
+            store.load(key, SPEC).is_none(),
+            "corrupt record must not load"
+        );
         let d = before.delta(&bgw_perf::counters::snapshot());
         assert!(d.serve_store_invalid >= 1);
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn key_collision_with_different_spec_degrades_to_recompute() {
+        // Two distinct parameter sets landing on the same 64-bit digest
+        // (simulated by reusing the key) must never serve each other's
+        // physics: the embedded canonical spec disagrees, so the load
+        // counts as store-invalid and the caller recomputes.
+        let store = ArtifactStore::new(tmpdir("collision"));
+        let key = ArtifactKey(0xc0111);
+        store.save(key, SPEC, sample()).expect("save");
+        let before = bgw_perf::counters::snapshot();
+        assert!(
+            store.load(key, "ecut_centi_ry=i240;mode=sgpp").is_none(),
+            "a colliding key with a different spec must miss"
+        );
+        let d = before.delta(&bgw_perf::counters::snapshot());
+        assert!(d.serve_store_invalid >= 1, "collision must be counted");
+        assert!(store.load(key, SPEC).is_some(), "the true owner still hits");
         let _ = std::fs::remove_dir_all(store.dir());
     }
 
@@ -176,14 +269,20 @@ mod tests {
     fn partials_are_separate_from_artifacts() {
         let store = ArtifactStore::new(tmpdir("partial"));
         let key = ArtifactKey(7);
-        store.save_partial(key, &sample()).expect("save partial");
+        store
+            .save_partial(key, SPEC, sample())
+            .expect("save partial");
         assert!(
-            store.load(key).is_none(),
+            store.load(key, SPEC).is_none(),
             "a partial must never be visible as an artifact"
         );
-        assert!(store.load_partial(key).is_some());
+        assert!(store.load_partial(key, SPEC).is_some());
+        assert!(
+            store.load_partial(key, "other=i1").is_none(),
+            "partials are spec-verified too"
+        );
         store.clear_partial(key);
-        assert!(store.load_partial(key).is_none());
+        assert!(store.load_partial(key, SPEC).is_none());
         let _ = std::fs::remove_dir_all(store.dir());
     }
 }

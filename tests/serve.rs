@@ -25,6 +25,8 @@ use berkeleygw_rs::serve::{
 use berkeleygw_rs::trace;
 use std::collections::HashMap;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 fn tmpdir(tag: &str) -> PathBuf {
     let d = std::env::temp_dir().join(format!("bgw_serve_it_{tag}_{}", std::process::id()));
@@ -395,7 +397,10 @@ fn preemption_yields_to_higher_priority_and_resumes_with_parity() {
         oracles.check(req, &resp.expect("no faults"));
     }
     // Completion cleared the preemption partial from the store.
-    assert!(core.store().load_partial(slow.w_key()).is_none());
+    assert!(core
+        .store()
+        .load_partial(slow.w_key(), &slow.w_spec().canonical())
+        .is_none());
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -428,6 +433,97 @@ fn cancellation_and_bounded_queue() {
     }
     let events = core.take_events();
     assert!(events.contains(&ServeEvent::Cancelled { id: b }));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn mid_batch_cancellation_keeps_survivor_band_windows() {
+    let _guard = exclusive_test_guard();
+    let dir = tmpdir("midcancel");
+    let mut core = ServeCore::new(ServeConfig::new(&dir));
+    // Two coalesced members with *different* band windows: the leader is
+    // cancelled mid-batch (flag flipped between band rows, exactly what a
+    // threaded Ticket::cancel does while the batch runs), and the
+    // surviving rider must still retire with its own window — never the
+    // cancelled member's.
+    let wide = gpp_req(si_small(), 2, 50, 0); // 4 band rows: room to cancel
+    let narrow = gpp_req(si_small(), 1, 50, 0);
+    let wide_cancel = Arc::new(AtomicBool::new(false));
+    let wide_id = core.enqueue_with_cancel(wide, wide_cancel.clone()).unwrap();
+    let narrow_id = core.enqueue(narrow).unwrap();
+
+    // The peek hook runs between band rows: flip the leader's flag there.
+    let mut peeks = 0usize;
+    core.run_until_idle(&mut || {
+        peeks += 1;
+        wide_cancel.store(true, Ordering::Release);
+        None
+    });
+    assert!(
+        peeks >= 1,
+        "the batch must have row boundaries to cancel at"
+    );
+
+    let events = core.take_events();
+    assert!(events.contains(&ServeEvent::Cancelled { id: wide_id }));
+    assert!(events.contains(&ServeEvent::Completed { id: narrow_id }));
+
+    let mut oracles = Oracles::default();
+    let responses = core.take_responses();
+    assert_eq!(responses.len(), 2);
+    for (rid, resp) in responses {
+        if rid == wide_id {
+            assert_eq!(resp.unwrap_err(), ServeError::Cancelled);
+        } else {
+            assert_eq!(rid, narrow_id);
+            // Oracles::check asserts the band window and 1e-12 parity: a
+            // survivor paired with the cancelled member's bands fails here.
+            oracles.check(&narrow, &resp.expect("survivor retires"));
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn window_that_cannot_straddle_the_gap_is_rejected_at_enqueue() {
+    let _guard = exclusive_test_guard();
+    let dir = tmpdir("badwindow");
+    // Si m=1 has 16 valence bands; keeping only 16 leaves no LUMO, so the
+    // band solver (and the gap extraction) could never serve this request.
+    let bad = gpp_req(
+        StructureSpec::SiBulk {
+            m: 1,
+            ecut_centi_ry: 220,
+            n_bands: 16,
+        },
+        1,
+        50,
+        0,
+    );
+    let mut core = ServeCore::new(ServeConfig::new(&dir));
+    assert_eq!(
+        core.enqueue(bad),
+        Err(ServeError::InvalidBandWindow {
+            n_valence: 16,
+            n_bands: 16,
+        }),
+        "gap-less window must be rejected before any evaluation"
+    );
+    assert!(core.is_idle(), "rejected request never enters the queue");
+
+    // Through the threaded daemon the rejection is a typed ticket error,
+    // not a dead dispatcher: later submissions still serve.
+    let server = Server::start(ServeConfig::new(&dir));
+    let t_bad = server.submit(bad);
+    assert!(matches!(
+        t_bad.wait(),
+        Err(ServeError::InvalidBandWindow { .. })
+    ));
+    let good = gpp_req(si_small(), 1, 50, 0);
+    let ok = server.submit(good).wait().expect("daemon still serves");
+    let mut oracles = Oracles::default();
+    oracles.check(&good, &ok);
+    server.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
 }
 

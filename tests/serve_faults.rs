@@ -237,10 +237,14 @@ fn no_partial_record_is_visible_to_a_later_hit() {
     core.enqueue(req).unwrap();
     assert!(core.step_with(&mut || Some(9)), "batch runs and preempts");
     let wkey = req.w_key();
+    let wcanon = req.w_spec().canonical();
     // Mid-preemption: the partial exists on disk but only under its own
     // name space, and the artifact record is the screening, untouched.
-    assert!(core.store().load_partial(wkey).is_some());
-    let art = core.store().load(wkey).expect("screening artifact intact");
+    assert!(core.store().load_partial(wkey, &wcanon).is_some());
+    let art = core
+        .store()
+        .load(wkey, &wcanon)
+        .expect("screening artifact intact");
     assert_eq!(
         art.stage,
         berkeleygw_rs::core::GwStage::WScreening as u64,
@@ -251,7 +255,7 @@ fn no_partial_record_is_visible_to_a_later_hit() {
     let mut oracles = HashMap::new();
     check_gpp(&mut oracles, &req, &resp.expect("resumed").payload);
     // Completion removed the partial; nothing for a later hit to see.
-    assert!(core.store().load_partial(wkey).is_none());
+    assert!(core.store().load_partial(wkey, &wcanon).is_none());
     let _ = std::fs::remove_dir_all(&dir);
 }
 
