@@ -78,6 +78,41 @@ pub struct Screening {
     pub gpp: GppModel,
 }
 
+impl Screening {
+    /// Decoded in-memory footprint of this screening, in bytes: the
+    /// currency a cost-aware cache charges against its budget. Full
+    /// frequency blocks dominate — an FF screening carries one
+    /// `eps~^{-1}` matrix per quadrature node on top of the static one —
+    /// so this is deliberately *not* an entry count. The estimate covers
+    /// the large arrays (matrices, coefficient tables, spheres); small
+    /// scalar fields are ignored.
+    pub fn approx_bytes(&self) -> u64 {
+        const C64: u64 = std::mem::size_of::<Complex64>() as u64;
+        const F64: u64 = std::mem::size_of::<f64>() as u64;
+        let mat = |m: &bgw_linalg::CMatrix| (m.nrows() * m.ncols()) as u64 * C64;
+        let eps = |e: &EpsilonInverse| {
+            e.inv.iter().map(&mat).sum::<u64>() + (e.omegas.len() + e.vsqrt.len()) as u64 * F64
+        };
+        let sphere = |s: &GSphere| {
+            // miller [i32;3] + cart [f64;3] + norm2 f64 per G-vector.
+            s.len() as u64 * (12 + 24 + 8)
+        };
+        let mut total = 0u64;
+        total += mat(&self.wf.coeffs) + self.wf.energies.len() as u64 * F64;
+        total += sphere(&self.wfn_sph) + sphere(&self.eps_sph);
+        total += self.vsqrt.len() as u64 * F64;
+        total += eps(&self.eps_inv);
+        if let Some((ff, weights)) = &self.ff {
+            total += eps(ff) + weights.len() as u64 * F64;
+        }
+        total += (self.gpp.pole_strength.len() + self.gpp.mode_freq.len()) as u64 * F64;
+        // MTXEL scatter/gather tables: one usize per box point per table
+        // plus the wavefunction cartesian list.
+        total += (self.wfn_sph.len() * (8 + 8 + 24)) as u64;
+        total
+    }
+}
+
 /// The deterministic cheap prefix shared by build and restore.
 struct Prefix {
     wfn_sph: GSphere,

@@ -67,6 +67,9 @@ static SERVE_RETRIES: AtomicU64 = AtomicU64::new(0);
 static SERVE_REENQUEUED: AtomicU64 = AtomicU64::new(0);
 static SERVE_STORE_INVALID: AtomicU64 = AtomicU64::new(0);
 static SERVE_QUEUE_NS: AtomicU64 = AtomicU64::new(0);
+static SERVE_MEM_EVICTED: AtomicU64 = AtomicU64::new(0);
+static SERVE_GC_REMOVED: AtomicU64 = AtomicU64::new(0);
+static SERVE_GC_BYTES: AtomicU64 = AtomicU64::new(0);
 
 /// Number of SIMD instruction-set lanes tracked by the per-ISA kernel
 /// counters. Indices follow `bgw_num::simd::Isa::index()`: 0 scalar,
@@ -180,6 +183,13 @@ pub struct CounterSnapshot {
     pub serve_store_invalid: u64,
     /// Nanoseconds requests spent queued before their evaluation began.
     pub serve_queue_ns: u64,
+    /// Decoded screenings evicted from the in-memory cache by the
+    /// cost-aware byte budget.
+    pub serve_mem_evicted: u64,
+    /// Artifact-store files (artifacts + partials) reclaimed by GC.
+    pub serve_gc_removed: u64,
+    /// Bytes reclaimed from the artifact store by GC.
+    pub serve_gc_bytes: u64,
     /// ZGEMM calls dispatched to the scalar microkernel.
     pub gemm_mk_calls_scalar: u64,
     /// ZGEMM calls dispatched to the NEON microkernel.
@@ -258,6 +268,9 @@ macro_rules! for_each_counter_field {
         $m!(serve_reenqueued);
         $m!(serve_store_invalid);
         $m!(serve_queue_ns);
+        $m!(serve_mem_evicted);
+        $m!(serve_gc_removed);
+        $m!(serve_gc_bytes);
         $m!(gemm_mk_calls_scalar);
         $m!(gemm_mk_calls_neon);
         $m!(gemm_mk_calls_avx2);
@@ -502,6 +515,9 @@ pub fn snapshot() -> CounterSnapshot {
         serve_reenqueued: SERVE_REENQUEUED.load(Ordering::Relaxed),
         serve_store_invalid: SERVE_STORE_INVALID.load(Ordering::Relaxed),
         serve_queue_ns: SERVE_QUEUE_NS.load(Ordering::Relaxed),
+        serve_mem_evicted: SERVE_MEM_EVICTED.load(Ordering::Relaxed),
+        serve_gc_removed: SERVE_GC_REMOVED.load(Ordering::Relaxed),
+        serve_gc_bytes: SERVE_GC_BYTES.load(Ordering::Relaxed),
         gemm_mk_calls_scalar: GEMM_MK_CALLS[0].load(Ordering::Relaxed),
         gemm_mk_calls_neon: GEMM_MK_CALLS[1].load(Ordering::Relaxed),
         gemm_mk_calls_avx2: GEMM_MK_CALLS[2].load(Ordering::Relaxed),
@@ -720,6 +736,21 @@ pub fn record_serve_store_invalid() {
     SERVE_STORE_INVALID.fetch_add(1, Ordering::Relaxed);
 }
 
+/// Records one screening evicted from the in-memory cache by the byte
+/// budget.
+#[inline]
+pub fn record_serve_mem_evicted() {
+    SERVE_MEM_EVICTED.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records `n` artifact-store files reclaiming `bytes` bytes in one GC
+/// pass.
+#[inline]
+pub fn record_serve_gc(n: u64, bytes: u64) {
+    SERVE_GC_REMOVED.fetch_add(n, Ordering::Relaxed);
+    SERVE_GC_BYTES.fetch_add(bytes, Ordering::Relaxed);
+}
+
 #[inline]
 fn isa_lane(isa: usize) -> usize {
     debug_assert!(isa < ISA_LANES, "unknown ISA index {isa}");
@@ -787,6 +818,8 @@ mod tests {
         record_serve_retry();
         record_serve_reenqueued();
         record_serve_store_invalid();
+        record_serve_mem_evicted();
+        record_serve_gc(2, 4096);
         record_serve_completed(750);
         let after = snapshot();
         let d = before.delta(&after);
@@ -832,6 +865,9 @@ mod tests {
         assert!(d.serve_reenqueued >= 1);
         assert!(d.serve_store_invalid >= 1);
         assert!(d.serve_queue_ns >= 750);
+        assert!(d.serve_mem_evicted >= 1);
+        assert!(d.serve_gc_removed >= 2);
+        assert!(d.serve_gc_bytes >= 4096);
         assert_eq!(d.delta_underflows, 0);
     }
 
@@ -928,7 +964,7 @@ mod tests {
             n_fields += 1;
         });
         assert_eq!(a, b);
-        assert_eq!(n_fields, 52, "visitor must cover every field");
+        assert_eq!(n_fields, 55, "visitor must cover every field");
         assert!(!b.set_field("no_such_counter", 1));
         assert!(CounterSnapshot::default().is_zero());
         assert!(!a.is_zero());

@@ -59,8 +59,25 @@ pub struct ServeConfig {
     /// Bounded queue capacity; excess enqueues fail with
     /// [`ServeError::QueueFull`].
     pub queue_capacity: usize,
-    /// Decoded screenings kept in the in-memory LRU.
-    pub mem_cache_capacity: usize,
+    /// Byte budget for the in-memory cache of decoded screenings. Each
+    /// entry is charged its decoded footprint
+    /// ([`Screening::approx_bytes`], FF blocks included) — cost-aware
+    /// eviction, not an entry count: a full-frequency screening (~5x a
+    /// GPP one here) displaces proportionally more of the cache. The
+    /// most recent entry is always kept, even over budget; `0` disables
+    /// the cache entirely.
+    pub mem_budget_bytes: u64,
+    /// Byte budget for the on-disk artifact store; when the store
+    /// exceeds it, a GC pass after each batch reclaims records
+    /// oldest-access-first (never one pinned by an in-flight batch).
+    /// `0` disables the size cap (orphaned partials are still cleaned
+    /// up on request retirement).
+    pub store_budget_bytes: u64,
+    /// Dispatcher shards the threaded [`Server`](crate::server::Server)
+    /// spawns; requests route to shard `w_key % n_shards`, so distinct
+    /// screenings build concurrently while coalescing stays per-shard
+    /// by construction. A synchronous `ServeCore` ignores this field.
+    pub n_shards: usize,
     /// Seeded fault schedule, consulted once per request evaluation op
     /// (rank 0, op = the engine's monotonic evaluation counter).
     pub fault_plan: FaultPlan,
@@ -69,18 +86,26 @@ pub struct ServeConfig {
     pub max_request_retries: usize,
     /// Attach a per-request `bgw-trace` report delta to each response.
     pub collect_reports: bool,
+    /// Test hook: panic the engine at this evaluation op — the
+    /// dispatcher-death battery uses it to prove no ticket ever blocks
+    /// forever on a dead shard.
+    pub panic_at_op: Option<u64>,
 }
 
 impl ServeConfig {
-    /// Defaults: queue 64, memory LRU 4, no faults, 2 crash retries.
+    /// Defaults: queue 64, 256 MiB memory cache, no disk cap, 1 shard,
+    /// no faults, 2 crash retries.
     pub fn new(store_dir: impl Into<PathBuf>) -> Self {
         Self {
             store_dir: store_dir.into(),
             queue_capacity: 64,
-            mem_cache_capacity: 4,
+            mem_budget_bytes: 256 << 20,
+            store_budget_bytes: 0,
+            n_shards: 1,
             fault_plan: FaultPlan::none(),
             max_request_retries: 2,
             collect_reports: false,
+            panic_at_op: None,
         }
     }
 }
@@ -115,6 +140,24 @@ pub enum ServeError {
     },
     /// The dielectric inversion failed for this structure.
     Epsilon(EpsilonError),
+    /// The owning dispatcher shard died (panicked) before this request
+    /// retired; every outstanding ticket on the shard fails with this
+    /// instead of blocking forever.
+    DispatcherDown,
+    /// An engine invariant broke mid-evaluation (a logic regression —
+    /// e.g. a band missing from the batch union). The request fails
+    /// typed instead of panicking the shard.
+    Internal {
+        /// Which invariant broke.
+        what: String,
+    },
+}
+
+/// A typed internal-invariant failure (never expected in a correct
+/// build; degrades a logic regression to a failed request instead of a
+/// dead shard).
+fn internal(what: impl Into<String>) -> ServeError {
+    ServeError::Internal { what: what.into() }
 }
 
 impl std::fmt::Display for ServeError {
@@ -134,6 +177,10 @@ impl std::fmt::Display for ServeError {
                 write!(f, "transient fault persisted through {attempts} retries")
             }
             ServeError::Epsilon(e) => write!(f, "epsilon stage: {e}"),
+            ServeError::DispatcherDown => write!(f, "dispatcher shard died"),
+            ServeError::Internal { what } => {
+                write!(f, "internal invariant broke: {what}")
+            }
         }
     }
 }
@@ -370,7 +417,8 @@ pub struct ServeCore {
     cfg: ServeConfig,
     store: ArtifactStore,
     queue: VecDeque<Pending>,
-    mem: Vec<(ArtifactKey, Arc<Screening>)>,
+    mem: Vec<(ArtifactKey, Arc<Screening>, u64)>,
+    mem_bytes: u64,
     partials: HashMap<ArtifactKey, BatchPartial>,
     events: Vec<ServeEvent>,
     responses: Vec<(RequestId, Result<ServeOk, ServeError>)>,
@@ -383,11 +431,20 @@ impl ServeCore {
     /// An idle engine over `cfg.store_dir`.
     pub fn new(cfg: ServeConfig) -> Self {
         let store = ArtifactStore::new(cfg.store_dir.clone());
+        Self::with_store(cfg, store)
+    }
+
+    /// An idle engine over an existing store handle. Shards of a
+    /// [`Server`](crate::server::Server) all clone one handle, so the
+    /// pin/interest/access bookkeeping that guards GC is shared across
+    /// shards while each shard keeps its own queue and memory cache.
+    pub fn with_store(cfg: ServeConfig, store: ArtifactStore) -> Self {
         Self {
             cfg,
             store,
             queue: VecDeque::new(),
             mem: Vec::new(),
+            mem_bytes: 0,
             partials: HashMap::new(),
             events: Vec::new(),
             responses: Vec::new(),
@@ -466,6 +523,10 @@ impl ServeCore {
         self.next_id += 1;
         let seq = self.next_seq;
         self.next_seq += 1;
+        // Register interest in the request's W with the shared store:
+        // the GC orphan sweep must not reclaim a preemption partial
+        // while any request that could resume from it is still queued.
+        self.store.add_interest(req.w_key());
         self.queue.push_back(Pending {
             id,
             seq,
@@ -514,6 +575,11 @@ impl ServeCore {
             .expect("non-empty queue");
         let wkey = leader.req.w_key();
         let batch_prio = leader.req.priority;
+        // Pin this batch's W for the whole step: a GC pass (from this
+        // shard or a concurrent one sharing the store) must never
+        // reclaim the artifact or preemption partial of an in-flight
+        // batch.
+        let _pin = self.store.pin(wkey);
         let mut batch: Vec<Pending> = Vec::new();
         let mut rest: VecDeque<Pending> = VecDeque::new();
         for p in std::mem::take(&mut self.queue) {
@@ -562,9 +628,7 @@ impl ServeCore {
             Ok(pair) => pair,
             Err(e) => {
                 for p in batch {
-                    self.events.push(ServeEvent::Failed { id: p.id });
-                    self.responses
-                        .push((p.id, Err(ServeError::Epsilon(e.clone()))));
+                    self.retire_err(p, ServeError::Epsilon(e.clone()));
                 }
                 return true;
             }
@@ -586,33 +650,75 @@ impl ServeCore {
                 self.eval_ff_batch(batch, &screening, cache, t_batch, report_before)
             }
         }
+        // Disk GC after the batch retires, while the batch's W is still
+        // pinned: reclaim oldest-accessed records until the store fits
+        // the byte budget again (0 = uncapped).
+        if self.cfg.store_budget_bytes > 0 {
+            let _ = self.store.gc(self.cfg.store_budget_bytes);
+        }
         true
     }
 
     // ---------------------------------------------------------------------
 
+    /// Releases the retiring request's interest in its W key; when the
+    /// last interested request retires, any preemption partial for that
+    /// key is unreachable and is deleted (memory and disk) instead of
+    /// leaking — the orphaned-partial bug this PR fixes.
+    fn note_retired(&mut self, req: &GwRequest) {
+        let wkey = req.w_key();
+        if self.store.release_interest(wkey) == 0 {
+            self.partials.remove(&wkey);
+            self.store.clear_partial(wkey);
+        }
+    }
+
     fn retire_cancelled(&mut self, p: Pending) {
+        self.note_retired(&p.req);
         self.events.push(ServeEvent::Cancelled { id: p.id });
         self.responses.push((p.id, Err(ServeError::Cancelled)));
     }
 
+    fn retire_err(&mut self, p: Pending, e: ServeError) {
+        self.note_retired(&p.req);
+        self.events.push(ServeEvent::Failed { id: p.id });
+        self.responses.push((p.id, Err(e)));
+    }
+
     fn mem_get(&mut self, key: ArtifactKey) -> Option<Arc<Screening>> {
-        let pos = self.mem.iter().position(|(k, _)| *k == key)?;
+        let pos = self.mem.iter().position(|(k, _, _)| *k == key)?;
         let entry = self.mem.remove(pos);
         let hit = entry.1.clone();
         self.mem.push(entry); // most-recently-used at the back
         Some(hit)
     }
 
+    /// Cost-aware insert: the entry is charged its decoded byte
+    /// footprint and least-recently-used entries are evicted until the
+    /// cache fits the byte budget again. The newest entry always stays
+    /// (even alone over budget) so a hot oversized screening still
+    /// coalesces; budget 0 disables the cache.
     fn mem_insert(&mut self, key: ArtifactKey, s: Arc<Screening>) {
-        if self.cfg.mem_cache_capacity == 0 {
+        if self.cfg.mem_budget_bytes == 0 {
             return;
         }
-        self.mem.retain(|(k, _)| *k != key);
-        self.mem.push((key, s));
-        while self.mem.len() > self.cfg.mem_cache_capacity {
-            self.mem.remove(0);
+        let bytes = s.approx_bytes();
+        if let Some(pos) = self.mem.iter().position(|(k, _, _)| *k == key) {
+            let (_, _, old) = self.mem.remove(pos);
+            self.mem_bytes = self.mem_bytes.saturating_sub(old);
         }
+        self.mem.push((key, s, bytes));
+        self.mem_bytes += bytes;
+        while self.mem_bytes > self.cfg.mem_budget_bytes && self.mem.len() > 1 {
+            let (_, _, b) = self.mem.remove(0);
+            self.mem_bytes = self.mem_bytes.saturating_sub(b);
+            counters::record_serve_mem_evicted();
+        }
+    }
+
+    /// (entries, charged bytes) currently held by the memory cache.
+    pub fn mem_stats(&self) -> (usize, u64) {
+        (self.mem.len(), self.mem_bytes)
     }
 
     fn acquire_screening(
@@ -664,6 +770,9 @@ impl ServeCore {
     fn fault_gate(&mut self, p: &mut Pending, wkey: ArtifactKey) -> Result<bool, ServeError> {
         let op = self.op_counter;
         self.op_counter += 1;
+        if self.cfg.panic_at_op == Some(op) {
+            panic!("injected dispatcher panic at evaluation op {op}");
+        }
         match self.cfg.fault_plan.event(0, op) {
             None => Ok(true),
             Some(FaultKind::Crash) => {
@@ -773,21 +882,33 @@ impl ServeCore {
             .filter(|k| partial.get(*k).is_none())
             .collect();
         for (i, &(band, delta_m)) in todo.iter().enumerate() {
-            {
+            let row_result: Result<(Vec<f64>, u64), ServeError> = {
                 let _row_span = bgw_trace::span!("serve.sigma.gpp");
-                let s = union
-                    .iter()
-                    .position(|&b| b == band)
-                    .expect("band in union");
-                let one = band_slice(&ctx, s);
-                let e = ctx.sigma_energies[s];
-                let d = delta_m as f64 / 1000.0;
-                let grid = vec![vec![e - d, e, e + d]];
-                let r = gpp_sigma_diag(&one, &grid, batch[0].0.req.gw_config().variant);
-                partial.rows.push((
-                    (band, delta_m),
-                    (r.sigma.into_iter().next().unwrap(), r.flops),
-                ));
+                match union.iter().position(|&b| b == band) {
+                    None => Err(internal(format!("band {band} missing from batch union"))),
+                    Some(s) => {
+                        let one = band_slice(&ctx, s);
+                        let e = ctx.sigma_energies[s];
+                        let d = delta_m as f64 / 1000.0;
+                        let grid = vec![vec![e - d, e, e + d]];
+                        let r = gpp_sigma_diag(&one, &grid, batch[0].0.req.gw_config().variant);
+                        match r.sigma.into_iter().next() {
+                            Some(row) => Ok((row, r.flops)),
+                            None => Err(internal("GPP sigma returned no rows")),
+                        }
+                    }
+                }
+            };
+            match row_result {
+                Ok(row) => partial.rows.push(((band, delta_m), row)),
+                Err(e) => {
+                    // An engine invariant broke: degrade to failed
+                    // requests (typed), never a panicked (dead) shard.
+                    for (p, _) in batch {
+                        self.retire_err(p, e.clone());
+                    }
+                    return;
+                }
             }
             // Drop members cancelled mid-batch; their rows may become
             // unneeded but recomputing the need-set is not worth it.
@@ -835,8 +956,7 @@ impl ServeCore {
                     continue;
                 }
                 Err(e) => {
-                    self.events.push(ServeEvent::Failed { id: p.id });
-                    self.responses.push((p.id, Err(e)));
+                    self.retire_err(p, e);
                     continue;
                 }
             }
@@ -850,17 +970,25 @@ impl ServeCore {
             let mut grids = Vec::with_capacity(bands.len());
             let mut energies = Vec::with_capacity(bands.len());
             let mut flops = 0u64;
+            let mut member_err: Option<ServeError> = None;
             for &b in &bands {
-                let (row, row_flops) = partial
-                    .get((b, delta_m))
-                    .expect("all member rows evaluated")
-                    .clone();
-                let s = union.iter().position(|&u| u == b).unwrap();
+                let Some((row, row_flops)) = partial.get((b, delta_m)).cloned() else {
+                    member_err = Some(internal(format!("row for band {b} missing at retire")));
+                    break;
+                };
+                let Some(s) = union.iter().position(|&u| u == b) else {
+                    member_err = Some(internal(format!("band {b} missing from batch union")));
+                    break;
+                };
                 let e = ctx.sigma_energies[s];
                 sigma.push(row);
                 grids.push(vec![e - d, e, e + d]);
                 energies.push(e);
                 flops += row_flops;
+            }
+            if let Some(e) = member_err {
+                self.retire_err(p, e);
+                continue;
             }
             let diag = SigmaDiagResult {
                 sigma,
@@ -869,11 +997,15 @@ impl ServeCore {
                 flops,
             };
             let states = solve_qp_diag(&energies, &diag);
-            let homo = bands
-                .iter()
-                .position(|&b| b == nv - 1)
-                .expect("HOMO in window");
-            let lumo = bands.iter().position(|&b| b == nv).expect("LUMO in window");
+            let (Some(homo), Some(lumo)) = (
+                bands.iter().position(|&b| b == nv - 1),
+                bands.iter().position(|&b| b == nv),
+            ) else {
+                // enqueue() rejects windows that cannot straddle the gap,
+                // so reaching this means the band derivation regressed.
+                self.retire_err(p, internal("band window lost HOMO/LUMO"));
+                continue;
+            };
             let payload = GppPayload {
                 e_mf: energies,
                 e_qp: states.iter().map(|st| st.e_qp).collect(),
@@ -924,8 +1056,7 @@ impl ServeCore {
                     continue;
                 }
                 Err(e) => {
-                    self.events.push(ServeEvent::Failed { id: p.id });
-                    self.responses.push((p.id, Err(e)));
+                    self.retire_err(p, e);
                     continue;
                 }
             }
@@ -933,13 +1064,24 @@ impl ServeCore {
                 self.retire_cancelled(p);
                 continue;
             }
-            let positions: Vec<usize> = bands
-                .iter()
-                .map(|b| union.iter().position(|u| u == b).unwrap())
-                .collect();
+            let mut positions = Vec::with_capacity(bands.len());
+            for &b in &bands {
+                match union.iter().position(|&u| u == b) {
+                    Some(s) => positions.push(s),
+                    None => break,
+                }
+            }
+            if positions.len() != bands.len() {
+                self.retire_err(p, internal("band missing from batch union"));
+                continue;
+            }
             let view = band_subset(&ctx, &positions);
-            let r = ff_eval(screening, &view, p.req.delta_ry(), p.req.eta_ry())
-                .expect("FF batch requires an FF screening");
+            let Some(r) = ff_eval(screening, &view, p.req.delta_ry(), p.req.eta_ry()) else {
+                // Request kind and screening kind diverged: the W spec
+                // should have carried the FF grid for this request.
+                self.retire_err(p, internal("FF request paired with a non-FF screening"));
+                continue;
+            };
             let payload = FfPayload {
                 e_mf: r.sigma_energies,
                 sigma: r.sigma,
@@ -976,6 +1118,7 @@ impl ServeCore {
         compute_seconds: f64,
         report: &Option<RunReport>,
     ) {
+        self.note_retired(&p.req);
         let queue_seconds = p.enqueued.elapsed().as_secs_f64() - compute_seconds;
         let queue_seconds = queue_seconds.max(0.0);
         counters::record_serve_completed((queue_seconds * 1e9) as u64);

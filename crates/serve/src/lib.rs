@@ -18,7 +18,16 @@
 //!   context is built once over the union band set, and each distinct
 //!   `(band, delta)` diagonal is evaluated once;
 //! * preemption/cancellation between band slices, with the partial state
-//!   checkpointed (`SigmaPartial` records) and resumed;
+//!   checkpointed (`SigmaPartial` records) and resumed — and deleted
+//!   once the last request interested in its W retires, so
+//!   preempt-heavy traffic cannot leak store disk;
+//! * dispatcher sharding: [`Server`] spawns `n_shards` dispatcher
+//!   threads and routes each request to shard `w_key % n_shards`, so
+//!   distinct screenings build concurrently while coalescing stays
+//!   per-shard; cache eviction is cost-aware (decoded byte footprints
+//!   against byte budgets) and the shared store is garbage-collected
+//!   oldest-access-first under a size budget, never touching entries
+//!   pinned by an in-flight batch;
 //! * per-request `bgw-trace` span-tree reports returned as response
 //!   telemetry, extracted with `RunReport::delta`;
 //! * a seeded deterministic fault model (`bgw_comm::FaultPlan`) threaded
@@ -44,5 +53,5 @@ pub use crate::core::{
 pub use key::{ArtifactKey, KeySpec};
 pub use request::{GwRequest, RequestKind, StructureSpec};
 pub use server::{Server, Ticket};
-pub use store::ArtifactStore;
+pub use store::{ArtifactStore, GcReport, StorePin};
 pub use traffic::{zipf_stream, TrafficConfig};

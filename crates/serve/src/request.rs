@@ -169,6 +169,14 @@ impl GwRequest {
         self.w_spec().key()
     }
 
+    /// The dispatcher shard owning this request under an `n_shards`-way
+    /// split: `w_key % n_shards`. Requests sharing a screening always
+    /// land on the same shard, so coalescing and the warm-hit
+    /// invariants hold per shard by construction.
+    pub fn shard_of(&self, n_shards: usize) -> usize {
+        (self.w_key().0 % n_shards.max(1) as u64) as usize
+    }
+
     /// The full request key: `w_key` inputs plus the Sigma-evaluation
     /// parameters (band window, grid offset, broadening).
     pub fn request_key(&self) -> ArtifactKey {

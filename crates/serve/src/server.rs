@@ -1,24 +1,48 @@
-//! The threaded daemon: a dispatcher thread wrapping [`ServeCore`].
+//! The threaded daemon: dispatcher shards wrapping [`ServeCore`].
 //!
-//! [`Server::start`] spawns one dispatcher that drains an injector queue
-//! into the engine and steps it; clients get a [`Ticket`] per submitted
-//! request and block on [`Ticket::wait`]. Preemption falls out of the
-//! split: the engine's `peek` hook reads the injector's highest waiting
-//! priority, so a high-priority submission arriving mid-batch preempts
-//! the running batch at the next band-row boundary. All scheduling
-//! semantics live in [`ServeCore`]; this module only adds threads.
+//! [`Server::start`] spawns `cfg.n_shards` dispatcher threads, each
+//! owning one engine; a submitted request routes to shard
+//! `w_key % n_shards`, so requests for the *same* screening always land
+//! on the same shard (coalescing and the PR 8 hit/coalesce invariants
+//! hold per shard by construction) while distinct screenings build
+//! concurrently. All shards clone one [`ArtifactStore`] handle, sharing
+//! the pin/interest bookkeeping that keeps store GC safe across shards.
+//!
+//! Clients get a [`Ticket`] per submitted request and block on
+//! [`Ticket::wait`]. Preemption falls out of the split: the engine's
+//! `peek` hook reads its own shard's highest waiting priority, so a
+//! high-priority submission arriving mid-batch preempts that shard's
+//! running batch at the next band-row boundary.
+//!
+//! A panicking engine must never strand a waiter: each step runs under
+//! `catch_unwind`, and on a panic the shard marks itself dead, fails
+//! every outstanding ticket with [`ServeError::DispatcherDown`], and
+//! fails subsequent submissions fast. Every lock here recovers from
+//! poisoning, so a waiter blocked in [`Ticket::wait`] always wakes.
 
 use crate::core::{RequestId, ServeConfig, ServeCore, ServeError, ServeOk};
 use crate::request::GwRequest;
+use crate::store::ArtifactStore;
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
+
+/// Locks recovering from poisoning: a dispatcher that panicked while
+/// holding a lock must not strand other threads — the guarded state
+/// stays consistent because every critical section here is a plain
+/// field read/write or a `Vec` take.
+fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 #[derive(Default)]
 struct Injector {
     waiting: Vec<(GwRequest, Arc<AtomicBool>, Arc<Cell>)>,
     shutdown: bool,
+    /// Set when the shard's dispatcher died; submissions fail fast.
+    dead: bool,
 }
 
 #[derive(Default)]
@@ -39,18 +63,29 @@ pub struct Ticket {
 }
 
 impl Ticket {
-    /// Blocks until the request retires; returns its result.
+    /// Blocks until the request retires; returns its result. Poison-safe:
+    /// a dispatcher panic fulfills the ticket with
+    /// [`ServeError::DispatcherDown`] rather than leaving the waiter
+    /// blocked on the condvar.
     pub fn wait(self) -> Result<ServeOk, ServeError> {
-        let mut slot = self.cell.slot.lock().expect("ticket lock");
+        let mut slot = self
+            .cell
+            .slot
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         loop {
             if let Some(r) = slot.take() {
                 return r;
             }
-            slot = self.cell.ready.wait(slot).expect("ticket wait");
+            slot = self
+                .cell
+                .ready
+                .wait(slot)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
-    /// Requests cancellation; the engine retires the request with
+    /// Requests cancellation; the owning shard retires the request with
     /// [`ServeError::Cancelled`] at the next row boundary (or instantly
     /// if still queued). `wait` afterwards returns that error.
     pub fn cancel(&self) {
@@ -58,78 +93,112 @@ impl Ticket {
     }
 }
 
-/// The resident GW daemon. See the module docs for the thread layout.
-pub struct Server {
+struct Shard {
     shared: Arc<Shared>,
     dispatcher: Option<JoinHandle<ServeCore>>,
 }
 
+/// The resident GW daemon. See the module docs for the thread layout.
+pub struct Server {
+    shards: Vec<Shard>,
+}
+
 impl Server {
-    /// Starts the dispatcher over a fresh engine with `cfg`.
+    /// Starts `cfg.n_shards` dispatchers (min 1) over one shared store.
     pub fn start(cfg: ServeConfig) -> Self {
-        let shared = Arc::new(Shared {
-            injector: Mutex::new(Injector::default()),
-            wake: Condvar::new(),
-        });
-        let dispatcher = {
-            let shared = shared.clone();
-            std::thread::spawn(move || dispatch_loop(cfg, shared))
-        };
-        Server {
-            shared,
-            dispatcher: Some(dispatcher),
-        }
+        let n = cfg.n_shards.max(1);
+        let store = ArtifactStore::new(cfg.store_dir.clone());
+        let shards = (0..n)
+            .map(|_| {
+                let shared = Arc::new(Shared {
+                    injector: Mutex::new(Injector::default()),
+                    wake: Condvar::new(),
+                });
+                let dispatcher = {
+                    let shared = shared.clone();
+                    let cfg = cfg.clone();
+                    let store = store.clone();
+                    std::thread::spawn(move || dispatch_loop(cfg, store, shared))
+                };
+                Shard {
+                    shared,
+                    dispatcher: Some(dispatcher),
+                }
+            })
+            .collect();
+        Server { shards }
     }
 
-    /// Submits a request; the ticket resolves when it retires. Rejected
-    /// submissions (bounded queue full) fail fast on the ticket.
+    /// Dispatcher shards running.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Submits a request to its owning shard (`w_key % n_shards`); the
+    /// ticket resolves when it retires. Rejected submissions (bounded
+    /// queue full, dead shard) fail fast on the ticket.
     pub fn submit(&self, req: GwRequest) -> Ticket {
+        let shard = &self.shards[req.shard_of(self.shards.len())];
         let cancel = Arc::new(AtomicBool::new(false));
         let cell = Arc::new(Cell::default());
-        {
-            let mut inj = self.shared.injector.lock().expect("injector lock");
-            inj.waiting.push((req, cancel.clone(), cell.clone()));
+        let accepted = {
+            let mut inj = relock(&shard.shared.injector);
+            if inj.dead {
+                false
+            } else {
+                inj.waiting.push((req, cancel.clone(), cell.clone()));
+                true
+            }
+        };
+        if accepted {
+            shard.shared.wake.notify_all();
+        } else {
+            fulfill(&cell, Err(ServeError::DispatcherDown));
         }
-        self.shared.wake.notify_all();
         Ticket { cell, cancel }
     }
 
-    /// Stops the dispatcher after it drains in-flight work and returns
-    /// the engine (so callers can inspect the event log and store).
-    pub fn shutdown(mut self) -> ServeCore {
-        {
-            let mut inj = self.shared.injector.lock().expect("injector lock");
-            inj.shutdown = true;
+    /// Stops every dispatcher after it drains in-flight work and returns
+    /// the engines in shard order (so callers can inspect event logs and
+    /// the shared store).
+    pub fn shutdown(mut self) -> Vec<ServeCore> {
+        for shard in &self.shards {
+            relock(&shard.shared.injector).shutdown = true;
+            shard.shared.wake.notify_all();
         }
-        self.shared.wake.notify_all();
-        self.dispatcher
-            .take()
-            .expect("dispatcher running")
-            .join()
-            .expect("dispatcher thread")
+        let mut cores = Vec::with_capacity(self.shards.len());
+        for shard in &mut self.shards {
+            if let Some(h) = shard.dispatcher.take() {
+                if let Ok(core) = h.join() {
+                    cores.push(core);
+                }
+            }
+        }
+        cores
     }
 }
 
 impl Drop for Server {
     fn drop(&mut self) {
-        if let Some(h) = self.dispatcher.take() {
-            {
-                let mut inj = self.shared.injector.lock().expect("injector lock");
-                inj.shutdown = true;
+        for shard in &self.shards {
+            relock(&shard.shared.injector).shutdown = true;
+            shard.shared.wake.notify_all();
+        }
+        for shard in &mut self.shards {
+            if let Some(h) = shard.dispatcher.take() {
+                let _ = h.join();
             }
-            self.shared.wake.notify_all();
-            let _ = h.join();
         }
     }
 }
 
-fn dispatch_loop(cfg: ServeConfig, shared: Arc<Shared>) -> ServeCore {
-    let mut core = ServeCore::new(cfg);
+fn dispatch_loop(cfg: ServeConfig, store: ArtifactStore, shared: Arc<Shared>) -> ServeCore {
+    let mut core = ServeCore::with_store(cfg, store);
     let mut tickets: HashMap<RequestId, Arc<Cell>> = HashMap::new();
     loop {
         // Admit waiting submissions into the bounded engine queue.
         let (drained, shutdown) = {
-            let mut inj = shared.injector.lock().expect("injector lock");
+            let mut inj = relock(&shared.injector);
             (std::mem::take(&mut inj.waiting), inj.shutdown)
         };
         for (req, cancel, cell) in drained {
@@ -141,12 +210,37 @@ fn dispatch_loop(cfg: ServeConfig, shared: Arc<Shared>) -> ServeCore {
             }
         }
 
-        // One batch, preemptible by higher-priority injector arrivals.
+        // One batch, preemptible by higher-priority arrivals on this
+        // shard, caught so an engine panic degrades to failed tickets
+        // instead of a poisoned injector with waiters blocked forever.
         let shared_peek = shared.clone();
-        let progressed = core.step_with(&mut || {
-            let inj = shared_peek.injector.lock().expect("injector lock");
-            inj.waiting.iter().map(|(r, _, _)| r.priority).max()
-        });
+        let step = catch_unwind(AssertUnwindSafe(|| {
+            core.step_with(&mut || {
+                let inj = relock(&shared_peek.injector);
+                inj.waiting.iter().map(|(r, _, _)| r.priority).max()
+            })
+        }));
+        let progressed = match step {
+            Ok(p) => p,
+            Err(_) => {
+                // Mark the shard dead first so racing submits fail fast,
+                // then fail everything outstanding: tickets already in
+                // the engine AND submissions still waiting in the
+                // injector. No waiter is left behind.
+                let late = {
+                    let mut inj = relock(&shared.injector);
+                    inj.dead = true;
+                    std::mem::take(&mut inj.waiting)
+                };
+                for (_, _, cell) in late {
+                    fulfill(&cell, Err(ServeError::DispatcherDown));
+                }
+                for (_, cell) in tickets.drain() {
+                    fulfill(&cell, Err(ServeError::DispatcherDown));
+                }
+                return core;
+            }
+        };
         for (id, result) in core.take_responses() {
             if let Some(cell) = tickets.remove(&id) {
                 fulfill(&cell, result);
@@ -154,7 +248,7 @@ fn dispatch_loop(cfg: ServeConfig, shared: Arc<Shared>) -> ServeCore {
         }
 
         if !progressed {
-            let inj = shared.injector.lock().expect("injector lock");
+            let inj = relock(&shared.injector);
             if !inj.waiting.is_empty() {
                 continue;
             }
@@ -166,12 +260,12 @@ fn dispatch_loop(cfg: ServeConfig, shared: Arc<Shared>) -> ServeCore {
             let _unused = shared
                 .wake
                 .wait_timeout(inj, std::time::Duration::from_millis(50))
-                .expect("wake wait");
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 }
 
 fn fulfill(cell: &Cell, result: Result<ServeOk, ServeError>) {
-    *cell.slot.lock().expect("ticket lock") = Some(result);
+    *cell.slot.lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
     cell.ready.notify_all();
 }

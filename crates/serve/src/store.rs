@@ -24,7 +24,9 @@
 
 use crate::key::ArtifactKey;
 use bgw_io::{read_checkpoint_file, write_checkpoint_file, Checkpoint, IoError};
+use std::collections::HashMap;
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// Sentinel closing the spec suffix in a record's meta ("BGWSPEC1" as an
 /// f64 bit pattern — compared by bits, never arithmetically).
@@ -66,16 +68,246 @@ fn pop_spec_suffix(meta: &mut Vec<f64>) -> Option<String> {
     Some(spec)
 }
 
+/// Process-shared bookkeeping behind a store directory: pins held by
+/// in-flight batches, queued-request interest per W key, and an access
+/// clock for oldest-access-first GC. Cloned [`ArtifactStore`]s — one per
+/// dispatcher shard over the same directory — share this state, so a GC
+/// pass on any shard sees every shard's pins and interests.
+#[derive(Debug, Default)]
+struct StoreShared {
+    state: Mutex<StoreState>,
+}
+
+#[derive(Debug, Default)]
+struct StoreState {
+    /// Keys owned by an in-flight batch (refcounted; GC never touches).
+    pins: HashMap<u64, usize>,
+    /// Keys with queued, not-yet-retired requests (refcounted; their
+    /// preemption partials are live, not orphans).
+    interest: HashMap<u64, usize>,
+    /// Last-access sequence per key: the GC eviction order. Keys never
+    /// accessed this process (stale files from an earlier run) sort
+    /// oldest.
+    access: HashMap<u64, u64>,
+    tick: u64,
+}
+
+fn lock_state(shared: &StoreShared) -> MutexGuard<'_, StoreState> {
+    // Bookkeeping survives a panicked shard: the maps are always
+    // internally consistent (every mutation is a single insert/remove),
+    // so recover the guard instead of propagating the poison.
+    shared.state.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// RAII pin on one store key: while alive, GC will not reclaim the
+/// key's artifact or partial record. Held by a dispatcher shard for the
+/// duration of one batch.
+pub struct StorePin {
+    shared: Arc<StoreShared>,
+    key: u64,
+}
+
+impl Drop for StorePin {
+    fn drop(&mut self) {
+        let mut st = lock_state(&self.shared);
+        if let Some(n) = st.pins.get_mut(&self.key) {
+            *n -= 1;
+            if *n == 0 {
+                st.pins.remove(&self.key);
+            }
+        }
+    }
+}
+
+/// One store-GC pass's outcome.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// Store bytes before the pass (after the orphan sweep's scan).
+    pub bytes_before: u64,
+    /// Store bytes after the pass.
+    pub bytes_after: u64,
+    /// Artifact records reclaimed by the byte budget.
+    pub removed_artifacts: usize,
+    /// Partial records reclaimed by the byte budget.
+    pub removed_partials: usize,
+    /// Orphaned partials swept (no queued interest, no pin).
+    pub orphaned_partials: usize,
+}
+
+/// A file class in the store directory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum EntryKind {
+    Artifact,
+    Partial,
+}
+
+/// Parses `art_<hex16>.bgwr` / `partial_<hex16>.bgwr` file names.
+fn parse_entry(name: &str) -> Option<(EntryKind, u64)> {
+    let (kind, hex) = if let Some(h) = name.strip_prefix("art_") {
+        (EntryKind::Artifact, h)
+    } else if let Some(h) = name.strip_prefix("partial_") {
+        (EntryKind::Partial, h)
+    } else {
+        return None;
+    };
+    let hex = hex.strip_suffix(".bgwr")?;
+    if hex.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(hex, 16).ok().map(|k| (kind, k))
+}
+
 /// A directory of content-hash-keyed BGWR artifact records.
 #[derive(Clone, Debug)]
 pub struct ArtifactStore {
     dir: PathBuf,
+    shared: Arc<StoreShared>,
 }
 
 impl ArtifactStore {
-    /// A store rooted at `dir` (created lazily on first write).
+    /// A store rooted at `dir` (created lazily on first write). Clones
+    /// share the pin/interest/access bookkeeping — shards over one
+    /// directory must clone one store, not call `new` repeatedly.
     pub fn new(dir: impl Into<PathBuf>) -> Self {
-        Self { dir: dir.into() }
+        Self {
+            dir: dir.into(),
+            shared: Arc::new(StoreShared::default()),
+        }
+    }
+
+    fn touch(&self, key: ArtifactKey) {
+        let mut st = lock_state(&self.shared);
+        st.tick += 1;
+        let tick = st.tick;
+        st.access.insert(key.0, tick);
+    }
+
+    /// Pins `key` against GC for the guard's lifetime (an in-flight
+    /// batch's screening and partial are never reclaimed under it).
+    pub fn pin(&self, key: ArtifactKey) -> StorePin {
+        let mut st = lock_state(&self.shared);
+        *st.pins.entry(key.0).or_insert(0) += 1;
+        StorePin {
+            shared: self.shared.clone(),
+            key: key.0,
+        }
+    }
+
+    /// Registers one queued request interested in `key` (its preemption
+    /// partial is live). Balanced by [`ArtifactStore::release_interest`]
+    /// when the request retires.
+    pub fn add_interest(&self, key: ArtifactKey) {
+        let mut st = lock_state(&self.shared);
+        *st.interest.entry(key.0).or_insert(0) += 1;
+    }
+
+    /// Releases one queued request's interest in `key`; returns the
+    /// remaining interest count (0 = the key's partial is now orphaned).
+    pub fn release_interest(&self, key: ArtifactKey) -> usize {
+        let mut st = lock_state(&self.shared);
+        match st.interest.get_mut(&key.0) {
+            Some(n) => {
+                *n -= 1;
+                let left = *n;
+                if left == 0 {
+                    st.interest.remove(&key.0);
+                }
+                left
+            }
+            None => 0,
+        }
+    }
+
+    /// Total bytes of artifact + partial records currently on disk.
+    pub fn disk_bytes(&self) -> u64 {
+        self.scan().iter().map(|(_, _, sz, _)| sz).sum()
+    }
+
+    /// Store files currently on disk (artifacts + partials).
+    pub fn file_count(&self) -> usize {
+        self.scan().len()
+    }
+
+    /// Scans the directory: `(kind, key, bytes, path)` per record.
+    fn scan(&self) -> Vec<(EntryKind, u64, u64, PathBuf)> {
+        let Ok(rd) = std::fs::read_dir(&self.dir) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for entry in rd.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some((kind, key)) = parse_entry(name) else {
+                continue;
+            };
+            let Ok(meta) = entry.metadata() else { continue };
+            out.push((kind, key, meta.len(), entry.path()));
+        }
+        // Deterministic order regardless of read_dir order.
+        out.sort_by_key(|a| (a.1, a.0 == EntryKind::Partial));
+        out
+    }
+
+    /// One garbage-collection pass over the store directory.
+    ///
+    /// First sweeps *orphaned partials* — `partial_*` records whose key
+    /// has no queued interest and no in-flight pin (their preemption
+    /// state can never be resumed; left behind they grow the directory
+    /// without bound under preempt-heavy traffic). Then, if
+    /// `budget_bytes > 0` and the remaining records exceed it, reclaims
+    /// files oldest-access-first until the store fits the budget — but
+    /// never a record pinned by an in-flight batch. Reclaiming a live
+    /// artifact is always safe (the next request recomputes and
+    /// rewrites); the budget is a size cap, not a correctness boundary.
+    pub fn gc(&self, budget_bytes: u64) -> GcReport {
+        let _s = bgw_trace::span!("serve.store.gc");
+        // Hold the state lock across the whole pass: a shard trying to
+        // pin mid-GC blocks until the pass finishes, so "pinned" can
+        // never race with "being reclaimed".
+        let st = lock_state(&self.shared);
+        let mut report = GcReport::default();
+        let mut files = self.scan();
+
+        // Orphaned-partial sweep (independent of the byte budget).
+        files.retain(|(kind, key, sz, path)| {
+            let orphan = *kind == EntryKind::Partial
+                && !st.pins.contains_key(key)
+                && !st.interest.contains_key(key);
+            if orphan && std::fs::remove_file(path).is_ok() {
+                report.orphaned_partials += 1;
+                bgw_perf::counters::record_serve_gc(1, *sz);
+                return false;
+            }
+            true
+        });
+
+        let mut total: u64 = files.iter().map(|(_, _, sz, _)| sz).sum();
+        report.bytes_before = total;
+        if budget_bytes > 0 && total > budget_bytes {
+            // Oldest access first; never-accessed (stale from an earlier
+            // process) sorts oldest. Ties break on the scan order, which
+            // is itself deterministic.
+            files.sort_by_key(|(_, key, _, _)| st.access.get(key).copied().unwrap_or(0));
+            for (kind, key, sz, path) in &files {
+                if total <= budget_bytes {
+                    break;
+                }
+                if st.pins.contains_key(key) {
+                    continue;
+                }
+                if std::fs::remove_file(path).is_err() {
+                    continue;
+                }
+                total -= sz;
+                match kind {
+                    EntryKind::Artifact => report.removed_artifacts += 1,
+                    EntryKind::Partial => report.removed_partials += 1,
+                }
+                bgw_perf::counters::record_serve_gc(1, *sz);
+            }
+        }
+        report.bytes_after = total;
+        report
     }
 
     /// The store's root directory.
@@ -102,6 +334,7 @@ impl ArtifactStore {
         mut ckpt: Checkpoint,
     ) -> Result<u64, IoError> {
         let _s = bgw_trace::span!("serve.store.save");
+        self.touch(key);
         push_spec_suffix(&mut ckpt.meta, canonical);
         write_checkpoint_file(&self.artifact_path(key), &ckpt)
     }
@@ -116,6 +349,7 @@ impl ArtifactStore {
     /// recompute, never a wrong hit.
     pub fn load(&self, key: ArtifactKey, canonical: &str) -> Option<Checkpoint> {
         let _s = bgw_trace::span!("serve.store.load");
+        self.touch(key);
         self.load_verified(&self.artifact_path(key), canonical)
     }
 
@@ -158,6 +392,7 @@ impl ArtifactStore {
         canonical: &str,
         mut ckpt: Checkpoint,
     ) -> Result<u64, IoError> {
+        self.touch(key);
         push_spec_suffix(&mut ckpt.meta, canonical);
         write_checkpoint_file(&self.partial_path(key), &ckpt)
     }
@@ -166,6 +401,7 @@ impl ArtifactStore {
     /// mismatched records count as store-invalid and degrade to `None`
     /// (evaluate from band zero).
     pub fn load_partial(&self, key: ArtifactKey, canonical: &str) -> Option<Checkpoint> {
+        self.touch(key);
         self.load_verified(&self.partial_path(key), canonical)
     }
 
@@ -262,6 +498,70 @@ mod tests {
         let d = before.delta(&bgw_perf::counters::snapshot());
         assert!(d.serve_store_invalid >= 1, "collision must be counted");
         assert!(store.load(key, SPEC).is_some(), "the true owner still hits");
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn entry_names_parse_and_reject_noise() {
+        assert_eq!(
+            parse_entry("art_000000000000002a.bgwr"),
+            Some((EntryKind::Artifact, 0x2a))
+        );
+        assert_eq!(
+            parse_entry("partial_00000000000000ff.bgwr"),
+            Some((EntryKind::Partial, 0xff))
+        );
+        assert_eq!(parse_entry("art_2a.bgwr"), None, "short hex");
+        assert_eq!(parse_entry("art_000000000000002a.tmp"), None);
+        assert_eq!(parse_entry("other_000000000000002a.bgwr"), None);
+    }
+
+    #[test]
+    fn gc_sweeps_orphaned_partials_but_keeps_live_ones() {
+        let store = ArtifactStore::new(tmpdir("gc_orphan"));
+        let live = ArtifactKey(1);
+        let orphan = ArtifactKey(2);
+        store.save_partial(live, SPEC, sample()).unwrap();
+        store.save_partial(orphan, SPEC, sample()).unwrap();
+        store.save(live, SPEC, sample()).unwrap();
+        store.add_interest(live);
+        let report = store.gc(0); // budget 0 = size cap off, sweep only
+        assert_eq!(report.orphaned_partials, 1, "only the orphan is swept");
+        assert!(store.load_partial(live, SPEC).is_some());
+        assert!(store.load_partial(orphan, SPEC).is_none());
+        assert!(store.load(live, SPEC).is_some(), "artifacts untouched");
+        assert_eq!(store.release_interest(live), 0);
+        let report = store.gc(0);
+        assert_eq!(report.orphaned_partials, 1, "released partial now swept");
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn gc_reclaims_oldest_access_first_and_never_pinned() {
+        let store = ArtifactStore::new(tmpdir("gc_budget"));
+        let (a, b, c) = (ArtifactKey(10), ArtifactKey(11), ArtifactKey(12));
+        store.save(a, SPEC, sample()).unwrap();
+        store.save(b, SPEC, sample()).unwrap();
+        store.save(c, SPEC, sample()).unwrap();
+        // Refresh a's access so b becomes the oldest.
+        assert!(store.load(a, SPEC).is_some());
+        let per_file = store.disk_bytes() / 3;
+        let pin_b = store.pin(b);
+        // Budget for two records: GC must skip pinned b and take the
+        // oldest unpinned entry (c was saved after b but never re-read;
+        // a was re-read last — so c goes).
+        let report = store.gc(2 * per_file);
+        assert_eq!(report.removed_artifacts, 1);
+        assert!(store.disk_bytes() <= 2 * per_file);
+        assert!(store.contains(a), "most recently accessed survives");
+        assert!(store.contains(b), "pinned survives even though oldest");
+        assert!(!store.contains(c), "oldest unpinned entry reclaimed");
+        drop(pin_b);
+        // With the pin gone and a one-record budget, b (older access
+        // than a) is reclaimed next.
+        store.gc(per_file);
+        assert!(store.contains(a));
+        assert!(!store.contains(b));
         let _ = std::fs::remove_dir_all(store.dir());
     }
 

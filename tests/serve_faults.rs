@@ -11,10 +11,10 @@ use berkeleygw_rs::core::{run_gpp_gw, GwResults};
 use berkeleygw_rs::perf::counters::{self, exclusive_test_guard};
 use berkeleygw_rs::serve::{
     zipf_stream, GwRequest, Payload, RequestKind, ServeConfig, ServeCore, ServeError, ServeEvent,
-    StructureSpec, TrafficConfig,
+    Server, StructureSpec, TrafficConfig,
 };
 use std::collections::HashMap;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 fn tmpdir(tag: &str) -> PathBuf {
     let d = std::env::temp_dir().join(format!("bgw_serve_ft_{tag}_{}", std::process::id()));
@@ -256,6 +256,115 @@ fn no_partial_record_is_visible_to_a_later_hit() {
     check_gpp(&mut oracles, &req, &resp.expect("resumed").payload);
     // Completion removed the partial; nothing for a later hit to see.
     assert!(core.store().load_partial(wkey, &wcanon).is_none());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn store_file_counts(dir: &Path) -> (usize, usize) {
+    let (mut artifacts, mut partials) = (0, 0);
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for e in entries.flatten() {
+            let name = e.file_name().to_string_lossy().into_owned();
+            if name.starts_with("art_") {
+                artifacts += 1;
+            } else if name.starts_with("partial_") {
+                partials += 1;
+            }
+        }
+    }
+    (artifacts, partials)
+}
+
+#[test]
+fn dispatcher_panic_fails_every_ticket_and_never_hangs() {
+    let _guard = exclusive_test_guard();
+    let dir = tmpdir("panic");
+    let mut sc = ServeConfig::new(&dir);
+    // The first evaluation op panics the (single) dispatcher shard mid
+    // batch — after screening acquisition, with all three coalesced
+    // tickets outstanding. The bug this pins: the panic used to poison
+    // the injector mutex and leave every `Ticket::wait` blocked forever.
+    sc.panic_at_op = Some(0);
+    let server = Server::start(sc);
+    let tickets: Vec<_> = [gpp_req(1, 50), gpp_req(2, 50), gpp_req(1, 40)]
+        .into_iter()
+        .map(|r| server.submit(r))
+        .collect();
+
+    // Wait on a helper thread under a hard timeout so a regression shows
+    // up as a test failure, not a hung test binary.
+    let (tx, rx) = std::sync::mpsc::channel();
+    let waiter = std::thread::spawn(move || {
+        let results: Vec<_> = tickets.into_iter().map(|t| t.wait()).collect();
+        let _ = tx.send(results);
+    });
+    let results = rx
+        .recv_timeout(std::time::Duration::from_secs(60))
+        .expect("tickets must resolve after a dispatcher panic, not hang");
+    waiter.join().expect("waiter thread");
+    assert_eq!(results.len(), 3);
+    for r in results {
+        assert_eq!(r.unwrap_err(), ServeError::DispatcherDown);
+    }
+
+    // The dead shard fails later submissions fast instead of queueing
+    // them into the void, and shutdown still returns cleanly.
+    let late = server.submit(gpp_req(1, 50));
+    assert_eq!(late.wait().unwrap_err(), ServeError::DispatcherDown);
+    let cores = server.shutdown();
+    assert_eq!(cores.len(), 1, "the panicked shard's engine is recovered");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn retired_requests_leave_no_partial_files_behind() {
+    let _guard = exclusive_test_guard();
+    let dir = tmpdir("orphan");
+    let mut core = ServeCore::new(ServeConfig::new(&dir));
+    let req = gpp_req(2, 50); // 4 band rows: room to preempt
+
+    // Preempt mid-batch: a partial_* checkpoint lands on disk.
+    let id = core.enqueue(req).unwrap();
+    assert!(core.step_with(&mut || Some(9)), "batch runs and preempts");
+    assert_eq!(store_file_counts(&dir), (1, 1), "one artifact, one partial");
+
+    // Cancelling the only interested request must delete the partial —
+    // the leak this pins: it used to survive retirement forever.
+    assert!(core.cancel(id));
+    assert_eq!(
+        store_file_counts(&dir),
+        (1, 0),
+        "cancellation sweeps the orphaned partial"
+    );
+
+    // Preempt again, then let the batch complete: same invariant.
+    core.enqueue(req).unwrap();
+    assert!(core.step_with(&mut || Some(9)));
+    assert_eq!(store_file_counts(&dir), (1, 1));
+    core.run_until_idle(&mut || None);
+    assert_eq!(
+        store_file_counts(&dir),
+        (1, 0),
+        "completion deletes the partial"
+    );
+    let mut oracles = HashMap::new();
+    let (_, resp) = core.take_responses().pop().unwrap();
+    check_gpp(
+        &mut oracles,
+        &req,
+        &resp.expect("resumed after preempt").payload,
+    );
+
+    // A stale partial from a dead engine (crash between preempt and
+    // retire) is an orphan: no in-flight batch pins it, no queued request
+    // is interested. GC sweeps it even with no byte budget pressure.
+    let mut other = ServeCore::new(ServeConfig::new(&dir));
+    other.enqueue(req).unwrap();
+    other.step_with(&mut || Some(9));
+    drop(other); // leaks its partial: simulated dispatcher death
+    assert_eq!(store_file_counts(&dir), (1, 1), "stale partial on disk");
+    let report = core.store().gc(0);
+    assert_eq!(report.orphaned_partials, 1);
+    assert_eq!(store_file_counts(&dir), (1, 0), "GC sweeps the orphan");
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -33,8 +33,14 @@
 #                             screening build per distinct W key (warm
 #                             requests skip epsilon/W, checked on perf
 #                             counters and span trees), finite p50/p99,
-#                             and 1e-12 parity of every response vs the
-#                             one-shot oracles; writes BENCH_serve.json
+#                             1e-12 parity of every response vs the
+#                             one-shot oracles, store GC (replay under a
+#                             byte budget stays under budget, zero
+#                             leftover partials), and a 1/2/4 dispatcher
+#                             shard sweep (bit-identical results at every
+#                             shard count; the >= 1.5x 4-vs-1-shard
+#                             throughput gate arms only on >= 4 cores);
+#                             writes BENCH_serve.json
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -142,15 +148,22 @@ if [ "${1:-}" = "--dag" ]; then
 fi
 
 run_serve_smoke() {
-    echo "==> serve smoke: zipf traffic replay, cache/coalesce gates, oracle parity 1e-12"
+    echo "==> serve smoke: zipf replay, cache/GC gates, shard sweep, oracle parity 1e-12"
     # A seeded zipf request stream through the threaded bgw-serve daemon.
     # Gates: warm requests must hit the screening cache (hit rate > 0 and
     # exactly one screening build per distinct W key — the epsilon/W skip
     # is checked on both the perf counters and the per-request span
     # trees), p50/p99 service latency finite, and every response pinned
     # at 1e-12 to its one-shot oracle (run_gpp_gw / direct ff_sigma).
-    # Run in a temp dir so the smoke-sized JSON never clobbers the
-    # committed full-size BENCH_serve.json.
+    # Then the store-GC gate replays the stream against a byte budget of
+    # half the uncapped footprint (the store must stay under budget with
+    # zero leftover partial_* files), and the shard sweep serves a
+    # mod-4-balanced distinct-W mix with 1/2/4 dispatcher shards:
+    # results must be bit-identical at every shard count, warm hits
+    # preserved per shard, and on hosts with >= 4 cores the 4-shard run
+    # must beat 1 shard by >= 1.5x throughput (disarmed on narrower
+    # hosts, like the DAG self-speedup gate). Run in a temp dir so the
+    # smoke-sized JSON never clobbers the committed full BENCH_serve.json.
     root=$(pwd)
     servedir=$(mktemp -d)
     (cd "$servedir" && "$root/target/release/serve_smoke" --smoke)
