@@ -124,7 +124,7 @@ fn main() {
     let sys = parity_system();
     let cfg = GwConfig::default();
     let oracle = run_gpp_gw(&sys, &cfg);
-    let dag = run_gpp_gw_dag(&sys, &cfg);
+    let dag = run_gpp_gw_dag(&sys, &cfg).expect("dag run succeeds");
     let r = &dag.results;
     if r.sigma_flops != oracle.sigma_flops {
         fail(&format!(
@@ -168,9 +168,11 @@ fn main() {
             std::hint::black_box(run_gpp_gw(&sys, &scaling_cfg));
         });
         let dag_s = best_of(2, &|| {
-            std::hint::black_box(run_gpp_gw_dag(&sys, &scaling_cfg));
+            std::hint::black_box(run_gpp_gw_dag(&sys, &scaling_cfg).expect("dag run succeeds"));
         });
-        let stats = run_gpp_gw_dag(&sys, &scaling_cfg).stats;
+        let stats = run_gpp_gw_dag(&sys, &scaling_cfg)
+            .expect("dag run succeeds")
+            .stats;
         bgw_par::set_num_threads(0);
         if threads == 1 {
             dag_serial = dag_s;

@@ -1,0 +1,348 @@
+//! Space-time chi0 smoke + cross-validation/crossover gate (wired into
+//! `tools/check.sh --spacetime`).
+//!
+//! The cubic-scaling space-time engine (`core::spacetime`) replaces the
+//! dense band double-sum with imaginary-time Green's-function products on
+//! minimax grids. This gate holds it to its contract:
+//!
+//! * **Cross-validation**: chi0(i omega) from the space-time path matches
+//!   the dense imaginary-axis oracle (`ChiEngine::chi_imag_freqs`) on two
+//!   roster systems (bulk Si and the LiH defect) within 10x the
+//!   self-reported minimax fit residual — the honest tolerance: the
+//!   cosine-transform fit error is the only approximation separating the
+//!   two paths.
+//! * **Crossover**: sweeping N_b at fixed grids (synthetic orthonormal
+//!   bands, N_v = N_b/4 so both band sums grow), the measured wall clock
+//!   of the space-time path (linear in N_b) overtakes the dense path
+//!   (quadratic in N_b) at some N_b. Gated in the full run; reported but
+//!   not gated under `--smoke`, where the shape is too small for stable
+//!   timing (the committed `BENCH_spacetime_chi.json` records the gated
+//!   full sweep).
+//!
+//! Any violated gate exits nonzero. Writes `BENCH_spacetime_chi.json`
+//! into the current directory. `--probe` prints candidate sweep shapes
+//! (sphere sizes, FFT box) and exits.
+
+use bgw_core::chi::{ChiConfig, ChiEngine, ChiTimings};
+use bgw_core::mtxel::Mtxel;
+use bgw_core::spacetime::{SpaceTimeChi, SpaceTimeConfig};
+use bgw_core::testkit;
+use bgw_linalg::CMatrix;
+use bgw_num::grid::semi_infinite_quadrature;
+use bgw_num::minimax::FitOptions;
+use bgw_num::{c64, Complex64, Xoshiro256StarStar};
+use bgw_pwdft::{lih_defect, si_bulk, solve_bands, GSphere, Wavefunctions};
+use std::time::Instant;
+
+/// Agreement gate: the only approximation separating the two paths is the
+/// cosine-transform fit, so the tolerance scales with its sup-norm
+/// residual (matching the unit-test gate in `core::spacetime`).
+const TOL_RESIDUAL_FACTOR: f64 = 10.0;
+
+fn rel_err(chis: &[CMatrix], oracle: &[CMatrix]) -> f64 {
+    let mut worst = 0.0f64;
+    for (a, b) in chis.iter().zip(oracle) {
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            num += (*x - *y).norm_sqr();
+            den += y.norm_sqr();
+        }
+        worst = worst.max((num / den.max(1e-300)).sqrt());
+    }
+    worst
+}
+
+/// Cross-validate space-time vs dense chi0(i omega) on one system.
+/// Returns (relative error, tolerance).
+fn parity_case(
+    label: &str,
+    wf: &Wavefunctions,
+    wfn_sph: &GSphere,
+    eps_sph: &GSphere,
+    q0: f64,
+    us: &[f64],
+) -> (f64, f64) {
+    let mtxel = Mtxel::new(wfn_sph, eps_sph);
+    let engine = ChiEngine::new(
+        wf,
+        &mtxel,
+        ChiConfig {
+            q0,
+            ..ChiConfig::default()
+        },
+    );
+    let mut t = ChiTimings::default();
+    let dense = engine.chi_imag_freqs(us, &mut t);
+    let cfg = SpaceTimeConfig {
+        n_tau: 14,
+        q0,
+        fit: FitOptions {
+            n_samples: 128,
+            optimize_passes: 2,
+            ..FitOptions::default()
+        },
+        ..SpaceTimeConfig::default()
+    };
+    let st =
+        SpaceTimeChi::new(wf, &mtxel, wfn_sph, eps_sph, cfg).expect("roster systems are gapped");
+    let (chis, report) = st.chi_imag_freqs(us).expect("chi(tau) stays finite");
+    let err = rel_err(&chis, &dense);
+    let tol = TOL_RESIDUAL_FACTOR * report.fit_residual + 1e-12;
+    println!(
+        "parity [{label}]: N_G={} npts={} n_tau={} fit residual {:.2e} -> \
+         rel err {err:.2e} (tol {tol:.2e})",
+        st.n_g(),
+        st.npts(),
+        report.n_tau,
+        report.fit_residual,
+    );
+    (err, tol)
+}
+
+/// Orthonormal random bands over the wavefunction sphere with a fixed
+/// gap: N_v = N_b/4 so the dense path's N_v * N_c pair count grows
+/// quadratically in N_b while the space-time path grows linearly.
+fn synthetic_wf(ngpsi: usize, nb: usize, seed: u64) -> Wavefunctions {
+    assert!(
+        nb <= ngpsi,
+        "cannot orthonormalize {nb} bands over {ngpsi} plane waves"
+    );
+    let nv = (nb / 4).max(1);
+    let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+    let mut coeffs = CMatrix::zeros(nb, ngpsi);
+    for z in coeffs.as_mut_slice() {
+        *z = c64(rng.next_f64() - 0.5, rng.next_f64() - 0.5);
+    }
+    // Modified Gram-Schmidt over the rows.
+    for i in 0..nb {
+        for j in 0..i {
+            let mut p = Complex64::ZERO;
+            for g in 0..ngpsi {
+                p = coeffs[(j, g)].conj_mul_add(coeffs[(i, g)], p);
+            }
+            for g in 0..ngpsi {
+                let cj = coeffs[(j, g)];
+                coeffs[(i, g)] -= p * cj;
+            }
+        }
+        let n2: f64 = (0..ngpsi).map(|g| coeffs[(i, g)].norm_sqr()).sum();
+        let inv = 1.0 / n2.sqrt();
+        for g in 0..ngpsi {
+            coeffs[(i, g)] = coeffs[(i, g)].scale(inv);
+        }
+    }
+    let mut energies = Vec::with_capacity(nb);
+    for v in 0..nv {
+        energies.push(-1.0 + 0.8 * v as f64 / nv.max(1) as f64);
+    }
+    let nc = nb - nv;
+    for c in 0..nc {
+        energies.push(0.2 + 0.8 * c as f64 / nc.max(1) as f64);
+    }
+    Wavefunctions {
+        energies,
+        coeffs,
+        n_valence: nv,
+    }
+}
+
+struct SweepRow {
+    nb: usize,
+    nv: usize,
+    dense_s: f64,
+    st_s: f64,
+    fit_residual: f64,
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let probe = std::env::args().any(|a| a == "--probe");
+
+    if probe {
+        // Shape scout: sphere sizes and the alias-free FFT box at equal
+        // cutoffs, for picking the sweep constants below.
+        for ecut in [2.2, 3.0, 4.0, 5.0, 6.0, 8.0] {
+            let mut sys = si_bulk(1, ecut);
+            sys.ecut_eps_ry = sys.ecut_wfn_ry;
+            let wfn_sph = sys.wfn_sphere();
+            let eps_sph = sys.eps_sphere();
+            let mtxel = Mtxel::new(&wfn_sph, &eps_sph);
+            let wf = synthetic_wf(wfn_sph.len(), 4, 1);
+            let st = SpaceTimeChi::new(&wf, &mtxel, &wfn_sph, &eps_sph, SpaceTimeConfig::default())
+                .expect("synthetic bands are gapped");
+            println!(
+                "ecut {ecut:>4.1} Ry: N_G^psi = {:>4}, N_G = {:>4}, npts = {:>6}",
+                wfn_sph.len(),
+                eps_sph.len(),
+                st.npts()
+            );
+        }
+        return;
+    }
+
+    let mut failed = false;
+
+    // ---- cross-validation: space-time vs the dense oracle ---------------
+    let us_parity = [0.0, 0.3, 1.1, 4.0];
+    let (_, tsetup) = testkit::small_context();
+    let (si_err, si_tol) = parity_case(
+        "Si bulk",
+        &tsetup.wf,
+        &tsetup.wfn_sph,
+        &tsetup.eps_sph,
+        tsetup.coulomb.q0,
+        &us_parity,
+    );
+    if si_err > si_tol {
+        eprintln!("FAIL: space-time chi0 deviates from the dense oracle on Si");
+        failed = true;
+    }
+    let lih = lih_defect(1, 3.0);
+    let lih_wfn = lih.wfn_sphere();
+    let lih_eps = lih.eps_sphere();
+    let lih_wf = solve_bands(&lih.crystal, &lih_wfn, lih.n_bands.min(lih_wfn.len()));
+    let lih_q0 = bgw_core::coulomb::Coulomb::bulk_for_cell(lih.crystal.lattice.volume()).q0;
+    let (lih_err, lih_tol) = parity_case(
+        "LiH defect",
+        &lih_wf,
+        &lih_wfn,
+        &lih_eps,
+        lih_q0,
+        &[0.0, 0.8, 3.0],
+    );
+    if lih_err > lih_tol {
+        eprintln!("FAIL: space-time chi0 deviates from the dense oracle on LiH");
+        failed = true;
+    }
+
+    // ---- crossover sweep: dense O(N_b^2) vs space-time O(N_b) -----------
+    // Equal cutoffs maximize N_G relative to the FFT box (the regime the
+    // space-time path targets); many quadrature frequencies amortize its
+    // tau-grid cost exactly as in production imaginary-axis runs.
+    let (ecut, n_quad, nb_list): (f64, usize, &[usize]) = if smoke {
+        (2.2, 8, &[8, 16, 32])
+    } else {
+        (5.0, 16, &[24, 48, 96, 144, 192])
+    };
+    let mut sys = si_bulk(1, ecut);
+    sys.ecut_eps_ry = sys.ecut_wfn_ry;
+    let wfn_sph = sys.wfn_sphere();
+    let eps_sph = sys.eps_sphere();
+    let ngpsi = wfn_sph.len();
+    let mtxel = Mtxel::new(&wfn_sph, &eps_sph);
+    let (us, _) = semi_infinite_quadrature(n_quad, 1.5);
+    println!(
+        "sweep shape{}: ecut {ecut} Ry (equal cutoffs), N_G^psi = N_G = {ngpsi}, \
+         {n_quad} quadrature frequencies, {} thread(s)",
+        if smoke { " (--smoke)" } else { "" },
+        bgw_par::num_threads(),
+    );
+
+    let mut rows: Vec<SweepRow> = Vec::new();
+    let mut npts = 0usize;
+    for &nb in nb_list {
+        if nb > ngpsi {
+            println!("  N_b = {nb}: skipped (exceeds N_G^psi = {ngpsi})");
+            continue;
+        }
+        let wf = synthetic_wf(ngpsi, nb, 0x5eed_0000 + nb as u64);
+        let engine = ChiEngine::new(
+            &wf,
+            &mtxel,
+            ChiConfig {
+                q0: 0.2,
+                ..ChiConfig::default()
+            },
+        );
+        let t0 = Instant::now();
+        let mut ct = ChiTimings::default();
+        let dense = engine.chi_imag_freqs(&us, &mut ct);
+        let dense_s = t0.elapsed().as_secs_f64();
+
+        let cfg = SpaceTimeConfig {
+            n_tau: 6,
+            q0: 0.2,
+            fit: FitOptions {
+                n_samples: 96,
+                optimize_passes: 1,
+                ..FitOptions::default()
+            },
+            ..SpaceTimeConfig::default()
+        };
+        let t0 = Instant::now();
+        let st = SpaceTimeChi::new(&wf, &mtxel, &wfn_sph, &eps_sph, cfg)
+            .expect("synthetic bands are gapped");
+        let (chis, report) = st.chi_imag_freqs(&us).expect("chi(tau) stays finite");
+        let st_s = t0.elapsed().as_secs_f64();
+        npts = st.npts();
+
+        // Sanity on the timed runs themselves: the sweep must time the
+        // same physics, not two diverged code paths.
+        let sweep_err = rel_err(&chis, &dense);
+        let sweep_tol = TOL_RESIDUAL_FACTOR * report.fit_residual + 1e-12;
+        if sweep_err > sweep_tol {
+            eprintln!("FAIL: sweep parity at N_b = {nb}: {sweep_err:.2e} > {sweep_tol:.2e}");
+            failed = true;
+        }
+        println!(
+            "  N_b = {nb:>3} (N_v = {:>2}): dense {dense_s:>7.3} s, \
+             space-time {st_s:>7.3} s ({:.2}x), parity {sweep_err:.1e}",
+            wf.n_valence,
+            dense_s / st_s.max(1e-12),
+        );
+        rows.push(SweepRow {
+            nb,
+            nv: wf.n_valence,
+            dense_s,
+            st_s,
+            fit_residual: report.fit_residual,
+        });
+    }
+    let crossover = rows.iter().find(|r| r.st_s < r.dense_s).map(|r| r.nb);
+    match crossover {
+        Some(nb) => println!("crossover: space-time overtakes dense at N_b = {nb}"),
+        None => println!("crossover: not reached in this sweep"),
+    }
+    if !smoke && crossover.is_none() {
+        eprintln!("FAIL: cubic path never overtook the dense path in the full sweep");
+        failed = true;
+    }
+
+    // ---- machine-readable record ----------------------------------------
+    let sweep_json: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"nb\": {}, \"nv\": {}, \"dense_s\": {:.6}, \"spacetime_s\": {:.6}, \
+                 \"speedup\": {:.3}, \"fit_residual\": {:e}}}",
+                r.nb,
+                r.nv,
+                r.dense_s,
+                r.st_s,
+                r.dense_s / r.st_s.max(1e-12),
+                r.fit_residual
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"config\": {{\"smoke\": {smoke}, \"ecut_ry\": {ecut}, \"ng\": {ngpsi}, \
+         \"npts\": {npts}, \"n_quad\": {n_quad}, \"n_tau\": 6, \"threads\": {}, \
+         \"tol_residual_factor\": {TOL_RESIDUAL_FACTOR}}},\n  \
+         \"parity\": {{\"si_rel_err\": {si_err:e}, \"si_tol\": {si_tol:e}, \
+         \"lih_rel_err\": {lih_err:e}, \"lih_tol\": {lih_tol:e}}},\n  \
+         \"sweep\": [\n    {}\n  ],\n  \
+         \"crossover_nb\": {},\n  \"pass\": {}\n}}\n",
+        bgw_par::num_threads(),
+        sweep_json.join(",\n    "),
+        crossover.map_or("null".to_string(), |nb| nb.to_string()),
+        !failed,
+    );
+    std::fs::write("BENCH_spacetime_chi.json", &json).expect("write BENCH_spacetime_chi.json");
+    println!("wrote BENCH_spacetime_chi.json");
+
+    if failed {
+        std::process::exit(1);
+    }
+    println!("spacetime smoke: all gates passed");
+}

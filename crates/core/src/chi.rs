@@ -69,6 +69,25 @@ pub fn delta_vc(e_v: f64, e_c: f64, omega: f64, eta: f64) -> Complex64 {
     a + b
 }
 
+/// The energy factor on the *imaginary* frequency axis, `omega -> i u`:
+/// `1/(de - iu) + 1/(de + iu) = 2 de / (de^2 + u^2)` — purely real, no
+/// broadening needed (there are no poles on the imaginary axis). This is
+/// `-cos_kernel(a, u)` of `bgw_num::minimax` with `a = -de`, which is what
+/// ties the dense oracle to the space-time cosine transform.
+pub fn delta_vc_imag(e_v: f64, e_c: f64, u: f64) -> f64 {
+    let de = e_v - e_c; // negative
+    2.0 * de / (de * de + u * u)
+}
+
+/// Which frequency axis the energy denominators live on.
+#[derive(Clone, Copy, Debug)]
+enum FreqAxis {
+    /// Real frequencies with `eta` broadening (zero at the static point).
+    Real,
+    /// Imaginary frequencies `i u`: real denominators, no broadening.
+    Imag,
+}
+
 /// Polarizability engine holding cached conduction-band amplitudes.
 pub struct ChiEngine<'a> {
     wf: &'a Wavefunctions,
@@ -130,8 +149,32 @@ impl<'a> ChiEngine<'a> {
         valence_subset: Option<&[usize]>,
         timings: &mut ChiTimings,
     ) -> Vec<CMatrix> {
+        self.chi_freqs_core(omegas, FreqAxis::Real, valence_subset, None, timings)
+    }
+
+    /// Dense polarizability at *imaginary* frequencies `i u_k` over all
+    /// valence bands: the oracle the space-time path
+    /// (`core::spacetime`) is cross-validated against, and the input for
+    /// an imaginary-axis `EpsilonInverse` feeding `sigma::imagaxis`. The
+    /// denominators are exactly real (`delta_vc_imag`), so no broadening
+    /// or eta trickery is involved.
+    pub fn chi_imag_freqs(&self, us: &[f64], timings: &mut ChiTimings) -> Vec<CMatrix> {
+        self.chi_freqs_core(us, FreqAxis::Imag, None, None, timings)
+    }
+
+    /// Shared NV-block loop behind every dense chi build: real or
+    /// imaginary axis, full plane-wave or subspace-projected output.
+    fn chi_freqs_core(
+        &self,
+        freqs: &[f64],
+        axis: FreqAxis,
+        valence_subset: Option<&[usize]>,
+        proj: Option<(&CMatrix, &[f64])>,
+        timings: &mut ChiTimings,
+    ) -> Vec<CMatrix> {
         let ng = self.n_g();
         let nc = self.wf.n_conduction();
+        let n_out = proj.map_or(ng, |(basis, _)| basis.ncols());
         let all: Vec<usize>;
         let vs: &[usize] = match valence_subset {
             Some(v) => v,
@@ -140,7 +183,7 @@ impl<'a> ChiEngine<'a> {
                 &all
             }
         };
-        let mut chis = vec![CMatrix::zeros(ng, ng); omegas.len()];
+        let mut chis = vec![CMatrix::zeros(n_out, n_out); freqs.len()];
         // NV blocks over the subset.
         for chunk in vs.chunks(self.cfg.nv_block.max(1)) {
             let t0 = Instant::now();
@@ -155,38 +198,58 @@ impl<'a> ChiEngine<'a> {
                     row[0] = self
                         .mtxel
                         .head_kp(self.wf, v, self.wf.n_valence + c, self.cfg.q0);
+                    if let Some((_, vsqrt)) = proj {
+                        // Symmetrize before projecting (Eq. 6 subspace).
+                        for (g, x) in row.iter_mut().enumerate() {
+                            *x = x.scale(vsqrt[g]);
+                        }
+                    }
                     panel.row_mut(i * nc + c).copy_from_slice(&row);
                 }
             }
             timings.t_mtxel += t0.elapsed().as_secs_f64();
+            // Projection (the Transf-like step folded into CHI-Freq).
+            let panel = match proj {
+                Some((basis, _)) => {
+                    let t1 = Instant::now();
+                    let projected =
+                        bgw_linalg::matmul(&panel, Op::None, basis, Op::None, self.cfg.backend);
+                    timings.flops += bgw_linalg::zgemm_flops(panel.nrows(), ng, n_out);
+                    timings.t_chifreq += t1.elapsed().as_secs_f64();
+                    projected
+                }
+                None => panel,
+            };
 
             // One scratch buffer per NV block, reused by every frequency
             // (the per-frequency `panel.clone()` used to dominate the
             // CHI-Freq allocation traffic).
-            let mut scaled = CMatrix::zeros(panel.nrows(), ng);
+            let mut scaled = CMatrix::zeros(panel.nrows(), n_out);
             let mut deltas = vec![Complex64::ZERO; panel.nrows()];
-            for (wi, &omega) in omegas.iter().enumerate() {
+            for (wi, &freq) in freqs.iter().enumerate() {
                 let t1 = Instant::now();
-                let eta = if is_static_freq(omega) {
-                    0.0
-                } else {
-                    self.cfg.eta_ry
-                };
                 for (i, &v) in chunk.iter().enumerate() {
+                    let e_v = self.wf.energies[v];
                     for c in 0..nc {
-                        deltas[i * nc + c] = delta_vc(
-                            self.wf.energies[v],
-                            self.wf.energies[self.wf.n_valence + c],
-                            omega,
-                            eta,
-                        );
+                        let e_c = self.wf.energies[self.wf.n_valence + c];
+                        deltas[i * nc + c] = match axis {
+                            FreqAxis::Real => {
+                                let eta = if is_static_freq(freq) {
+                                    0.0
+                                } else {
+                                    self.cfg.eta_ry
+                                };
+                                delta_vc(e_v, e_c, freq, eta)
+                            }
+                            FreqAxis::Imag => c64(delta_vc_imag(e_v, e_c, freq), 0.0),
+                        };
                     }
                 }
                 // scaled = Delta * M: fused copy + row scaling on the pool.
                 let src = panel.as_slice();
-                bgw_par::parallel_rows(scaled.as_mut_slice(), ng, |r, row| {
+                bgw_par::parallel_rows(scaled.as_mut_slice(), n_out, |r, row| {
                     let d = deltas[r];
-                    for (z, &p) in row.iter_mut().zip(&src[r * ng..(r + 1) * ng]) {
+                    for (z, &p) in row.iter_mut().zip(&src[r * n_out..(r + 1) * n_out]) {
                         *z = p * d;
                     }
                 });
@@ -201,9 +264,9 @@ impl<'a> ChiEngine<'a> {
                     &mut chis[wi],
                     self.cfg.backend,
                 );
-                timings.flops += bgw_linalg::zgemm_flops(ng, panel.nrows(), ng);
+                timings.flops += bgw_linalg::zgemm_flops(n_out, panel.nrows(), n_out);
                 let dt = t1.elapsed().as_secs_f64();
-                if is_static_freq(omega) {
+                if matches!(axis, FreqAxis::Real) && is_static_freq(freq) {
                     timings.t_chi0 += dt;
                 } else {
                     timings.t_chifreq += dt;
@@ -230,79 +293,24 @@ impl<'a> ChiEngine<'a> {
         vsqrt: &[f64],
         timings: &mut ChiTimings,
     ) -> Vec<CMatrix> {
-        let ng = self.n_g();
-        assert_eq!(basis.nrows(), ng, "basis rows must match N_G");
-        assert_eq!(vsqrt.len(), ng);
-        let n_eig = basis.ncols();
-        let nc = self.wf.n_conduction();
-        let mut chis = vec![CMatrix::zeros(n_eig, n_eig); omegas.len()];
-        for chunk in (0..self.wf.n_valence)
-            .collect::<Vec<_>>()
-            .chunks(self.cfg.nv_block.max(1))
-        {
-            let t0 = Instant::now();
-            let mut panel = CMatrix::zeros(chunk.len() * nc, ng);
-            let val_real = self.mtxel.to_real_space_many(self.wf, chunk);
-            for (i, &v) in chunk.iter().enumerate() {
-                let psi_v = &val_real[i];
-                for c in 0..nc {
-                    let mut row = self.mtxel.pair_from_real(psi_v, &self.cond_real[c]);
-                    row[0] = self
-                        .mtxel
-                        .head_kp(self.wf, v, self.wf.n_valence + c, self.cfg.q0);
-                    for (g, x) in row.iter_mut().enumerate() {
-                        *x = x.scale(vsqrt[g]);
-                    }
-                    panel.row_mut(i * nc + c).copy_from_slice(&row);
-                }
-            }
-            timings.t_mtxel += t0.elapsed().as_secs_f64();
-            // Projection (the Transf-like step folded into CHI-Freq).
-            let t1 = Instant::now();
-            let projected = bgw_linalg::matmul(&panel, Op::None, basis, Op::None, self.cfg.backend);
-            timings.flops += bgw_linalg::zgemm_flops(panel.nrows(), ng, n_eig);
-            // Per-block scratch reused across frequencies (no per-frequency
-            // clone of the projected panel).
-            let mut scaled = CMatrix::zeros(projected.nrows(), n_eig);
-            let mut deltas = vec![Complex64::ZERO; projected.nrows()];
-            for (wi, &omega) in omegas.iter().enumerate() {
-                let eta = if is_static_freq(omega) {
-                    0.0
-                } else {
-                    self.cfg.eta_ry
-                };
-                for (i, &v) in chunk.iter().enumerate() {
-                    for c in 0..nc {
-                        deltas[i * nc + c] = delta_vc(
-                            self.wf.energies[v],
-                            self.wf.energies[self.wf.n_valence + c],
-                            omega,
-                            eta,
-                        );
-                    }
-                }
-                let src = projected.as_slice();
-                bgw_par::parallel_rows(scaled.as_mut_slice(), n_eig, |r, row| {
-                    let d = deltas[r];
-                    for (z, &p) in row.iter_mut().zip(&src[r * n_eig..(r + 1) * n_eig]) {
-                        *z = p * d;
-                    }
-                });
-                zgemm(
-                    c64(2.0, 0.0),
-                    &projected,
-                    Op::Adj,
-                    &scaled,
-                    Op::None,
-                    Complex64::ONE,
-                    &mut chis[wi],
-                    self.cfg.backend,
-                );
-                timings.flops += bgw_linalg::zgemm_flops(n_eig, projected.nrows(), n_eig);
-            }
-            timings.t_chifreq += t1.elapsed().as_secs_f64();
-        }
-        chis
+        assert_eq!(basis.nrows(), self.n_g(), "basis rows must match N_G");
+        assert_eq!(vsqrt.len(), self.n_g());
+        self.chi_freqs_core(omegas, FreqAxis::Real, None, Some((basis, vsqrt)), timings)
+    }
+
+    /// Subspace-projected polarizability at imaginary frequencies: the
+    /// `chi_freqs_subspace` companion of [`ChiEngine::chi_imag_freqs`],
+    /// used to cross-validate the space-time chi in the subspace basis.
+    pub fn chi_imag_freqs_subspace(
+        &self,
+        us: &[f64],
+        basis: &CMatrix,
+        vsqrt: &[f64],
+        timings: &mut ChiTimings,
+    ) -> Vec<CMatrix> {
+        assert_eq!(basis.nrows(), self.n_g(), "basis rows must match N_G");
+        assert_eq!(vsqrt.len(), self.n_g());
+        self.chi_freqs_core(us, FreqAxis::Imag, None, Some((basis, vsqrt)), timings)
     }
 
     /// The NV-block boundaries `(v0, v1)` the chi builds iterate, in

@@ -44,6 +44,64 @@ use std::time::Instant;
 /// the kernel's counted FLOPs, and its wall seconds.
 type SigmaPart = (Vec<f64>, u64, f64);
 
+/// Typed failure of a DAG-scheduled run. A malformed task-graph state —
+/// an empty input slot where a dependency should have deposited data, or
+/// a numerically dead dielectric matrix — used to panic the worker pool;
+/// it now fails the run with the *first* error encountered (later
+/// missing-input cascades are suppressed so the root cause surfaces).
+#[derive(Clone, Debug, PartialEq)]
+pub enum DagflowError {
+    /// A task ran with an empty input slot: the dependency that should
+    /// have filled it never deposited (it died or was misordered).
+    MissingInput {
+        /// The task that found its input missing.
+        task: &'static str,
+        /// Which input slot was empty.
+        input: &'static str,
+    },
+    /// The dielectric inversion failed (singular / non-finite matrix).
+    Epsilon(crate::epsilon::EpsilonError),
+}
+
+impl std::fmt::Display for DagflowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::MissingInput { task, input } => {
+                write!(f, "dag task '{task}' found input '{input}' missing")
+            }
+            Self::Epsilon(e) => write!(f, "dag epsilon task: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DagflowError {}
+
+impl From<crate::epsilon::EpsilonError> for DagflowError {
+    fn from(e: crate::epsilon::EpsilonError) -> Self {
+        Self::Epsilon(e)
+    }
+}
+
+/// Records the first error of the run; cascading follow-up errors (a
+/// missing input *because* an upstream task bailed) are dropped.
+fn record_err(slot: &Mutex<Option<DagflowError>>, e: DagflowError) {
+    let mut g = slot.lock().unwrap_or_else(|p| p.into_inner());
+    if g.is_none() {
+        *g = Some(e);
+    }
+}
+
+/// Test-only fault injection: simulates malformed task-graph states the
+/// typed error path must catch (a reduction that never deposits, a
+/// corrupted polarizability).
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct DagFaults {
+    /// The CHI reduction task completes without depositing its matrix.
+    pub(crate) drop_chi_reduction: bool,
+    /// The CHI reduction deposits a non-finite matrix.
+    pub(crate) corrupt_chi: bool,
+}
+
 /// A DAG-scheduled run: the same [`GwResults`] as the barrier oracle,
 /// plus the scheduler's execution statistics.
 #[derive(Clone, Debug)]
@@ -81,7 +139,21 @@ fn charge(acc: &Mutex<StageSeconds>, stage: usize, t0: Instant) {
 /// (gated by tests) is agreement to 1e-12 on every quasiparticle energy,
 /// both gaps, and the macroscopic dielectric constant, with *exactly*
 /// equal counted Sigma FLOPs.
-pub fn run_gpp_gw_dag(system: &ModelSystem, cfg: &GwConfig) -> DagGwResults {
+///
+/// A malformed task-graph state (a task input that was never deposited)
+/// or a failed dielectric inversion returns a typed [`DagflowError`]
+/// instead of panicking the worker pool.
+pub fn run_gpp_gw_dag(system: &ModelSystem, cfg: &GwConfig) -> Result<DagGwResults, DagflowError> {
+    run_gpp_gw_dag_injected(system, cfg, DagFaults::default())
+}
+
+/// [`run_gpp_gw_dag`] with fault injection (the regression tests for the
+/// typed error path drive this).
+pub(crate) fn run_gpp_gw_dag_injected(
+    system: &ModelSystem,
+    cfg: &GwConfig,
+    faults: DagFaults,
+) -> Result<DagGwResults, DagflowError> {
     let _run_span = bgw_trace::span!("workflow.gpp_gw_dag");
     let counters0 = bgw_perf::counters::snapshot();
     let mut timings = GwTimings::default();
@@ -161,6 +233,7 @@ pub fn run_gpp_gw_dag(system: &ModelSystem, cfg: &GwConfig) -> DagGwResults {
     let sigma_parts: Vec<Mutex<Option<SigmaPart>>> =
         sigma_bands.iter().map(|_| Mutex::new(None)).collect();
     let stage_s: Mutex<StageSeconds> = Mutex::new(StageSeconds::default());
+    let err_slot: Mutex<Option<DagflowError>> = Mutex::new(None);
 
     let stats = {
         let mut g = TaskGraph::new();
@@ -183,6 +256,7 @@ pub fn run_gpp_gw_dag(system: &ModelSystem, cfg: &GwConfig) -> DagGwResults {
         let ctx_slot = &ctx_slot;
         let sigma_parts = &sigma_parts;
         let stage_s = &stage_s;
+        let err_slot = &err_slot;
 
         // One task per NV block: build the M panel and contract it for
         // every frequency (the panel is reused across frequencies,
@@ -209,6 +283,12 @@ pub fn run_gpp_gw_dag(system: &ModelSystem, cfg: &GwConfig) -> DagGwResults {
                 let t_red = g.add(&block_ids, move || {
                     let _s = bgw_trace::span!("workflow.chi");
                     let t0 = Instant::now();
+                    if faults.drop_chi_reduction {
+                        // Injected malformed state: complete without
+                        // depositing, as a died-mid-write task would.
+                        charge(stage_s, StageSeconds::CHI, t0);
+                        return;
+                    }
                     let mut acc: Option<CMatrix> = None;
                     for c in contribs {
                         // Take this frequency's contribution out of the
@@ -223,27 +303,59 @@ pub fn run_gpp_gw_dag(system: &ModelSystem, cfg: &GwConfig) -> DagGwResults {
                             Some(a) => a.axpy(Complex64::ONE, &m),
                         }
                     }
+                    if faults.corrupt_chi {
+                        if let Some(a) = &mut acc {
+                            a.as_mut_slice()[0] = bgw_num::c64(f64::NAN, 0.0);
+                        }
+                    }
                     *chi_slots[f].lock().unwrap_or_else(|e| e.into_inner()) = acc;
                     charge(stage_s, StageSeconds::CHI, t0);
                 });
                 g.add(&[t_red], move || {
                     let _s = bgw_trace::span!("workflow.epsilon");
                     let t0 = Instant::now();
-                    let chi = chi_slots[f]
+                    let chi = match chi_slots[f]
                         .lock()
                         .unwrap_or_else(|e| e.into_inner())
                         .take()
-                        .expect("reduction task completed");
-                    let inv = EpsilonInverse::build(
+                    {
+                        Some(chi) => chi,
+                        None => {
+                            record_err(
+                                err_slot,
+                                DagflowError::MissingInput {
+                                    task: "epsilon.invert",
+                                    input: "chi reduction",
+                                },
+                            );
+                            return;
+                        }
+                    };
+                    let built = EpsilonInverse::build(
                         std::slice::from_ref(&chi),
                         &omegas[f..f + 1],
                         coulomb,
                         eps_sph,
-                    )
-                    .expect("dielectric matrix must be invertible")
-                    .inv
-                    .pop()
-                    .expect("single-frequency build");
+                    );
+                    let inv = match built {
+                        Ok(mut e) => match e.inv.pop() {
+                            Some(inv) => inv,
+                            None => {
+                                record_err(
+                                    err_slot,
+                                    DagflowError::MissingInput {
+                                        task: "epsilon.invert",
+                                        input: "single-frequency inverse",
+                                    },
+                                );
+                                return;
+                            }
+                        },
+                        Err(e) => {
+                            record_err(err_slot, DagflowError::Epsilon(e));
+                            return;
+                        }
+                    };
                     *inv_slots[f].lock().unwrap_or_else(|e| e.into_inner()) = Some(inv);
                     charge(stage_s, StageSeconds::EPSILON, t0);
                 })
@@ -254,15 +366,22 @@ pub fn run_gpp_gw_dag(system: &ModelSystem, cfg: &GwConfig) -> DagGwResults {
         let t_eps = g.add(&inv_ids, move || {
             let _s = bgw_trace::span!("workflow.epsilon");
             let t0 = Instant::now();
-            let inv: Vec<CMatrix> = inv_slots
-                .iter()
-                .map(|s| {
-                    s.lock()
-                        .unwrap_or_else(|e| e.into_inner())
-                        .take()
-                        .expect("inversion task completed")
-                })
-                .collect();
+            let mut inv: Vec<CMatrix> = Vec::with_capacity(inv_slots.len());
+            for s in inv_slots {
+                match s.lock().unwrap_or_else(|e| e.into_inner()).take() {
+                    Some(m) => inv.push(m),
+                    None => {
+                        record_err(
+                            err_slot,
+                            DagflowError::MissingInput {
+                                task: "epsilon.assemble",
+                                input: "per-frequency inverse",
+                            },
+                        );
+                        return;
+                    }
+                }
+            }
             let _ = eps_slot.set(EpsilonInverse::from_parts(
                 omegas.to_vec(),
                 inv,
@@ -280,13 +399,17 @@ pub fn run_gpp_gw_dag(system: &ModelSystem, cfg: &GwConfig) -> DagGwResults {
         let t_gpp = g.add(&[t_eps, t_rho], move || {
             let _s = bgw_trace::span!("workflow.mtxel");
             let t0 = Instant::now();
-            let gpp = GppModel::new(
-                eps_slot.get().expect("epsilon task completed"),
-                eps_sph,
-                wfn_sph,
-                rho_slot.get().expect("rho task completed"),
-                volume,
-            );
+            let (Some(eps), Some(rho)) = (eps_slot.get(), rho_slot.get()) else {
+                record_err(
+                    err_slot,
+                    DagflowError::MissingInput {
+                        task: "gpp.build",
+                        input: "epsilon inverse / charge density",
+                    },
+                );
+                return;
+            };
+            let gpp = GppModel::new(eps, eps_sph, wfn_sph, rho, volume);
             *gpp_slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(gpp);
             charge(stage_s, StageSeconds::MTXEL_SIGMA, t0);
         });
@@ -294,11 +417,16 @@ pub fn run_gpp_gw_dag(system: &ModelSystem, cfg: &GwConfig) -> DagGwResults {
         let t_ctx = g.add(&[t_gpp], move || {
             let _s = bgw_trace::span!("workflow.mtxel");
             let t0 = Instant::now();
-            let gpp = gpp_slot
-                .lock()
-                .unwrap_or_else(|e| e.into_inner())
-                .take()
-                .expect("gpp task completed");
+            let Some(gpp) = gpp_slot.lock().unwrap_or_else(|e| e.into_inner()).take() else {
+                record_err(
+                    err_slot,
+                    DagflowError::MissingInput {
+                        task: "sigma.context",
+                        input: "gpp model",
+                    },
+                );
+                return;
+            };
             let _ = ctx_slot.set(SigmaContext::build(
                 wf,
                 mtxel,
@@ -318,7 +446,16 @@ pub fn run_gpp_gw_dag(system: &ModelSystem, cfg: &GwConfig) -> DagGwResults {
             g.add(&[t_ctx], move || {
                 let _sp = bgw_trace::span!("workflow.sigma");
                 let t0 = Instant::now();
-                let ctx = ctx_slot.get().expect("context task completed");
+                let Some(ctx) = ctx_slot.get() else {
+                    record_err(
+                        err_slot,
+                        DagflowError::MissingInput {
+                            task: "sigma.band",
+                            input: "sigma context",
+                        },
+                    );
+                    return;
+                };
                 let mut masked: Vec<Vec<f64>> = vec![Vec::new(); grids.len()];
                 masked[s].clone_from(&grids[s]);
                 let r = gpp_sigma_diag(ctx, &masked, cfg.variant);
@@ -331,9 +468,21 @@ pub fn run_gpp_gw_dag(system: &ModelSystem, cfg: &GwConfig) -> DagGwResults {
         g.execute()
     };
 
+    // A task recorded a typed failure: surface the first one instead of
+    // unwrapping half-filled slots.
+    if let Some(e) = err_slot.into_inner().unwrap_or_else(|p| p.into_inner()) {
+        return Err(e);
+    }
+
     // Final (trivial) assembly on the caller: fixed band order.
-    let ctx = ctx_slot.into_inner().expect("context task completed");
-    let eps_inv = eps_slot.into_inner().expect("epsilon task completed");
+    let ctx = ctx_slot.into_inner().ok_or(DagflowError::MissingInput {
+        task: "assembly",
+        input: "sigma context",
+    })?;
+    let eps_inv = eps_slot.into_inner().ok_or(DagflowError::MissingInput {
+        task: "assembly",
+        input: "epsilon inverse",
+    })?;
     let eps_macro = eps_inv.macroscopic_constant();
     let mut sigma = Vec::with_capacity(sigma_bands.len());
     let mut sigma_flops = 0u64;
@@ -343,7 +492,10 @@ pub fn run_gpp_gw_dag(system: &ModelSystem, cfg: &GwConfig) -> DagGwResults {
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .take()
-            .expect("sigma task completed");
+            .ok_or(DagflowError::MissingInput {
+                task: "assembly",
+                input: "sigma band part",
+            })?;
         sigma.push(sig);
         sigma_flops += flops;
         sigma_seconds += secs;
@@ -370,7 +522,7 @@ pub fn run_gpp_gw_dag(system: &ModelSystem, cfg: &GwConfig) -> DagGwResults {
         n_g: ctx.n_g(),
         n_e: grids.first().map_or(0, Vec::len),
     };
-    DagGwResults {
+    Ok(DagGwResults {
         results: GwResults {
             sigma_bands,
             states,
@@ -382,7 +534,7 @@ pub fn run_gpp_gw_dag(system: &ModelSystem, cfg: &GwConfig) -> DagGwResults {
             dims,
         },
         stats,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -404,7 +556,7 @@ mod tests {
         let oracle = run_gpp_gw(&sys, &cfg);
         for threads in [1usize, 4] {
             bgw_par::set_num_threads(threads);
-            let dag = run_gpp_gw_dag(&sys, &cfg);
+            let dag = run_gpp_gw_dag(&sys, &cfg).expect("dag run succeeds");
             bgw_par::set_num_threads(0);
             let r = &dag.results;
             assert_eq!(r.sigma_bands, oracle.sigma_bands);
@@ -458,10 +610,55 @@ mod tests {
     }
 
     #[test]
+    fn dropped_reduction_is_a_typed_error_not_a_panic() {
+        // A reduction task that dies before depositing its matrix used to
+        // panic the inversion task's worker; now the run fails typed with
+        // the root cause (the inversion's missing input), not a cascade.
+        let sys = test_system();
+        let err = run_gpp_gw_dag_injected(
+            &sys,
+            &GwConfig::default(),
+            DagFaults {
+                drop_chi_reduction: true,
+                ..DagFaults::default()
+            },
+        )
+        .expect_err("dropped reduction must fail the run");
+        assert_eq!(
+            err,
+            DagflowError::MissingInput {
+                task: "epsilon.invert",
+                input: "chi reduction",
+            }
+        );
+    }
+
+    #[test]
+    fn corrupt_chi_surfaces_the_epsilon_error() {
+        let sys = test_system();
+        let err = run_gpp_gw_dag_injected(
+            &sys,
+            &GwConfig::default(),
+            DagFaults {
+                corrupt_chi: true,
+                ..DagFaults::default()
+            },
+        )
+        .expect_err("non-finite chi must fail the run");
+        assert!(
+            matches!(
+                err,
+                DagflowError::Epsilon(crate::epsilon::EpsilonError::NonFinite { .. })
+            ),
+            "wrong error: {err:?}"
+        );
+    }
+
+    #[test]
     fn dag_records_scheduler_counters() {
         let sys = test_system();
         let before = bgw_perf::counters::snapshot();
-        let dag = run_gpp_gw_dag(&sys, &GwConfig::default());
+        let dag = run_gpp_gw_dag(&sys, &GwConfig::default()).expect("dag run succeeds");
         let delta = before.delta(&bgw_perf::counters::snapshot());
         assert!(dag.stats.tasks > 0);
         assert!(

@@ -35,6 +35,7 @@ pub mod resilient;
 pub mod restart;
 pub mod service;
 pub mod sigma;
+pub mod spacetime;
 pub mod spectral;
 pub mod subspace;
 pub mod testkit;
@@ -45,7 +46,7 @@ pub use chi::{ChiConfig, ChiEngine};
 pub use cohsex::{cohsex_sigma, CohsexValue};
 pub use convergence::{sweep_bands, sweep_eps_cutoff, ConvergenceStudy};
 pub use coulomb::Coulomb;
-pub use dagflow::{run_gpp_gw_dag, DagGwResults};
+pub use dagflow::{run_gpp_gw_dag, DagGwResults, DagflowError};
 pub use dyson::{solve_qp_diag, solve_qp_full, QpState};
 pub use epsilon::{is_static_freq, EpsilonError, EpsilonInverse};
 pub use gpp::{godby_needs, GppModel};
@@ -74,6 +75,10 @@ pub use sigma::fullfreq::{
 pub use sigma::imagaxis::{imag_axis_sigma_diag, SigmaImagAxisResult};
 pub use sigma::offdiag::{gpp_sigma_offdiag, gpp_sigma_offdiag_distributed, SigmaOffdiagResult};
 pub use sigma::SigmaContext;
+pub use spacetime::{
+    build_imag_epsilon, run_imagaxis_gw, ChiBackend, ImagAxisError, ImagAxisGwResult, SpaceTimeChi,
+    SpaceTimeConfig, SpaceTimeError, SpaceTimeReport,
+};
 pub use spectral::SpectralFunction;
 pub use subspace::Subspace;
 pub use workflow::{

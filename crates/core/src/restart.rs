@@ -93,6 +93,19 @@ pub enum RestartError {
     /// stage stay valid and resumable), not a panic that would discard
     /// them.
     Epsilon(crate::epsilon::EpsilonError),
+    /// A checkpoint decoded cleanly (checksums passed) but its payload
+    /// does not fit the run resuming from it: a missing or mis-shaped
+    /// matrix, a truncated metadata table, or a step count inconsistent
+    /// with the stored data. Stale residue from a different system or a
+    /// partially rewritten record degrades to this typed error instead of
+    /// an index-out-of-bounds panic deep inside the resume path.
+    Malformed {
+        /// Which resume path rejected the record (`"chi"`, `"epsilon"`,
+        /// `"sigma"`, `"evgw"`).
+        stage: &'static str,
+        /// What failed to validate.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for RestartError {
@@ -106,6 +119,9 @@ impl std::fmt::Display for RestartError {
                 )
             }
             RestartError::Epsilon(e) => write!(f, "epsilon stage: {e}"),
+            RestartError::Malformed { stage, reason } => {
+                write!(f, "malformed checkpoint ({stage}): {reason}")
+            }
         }
     }
 }
@@ -169,41 +185,125 @@ enum GppResume {
     },
 }
 
-fn classify_gpp(found: Option<(u64, Checkpoint)>) -> (GppResume, u64) {
-    match found {
-        None => (GppResume::Fresh, 0),
-        Some((idx, ck)) => {
-            let resume = match ck.stage {
-                s if s == GwStage::ChiPartial as u64 => GppResume::Chi {
-                    chunks_done: ck.step,
-                    acc: ck.matrices.into_iter().next().expect("chi accumulator"),
-                },
-                s if s == GwStage::EpsilonDone as u64 => GppResume::Epsilon {
-                    inv: ck.matrices.into_iter().next().expect("eps inverse"),
-                },
-                s if s == GwStage::SigmaPartial as u64 => {
-                    let inv = ck.matrices.into_iter().next().expect("eps inverse");
-                    // meta = [n_grid, flops, sigma values band-major]
-                    let n_grid = ck.meta[0] as usize;
-                    let flops = ck.meta[1] as u64;
-                    let vals = &ck.meta[2..];
-                    let sigma: Vec<Vec<f64>> = vals
-                        .chunks_exact(n_grid.max(1))
-                        .take(ck.step as usize)
-                        .map(|c| c.to_vec())
-                        .collect();
-                    GppResume::Sigma {
-                        inv,
-                        bands_done: ck.step,
-                        sigma,
-                        flops,
-                    }
-                }
-                _ => GppResume::Fresh, // unknown stage (e.g. evGW residue)
-            };
-            (resume, idx + 1)
-        }
+/// A checkpoint matrix must match the G-sphere of the run resuming from
+/// it; anything else is residue from a different system or cutoff.
+fn check_square(m: &CMatrix, ng: usize, stage: &'static str) -> Result<(), RestartError> {
+    if m.nrows() != ng || m.ncols() != ng {
+        return Err(RestartError::Malformed {
+            stage,
+            reason: format!(
+                "matrix is {}x{}, this run needs {ng}x{ng}",
+                m.nrows(),
+                m.ncols()
+            ),
+        });
     }
+    Ok(())
+}
+
+fn classify_gpp(
+    found: Option<(u64, Checkpoint)>,
+    ng: usize,
+    n_chunks: usize,
+) -> Result<(GppResume, u64), RestartError> {
+    let Some((idx, ck)) = found else {
+        return Ok((GppResume::Fresh, 0));
+    };
+    let resume = match ck.stage {
+        s if s == GwStage::ChiPartial as u64 => {
+            let acc = ck
+                .matrices
+                .into_iter()
+                .next()
+                .ok_or(RestartError::Malformed {
+                    stage: "chi",
+                    reason: "record carries no chi accumulator matrix".into(),
+                })?;
+            check_square(&acc, ng, "chi")?;
+            if ck.step as usize > n_chunks {
+                return Err(RestartError::Malformed {
+                    stage: "chi",
+                    reason: format!(
+                        "claims {} valence chunks accumulated, this run only has {n_chunks}",
+                        ck.step
+                    ),
+                });
+            }
+            GppResume::Chi {
+                chunks_done: ck.step,
+                acc,
+            }
+        }
+        s if s == GwStage::EpsilonDone as u64 => {
+            let inv = ck
+                .matrices
+                .into_iter()
+                .next()
+                .ok_or(RestartError::Malformed {
+                    stage: "epsilon",
+                    reason: "record carries no inverse dielectric matrix".into(),
+                })?;
+            check_square(&inv, ng, "epsilon")?;
+            GppResume::Epsilon { inv }
+        }
+        s if s == GwStage::SigmaPartial as u64 => {
+            let inv = ck
+                .matrices
+                .into_iter()
+                .next()
+                .ok_or(RestartError::Malformed {
+                    stage: "sigma",
+                    reason: "record carries no inverse dielectric matrix".into(),
+                })?;
+            check_square(&inv, ng, "sigma")?;
+            // meta = [n_grid, flops, sigma values band-major]
+            if ck.meta.len() < 2 {
+                return Err(RestartError::Malformed {
+                    stage: "sigma",
+                    reason: format!("metadata has {} values, header needs 2", ck.meta.len()),
+                });
+            }
+            if !(0.0..=1e9).contains(&ck.meta[0]) || !(0.0..=f64::MAX).contains(&ck.meta[1]) {
+                return Err(RestartError::Malformed {
+                    stage: "sigma",
+                    reason: format!(
+                        "nonsense header: n_grid = {}, flops = {}",
+                        ck.meta[0], ck.meta[1]
+                    ),
+                });
+            }
+            let n_grid = ck.meta[0] as usize;
+            let flops = ck.meta[1] as u64;
+            let bands_done = ck.step as usize;
+            let need = 2 + bands_done * n_grid.max(1);
+            if ck.meta.len() < need {
+                return Err(RestartError::Malformed {
+                    stage: "sigma",
+                    reason: format!(
+                        "sigma table truncated: {} bands x {n_grid} energies needs {} \
+                         meta values, record has {}",
+                        bands_done,
+                        need,
+                        ck.meta.len()
+                    ),
+                });
+            }
+            let vals = &ck.meta[2..];
+            let sigma: Vec<Vec<f64>> = vals
+                .chunks_exact(n_grid.max(1))
+                .take(bands_done)
+                .map(|c| c.to_vec())
+                .collect();
+            GppResume::Sigma {
+                inv,
+                bands_done: ck.step,
+                sigma,
+                flops,
+            }
+        }
+        _ => GppResume::Fresh, // unknown stage (e.g. evGW residue)
+    };
+    Ok((resume, idx + 1))
 }
 
 /// [`run_gpp_gw`](crate::workflow::run_gpp_gw) with checkpoint/restart.
@@ -246,7 +346,8 @@ pub fn run_gpp_gw_checkpointed(
     let stride = policy.chi_stride.unwrap_or(chi_cfg.nv_block).max(1);
 
     let t_read = Instant::now();
-    let (resume, next_index) = classify_gpp(read_latest_checkpoint(&policy.dir)?);
+    let n_chunks = wf.n_valence.div_ceil(stride);
+    let (resume, next_index) = classify_gpp(read_latest_checkpoint(&policy.dir)?, ng, n_chunks)?;
     let mut writer = CkptWriter {
         policy: policy.clone(),
         next_index,
@@ -446,7 +547,28 @@ pub fn run_evgw_checkpointed(
     let found = read_latest_checkpoint(&policy.dir)?;
     let (mut e_qp, mut gap_history, mut iterations, next_index) = match found {
         Some((idx, ck)) if ck.stage == GwStage::EvGwIter as u64 => {
+            // meta = [e_qp per sigma band, gap history: one entry per
+            // completed iteration]. Anything else is residue from a
+            // different band set or a half-rewritten record.
+            let expect = n_sigma + ck.step as usize;
+            if ck.meta.len() != expect {
+                return Err(RestartError::Malformed {
+                    stage: "evgw",
+                    reason: format!(
+                        "iterate has {} meta values; step {} with {n_sigma} sigma bands \
+                         needs exactly {expect}",
+                        ck.meta.len(),
+                        ck.step
+                    ),
+                });
+            }
             let e_qp = ck.meta[..n_sigma].to_vec();
+            if e_qp.iter().any(|e| !e.is_finite()) {
+                return Err(RestartError::Malformed {
+                    stage: "evgw",
+                    reason: "resumed QP energies contain non-finite values".into(),
+                });
+            }
             let hist = ck.meta[n_sigma..].to_vec();
             (e_qp, hist, ck.step as usize, idx + 1)
         }
@@ -485,8 +607,14 @@ pub fn run_evgw_checkpointed(
             break;
         }
     }
+    let gap_ry = *gap_history.last().ok_or(RestartError::Malformed {
+        stage: "evgw",
+        reason: "run finished with an empty gap history \
+                 (zero iterations performed and nothing resumed)"
+            .into(),
+    })?;
     Ok(EvGwResults {
-        gap_ry: *gap_history.last().unwrap(),
+        gap_ry,
         gap_history,
         iterations,
         e_qp,

@@ -20,7 +20,7 @@
 
 use super::SigmaContext;
 use crate::epsilon::EpsilonInverse;
-use bgw_num::pade::PadeApproximant;
+use bgw_num::pade::{PadeApproximant, PadeError};
 use bgw_num::{c64, Complex64};
 use std::time::Instant;
 
@@ -46,13 +46,18 @@ pub struct SigmaImagAxisResult {
 /// `u_k` (i.e. built from `chi(i u_k)`), with `weights` the matching
 /// quadrature weights. `iw_samples` sets how many `Sigma(i w)` points feed
 /// the Pade continuation (8-16 is typical).
+///
+/// A degenerate `i w` sample grid (e.g. a zero quadrature range collapses
+/// every node onto the origin) or non-finite `Sigma(i w)` samples make
+/// the Thiele construction garbage; those now surface as a typed
+/// [`PadeError`] instead of silently continuing nonsense to the real axis.
 pub fn imag_axis_sigma_diag(
     ctx: &SigmaContext,
     eps_iw: &EpsilonInverse,
     weights: &[f64],
     e_grids: &[Vec<f64>],
     iw_samples: usize,
-) -> SigmaImagAxisResult {
+) -> Result<SigmaImagAxisResult, PadeError> {
     assert_eq!(e_grids.len(), ctx.n_sigma());
     assert_eq!(weights.len(), eps_iw.n_freq());
     assert!(iw_samples >= 2, "need several imaginary-axis samples");
@@ -118,7 +123,7 @@ pub fn imag_axis_sigma_diag(
             .collect();
         // continue to the real energies
         let nodes: Vec<Complex64> = iw_grid.iter().map(|&w| c64(0.0, w)).collect();
-        let pade = PadeApproximant::new(&nodes, &samples);
+        let pade = PadeApproximant::try_new(&nodes, &samples)?;
         let band: Vec<Complex64> = grid
             .iter()
             .map(|&e| pade.eval(c64(e, 0.02)) + Complex64::real(sigma_x))
@@ -127,13 +132,13 @@ pub fn imag_axis_sigma_diag(
         sigma_iw_all.push(samples);
         let _ = s;
     }
-    SigmaImagAxisResult {
+    Ok(SigmaImagAxisResult {
         sigma,
         e_grids: e_grids.to_vec(),
         sigma_iw: sigma_iw_all,
         iw_grid,
         seconds: t0.elapsed().as_secs_f64(),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -154,37 +159,8 @@ mod tests {
         };
         let engine = ChiEngine::new(&setup.wf, &mtxel, cfg);
         let (nodes, weights) = semi_infinite_quadrature(12, 1.5);
-        // chi at IMAGINARY frequency i*u: Delta(iu) = 2 de/(de^2 + u^2),
-        // which equals our delta_vc evaluated with omega -> iu; reuse the
-        // engine by noting chi(iu) = chi built with the substitution — the
-        // engine computes real-omega chi, so feed it via the imaginary
-        // trick: chi(iu)_GG' = 2 sum M* Re[2 de/(de^2+u^2)]/2 M. We build
-        // it directly from panels using the real part identity:
-        // 1/(de - iu) + 1/(de + iu) = 2 de / (de^2 + u^2).
-        // chi_freqs with eta = 0 and omega = 0 shifted is not equivalent;
-        // instead evaluate with the engine's broadening trick:
-        // delta_vc(ev, ec, 0, u) = 1/(de - iu) + 1/(de + iu)  exactly.
-        // ChiEngine uses eta only for omega != 0; omega = 0 forces eta = 0.
-        // So compute chi(iu) through chi_freqs_subset with omega = 0 and a
-        // *manual* eta by exploiting delta_vc symmetry: delta_vc(de, 0,
-        // eta) with eta = u gives 2 de/(de^2 + u^2) = Delta(iu). Use tiny
-        // positive omega to bypass the eta-zeroing.
-        let mut chis = Vec::new();
-        for &u in &nodes {
-            let cfg_u = ChiConfig {
-                eta_ry: u,
-                q0: setup.coulomb.q0,
-                ..ChiConfig::default()
-            };
-            let engine_u = ChiEngine::new(&setup.wf, &mtxel, cfg_u);
-            let mut t = Default::default();
-            let chi = engine_u
-                .chi_freqs_subset(&[1e-12], None, &mut t)
-                .pop()
-                .unwrap();
-            chis.push(chi);
-        }
-        let _ = engine;
+        let mut t = Default::default();
+        let chis = engine.chi_imag_freqs(&nodes, &mut t);
         let eps = EpsilonInverse::build(&chis, &nodes, &setup.coulomb, &setup.eps_sph)
             .expect("dielectric matrix must be invertible");
         (eps, weights)
@@ -208,7 +184,8 @@ mod tests {
         let (ctx, _) = testkit::small_context();
         let (eps, weights) = build_imag_eps();
         let grids: Vec<Vec<f64>> = ctx.sigma_energies.iter().map(|&e| vec![e]).collect();
-        let r = imag_axis_sigma_diag(&ctx, &eps, &weights, &grids, 10);
+        let r =
+            imag_axis_sigma_diag(&ctx, &eps, &weights, &grids, 10).expect("continuation succeeds");
         let gpp = gpp_sigma_diag(&ctx, &grids, KernelVariant::Reference);
         for s in 0..ctx.n_sigma() {
             let a = r.sigma[s][0].re;
@@ -227,13 +204,33 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_iw_grid_is_a_typed_error() {
+        // A quadrature whose frequencies are all zero collapses the
+        // Sigma(i w) sample grid onto the origin (w_max = 0): every Pade
+        // node coincides and the continuation must fail typed, not
+        // continue garbage.
+        let (ctx, _) = testkit::small_context();
+        let (eps, weights) = build_imag_eps();
+        let zeroed =
+            EpsilonInverse::from_parts(vec![0.0; eps.n_freq()], eps.inv.clone(), eps.vsqrt.clone());
+        let grids: Vec<Vec<f64>> = ctx.sigma_energies.iter().map(|&e| vec![e]).collect();
+        let err = imag_axis_sigma_diag(&ctx, &zeroed, &weights, &grids, 8)
+            .expect_err("all-zero iw grid must fail");
+        assert!(
+            matches!(err, bgw_num::PadeError::DuplicateNodes { .. }),
+            "wrong error: {err:?}"
+        );
+    }
+
+    #[test]
     fn sigma_on_imaginary_axis_is_smooth() {
         // |Sigma(i w)| decays monotonically at large w — the smoothness
         // that motivates the imaginary-axis formulation.
         let (ctx, _) = testkit::small_context();
         let (eps, weights) = build_imag_eps();
         let grids: Vec<Vec<f64>> = ctx.sigma_energies.iter().map(|&e| vec![e]).collect();
-        let r = imag_axis_sigma_diag(&ctx, &eps, &weights, &grids, 12);
+        let r =
+            imag_axis_sigma_diag(&ctx, &eps, &weights, &grids, 12).expect("continuation succeeds");
         let s = &r.sigma_iw[ctx.homo_pos()];
         let tail: Vec<f64> = s.iter().map(|z| z.abs()).collect();
         // beyond the correlation scale the magnitude decreases

@@ -12,6 +12,7 @@
 pub mod chebyshev;
 pub mod complex;
 pub mod grid;
+pub mod minimax;
 pub mod pade;
 pub mod rng;
 pub mod simd;
@@ -21,7 +22,8 @@ pub mod sum;
 pub use chebyshev::{ChebyshevJackson, SpectralMap};
 pub use complex::{c64, Complex64};
 pub use grid::UniformGrid;
-pub use pade::{continue_to_real, PadeApproximant};
+pub use minimax::{MinimaxGrid, TransformFit};
+pub use pade::{continue_to_real, PadeApproximant, PadeError};
 pub use rng::{SplitMix64, Xoshiro256StarStar};
 pub use stats::RunningStats;
 pub use sum::{KahanC64, KahanF64};

@@ -9,6 +9,56 @@
 
 use crate::complex::Complex64;
 
+/// Why a Pade construction is unusable for analytic continuation.
+///
+/// Thiele reciprocal differences divide by `(z_j - z_i) g(z_j)`; repeated
+/// nodes or non-finite inputs turn the whole coefficient table into
+/// garbage that `eval` would silently continue. The imaginary-axis Sigma
+/// path is load-bearing on this, so the failure is typed, not a NaN that
+/// surfaces three stages later.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PadeError {
+    /// Two interpolation nodes coincide (indices into the node list).
+    DuplicateNodes {
+        /// First of the coincident pair.
+        i: usize,
+        /// Second of the coincident pair.
+        j: usize,
+    },
+    /// A sample value is NaN or infinite.
+    NonFiniteSample {
+        /// Index of the bad sample.
+        index: usize,
+    },
+    /// A continued-fraction coefficient came out non-finite (degenerate
+    /// reciprocal differences despite distinct nodes).
+    NonFiniteCoefficient {
+        /// Index of the bad coefficient.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for PadeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::DuplicateNodes { i, j } => {
+                write!(
+                    f,
+                    "Pade nodes {i} and {j} coincide — continuation is degenerate"
+                )
+            }
+            Self::NonFiniteSample { index } => {
+                write!(f, "Pade sample {index} is not finite")
+            }
+            Self::NonFiniteCoefficient { index } => {
+                write!(f, "Pade coefficient {index} is not finite")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PadeError {}
+
 /// An N-point Pade approximant through `(z_i, f_i)` samples.
 #[derive(Clone, Debug)]
 pub struct PadeApproximant {
@@ -21,9 +71,37 @@ pub struct PadeApproximant {
 impl PadeApproximant {
     /// Builds the Thiele continued-fraction interpolant. Nodes must be
     /// distinct; near-degenerate reciprocal differences are regularized.
+    ///
+    /// Panics on the conditions [`PadeApproximant::try_new`] reports;
+    /// continuation paths that must not abort use `try_new`.
     pub fn new(nodes: &[Complex64], values: &[Complex64]) -> Self {
+        match Self::try_new(nodes, values) {
+            Ok(p) => p,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`PadeApproximant::new`]: validates the nodes and samples
+    /// up front and the coefficient table afterwards, so a degenerate
+    /// frequency grid (e.g. an all-zero `i w` grid) or a NaN that leaked
+    /// into the samples becomes a typed [`PadeError`] instead of a
+    /// silently garbage continuation.
+    pub fn try_new(nodes: &[Complex64], values: &[Complex64]) -> Result<Self, PadeError> {
         assert_eq!(nodes.len(), values.len());
         assert!(!nodes.is_empty(), "need at least one sample");
+        for (i, zi) in nodes.iter().enumerate() {
+            for (j, zj) in nodes.iter().enumerate().skip(i + 1) {
+                if (*zi - *zj).abs() < 1e-14 {
+                    return Err(PadeError::DuplicateNodes { i, j });
+                }
+            }
+        }
+        if let Some(index) = values
+            .iter()
+            .position(|v| !v.re.is_finite() || !v.im.is_finite())
+        {
+            return Err(PadeError::NonFiniteSample { index });
+        }
         let n = nodes.len();
         // g[0][j] = f_j; g[i][j] = (g[i-1][i-1] - g[i-1][j]) /
         //                          ((z_j - z_{i-1}) g[i-1][j])
@@ -44,10 +122,16 @@ impl PadeApproximant {
             }
             coeffs.push(g[i]);
         }
-        Self {
+        if let Some(index) = coeffs
+            .iter()
+            .position(|c| !c.re.is_finite() || !c.im.is_finite())
+        {
+            return Err(PadeError::NonFiniteCoefficient { index });
+        }
+        Ok(Self {
             nodes: nodes.to_vec(),
             coeffs,
-        }
+        })
     }
 
     /// Evaluates the continued fraction at `z` (bottom-up recursion).
@@ -136,6 +220,29 @@ mod tests {
             "continued pole at {} vs true {pole}",
             best.0
         );
+    }
+
+    #[test]
+    fn duplicate_nodes_are_a_typed_error() {
+        let z = c64(0.0, 1.0);
+        let err = PadeApproximant::try_new(&[z, c64(0.0, 2.0), z], &[Complex64::ONE; 3])
+            .expect_err("duplicates must fail");
+        assert_eq!(err, PadeError::DuplicateNodes { i: 0, j: 2 });
+        // including the all-identical grid a zero w_max produces
+        let err = PadeApproximant::try_new(&[Complex64::ZERO; 4], &[Complex64::ONE; 4])
+            .expect_err("all-zero grid must fail");
+        assert!(matches!(err, PadeError::DuplicateNodes { .. }));
+    }
+
+    #[test]
+    fn non_finite_samples_are_a_typed_error() {
+        let nodes = [c64(0.0, 1.0), c64(0.0, 2.0)];
+        let err = PadeApproximant::try_new(&nodes, &[Complex64::ONE, c64(f64::NAN, 0.0)])
+            .expect_err("NaN sample must fail");
+        assert_eq!(err, PadeError::NonFiniteSample { index: 1 });
+        let err = PadeApproximant::try_new(&nodes, &[c64(f64::INFINITY, 0.0), Complex64::ONE])
+            .expect_err("infinite sample must fail");
+        assert_eq!(err, PadeError::NonFiniteSample { index: 0 });
     }
 
     #[test]

@@ -151,6 +151,162 @@ fn evgw_restart_matches_uninterrupted() {
 }
 
 #[test]
+fn malformed_gpp_checkpoints_are_typed_errors_not_panics() {
+    // Records that decode cleanly (checksums pass) but whose payload does
+    // not fit this run — missing matrices, wrong G-sphere, truncated sigma
+    // tables, impossible step counts — must surface as
+    // RestartError::Malformed, never as an index-out-of-bounds panic.
+    let sys = small_system();
+    let cfg = GwConfig::default();
+    // Learn the run's actual G-sphere size from a real checkpoint, so the
+    // deeper checks (step counts, sigma table lengths) are what trip on
+    // the correctly-shaped cases rather than the shape guard.
+    let probe_dir = tmpdir("gpp_malformed_probe");
+    let killer = CheckpointPolicy {
+        dir: probe_dir.clone(),
+        chi_stride: None,
+        abort_after_writes: Some(1),
+    };
+    assert!(run_gpp_gw_checkpointed(&sys, &cfg, &killer).is_err());
+    let ng = read_checkpoint_file(&berkeleygw_rs::io::checkpoint_path(&probe_dir, 0))
+        .unwrap()
+        .matrices[0]
+        .nrows();
+    std::fs::remove_dir_all(&probe_dir).ok();
+    let cases: Vec<(&str, Checkpoint)> = vec![
+        (
+            "chi record with no accumulator matrix",
+            Checkpoint {
+                stage: 1, // ChiPartial
+                step: 1,
+                meta: vec![],
+                matrices: vec![],
+            },
+        ),
+        (
+            "chi accumulator from a different G-sphere",
+            Checkpoint {
+                stage: 1,
+                step: 1,
+                meta: vec![],
+                matrices: vec![CMatrix::zeros(3, 3)],
+            },
+        ),
+        (
+            "chi step count beyond this run's chunk total",
+            Checkpoint {
+                stage: 1,
+                step: 10_000,
+                meta: vec![],
+                matrices: vec![CMatrix::zeros(ng, ng)],
+            },
+        ),
+        (
+            "epsilon record with no inverse matrix",
+            Checkpoint {
+                stage: 2, // EpsilonDone
+                step: 0,
+                meta: vec![],
+                matrices: vec![],
+            },
+        ),
+        (
+            "sigma record with a truncated metadata header",
+            Checkpoint {
+                stage: 3, // SigmaPartial
+                step: 1,
+                meta: vec![3.0],
+                matrices: vec![CMatrix::zeros(ng, ng)],
+            },
+        ),
+        (
+            "sigma table shorter than the claimed band count",
+            Checkpoint {
+                stage: 3,
+                step: 4,
+                meta: vec![3.0, 0.0, 1.0, 2.0],
+                matrices: vec![CMatrix::zeros(ng, ng)],
+            },
+        ),
+    ];
+    for (label, ck) in cases {
+        let dir = tmpdir("gpp_malformed");
+        write_checkpoint(&dir, 0, &ck).unwrap();
+        match run_gpp_gw_checkpointed(&sys, &cfg, &CheckpointPolicy::new(&dir)) {
+            Err(RestartError::Malformed { stage, reason }) => {
+                assert!(!reason.is_empty(), "{label}: empty reason");
+                assert!(
+                    ["chi", "epsilon", "sigma"].contains(&stage),
+                    "{label}: unexpected stage {stage}"
+                );
+            }
+            other => panic!("{label}: expected Malformed, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn malformed_evgw_iterate_is_a_typed_error() {
+    // An evGW iterate whose meta length disagrees with its step count (a
+    // record from a different band set, or a half-rewritten one) must be
+    // rejected typed, and non-finite resumed QP energies likewise.
+    let sys = small_system();
+    let cfg = GwConfig::default();
+
+    let dir = tmpdir("evgw_malformed_len");
+    write_checkpoint(
+        &dir,
+        0,
+        &Checkpoint {
+            stage: 4, // EvGwIter
+            step: 2,
+            meta: vec![0.5], // needs n_sigma + 2 values
+            matrices: vec![],
+        },
+    )
+    .unwrap();
+    match run_evgw_checkpointed(&sys, &cfg, 10, 1e-5, &CheckpointPolicy::new(&dir)) {
+        Err(RestartError::Malformed { stage: "evgw", .. }) => {}
+        other => panic!("short evGW meta: expected Malformed, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+
+    // Learn the real n_sigma from a clean run so the length check passes
+    // and the finiteness check is what trips.
+    let probe_dir = tmpdir("evgw_malformed_probe");
+    let probe = run_evgw_checkpointed(&sys, &cfg, 2, 1e-12, &CheckpointPolicy::new(&probe_dir))
+        .expect("probe run succeeds");
+    std::fs::remove_dir_all(&probe_dir).ok();
+    let n_sigma = probe.e_qp.len();
+
+    let dir = tmpdir("evgw_malformed_nan");
+    let mut meta = vec![f64::NAN; n_sigma];
+    meta.push(0.1); // gap history, one entry for step = 1
+    write_checkpoint(
+        &dir,
+        0,
+        &Checkpoint {
+            stage: 4,
+            step: 1,
+            meta,
+            matrices: vec![],
+        },
+    )
+    .unwrap();
+    match run_evgw_checkpointed(&sys, &cfg, 10, 1e-5, &CheckpointPolicy::new(&dir)) {
+        Err(RestartError::Malformed {
+            stage: "evgw",
+            reason,
+        }) => {
+            assert!(reason.contains("non-finite"), "wrong reason: {reason}");
+        }
+        other => panic!("NaN evGW iterate: expected Malformed, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn subspace_ff_sigma_is_invariant_under_chi_checkpoint_roundtrip() {
     // Recovery invariant: accumulating CHI in chunks, parking the partial
     // sum in a checkpoint, and resuming from disk must leave the static

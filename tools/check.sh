@@ -27,6 +27,15 @@
 #                             armed only on multi-core hosts), and a
 #                             faulted recovery run gating that ONLY the
 #                             dead rank's tasks are re-enqueued
+#   tools/check.sh --spacetime  space-time chi0 smoke only: cross-validates
+#                             the cubic-scaling imaginary-time path against
+#                             the dense imaginary-axis oracle on two roster
+#                             systems (rel error gated at 10x the minimax
+#                             fit residual), then sweeps N_b timing dense
+#                             vs space-time and reports the crossover;
+#                             writes BENCH_spacetime_chi.json (the
+#                             committed full run gates that the cubic path
+#                             overtakes dense at some N_b)
 #   tools/check.sh --serve    serve traffic-replay smoke only: seeded zipf
 #                             stream through the resident daemon, gating
 #                             hit rate > 0 on repeated structures, one
@@ -147,6 +156,29 @@ if [ "${1:-}" = "--dag" ]; then
     exit 0
 fi
 
+run_spacetime_smoke() {
+    echo "==> spacetime smoke: dense-oracle cross-validation, N_b crossover sweep"
+    # The cubic-scaling space-time chi0 engine against the dense
+    # imaginary-axis oracle on bulk Si and the LiH defect: chi0(i omega)
+    # must agree within 10x the self-reported minimax fit residual (the
+    # cosine-transform fit is the only approximation separating the two
+    # paths). The N_b sweep times both paths at equal cutoffs with
+    # synthetic orthonormal bands (N_v = N_b/4); the crossover gate arms
+    # only in the full run (the committed BENCH_spacetime_chi.json records
+    # the cubic path overtaking dense at N_b = 192). Run in a temp dir so
+    # the smoke-sized JSON never clobbers the committed full sweep.
+    root=$(pwd)
+    stdir=$(mktemp -d)
+    (cd "$stdir" && "$root/target/release/spacetime_smoke" --smoke)
+    rm -rf "$stdir"
+}
+
+if [ "${1:-}" = "--spacetime" ]; then
+    cargo build --release -p bgw-bench --bin spacetime_smoke
+    run_spacetime_smoke
+    exit 0
+fi
+
 run_serve_smoke() {
     echo "==> serve smoke: zipf replay, cache/GC gates, shard sweep, oracle parity 1e-12"
     # A seeded zipf request stream through the threaded bgw-serve daemon.
@@ -212,6 +244,8 @@ run_ff_smoke
 run_simd_smoke
 
 run_dag_smoke
+
+run_spacetime_smoke
 
 run_serve_smoke
 
